@@ -1,0 +1,266 @@
+//! Monte-Carlo evaluation of estimators.
+//!
+//! For the sampling regimes whose outcome space is continuous (PPS with known
+//! seeds) or whose aggregates span many keys, variance is measured by
+//! repeated simulation.  Each evaluation reports bias, variance, and the
+//! coefficient of variation of the estimator, together with the ground truth.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pie_core::Estimator;
+use pie_datagen::Dataset;
+use pie_sampling::{
+    sample_all_pps, Key, ObliviousEntry, ObliviousOutcome, SeedAssignment, WeightedEntry,
+    WeightedOutcome,
+};
+
+use crate::stats::RunningStats;
+
+/// The result of evaluating an estimator against a known ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// The true value of the estimated quantity.
+    pub truth: f64,
+    /// Mean of the estimates.
+    pub mean: f64,
+    /// Variance of the estimates (population variance over the trials).
+    pub variance: f64,
+    /// `|mean − truth| / truth` (absolute bias when the truth is 0).
+    pub relative_bias: f64,
+    /// Number of trials.
+    pub trials: u64,
+}
+
+impl Evaluation {
+    fn from_stats(stats: &RunningStats, truth: f64) -> Self {
+        Self {
+            truth,
+            mean: stats.mean(),
+            variance: stats.variance(),
+            relative_bias: crate::stats::relative_error(stats.mean(), truth),
+            trials: stats.count(),
+        }
+    }
+
+    /// The normalized variance `Var / truth²` (∞ if the truth is 0 and the
+    /// variance is positive), the quantity plotted in Figure 7.
+    #[must_use]
+    pub fn normalized_variance(&self) -> f64 {
+        if self.truth == 0.0 {
+            if self.variance == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.variance / (self.truth * self.truth)
+        }
+    }
+
+    /// The coefficient of variation of the estimator around the truth.
+    #[must_use]
+    pub fn cv(&self) -> f64 {
+        self.normalized_variance().sqrt()
+    }
+}
+
+/// Evaluates an estimator of `f(v)` under weight-oblivious Poisson sampling of
+/// a single key's value vector, by Monte-Carlo simulation.
+///
+/// (The exact enumeration in `pie_core::variance` is preferable for small `r`;
+/// this exists for cross-checking and for large `r`.)
+pub fn evaluate_oblivious<E, F>(
+    estimator: &E,
+    f: F,
+    values: &[f64],
+    probs: &[f64],
+    trials: u64,
+    seed: u64,
+) -> Evaluation
+where
+    E: Estimator<ObliviousOutcome>,
+    F: Fn(&[f64]) -> f64,
+{
+    assert_eq!(values.len(), probs.len(), "values and probabilities must align");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = RunningStats::new();
+    for _ in 0..trials {
+        let entries = values
+            .iter()
+            .zip(probs)
+            .map(|(&v, &p)| ObliviousEntry {
+                p,
+                value: if rng.gen::<f64>() < p { Some(v) } else { None },
+            })
+            .collect();
+        stats.push(estimator.estimate(&ObliviousOutcome::new(entries)));
+    }
+    Evaluation::from_stats(&stats, f(values))
+}
+
+/// Evaluates an estimator of `f(v)` under weighted PPS Poisson sampling with
+/// known seeds of a single key's value vector, by Monte-Carlo simulation.
+pub fn evaluate_pps_known_seeds<E, F>(
+    estimator: &E,
+    f: F,
+    values: &[f64],
+    tau_stars: &[f64],
+    trials: u64,
+    seed: u64,
+) -> Evaluation
+where
+    E: Estimator<WeightedOutcome>,
+    F: Fn(&[f64]) -> f64,
+{
+    assert_eq!(values.len(), tau_stars.len(), "values and thresholds must align");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = RunningStats::new();
+    for _ in 0..trials {
+        let entries = values
+            .iter()
+            .zip(tau_stars)
+            .map(|(&v, &tau)| {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let sampled = v > 0.0 && v >= u * tau;
+                WeightedEntry {
+                    tau_star: tau,
+                    seed: Some(u),
+                    value: if sampled { Some(v) } else { None },
+                }
+            })
+            .collect();
+        stats.push(estimator.estimate(&WeightedOutcome::new(entries)));
+    }
+    Evaluation::from_stats(&stats, f(values))
+}
+
+/// Evaluates a *sum-aggregate* estimator over PPS samples of a whole dataset,
+/// repeating the sampling `trials` times with different hash salts.
+///
+/// `aggregate` receives the per-instance samples and the seed assignment and
+/// returns the aggregate estimate (e.g.
+/// [`pie_core::aggregate::max_dominance_l`]); `truth` is the exact aggregate.
+pub fn evaluate_aggregate_pps<A>(
+    dataset: &Dataset,
+    tau_star: f64,
+    truth: f64,
+    trials: u64,
+    base_salt: u64,
+    aggregate: A,
+) -> Evaluation
+where
+    A: Fn(&[pie_sampling::InstanceSample], &SeedAssignment) -> f64,
+{
+    let mut stats = RunningStats::new();
+    for t in 0..trials {
+        let seeds = SeedAssignment::independent_known(base_salt.wrapping_add(t));
+        let samples = sample_all_pps(dataset.instances(), tau_star, &seeds);
+        stats.push(aggregate(&samples, &seeds));
+    }
+    Evaluation::from_stats(&stats, truth)
+}
+
+/// Convenience selection predicate accepting every key.
+#[must_use]
+pub fn all_keys(_key: Key) -> bool {
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pie_core::aggregate::{max_dominance_ht, max_dominance_l, true_max_dominance};
+    use pie_core::functions::maximum;
+    use pie_core::oblivious::{MaxHtOblivious, MaxL2};
+    use pie_core::variance::exact_oblivious_variance;
+    use pie_core::weighted::MaxLPps2;
+    use pie_datagen::{generate_two_hours, TrafficConfig};
+
+    #[test]
+    fn oblivious_monte_carlo_matches_exact_enumeration() {
+        let v = [4.0, 1.5];
+        let p = [0.5, 0.3];
+        let est = MaxL2::new(0.5, 0.3);
+        let eval = evaluate_oblivious(&est, maximum, &v, &p, 200_000, 1);
+        assert!(eval.relative_bias < 0.02, "bias {}", eval.relative_bias);
+        let exact = exact_oblivious_variance(&est, &v, &p);
+        assert!(
+            (eval.variance - exact).abs() / exact < 0.05,
+            "MC variance {} vs exact {exact}",
+            eval.variance
+        );
+    }
+
+    #[test]
+    fn pps_monte_carlo_is_unbiased_for_max_l() {
+        let eval = evaluate_pps_known_seeds(&MaxLPps2, maximum, &[5.0, 2.0], &[10.0, 10.0], 300_000, 2);
+        assert!(eval.relative_bias < 0.02, "bias {}", eval.relative_bias);
+        assert!(eval.variance > 0.0);
+        assert!(eval.cv() > 0.0);
+    }
+
+    #[test]
+    fn aggregate_evaluation_reports_shrinking_cv() {
+        // The aggregate CV should be far below the per-key CV (error averages out).
+        let ds = generate_two_hours(&TrafficConfig::small(3));
+        let truth = true_max_dominance(ds.instances(), |_| true);
+        let eval = evaluate_aggregate_pps(&ds, 200.0, truth, 60, 7, |samples, seeds| {
+            max_dominance_l(samples, seeds, all_keys)
+        });
+        assert!(eval.relative_bias < 0.05, "bias {}", eval.relative_bias);
+        assert!(eval.cv() < 0.2, "cv {}", eval.cv());
+    }
+
+    #[test]
+    fn aggregate_l_beats_ht_on_traffic_data() {
+        let ds = generate_two_hours(&TrafficConfig::small(5));
+        let truth = true_max_dominance(ds.instances(), |_| true);
+        let l = evaluate_aggregate_pps(&ds, 300.0, truth, 80, 11, |s, seeds| {
+            max_dominance_l(s, seeds, all_keys)
+        });
+        let ht = evaluate_aggregate_pps(&ds, 300.0, truth, 80, 11, |s, seeds| {
+            max_dominance_ht(s, seeds, all_keys)
+        });
+        assert!(
+            l.variance < ht.variance,
+            "L variance {} should be below HT variance {}",
+            l.variance,
+            ht.variance
+        );
+    }
+
+    #[test]
+    fn evaluation_normalized_variance_and_cv() {
+        let eval = Evaluation {
+            truth: 10.0,
+            mean: 10.0,
+            variance: 4.0,
+            relative_bias: 0.0,
+            trials: 100,
+        };
+        assert!((eval.normalized_variance() - 0.04).abs() < 1e-12);
+        assert!((eval.cv() - 0.2).abs() < 1e-12);
+        let zero = Evaluation {
+            truth: 0.0,
+            mean: 0.0,
+            variance: 0.0,
+            relative_bias: 0.0,
+            trials: 1,
+        };
+        assert_eq!(zero.normalized_variance(), 0.0);
+    }
+
+    #[test]
+    fn ht_oblivious_evaluation_matches_formula() {
+        let v = [3.0, 3.0];
+        let p = [0.4, 0.4];
+        let eval = evaluate_oblivious(&MaxHtOblivious, maximum, &v, &p, 300_000, 9);
+        let expected = pie_core::variance::full_sample_ht_variance(3.0, &p);
+        assert!(
+            (eval.variance - expected).abs() / expected < 0.05,
+            "variance {} vs {expected}",
+            eval.variance
+        );
+    }
+}

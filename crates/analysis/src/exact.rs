@@ -1,0 +1,335 @@
+//! Exact (quadrature-based) evaluation of two-instance PPS estimators.
+//!
+//! For weighted PPS sampling with known seeds the outcome of a key is a
+//! deterministic function of the seed pair `(u_1, u_2) ∈ [0,1]²`, so exact
+//! expectations reduce to integrals over the unit square.  The integrand is
+//! smooth within each of the four sampling regions (both sampled / only one /
+//! neither), so the square is split at the inclusion probabilities
+//! `q_i = min(1, v_i/τ*_i)` and each region is integrated with composite
+//! Simpson quadrature.
+//!
+//! This is what the Figure 3 / Figure 4 harness uses to produce noise-free
+//! variance curves, and what the test-suite uses to verify the closed-form
+//! `max^(L)` estimator is exactly unbiased.
+
+use pie_core::Estimator;
+use pie_sampling::{WeightedEntry, WeightedOutcome};
+
+/// Number of Simpson panels per one-dimensional region integral.
+const PANELS_1D: usize = 4_096;
+/// Number of Simpson panels per axis for the "neither sampled" region.  Every
+/// estimator in this workspace returns 0 on empty outcomes (nonnegative
+/// unbiased estimators of functions that vanish on the zero vector must), so
+/// this region only needs enough resolution to catch a non-zero integrand at
+/// all; it is kept small to keep per-key evaluation cheap.
+const PANELS_2D: usize = 32;
+
+fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, panels: usize) -> f64 {
+    if b <= a {
+        return 0.0;
+    }
+    let n = panels * 2; // Simpson needs an even number of intervals
+    let h = (b - a) / n as f64;
+    let mut sum = f(a) + f(b);
+    for i in 1..n {
+        let x = a + h * i as f64;
+        sum += f(x) * if i % 2 == 1 { 4.0 } else { 2.0 };
+    }
+    sum * h / 3.0
+}
+
+/// Integrates a region `[lo, hi]` of one seed axis, splitting at the supplied
+/// breakpoints (where the integrand may have kinks, e.g. the point at which an
+/// unsampled entry's upper bound stops being capped by the sampled value) and
+/// switching to a logarithmic substitution near `lo = 0`, where the `max^(L)`
+/// integrand has an integrable logarithmic singularity.
+fn integrate_axis<F: Fn(f64) -> f64>(
+    f: F,
+    lo: f64,
+    hi: f64,
+    breakpoints: &[f64],
+    panels: usize,
+) -> f64 {
+    if hi <= lo {
+        return 0.0;
+    }
+    let mut cuts: Vec<f64> = breakpoints
+        .iter()
+        .copied()
+        .filter(|&b| b > lo && b < hi)
+        .collect();
+    cuts.push(hi);
+    cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+    cuts.dedup();
+    let mut total = 0.0;
+    let mut start = lo;
+    for &end in &cuts {
+        if start <= 1e-12 {
+            // Logarithmic substitution u = e^t on (ε, end]; the mass below ε is
+            // negligible for integrands growing at most logarithmically.
+            let eps = 1e-12f64;
+            if end > eps {
+                total += simpson(
+                    |t| {
+                        let u = t.exp();
+                        f(u) * u
+                    },
+                    eps.ln(),
+                    end.ln(),
+                    panels,
+                );
+            }
+        } else {
+            total += simpson(&f, start, end, panels);
+        }
+        start = end;
+    }
+    total
+}
+
+fn simpson2<F: Fn(f64, f64) -> f64>(
+    f: F,
+    a1: f64,
+    b1: f64,
+    a2: f64,
+    b2: f64,
+    panels: usize,
+) -> f64 {
+    if b1 <= a1 || b2 <= a2 {
+        return 0.0;
+    }
+    simpson(|x| simpson(|y| f(x, y), a2, b2, panels), a1, b1, panels)
+}
+
+/// Builds the outcome seen for data `(v1, v2)` with thresholds `(tau1, tau2)`
+/// and seed pair `(u1, u2)` under PPS sampling with known seeds.
+#[must_use]
+pub fn pps2_outcome(v: [f64; 2], tau: [f64; 2], u: [f64; 2]) -> WeightedOutcome {
+    let sampled = [
+        v[0] > 0.0 && v[0] >= u[0] * tau[0],
+        v[1] > 0.0 && v[1] >= u[1] * tau[1],
+    ];
+    outcome_with_pattern(v, tau, u, sampled)
+}
+
+/// Builds the outcome with an explicitly given sampled/unsampled pattern.
+///
+/// Used by the region-split quadrature so that nodes landing exactly on a
+/// region boundary are attributed to the region being integrated rather than
+/// to whichever side the floating-point comparison happens to pick.
+fn outcome_with_pattern(
+    v: [f64; 2],
+    tau: [f64; 2],
+    u: [f64; 2],
+    sampled: [bool; 2],
+) -> WeightedOutcome {
+    let entries = (0..2)
+        .map(|i| {
+            // Quadrature nodes may land exactly on the boundary of the unit
+            // interval; nudge them inside, which does not change the outcome.
+            let seed = u[i].clamp(1e-15, 1.0 - 1e-15);
+            WeightedEntry {
+                tau_star: tau[i],
+                seed: Some(seed),
+                value: if sampled[i] { Some(v[i]) } else { None },
+            }
+        })
+        .collect();
+    WeightedOutcome::new(entries)
+}
+
+/// The expectation of `transform(estimate)` over the seed distribution, for a
+/// two-instance PPS sample of data `v` with thresholds `tau`, using the
+/// default quadrature resolution.
+pub fn pps2_expectation_of<E, T>(estimator: &E, v: [f64; 2], tau: [f64; 2], transform: T) -> f64
+where
+    E: Estimator<WeightedOutcome>,
+    T: Fn(f64) -> f64,
+{
+    pps2_expectation_of_with_panels(estimator, v, tau, transform, PANELS_1D)
+}
+
+/// Like [`pps2_expectation_of`], but with an explicit number of Simpson panels
+/// per one-dimensional region (trade accuracy for speed when evaluating many
+/// keys, as the Figure 7 harness does).
+pub fn pps2_expectation_of_with_panels<E, T>(
+    estimator: &E,
+    v: [f64; 2],
+    tau: [f64; 2],
+    transform: T,
+    panels: usize,
+) -> f64
+where
+    E: Estimator<WeightedOutcome>,
+    T: Fn(f64) -> f64,
+{
+    assert!(tau[0] > 0.0 && tau[1] > 0.0, "thresholds must be positive");
+    let q = [
+        if v[0] > 0.0 { (v[0] / tau[0]).min(1.0) } else { 0.0 },
+        if v[1] > 0.0 { (v[1] / tau[1]).min(1.0) } else { 0.0 },
+    ];
+    let g = |u1: f64, u2: f64, pattern: [bool; 2]| {
+        transform(estimator.estimate(&outcome_with_pattern(v, tau, [u1, u2], pattern)))
+    };
+
+    // Region A: both sampled — the estimate does not depend on the seeds
+    // beyond the fact that they are below the thresholds.
+    let a = if q[0] > 0.0 && q[1] > 0.0 {
+        q[0] * q[1] * g(q[0] * 0.5, q[1] * 0.5, [true, true])
+    } else {
+        0.0
+    };
+    // Region B: only entry 1 sampled — integrate over u2 ∈ (q2, 1).  The
+    // integrand can kink where the unsampled entry's bound u2·τ2 crosses the
+    // sampled value v1 (the determining vector stops being capped).
+    let b = if q[0] > 0.0 {
+        let kink = v[0] / tau[1];
+        q[0] * integrate_axis(|u2| g(q[0] * 0.5, u2, [true, false]), q[1], 1.0, &[kink], panels)
+    } else {
+        0.0
+    };
+    // Region C: only entry 2 sampled — integrate over u1 ∈ (q1, 1).
+    let c = if q[1] > 0.0 {
+        let kink = v[1] / tau[0];
+        q[1] * integrate_axis(|u1| g(u1, q[1] * 0.5, [false, true]), q[0], 1.0, &[kink], panels)
+    } else {
+        0.0
+    };
+    // Region D: neither sampled — a 2-D integral (zero for all nonnegative
+    // estimators of functions that vanish on the all-zero vector, but kept for
+    // generality).
+    let d = simpson2(
+        |u1, u2| g(u1, u2, [false, false]),
+        q[0],
+        1.0,
+        q[1],
+        1.0,
+        PANELS_2D.min(panels),
+    );
+    a + b + c + d
+}
+
+/// Exact mean and variance of an estimator on data `v` under two-instance PPS
+/// sampling with known seeds, with an explicit quadrature resolution.
+///
+/// Use the default-resolution [`pps2_expectation`] / [`pps2_variance`] unless
+/// many keys have to be processed (e.g. the Figure 7 harness).
+pub fn pps2_mean_variance<E: Estimator<WeightedOutcome>>(
+    estimator: &E,
+    v: [f64; 2],
+    tau: [f64; 2],
+    panels: usize,
+) -> (f64, f64) {
+    let mean = pps2_expectation_of_with_panels(estimator, v, tau, |x| x, panels);
+    let second = pps2_expectation_of_with_panels(estimator, v, tau, |x| x * x, panels);
+    (mean, (second - mean * mean).max(0.0))
+}
+
+/// The exact expectation of an estimator on data `v` under two-instance PPS
+/// sampling with known seeds.
+pub fn pps2_expectation<E: Estimator<WeightedOutcome>>(
+    estimator: &E,
+    v: [f64; 2],
+    tau: [f64; 2],
+) -> f64 {
+    pps2_expectation_of(estimator, v, tau, |x| x)
+}
+
+/// The exact variance of an estimator on data `v` under two-instance PPS
+/// sampling with known seeds.
+pub fn pps2_variance<E: Estimator<WeightedOutcome>>(
+    estimator: &E,
+    v: [f64; 2],
+    tau: [f64; 2],
+) -> f64 {
+    let mean = pps2_expectation(estimator, v, tau);
+    let second = pps2_expectation_of(estimator, v, tau, |x| x * x);
+    (second - mean * mean).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pie_core::variance::max_ht_pps_normalized_variance;
+    use pie_core::weighted::max_l_pps2_equal_entries as equal_entries;
+    use pie_core::weighted::{MaxHtPps, MaxLPps2};
+
+    #[test]
+    fn max_l_is_exactly_unbiased_by_quadrature() {
+        let cases: &[([f64; 2], [f64; 2])] = &[
+            ([5.0, 3.0], [10.0, 10.0]),
+            ([5.0, 0.0], [10.0, 10.0]),
+            ([2.0, 2.0], [10.0, 6.0]),
+            ([9.0, 0.5], [10.0, 8.0]),
+            ([12.0, 3.0], [10.0, 10.0]),
+            ([7.0, 6.5], [8.0, 6.0]),
+        ];
+        for &(v, tau) in cases {
+            let mean = pps2_expectation(&MaxLPps2, v, tau);
+            let truth = v[0].max(v[1]);
+            assert!(
+                (mean - truth).abs() / truth < 2e-3,
+                "bias on {v:?} tau {tau:?}: {mean} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_ht_is_exactly_unbiased_by_quadrature() {
+        for &(v, tau) in &[([5.0, 3.0], [10.0, 10.0]), ([4.0, 0.0], [10.0, 6.0])] {
+            let mean = pps2_expectation(&MaxHtPps, v, tau);
+            let truth: f64 = v[0].max(v[1]);
+            assert!((mean - truth).abs() / truth < 2e-3, "{mean} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn ht_variance_matches_closed_form() {
+        // VAR[max^(HT)]/τ*² = 1 − ρ² for τ*₁ = τ*₂ = τ*, any min value.
+        let tau = 10.0;
+        for &(v1, v2) in &[(5.0, 3.0), (5.0, 0.0), (5.0, 5.0)] {
+            let var = pps2_variance(&MaxHtPps, [v1, v2], [tau, tau]);
+            let rho = v1.max(v2) / tau;
+            let expected = max_ht_pps_normalized_variance(rho) * tau * tau;
+            assert!(
+                (var - expected).abs() / expected < 1e-2,
+                "({v1},{v2}): {var} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_l_dominates_ht_everywhere_on_a_grid() {
+        let tau = [10.0, 10.0];
+        for i in 1..=4 {
+            for j in 0..=i {
+                let v = [i as f64 * 2.0, j as f64 * 2.0];
+                let var_l = pps2_variance(&MaxLPps2, v, tau);
+                let var_ht = pps2_variance(&MaxHtPps, v, tau);
+                assert!(
+                    var_l <= var_ht + 1e-6,
+                    "L should dominate HT at {v:?}: {var_l} vs {var_ht}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equal_entry_estimate_matches_quadrature_probability() {
+        // For data (v, v), the estimator takes the single value of Eq. (25)
+        // whenever anything is sampled; quadrature must agree.
+        let (v, tau) = (4.0, [10.0, 8.0]);
+        let expected_value = equal_entries(v, tau[0], tau[1]);
+        let q1: f64 = v / tau[0];
+        let q2: f64 = v / tau[1];
+        let p_any = q1 + q2 - q1 * q2;
+        let mean = pps2_expectation(&MaxLPps2, [v, v], tau);
+        assert!((mean - expected_value * p_any).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_vector_has_zero_moments() {
+        assert_eq!(pps2_expectation(&MaxLPps2, [0.0, 0.0], [10.0, 10.0]), 0.0);
+        assert_eq!(pps2_variance(&MaxLPps2, [0.0, 0.0], [10.0, 10.0]), 0.0);
+    }
+}

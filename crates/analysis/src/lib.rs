@@ -1,0 +1,28 @@
+//! # pie-analysis — evaluation harness for partial-information estimators
+//!
+//! Tools for measuring estimator quality against ground truth:
+//!
+//! * [`stats`] — streaming summary statistics (mean, variance, CV,
+//!   confidence intervals);
+//! * [`empirical`] — Monte-Carlo evaluation of per-key estimators and of
+//!   whole sum aggregates over sampled datasets;
+//! * [`exact`] — quadrature-based exact expectation/variance for two-instance
+//!   PPS sampling with known seeds (noise-free Figure 3 / Figure 4 curves);
+//! * [`report`] — aligned text tables, data series, and CSV output used by the
+//!   figure-regeneration binaries in `pie-bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod empirical;
+pub mod exact;
+pub mod report;
+pub mod stats;
+
+pub use empirical::{
+    all_keys, evaluate_aggregate_pps, evaluate_oblivious, evaluate_pps_known_seeds, Evaluation,
+};
+pub use exact::{pps2_expectation, pps2_mean_variance, pps2_outcome, pps2_variance};
+pub use report::{format_sig, Series, Table};
+pub use stats::{relative_error, RunningStats};

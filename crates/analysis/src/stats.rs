@@ -1,0 +1,196 @@
+//! Streaming summary statistics used throughout the evaluation harness.
+
+/// Online mean / variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Adds every observation of an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+
+    /// Builds an accumulator from an iterator of observations.
+    #[must_use]
+    pub fn from_values<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by `n`; 0 when fewer than 2 observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Unbiased sample variance (divides by `n − 1`).
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation `σ/μ` (0 when the mean is 0).
+    #[must_use]
+    pub fn cv(&self) -> f64 {
+        if self.mean() == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / self.mean().abs()
+        }
+    }
+
+    /// Standard error of the mean.
+    #[must_use]
+    pub fn standard_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.sample_variance() / self.n as f64).sqrt()
+        }
+    }
+
+    /// A normal-approximation confidence interval for the mean at ±`z` standard
+    /// errors (`z = 1.96` for 95%).
+    #[must_use]
+    pub fn mean_confidence_interval(&self, z: f64) -> (f64, f64) {
+        let half = z * self.standard_error();
+        (self.mean() - half, self.mean() + half)
+    }
+
+    /// Smallest observation (∞ when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (−∞ when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Relative error `|estimate − truth| / truth` (absolute error when the truth
+/// is zero).
+#[must_use]
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        estimate.abs()
+    } else {
+        (estimate - truth).abs() / truth.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_match_direct_computation() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = RunningStats::from_values(xs.iter().copied());
+        assert_eq!(s.count(), 5);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert!((s.variance() - 2.0).abs() < 1e-12);
+        assert!((s.sample_variance() - 2.5).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        let empty = RunningStats::new();
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.variance(), 0.0);
+        assert_eq!(empty.cv(), 0.0);
+        let mut one = RunningStats::new();
+        one.push(7.0);
+        assert_eq!(one.mean(), 7.0);
+        assert_eq!(one.variance(), 0.0);
+    }
+
+    #[test]
+    fn cv_and_confidence_interval() {
+        let s = RunningStats::from_values((1..=1000).map(|i| f64::from(i % 10)));
+        let cv = s.cv();
+        assert!(cv > 0.0);
+        let (lo, hi) = s.mean_confidence_interval(1.96);
+        assert!(lo < s.mean() && s.mean() < hi);
+        assert!((hi - lo) < 0.5);
+    }
+
+    #[test]
+    fn welford_is_numerically_stable_for_large_offsets() {
+        let offset = 1e9;
+        let s = RunningStats::from_values((0..1000).map(|i| offset + f64::from(i % 7)));
+        assert!((s.mean() - (offset + 3.0)).abs() < 1.0);
+        assert!(s.variance() > 3.0 && s.variance() < 5.0);
+    }
+
+    #[test]
+    fn relative_error_handles_zero_truth() {
+        assert_eq!(relative_error(5.0, 0.0), 5.0);
+        assert!((relative_error(11.0, 10.0) - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,83 @@
+//! Criterion benchmarks for the per-outcome estimator costs across the whole
+//! estimator family, plus the Algorithm 3 coefficient computation and the
+//! Algorithm 1 derivation engine.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pie_core::derive::{dense_first_order, derive_order_based, FiniteModel, ObliviousPoissonModel};
+use pie_core::functions::boolean_or;
+use pie_core::oblivious::{MaxLUniform, MaxU2Asymmetric};
+use pie_core::quantile::{FullSampleHt, MinHtWeighted};
+use pie_core::weighted::{OrLKnownSeeds, OrUKnownSeeds};
+use pie_core::Estimator;
+use pie_sampling::{ObliviousEntry, ObliviousOutcome, WeightedEntry, WeightedOutcome};
+
+fn oblivious_outcome(r: usize) -> ObliviousOutcome {
+    ObliviousOutcome::new(
+        (0..r)
+            .map(|i| ObliviousEntry {
+                p: 0.4,
+                value: if i % 3 != 0 { Some(1.0 + i as f64) } else { None },
+            })
+            .collect(),
+    )
+}
+
+fn weighted_outcome() -> WeightedOutcome {
+    WeightedOutcome::new(vec![
+        WeightedEntry {
+            tau_star: 4.0,
+            seed: Some(0.2),
+            value: Some(1.0),
+        },
+        WeightedEntry {
+            tau_star: 4.0,
+            seed: Some(0.7),
+            value: None,
+        },
+    ])
+}
+
+fn bench_coefficients(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimator_alg3_coefficients");
+    for r in [4usize, 16, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| MaxLUniform::new(black_box(r), black_box(0.3)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimator_per_outcome");
+    let o2 = oblivious_outcome(2);
+    let o8 = oblivious_outcome(8);
+    let uniform8 = MaxLUniform::new(8, 0.4);
+    let asym = MaxU2Asymmetric::new(0.4, 0.4);
+    let w = weighted_outcome();
+    group.bench_function("max_l_uniform_r8", |b| b.iter(|| uniform8.estimate(black_box(&o8))));
+    group.bench_function("max_u2_asymmetric", |b| b.iter(|| asym.estimate(black_box(&o2))));
+    group.bench_function("full_sample_ht_range", |b| {
+        b.iter(|| FullSampleHt::range().estimate(black_box(&o2)))
+    });
+    group.bench_function("or_l_known_seeds", |b| b.iter(|| OrLKnownSeeds.estimate(black_box(&w))));
+    group.bench_function("or_u_known_seeds", |b| b.iter(|| OrUKnownSeeds.estimate(black_box(&w))));
+    group.bench_function("min_ht_weighted", |b| b.iter(|| MinHtWeighted.estimate(black_box(&w))));
+    group.finish();
+}
+
+fn bench_derivation_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimator_derivation");
+    group.sample_size(20);
+    for r in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("derive_or_l_binary", r), &r, |b, &r| {
+            let model = ObliviousPoissonModel::binary(vec![0.4; r]);
+            let order = dense_first_order(&model.data_vectors());
+            b.iter(|| derive_order_based(&model, boolean_or, black_box(&order), 1e-12))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coefficients, bench_estimates, bench_derivation_engine);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benchmark for the Figure 1 computation (exact variance ratios of
+//! `max^(L)` / `max^(U)` vs `max^(HT)`) and for the per-outcome cost of the
+//! two-instance oblivious `max` estimators.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use pie_bench::fig1;
+use pie_core::oblivious::{MaxHtOblivious, MaxL2, MaxU2};
+use pie_core::Estimator;
+use pie_sampling::{ObliviousEntry, ObliviousOutcome};
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1");
+    group.bench_function("compute_curves_p0.5_21pts", |b| {
+        b.iter(|| fig1::compute(black_box(0.5), black_box(20)))
+    });
+    group.finish();
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let outcome = ObliviousOutcome::new(vec![
+        ObliviousEntry {
+            p: 0.5,
+            value: Some(8.0),
+        },
+        ObliviousEntry {
+            p: 0.5,
+            value: Some(3.0),
+        },
+    ]);
+    let partial = ObliviousOutcome::new(vec![
+        ObliviousEntry {
+            p: 0.5,
+            value: Some(8.0),
+        },
+        ObliviousEntry { p: 0.5, value: None },
+    ]);
+    let l = MaxL2::new(0.5, 0.5);
+    let u = MaxU2::new(0.5, 0.5);
+    let mut group = c.benchmark_group("fig1_estimators");
+    group.bench_function("max_ht_full_outcome", |b| {
+        b.iter(|| MaxHtOblivious.estimate(black_box(&outcome)))
+    });
+    group.bench_function("max_l2_full_outcome", |b| b.iter(|| l.estimate(black_box(&outcome))));
+    group.bench_function("max_l2_partial_outcome", |b| b.iter(|| l.estimate(black_box(&partial))));
+    group.bench_function("max_u2_full_outcome", |b| b.iter(|| u.estimate(black_box(&outcome))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1, bench_estimators);
+criterion_main!(benches);

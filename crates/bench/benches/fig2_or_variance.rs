@@ -1,0 +1,49 @@
+//! Criterion benchmark for the Figure 2 computation (OR estimator variance
+//! curves) and the per-outcome cost of the OR estimators, including the
+//! general-r Algorithm 3 specialization.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pie_bench::fig2;
+use pie_core::oblivious::{OrL2, OrLUniform, OrU2};
+use pie_core::Estimator;
+use pie_sampling::{ObliviousEntry, ObliviousOutcome};
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2");
+    group.bench_function("compute_curves_31pts", |b| {
+        b.iter(|| fig2::compute(black_box(0.01), black_box(0.9), black_box(30)))
+    });
+    group.finish();
+}
+
+fn binary_outcome(r: usize, p: f64) -> ObliviousOutcome {
+    ObliviousOutcome::new(
+        (0..r)
+            .map(|i| ObliviousEntry {
+                p,
+                value: if i % 2 == 0 { Some(1.0) } else { None },
+            })
+            .collect(),
+    )
+}
+
+fn bench_or_estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_or_estimators");
+    let o2 = binary_outcome(2, 0.3);
+    let l2 = OrL2::new(0.3, 0.3);
+    let u2 = OrU2::new(0.3, 0.3);
+    group.bench_function("or_l2", |b| b.iter(|| l2.estimate(black_box(&o2))));
+    group.bench_function("or_u2", |b| b.iter(|| u2.estimate(black_box(&o2))));
+    for r in [4usize, 8, 16] {
+        let est = OrLUniform::new(r, 0.3);
+        let outcome = binary_outcome(r, 0.3);
+        group.bench_with_input(BenchmarkId::new("or_l_uniform", r), &outcome, |b, o| {
+            b.iter(|| est.estimate(black_box(o)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2, bench_or_estimators);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benchmark for the Figure 3 machinery: the per-outcome cost of the
+//! weighted known-seed `max^(L)` and `max^(HT)` estimators and the quadrature
+//! audit behind the Figure 3 table.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use pie_analysis::pps2_expectation;
+use pie_bench::fig3;
+use pie_core::weighted::{MaxHtPps, MaxLPps2};
+use pie_core::Estimator;
+use pie_sampling::{WeightedEntry, WeightedOutcome};
+
+fn outcome(v: [Option<f64>; 2], seeds: [f64; 2]) -> WeightedOutcome {
+    WeightedOutcome::new(
+        (0..2)
+            .map(|i| WeightedEntry {
+                tau_star: 10.0,
+                seed: Some(seeds[i]),
+                value: v[i],
+            })
+            .collect(),
+    )
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let both = outcome([Some(6.0), Some(3.0)], [0.3, 0.2]);
+    let single = outcome([Some(6.0), None], [0.3, 0.4]);
+    let mut group = c.benchmark_group("fig3_estimators");
+    group.bench_function("max_l_pps2_both_sampled", |b| {
+        b.iter(|| MaxLPps2.estimate(black_box(&both)))
+    });
+    group.bench_function("max_l_pps2_single_sampled", |b| {
+        b.iter(|| MaxLPps2.estimate(black_box(&single)))
+    });
+    group.bench_function("max_ht_pps_both_sampled", |b| {
+        b.iter(|| MaxHtPps.estimate(black_box(&both)))
+    });
+    group.finish();
+}
+
+fn bench_audit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_audit");
+    group.sample_size(10);
+    group.bench_function("quadrature_expectation_one_vector", |b| {
+        b.iter(|| pps2_expectation(&MaxLPps2, black_box([6.0, 3.0]), black_box([10.0, 10.0])))
+    });
+    group.bench_function("audit_table_4_rows", |b| {
+        b.iter(|| fig3::audit_table([10.0, 10.0], &[[1.0, 0.5], [3.0, 1.0], [5.0, 5.0], [8.0, 2.0]]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators, bench_audit);
+criterion_main!(benches);

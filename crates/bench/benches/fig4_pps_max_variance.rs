@@ -1,0 +1,26 @@
+//! Criterion benchmark for the Figure 4 computation: quadrature variance
+//! curves of the weighted known-seed `max` estimators.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use pie_analysis::pps2_variance;
+use pie_bench::fig4;
+use pie_core::weighted::{MaxHtPps, MaxLPps2};
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("variance_point_l", |b| {
+        b.iter(|| pps2_variance(&MaxLPps2, black_box([0.5, 0.25]), black_box([1.0, 1.0])))
+    });
+    group.bench_function("variance_point_ht", |b| {
+        b.iter(|| pps2_variance(&MaxHtPps, black_box([0.5, 0.25]), black_box([1.0, 1.0])))
+    });
+    group.bench_function("normalized_variance_curves_rho0.5_9pts", |b| {
+        b.iter(|| fig4::normalized_variance_curves(black_box(0.5), black_box(8)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

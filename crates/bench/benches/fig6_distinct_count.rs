@@ -1,0 +1,38 @@
+//! Criterion benchmark for the Figure 6 computation (required-sample-size
+//! curves) and the distinct-count estimators themselves on sampled set pairs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use pie_bench::fig6;
+use pie_core::aggregate::{distinct_count_ht, distinct_count_l};
+use pie_datagen::{generate_set_pair, SetPairConfig};
+use pie_sampling::{sample_all_pps, SeedAssignment};
+
+fn bench_fig6_curves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    let grid = fig6::default_n_grid();
+    group.bench_function("sample_size_curves_cv0.1", |b| {
+        b.iter(|| fig6::sample_size_curves(black_box(0.1), black_box(&grid)))
+    });
+    group.bench_function("ratio_curves_cv0.02", |b| {
+        b.iter(|| fig6::ratio_curves(black_box(0.02), black_box(&grid)))
+    });
+    group.finish();
+}
+
+fn bench_distinct_estimators(c: &mut Criterion) {
+    let data = generate_set_pair(&SetPairConfig::new(50_000, 0.5));
+    let seeds = SeedAssignment::independent_known(1);
+    let samples = sample_all_pps(data.instances(), 1.0 / 0.05, &seeds);
+    let mut group = c.benchmark_group("fig6_estimators");
+    group.bench_function("distinct_count_ht_50k_keys_p0.05", |b| {
+        b.iter(|| distinct_count_ht(black_box(&samples[0]), black_box(&samples[1]), &seeds, |_| true))
+    });
+    group.bench_function("distinct_count_l_50k_keys_p0.05", |b| {
+        b.iter(|| distinct_count_l(black_box(&samples[0]), black_box(&samples[1]), &seeds, |_| true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6_curves, bench_distinct_estimators);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benchmark for the Figure 7 pipeline: summarizing the synthetic
+//! two-hour traffic with PPS samples and estimating the max-dominance norm
+//! with the HT and L per-key estimators.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use pie_core::aggregate::{max_dominance_ht, max_dominance_l};
+use pie_datagen::{generate_two_hours, TrafficConfig};
+use pie_sampling::{sample_all_pps, SeedAssignment};
+
+fn bench_fig7(c: &mut Criterion) {
+    let data = generate_two_hours(&TrafficConfig::small(1));
+    let seeds = SeedAssignment::independent_known(1);
+    let samples = sample_all_pps(data.instances(), 150.0, &seeds);
+
+    let mut group = c.benchmark_group("fig7");
+    group.bench_function("sample_two_instances_2k_keys", |b| {
+        b.iter(|| sample_all_pps(black_box(data.instances()), black_box(150.0), &seeds))
+    });
+    group.bench_function("max_dominance_ht_aggregate", |b| {
+        b.iter(|| max_dominance_ht(black_box(&samples), &seeds, |_| true))
+    });
+    group.bench_function("max_dominance_l_aggregate", |b| {
+        b.iter(|| max_dominance_l(black_box(&samples), &seeds, |_| true))
+    });
+    group.bench_function("generate_two_hours_2k_keys", |b| {
+        b.iter(|| generate_two_hours(black_box(&TrafficConfig::small(7))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

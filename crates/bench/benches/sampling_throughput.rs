@@ -1,0 +1,61 @@
+//! Criterion benchmarks for the sampling substrate: hashing, Poisson PPS,
+//! bottom-k (priority), and VarOpt summarization throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pie_sampling::{
+    BottomKSampler, Hasher64, Instance, ObliviousPoissonSampler, PpsPoissonSampler, PpsRanks,
+    SeedAssignment, VarOptSampler,
+};
+
+fn instance_of(n: u64) -> Instance {
+    Instance::from_pairs((0..n).map(|k| (k, 1.0 + (k % 97) as f64)))
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let h = Hasher64::new(42);
+    let mut group = c.benchmark_group("sampling_hash");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("unit_pair", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            h.unit_pair(black_box(k), 1)
+        })
+    });
+    group.finish();
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling_samplers");
+    for &n in &[10_000u64, 100_000] {
+        let inst = instance_of(n);
+        let universe = inst.sorted_keys();
+        let seeds = SeedAssignment::independent_known(7);
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("pps_poisson", n), &inst, |b, inst| {
+            let sampler = PpsPoissonSampler::new(1000.0);
+            b.iter(|| sampler.sample(black_box(inst), &seeds, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("oblivious_poisson", n), &inst, |b, inst| {
+            let sampler = ObliviousPoissonSampler::new(0.05);
+            b.iter(|| sampler.sample(black_box(inst), &universe, &seeds, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("bottom_k_priority_k1000", n), &inst, |b, inst| {
+            let sampler = BottomKSampler::new(PpsRanks, 1000);
+            b.iter(|| sampler.sample(black_box(inst), &seeds, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("varopt_k1000", n), &inst, |b, inst| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(3);
+                VarOptSampler::sample(1000, black_box(inst), &mut rng, 0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashing, bench_samplers);
+criterion_main!(benches);

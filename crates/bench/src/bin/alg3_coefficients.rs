@@ -1,0 +1,34 @@
+//! Prints the Algorithm 3 / Theorem 4.2 coefficients of the uniform-probability
+//! `max^(L)` estimator: the prefix sums `A_h` and the coefficients `α_i`
+//! applied to the sorted determining vector, for a sweep of `r` and `p`.
+//!
+//! The `r = 2` and `r = 3` columns can be checked against the closed forms
+//! printed in Section 4.1 (Equation (22) and the following display).
+//!
+//! ```text
+//! cargo run -p pie-bench --release --bin alg3_coefficients
+//! ```
+
+use pie_analysis::Table;
+use pie_core::oblivious::MaxLUniform;
+
+fn main() {
+    for r in [2usize, 3, 4, 6, 8] {
+        let mut table = Table::new(
+            format!("Algorithm 3 coefficients, r = {r}"),
+            &["p", "A_1", "A_r", "alpha_1", "alpha_2", "alpha_r"],
+        );
+        for &p in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+            let est = MaxLUniform::new(r, p);
+            let a = est.prefix_sums_slice();
+            let alpha = est.coefficients();
+            table.push_values(
+                &[p, a[0], a[r - 1], alpha[0], alpha[1], alpha[r - 1]],
+                5,
+            );
+        }
+        println!("{}", table.render());
+    }
+    println!("# checks: alpha_1 > 0, alpha_i < 0 for i > 1, alpha_1 <= 1/p^r (Lemma 4.2);");
+    println!("# for r = 2: alpha = (1/(p^2(2-p)), -(1-p)/(p^2(2-p)))  (Equation (22)).");
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 1: variance ratios of `max^(L)` and `max^(U)` against
+//! `max^(HT)` for weight-oblivious Poisson sampling with `p₁ = p₂ = 1/2`.
+//!
+//! ```text
+//! cargo run -p pie-bench --release --bin fig1_max_oblivious
+//! ```
+
+use pie_bench::fig1;
+
+fn main() {
+    let p = 0.5;
+    println!("Figure 1: estimators for max(v1,v2) over Poisson samples (weight-oblivious), p1 = p2 = {p}\n");
+    for series in fig1::compute(p, 20) {
+        println!("{}", series.render());
+    }
+    println!("# paper reference points (from the closed forms in the Figure 1 box):");
+    println!("#   min/max = 0 : var[L]/var[HT] = 11/27 ≈ 0.407");
+    println!("#   min/max = 1 : var[L]/var[HT] = 1/9   ≈ 0.111");
+    println!("#   var[U]/var[HT] = 1/3 at both extremes (the paper's printed 3/4·max² term");
+    println!("#   would give 1/4; the estimator printed in the same figure yields max², see EXPERIMENTS.md)");
+}

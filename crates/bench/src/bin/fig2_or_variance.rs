@@ -1,0 +1,17 @@
+//! Regenerates Figure 2: variance of `OR^(HT)`, `OR^(L)` and `OR^(U)` on the
+//! vectors (1,1) and (1,0) as a function of `p = p₁ = p₂`.
+//!
+//! ```text
+//! cargo run -p pie-bench --release --bin fig2_or_variance
+//! ```
+
+use pie_bench::fig2;
+
+fn main() {
+    println!("Figure 2: variance of OR estimators vs p (log-spaced), data (1,1) and (1,0)\n");
+    for series in fig2::compute(0.01, 0.9, 30) {
+        println!("{}", series.render());
+    }
+    println!("# asymptotics as p -> 0 (Section 4.3):");
+    println!("#   var[HT] ~ 1/p^2 ;  var[L],var[U] ~ 1/(4p^2) on (1,0) ;  ~ 1/(2p) on (1,1)");
+}

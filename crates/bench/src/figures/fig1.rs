@@ -1,0 +1,56 @@
+//! Figure 1: variance ratios of `max^(L)` and `max^(U)` against `max^(HT)`
+//! over weight-oblivious Poisson samples with `p₁ = p₂ = 1/2`, as a function
+//! of `min(v)/max(v)`.
+
+use pie_analysis::Series;
+use pie_core::oblivious::{MaxHtOblivious, MaxL2, MaxU2};
+use pie_core::variance::exact_oblivious_variance;
+
+/// The curves of Figure 1 for sampling probability `p` (the paper uses 1/2):
+/// `VAR[max^(L)]/VAR[max^(HT)]` and `VAR[max^(U)]/VAR[max^(HT)]` as functions
+/// of `min/max ∈ [0, 1]`, computed by exact enumeration.
+#[must_use]
+pub fn compute(p: f64, points: usize) -> Vec<Series> {
+    let mut l_series = Series::new("var[L]/var[HT]");
+    let mut u_series = Series::new("var[U]/var[HT]");
+    let l = MaxL2::new(p, p);
+    let u = MaxU2::new(p, p);
+    for i in 0..=points {
+        let ratio = i as f64 / points as f64;
+        let v = [1.0, ratio];
+        let probs = [p, p];
+        let var_ht = exact_oblivious_variance(&MaxHtOblivious, &v, &probs);
+        let var_l = exact_oblivious_variance(&l, &v, &probs);
+        let var_u = exact_oblivious_variance(&u, &v, &probs);
+        l_series.push(ratio, var_l / var_ht);
+        u_series.push(ratio, var_u / var_ht);
+    }
+    vec![l_series, u_series]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_match_closed_forms() {
+        let series = compute(0.5, 10);
+        let l = &series[0];
+        let u = &series[1];
+        // min/max = 0: L ratio = (11/9)/3, U ratio = 1/3.
+        assert!((l.points[0].1 - 11.0 / 27.0).abs() < 1e-9);
+        assert!((u.points[0].1 - 1.0 / 3.0).abs() < 1e-9);
+        // min/max = 1: L ratio = (1/3)/3 = 1/9, U ratio = 1/3.
+        assert!((l.points.last().unwrap().1 - 1.0 / 9.0).abs() < 1e-9);
+        assert!((u.points.last().unwrap().1 - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratios_stay_below_one() {
+        for s in compute(0.3, 20) {
+            for &(_, y) in &s.points {
+                assert!(y <= 1.0 + 1e-9, "ratio {y} exceeds 1");
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Figure 2: variance of `OR^(HT)`, `OR^(L)` and `OR^(U)` on the data vectors
+//! `(1,1)` and `(1,0)` as a function of the sampling probability
+//! `p = p₁ = p₂`.
+
+use pie_analysis::Series;
+use pie_core::variance::{
+    or_ht_variance, or_l_variance_change, or_l_variance_equal, or_u_variance_change,
+    or_u_variance_equal,
+};
+
+/// The five curves of Figure 2 over a logarithmic sweep of `p` in
+/// `[p_min, p_max]`.
+#[must_use]
+pub fn compute(p_min: f64, p_max: f64, points: usize) -> Vec<Series> {
+    assert!(p_min > 0.0 && p_max <= 1.0 && p_min < p_max);
+    let mut curves = vec![
+        Series::new("HT on (1,0), (1,1)"),
+        Series::new("L on (1,1)"),
+        Series::new("L on (1,0)"),
+        Series::new("U on (1,1)"),
+        Series::new("U on (1,0)"),
+    ];
+    let log_min = p_min.ln();
+    let log_max = p_max.ln();
+    for i in 0..=points {
+        let p = (log_min + (log_max - log_min) * i as f64 / points as f64).exp();
+        curves[0].push(p, or_ht_variance(&[p, p]));
+        curves[1].push(p, or_l_variance_equal(p, p));
+        curves[2].push(p, or_l_variance_change(p, p));
+        curves[3].push(p, or_u_variance_equal(p, p));
+        curves[4].push(p, or_u_variance_change(p, p));
+    }
+    curves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_have_the_expected_ordering() {
+        let curves = compute(0.05, 0.9, 40);
+        for i in 0..curves[0].points.len() {
+            let ht = curves[0].points[i].1;
+            let l11 = curves[1].points[i].1;
+            let l10 = curves[2].points[i].1;
+            let u11 = curves[3].points[i].1;
+            let u10 = curves[4].points[i].1;
+            assert!(l11 <= ht + 1e-12);
+            assert!(l10 <= ht + 1e-12);
+            assert!(u11 <= ht + 1e-12);
+            assert!(u10 <= ht + 1e-12);
+            // L is best on (1,1); U is best on (1,0).
+            assert!(l11 <= u11 + 1e-12);
+            assert!(u10 <= l10 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn small_p_asymptotics() {
+        let curves = compute(0.001, 0.002, 1);
+        let p: f64 = curves[0].points[0].0;
+        assert!((curves[0].points[0].1 * p * p - 1.0).abs() < 0.01);
+        assert!((curves[1].points[0].1 * 2.0 * p - 1.0).abs() < 0.01);
+        assert!((curves[2].points[0].1 * 4.0 * p * p - 1.0).abs() < 0.02);
+    }
+}

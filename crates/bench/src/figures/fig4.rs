@@ -1,0 +1,88 @@
+//! Figure 4: normalized variance of `max^(HT)` and `max^(L)` over two
+//! independent PPS samples with known seeds and equal thresholds
+//! `τ*₁ = τ*₂ = τ*`, plus their ratio, as functions of `min(v)/max(v)`
+//! for several values of `ρ = max(v)/τ*`.
+
+use pie_analysis::{pps2_variance, Series};
+use pie_core::weighted::{MaxHtPps, MaxLPps2};
+
+/// Panels (A)/(B): `VAR/τ*²` of both estimators as a function of `min/max`
+/// for a single `ρ`.
+#[must_use]
+pub fn normalized_variance_curves(rho: f64, points: usize) -> Vec<Series> {
+    let tau = 1.0f64;
+    let v1 = rho * tau;
+    let mut ht = Series::new(format!("var[HT]/(tau*)^2, max/tau* = {rho}"));
+    let mut l = Series::new(format!("var[L]/(tau*)^2,  max/tau* = {rho}"));
+    for i in 0..=points {
+        let frac = i as f64 / points as f64;
+        let v = [v1, frac * v1];
+        ht.push(frac, pps2_variance(&MaxHtPps, v, [tau, tau]) / (tau * tau));
+        l.push(frac, pps2_variance(&MaxLPps2, v, [tau, tau]) / (tau * tau));
+    }
+    vec![ht, l]
+}
+
+/// Panel (C): the ratio `VAR[HT]/VAR[L]` as a function of `min/max` for each
+/// requested `ρ`.
+#[must_use]
+pub fn ratio_curves(rhos: &[f64], points: usize) -> Vec<Series> {
+    let tau = 1.0f64;
+    rhos.iter()
+        .map(|&rho| {
+            let v1 = rho * tau;
+            let mut series = Series::new(format!("max/tau* = {rho}"));
+            for i in 0..=points {
+                let frac = i as f64 / points as f64;
+                let v = [v1, frac * v1];
+                let var_ht = pps2_variance(&MaxHtPps, v, [tau, tau]);
+                let var_l = pps2_variance(&MaxLPps2, v, [tau, tau]);
+                let ratio = if var_l > 0.0 { var_ht / var_l } else { f64::NAN };
+                series.push(frac, ratio);
+            }
+            series
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pie_core::variance::max_ht_pps_normalized_variance;
+
+    #[test]
+    fn ht_curve_is_flat_and_matches_closed_form() {
+        let curves = normalized_variance_curves(0.5, 8);
+        let expected = max_ht_pps_normalized_variance(0.5);
+        for &(_, y) in &curves[0].points {
+            assert!((y - expected).abs() < 1e-2, "HT normalized variance {y} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn l_dominates_ht_and_gains_grow_with_similarity() {
+        let curves = normalized_variance_curves(0.5, 8);
+        let (ht, l) = (&curves[0], &curves[1]);
+        for i in 0..ht.points.len() {
+            assert!(l.points[i].1 <= ht.points[i].1 + 1e-6);
+        }
+        // The L variance decreases as min/max grows (entries more similar).
+        assert!(l.points.last().unwrap().1 < l.points[0].1);
+    }
+
+    #[test]
+    fn ratio_curves_increase_with_similarity_and_with_smaller_rho_at_high_similarity() {
+        let curves = ratio_curves(&[0.5, 0.1], 8);
+        for series in &curves {
+            let first = series.points[0].1;
+            let last = series.points.last().unwrap().1;
+            assert!(last > first, "ratio should grow with min/max similarity");
+            assert!(first >= 1.0 - 1e-6, "L never loses to HT for equal thresholds");
+        }
+        // At min/max = 1 the ratio is roughly 2/ρ(2−ρ)·(1−ρ²)/(1−ρ) …; what
+        // matters for the figure's shape is that smaller ρ gives a larger
+        // ratio at the similar-entries end.
+        let at_one = |s: &Series| s.points.last().unwrap().1;
+        assert!(at_one(&curves[1]) > at_one(&curves[0]));
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 6: the per-instance sample size needed to estimate a distinct count
+//! with a target coefficient of variation, for the HT and L estimators, as a
+//! function of the set size `n` and the Jaccard coefficient `J`.
+
+use pie_analysis::Series;
+use pie_core::aggregate::{required_sample_size_ht, required_sample_size_l};
+
+/// The Jaccard coefficients plotted in the paper's Figure 6.
+pub const JACCARDS: [f64; 4] = [0.0, 0.5, 0.9, 1.0];
+
+/// Top panels: required sample size `s` versus `n` (log–log), one curve per
+/// estimator × Jaccard value, for a fixed target `cv`.
+#[must_use]
+pub fn sample_size_curves(cv: f64, n_values: &[f64]) -> Vec<Series> {
+    let mut curves = Vec::new();
+    for &j in &JACCARDS {
+        let mut ht = Series::new(format!("HT J={j}"));
+        let mut l = Series::new(format!("L J={j}"));
+        for &n in n_values {
+            ht.push(n, required_sample_size_ht(n, j, cv));
+            l.push(n, required_sample_size_l(n, j, cv));
+        }
+        curves.push(ht);
+        curves.push(l);
+    }
+    curves
+}
+
+/// Bottom panels: the ratio `s(L)/s(HT)` versus `n`, one curve per Jaccard
+/// value.
+#[must_use]
+pub fn ratio_curves(cv: f64, n_values: &[f64]) -> Vec<Series> {
+    JACCARDS
+        .iter()
+        .map(|&j| {
+            let mut series = Series::new(format!("L/HT J={j}"));
+            for &n in n_values {
+                let ht = required_sample_size_ht(n, j, cv);
+                let l = required_sample_size_l(n, j, cv);
+                series.push(n, if ht > 0.0 { l / ht } else { f64::NAN });
+            }
+            series
+        })
+        .collect()
+}
+
+/// The logarithmic grid of set sizes used by the paper (10² to 10¹⁰).
+#[must_use]
+pub fn default_n_grid() -> Vec<f64> {
+    (2..=10).map(|e| 10f64.powi(e)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l_needs_at_most_half_the_samples_for_disjoint_sets() {
+        let ratios = ratio_curves(0.1, &default_n_grid());
+        let disjoint = &ratios[0]; // J = 0
+        for &(n, ratio) in &disjoint.points {
+            if n >= 1e4 {
+                assert!((ratio - 0.5).abs() < 0.05, "J=0, n={n}: ratio {ratio}");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_sets_need_vanishing_sample_fraction() {
+        let ratios = ratio_curves(0.1, &default_n_grid());
+        let identical = ratios.last().unwrap(); // J = 1
+        let large_n_ratio = identical.points.last().unwrap().1;
+        assert!(large_n_ratio < 0.01, "J=1 ratio at n=1e10: {large_n_ratio}");
+    }
+
+    #[test]
+    fn sample_sizes_grow_with_n_and_shrink_with_cv() {
+        let curves_loose = sample_size_curves(0.1, &default_n_grid());
+        let curves_tight = sample_size_curves(0.02, &default_n_grid());
+        for (loose, tight) in curves_loose.iter().zip(&curves_tight) {
+            for (a, b) in loose.points.iter().zip(&tight.points) {
+                assert!(b.1 >= a.1, "tighter cv must not need fewer samples");
+            }
+            for w in loose.points.windows(2) {
+                assert!(w[1].1 >= w[0].1 * 0.999, "sample size should not shrink with n");
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Figure 7: normalized variance of the max-dominance estimate
+//! `Σ_h max(v₁(h), v₂(h))` over two independently PPS-sampled traffic
+//! instances with known seeds, as a function of the fraction of keys sampled,
+//! comparing the HT and L per-key estimators.
+//!
+//! The paper runs this on two consecutive hours of proprietary gateway
+//! traffic; this harness uses the calibrated synthetic generator
+//! (`pie_datagen::traffic`) — see DESIGN.md for the substitution rationale.
+//!
+//! As in the paper, the plotted quantity is the *exact* normalized variance
+//! `Σ_h VAR[max̂(h)] / (Σ_h max(v(h)))²`: per-key estimates are independent, so
+//! the aggregate variance is the sum of per-key variances.  The HT per-key
+//! variance has a closed form; the L per-key variance is computed by
+//! quadrature.
+
+use pie_analysis::{exact::pps2_mean_variance, Series, Table};
+use pie_core::aggregate::true_max_dominance;
+use pie_core::weighted::MaxLPps2;
+use pie_datagen::{generate_two_hours, Dataset, TrafficConfig};
+
+/// Quadrature resolution used per key (coarser than the default because tens
+/// of thousands of keys are evaluated per point).
+const PER_KEY_PANELS: usize = 192;
+
+/// One sampled point of the figure.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Point {
+    /// Fraction of keys sampled per instance (the x-axis, in percent in the paper).
+    pub sampled_fraction: f64,
+    /// Normalized variance of the HT estimate, `Σ VAR / (Σ max)²`.
+    pub ht_normalized_variance: f64,
+    /// Normalized variance of the L estimate.
+    pub l_normalized_variance: f64,
+}
+
+impl Fig7Point {
+    /// The ratio `VAR[HT]/VAR[L]` at this sampling fraction.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.ht_normalized_variance / self.l_normalized_variance
+    }
+}
+
+/// Chooses the PPS threshold that samples roughly `fraction` of an instance's
+/// keys: per-key inclusion probability `min(1, v/τ*)`, solved so that the
+/// expected sample size is `fraction · #keys`.
+#[must_use]
+pub fn tau_star_for_fraction(dataset: &Dataset, fraction: f64) -> f64 {
+    let inst = &dataset.instances()[0];
+    let target = fraction * inst.len() as f64;
+    pie_sampling::PpsPoissonSampler::with_expected_size(inst, target)
+        .map_or(f64::MIN_POSITIVE, |s| s.tau_star())
+}
+
+/// The exact per-key variance of the PPS `max^(HT)` estimator with equal
+/// thresholds is `max(v)²·(1/p* − 1)` where `p* = ∏ min(1, max(v)/τ*)`.
+fn ht_key_variance(v: [f64; 2], tau_star: f64) -> f64 {
+    let mx = v[0].max(v[1]);
+    if mx <= 0.0 {
+        return 0.0;
+    }
+    let p_star: f64 = (0..2).map(|_| (mx / tau_star).min(1.0)).product();
+    mx * mx * (1.0 / p_star - 1.0)
+}
+
+/// Computes the figure for the given traffic configuration and sampling
+/// fractions, by exact per-key variance summation.
+#[must_use]
+pub fn compute(config: &TrafficConfig, fractions: &[f64]) -> Vec<Fig7Point> {
+    let dataset = generate_two_hours(config);
+    compute_on(&dataset, fractions)
+}
+
+/// Computes the figure on an explicit two-instance dataset.
+///
+/// # Panics
+/// Panics if the dataset does not have exactly two instances.
+#[must_use]
+pub fn compute_on(dataset: &Dataset, fractions: &[f64]) -> Vec<Fig7Point> {
+    assert_eq!(dataset.num_instances(), 2, "Figure 7 uses two instances");
+    let truth = true_max_dominance(dataset.instances(), |_| true);
+    let keys = dataset.keys();
+    fractions
+        .iter()
+        .map(|&fraction| {
+            let tau_star = tau_star_for_fraction(dataset, fraction);
+            let mut var_ht = 0.0;
+            let mut var_l = 0.0;
+            for &key in &keys {
+                let vec = dataset.value_vector(key);
+                let v = [vec[0], vec[1]];
+                if v[0].max(v[1]) <= 0.0 {
+                    continue;
+                }
+                var_ht += ht_key_variance(v, tau_star);
+                let (_, var) =
+                    pps2_mean_variance(&MaxLPps2, v, [tau_star, tau_star], PER_KEY_PANELS);
+                var_l += var;
+            }
+            Fig7Point {
+                sampled_fraction: fraction,
+                ht_normalized_variance: var_ht / (truth * truth),
+                l_normalized_variance: var_l / (truth * truth),
+            }
+        })
+        .collect()
+}
+
+/// Renders the points as the two series of the paper's figure.
+#[must_use]
+pub fn to_series(points: &[Fig7Point]) -> Vec<Series> {
+    let mut ht = Series::new("HT");
+    let mut l = Series::new("L");
+    for p in points {
+        ht.push(p.sampled_fraction * 100.0, p.ht_normalized_variance);
+        l.push(p.sampled_fraction * 100.0, p.l_normalized_variance);
+    }
+    vec![ht, l]
+}
+
+/// Renders the points as a table with the variance ratio column.
+#[must_use]
+pub fn to_table(points: &[Fig7Point]) -> Table {
+    let mut table = Table::new(
+        "Figure 7: max dominance over two traffic instances",
+        &["% sampled", "var[HT]/mu^2", "var[L]/mu^2", "var[HT]/var[L]"],
+    );
+    for p in points {
+        table.push_values(
+            &[
+                p.sampled_fraction * 100.0,
+                p.ht_normalized_variance,
+                p.l_normalized_variance,
+                p.ratio(),
+            ],
+            4,
+        );
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l_beats_ht_at_every_sampling_fraction() {
+        let points = compute(&TrafficConfig::small(3), &[0.02, 0.1]);
+        for p in &points {
+            assert!(
+                p.l_normalized_variance < p.ht_normalized_variance,
+                "L should beat HT at fraction {}",
+                p.sampled_fraction
+            );
+            assert!(
+                p.ratio() > 1.8 && p.ratio() < 5.0,
+                "ratio {} should be in the rough range the paper reports",
+                p.ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn variance_decreases_with_more_sampling() {
+        let points = compute(&TrafficConfig::small(5), &[0.02, 0.2]);
+        assert!(points[1].ht_normalized_variance < points[0].ht_normalized_variance);
+        assert!(points[1].l_normalized_variance < points[0].l_normalized_variance);
+    }
+
+    #[test]
+    fn tau_star_hits_the_requested_fraction() {
+        let dataset = generate_two_hours(&TrafficConfig::small(7));
+        let tau = tau_star_for_fraction(&dataset, 0.1);
+        let inst = &dataset.instances()[0];
+        let expected: f64 = inst.iter().map(|(_, v)| (v / tau).min(1.0)).sum();
+        assert!((expected - 0.1 * inst.len() as f64).abs() / (0.1 * inst.len() as f64) < 0.02);
+    }
+
+    #[test]
+    fn ht_key_variance_closed_form() {
+        // max = 4, tau* = 10 -> p* = 0.16, var = 16·(1/0.16 − 1) = 84.
+        assert!((ht_key_variance([4.0, 2.0], 10.0) - 84.0).abs() < 1e-9);
+        assert_eq!(ht_key_variance([0.0, 0.0], 10.0), 0.0);
+        // Values above tau* are deterministic.
+        assert_eq!(ht_key_variance([20.0, 3.0], 10.0), 0.0);
+    }
+}

@@ -1,0 +1,9 @@
+//! One module per figure/table of the paper's evaluation, each exposing the
+//! computation behind the corresponding harness binary and Criterion bench.
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7;

@@ -1,0 +1,19 @@
+//! Sum aggregates over selected keys (Sections 7 and 8).
+//!
+//! Multi-instance queries such as distinct counts, dominance norms and
+//! distance measures are sums of per-key primitives over a selected key set.
+//! They are estimated by summing the per-key estimators of Sections 4 and 5
+//! over the keys present in at least one sample; unbiasedness is preserved by
+//! linearity and the relative error shrinks with the aggregate size.
+
+pub mod distinct;
+pub mod dominance;
+
+pub use distinct::{
+    classify_key, distinct_count_ht, distinct_count_l, distinct_ht_variance, distinct_l_variance,
+    required_sample_size_ht, required_sample_size_l, ClassCounts, KeyClass,
+};
+pub use dominance::{
+    l1_distance_estimate, max_dominance_ht, max_dominance_l, min_dominance_ht, sum_aggregate,
+    true_l1_distance, true_max_dominance, true_min_dominance,
+};

@@ -1,0 +1,677 @@
+//! The order-based estimator derivation engine (Section 3, Algorithm 1).
+//!
+//! The paper's methodology derives an estimator from three ingredients: the
+//! sampling scheme, the estimated function, and an order `≺` over data
+//! vectors.  Processing data vectors in `≺`-order, each vector's
+//! still-unassigned consistent outcomes receive the single value that makes
+//! the estimator unbiased for that vector, conditioned on everything assigned
+//! so far (Equation (6)).  The result — when it exists — is unbiased and
+//! Pareto optimal.
+//!
+//! This module implements the derivation *exactly*, for **finite** models:
+//! finitely many data vectors and a finite sample space.  That covers the
+//! regimes the paper itself reasons about discretely (binary domains for OR,
+//! XOR and the negative results; small discrete value domains for sanity
+//! checks of the closed-form `max` estimators) and serves three purposes:
+//!
+//! 1. independent validation of the closed-form estimators (`max^(L)`,
+//!    `OR^(L)`, the known-seed reductions);
+//! 2. constructive evidence for the impossibility results of Section 6
+//!    (the engine either fails or is forced into negative estimates);
+//! 3. a tool for deriving estimators for *new* functions over small domains.
+
+use std::collections::HashMap;
+
+/// The observable outcome of one sample point applied to one data vector,
+/// encoded as one code per entry.  Two `(σ, v)` pairs that an estimator cannot
+/// distinguish must map to the same key.
+pub type OutcomeKey = Vec<u32>;
+
+/// A finite sampling model: a finite data domain, a finite sample space, and
+/// the outcome each sample point produces on each data vector.
+pub trait FiniteModel {
+    /// All data vectors of the domain `V`.
+    fn data_vectors(&self) -> Vec<Vec<f64>>;
+
+    /// The probabilities of the sample points (must sum to 1).
+    fn sample_probabilities(&self) -> Vec<f64>;
+
+    /// The outcome produced by sample point `point` on data vector `v`.
+    fn outcome_key(&self, point: usize, v: &[f64]) -> OutcomeKey;
+}
+
+/// Weight-oblivious Poisson sampling over an explicit finite value domain per
+/// entry (Section 4 in a discrete setting).
+///
+/// Sample points are the `2^r` subsets of sampled entries; the outcome reveals
+/// the exact value of each sampled entry and nothing else.
+#[derive(Debug, Clone)]
+pub struct ObliviousPoissonModel {
+    probs: Vec<f64>,
+    domains: Vec<Vec<f64>>,
+}
+
+impl ObliviousPoissonModel {
+    /// Creates the model with per-entry inclusion probabilities and per-entry
+    /// finite value domains.
+    ///
+    /// # Panics
+    /// Panics if lengths mismatch, probabilities are outside `(0,1]`, or any
+    /// domain is empty.
+    #[must_use]
+    pub fn new(probs: Vec<f64>, domains: Vec<Vec<f64>>) -> Self {
+        assert_eq!(probs.len(), domains.len(), "probs and domains must align");
+        assert!(!probs.is_empty(), "need at least one entry");
+        for &p in &probs {
+            assert!(p > 0.0 && p <= 1.0, "probabilities must be in (0,1], got {p}");
+        }
+        for d in &domains {
+            assert!(!d.is_empty(), "every entry needs a nonempty domain");
+        }
+        Self { probs, domains }
+    }
+
+    /// A binary-domain model (`{0,1}` per entry).
+    #[must_use]
+    pub fn binary(probs: Vec<f64>) -> Self {
+        let r = probs.len();
+        Self::new(probs, vec![vec![0.0, 1.0]; r])
+    }
+
+    fn value_code(&self, entry: usize, value: f64) -> u32 {
+        let idx = self.domains[entry]
+            .iter()
+            .position(|&x| x == value)
+            .expect("value not in the declared domain");
+        // 0 is reserved for "not sampled".
+        (idx + 1) as u32
+    }
+
+    fn r(&self) -> usize {
+        self.probs.len()
+    }
+}
+
+impl FiniteModel for ObliviousPoissonModel {
+    fn data_vectors(&self) -> Vec<Vec<f64>> {
+        cartesian_product(&self.domains)
+    }
+
+    fn sample_probabilities(&self) -> Vec<f64> {
+        subset_probabilities(&self.probs)
+    }
+
+    fn outcome_key(&self, point: usize, v: &[f64]) -> OutcomeKey {
+        (0..self.r())
+            .map(|i| {
+                if point & (1 << i) != 0 {
+                    self.value_code(i, v[i])
+                } else {
+                    0
+                }
+            })
+            .collect()
+    }
+}
+
+/// Weighted (PPS) sampling over the binary domain with **known** seeds
+/// (Section 5.1 in a discrete setting).
+///
+/// Entry `i` with value 1 is sampled with probability `p_i`; value 0 is never
+/// sampled, but when the seed is "low" (`u_i ≤ p_i`) the estimator learns the
+/// value is 0.  Sample points are the `2^r` low/high seed patterns.
+#[derive(Debug, Clone)]
+pub struct WeightedKnownSeedsBinaryModel {
+    probs: Vec<f64>,
+}
+
+impl WeightedKnownSeedsBinaryModel {
+    /// Creates the model with per-entry sampling probabilities for value 1.
+    #[must_use]
+    pub fn new(probs: Vec<f64>) -> Self {
+        for &p in &probs {
+            assert!(p > 0.0 && p <= 1.0, "probabilities must be in (0,1], got {p}");
+        }
+        Self { probs }
+    }
+}
+
+impl FiniteModel for WeightedKnownSeedsBinaryModel {
+    fn data_vectors(&self) -> Vec<Vec<f64>> {
+        cartesian_product(&vec![vec![0.0, 1.0]; self.probs.len()])
+    }
+
+    fn sample_probabilities(&self) -> Vec<f64> {
+        subset_probabilities(&self.probs)
+    }
+
+    fn outcome_key(&self, point: usize, v: &[f64]) -> OutcomeKey {
+        (0..self.probs.len())
+            .map(|i| {
+                let low_seed = point & (1 << i) != 0;
+                if low_seed {
+                    if v[i] > 0.0 {
+                        2 // sampled, value 1
+                    } else {
+                        1 // not sampled, but known to be 0
+                    }
+                } else {
+                    0 // no information
+                }
+            })
+            .collect()
+    }
+}
+
+/// Weighted (PPS) sampling over the binary domain with **unknown** seeds
+/// (Section 6): the outcome reveals only which entries were sampled.
+#[derive(Debug, Clone)]
+pub struct WeightedUnknownSeedsBinaryModel {
+    probs: Vec<f64>,
+}
+
+impl WeightedUnknownSeedsBinaryModel {
+    /// Creates the model with per-entry sampling probabilities for value 1.
+    #[must_use]
+    pub fn new(probs: Vec<f64>) -> Self {
+        for &p in &probs {
+            assert!(p > 0.0 && p <= 1.0, "probabilities must be in (0,1], got {p}");
+        }
+        Self { probs }
+    }
+}
+
+impl FiniteModel for WeightedUnknownSeedsBinaryModel {
+    fn data_vectors(&self) -> Vec<Vec<f64>> {
+        cartesian_product(&vec![vec![0.0, 1.0]; self.probs.len()])
+    }
+
+    fn sample_probabilities(&self) -> Vec<f64> {
+        subset_probabilities(&self.probs)
+    }
+
+    fn outcome_key(&self, point: usize, v: &[f64]) -> OutcomeKey {
+        (0..self.probs.len())
+            .map(|i| {
+                let low_seed = point & (1 << i) != 0;
+                if low_seed && v[i] > 0.0 {
+                    1 // sampled (value 1)
+                } else {
+                    0 // not sampled — no further information
+                }
+            })
+            .collect()
+    }
+}
+
+fn cartesian_product(domains: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let mut out: Vec<Vec<f64>> = vec![vec![]];
+    for d in domains {
+        let mut next = Vec::with_capacity(out.len() * d.len());
+        for prefix in &out {
+            for &x in d {
+                let mut v = prefix.clone();
+                v.push(x);
+                next.push(v);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+fn subset_probabilities(probs: &[f64]) -> Vec<f64> {
+    let r = probs.len();
+    (0..(1usize << r))
+        .map(|mask| {
+            (0..r)
+                .map(|i| {
+                    if mask & (1 << i) != 0 {
+                        probs[i]
+                    } else {
+                        1.0 - probs[i]
+                    }
+                })
+                .product()
+        })
+        .collect()
+}
+
+/// The estimator produced by Algorithm 1: a value per outcome.
+#[derive(Debug, Clone)]
+pub struct DerivedEstimator {
+    estimates: HashMap<OutcomeKey, f64>,
+}
+
+impl DerivedEstimator {
+    /// The estimate assigned to an outcome (0 for outcomes never reachable).
+    #[must_use]
+    pub fn estimate(&self, key: &OutcomeKey) -> f64 {
+        self.estimates.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// All `(outcome, estimate)` pairs.
+    #[must_use]
+    pub fn estimates(&self) -> &HashMap<OutcomeKey, f64> {
+        &self.estimates
+    }
+
+    /// The most negative estimate value (0 if all are nonnegative).
+    #[must_use]
+    pub fn most_negative(&self) -> f64 {
+        self.estimates.values().copied().fold(0.0, f64::min)
+    }
+
+    /// Whether every estimate is nonnegative (up to `tol`).
+    #[must_use]
+    pub fn is_nonnegative(&self, tol: f64) -> bool {
+        self.most_negative() >= -tol
+    }
+
+    /// The exact expectation of the estimator on data vector `v` under `model`.
+    #[must_use]
+    pub fn expectation<M: FiniteModel>(&self, model: &M, v: &[f64]) -> f64 {
+        model
+            .sample_probabilities()
+            .iter()
+            .enumerate()
+            .map(|(point, &prob)| prob * self.estimate(&model.outcome_key(point, v)))
+            .sum()
+    }
+
+    /// The exact variance of the estimator on data vector `v` under `model`.
+    #[must_use]
+    pub fn variance<M: FiniteModel>(&self, model: &M, v: &[f64]) -> f64 {
+        let mean = self.expectation(model, v);
+        model
+            .sample_probabilities()
+            .iter()
+            .enumerate()
+            .map(|(point, &prob)| {
+                let x = self.estimate(&model.outcome_key(point, v));
+                prob * (x - mean) * (x - mean)
+            })
+            .sum()
+    }
+
+    /// The largest absolute bias `|E[f̂|v] − f(v)|` over all data vectors.
+    #[must_use]
+    pub fn max_bias<M: FiniteModel, F: Fn(&[f64]) -> f64>(&self, model: &M, f: F) -> f64 {
+        model
+            .data_vectors()
+            .iter()
+            .map(|v| (self.expectation(model, v) - f(v)).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The result of running Algorithm 1.
+#[derive(Debug, Clone)]
+pub enum DerivationResult {
+    /// A (unique, order-optimal) unbiased estimator exists for the given
+    /// order.  It may still assume negative values — check
+    /// [`DerivedEstimator::is_nonnegative`]; a negative value means *this
+    /// order* does not yield a nonnegative estimator (and for the Section 6
+    /// models, that none exists).
+    Success(DerivedEstimator),
+    /// Algorithm 1 failed: some data vector has no unprocessed consistent
+    /// outcomes but its expectation is already pinned to the wrong value
+    /// (`f0 ≠ f(v)` with `Pr[S'|v] = 0`), so *no* unbiased estimator exists.
+    Failure {
+        /// The data vector at which the contradiction arose.
+        vector: Vec<f64>,
+        /// The function value that must be matched.
+        required: f64,
+        /// The expectation already forced by previously assigned outcomes.
+        forced: f64,
+    },
+}
+
+impl DerivationResult {
+    /// Unwraps the success case.
+    ///
+    /// # Panics
+    /// Panics on failure.
+    #[must_use]
+    pub fn expect_success(self, msg: &str) -> DerivedEstimator {
+        match self {
+            DerivationResult::Success(e) => e,
+            DerivationResult::Failure {
+                vector,
+                required,
+                forced,
+            } => panic!("{msg}: derivation failed at {vector:?} (needs {required}, forced {forced})"),
+        }
+    }
+
+    /// Whether the derivation failed.
+    #[must_use]
+    pub fn is_failure(&self) -> bool {
+        matches!(self, DerivationResult::Failure { .. })
+    }
+}
+
+/// Runs Algorithm 1: derives the order-based estimator `f̂^(≺)` of `f` under
+/// `model`, processing data vectors in the order given by `order`
+/// (a permutation of `model.data_vectors()`).
+///
+/// `tol` is the absolute tolerance used to decide that a probability or a
+/// bias is zero.
+#[must_use]
+pub fn derive_order_based<M, F>(model: &M, f: F, order: &[Vec<f64>], tol: f64) -> DerivationResult
+where
+    M: FiniteModel,
+    F: Fn(&[f64]) -> f64,
+{
+    let sample_probs = model.sample_probabilities();
+    let mut estimates: HashMap<OutcomeKey, f64> = HashMap::new();
+
+    for v in order {
+        // Partition this vector's consistent outcomes into already-assigned
+        // and new, accumulating probabilities.
+        let mut assigned_contribution = 0.0;
+        let mut new_prob = 0.0;
+        let mut new_keys: Vec<OutcomeKey> = Vec::new();
+        let mut outcome_prob: HashMap<OutcomeKey, f64> = HashMap::new();
+        for (point, &prob) in sample_probs.iter().enumerate() {
+            if prob <= 0.0 {
+                continue;
+            }
+            let key = model.outcome_key(point, v);
+            *outcome_prob.entry(key).or_insert(0.0) += prob;
+        }
+        for (key, prob) in outcome_prob {
+            if let Some(&val) = estimates.get(&key) {
+                assigned_contribution += val * prob;
+            } else {
+                new_prob += prob;
+                new_keys.push(key);
+            }
+        }
+
+        let target = f(v);
+        if new_prob <= tol {
+            if (target - assigned_contribution).abs() > tol {
+                return DerivationResult::Failure {
+                    vector: v.clone(),
+                    required: target,
+                    forced: assigned_contribution,
+                };
+            }
+            continue;
+        }
+        let value = (target - assigned_contribution) / new_prob;
+        for key in new_keys {
+            estimates.insert(key, value);
+        }
+    }
+
+    DerivationResult::Success(DerivedEstimator { estimates })
+}
+
+/// The "dense-first" order used for the `max^(L)` / `OR^(L)` estimators:
+/// the all-zero vector first, then vectors sorted by the number of entries
+/// strictly below their maximum.
+#[must_use]
+pub fn dense_first_order(vectors: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let mut order = vectors.to_vec();
+    order.sort_by_key(|v| {
+        let max = v.iter().copied().fold(0.0, f64::max);
+        if max == 0.0 {
+            (0usize, 0usize)
+        } else {
+            let below = v.iter().filter(|&&x| x < max).count();
+            (1, below + 1)
+        }
+    });
+    order
+}
+
+/// The "sparse-first" order used for the `max^(U)` / `OR^(U)` estimators:
+/// vectors sorted by their number of *positive* entries.
+#[must_use]
+pub fn sparse_first_order(vectors: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let mut order = vectors.to_vec();
+    order.sort_by_key(|v| v.iter().filter(|&&x| x > 0.0).count());
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::Estimator;
+    use crate::functions::{boolean_or, boolean_xor, maximum};
+
+    #[test]
+    fn oblivious_binary_or_matches_closed_form() {
+        // Deriving OR with the dense-first order over the weight-oblivious
+        // binary model must reproduce OR^(L) (Section 4.3).
+        let (p1, p2) = (0.5, 0.3);
+        let model = ObliviousPoissonModel::binary(vec![p1, p2]);
+        let order = dense_first_order(&model.data_vectors());
+        let est = derive_order_based(&model, boolean_or, &order, 1e-12)
+            .expect_success("OR^(L) derivation");
+        assert!(est.is_nonnegative(1e-12));
+        assert!(est.max_bias(&model, boolean_or) < 1e-12);
+
+        let p_any = p1 + p2 - p1 * p2;
+        // Outcome "only entry 1 sampled, value 1": key [1+1, 0] = [2, 0]
+        // (value code = index in domain + 1, domain [0,1] so value 1 -> 2).
+        assert!((est.estimate(&vec![2, 0]) - 1.0 / p_any).abs() < 1e-10);
+        // Outcome "both sampled, values (1,1)": the OR^(L) estimate is also 1/p_any.
+        assert!((est.estimate(&vec![2, 2]) - 1.0 / p_any).abs() < 1e-10);
+        // Outcome "both sampled, values (1,0)":
+        // OR/(p1p2) − (1/p2 − 1)/p_any  (determining-vector formula with v=(1,0)).
+        let expected = 1.0 / (p1 * p2) - (1.0 / p2 - 1.0) / p_any;
+        assert!((est.estimate(&vec![2, 1]) - expected).abs() < 1e-10);
+    }
+
+    #[test]
+    fn oblivious_discrete_max_matches_max_l2() {
+        // Small discrete domain {0, 1, 2}²: the derived dense-first estimator
+        // must agree with the closed-form MaxL2 on every reachable outcome.
+        use crate::oblivious::MaxL2;
+        use pie_sampling::{ObliviousEntry, ObliviousOutcome};
+
+        let (p1, p2) = (0.4, 0.7);
+        let model = ObliviousPoissonModel::new(
+            vec![p1, p2],
+            vec![vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 2.0]],
+        );
+        let order = dense_first_order(&model.data_vectors());
+        let est = derive_order_based(&model, maximum, &order, 1e-12)
+            .expect_success("max^(L) derivation");
+        assert!(est.max_bias(&model, maximum) < 1e-10);
+        assert!(est.is_nonnegative(1e-10));
+
+        let closed = MaxL2::new(p1, p2);
+        let domain = [0.0, 1.0, 2.0];
+        // Compare on outcomes where at least one entry is sampled.
+        for (i, &v1) in domain.iter().enumerate() {
+            for (j, &v2) in domain.iter().enumerate() {
+                // both sampled
+                let key = vec![(i + 1) as u32, (j + 1) as u32];
+                let o = ObliviousOutcome::new(vec![
+                    ObliviousEntry { p: p1, value: Some(v1) },
+                    ObliviousEntry { p: p2, value: Some(v2) },
+                ]);
+                assert!(
+                    (est.estimate(&key) - closed.estimate(&o)).abs() < 1e-9,
+                    "mismatch on sampled values ({v1},{v2})"
+                );
+                // only entry 1 sampled
+                let key = vec![(i + 1) as u32, 0];
+                let o = ObliviousOutcome::new(vec![
+                    ObliviousEntry { p: p1, value: Some(v1) },
+                    ObliviousEntry { p: p2, value: None },
+                ]);
+                assert!(
+                    (est.estimate(&key) - closed.estimate(&o)).abs() < 1e-9,
+                    "mismatch on single sampled value {v1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn known_seeds_or_matches_oblivious_reduction() {
+        // Section 5: with known seeds the weighted binary model is
+        // information-equivalent to the oblivious model, so the derived
+        // estimators coincide outcome-by-outcome under the natural mapping.
+        let (p1, p2) = (0.25, 0.5);
+        let weighted = WeightedKnownSeedsBinaryModel::new(vec![p1, p2]);
+        let order = dense_first_order(&weighted.data_vectors());
+        let est = derive_order_based(&weighted, boolean_or, &order, 1e-12)
+            .expect_success("known-seed OR derivation");
+        assert!(est.is_nonnegative(1e-12));
+        assert!(est.max_bias(&weighted, boolean_or) < 1e-12);
+        let p_any = p1 + p2 - p1 * p2;
+        // "entry 1 sampled (code 2), entry 2 high seed (code 0)" -> 1/p_any
+        assert!((est.estimate(&vec![2, 0]) - 1.0 / p_any).abs() < 1e-10);
+        // "entry 1 sampled, entry 2 known zero (code 1)" -> 1/(p1 p_any)
+        assert!((est.estimate(&vec![2, 1]) - 1.0 / (p1 * p_any)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn unknown_seeds_or_is_forced_negative() {
+        // Theorem 6.1: with unknown seeds and p1 + p2 < 1 the unique unbiased
+        // estimator takes a negative value on the both-sampled outcome.
+        let (p1, p2) = (0.3, 0.4);
+        let model = WeightedUnknownSeedsBinaryModel::new(vec![p1, p2]);
+        let order = sparse_first_order(&model.data_vectors());
+        let est = derive_order_based(&model, boolean_or, &order, 1e-12)
+            .expect_success("unknown-seed OR derivation");
+        assert!(est.max_bias(&model, boolean_or) < 1e-10);
+        assert!(!est.is_nonnegative(1e-9), "estimator should be forced negative");
+        let forced = est.estimate(&vec![1, 1]);
+        let expected = (p1 + p2 - 1.0) / (p1 * p2);
+        assert!(
+            (forced - expected).abs() < 1e-9,
+            "forced value {forced} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn unknown_seeds_or_is_fine_when_p_large() {
+        // When p1 + p2 ≥ 1 the same construction is nonnegative: the negative
+        // result is specifically about aggressive sampling.
+        let (p1, p2) = (0.7, 0.6);
+        let model = WeightedUnknownSeedsBinaryModel::new(vec![p1, p2]);
+        let order = sparse_first_order(&model.data_vectors());
+        let est = derive_order_based(&model, boolean_or, &order, 1e-12)
+            .expect_success("unknown-seed OR derivation");
+        assert!(est.is_nonnegative(1e-9));
+        assert!(est.max_bias(&model, boolean_or) < 1e-10);
+    }
+
+    #[test]
+    fn unknown_seeds_xor_derivation_fails_or_is_biased() {
+        // Section 6: XOR (= RG on binary data) admits no unbiased estimator at
+        // all with unknown seeds: the outcome of (1,0) cannot be told apart
+        // from outcomes of (0,0)/(1,1) often enough.
+        let (p1, p2) = (0.3, 0.4);
+        let model = WeightedUnknownSeedsBinaryModel::new(vec![p1, p2]);
+        let order = sparse_first_order(&model.data_vectors());
+        let result = derive_order_based(&model, boolean_xor, &order, 1e-12);
+        match result {
+            DerivationResult::Failure { .. } => {}
+            DerivationResult::Success(est) => {
+                // If the order happened to produce values, they cannot be
+                // simultaneously unbiased and nonnegative.
+                assert!(
+                    est.max_bias(&model, boolean_xor) > 1e-6 || !est.is_nonnegative(1e-9),
+                    "XOR should not admit an unbiased nonnegative estimator"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derived_estimator_variance_matches_closed_form_for_or_l() {
+        let (p1, p2) = (0.2, 0.6);
+        let model = ObliviousPoissonModel::binary(vec![p1, p2]);
+        let order = dense_first_order(&model.data_vectors());
+        let est = derive_order_based(&model, boolean_or, &order, 1e-12)
+            .expect_success("OR^(L) derivation");
+        let var_11 = est.variance(&model, &[1.0, 1.0]);
+        assert!((var_11 - crate::variance::or_l_variance_equal(p1, p2)).abs() < 1e-10);
+        let var_10 = est.variance(&model, &[1.0, 0.0]);
+        assert!((var_10 - crate::variance::or_l_variance_change(p1, p2)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn orders_are_permutations() {
+        let model = ObliviousPoissonModel::binary(vec![0.5, 0.5, 0.5]);
+        let vectors = model.data_vectors();
+        assert_eq!(vectors.len(), 8);
+        let dense = dense_first_order(&vectors);
+        let sparse = sparse_first_order(&vectors);
+        assert_eq!(dense.len(), 8);
+        assert_eq!(sparse.len(), 8);
+        assert_eq!(dense[0], vec![0.0, 0.0, 0.0]);
+        assert_eq!(sparse[0], vec![0.0, 0.0, 0.0]);
+        // Dense-first puts the all-ones vector before the single-one vectors.
+        let pos_all_ones = dense.iter().position(|v| v == &vec![1.0, 1.0, 1.0]).unwrap();
+        let pos_single = dense.iter().position(|v| v == &vec![1.0, 0.0, 0.0]).unwrap();
+        assert!(pos_all_ones < pos_single);
+        // Sparse-first does the opposite.
+        let pos_all_ones = sparse.iter().position(|v| v == &vec![1.0, 1.0, 1.0]).unwrap();
+        let pos_single = sparse.iter().position(|v| v == &vec![1.0, 0.0, 0.0]).unwrap();
+        assert!(pos_single < pos_all_ones);
+    }
+
+    #[test]
+    fn sample_probabilities_sum_to_one() {
+        for model_probs in [vec![0.3, 0.4], vec![0.5, 0.5, 0.5], vec![0.1, 0.9, 0.2, 0.7]] {
+            let model = ObliviousPoissonModel::binary(model_probs);
+            let total: f64 = model.sample_probabilities().iter().sum();
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn three_instance_binary_or_derivation_is_unbiased_and_nonnegative() {
+        let model = ObliviousPoissonModel::binary(vec![0.4, 0.4, 0.4]);
+        let order = dense_first_order(&model.data_vectors());
+        let est = derive_order_based(&model, boolean_or, &order, 1e-12)
+            .expect_success("r=3 OR^(L)");
+        assert!(est.max_bias(&model, boolean_or) < 1e-10);
+        assert!(est.is_nonnegative(1e-10));
+        // It must agree with the Algorithm 3 closed form.
+        let closed = crate::oblivious::OrLUniform::new(3, 0.4);
+        use pie_sampling::{ObliviousEntry, ObliviousOutcome};
+        for mask in 0u32..8 {
+            for vbits in 0u32..8 {
+                let key: OutcomeKey = (0..3)
+                    .map(|i| {
+                        if mask & (1 << i) != 0 {
+                            if vbits & (1 << i) != 0 {
+                                2
+                            } else {
+                                1
+                            }
+                        } else {
+                            0
+                        }
+                    })
+                    .collect();
+                let o = ObliviousOutcome::new(
+                    (0..3)
+                        .map(|i| ObliviousEntry {
+                            p: 0.4,
+                            value: if mask & (1 << i) != 0 {
+                                Some(if vbits & (1 << i) != 0 { 1.0 } else { 0.0 })
+                            } else {
+                                None
+                            },
+                        })
+                        .collect(),
+                );
+                assert!(
+                    (est.estimate(&key) - closed.estimate(&o)).abs() < 1e-9,
+                    "mismatch at mask={mask} values={vbits}"
+                );
+            }
+        }
+    }
+}

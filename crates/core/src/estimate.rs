@@ -1,0 +1,151 @@
+//! Estimator traits and the properties the paper cares about.
+//!
+//! An estimator (Section 2.1) is a function applied to an *outcome* — what
+//! sampling revealed about one key's value vector.  The properties of
+//! interest are unbiasedness, nonnegativity, bounded variance, monotonicity,
+//! and (Pareto) dominance; the concrete estimators in this crate document
+//! which of these they satisfy, and the test-suite and the `pie-analysis`
+//! crate verify them numerically.
+
+use pie_sampling::{ObliviousOutcome, WeightedOutcome};
+
+/// An estimator of a multi-instance function from outcomes of type `O`.
+///
+/// Implementations must be deterministic functions of the outcome: all the
+/// randomness lives in the sampling, none in the estimation.
+pub trait Estimator<O> {
+    /// Returns the estimate for the given outcome.
+    fn estimate(&self, outcome: &O) -> f64;
+
+    /// A short, stable name used in reports and benchmark output.
+    fn name(&self) -> &'static str;
+}
+
+/// Convenience alias for estimators over weight-oblivious Poisson outcomes
+/// (Section 4 of the paper).
+pub trait ObliviousEstimator: Estimator<ObliviousOutcome> {}
+impl<T: Estimator<ObliviousOutcome>> ObliviousEstimator for T {}
+
+/// Convenience alias for estimators over weighted (PPS) outcomes
+/// (Sections 5–6 of the paper).
+pub trait WeightedEstimator: Estimator<WeightedOutcome> {}
+impl<T: Estimator<WeightedOutcome>> WeightedEstimator for T {}
+
+/// Blanket impl so `&E`, `Box<E>`, … can be used wherever an estimator is
+/// expected.
+impl<O, E: Estimator<O> + ?Sized> Estimator<O> for &E {
+    fn estimate(&self, outcome: &O) -> f64 {
+        (**self).estimate(outcome)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<O, E: Estimator<O> + ?Sized> Estimator<O> for Box<E> {
+    fn estimate(&self, outcome: &O) -> f64 {
+        (**self).estimate(outcome)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// The qualitative properties an estimator may satisfy (Section 2.1).
+///
+/// This is a *claims record* attached to estimators for documentation and for
+/// driving property tests; it does not by itself prove anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EstimatorProperties {
+    /// `E[f̂ | v] = f(v)` for every data vector.
+    pub unbiased: bool,
+    /// `f̂ ≥ 0` on every outcome.
+    pub nonnegative: bool,
+    /// `Var[f̂ | v] < ∞` for every data vector.
+    pub bounded_variance: bool,
+    /// Non-decreasing with information: more informative outcomes never
+    /// decrease the estimate.
+    pub monotone: bool,
+    /// Pareto optimal: no unbiased nonnegative estimator dominates it.
+    pub pareto_optimal: bool,
+}
+
+impl EstimatorProperties {
+    /// Properties of an inverse-probability (HT-style) estimator: unbiased,
+    /// nonnegative, bounded variance, monotone — but not necessarily Pareto
+    /// optimal for multi-instance functions.
+    #[must_use]
+    pub fn ht() -> Self {
+        Self {
+            unbiased: true,
+            nonnegative: true,
+            bounded_variance: true,
+            monotone: true,
+            pareto_optimal: false,
+        }
+    }
+
+    /// Properties of the paper's order-based optimal estimators.
+    #[must_use]
+    pub fn pareto() -> Self {
+        Self {
+            unbiased: true,
+            nonnegative: true,
+            bounded_variance: true,
+            monotone: true,
+            pareto_optimal: true,
+        }
+    }
+}
+
+/// An estimator bundled with the properties it claims; used by reports.
+pub trait DocumentedEstimator<O>: Estimator<O> {
+    /// The properties this estimator claims to satisfy.
+    fn properties(&self) -> EstimatorProperties;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pie_sampling::{ObliviousEntry, ObliviousOutcome};
+
+    struct Always7;
+    impl Estimator<ObliviousOutcome> for Always7 {
+        fn estimate(&self, _o: &ObliviousOutcome) -> f64 {
+            7.0
+        }
+        fn name(&self) -> &'static str {
+            "always7"
+        }
+    }
+
+    #[test]
+    fn blanket_impls_delegate() {
+        let o = ObliviousOutcome::new(vec![ObliviousEntry {
+            p: 0.5,
+            value: None,
+        }]);
+        let e = Always7;
+        let by_ref: &dyn Estimator<ObliviousOutcome> = &e;
+        assert_eq!(by_ref.estimate(&o), 7.0);
+        assert_eq!(by_ref.name(), "always7");
+        let boxed: Box<dyn Estimator<ObliviousOutcome>> = Box::new(Always7);
+        assert_eq!(boxed.estimate(&o), 7.0);
+        assert_eq!(boxed.name(), "always7");
+    }
+
+    #[test]
+    fn property_presets() {
+        let ht = EstimatorProperties::ht();
+        assert!(ht.unbiased && ht.nonnegative && ht.monotone && !ht.pareto_optimal);
+        let p = EstimatorProperties::pareto();
+        assert!(p.pareto_optimal && p.unbiased);
+        assert_eq!(EstimatorProperties::default(), EstimatorProperties {
+            unbiased: false,
+            nonnegative: false,
+            bounded_variance: false,
+            monotone: false,
+            pareto_optimal: false
+        });
+    }
+}

@@ -1,0 +1,235 @@
+//! Multi-instance primitive functions `f(v_1, …, v_r)` (Section 2).
+//!
+//! These are the quantities the paper estimates from samples: quantiles of the
+//! per-key value vector (maximum, minimum, ℓ-th largest), the range and
+//! exponentiated range, and the Boolean OR / XOR used for distinct counting
+//! and change detection.
+//!
+//! [`MultiInstanceFn`] packages the common ones behind a single enum so that
+//! generic machinery (the HT estimator, the derivation engine, the evaluation
+//! harness) can be parameterized by "which function is being estimated"
+//! without generics spreading everywhere.
+
+/// The maximum entry `max_i v_i` (0 for an empty vector).
+#[must_use]
+pub fn maximum(v: &[f64]) -> f64 {
+    v.iter().copied().fold(0.0, f64::max)
+}
+
+/// The minimum entry `min_i v_i` (0 for an empty vector).
+#[must_use]
+pub fn minimum(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// The ℓ-th largest entry (1-based): `lth_largest(v, 1)` is the maximum and
+/// `lth_largest(v, v.len())` is the minimum.
+///
+/// # Panics
+/// Panics if `l` is 0 or exceeds `v.len()`.
+#[must_use]
+pub fn lth_largest(v: &[f64], l: usize) -> f64 {
+    assert!(l >= 1 && l <= v.len(), "l must be in 1..={}, got {l}", v.len());
+    let mut sorted = v.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("values must not be NaN"));
+    sorted[l - 1]
+}
+
+/// The range `RG(v) = max(v) − min(v)`.
+#[must_use]
+pub fn range(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        maximum(v) - minimum(v)
+    }
+}
+
+/// The exponentiated range `RG^d(v) = (max(v) − min(v))^d` for `d > 0`.
+#[must_use]
+pub fn range_pow(v: &[f64], d: f64) -> f64 {
+    range(v).powf(d)
+}
+
+/// Boolean OR of the entries, treating any positive value as true.
+/// Returns 1.0 or 0.0.
+#[must_use]
+pub fn boolean_or(v: &[f64]) -> f64 {
+    if v.iter().any(|&x| x > 0.0) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Boolean AND of the entries, treating any positive value as true.
+/// Returns 1.0 or 0.0.
+#[must_use]
+pub fn boolean_and(v: &[f64]) -> f64 {
+    if !v.is_empty() && v.iter().all(|&x| x > 0.0) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Boolean XOR (parity) of the entries, treating any positive value as true.
+/// Returns 1.0 or 0.0.
+#[must_use]
+pub fn boolean_xor(v: &[f64]) -> f64 {
+    let ones = v.iter().filter(|&&x| x > 0.0).count();
+    if ones % 2 == 1 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// The built-in multi-instance functions, usable where a first-class function
+/// value is convenient (derivation engine, evaluation harness, reports).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MultiInstanceFn {
+    /// `max_i v_i`
+    Max,
+    /// `min_i v_i`
+    Min,
+    /// The ℓ-th largest entry (1-based).
+    LthLargest(usize),
+    /// `max(v) − min(v)`
+    Range,
+    /// `(max(v) − min(v))^d`
+    RangePow(f64),
+    /// Boolean OR (any entry positive).
+    Or,
+    /// Boolean AND (all entries positive).
+    And,
+    /// Boolean XOR (odd number of positive entries).
+    Xor,
+}
+
+impl MultiInstanceFn {
+    /// Evaluates the function on a value vector.
+    #[must_use]
+    pub fn eval(&self, v: &[f64]) -> f64 {
+        match *self {
+            MultiInstanceFn::Max => maximum(v),
+            MultiInstanceFn::Min => minimum(v),
+            MultiInstanceFn::LthLargest(l) => lth_largest(v, l),
+            MultiInstanceFn::Range => range(v),
+            MultiInstanceFn::RangePow(d) => range_pow(v, d),
+            MultiInstanceFn::Or => boolean_or(v),
+            MultiInstanceFn::And => boolean_and(v),
+            MultiInstanceFn::Xor => boolean_xor(v),
+        }
+    }
+
+    /// A short name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            MultiInstanceFn::Max => "max",
+            MultiInstanceFn::Min => "min",
+            MultiInstanceFn::LthLargest(_) => "lth",
+            MultiInstanceFn::Range => "range",
+            MultiInstanceFn::RangePow(_) => "range^d",
+            MultiInstanceFn::Or => "or",
+            MultiInstanceFn::And => "and",
+            MultiInstanceFn::Xor => "xor",
+        }
+    }
+
+    /// Whether the function is symmetric (invariant to permuting entries).
+    #[must_use]
+    pub fn is_symmetric(&self) -> bool {
+        true // all built-ins are symmetric
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_min_range_basic() {
+        let v = [3.0, 1.0, 7.0, 2.0];
+        assert_eq!(maximum(&v), 7.0);
+        assert_eq!(minimum(&v), 1.0);
+        assert_eq!(range(&v), 6.0);
+        assert_eq!(range_pow(&v, 2.0), 36.0);
+    }
+
+    #[test]
+    fn empty_vector_conventions() {
+        assert_eq!(maximum(&[]), 0.0);
+        assert_eq!(minimum(&[]), 0.0);
+        assert_eq!(range(&[]), 0.0);
+        assert_eq!(boolean_or(&[]), 0.0);
+        assert_eq!(boolean_and(&[]), 0.0);
+        assert_eq!(boolean_xor(&[]), 0.0);
+    }
+
+    #[test]
+    fn lth_largest_orders_correctly() {
+        let v = [5.0, 1.0, 3.0];
+        assert_eq!(lth_largest(&v, 1), 5.0);
+        assert_eq!(lth_largest(&v, 2), 3.0);
+        assert_eq!(lth_largest(&v, 3), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "l must be")]
+    fn lth_largest_rejects_out_of_range() {
+        let _ = lth_largest(&[1.0, 2.0], 3);
+    }
+
+    #[test]
+    fn boolean_functions() {
+        assert_eq!(boolean_or(&[0.0, 0.0]), 0.0);
+        assert_eq!(boolean_or(&[0.0, 2.0]), 1.0);
+        assert_eq!(boolean_and(&[1.0, 2.0]), 1.0);
+        assert_eq!(boolean_and(&[1.0, 0.0]), 0.0);
+        assert_eq!(boolean_xor(&[1.0, 0.0]), 1.0);
+        assert_eq!(boolean_xor(&[1.0, 1.0]), 0.0);
+        assert_eq!(boolean_xor(&[1.0, 1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn enum_matches_free_functions() {
+        let v = [4.0, 0.0, 9.0];
+        assert_eq!(MultiInstanceFn::Max.eval(&v), maximum(&v));
+        assert_eq!(MultiInstanceFn::Min.eval(&v), minimum(&v));
+        assert_eq!(MultiInstanceFn::LthLargest(2).eval(&v), 4.0);
+        assert_eq!(MultiInstanceFn::Range.eval(&v), 9.0);
+        assert_eq!(MultiInstanceFn::RangePow(2.0).eval(&v), 81.0);
+        assert_eq!(MultiInstanceFn::Or.eval(&v), 1.0);
+        assert_eq!(MultiInstanceFn::And.eval(&v), 0.0);
+        assert_eq!(MultiInstanceFn::Xor.eval(&v), 0.0);
+    }
+
+    #[test]
+    fn paper_figure5_example_values() {
+        // Figure 5 (A): per-key example aggregates for the 3×6 example matrix.
+        let rows = [
+            [15.0, 0.0, 10.0, 5.0, 10.0, 10.0],
+            [20.0, 10.0, 12.0, 20.0, 0.0, 10.0],
+            [10.0, 15.0, 15.0, 0.0, 15.0, 10.0],
+        ];
+        let col = |j: usize| [rows[0][j], rows[1][j], rows[2][j]];
+        // max(v1,v2) row of the figure
+        let max12: Vec<f64> = (0..6).map(|j| maximum(&col(j)[..2])).collect();
+        assert_eq!(max12, vec![20.0, 10.0, 12.0, 20.0, 10.0, 10.0]);
+        // max(v1,v2,v3)
+        let max123: Vec<f64> = (0..6).map(|j| maximum(&col(j))).collect();
+        assert_eq!(max123, vec![20.0, 15.0, 15.0, 20.0, 15.0, 10.0]);
+        // min(v1,v2)
+        let min12: Vec<f64> = (0..6).map(|j| minimum(&col(j)[..2])).collect();
+        assert_eq!(min12, vec![15.0, 0.0, 10.0, 5.0, 0.0, 10.0]);
+        // RG(v1,v2,v3)
+        let rg: Vec<f64> = (0..6).map(|j| range(&col(j))).collect();
+        assert_eq!(rg, vec![10.0, 15.0, 5.0, 20.0, 15.0, 0.0]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Impossibility results for weighted sampling with unknown seeds (Section 6).
+//!
+//! Theorem 6.1: over independent weighted samples whose seeds are *not*
+//! available to the estimator, no unbiased nonnegative estimator exists for
+//! any ℓ-th order statistic with `ℓ < r` (in particular the maximum / Boolean
+//! OR), nor for the exponentiated range / XOR — even on binary data.
+//!
+//! The functions here make the argument computational and quantitative:
+//! because estimators are functions of the outcome and the binary two-instance
+//! outcome space has just four elements, unbiasedness pins the estimator down
+//! uniquely, and one can simply inspect the forced values.
+
+/// The unique unbiased estimator of `OR(v_1, v_2)` over independent weighted
+/// binary samples with unknown seeds, as values on the four outcomes
+/// `[∅, {1}, {2}, {1,2}]` (a sampled entry always has value 1 in this model).
+///
+/// Derivation: nonnegativity on data `(0,0)` forces the `∅` estimate to 0,
+/// unbiasedness on `(1,0)` / `(0,1)` forces `1/p_1` / `1/p_2` on the singleton
+/// outcomes, and unbiasedness on `(1,1)` then forces
+/// `(p_1 + p_2 − 1)/(p_1 p_2)` on the doubleton — which is negative exactly
+/// when `p_1 + p_2 < 1`.
+///
+/// # Panics
+/// Panics unless both probabilities are in `(0, 1]`.
+#[must_use]
+pub fn or_unknown_seeds_forced_estimator(p1: f64, p2: f64) -> [f64; 4] {
+    assert!(p1 > 0.0 && p1 <= 1.0, "p1 must be in (0,1], got {p1}");
+    assert!(p2 > 0.0 && p2 <= 1.0, "p2 must be in (0,1], got {p2}");
+    [0.0, 1.0 / p1, 1.0 / p2, (p1 + p2 - 1.0) / (p1 * p2)]
+}
+
+/// Whether an unbiased *nonnegative* OR estimator exists over independent
+/// weighted binary samples with unknown seeds: true iff `p_1 + p_2 ≥ 1`
+/// (Theorem 6.1 shows the sharp threshold).
+#[must_use]
+pub fn or_unknown_seeds_nonnegative_exists(p1: f64, p2: f64) -> bool {
+    or_unknown_seeds_forced_estimator(p1, p2)
+        .iter()
+        .all(|&x| x >= 0.0)
+}
+
+/// The forced estimate on the "both entries sampled" outcome for the ℓ-th
+/// order statistic construction of Theorem 6.1 (general `r`, `ℓ < r`).
+///
+/// The theorem embeds the two-instance OR argument by fixing
+/// `v_3 = … = v_{ℓ+1} = 1` and `v_{ℓ+2} = … = v_r = 0`; on such vectors
+/// `ℓ-th(v) = OR(v_1, v_2)`, the relevant outcomes must additionally sample
+/// entries `3..ℓ+1` (probability `∏_{h=3}^{ℓ+1} p_h`), and the forced value on
+/// the outcome sampling both of the first two entries is
+/// `(p_1 + p_2 − 1) / (p_1 p_2 ∏_{h=3}^{ℓ+1} p_h)` — negative whenever
+/// `p_1 + p_2 < 1`.
+///
+/// # Panics
+/// Panics unless `1 ≤ l < probs.len()` and all probabilities are in `(0,1]`.
+#[must_use]
+pub fn lth_unknown_seeds_forced_value(probs: &[f64], l: usize) -> f64 {
+    let r = probs.len();
+    assert!(r >= 2, "need at least two instances");
+    assert!(l >= 1 && l < r, "theorem applies to 1 ≤ l < r, got l={l}, r={r}");
+    for &p in probs {
+        assert!(p > 0.0 && p <= 1.0, "probabilities must be in (0,1], got {p}");
+    }
+    let (p1, p2) = (probs[0], probs[1]);
+    // Entries 3..=l+1 (0-based indices 2..=l) carry value 1 and must all be
+    // sampled for the outcome to be informative about the ℓ-th statistic.
+    let aux: f64 = if l >= 2 {
+        probs[2..=l].iter().product()
+    } else {
+        1.0
+    };
+    (p1 + p2 - 1.0) / (p1 * p2 * aux)
+}
+
+/// Demonstrates the XOR / exponentiated-range impossibility (Section 6, last
+/// paragraph): returns the expectation that any *nonnegative* unbiased
+/// estimator would be forced to have on data `(1, 0)`, which is 0 — a
+/// contradiction with `XOR(1,0) = 1`.
+///
+/// The argument: nonnegativity on `(0,0)` and `(1,1)` forces the estimate to
+/// be 0 on the empty outcome and on single-sample outcomes (each is consistent
+/// with a vector whose XOR is 0); for data `(1,0)` only those outcomes can
+/// occur, so the expectation is 0 regardless of `p_1, p_2`.
+#[must_use]
+pub fn xor_unknown_seeds_forced_expectation_on_change() -> f64 {
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive::{
+        derive_order_based, sparse_first_order, FiniteModel, WeightedUnknownSeedsBinaryModel,
+    };
+    use crate::functions::boolean_or;
+
+    #[test]
+    fn forced_estimator_is_negative_below_threshold() {
+        let est = or_unknown_seeds_forced_estimator(0.3, 0.4);
+        assert_eq!(est[0], 0.0);
+        assert!((est[1] - 1.0 / 0.3).abs() < 1e-12);
+        assert!((est[2] - 1.0 / 0.4).abs() < 1e-12);
+        assert!(est[3] < 0.0);
+        assert!(!or_unknown_seeds_nonnegative_exists(0.3, 0.4));
+    }
+
+    #[test]
+    fn forced_estimator_is_nonnegative_above_threshold() {
+        assert!(or_unknown_seeds_nonnegative_exists(0.6, 0.5));
+        assert!(or_unknown_seeds_nonnegative_exists(1.0, 0.1));
+        // Boundary: p1 + p2 = 1 exactly.
+        assert!(or_unknown_seeds_nonnegative_exists(0.5, 0.5));
+    }
+
+    #[test]
+    fn forced_estimator_matches_derivation_engine() {
+        for &(p1, p2) in &[(0.2, 0.3), (0.45, 0.45), (0.7, 0.8)] {
+            let model = WeightedUnknownSeedsBinaryModel::new(vec![p1, p2]);
+            let order = sparse_first_order(&model.data_vectors());
+            let derived = derive_order_based(&model, boolean_or, &order, 1e-12)
+                .expect_success("unknown-seed OR");
+            let forced = or_unknown_seeds_forced_estimator(p1, p2);
+            assert!((derived.estimate(&vec![0, 0]) - forced[0]).abs() < 1e-10);
+            assert!((derived.estimate(&vec![1, 0]) - forced[1]).abs() < 1e-10);
+            assert!((derived.estimate(&vec![0, 1]) - forced[2]).abs() < 1e-10);
+            assert!((derived.estimate(&vec![1, 1]) - forced[3]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lth_statistic_forced_value_sign() {
+        // r = 4, l = 2, auxiliary entries sampled with probability 0.5 each.
+        let probs = vec![0.3, 0.4, 0.5, 0.5];
+        let forced = lth_unknown_seeds_forced_value(&probs, 2);
+        assert!(forced < 0.0, "forced value should be negative: {forced}");
+        // Scaling: dividing by the auxiliary probability makes it more negative
+        // than the two-instance case.
+        let base = or_unknown_seeds_forced_estimator(0.3, 0.4)[3];
+        assert!(forced < base);
+        // With large probabilities the construction no longer forces negativity.
+        let ok = lth_unknown_seeds_forced_value(&[0.8, 0.7, 0.5, 0.5], 2);
+        assert!(ok > 0.0);
+    }
+
+    #[test]
+    fn l_equals_one_ignores_auxiliary_entries() {
+        // For l = 1 (the maximum) no auxiliary entries are needed.
+        let a = lth_unknown_seeds_forced_value(&[0.3, 0.4, 0.9, 0.9], 1);
+        let b = or_unknown_seeds_forced_estimator(0.3, 0.4)[3];
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 ≤ l < r")]
+    fn lth_rejects_l_equal_r() {
+        let _ = lth_unknown_seeds_forced_value(&[0.5, 0.5], 2);
+    }
+
+    #[test]
+    fn xor_contradiction() {
+        assert_eq!(xor_unknown_seeds_forced_expectation_on_change(), 0.0);
+    }
+}

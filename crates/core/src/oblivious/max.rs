@@ -1,0 +1,731 @@
+//! Estimators for `max(v)` under weight-oblivious Poisson sampling (Section 4).
+//!
+//! Entry `i` of the value vector is sampled independently with probability
+//! `p_i`, regardless of its value.  Three families of estimators are provided:
+//!
+//! * [`MaxHtOblivious`] — the inverse-probability (HT) baseline: positive only
+//!   when *every* entry is sampled.
+//! * [`MaxL2`] / [`MaxLUniform`] — the paper's `max^(L)` estimator
+//!   (Section 4.1), order-optimal with respect to an order that prioritizes
+//!   *dense* vectors (entries close to the maximum).  `MaxL2` is the explicit
+//!   two-instance form with arbitrary probabilities; `MaxLUniform` implements
+//!   Algorithm 3 (Theorem 4.2) for any number of instances with a uniform
+//!   sampling probability, with coefficients computed in `O(r²)`.
+//! * [`MaxU2`] / [`MaxU2Asymmetric`] — the paper's `max^(U)` estimators
+//!   (Section 4.2), locally optimal for an ordered partition that prioritizes
+//!   *sparse* vectors (few positive entries).  The symmetric variant is the
+//!   one plotted in Figure 1; the asymmetric one illustrates the
+//!   order-sensitivity of the `f̂^(+≺)` construction.
+//!
+//! All estimators consume an [`ObliviousOutcome`].
+
+use pie_sampling::ObliviousOutcome;
+
+use crate::estimate::{DocumentedEstimator, Estimator, EstimatorProperties};
+
+/// Extracts the two-instance view (p, value) pairs from an outcome.
+///
+/// # Panics
+/// Panics if the outcome does not have exactly two entries.
+fn two_entries(outcome: &ObliviousOutcome) -> [(f64, Option<f64>); 2] {
+    assert_eq!(
+        outcome.num_instances(),
+        2,
+        "this estimator is defined for exactly two instances, got {}",
+        outcome.num_instances()
+    );
+    [
+        (outcome.entries[0].p, outcome.entries[0].value),
+        (outcome.entries[1].p, outcome.entries[1].value),
+    ]
+}
+
+/// The Horvitz–Thompson (inverse-probability) estimator for `max(v)` over
+/// weight-oblivious Poisson samples, for any number of instances.
+///
+/// `max^(HT)` is positive only on outcomes where every entry is sampled
+/// (`S = [r]`), in which case it equals `max(v) / ∏_i p_i`; it is unbiased,
+/// nonnegative and monotone, but *not* Pareto optimal — it ignores the partial
+/// information carried by outcomes that sample only some entries
+/// (Section 2.2, Equation (10)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaxHtOblivious;
+
+impl Estimator<ObliviousOutcome> for MaxHtOblivious {
+    fn estimate(&self, outcome: &ObliviousOutcome) -> f64 {
+        if outcome.all_sampled() {
+            let max = outcome.max_sampled().unwrap_or(0.0);
+            max / outcome.all_sampled_probability()
+        } else {
+            0.0
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "max_ht_oblivious"
+    }
+}
+
+impl DocumentedEstimator<ObliviousOutcome> for MaxHtOblivious {
+    fn properties(&self) -> EstimatorProperties {
+        EstimatorProperties::ht()
+    }
+}
+
+/// The `max^(L)` estimator for two instances with arbitrary sampling
+/// probabilities `p_1, p_2` (Section 4.1).
+///
+/// Derived with Algorithm 1 from the order that places vectors whose entries
+/// are all close to the maximum first; it is Pareto optimal, monotone,
+/// nonnegative, and dominates [`MaxHtOblivious`] (Lemma 4.1).  It has its
+/// lowest variance when the two entries are similar ("no change" data).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaxL2 {
+    p1: f64,
+    p2: f64,
+}
+
+impl MaxL2 {
+    /// Creates the estimator for inclusion probabilities `p1, p2 ∈ (0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if either probability lies outside `(0, 1]`.
+    #[must_use]
+    pub fn new(p1: f64, p2: f64) -> Self {
+        assert!(p1 > 0.0 && p1 <= 1.0, "p1 must be in (0,1], got {p1}");
+        assert!(p2 > 0.0 && p2 <= 1.0, "p2 must be in (0,1], got {p2}");
+        Self { p1, p2 }
+    }
+
+    /// Probability that at least one entry is sampled, `p_1 + p_2 − p_1 p_2`.
+    #[must_use]
+    pub fn p_any(&self) -> f64 {
+        self.p1 + self.p2 - self.p1 * self.p2
+    }
+}
+
+impl Estimator<ObliviousOutcome> for MaxL2 {
+    fn estimate(&self, outcome: &ObliviousOutcome) -> f64 {
+        let [(_, e1), (_, e2)] = two_entries(outcome);
+        let (p1, p2) = (self.p1, self.p2);
+        let p_any = self.p_any();
+        match (e1, e2) {
+            (None, None) => 0.0,
+            (Some(v1), None) => v1 / p_any,
+            (None, Some(v2)) => v2 / p_any,
+            (Some(v1), Some(v2)) => {
+                v1.max(v2) / (p1 * p2)
+                    - ((1.0 / p2 - 1.0) * v1 + (1.0 / p1 - 1.0) * v2) / p_any
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "max_l_2"
+    }
+}
+
+impl DocumentedEstimator<ObliviousOutcome> for MaxL2 {
+    fn properties(&self) -> EstimatorProperties {
+        EstimatorProperties::pareto()
+    }
+}
+
+/// The symmetric `max^(U)` estimator for two instances (Section 4.2).
+///
+/// Derived with Algorithm 2 from the ordered partition by number of positive
+/// entries; it prioritizes *sparse* vectors and has its lowest variance when
+/// one of the entries is zero.  Pareto optimal, nonnegative, dominates
+/// [`MaxHtOblivious`]; incomparable with [`MaxL2`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaxU2 {
+    p1: f64,
+    p2: f64,
+}
+
+impl MaxU2 {
+    /// Creates the estimator for inclusion probabilities `p1, p2 ∈ (0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if either probability lies outside `(0, 1]`.
+    #[must_use]
+    pub fn new(p1: f64, p2: f64) -> Self {
+        assert!(p1 > 0.0 && p1 <= 1.0, "p1 must be in (0,1], got {p1}");
+        assert!(p2 > 0.0 && p2 <= 1.0, "p2 must be in (0,1], got {p2}");
+        Self { p1, p2 }
+    }
+
+    /// The slack term `max{0, 1 − p_1 − p_2}` appearing in the estimator.
+    #[must_use]
+    pub fn slack(&self) -> f64 {
+        (1.0 - self.p1 - self.p2).max(0.0)
+    }
+}
+
+impl Estimator<ObliviousOutcome> for MaxU2 {
+    fn estimate(&self, outcome: &ObliviousOutcome) -> f64 {
+        let [(_, e1), (_, e2)] = two_entries(outcome);
+        let (p1, p2) = (self.p1, self.p2);
+        let denom = 1.0 + self.slack();
+        match (e1, e2) {
+            (None, None) => 0.0,
+            (Some(v1), None) => v1 / (p1 * denom),
+            (None, Some(v2)) => v2 / (p2 * denom),
+            (Some(v1), Some(v2)) => {
+                (v1.max(v2) - (v1 * (1.0 - p2) + v2 * (1.0 - p1)) / denom) / (p1 * p2)
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "max_u_2"
+    }
+}
+
+impl DocumentedEstimator<ObliviousOutcome> for MaxU2 {
+    fn properties(&self) -> EstimatorProperties {
+        EstimatorProperties::pareto()
+    }
+}
+
+/// The *asymmetric* `max^(Uas)` estimator for two instances (Section 4.2).
+///
+/// Produced by running the nonnegativity-constrained order-based construction
+/// `f̂^(+≺)` with vectors of the form `(v, 0)` processed before `(0, v)`.  It
+/// is Pareto optimal but treats the two instances asymmetrically; it is
+/// provided to reproduce the paper's illustration of why the ordered-partition
+/// construction (Algorithm 2) is needed to recover symmetry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaxU2Asymmetric {
+    p1: f64,
+    p2: f64,
+}
+
+impl MaxU2Asymmetric {
+    /// Creates the estimator for inclusion probabilities `p1, p2 ∈ (0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if either probability lies outside `(0, 1]`.
+    #[must_use]
+    pub fn new(p1: f64, p2: f64) -> Self {
+        assert!(p1 > 0.0 && p1 <= 1.0, "p1 must be in (0,1], got {p1}");
+        assert!(p2 > 0.0 && p2 <= 1.0, "p2 must be in (0,1], got {p2}");
+        Self { p1, p2 }
+    }
+}
+
+impl Estimator<ObliviousOutcome> for MaxU2Asymmetric {
+    fn estimate(&self, outcome: &ObliviousOutcome) -> f64 {
+        let [(_, e1), (_, e2)] = two_entries(outcome);
+        let (p1, p2) = (self.p1, self.p2);
+        let d = (1.0 - p1).max(p2);
+        match (e1, e2) {
+            (None, None) => 0.0,
+            (Some(v1), None) => v1 / p1,
+            (None, Some(v2)) => v2 / d,
+            (Some(v1), Some(v2)) => {
+                (v1.max(v2) - p2 * (1.0 - p1) / d * v2 - (1.0 - p2) * v1) / (p1 * p2)
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "max_u_2_asymmetric"
+    }
+}
+
+impl DocumentedEstimator<ObliviousOutcome> for MaxU2Asymmetric {
+    fn properties(&self) -> EstimatorProperties {
+        EstimatorProperties::pareto()
+    }
+}
+
+/// The `max^(L)` estimator for `r ≥ 2` instances with a *uniform* sampling
+/// probability `p` (Algorithm 3 / Theorem 4.2).
+///
+/// The estimate is a fixed linear combination `Σ_i α_i u_i` of the sorted
+/// determining vector `u` of the outcome (sampled values sorted
+/// non-increasing, with every unsampled entry imputed as the largest sampled
+/// value).  The coefficients are computed once, in `O(r²)`, from the paper's
+/// triangular recursion on the prefix sums `A_h`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxLUniform {
+    r: usize,
+    p: f64,
+    /// Coefficients α_1, …, α_r of the sorted determining vector.
+    alpha: Vec<f64>,
+    /// Prefix sums A_1, …, A_r (A_h = Σ_{i≤h} α_i), kept for inspection/tests.
+    prefix: Vec<f64>,
+}
+
+impl MaxLUniform {
+    /// Creates the estimator for `r ≥ 2` instances sampled with uniform
+    /// probability `p ∈ (0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `r < 2` or `p` lies outside `(0, 1]`.
+    #[must_use]
+    pub fn new(r: usize, p: f64) -> Self {
+        assert!(r >= 2, "max^(L) needs at least two instances, got r={r}");
+        assert!(p > 0.0 && p <= 1.0, "p must be in (0,1], got {p}");
+        let prefix = Self::prefix_sums(r, p);
+        let mut alpha = vec![0.0; r];
+        alpha[0] = prefix[0];
+        for h in 1..r {
+            alpha[h] = prefix[h] - prefix[h - 1];
+        }
+        Self { r, p, alpha, prefix }
+    }
+
+    /// The prefix sums `A_1, …, A_r` of Theorem 4.2 (`prefix[h-1]` is `A_h`).
+    ///
+    /// `A_r = 1 / (1 − (1−p)^r)` and, for `k = 0, …, r−2`,
+    ///
+    /// ```text
+    /// A_{r−k−1} = ( A_{r−k} + Σ_{ℓ=1}^{k} C(k,ℓ) ((1−p)/p)^ℓ ·
+    ///               (A_{r−k+ℓ} − (1 − (1−p)^{r−k−1}) A_{r−k+ℓ−1}) )
+    ///             / (1 − (1−p)^{r−k−1})
+    /// ```
+    fn prefix_sums(r: usize, p: f64) -> Vec<f64> {
+        let q = 1.0 - p;
+        let mut a = vec![0.0; r + 1]; // a[h] = A_h for h = 1..=r; a[0] unused
+        a[r] = 1.0 / (1.0 - q.powi(r as i32));
+        for k in 0..=(r.saturating_sub(2)) {
+            if r < k + 2 {
+                break;
+            }
+            let target = r - k - 1; // computing A_{r-k-1}
+            let denom = 1.0 - q.powi(target as i32);
+            let mut t = 0.0;
+            let mut binom = 1.0f64; // C(k, l) built incrementally
+            for l in 1..=k {
+                binom = binom * (k - l + 1) as f64 / l as f64;
+                let factor = (q / p).powi(l as i32);
+                t += binom * factor * (a[r - k + l] - denom * a[r - k + l - 1]);
+            }
+            a[target] = (a[r - k] + t) / denom;
+        }
+        a.remove(0);
+        a
+    }
+
+    /// The number of instances `r`.
+    #[must_use]
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// The uniform sampling probability `p`.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The coefficients `α_1, …, α_r` applied to the sorted determining vector.
+    #[must_use]
+    pub fn coefficients(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// The prefix sums `A_1, …, A_r`.
+    #[must_use]
+    pub fn prefix_sums_slice(&self) -> &[f64] {
+        &self.prefix
+    }
+
+    /// Applies the estimator to a multiset of sampled values (the values of
+    /// the sampled entries, in any order).  Returns 0 for an empty sample.
+    ///
+    /// # Panics
+    /// Panics if more than `r` values are supplied.
+    #[must_use]
+    pub fn estimate_from_sampled_values(&self, sampled: &[f64]) -> f64 {
+        assert!(
+            sampled.len() <= self.r,
+            "got {} sampled values for r = {}",
+            sampled.len(),
+            self.r
+        );
+        if sampled.is_empty() {
+            return 0.0;
+        }
+        let mut z = sampled.to_vec();
+        z.sort_by(|a, b| b.partial_cmp(a).expect("values must not be NaN"));
+        let top = z[0];
+        let missing = self.r - z.len();
+        // Sorted determining vector: `missing` copies of the top value,
+        // followed by the sorted sampled values.
+        let mut estimate = 0.0;
+        for (i, &alpha) in self.alpha.iter().enumerate() {
+            let u = if i < missing { top } else { z[i - missing] };
+            estimate += alpha * u;
+        }
+        estimate
+    }
+}
+
+impl Estimator<ObliviousOutcome> for MaxLUniform {
+    fn estimate(&self, outcome: &ObliviousOutcome) -> f64 {
+        assert_eq!(
+            outcome.num_instances(),
+            self.r,
+            "outcome has {} instances, estimator was built for {}",
+            outcome.num_instances(),
+            self.r
+        );
+        let sampled: Vec<f64> = outcome.entries.iter().filter_map(|e| e.value).collect();
+        self.estimate_from_sampled_values(&sampled)
+    }
+
+    fn name(&self) -> &'static str {
+        "max_l_uniform"
+    }
+}
+
+impl DocumentedEstimator<ObliviousOutcome> for MaxLUniform {
+    fn properties(&self) -> EstimatorProperties {
+        EstimatorProperties::pareto()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pie_sampling::ObliviousEntry;
+
+    /// Enumerates all 2^r outcomes of weight-oblivious Poisson sampling of the
+    /// data vector `v` with probabilities `p`, returning `(probability, outcome)`.
+    fn enumerate_outcomes(v: &[f64], p: &[f64]) -> Vec<(f64, ObliviousOutcome)> {
+        let r = v.len();
+        let mut out = Vec::with_capacity(1 << r);
+        for mask in 0u32..(1 << r) {
+            let mut prob = 1.0;
+            let mut entries = Vec::with_capacity(r);
+            for i in 0..r {
+                let sampled = mask & (1 << i) != 0;
+                prob *= if sampled { p[i] } else { 1.0 - p[i] };
+                entries.push(ObliviousEntry {
+                    p: p[i],
+                    value: if sampled { Some(v[i]) } else { None },
+                });
+            }
+            out.push((prob, ObliviousOutcome::new(entries)));
+        }
+        out
+    }
+
+    fn expectation<E: Estimator<ObliviousOutcome>>(est: &E, v: &[f64], p: &[f64]) -> f64 {
+        enumerate_outcomes(v, p)
+            .iter()
+            .map(|(prob, o)| prob * est.estimate(o))
+            .sum()
+    }
+
+    fn variance<E: Estimator<ObliviousOutcome>>(est: &E, v: &[f64], p: &[f64]) -> f64 {
+        let mean = expectation(est, v, p);
+        enumerate_outcomes(v, p)
+            .iter()
+            .map(|(prob, o)| {
+                let x = est.estimate(o);
+                prob * (x - mean) * (x - mean)
+            })
+            .sum()
+    }
+
+    fn max_of(v: &[f64]) -> f64 {
+        v.iter().copied().fold(0.0, f64::max)
+    }
+
+    const DATA_2: &[[f64; 2]] = &[
+        [0.0, 0.0],
+        [1.0, 0.0],
+        [0.0, 1.0],
+        [1.0, 1.0],
+        [3.0, 1.0],
+        [1.0, 3.0],
+        [5.0, 5.0],
+        [10.0, 0.1],
+    ];
+
+    #[test]
+    fn ht_is_unbiased_r2() {
+        for &[v1, v2] in DATA_2 {
+            for &(p1, p2) in &[(0.5, 0.5), (0.3, 0.8), (0.1, 0.9)] {
+                let e = expectation(&MaxHtOblivious, &[v1, v2], &[p1, p2]);
+                assert!((e - max_of(&[v1, v2])).abs() < 1e-10, "bias for ({v1},{v2})");
+            }
+        }
+    }
+
+    #[test]
+    fn max_l2_is_unbiased() {
+        for &[v1, v2] in DATA_2 {
+            for &(p1, p2) in &[(0.5, 0.5), (0.3, 0.8), (0.1, 0.9), (0.25, 0.25)] {
+                let est = MaxL2::new(p1, p2);
+                let e = expectation(&est, &[v1, v2], &[p1, p2]);
+                assert!(
+                    (e - max_of(&[v1, v2])).abs() < 1e-10,
+                    "bias for ({v1},{v2}) p=({p1},{p2}): {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_u2_is_unbiased() {
+        for &[v1, v2] in DATA_2 {
+            for &(p1, p2) in &[(0.5, 0.5), (0.3, 0.8), (0.1, 0.9), (0.2, 0.3)] {
+                let est = MaxU2::new(p1, p2);
+                let e = expectation(&est, &[v1, v2], &[p1, p2]);
+                assert!(
+                    (e - max_of(&[v1, v2])).abs() < 1e-10,
+                    "bias for ({v1},{v2}) p=({p1},{p2}): {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_u2_asymmetric_is_unbiased() {
+        for &[v1, v2] in DATA_2 {
+            for &(p1, p2) in &[(0.5, 0.5), (0.3, 0.8), (0.2, 0.3)] {
+                let est = MaxU2Asymmetric::new(p1, p2);
+                let e = expectation(&est, &[v1, v2], &[p1, p2]);
+                assert!(
+                    (e - max_of(&[v1, v2])).abs() < 1e-10,
+                    "bias for ({v1},{v2}) p=({p1},{p2}): {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_l2_and_u2_are_nonnegative() {
+        for &[v1, v2] in DATA_2 {
+            for &(p1, p2) in &[(0.5, 0.5), (0.3, 0.8), (0.1, 0.9), (0.2, 0.3)] {
+                for (_, o) in enumerate_outcomes(&[v1, v2], &[p1, p2]) {
+                    assert!(MaxL2::new(p1, p2).estimate(&o) >= -1e-12);
+                    assert!(MaxU2::new(p1, p2).estimate(&o) >= -1e-12);
+                    assert!(MaxU2Asymmetric::new(p1, p2).estimate(&o) >= -1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_l2_and_u2_dominate_ht() {
+        // Lemma 4.1 and the discussion after the U construction.
+        for &[v1, v2] in DATA_2 {
+            for &(p1, p2) in &[(0.5, 0.5), (0.3, 0.8), (0.2, 0.3)] {
+                let var_ht = variance(&MaxHtOblivious, &[v1, v2], &[p1, p2]);
+                let var_l = variance(&MaxL2::new(p1, p2), &[v1, v2], &[p1, p2]);
+                let var_u = variance(&MaxU2::new(p1, p2), &[v1, v2], &[p1, p2]);
+                assert!(var_l <= var_ht + 1e-9, "L should dominate HT on ({v1},{v2})");
+                assert!(var_u <= var_ht + 1e-9, "U should dominate HT on ({v1},{v2})");
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_example_values_p_half() {
+        // Figure 1's explicit tables for p1 = p2 = 1/2.
+        let l = MaxL2::new(0.5, 0.5);
+        let u = MaxU2::new(0.5, 0.5);
+        let (v1, v2) = (3.0f64, 2.0f64);
+        let o = |e1: Option<f64>, e2: Option<f64>| {
+            ObliviousOutcome::new(vec![
+                ObliviousEntry { p: 0.5, value: e1 },
+                ObliviousEntry { p: 0.5, value: e2 },
+            ])
+        };
+        // max^(L): only entry 1 sampled -> 4 v1 / 3
+        assert!((l.estimate(&o(Some(v1), None)) - 4.0 * v1 / 3.0).abs() < 1e-12);
+        // both sampled -> (8 max - 4 min) / 3
+        assert!(
+            (l.estimate(&o(Some(v1), Some(v2))) - (8.0 * v1 - 4.0 * v2) / 3.0).abs() < 1e-12
+        );
+        // max^(U): only entry 1 sampled -> 2 v1 ; both -> 2 max - 2 min
+        assert!((u.estimate(&o(Some(v1), None)) - 2.0 * v1).abs() < 1e-12);
+        assert!((u.estimate(&o(Some(v1), Some(v2))) - (2.0 * v1 - 2.0 * v2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure1_variance_formulas_p_half() {
+        // VAR[max^(L)] = 11/9 max² + 8/9 min² − 16/9 max·min (as in the paper);
+        // VAR[max^(U)] = max² + 2 min² − 2 max·min, i.e. the value implied by
+        // the estimator table printed in Figure 1 (the paper's box states a
+        // 3/4 coefficient on max², which the estimator itself cannot achieve —
+        // 1/p − 1 = 1 is the floor on (1,0) at p = 1/2).
+        for &[v1, v2] in &[[1.0f64, 0.0], [1.0, 0.5], [1.0, 1.0], [4.0, 3.0]] {
+            let (mx, mn) = (v1.max(v2), v1.min(v2));
+            let var_l = variance(&MaxL2::new(0.5, 0.5), &[v1, v2], &[0.5, 0.5]);
+            let var_u = variance(&MaxU2::new(0.5, 0.5), &[v1, v2], &[0.5, 0.5]);
+            let var_ht = variance(&MaxHtOblivious, &[v1, v2], &[0.5, 0.5]);
+            let expect_l = 11.0 / 9.0 * mx * mx + 8.0 / 9.0 * mn * mn - 16.0 / 9.0 * mx * mn;
+            let expect_u = mx * mx + 2.0 * mn * mn - 2.0 * mx * mn;
+            assert!((var_l - expect_l).abs() < 1e-9, "L variance {var_l} vs {expect_l}");
+            assert!((var_u - expect_u).abs() < 1e-9, "U variance {var_u} vs {expect_u}");
+            assert!((var_ht - 3.0 * mx * mx).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn uniform_coefficients_match_paper_r2() {
+        // α = (1/(p²(2−p)), −(1−p)/(p²(2−p))) for r = 2.
+        for &p in &[0.1, 0.3, 0.5, 0.9] {
+            let est = MaxLUniform::new(2, p);
+            let denom = p * p * (2.0 - p);
+            assert!((est.coefficients()[0] - 1.0 / denom).abs() < 1e-12);
+            assert!((est.coefficients()[1] + (1.0 - p) / denom).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_prefix_sums_match_paper_r3() {
+        // A_3 = 1/(p(p²−3p+3)), A_2 = A_3 / (p(2−p)), A_1 = (2+p²−2p)/(p³(p²−3p+3)(2−p)).
+        for &p in &[0.2, 0.5, 0.8] {
+            let est = MaxLUniform::new(3, p);
+            let a = est.prefix_sums_slice();
+            let a3 = 1.0 / (p * (p * p - 3.0 * p + 3.0));
+            let a2 = a3 / (p * (2.0 - p));
+            let a1 = (2.0 + p * p - 2.0 * p) / (p.powi(3) * (p * p - 3.0 * p + 3.0) * (2.0 - p));
+            assert!((a[2] - a3).abs() < 1e-10, "A3 mismatch at p={p}");
+            assert!((a[1] - a2).abs() < 1e-10, "A2 mismatch at p={p}");
+            assert!((a[0] - a1).abs() < 1e-10, "A1 mismatch at p={p}: {} vs {a1}", a[0]);
+        }
+    }
+
+    #[test]
+    fn uniform_matches_two_instance_closed_form() {
+        let p = 0.37;
+        let uni = MaxLUniform::new(2, p);
+        let two = MaxL2::new(p, p);
+        for &[v1, v2] in DATA_2 {
+            for (_, o) in enumerate_outcomes(&[v1, v2], &[p, p]) {
+                let a = uni.estimate(&o);
+                let b = two.estimate(&o);
+                assert!((a - b).abs() < 1e-9, "mismatch on ({v1},{v2}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_is_unbiased_r3_r4() {
+        let data3 = [
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [2.0, 1.0, 0.0],
+            [5.0, 5.0, 5.0],
+            [3.0, 1.0, 2.0],
+        ];
+        for &p in &[0.3, 0.6] {
+            let est = MaxLUniform::new(3, p);
+            for v in &data3 {
+                let e = expectation(&est, v, &[p, p, p]);
+                assert!((e - max_of(v)).abs() < 1e-9, "bias for {v:?} p={p}: {e}");
+            }
+        }
+        let data4 = [
+            [0.0, 0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0, 0.0],
+            [4.0, 3.0, 2.0, 1.0],
+            [2.0, 2.0, 2.0, 2.0],
+            [1.0, 0.0, 3.0, 0.0],
+        ];
+        for &p in &[0.25, 0.5] {
+            let est = MaxLUniform::new(4, p);
+            for v in &data4 {
+                let e = expectation(&est, v, &[p, p, p, p]);
+                assert!((e - max_of(v)).abs() < 1e-8, "bias for {v:?} p={p}: {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_coefficient_signs_up_to_r4() {
+        // Lemma 4.2's sufficient conditions, verified by the paper for r ≤ 4:
+        // α_1 ≤ 1/p^r and α_i < 0 for i > 1.  They imply monotonicity,
+        // nonnegativity, and dominance over HT.
+        for r in 2..=4usize {
+            for &p in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+                let est = MaxLUniform::new(r, p);
+                let alpha = est.coefficients();
+                assert!(
+                    alpha[0] <= 1.0 / p.powi(r as i32) + 1e-9,
+                    "alpha_1 too large at r={r}, p={p}"
+                );
+                for (i, &a) in alpha.iter().enumerate().skip(1) {
+                    assert!(a < 1e-12, "alpha_{} = {a} should be negative (r={r}, p={p})", i + 1);
+                }
+                // Prefix sums must stay positive (needed for monotonicity).
+                for (h, &s) in est.prefix_sums_slice().iter().enumerate() {
+                    assert!(s > 0.0, "prefix sum A_{} nonpositive (r={r}, p={p})", h + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_dominates_ht_r3() {
+        let p = 0.4;
+        let est = MaxLUniform::new(3, p);
+        for v in &[[1.0, 0.0, 0.0], [1.0, 1.0, 0.0], [1.0, 1.0, 1.0], [3.0, 2.0, 1.0]] {
+            let var_l = variance(&est, v, &[p, p, p]);
+            let var_ht = variance(&MaxHtOblivious, v, &[p, p, p]);
+            assert!(var_l <= var_ht + 1e-9, "L should dominate HT on {v:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_estimator_is_monotone_in_information_r3() {
+        // Adding a sampled entry (with a value no larger than the current max)
+        // must not decrease the estimate.
+        let est = MaxLUniform::new(3, 0.5);
+        let e1 = est.estimate_from_sampled_values(&[4.0]);
+        let e2 = est.estimate_from_sampled_values(&[4.0, 4.0]);
+        let e3 = est.estimate_from_sampled_values(&[4.0, 4.0, 4.0]);
+        assert!(e2 >= e1 - 1e-12);
+        assert!(e3 >= e2 - 1e-12);
+        // Revealing a smaller second value still cannot decrease the estimate
+        // relative to knowing less (determining vector was already imputing max).
+        let e_low = est.estimate_from_sampled_values(&[4.0, 1.0]);
+        assert!(e_low >= e1 - 1e-12 || e_low >= 0.0);
+    }
+
+    #[test]
+    fn empty_outcome_estimates_zero() {
+        let o = ObliviousOutcome::new(vec![
+            ObliviousEntry { p: 0.5, value: None },
+            ObliviousEntry { p: 0.5, value: None },
+        ]);
+        assert_eq!(MaxHtOblivious.estimate(&o), 0.0);
+        assert_eq!(MaxL2::new(0.5, 0.5).estimate(&o), 0.0);
+        assert_eq!(MaxU2::new(0.5, 0.5).estimate(&o), 0.0);
+        assert_eq!(MaxLUniform::new(2, 0.5).estimate(&o), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly two instances")]
+    fn max_l2_rejects_three_instances() {
+        let o = ObliviousOutcome::new(vec![
+            ObliviousEntry { p: 0.5, value: None },
+            ObliviousEntry { p: 0.5, value: None },
+            ObliviousEntry { p: 0.5, value: None },
+        ]);
+        let _ = MaxL2::new(0.5, 0.5).estimate(&o);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two instances")]
+    fn uniform_rejects_r1() {
+        let _ = MaxLUniform::new(1, 0.5);
+    }
+
+    #[test]
+    fn documented_properties() {
+        assert!(MaxHtOblivious.properties().unbiased);
+        assert!(!MaxHtOblivious.properties().pareto_optimal);
+        assert!(MaxL2::new(0.5, 0.5).properties().pareto_optimal);
+        assert!(MaxLUniform::new(3, 0.5).properties().pareto_optimal);
+    }
+}

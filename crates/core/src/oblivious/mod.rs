@@ -1,0 +1,13 @@
+//! Estimators over weight-oblivious Poisson samples (Section 4 of the paper).
+//!
+//! In this regime every entry of the value vector is sampled independently
+//! with a known probability that does not depend on the value.  The paper
+//! derives two Pareto-optimal families — the "L" estimators (optimized for
+//! dense vectors) and the "U" estimators (optimized for sparse vectors) — and
+//! compares both against the Horvitz–Thompson baseline.
+
+pub mod max;
+pub mod or;
+
+pub use max::{MaxHtOblivious, MaxL2, MaxLUniform, MaxU2, MaxU2Asymmetric};
+pub use or::{OrHtOblivious, OrL2, OrLUniform, OrU2};

@@ -1,0 +1,343 @@
+//! Estimators for Boolean `OR(v)` under weight-oblivious Poisson sampling
+//! (Section 4.3).
+//!
+//! On the binary domain `{0,1}^r` the maximum *is* the OR, so the `OR`
+//! estimators specialize the `max` estimators of Section 4.1–4.2 — and the
+//! paper shows the specializations remain Pareto optimal on the restricted
+//! domain.  Sum-aggregating an OR estimator over keys yields a distinct-count
+//! (set-union) estimator (Section 8.1).
+
+use pie_sampling::ObliviousOutcome;
+
+use crate::estimate::{DocumentedEstimator, Estimator, EstimatorProperties};
+use crate::oblivious::max::{MaxHtOblivious, MaxL2, MaxLUniform, MaxU2};
+
+/// Asserts that every sampled value in the outcome is 0 or 1.
+fn assert_binary(outcome: &ObliviousOutcome) {
+    for e in &outcome.entries {
+        if let Some(v) = e.value {
+            assert!(
+                v == 0.0 || v == 1.0,
+                "OR estimators require binary data, got sampled value {v}"
+            );
+        }
+    }
+}
+
+/// The inverse-probability estimator `OR^(HT)`: `1/∏p_i` when every entry is
+/// sampled and at least one sampled value is 1, and 0 otherwise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OrHtOblivious;
+
+impl Estimator<ObliviousOutcome> for OrHtOblivious {
+    fn estimate(&self, outcome: &ObliviousOutcome) -> f64 {
+        assert_binary(outcome);
+        MaxHtOblivious.estimate(outcome)
+    }
+
+    fn name(&self) -> &'static str {
+        "or_ht_oblivious"
+    }
+}
+
+impl DocumentedEstimator<ObliviousOutcome> for OrHtOblivious {
+    fn properties(&self) -> EstimatorProperties {
+        EstimatorProperties::ht()
+    }
+}
+
+/// The `OR^(L)` estimator for two instances (Section 4.3): the specialization
+/// of `max^(L)` to binary data.  Pareto optimal; minimum variance on the
+/// "no change" vector `(1,1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrL2 {
+    inner: MaxL2,
+}
+
+impl OrL2 {
+    /// Creates the estimator for inclusion probabilities `p1, p2 ∈ (0, 1]`.
+    #[must_use]
+    pub fn new(p1: f64, p2: f64) -> Self {
+        Self {
+            inner: MaxL2::new(p1, p2),
+        }
+    }
+}
+
+impl Estimator<ObliviousOutcome> for OrL2 {
+    fn estimate(&self, outcome: &ObliviousOutcome) -> f64 {
+        assert_binary(outcome);
+        self.inner.estimate(outcome)
+    }
+
+    fn name(&self) -> &'static str {
+        "or_l_2"
+    }
+}
+
+impl DocumentedEstimator<ObliviousOutcome> for OrL2 {
+    fn properties(&self) -> EstimatorProperties {
+        EstimatorProperties::pareto()
+    }
+}
+
+/// The symmetric `OR^(U)` estimator for two instances (Section 4.3): the
+/// specialization of `max^(U)` to binary data.  Pareto optimal; minimum
+/// variance (among symmetric estimators) on the "change" vectors `(1,0)` and
+/// `(0,1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrU2 {
+    inner: MaxU2,
+}
+
+impl OrU2 {
+    /// Creates the estimator for inclusion probabilities `p1, p2 ∈ (0, 1]`.
+    #[must_use]
+    pub fn new(p1: f64, p2: f64) -> Self {
+        Self {
+            inner: MaxU2::new(p1, p2),
+        }
+    }
+}
+
+impl Estimator<ObliviousOutcome> for OrU2 {
+    fn estimate(&self, outcome: &ObliviousOutcome) -> f64 {
+        assert_binary(outcome);
+        self.inner.estimate(outcome)
+    }
+
+    fn name(&self) -> &'static str {
+        "or_u_2"
+    }
+}
+
+impl DocumentedEstimator<ObliviousOutcome> for OrU2 {
+    fn properties(&self) -> EstimatorProperties {
+        EstimatorProperties::pareto()
+    }
+}
+
+/// The `OR^(L)` estimator for `r ≥ 2` instances with a uniform sampling
+/// probability (the specialization of Algorithm 3 to binary data).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrLUniform {
+    inner: MaxLUniform,
+}
+
+impl OrLUniform {
+    /// Creates the estimator for `r ≥ 2` instances sampled with probability `p`.
+    #[must_use]
+    pub fn new(r: usize, p: f64) -> Self {
+        Self {
+            inner: MaxLUniform::new(r, p),
+        }
+    }
+
+    /// The underlying `max^(L)` coefficients.
+    #[must_use]
+    pub fn coefficients(&self) -> &[f64] {
+        self.inner.coefficients()
+    }
+}
+
+impl Estimator<ObliviousOutcome> for OrLUniform {
+    fn estimate(&self, outcome: &ObliviousOutcome) -> f64 {
+        assert_binary(outcome);
+        self.inner.estimate(outcome)
+    }
+
+    fn name(&self) -> &'static str {
+        "or_l_uniform"
+    }
+}
+
+impl DocumentedEstimator<ObliviousOutcome> for OrLUniform {
+    fn properties(&self) -> EstimatorProperties {
+        EstimatorProperties::pareto()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pie_sampling::ObliviousEntry;
+
+    fn enumerate_outcomes(v: &[f64], p: &[f64]) -> Vec<(f64, ObliviousOutcome)> {
+        let r = v.len();
+        let mut out = Vec::with_capacity(1 << r);
+        for mask in 0u32..(1 << r) {
+            let mut prob = 1.0;
+            let mut entries = Vec::with_capacity(r);
+            for i in 0..r {
+                let sampled = mask & (1 << i) != 0;
+                prob *= if sampled { p[i] } else { 1.0 - p[i] };
+                entries.push(ObliviousEntry {
+                    p: p[i],
+                    value: if sampled { Some(v[i]) } else { None },
+                });
+            }
+            out.push((prob, ObliviousOutcome::new(entries)));
+        }
+        out
+    }
+
+    fn expectation<E: Estimator<ObliviousOutcome>>(est: &E, v: &[f64], p: &[f64]) -> f64 {
+        enumerate_outcomes(v, p)
+            .iter()
+            .map(|(prob, o)| prob * est.estimate(o))
+            .sum()
+    }
+
+    fn variance<E: Estimator<ObliviousOutcome>>(est: &E, v: &[f64], p: &[f64]) -> f64 {
+        let mean = expectation(est, v, p);
+        enumerate_outcomes(v, p)
+            .iter()
+            .map(|(prob, o)| {
+                let x = est.estimate(o);
+                prob * (x - mean) * (x - mean)
+            })
+            .sum()
+    }
+
+    fn or_of(v: &[f64]) -> f64 {
+        if v.iter().any(|&x| x > 0.0) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    const BINARY_2: &[[f64; 2]] = &[[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]];
+
+    #[test]
+    fn all_or_estimators_are_unbiased_r2() {
+        for &(p1, p2) in &[(0.5, 0.5), (0.2, 0.7), (0.1, 0.1)] {
+            for v in BINARY_2 {
+                let truth = or_of(v);
+                for est in [
+                    Box::new(OrHtOblivious) as Box<dyn Estimator<ObliviousOutcome>>,
+                    Box::new(OrL2::new(p1, p2)),
+                    Box::new(OrU2::new(p1, p2)),
+                ] {
+                    let e = expectation(&est, v, &[p1, p2]);
+                    assert!(
+                        (e - truth).abs() < 1e-10,
+                        "{} biased on {v:?} at p=({p1},{p2}): {e}",
+                        est.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn or_estimators_are_nonnegative() {
+        for &(p1, p2) in &[(0.5, 0.5), (0.2, 0.7), (0.1, 0.1)] {
+            for v in BINARY_2 {
+                for (_, o) in enumerate_outcomes(v, &[p1, p2]) {
+                    assert!(OrHtOblivious.estimate(&o) >= 0.0);
+                    assert!(OrL2::new(p1, p2).estimate(&o) >= -1e-12);
+                    assert!(OrU2::new(p1, p2).estimate(&o) >= -1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_variance_formulas() {
+        // Eq. (23): VAR[OR^(HT) | OR(v)=1] = 1/(p1 p2) − 1.
+        // Eq. (24): VAR[OR^(L) | (1,1)] = 1/(p1+p2−p1p2) − 1.
+        for &(p1, p2) in &[(0.5, 0.5), (0.2, 0.7), (0.1, 0.3)] {
+            let var_ht = variance(&OrHtOblivious, &[1.0, 1.0], &[p1, p2]);
+            assert!((var_ht - (1.0 / (p1 * p2) - 1.0)).abs() < 1e-10);
+            let var_ht_10 = variance(&OrHtOblivious, &[1.0, 0.0], &[p1, p2]);
+            assert!((var_ht_10 - (1.0 / (p1 * p2) - 1.0)).abs() < 1e-10);
+            let var_l = variance(&OrL2::new(p1, p2), &[1.0, 1.0], &[p1, p2]);
+            let p_any = p1 + p2 - p1 * p2;
+            assert!((var_l - (1.0 / p_any - 1.0)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn or_l_variance_on_change_vector_matches_paper() {
+        // Explicit formula below Eq. (24) for data (1,0).
+        for &(p1, p2) in &[(0.5f64, 0.5f64), (0.2, 0.7), (0.1, 0.3)] {
+            let p_any = p1 + p2 - p1 * p2;
+            let expected = (1.0 - p1)
+                + p1 * (1.0 - p2) * (1.0 / p_any - 1.0).powi(2)
+                + p1 * p2 * (1.0 / (p1 * p_any) - 1.0).powi(2);
+            let var_l = variance(&OrL2::new(p1, p2), &[1.0, 0.0], &[p1, p2]);
+            assert!(
+                (var_l - expected).abs() < 1e-10,
+                "OR^L variance on (1,0) at p=({p1},{p2}): {var_l} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn asymptotic_gains_for_small_p() {
+        // Section 4.3: as p → 0, VAR[OR^(HT)] ≈ 1/p², while
+        // VAR[OR^(L)], VAR[OR^(U)] ≈ 1/(4p²) on (1,0)/(0,1) and ≈ 1/(2p) on (1,1).
+        let p = 0.001;
+        let var_ht = variance(&OrHtOblivious, &[1.0, 0.0], &[p, p]);
+        let var_l_10 = variance(&OrL2::new(p, p), &[1.0, 0.0], &[p, p]);
+        let var_u_10 = variance(&OrU2::new(p, p), &[1.0, 0.0], &[p, p]);
+        let var_l_11 = variance(&OrL2::new(p, p), &[1.0, 1.0], &[p, p]);
+        let var_u_11 = variance(&OrU2::new(p, p), &[1.0, 1.0], &[p, p]);
+        assert!((var_ht * p * p - 1.0).abs() < 0.01);
+        assert!((var_l_10 * 4.0 * p * p - 1.0).abs() < 0.01, "{}", var_l_10 * 4.0 * p * p);
+        assert!((var_u_10 * 4.0 * p * p - 1.0).abs() < 0.01);
+        assert!((var_l_11 * 2.0 * p - 1.0).abs() < 0.01);
+        assert!((var_u_11 * 2.0 * p - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn l_beats_u_on_no_change_and_vice_versa() {
+        // Figure 2: OR^(L) has minimum variance on (1,1); OR^(U) on (1,0).
+        for &p in &[0.1, 0.3, 0.5] {
+            let var_l_11 = variance(&OrL2::new(p, p), &[1.0, 1.0], &[p, p]);
+            let var_u_11 = variance(&OrU2::new(p, p), &[1.0, 1.0], &[p, p]);
+            let var_l_10 = variance(&OrL2::new(p, p), &[1.0, 0.0], &[p, p]);
+            let var_u_10 = variance(&OrU2::new(p, p), &[1.0, 0.0], &[p, p]);
+            assert!(var_l_11 <= var_u_11 + 1e-12);
+            assert!(var_u_10 <= var_l_10 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn or_l_uniform_specializes_max_l_and_stays_unbiased_r3() {
+        let p = 0.3;
+        let est = OrLUniform::new(3, p);
+        let data = [
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [1.0, 1.0, 0.0],
+            [1.0, 1.0, 1.0],
+        ];
+        for v in &data {
+            let e = expectation(&est, v, &[p, p, p]);
+            assert!((e - or_of(v)).abs() < 1e-9, "bias on {v:?}: {e}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "binary")]
+    fn non_binary_values_rejected() {
+        let o = ObliviousOutcome::new(vec![
+            ObliviousEntry {
+                p: 0.5,
+                value: Some(2.0),
+            },
+            ObliviousEntry { p: 0.5, value: None },
+        ]);
+        let _ = OrL2::new(0.5, 0.5).estimate(&o);
+    }
+
+    #[test]
+    fn documented_properties() {
+        assert!(!OrHtOblivious.properties().pareto_optimal);
+        assert!(OrL2::new(0.5, 0.5).properties().pareto_optimal);
+        assert!(OrU2::new(0.5, 0.5).properties().pareto_optimal);
+        assert!(OrLUniform::new(3, 0.5).properties().pareto_optimal);
+    }
+}

@@ -1,0 +1,420 @@
+//! Estimators for `max(v)` under weighted (PPS) Poisson sampling with known
+//! seeds (Section 5.2 and Appendix A).
+//!
+//! Entry `i` is sampled iff `v_i ≥ u_i·τ*_i` (probability `min(1, v_i/τ*_i)`),
+//! and the seeds `u_i` are available to the estimator.  The key consequence is
+//! that an *unsampled* entry still reveals the upper bound `v_i < u_i·τ*_i`.
+//!
+//! * [`MaxHtPps`] is the optimal inverse-probability estimator of
+//!   Cohen–Kaplan–Sen: positive exactly on outcomes from which `max(v)` can be
+//!   recovered (every unsampled entry's upper bound is below the sampled
+//!   maximum).
+//! * [`MaxLPps2`] is the paper's Pareto-optimal order-based estimator for two
+//!   instances (Figure 3): it maps each outcome to its ≺-minimal consistent
+//!   ("determining") vector and applies a closed-form expression with four
+//!   regimes, derived in Appendix A.  With equal thresholds it dominates
+//!   [`MaxHtPps`], with the largest gains (factor ≈ 2/ρ, `ρ = max(v)/τ*`) when
+//!   the two entries are similar; see EXPERIMENTS.md for how the measured
+//!   ratios compare with the paper's §5.2 claims.
+
+use pie_sampling::WeightedOutcome;
+
+use crate::estimate::{DocumentedEstimator, Estimator, EstimatorProperties};
+
+/// The optimal inverse-probability estimator `max^(HT)` for PPS samples with
+/// known seeds, any number of instances (Section 5.2, after [17, 18]).
+///
+/// Positive exactly when `max_{i∉S} u_i·τ*_i ≤ max_{i∈S} v_i`, in which case
+/// the estimate is `max_{i∈S} v_i / ∏_{i∈[r]} min(1, max_{i∈S} v_i / τ*_i)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaxHtPps;
+
+impl Estimator<WeightedOutcome> for MaxHtPps {
+    fn estimate(&self, outcome: &WeightedOutcome) -> f64 {
+        let Some(max_sampled) = outcome.max_sampled() else {
+            return 0.0;
+        };
+        let bound = outcome
+            .max_unsampled_bound()
+            .expect("max^(HT) for PPS requires known seeds");
+        if bound > max_sampled {
+            return 0.0;
+        }
+        let mut prob = 1.0;
+        for e in &outcome.entries {
+            prob *= (max_sampled / e.tau_star).min(1.0);
+        }
+        if prob > 0.0 {
+            max_sampled / prob
+        } else {
+            0.0
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "max_ht_pps"
+    }
+}
+
+impl DocumentedEstimator<WeightedOutcome> for MaxHtPps {
+    fn properties(&self) -> EstimatorProperties {
+        EstimatorProperties::ht()
+    }
+}
+
+/// The Pareto-optimal `max^(L)` estimator for two PPS-sampled instances with
+/// known seeds (Section 5.2, Figure 3, Appendix A).
+///
+/// The outcome is first mapped to its determining vector `φ(S)`
+/// (unsampled entries replaced by `min(u_i·τ*_i, max sampled value)`), then a
+/// four-case closed form is evaluated.  The estimator is unbiased,
+/// nonnegative and monotone; with equal thresholds it dominates [`MaxHtPps`],
+/// with the gain growing as the two entries become similar and as the
+/// sampling rate increases.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaxLPps2;
+
+impl MaxLPps2 {
+    /// The determining vector `φ(S)` of a two-instance outcome.
+    ///
+    /// * `S = ∅` → `(0, 0)`
+    /// * `S = {1}` → `(v_1, min(u_2·τ*_2, v_1))`
+    /// * `S = {2}` → `(min(u_1·τ*_1, v_2), v_2)`
+    /// * `S = {1,2}` → `(v_1, v_2)`
+    ///
+    /// # Panics
+    /// Panics if the outcome does not have exactly two entries or seeds are
+    /// missing for unsampled entries.
+    #[must_use]
+    pub fn determining_vector(outcome: &WeightedOutcome) -> [f64; 2] {
+        assert_eq!(
+            outcome.num_instances(),
+            2,
+            "MaxLPps2 is defined for exactly two instances"
+        );
+        let e1 = &outcome.entries[0];
+        let e2 = &outcome.entries[1];
+        match (e1.value, e2.value) {
+            (None, None) => [0.0, 0.0],
+            (Some(v1), None) => {
+                let bound = e2
+                    .unsampled_upper_bound()
+                    .expect("max^(L) for PPS requires known seeds");
+                [v1, bound.min(v1)]
+            }
+            (None, Some(v2)) => {
+                let bound = e1
+                    .unsampled_upper_bound()
+                    .expect("max^(L) for PPS requires known seeds");
+                [bound.min(v2), v2]
+            }
+            (Some(v1), Some(v2)) => [v1, v2],
+        }
+    }
+
+    /// Evaluates the Figure 3 closed form on a determining vector `(v1, v2)`
+    /// with thresholds `(tau1, tau2)`, assuming `v1 ≥ v2` (the caller swaps
+    /// indices otherwise).
+    fn closed_form(v1: f64, v2: f64, tau1: f64, tau2: f64) -> f64 {
+        debug_assert!(v1 >= v2);
+        if v1 <= 0.0 {
+            return 0.0;
+        }
+        if v2 >= tau2 {
+            // Case: v1 ≥ v2 ≥ τ*_2.
+            return v2 + (v1 - v2) / (v1 / tau1).min(1.0);
+        }
+        if v1 >= tau1 {
+            // Case: v1 ≥ τ*_1, v2 ≤ min(τ*_2, v1).
+            return v1;
+        }
+        let s = tau1 + tau2;
+        if v1 <= tau2 {
+            // Case: v2 ≤ v1 ≤ min(τ*_1, τ*_2).
+            let a = tau1 * tau2 / (s - v1);
+            let b = tau1 * tau2 * (tau1 - v1) / (v1 * s);
+            let log_arg = (s - v2) * v1 / (v2 * (s - v1));
+            let d = (v1 - v2) * tau1 * tau2 * (tau1 - v1) / (v1 * (s - v2) * (s - v1));
+            a + b * log_arg.ln() + d
+        } else {
+            // Case: v2 ≤ τ*_2 ≤ v1 ≤ τ*_1 (Equation (30) / last row of Figure 3).
+            //
+            // Note on the logarithm's argument: the paper prints
+            // `(τ1+τ2−v2)·τ1 / (τ2·(τ1+τ2−v1))`, but evaluating the
+            // antiderivative of Footnote 2 at the lower limit `x = v1 − τ2`
+            // (where the case-(26) boundary value must be recovered) gives
+            // `(τ1+τ2−v2)·τ2 / (τ1·v2)`; the printed form does not reduce to
+            // the boundary value at `v2 = τ2` and breaks unbiasedness, so we
+            // use the re-derived argument.  See EXPERIMENTS.md.
+            let e = tau1 + tau2 - tau1 * tau2 / v1;
+            let f = tau1 * tau2 * (tau1 - v1) / (v1 * s);
+            let log_arg = (s - v2) * tau2 / (tau1 * v2);
+            let h = tau2 * (tau1 - v1) * (tau2 - v2) / ((s - v2) * v1);
+            e + f * log_arg.ln() + h
+        }
+    }
+}
+
+impl Estimator<WeightedOutcome> for MaxLPps2 {
+    fn estimate(&self, outcome: &WeightedOutcome) -> f64 {
+        let phi = Self::determining_vector(outcome);
+        let tau1 = outcome.entries[0].tau_star;
+        let tau2 = outcome.entries[1].tau_star;
+        if phi[0] >= phi[1] {
+            Self::closed_form(phi[0], phi[1], tau1, tau2)
+        } else {
+            // Symmetric expression with the roles of the instances exchanged.
+            Self::closed_form(phi[1], phi[0], tau2, tau1)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "max_l_pps_2"
+    }
+}
+
+impl DocumentedEstimator<WeightedOutcome> for MaxLPps2 {
+    fn properties(&self) -> EstimatorProperties {
+        EstimatorProperties::pareto()
+    }
+}
+
+/// The closed-form estimate on a determining vector with two *equal* entries
+/// (Equation (25)): `v / (q_1 + (1−q_1) q_2)` where `q_i = min(1, v/τ*_i)`.
+///
+/// Exposed for tests and for the derivation walk-through example.
+#[must_use]
+pub fn max_l_pps2_equal_entries(v: f64, tau1: f64, tau2: f64) -> f64 {
+    if v <= 0.0 {
+        return 0.0;
+    }
+    let q1 = (v / tau1).min(1.0);
+    let q2 = (v / tau2).min(1.0);
+    v / (q1 + (1.0 - q1) * q2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pie_sampling::WeightedEntry;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Scales Monte-Carlo trial counts down in debug builds so that
+    /// `cargo test` (unoptimized) stays fast; tolerances below are set for the
+    /// scaled counts.
+    fn trials(n: usize) -> usize {
+        if cfg!(debug_assertions) {
+            n / 10
+        } else {
+            n
+        }
+    }
+
+    /// Simulates PPS sampling with known seeds for a two-entry data vector and
+    /// returns the outcome.
+    fn simulate(v: &[f64; 2], tau: &[f64; 2], u: [f64; 2]) -> WeightedOutcome {
+        let entries = (0..2)
+            .map(|i| {
+                let sampled = v[i] > 0.0 && v[i] >= u[i] * tau[i];
+                WeightedEntry {
+                    tau_star: tau[i],
+                    seed: Some(u[i]),
+                    value: if sampled { Some(v[i]) } else { None },
+                }
+            })
+            .collect();
+        WeightedOutcome::new(entries)
+    }
+
+    fn monte_carlo_mean_var<E: Estimator<WeightedOutcome>>(
+        est: &E,
+        v: &[f64; 2],
+        tau: &[f64; 2],
+        trials: usize,
+        seed: u64,
+    ) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..trials {
+            let u = [rng.gen_range(1e-12..1.0), rng.gen_range(1e-12..1.0)];
+            let x = est.estimate(&simulate(v, tau, u));
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / trials as f64;
+        (mean, sum_sq / trials as f64 - mean * mean)
+    }
+
+    #[test]
+    fn determining_vector_cases() {
+        let tau = [10.0, 8.0];
+        // Both sampled.
+        let o = simulate(&[6.0, 3.0], &tau, [0.5, 0.3]);
+        assert_eq!(o.num_sampled(), 2);
+        assert_eq!(MaxLPps2::determining_vector(&o), [6.0, 3.0]);
+        // Only entry 1 sampled, bound below v1.
+        let o = simulate(&[6.0, 3.0], &tau, [0.5, 0.6]); // u2*tau2 = 4.8 > 3 -> not sampled
+        assert_eq!(o.num_sampled(), 1);
+        assert_eq!(MaxLPps2::determining_vector(&o), [6.0, 4.8]);
+        // Only entry 1 sampled, bound above v1 -> capped at v1.
+        let o = simulate(&[6.0, 3.0], &tau, [0.5, 0.9]); // u2*tau2 = 7.2 > 6
+        assert_eq!(MaxLPps2::determining_vector(&o), [6.0, 6.0]);
+        // Nothing sampled.
+        let o = simulate(&[6.0, 3.0], &tau, [0.7, 0.9]);
+        assert_eq!(o.num_sampled(), 0);
+        assert_eq!(MaxLPps2::determining_vector(&o), [0.0, 0.0]);
+    }
+
+    #[test]
+    fn ht_pps_is_unbiased_monte_carlo() {
+        let tau = [10.0, 10.0];
+        for v in &[[5.0f64, 3.0], [2.0, 2.0], [9.0, 0.5], [4.0, 0.0]] {
+            let truth = v[0].max(v[1]);
+            // The HT estimate is heavy-tailed (a large value with small
+            // probability), so this check keeps the full trial count even in
+            // debug builds; each trial is just a comparison and a division.
+            let (mean, _) = monte_carlo_mean_var(&MaxHtPps, v, &tau, 400_000, 7);
+            assert!(
+                (mean - truth).abs() / truth.max(1.0) < 0.02,
+                "HT biased on {v:?}: {mean} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_l_pps2_is_unbiased_monte_carlo() {
+        let cases: &[([f64; 2], [f64; 2])] = &[
+            ([5.0, 3.0], [10.0, 10.0]),
+            ([2.0, 2.0], [10.0, 8.0]),
+            ([9.0, 0.5], [10.0, 10.0]),
+            ([4.0, 0.0], [10.0, 6.0]),
+            ([12.0, 3.0], [10.0, 10.0]), // v1 above tau*: always sampled
+            ([7.0, 6.5], [8.0, 6.0]),    // v2 above tau2*
+            ([0.5, 0.2], [10.0, 10.0]),  // tiny values, heavy subsampling
+        ];
+        for (i, (v, tau)) in cases.iter().enumerate() {
+            let truth = v[0].max(v[1]);
+            let (mean, _) = monte_carlo_mean_var(&MaxLPps2, v, tau, trials(600_000), 100 + i as u64);
+            assert!(
+                (mean - truth).abs() / truth < 0.02,
+                "max^L biased on {v:?} tau {tau:?}: {mean} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_l_pps2_is_nonnegative_and_monotone_under_information() {
+        // Nonnegativity on a grid of outcomes.
+        let tau = [10.0, 7.0];
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = [rng.gen_range(0.0..12.0), rng.gen_range(0.0..12.0)];
+            let u = [rng.gen_range(1e-9..1.0), rng.gen_range(1e-9..1.0)];
+            let o = simulate(&v, &tau, u);
+            let est = MaxLPps2.estimate(&o);
+            assert!(est >= -1e-9, "negative estimate {est} for v={v:?} u={u:?}");
+        }
+    }
+
+    #[test]
+    fn max_l_dominates_ht_in_variance() {
+        let tau = [10.0, 10.0];
+        for v in &[[5.0, 3.0], [5.0, 5.0], [5.0, 0.0], [2.0, 1.0]] {
+            let (_, var_ht) = monte_carlo_mean_var(&MaxHtPps, v, &tau, trials(300_000), 11);
+            let (_, var_l) = monte_carlo_mean_var(&MaxLPps2, v, &tau, trials(300_000), 13);
+            assert!(
+                var_l <= var_ht * 1.05,
+                "L variance {var_l} should not exceed HT variance {var_ht} on {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn variance_ratio_bound_section_5_2() {
+        // Section 5.2 claims VAR[HT]/VAR[L] ≥ (1+ρ)/ρ where ρ = max(v)/τ*.
+        // For vectors whose entries are similar the measured ratio of the
+        // Figure 3 estimator comfortably exceeds that bound; on the extreme
+        // vector (ρτ*, 0) the Figure 3 estimator is more variable than the
+        // paper's back-of-envelope analysis assumes (see EXPERIMENTS.md), so
+        // there we only assert clear dominance over HT (ratio near 2).
+        let tau = [10.0, 10.0];
+        for v in &[[5.0f64, 2.0], [2.0, 2.0]] {
+            let rho: f64 = v[0].max(v[1]) / tau[0];
+            let (_, var_ht) = monte_carlo_mean_var(&MaxHtPps, v, &tau, trials(400_000), 21);
+            let (_, var_l) = monte_carlo_mean_var(&MaxLPps2, v, &tau, trials(400_000), 23);
+            let ratio = var_ht / var_l;
+            let bound = (1.0 + rho) / rho;
+            assert!(
+                ratio > bound * 0.9,
+                "ratio {ratio} should be at least about {bound} on {v:?}"
+            );
+        }
+        let (_, var_ht) = monte_carlo_mean_var(&MaxHtPps, &[5.0, 0.0], &tau, trials(400_000), 21);
+        let (_, var_l) = monte_carlo_mean_var(&MaxLPps2, &[5.0, 0.0], &tau, trials(400_000), 23);
+        let ratio = var_ht / var_l;
+        assert!(ratio > 1.8, "ratio on the extreme vector should stay near 2, got {ratio}");
+    }
+
+    #[test]
+    fn closed_form_matches_equal_entry_formula() {
+        // Equation (25) specializations.
+        let (tau1, tau2) = (10.0, 6.0);
+        for &v in &[0.5, 2.0, 5.0, 7.0, 12.0] {
+            let expected = max_l_pps2_equal_entries(v, tau1, tau2);
+            let got = MaxLPps2::closed_form(v, v, tau1, tau2);
+            assert!(
+                (got - expected).abs() < 1e-9,
+                "equal-entry mismatch at v={v}: {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_regime_when_values_exceed_thresholds() {
+        // If max(v) ≥ τ* in both instances the maximum is known with certainty
+        // and both estimators return it exactly (zero variance).
+        let tau = [5.0, 4.0];
+        let v = [7.0, 6.0];
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let u = [rng.gen_range(1e-9..1.0), rng.gen_range(1e-9..1.0)];
+            let o = simulate(&v, &tau, u);
+            assert!((MaxLPps2.estimate(&o) - 7.0).abs() < 1e-9);
+            assert!((MaxHtPps.estimate(&o) - 7.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ht_requires_known_seeds() {
+        let o = WeightedOutcome::new(vec![
+            WeightedEntry {
+                tau_star: 10.0,
+                seed: None,
+                value: Some(3.0),
+            },
+            WeightedEntry {
+                tau_star: 10.0,
+                seed: None,
+                value: None,
+            },
+        ]);
+        let result = std::panic::catch_unwind(|| MaxHtPps.estimate(&o));
+        assert!(result.is_err(), "HT for PPS must require known seeds");
+    }
+
+    #[test]
+    fn zero_vector_estimates_zero() {
+        let o = simulate(&[0.0, 0.0], &[10.0, 10.0], [0.4, 0.6]);
+        assert_eq!(MaxHtPps.estimate(&o), 0.0);
+        assert_eq!(MaxLPps2.estimate(&o), 0.0);
+    }
+
+    #[test]
+    fn documented_properties() {
+        assert!(MaxHtPps.properties().unbiased);
+        assert!(!MaxHtPps.properties().pareto_optimal);
+        assert!(MaxLPps2.properties().pareto_optimal);
+    }
+}

@@ -1,0 +1,18 @@
+//! Estimators over weighted (PPS) Poisson samples with known seeds
+//! (Sections 5 of the paper).
+//!
+//! "Known seeds" means the hash-generated randomness used for sampling can be
+//! recomputed by the estimator, so an unsampled entry still reveals an upper
+//! bound on its value.  The paper shows this substantially increases
+//! estimation power: the Boolean OR and the maximum admit Pareto-optimal
+//! unbiased nonnegative estimators here, while with unknown seeds they admit
+//! none at all (see [`crate::negative`]).
+
+pub mod max;
+pub mod or;
+
+pub use max::{max_l_pps2_equal_entries, MaxHtPps, MaxLPps2};
+pub use or::{
+    effective_probabilities, to_oblivious_binary, OrHtKnownSeeds, OrLKnownSeeds,
+    OrLKnownSeedsUniform, OrUKnownSeeds,
+};

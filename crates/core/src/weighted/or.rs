@@ -1,0 +1,407 @@
+//! Estimators for Boolean `OR(v)` under weighted (PPS) Poisson sampling with
+//! known seeds (Section 5.1).
+//!
+//! On a binary domain, PPS sampling with threshold `τ*_i` samples a key with
+//! value 1 with probability `p_i = min(1, 1/τ*_i)` and never samples a key
+//! with value 0.  When the seeds are *known*, the outcome "entry `i` was not
+//! sampled although `u_i ≤ p_i`" reveals that `v_i = 0` — so the weighted,
+//! known-seed outcome carries exactly the same information as a
+//! weight-oblivious outcome with probabilities `p_i`.  The estimators below
+//! implement that reduction (the 1-1 outcome mapping of Section 5) and then
+//! delegate to the Section 4.3 estimators.
+//!
+//! Without known seeds no unbiased nonnegative OR estimator exists at all
+//! (Theorem 6.1, implemented in [`crate::negative`]).
+
+use pie_sampling::{ObliviousEntry, ObliviousOutcome, WeightedOutcome};
+
+use crate::estimate::{DocumentedEstimator, Estimator, EstimatorProperties};
+use crate::oblivious::max::MaxLUniform;
+use crate::oblivious::or::{OrHtOblivious, OrL2, OrU2};
+
+/// Maps a weighted known-seed outcome over binary data to the equivalent
+/// weight-oblivious outcome (the information-preserving bijection of
+/// Section 5).
+///
+/// # Panics
+/// Panics if any sampled value is not 0/1 or if any seed is missing (the
+/// reduction requires the known-seeds model).
+#[must_use]
+pub fn to_oblivious_binary(outcome: &WeightedOutcome) -> ObliviousOutcome {
+    let entries = outcome
+        .entries
+        .iter()
+        .map(|e| {
+            let p = (1.0 / e.tau_star).min(1.0);
+            let value = match e.value {
+                Some(v) => {
+                    assert!(
+                        v == 0.0 || v == 1.0,
+                        "binary OR estimators require 0/1 values, got {v}"
+                    );
+                    Some(v)
+                }
+                None => {
+                    let u = e
+                        .seed
+                        .expect("known-seed OR estimators require visible seeds");
+                    // Not sampled: if the seed would have admitted a 1, the
+                    // value must be 0 — that fact is part of the outcome.
+                    if u <= p {
+                        Some(0.0)
+                    } else {
+                        None
+                    }
+                }
+            };
+            ObliviousEntry { p, value }
+        })
+        .collect();
+    ObliviousOutcome::new(entries)
+}
+
+/// The effective per-entry sampling probabilities `p_i = min(1, 1/τ*_i)`.
+#[must_use]
+pub fn effective_probabilities(outcome: &WeightedOutcome) -> Vec<f64> {
+    outcome
+        .entries
+        .iter()
+        .map(|e| (1.0 / e.tau_star).min(1.0))
+        .collect()
+}
+
+/// `OR^(HT)` for weighted known-seed samples: positive (`1/∏p_i`) only on
+/// outcomes where every seed satisfies `u_i ≤ p_i` (so every value is known
+/// exactly) and at least one value is 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OrHtKnownSeeds;
+
+impl Estimator<WeightedOutcome> for OrHtKnownSeeds {
+    fn estimate(&self, outcome: &WeightedOutcome) -> f64 {
+        OrHtOblivious.estimate(&to_oblivious_binary(outcome))
+    }
+
+    fn name(&self) -> &'static str {
+        "or_ht_known_seeds"
+    }
+}
+
+impl DocumentedEstimator<WeightedOutcome> for OrHtKnownSeeds {
+    fn properties(&self) -> EstimatorProperties {
+        EstimatorProperties::ht()
+    }
+}
+
+/// `OR^(L)` for two weighted known-seed samples (Section 5.1): Pareto optimal,
+/// minimum variance on the "no change" vector `(1,1)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OrLKnownSeeds;
+
+impl Estimator<WeightedOutcome> for OrLKnownSeeds {
+    fn estimate(&self, outcome: &WeightedOutcome) -> f64 {
+        assert_eq!(
+            outcome.num_instances(),
+            2,
+            "OrLKnownSeeds is defined for exactly two instances"
+        );
+        let p = effective_probabilities(outcome);
+        OrL2::new(p[0], p[1]).estimate(&to_oblivious_binary(outcome))
+    }
+
+    fn name(&self) -> &'static str {
+        "or_l_known_seeds"
+    }
+}
+
+impl DocumentedEstimator<WeightedOutcome> for OrLKnownSeeds {
+    fn properties(&self) -> EstimatorProperties {
+        EstimatorProperties::pareto()
+    }
+}
+
+/// `OR^(U)` for two weighted known-seed samples (Section 5.1): Pareto optimal,
+/// minimum variance on the "change" vectors `(1,0)` and `(0,1)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OrUKnownSeeds;
+
+impl Estimator<WeightedOutcome> for OrUKnownSeeds {
+    fn estimate(&self, outcome: &WeightedOutcome) -> f64 {
+        assert_eq!(
+            outcome.num_instances(),
+            2,
+            "OrUKnownSeeds is defined for exactly two instances"
+        );
+        let p = effective_probabilities(outcome);
+        OrU2::new(p[0], p[1]).estimate(&to_oblivious_binary(outcome))
+    }
+
+    fn name(&self) -> &'static str {
+        "or_u_known_seeds"
+    }
+}
+
+impl DocumentedEstimator<WeightedOutcome> for OrUKnownSeeds {
+    fn properties(&self) -> EstimatorProperties {
+        EstimatorProperties::pareto()
+    }
+}
+
+/// `OR^(L)` for `r ≥ 2` weighted known-seed samples with equal thresholds
+/// (uniform effective probability), via Algorithm 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrLKnownSeedsUniform {
+    inner: MaxLUniform,
+}
+
+impl OrLKnownSeedsUniform {
+    /// Creates the estimator for `r` instances, all with effective sampling
+    /// probability `p = min(1, 1/τ*)`.
+    #[must_use]
+    pub fn new(r: usize, p: f64) -> Self {
+        Self {
+            inner: MaxLUniform::new(r, p),
+        }
+    }
+}
+
+impl Estimator<WeightedOutcome> for OrLKnownSeedsUniform {
+    fn estimate(&self, outcome: &WeightedOutcome) -> f64 {
+        let mapped = to_oblivious_binary(outcome);
+        for e in &mapped.entries {
+            assert!(
+                (e.p - self.inner.p()).abs() < 1e-9,
+                "outcome probability {} does not match estimator probability {}",
+                e.p,
+                self.inner.p()
+            );
+        }
+        self.inner.estimate(&mapped)
+    }
+
+    fn name(&self) -> &'static str {
+        "or_l_known_seeds_uniform"
+    }
+}
+
+impl DocumentedEstimator<WeightedOutcome> for OrLKnownSeedsUniform {
+    fn properties(&self) -> EstimatorProperties {
+        EstimatorProperties::pareto()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pie_sampling::WeightedEntry;
+
+    /// Enumerates the outcome distribution of PPS sampling of a binary vector
+    /// `v` with thresholds `tau` and known seeds, by integrating over the seed
+    /// space on a grid (the outcome only depends on whether `u_i ≤ p_i`, so a
+    /// two-point partition per entry is exact).
+    fn enumerate_binary_weighted(v: &[f64], tau: &[f64]) -> Vec<(f64, WeightedOutcome)> {
+        let r = v.len();
+        let p: Vec<f64> = tau.iter().map(|&t| (1.0 / t).min(1.0)).collect();
+        let mut out = Vec::new();
+        // For each entry independently: with probability p_i the seed is "low"
+        // (u_i ≤ p_i), otherwise "high".  Within each region we pick a
+        // representative seed; the estimators only use the low/high distinction
+        // for binary data.
+        for mask in 0u32..(1 << r) {
+            let mut prob = 1.0;
+            let mut entries = Vec::with_capacity(r);
+            for i in 0..r {
+                let low = mask & (1 << i) != 0;
+                prob *= if low { p[i] } else { 1.0 - p[i] };
+                let seed = if low { p[i] * 0.5 } else { p[i] + (1.0 - p[i]) * 0.5 };
+                // Sampled iff v_i = 1 and the seed is low.
+                let sampled = v[i] == 1.0 && low;
+                entries.push(WeightedEntry {
+                    tau_star: tau[i],
+                    seed: Some(seed),
+                    value: if sampled { Some(v[i]) } else { None },
+                });
+            }
+            if prob > 0.0 {
+                out.push((prob, WeightedOutcome::new(entries)));
+            }
+        }
+        out
+    }
+
+    fn expectation<E: Estimator<WeightedOutcome>>(est: &E, v: &[f64], tau: &[f64]) -> f64 {
+        enumerate_binary_weighted(v, tau)
+            .iter()
+            .map(|(prob, o)| prob * est.estimate(o))
+            .sum()
+    }
+
+    fn variance<E: Estimator<WeightedOutcome>>(est: &E, v: &[f64], tau: &[f64]) -> f64 {
+        let mean = expectation(est, v, tau);
+        enumerate_binary_weighted(v, tau)
+            .iter()
+            .map(|(prob, o)| {
+                let x = est.estimate(o);
+                prob * (x - mean) * (x - mean)
+            })
+            .sum()
+    }
+
+    fn or_of(v: &[f64]) -> f64 {
+        if v.iter().any(|&x| x > 0.0) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    const BINARY_2: &[[f64; 2]] = &[[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]];
+
+    #[test]
+    fn mapping_reveals_zero_values_for_low_seeds() {
+        let o = WeightedOutcome::new(vec![
+            WeightedEntry {
+                tau_star: 4.0, // p = 0.25
+                seed: Some(0.1),
+                value: None,
+            },
+            WeightedEntry {
+                tau_star: 4.0,
+                seed: Some(0.9),
+                value: None,
+            },
+        ]);
+        let mapped = to_oblivious_binary(&o);
+        assert_eq!(mapped.entries[0].value, Some(0.0)); // low seed, unsampled => 0
+        assert_eq!(mapped.entries[1].value, None); // high seed => no information
+        assert!((mapped.entries[0].p - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_seed_or_estimators_are_unbiased() {
+        for &(t1, t2) in &[(2.0, 2.0), (4.0, 1.5), (10.0, 3.0)] {
+            for v in BINARY_2 {
+                let truth = or_of(v);
+                for est in [
+                    Box::new(OrHtKnownSeeds) as Box<dyn Estimator<WeightedOutcome>>,
+                    Box::new(OrLKnownSeeds),
+                    Box::new(OrUKnownSeeds),
+                ] {
+                    let e = expectation(&est, v, &[t1, t2]);
+                    assert!(
+                        (e - truth).abs() < 1e-10,
+                        "{} biased on {v:?} tau=({t1},{t2}): {e}",
+                        est.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn known_seed_or_estimators_are_nonnegative() {
+        for &(t1, t2) in &[(2.0, 2.0), (4.0, 1.5), (10.0, 3.0)] {
+            for v in BINARY_2 {
+                for (_, o) in enumerate_binary_weighted(v, &[t1, t2]) {
+                    assert!(OrHtKnownSeeds.estimate(&o) >= 0.0);
+                    assert!(OrLKnownSeeds.estimate(&o) >= -1e-12);
+                    assert!(OrUKnownSeeds.estimate(&o) >= -1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn variance_matches_oblivious_case() {
+        // Section 5.1: the variance is the same as in the weight-oblivious case.
+        let (t1, t2) = (4.0, 2.5);
+        let (p1, p2) = (0.25, 0.4);
+        let var_l_11 = variance(&OrLKnownSeeds, &[1.0, 1.0], &[t1, t2]);
+        assert!((var_l_11 - (1.0 / (p1 + p2 - p1 * p2) - 1.0)).abs() < 1e-10);
+        let var_ht = variance(&OrHtKnownSeeds, &[1.0, 0.0], &[t1, t2]);
+        assert!((var_ht - (1.0 / (p1 * p2) - 1.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn l_and_u_dominate_ht() {
+        for &(t1, t2) in &[(2.0, 2.0), (4.0, 1.5), (10.0, 3.0)] {
+            for v in &[[1.0, 0.0], [1.0, 1.0]] {
+                let var_ht = variance(&OrHtKnownSeeds, v, &[t1, t2]);
+                let var_l = variance(&OrLKnownSeeds, v, &[t1, t2]);
+                let var_u = variance(&OrUKnownSeeds, v, &[t1, t2]);
+                assert!(var_l <= var_ht + 1e-9);
+                assert!(var_u <= var_ht + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_table_values_for_or_l() {
+        // Section 5.1 table: S={1} ∧ u2 ≤ p2  ⇒  1/(p1(p1+p2−p1p2)).
+        let (t1, t2) = (4.0, 2.0); // p1 = 0.25, p2 = 0.5
+        let (p1, p2) = (0.25, 0.5);
+        let p_any = p1 + p2 - p1 * p2;
+        let o = WeightedOutcome::new(vec![
+            WeightedEntry {
+                tau_star: t1,
+                seed: Some(0.2),
+                value: Some(1.0),
+            },
+            WeightedEntry {
+                tau_star: t2,
+                seed: Some(0.3), // u2 ≤ p2, unsampled ⇒ v2 = 0 revealed
+                value: None,
+            },
+        ]);
+        let got = OrLKnownSeeds.estimate(&o);
+        assert!((got - 1.0 / (p1 * p_any)).abs() < 1e-12, "{got}");
+        // S={1} ∧ u2 > p2  ⇒  1/(p1+p2−p1p2).
+        let o2 = WeightedOutcome::new(vec![
+            WeightedEntry {
+                tau_star: t1,
+                seed: Some(0.2),
+                value: Some(1.0),
+            },
+            WeightedEntry {
+                tau_star: t2,
+                seed: Some(0.8),
+                value: None,
+            },
+        ]);
+        assert!((OrLKnownSeeds.estimate(&o2) - 1.0 / p_any).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_known_seed_or_is_unbiased_r3() {
+        let tau = 3.0; // p = 1/3
+        let est = OrLKnownSeedsUniform::new(3, 1.0 / 3.0);
+        for v in &[[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [1.0, 1.0, 0.0], [1.0, 1.0, 1.0]] {
+            let e = expectation(&est, v, &[tau, tau, tau]);
+            assert!((e - or_of(v)).abs() < 1e-9, "bias on {v:?}: {e}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "visible seeds")]
+    fn unknown_seeds_rejected() {
+        let o = WeightedOutcome::new(vec![
+            WeightedEntry {
+                tau_star: 2.0,
+                seed: None,
+                value: None,
+            },
+            WeightedEntry {
+                tau_star: 2.0,
+                seed: None,
+                value: Some(1.0),
+            },
+        ]);
+        let _ = OrLKnownSeeds.estimate(&o);
+    }
+
+    #[test]
+    fn documented_properties() {
+        assert!(OrHtKnownSeeds.properties().unbiased);
+        assert!(OrLKnownSeeds.properties().pareto_optimal);
+        assert!(OrUKnownSeeds.properties().pareto_optimal);
+    }
+}

@@ -1,0 +1,26 @@
+//! # pie-datagen — synthetic workloads for partial-information estimation
+//!
+//! Workload generators used by the examples, the test-suite, and the figure
+//! harness:
+//!
+//! * [`dataset`] — the instances × keys matrix model and the paper's Figure 5
+//!   worked example;
+//! * [`zipf`] — heavy-tailed value generation;
+//! * [`traffic`] — the synthetic stand-in for the paper's proprietary two-hour
+//!   IP-traffic logs (Section 8.2 / Figure 7);
+//! * [`sets`] — binary set pairs with a controlled Jaccard coefficient
+//!   (Section 8.1 / Figure 6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod dataset;
+pub mod sets;
+pub mod traffic;
+pub mod zipf;
+
+pub use dataset::{paper_example, Dataset};
+pub use sets::{generate_set_pair, SetPairConfig};
+pub use traffic::{generate_two_hours, TrafficConfig};
+pub use zipf::{zipf_values, Zipf};

@@ -1,0 +1,127 @@
+//! Binary set-pair generation with controlled Jaccard coefficient
+//! (the workload behind Figure 6 and the distinct-count experiments).
+//!
+//! Two instances of 0/1 values model two periodic logs' active-key sets; the
+//! Jaccard coefficient `J = |N₁ ∩ N₂| / |N₁ ∪ N₂|` controls how much the
+//! partial-information (`L`) estimator gains over HT.
+
+use pie_sampling::Instance;
+
+use crate::dataset::Dataset;
+
+/// A pair of equal-size sets with a prescribed Jaccard coefficient.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SetPairConfig {
+    /// Size of each set, `|N₁| = |N₂| = n`.
+    pub set_size: usize,
+    /// Target Jaccard coefficient `J ∈ [0, 1]`.
+    pub jaccard: f64,
+}
+
+impl SetPairConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    /// Panics if `set_size == 0` or `jaccard` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(set_size: usize, jaccard: f64) -> Self {
+        assert!(set_size > 0, "sets must be nonempty");
+        assert!((0.0..=1.0).contains(&jaccard), "Jaccard must be in [0,1]");
+        Self { set_size, jaccard }
+    }
+
+    /// The overlap size `|N₁ ∩ N₂|` implied by the configuration:
+    /// `J = o / (2n − o)` ⇒ `o = 2nJ/(1+J)`.
+    #[must_use]
+    pub fn overlap(&self) -> usize {
+        let n = self.set_size as f64;
+        ((2.0 * n * self.jaccard) / (1.0 + self.jaccard)).round() as usize
+    }
+
+    /// The union size `|N₁ ∪ N₂| = 2n − o`.
+    #[must_use]
+    pub fn union_size(&self) -> usize {
+        2 * self.set_size - self.overlap()
+    }
+
+    /// The realized Jaccard coefficient after rounding the overlap to an
+    /// integer.
+    #[must_use]
+    pub fn realized_jaccard(&self) -> f64 {
+        self.overlap() as f64 / self.union_size() as f64
+    }
+}
+
+/// Generates the two binary instances described by `config`.
+///
+/// Keys `0..overlap` are shared; `overlap..n` belong only to the first set;
+/// `n..2n−overlap` only to the second.  All values are 1.
+#[must_use]
+pub fn generate_set_pair(config: &SetPairConfig) -> Dataset {
+    let n = config.set_size;
+    let o = config.overlap();
+    let n1 = Instance::from_pairs((0..n as u64).map(|k| (k, 1.0)));
+    let n2 = Instance::from_pairs(
+        (0..o as u64)
+            .chain(n as u64..(2 * n - o) as u64)
+            .map(|k| (k, 1.0)),
+    );
+    Dataset::new(
+        format!("set-pair-n{}-j{:.2}", n, config.jaccard),
+        vec![n1, n2],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pie_core::functions::boolean_or;
+
+    #[test]
+    fn overlap_and_union_match_jaccard() {
+        let cfg = SetPairConfig::new(1000, 0.5);
+        assert_eq!(cfg.overlap(), 667);
+        assert_eq!(cfg.union_size(), 1333);
+        assert!((cfg.realized_jaccard() - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn extreme_jaccard_values() {
+        let disjoint = SetPairConfig::new(500, 0.0);
+        assert_eq!(disjoint.overlap(), 0);
+        assert_eq!(disjoint.union_size(), 1000);
+        let identical = SetPairConfig::new(500, 1.0);
+        assert_eq!(identical.overlap(), 500);
+        assert_eq!(identical.union_size(), 500);
+    }
+
+    #[test]
+    fn generated_sets_have_requested_sizes() {
+        for &j in &[0.0, 0.3, 0.7, 1.0] {
+            let cfg = SetPairConfig::new(800, j);
+            let ds = generate_set_pair(&cfg);
+            assert_eq!(ds.instances()[0].len(), 800);
+            assert_eq!(ds.instances()[1].len(), 800);
+            assert_eq!(ds.keys().len(), cfg.union_size());
+            // Distinct count = union size = sum aggregate of OR.
+            let distinct = ds.sum_aggregate(boolean_or, |_| true);
+            assert_eq!(distinct as usize, cfg.union_size());
+        }
+    }
+
+    #[test]
+    fn values_are_binary() {
+        let ds = generate_set_pair(&SetPairConfig::new(100, 0.4));
+        for inst in ds.instances() {
+            for (_, v) in inst.iter() {
+                assert_eq!(v, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_sets_rejected() {
+        let _ = SetPairConfig::new(0, 0.5);
+    }
+}

@@ -1,0 +1,332 @@
+//! Bottom-k (order) sampling (Section 7.1).
+//!
+//! Every positive-valued key draws a rank from the weight-dependent rank
+//! family; the sample consists of the `k` smallest-ranked keys.  With PPS
+//! ranks this is *priority sampling*; with EXP ranks it is weighted sampling
+//! without replacement.
+//!
+//! The `(k+1)`-st smallest rank is recorded as the sample's threshold.  Under
+//! the *rank-conditioning* (RC) method (Duffield–Lund–Thorup, Cohen–Kaplan),
+//! conditioning on that threshold lets a bottom-k sample be treated as a
+//! Poisson sample with per-key inclusion probability `F_v(threshold)`, which
+//! is how [`InstanceSample::inclusion_probability`] computes it.
+//!
+//! A streaming builder ([`BottomKBuilder`]) is provided for one-pass
+//! summarization with `O(k)` memory.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::instance::{Instance, Key};
+use crate::rank::{ExpRanks, PpsRanks, RankFamily};
+use crate::sample::{InstanceSample, RankKind, SampleScheme};
+use crate::seed::SeedAssignment;
+
+/// An entry in the streaming bottom-k heap, ordered by rank (max-heap so the
+/// largest retained rank is at the top and can be evicted in `O(log k)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    rank: f64,
+    key: Key,
+    value: f64,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Ranks are finite positive floats here; break ties by key for determinism.
+        self.rank
+            .partial_cmp(&other.rank)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.key.cmp(&other.key))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Bottom-k sampler over a rank family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BottomKSampler<R: RankFamily> {
+    family: R,
+    k: usize,
+}
+
+/// Priority sampling: bottom-k with PPS ranks.
+pub type PrioritySampler = BottomKSampler<PpsRanks>;
+
+/// Weighted sampling without replacement: bottom-k with EXP ranks.
+pub type WsWithoutReplacementSampler = BottomKSampler<ExpRanks>;
+
+impl<R: RankFamily> BottomKSampler<R> {
+    /// Creates a bottom-k sampler retaining the `k > 0` smallest-ranked keys.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(family: R, k: usize) -> Self {
+        assert!(k > 0, "bottom-k sample size must be positive");
+        Self { family, k }
+    }
+
+    /// The sample size `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The rank family in use.
+    #[must_use]
+    pub fn family(&self) -> &R {
+        &self.family
+    }
+
+    /// Samples `instance`, producing the `k` smallest-ranked positive keys and
+    /// recording the `(k+1)`-st smallest rank as the threshold.
+    #[must_use]
+    pub fn sample(
+        &self,
+        instance: &Instance,
+        seeds: &SeedAssignment,
+        instance_index: u64,
+    ) -> InstanceSample {
+        let mut builder = BottomKBuilder::new(self.family.clone(), self.k);
+        for (key, value) in instance.iter() {
+            builder.offer(key, value, seeds.seed(key, instance_index));
+        }
+        builder.finish(instance_index, rank_kind_of(&self.family))
+    }
+
+    /// The rank a given `(key, value)` would receive with the supplied seeds —
+    /// exposed so callers can reproduce the paper's worked example (Figure 5(B)).
+    #[must_use]
+    pub fn rank_of(
+        &self,
+        key: Key,
+        value: f64,
+        seeds: &SeedAssignment,
+        instance_index: u64,
+    ) -> f64 {
+        self.family
+            .rank_from_seed(seeds.seed(key, instance_index), value)
+    }
+}
+
+fn rank_kind_of<R: RankFamily>(family: &R) -> RankKind {
+    match family.name() {
+        "pps" => RankKind::Pps,
+        _ => RankKind::Exp,
+    }
+}
+
+/// Streaming builder for bottom-k samples: offer `(key, value, seed)` triples
+/// one at a time, keeping only `k + 1` candidates in memory.
+#[derive(Debug, Clone)]
+pub struct BottomKBuilder<R: RankFamily> {
+    family: R,
+    k: usize,
+    /// Max-heap of the best (smallest-rank) `k + 1` entries seen so far; the
+    /// extra entry supplies the threshold rank.
+    heap: BinaryHeap<HeapEntry>,
+    offered: usize,
+}
+
+impl<R: RankFamily> BottomKBuilder<R> {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new(family: R, k: usize) -> Self {
+        assert!(k > 0, "bottom-k sample size must be positive");
+        Self {
+            family,
+            k,
+            heap: BinaryHeap::with_capacity(k + 2),
+            offered: 0,
+        }
+    }
+
+    /// Offers one `(key, value)` pair with its uniform seed.
+    ///
+    /// Zero-valued keys are ignored (their rank is infinite).
+    pub fn offer(&mut self, key: Key, value: f64, seed: f64) {
+        if value <= 0.0 {
+            return;
+        }
+        self.offered += 1;
+        let rank = self.family.rank_from_seed(seed, value);
+        if !rank.is_finite() {
+            return;
+        }
+        self.heap.push(HeapEntry { rank, key, value });
+        if self.heap.len() > self.k + 1 {
+            self.heap.pop();
+        }
+    }
+
+    /// Number of positive-valued keys offered so far.
+    #[must_use]
+    pub fn offered(&self) -> usize {
+        self.offered
+    }
+
+    /// Finalizes the sample.
+    #[must_use]
+    pub fn finish(self, instance_index: u64, ranks: RankKind) -> InstanceSample {
+        let mut entries_sorted: Vec<HeapEntry> = self.heap.into_sorted_vec();
+        // `into_sorted_vec` is ascending by rank; the last entry (if we have
+        // k + 1) is the threshold and is excluded from the sample.
+        let threshold = if entries_sorted.len() > self.k {
+            entries_sorted.pop().map_or(f64::INFINITY, |e| e.rank)
+        } else {
+            f64::INFINITY
+        };
+        let mut entries = HashMap::with_capacity(entries_sorted.len());
+        for e in entries_sorted {
+            entries.insert(e.key, e.value);
+        }
+        InstanceSample::new(
+            instance_index,
+            SampleScheme::BottomK { k: self.k, ranks },
+            threshold,
+            entries,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance_of(n: u64) -> Instance {
+        Instance::from_pairs((0..n).map(|k| (k, 1.0 + (k % 5) as f64)))
+    }
+
+    #[test]
+    fn sample_has_exactly_k_keys_when_enough_data() {
+        let inst = instance_of(1000);
+        let seeds = SeedAssignment::independent_known(1);
+        let s = BottomKSampler::new(PpsRanks, 32).sample(&inst, &seeds, 0);
+        assert_eq!(s.len(), 32);
+        assert!(s.threshold.is_finite());
+    }
+
+    #[test]
+    fn sample_keeps_everything_when_fewer_than_k_keys() {
+        let inst = instance_of(5);
+        let seeds = SeedAssignment::independent_known(1);
+        let s = BottomKSampler::new(PpsRanks, 32).sample(&inst, &seeds, 0);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.threshold, f64::INFINITY);
+        // With infinite threshold every positive key has inclusion probability 1.
+        assert_eq!(s.inclusion_probability(3.0), 1.0);
+    }
+
+    #[test]
+    fn sampled_keys_have_smallest_ranks() {
+        let inst = instance_of(200);
+        let seeds = SeedAssignment::independent_known(9);
+        let sampler = BottomKSampler::new(PpsRanks, 10);
+        let s = sampler.sample(&inst, &seeds, 0);
+        // Every non-sampled key must have rank >= threshold; every sampled key < threshold.
+        for (key, value) in inst.iter() {
+            let rank = sampler.rank_of(key, value, &seeds, 0);
+            if s.contains(key) {
+                assert!(rank <= s.threshold, "sampled key {key} has rank above threshold");
+            } else {
+                assert!(rank >= s.threshold, "missed key {key} has rank below threshold");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_valued_keys_never_sampled() {
+        let mut inst = instance_of(50);
+        inst.set(999, 0.0);
+        let seeds = SeedAssignment::independent_known(2);
+        let s = BottomKSampler::new(ExpRanks, 10).sample(&inst, &seeds, 0);
+        assert!(!s.contains(999));
+    }
+
+    #[test]
+    fn heavier_keys_sampled_more_often() {
+        // One heavy key among light keys should appear in nearly every priority sample.
+        let mut inst = Instance::from_pairs((0..500u64).map(|k| (k, 1.0)));
+        inst.set(1000, 500.0);
+        let mut hits = 0;
+        let reps = 200;
+        for rep in 0..reps {
+            let seeds = SeedAssignment::independent_known(rep);
+            let s = BottomKSampler::new(PpsRanks, 20).sample(&inst, &seeds, 0);
+            if s.contains(1000) {
+                hits += 1;
+            }
+        }
+        assert!(hits as f64 > 0.95 * reps as f64, "heavy key sampled only {hits}/{reps}");
+    }
+
+    #[test]
+    fn rank_conditioned_ht_estimate_of_total_is_unbiased() {
+        // Subset-sum (here: total) estimation over priority samples should be
+        // approximately unbiased across repetitions.
+        let inst = Instance::from_pairs((0..400u64).map(|k| (k, 1.0 + (k % 11) as f64)));
+        let truth = inst.total();
+        let reps = 400u64;
+        let mut sum = 0.0;
+        for rep in 0..reps {
+            let seeds = SeedAssignment::independent_known(rep);
+            let s = BottomKSampler::new(PpsRanks, 50).sample(&inst, &seeds, 0);
+            sum += s.ht_subset_sum(|_| true);
+        }
+        let mean = sum / reps as f64;
+        let rel_err = (mean - truth).abs() / truth;
+        assert!(rel_err < 0.05, "relative bias {rel_err}");
+    }
+
+    #[test]
+    fn exp_ranks_rank_conditioned_estimate_is_unbiased() {
+        let inst = Instance::from_pairs((0..300u64).map(|k| (k, 0.5 + (k % 7) as f64)));
+        let truth = inst.total();
+        let reps = 400u64;
+        let mut sum = 0.0;
+        for rep in 0..reps {
+            let seeds = SeedAssignment::independent_known(1_000 + rep);
+            let s = BottomKSampler::new(ExpRanks, 40).sample(&inst, &seeds, 0);
+            sum += s.ht_subset_sum(|_| true);
+        }
+        let mean = sum / reps as f64;
+        let rel_err = (mean - truth).abs() / truth;
+        assert!(rel_err < 0.05, "relative bias {rel_err}");
+    }
+
+    #[test]
+    fn streaming_builder_matches_batch_sampler() {
+        let inst = instance_of(300);
+        let seeds = SeedAssignment::independent_known(4);
+        let batch = BottomKSampler::new(PpsRanks, 25).sample(&inst, &seeds, 3);
+        let mut builder = BottomKBuilder::new(PpsRanks, 25);
+        for (key, value) in inst.iter() {
+            builder.offer(key, value, seeds.seed(key, 3));
+        }
+        let streamed = builder.finish(3, RankKind::Pps);
+        assert_eq!(batch.sorted_keys(), streamed.sorted_keys());
+        assert_eq!(batch.threshold, streamed.threshold);
+    }
+
+    #[test]
+    fn shared_seeds_with_equal_instances_give_identical_samples() {
+        let inst = instance_of(500);
+        let seeds = SeedAssignment::shared(77);
+        let s0 = BottomKSampler::new(PpsRanks, 30).sample(&inst, &seeds, 0);
+        let s1 = BottomKSampler::new(PpsRanks, 30).sample(&inst, &seeds, 1);
+        assert_eq!(s0.sorted_keys(), s1.sorted_keys());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_rejected() {
+        let _ = BottomKSampler::new(PpsRanks, 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! The per-instance data model: an assignment of nonnegative values to keys.
+//!
+//! The paper models data as a matrix of `instances × keys` (Figure 5 (A)); an
+//! *instance* is one row — e.g. one hour of traffic logs, one sensor snapshot.
+//! Only keys with positive values are explicitly represented (weighted
+//! sampling schemes only ever touch those), but weight-oblivious sampling may
+//! be applied over an explicit key *universe* that includes zero-valued keys.
+
+use std::collections::HashMap;
+
+/// Key identifiers.  Applications map their natural keys (IP addresses, URLs,
+/// sensor ids) to `u64`, typically by hashing.
+pub type Key = u64;
+
+/// A single data instance: a finite map from keys to nonnegative values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Instance {
+    values: HashMap<Key, f64>,
+}
+
+impl Instance {
+    /// Creates an empty instance.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an instance from `(key, value)` pairs.
+    ///
+    /// Later occurrences of the same key overwrite earlier ones.  Values must
+    /// be finite and nonnegative.
+    ///
+    /// # Panics
+    /// Panics if any value is negative, NaN, or infinite.
+    #[must_use]
+    pub fn from_pairs<I: IntoIterator<Item = (Key, f64)>>(pairs: I) -> Self {
+        let mut inst = Self::new();
+        for (k, v) in pairs {
+            inst.set(k, v);
+        }
+        inst
+    }
+
+    /// Sets the value of `key` to `value` (replacing any previous value).
+    ///
+    /// # Panics
+    /// Panics if `value` is negative, NaN, or infinite.
+    pub fn set(&mut self, key: Key, value: f64) {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "instance values must be finite and nonnegative, got {value}"
+        );
+        self.values.insert(key, value);
+    }
+
+    /// Adds `delta` to the value of `key` (missing keys start at 0).
+    ///
+    /// # Panics
+    /// Panics if the resulting value would be negative or non-finite.
+    pub fn add(&mut self, key: Key, delta: f64) {
+        let v = self.values.get(&key).copied().unwrap_or(0.0) + delta;
+        self.set(key, v);
+    }
+
+    /// The value of `key`, or 0 if the key is absent.
+    ///
+    /// Absent keys are semantically zero-valued: the paper's weighted schemes
+    /// never sample them, and multi-instance functions treat them as 0.
+    #[inline]
+    #[must_use]
+    pub fn value(&self, key: Key) -> f64 {
+        self.values.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// Whether `key` has an explicit (possibly zero) entry.
+    #[must_use]
+    pub fn contains(&self, key: Key) -> bool {
+        self.values.contains_key(&key)
+    }
+
+    /// Number of explicitly stored keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the instance stores no keys.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of keys with a strictly positive value ("active" keys).
+    #[must_use]
+    pub fn active_len(&self) -> usize {
+        self.values.values().filter(|&&v| v > 0.0).count()
+    }
+
+    /// Iterator over `(key, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Key, f64)> + '_ {
+        self.values.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Iterator over keys in unspecified order.
+    pub fn keys(&self) -> impl Iterator<Item = Key> + '_ {
+        self.values.keys().copied()
+    }
+
+    /// Sum of all values (e.g. the total traffic volume of the instance).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.values.values().sum()
+    }
+
+    /// The maximum value stored, or 0 for an empty instance.
+    #[must_use]
+    pub fn max_value(&self) -> f64 {
+        self.values.values().copied().fold(0.0, f64::max)
+    }
+
+    /// Returns the keys sorted ascending (useful for deterministic iteration
+    /// in tests and reports).
+    #[must_use]
+    pub fn sorted_keys(&self) -> Vec<Key> {
+        let mut ks: Vec<Key> = self.values.keys().copied().collect();
+        ks.sort_unstable();
+        ks
+    }
+}
+
+impl FromIterator<(Key, f64)> for Instance {
+    fn from_iter<T: IntoIterator<Item = (Key, f64)>>(iter: T) -> Self {
+        Self::from_pairs(iter)
+    }
+}
+
+/// Returns the union of the key sets of several instances, sorted ascending.
+#[must_use]
+pub fn key_union(instances: &[Instance]) -> Vec<Key> {
+    let mut keys: Vec<Key> = instances.iter().flat_map(Instance::keys).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+/// The per-key value vector `v = (v_1, …, v_r)` across `r` instances
+/// (a column of the instances × keys matrix).
+#[must_use]
+pub fn value_vector(instances: &[Instance], key: Key) -> Vec<f64> {
+    instances.iter().map(|inst| inst.value(key)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_defaults_to_zero() {
+        let inst = Instance::from_pairs([(1, 2.0), (2, 3.0)]);
+        assert_eq!(inst.value(1), 2.0);
+        assert_eq!(inst.value(99), 0.0);
+    }
+
+    #[test]
+    fn set_overwrites_and_add_accumulates() {
+        let mut inst = Instance::new();
+        inst.set(5, 1.0);
+        inst.set(5, 4.0);
+        assert_eq!(inst.value(5), 4.0);
+        inst.add(5, 2.0);
+        assert_eq!(inst.value(5), 6.0);
+        inst.add(6, 1.5);
+        assert_eq!(inst.value(6), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_values_rejected() {
+        let mut inst = Instance::new();
+        inst.set(1, -1.0);
+    }
+
+    #[test]
+    fn active_len_ignores_zeros() {
+        let inst = Instance::from_pairs([(1, 0.0), (2, 3.0), (3, 0.0), (4, 1.0)]);
+        assert_eq!(inst.len(), 4);
+        assert_eq!(inst.active_len(), 2);
+    }
+
+    #[test]
+    fn totals_and_max() {
+        let inst = Instance::from_pairs([(1, 1.0), (2, 2.0), (3, 7.0)]);
+        assert_eq!(inst.total(), 10.0);
+        assert_eq!(inst.max_value(), 7.0);
+        assert_eq!(Instance::new().max_value(), 0.0);
+    }
+
+    #[test]
+    fn key_union_and_value_vector() {
+        let a = Instance::from_pairs([(1, 1.0), (2, 2.0)]);
+        let b = Instance::from_pairs([(2, 5.0), (3, 4.0)]);
+        let union = key_union(&[a.clone(), b.clone()]);
+        assert_eq!(union, vec![1, 2, 3]);
+        assert_eq!(value_vector(&[a, b], 2), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let inst: Instance = [(10u64, 1.0), (20, 2.0)].into_iter().collect();
+        assert_eq!(inst.len(), 2);
+        assert_eq!(inst.sorted_keys(), vec![10, 20]);
+    }
+}

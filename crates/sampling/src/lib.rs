@@ -1,0 +1,48 @@
+//! # pie-sampling — sampling substrate for partial-information estimation
+//!
+//! This crate implements every sampling scheme used by Cohen & Kaplan,
+//! *"Get the Most out of Your Sample: Optimal Unbiased Estimators using
+//! Partial Information"* (PODS 2011):
+//!
+//! * reproducible hash-based randomization ([`hash`], [`seed`]) — the basis of
+//!   the paper's "known seeds" and coordinated-sampling models;
+//! * rank distributions ([`rank`]): PPS ranks and exponential ranks;
+//! * single-instance samplers: weight-oblivious and weighted Poisson
+//!   ([`poisson`]), bottom-k / priority / weighted-without-replacement
+//!   ([`bottomk`]), and VarOpt ([`varopt`]);
+//! * the per-instance sample representation ([`sample`]) with
+//!   rank-conditioned inclusion probabilities;
+//! * multi-instance drivers and per-key outcomes ([`multi`], [`outcome`]) —
+//!   the inputs consumed by the estimators in the `pie-core` crate.
+//!
+//! The guiding constraint (Section 2 of the paper) is that the processing of
+//! one instance never depends on the values of another: all coordination
+//! happens through the shared, hash-derived seed assignment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bottomk;
+pub mod hash;
+pub mod instance;
+pub mod multi;
+pub mod outcome;
+pub mod poisson;
+pub mod rank;
+pub mod sample;
+pub mod seed;
+pub mod varopt;
+
+pub use bottomk::{BottomKBuilder, BottomKSampler, PrioritySampler, WsWithoutReplacementSampler};
+pub use hash::Hasher64;
+pub use instance::{key_union, value_vector, Instance, Key};
+pub use multi::{
+    oblivious_outcomes, sample_all_oblivious, sample_all_pps, sampled_key_union, weighted_outcomes,
+};
+pub use outcome::{ObliviousEntry, ObliviousOutcome, WeightedEntry, WeightedOutcome};
+pub use poisson::{ObliviousPoissonSampler, PpsPoissonSampler, ThresholdRankSampler};
+pub use rank::{ExpRanks, PpsRanks, RankFamily};
+pub use sample::{InstanceSample, RankKind, SampleScheme};
+pub use seed::{Coordination, SeedAssignment, SeedVisibility};
+pub use varopt::VarOptSampler;

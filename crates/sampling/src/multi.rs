@@ -1,0 +1,184 @@
+//! Multi-instance sampling drivers.
+//!
+//! Dispersed instances are summarized *independently of each other's values*
+//! (the constraint of Section 2); what may be shared is the randomization.
+//! The helpers here sample every instance of a dataset with one scheme and
+//! one [`SeedAssignment`], and assemble per-key outcomes for downstream
+//! estimation.
+
+use crate::instance::{key_union, Instance, Key};
+use crate::outcome::{ObliviousOutcome, WeightedOutcome};
+use crate::poisson::{ObliviousPoissonSampler, PpsPoissonSampler};
+use crate::sample::InstanceSample;
+use crate::seed::SeedAssignment;
+
+/// Samples every instance with weight-oblivious Poisson sampling over the
+/// union of all keys (plus any extra universe keys supplied).
+///
+/// Returns one [`InstanceSample`] per instance, in order.
+#[must_use]
+pub fn sample_all_oblivious(
+    instances: &[Instance],
+    p: f64,
+    extra_universe: &[Key],
+    seeds: &SeedAssignment,
+) -> Vec<InstanceSample> {
+    let mut universe = key_union(instances);
+    universe.extend_from_slice(extra_universe);
+    universe.sort_unstable();
+    universe.dedup();
+    let sampler = ObliviousPoissonSampler::new(p);
+    instances
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| sampler.sample(inst, &universe, seeds, i as u64))
+        .collect()
+}
+
+/// Samples every instance with weighted Poisson PPS sampling (threshold τ*).
+///
+/// Returns one [`InstanceSample`] per instance, in order.
+#[must_use]
+pub fn sample_all_pps(
+    instances: &[Instance],
+    tau_star: f64,
+    seeds: &SeedAssignment,
+) -> Vec<InstanceSample> {
+    let sampler = PpsPoissonSampler::new(tau_star);
+    instances
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| sampler.sample(inst, seeds, i as u64))
+        .collect()
+}
+
+/// Assembles the weight-oblivious outcome of every key in `keys` from the
+/// given per-instance samples.
+#[must_use]
+pub fn oblivious_outcomes(
+    keys: &[Key],
+    samples: &[InstanceSample],
+) -> Vec<(Key, ObliviousOutcome)> {
+    keys.iter()
+        .map(|&k| (k, ObliviousOutcome::from_samples(k, samples)))
+        .collect()
+}
+
+/// Assembles the weighted outcome of every key in `keys` from the given
+/// per-instance samples, attaching seeds where visible.
+#[must_use]
+pub fn weighted_outcomes(
+    keys: &[Key],
+    samples: &[InstanceSample],
+    seeds: &SeedAssignment,
+) -> Vec<(Key, WeightedOutcome)> {
+    keys.iter()
+        .map(|&k| (k, WeightedOutcome::from_samples(k, samples, seeds)))
+        .collect()
+}
+
+/// The set of keys that appear (i.e. were sampled) in at least one of the
+/// samples, sorted ascending.
+///
+/// For weighted schemes this is the natural key set over which to evaluate a
+/// sum aggregate: keys sampled nowhere necessarily contribute an estimate of
+/// zero for any nonnegative estimator (they are consistent with the all-zero
+/// vector), so iterating over them would be wasted work.
+#[must_use]
+pub fn sampled_key_union(samples: &[InstanceSample]) -> Vec<Key> {
+    let mut keys: Vec<Key> = samples
+        .iter()
+        .flat_map(|s| s.iter().map(|(k, _)| k))
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_instances() -> Vec<Instance> {
+        vec![
+            Instance::from_pairs([(1, 10.0), (2, 0.0), (3, 5.0)]),
+            Instance::from_pairs([(1, 2.0), (2, 8.0), (4, 1.0)]),
+        ]
+    }
+
+    #[test]
+    fn oblivious_sampling_covers_key_union() {
+        let instances = two_instances();
+        let seeds = SeedAssignment::independent_known(1);
+        let samples = sample_all_oblivious(&instances, 1.0, &[], &seeds);
+        assert_eq!(samples.len(), 2);
+        // With p = 1 every universe key is in every sample, including keys the
+        // instance itself does not carry (value 0).
+        for s in &samples {
+            assert_eq!(s.sorted_keys(), vec![1, 2, 3, 4]);
+        }
+        assert_eq!(samples[0].value(4), Some(0.0));
+        assert_eq!(samples[1].value(3), Some(0.0));
+    }
+
+    #[test]
+    fn oblivious_sampling_includes_extra_universe() {
+        let instances = two_instances();
+        let seeds = SeedAssignment::independent_known(1);
+        let samples = sample_all_oblivious(&instances, 1.0, &[99], &seeds);
+        assert!(samples[0].contains(99));
+        assert_eq!(samples[0].value(99), Some(0.0));
+    }
+
+    #[test]
+    fn pps_sampling_produces_per_instance_samples() {
+        let instances = two_instances();
+        let seeds = SeedAssignment::independent_known(2);
+        let samples = sample_all_pps(&instances, 20.0, &seeds);
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].instance_index, 0);
+        assert_eq!(samples[1].instance_index, 1);
+        // Zero-valued keys never appear.
+        assert!(!samples[0].contains(2));
+    }
+
+    #[test]
+    fn outcome_assembly_round_trips() {
+        let instances = two_instances();
+        let seeds = SeedAssignment::independent_known(3);
+        let samples = sample_all_pps(&instances, 20.0, &seeds);
+        let keys = sampled_key_union(&samples);
+        let outcomes = weighted_outcomes(&keys, &samples, &seeds);
+        assert_eq!(outcomes.len(), keys.len());
+        for (key, o) in &outcomes {
+            assert_eq!(o.num_instances(), 2);
+            assert!(o.num_sampled() >= 1, "key {key} should be sampled somewhere");
+        }
+    }
+
+    #[test]
+    fn oblivious_outcome_assembly() {
+        let instances = two_instances();
+        let seeds = SeedAssignment::independent_known(4);
+        let samples = sample_all_oblivious(&instances, 0.8, &[], &seeds);
+        let keys = vec![1, 2, 3, 4];
+        let outcomes = oblivious_outcomes(&keys, &samples);
+        assert_eq!(outcomes.len(), 4);
+        for (_, o) in &outcomes {
+            assert_eq!(o.num_instances(), 2);
+            assert_eq!(o.probabilities(), vec![0.8, 0.8]);
+        }
+    }
+
+    #[test]
+    fn sampled_key_union_is_sorted_and_deduped() {
+        let instances = two_instances();
+        let seeds = SeedAssignment::independent_known(5);
+        let samples = sample_all_pps(&instances, 0.5, &seeds);
+        let keys = sampled_key_union(&samples);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(keys, sorted);
+    }
+}

@@ -1,0 +1,461 @@
+//! Per-key, multi-instance outcomes: the input seen by the paper's estimators.
+//!
+//! An *outcome* (Section 2.1) is what the sampling process reveals about one
+//! key's value vector `v = (v_1, …, v_r)` across `r` instances: which entries
+//! were sampled, their exact values, and — in the known-seed models — the
+//! seeds, from which an upper bound on each *unsampled* entry can be derived.
+//!
+//! Two concrete outcome types are provided, mirroring the two sampling regimes
+//! studied in the paper:
+//!
+//! * [`ObliviousOutcome`] — weight-oblivious Poisson sampling (Section 4):
+//!   each entry is sampled with a known probability `p_i` independent of its
+//!   value; a sampled entry reveals its exact value (possibly 0), an
+//!   unsampled entry reveals nothing.
+//! * [`WeightedOutcome`] — weighted PPS Poisson sampling (Sections 5–6): entry
+//!   `i` is sampled iff `v_i ≥ u_i·τ*_i`.  A sampled entry reveals its value;
+//!   an unsampled entry reveals the upper bound `v_i < u_i·τ*_i` when the seed
+//!   `u_i` is known, and nothing when it is unknown.
+
+use crate::instance::Key;
+use crate::sample::{InstanceSample, RankKind, SampleScheme};
+use crate::seed::SeedAssignment;
+
+/// One entry of a weight-oblivious outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObliviousEntry {
+    /// Inclusion probability of this entry (independent of its value).
+    pub p: f64,
+    /// The exact value if the entry was sampled, `None` otherwise.
+    pub value: Option<f64>,
+}
+
+/// The outcome of weight-oblivious Poisson sampling of one key over `r` instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObliviousOutcome {
+    /// Per-instance entries; `entries.len()` is the number of instances `r`.
+    pub entries: Vec<ObliviousEntry>,
+}
+
+impl ObliviousOutcome {
+    /// Creates an outcome from per-instance entries.
+    ///
+    /// # Panics
+    /// Panics if any probability lies outside `(0, 1]`.
+    #[must_use]
+    pub fn new(entries: Vec<ObliviousEntry>) -> Self {
+        for e in &entries {
+            assert!(
+                e.p > 0.0 && e.p <= 1.0,
+                "inclusion probability must be in (0,1], got {}",
+                e.p
+            );
+        }
+        Self { entries }
+    }
+
+    /// Builds the outcome for `key` from weight-oblivious samples of several
+    /// instances.  Every sample must use [`SampleScheme::ObliviousPoisson`].
+    ///
+    /// # Panics
+    /// Panics if a sample was produced by a weighted scheme.
+    #[must_use]
+    pub fn from_samples(key: Key, samples: &[InstanceSample]) -> Self {
+        let entries = samples
+            .iter()
+            .map(|s| match s.scheme {
+                SampleScheme::ObliviousPoisson { p } => ObliviousEntry {
+                    p,
+                    value: s.value(key),
+                },
+                other => panic!("ObliviousOutcome requires weight-oblivious samples, got {other:?}"),
+            })
+            .collect();
+        Self::new(entries)
+    }
+
+    /// Number of instances `r`.
+    #[must_use]
+    pub fn num_instances(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Indices of sampled entries.
+    #[must_use]
+    pub fn sampled_indices(&self) -> Vec<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.value.map(|_| i))
+            .collect()
+    }
+
+    /// Number of sampled entries `|S|`.
+    #[must_use]
+    pub fn num_sampled(&self) -> usize {
+        self.entries.iter().filter(|e| e.value.is_some()).count()
+    }
+
+    /// Whether every entry was sampled (`S = [r]`).
+    #[must_use]
+    pub fn all_sampled(&self) -> bool {
+        self.entries.iter().all(|e| e.value.is_some())
+    }
+
+    /// Maximum value among sampled entries, or `None` if nothing was sampled.
+    #[must_use]
+    pub fn max_sampled(&self) -> Option<f64> {
+        self.entries
+            .iter()
+            .filter_map(|e| e.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// The inclusion probabilities `p_1, …, p_r`.
+    #[must_use]
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.entries.iter().map(|e| e.p).collect()
+    }
+
+    /// The product `∏_i p_i` (probability that all entries are sampled).
+    #[must_use]
+    pub fn all_sampled_probability(&self) -> f64 {
+        self.entries.iter().map(|e| e.p).product()
+    }
+}
+
+/// One entry of a weighted (PPS) outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedEntry {
+    /// The PPS threshold τ*_i of this instance.
+    pub tau_star: f64,
+    /// The seed `u_i`, if seeds are known to the estimator.
+    pub seed: Option<f64>,
+    /// The exact value if the entry was sampled, `None` otherwise.
+    pub value: Option<f64>,
+}
+
+impl WeightedEntry {
+    /// The upper bound on this entry's value implied by it *not* being
+    /// sampled: `v_i < u_i·τ*_i`.  Only available when the seed is known.
+    /// Returns `None` for sampled entries (the exact value is known) or when
+    /// the seed is hidden.
+    #[must_use]
+    pub fn unsampled_upper_bound(&self) -> Option<f64> {
+        match (self.value, self.seed) {
+            (None, Some(u)) => Some(u * self.tau_star),
+            _ => None,
+        }
+    }
+
+    /// The inclusion probability of a hypothetical value `v` in this instance:
+    /// `min(1, v/τ*_i)`.
+    #[must_use]
+    pub fn inclusion_probability(&self, v: f64) -> f64 {
+        if self.tau_star <= 0.0 {
+            1.0
+        } else {
+            (v / self.tau_star).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// The outcome of weighted PPS Poisson sampling of one key over `r` instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedOutcome {
+    /// Per-instance entries; `entries.len()` is the number of instances `r`.
+    pub entries: Vec<WeightedEntry>,
+}
+
+impl WeightedOutcome {
+    /// Creates an outcome from per-instance entries.
+    ///
+    /// # Panics
+    /// Panics if any τ* is not positive and finite, or a seed lies outside `(0, 1)`.
+    #[must_use]
+    pub fn new(entries: Vec<WeightedEntry>) -> Self {
+        for e in &entries {
+            assert!(
+                e.tau_star > 0.0 && e.tau_star.is_finite(),
+                "tau_star must be positive and finite, got {}",
+                e.tau_star
+            );
+            if let Some(u) = e.seed {
+                assert!(u > 0.0 && u < 1.0, "seed must lie in (0,1), got {u}");
+            }
+        }
+        Self { entries }
+    }
+
+    /// Builds the outcome for `key` from weighted samples of several
+    /// instances, attaching seeds when `seeds` makes them visible.
+    ///
+    /// Supported schemes: [`SampleScheme::PpsPoisson`] and
+    /// [`SampleScheme::BottomK`] with PPS ranks (priority sampling), for which
+    /// the rank-conditioned threshold `1/threshold` plays the role of τ*.
+    ///
+    /// # Panics
+    /// Panics for weight-oblivious or EXP-rank samples.
+    #[must_use]
+    pub fn from_samples(key: Key, samples: &[InstanceSample], seeds: &SeedAssignment) -> Self {
+        let entries = samples
+            .iter()
+            .map(|s| {
+                let tau_star = match s.scheme {
+                    SampleScheme::PpsPoisson { tau_star } => tau_star,
+                    SampleScheme::BottomK {
+                        ranks: RankKind::Pps,
+                        ..
+                    } => {
+                        assert!(
+                            s.threshold.is_finite() && s.threshold > 0.0,
+                            "priority sample threshold must be finite and positive"
+                        );
+                        1.0 / s.threshold
+                    }
+                    other => panic!(
+                        "WeightedOutcome requires PPS Poisson or priority samples, got {other:?}"
+                    ),
+                };
+                WeightedEntry {
+                    tau_star,
+                    seed: seeds.visible_seed(key, s.instance_index),
+                    value: s.value(key),
+                }
+            })
+            .collect();
+        Self::new(entries)
+    }
+
+    /// Number of instances `r`.
+    #[must_use]
+    pub fn num_instances(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Indices of sampled entries.
+    #[must_use]
+    pub fn sampled_indices(&self) -> Vec<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.value.map(|_| i))
+            .collect()
+    }
+
+    /// Number of sampled entries `|S|`.
+    #[must_use]
+    pub fn num_sampled(&self) -> usize {
+        self.entries.iter().filter(|e| e.value.is_some()).count()
+    }
+
+    /// Maximum value among sampled entries, or `None` if nothing was sampled.
+    #[must_use]
+    pub fn max_sampled(&self) -> Option<f64> {
+        self.entries
+            .iter()
+            .filter_map(|e| e.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Whether all seeds are visible (the "known seeds" model).
+    #[must_use]
+    pub fn seeds_known(&self) -> bool {
+        self.entries.iter().all(|e| e.seed.is_some())
+    }
+
+    /// The largest upper bound `u_i·τ*_i` over *unsampled* entries, or 0 if
+    /// every entry was sampled.  Requires known seeds.
+    ///
+    /// This is the quantity `max_{i∉S} u_i·τ*_i` used by the weighted
+    /// `max^(HT)` estimator (Section 5.2): the true maximum is certainly
+    /// `max_{i∈S} v_i` exactly when this bound does not exceed it.
+    #[must_use]
+    pub fn max_unsampled_bound(&self) -> Option<f64> {
+        let mut bound = 0.0f64;
+        for e in &self.entries {
+            if e.value.is_none() {
+                match e.unsampled_upper_bound() {
+                    Some(b) => bound = bound.max(b),
+                    None => return None,
+                }
+            }
+        }
+        Some(bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use crate::poisson::{ObliviousPoissonSampler, PpsPoissonSampler};
+
+    #[test]
+    fn oblivious_outcome_accessors() {
+        let o = ObliviousOutcome::new(vec![
+            ObliviousEntry {
+                p: 0.5,
+                value: Some(3.0),
+            },
+            ObliviousEntry { p: 0.4, value: None },
+            ObliviousEntry {
+                p: 1.0,
+                value: Some(7.0),
+            },
+        ]);
+        assert_eq!(o.num_instances(), 3);
+        assert_eq!(o.num_sampled(), 2);
+        assert_eq!(o.sampled_indices(), vec![0, 2]);
+        assert!(!o.all_sampled());
+        assert_eq!(o.max_sampled(), Some(7.0));
+        assert!((o.all_sampled_probability() - 0.2).abs() < 1e-12);
+        assert_eq!(o.probabilities(), vec![0.5, 0.4, 1.0]);
+    }
+
+    #[test]
+    fn oblivious_outcome_from_samples() {
+        let i0 = Instance::from_pairs([(1, 5.0), (2, 0.0)]);
+        let i1 = Instance::from_pairs([(1, 7.0), (2, 2.0)]);
+        let universe = vec![1, 2];
+        let seeds = SeedAssignment::independent_known(3);
+        let sampler = ObliviousPoissonSampler::new(1.0); // deterministic: everything sampled
+        let samples = vec![
+            sampler.sample(&i0, &universe, &seeds, 0),
+            sampler.sample(&i1, &universe, &seeds, 1),
+        ];
+        let o = ObliviousOutcome::from_samples(1, &samples);
+        assert_eq!(o.entries[0].value, Some(5.0));
+        assert_eq!(o.entries[1].value, Some(7.0));
+        let o2 = ObliviousOutcome::from_samples(2, &samples);
+        assert_eq!(o2.entries[0].value, Some(0.0));
+        assert_eq!(o2.entries[1].value, Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "weight-oblivious")]
+    fn oblivious_outcome_rejects_weighted_samples() {
+        let inst = Instance::from_pairs([(1, 5.0)]);
+        let seeds = SeedAssignment::independent_known(3);
+        let s = PpsPoissonSampler::new(10.0).sample(&inst, &seeds, 0);
+        let _ = ObliviousOutcome::from_samples(1, &[s]);
+    }
+
+    #[test]
+    fn weighted_entry_upper_bound() {
+        let sampled = WeightedEntry {
+            tau_star: 10.0,
+            seed: Some(0.25),
+            value: Some(4.0),
+        };
+        assert_eq!(sampled.unsampled_upper_bound(), None);
+        let unsampled_known = WeightedEntry {
+            tau_star: 10.0,
+            seed: Some(0.25),
+            value: None,
+        };
+        assert_eq!(unsampled_known.unsampled_upper_bound(), Some(2.5));
+        let unsampled_unknown = WeightedEntry {
+            tau_star: 10.0,
+            seed: None,
+            value: None,
+        };
+        assert_eq!(unsampled_unknown.unsampled_upper_bound(), None);
+    }
+
+    #[test]
+    fn weighted_entry_inclusion_probability() {
+        let e = WeightedEntry {
+            tau_star: 8.0,
+            seed: None,
+            value: None,
+        };
+        assert_eq!(e.inclusion_probability(2.0), 0.25);
+        assert_eq!(e.inclusion_probability(16.0), 1.0);
+        assert_eq!(e.inclusion_probability(0.0), 0.0);
+    }
+
+    #[test]
+    fn weighted_outcome_from_pps_samples() {
+        let i0 = Instance::from_pairs([(1, 5.0), (2, 1.0)]);
+        let i1 = Instance::from_pairs([(1, 3.0), (2, 9.0)]);
+        let seeds = SeedAssignment::independent_known(5);
+        let sampler = PpsPoissonSampler::new(10.0);
+        let samples = vec![
+            sampler.sample(&i0, &seeds, 0),
+            sampler.sample(&i1, &seeds, 1),
+        ];
+        let o = WeightedOutcome::from_samples(1, &samples, &seeds);
+        assert_eq!(o.num_instances(), 2);
+        assert!(o.seeds_known());
+        // Consistency: a sampled entry's value matches the instance, an
+        // unsampled one yields an upper bound above the true value.
+        for (idx, inst) in [&i0, &i1].into_iter().enumerate() {
+            let entry = &o.entries[idx];
+            match entry.value {
+                Some(v) => assert_eq!(v, inst.value(1)),
+                None => {
+                    let bound = entry.unsampled_upper_bound().unwrap();
+                    assert!(bound > inst.value(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_outcome_hides_seeds_when_unknown() {
+        let i0 = Instance::from_pairs([(1, 5.0)]);
+        let seeds = SeedAssignment::independent_unknown(5);
+        let sampler = PpsPoissonSampler::new(10.0);
+        let samples = vec![sampler.sample(&i0, &seeds, 0)];
+        let o = WeightedOutcome::from_samples(1, &samples, &seeds);
+        assert!(!o.seeds_known());
+        assert_eq!(o.entries[0].seed, None);
+    }
+
+    #[test]
+    fn max_unsampled_bound_requires_known_seeds() {
+        let known = WeightedOutcome::new(vec![
+            WeightedEntry {
+                tau_star: 10.0,
+                seed: Some(0.5),
+                value: None,
+            },
+            WeightedEntry {
+                tau_star: 10.0,
+                seed: Some(0.9),
+                value: Some(4.0),
+            },
+        ]);
+        assert_eq!(known.max_unsampled_bound(), Some(5.0));
+        let unknown = WeightedOutcome::new(vec![WeightedEntry {
+            tau_star: 10.0,
+            seed: None,
+            value: None,
+        }]);
+        assert_eq!(unknown.max_unsampled_bound(), None);
+        let all_sampled = WeightedOutcome::new(vec![WeightedEntry {
+            tau_star: 10.0,
+            seed: Some(0.1),
+            value: Some(2.0),
+        }]);
+        assert_eq!(all_sampled.max_unsampled_bound(), Some(0.0));
+    }
+
+    #[test]
+    fn weighted_outcome_from_priority_samples() {
+        use crate::bottomk::BottomKSampler;
+        use crate::rank::PpsRanks;
+        let inst = Instance::from_pairs((0..100u64).map(|k| (k, 1.0 + (k % 4) as f64)));
+        let seeds = SeedAssignment::independent_known(9);
+        let s = BottomKSampler::new(PpsRanks, 20).sample(&inst, &seeds, 0);
+        let o = WeightedOutcome::from_samples(7, std::slice::from_ref(&s), &seeds);
+        assert_eq!(o.entries[0].tau_star, 1.0 / s.threshold);
+    }
+
+    #[test]
+    #[should_panic(expected = "in (0,1]")]
+    fn oblivious_outcome_rejects_zero_probability() {
+        let _ = ObliviousOutcome::new(vec![ObliviousEntry { p: 0.0, value: None }]);
+    }
+}

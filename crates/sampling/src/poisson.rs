@@ -1,0 +1,371 @@
+//! Poisson (independent per-key) sampling of a single instance.
+//!
+//! Three samplers are provided, matching Section 2 and Section 7.1 of the
+//! paper:
+//!
+//! * [`ObliviousPoissonSampler`] — weight-oblivious: each key of an explicit
+//!   key universe is kept with a fixed probability `p`, independent of its
+//!   value.  This is the scheme of Section 4.
+//! * [`PpsPoissonSampler`] — weighted PPS: a key of value `v` is kept with
+//!   probability `min(1, v/τ*)` (inclusion probability proportional to size).
+//!   This is the scheme of Section 5.
+//! * [`ThresholdRankSampler`] — generic Poisson-τ sampling for any
+//!   [`RankFamily`]: a key is kept iff its rank falls below a fixed threshold.
+//!
+//! All samplers draw their randomness from a [`SeedAssignment`], so samples
+//! are reproducible and the "known seeds" estimation model is available
+//! post hoc.
+
+use std::collections::HashMap;
+
+use crate::instance::{Instance, Key};
+use crate::rank::RankFamily;
+use crate::sample::{InstanceSample, RankKind, SampleScheme};
+use crate::seed::SeedAssignment;
+
+/// Weight-oblivious Poisson sampling: keep each key of the universe with
+/// probability `p`, regardless of its value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObliviousPoissonSampler {
+    p: f64,
+}
+
+impl ObliviousPoissonSampler {
+    /// Creates a sampler with per-key inclusion probability `p ∈ (0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `(0, 1]`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "p must be in (0,1], got {p}");
+        Self { p }
+    }
+
+    /// The per-key inclusion probability.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Samples `instance` over the key universe `universe`.
+    ///
+    /// The universe must be supplied explicitly because weight-oblivious
+    /// sampling also selects keys whose value is zero (they carry information
+    /// for multi-instance functions such as OR and max).  Keys in the
+    /// universe that are absent from the instance are treated as having
+    /// value 0.
+    #[must_use]
+    pub fn sample(
+        &self,
+        instance: &Instance,
+        universe: &[Key],
+        seeds: &SeedAssignment,
+        instance_index: u64,
+    ) -> InstanceSample {
+        let mut entries = HashMap::new();
+        for &key in universe {
+            let u = seeds.seed(key, instance_index);
+            if u < self.p {
+                entries.insert(key, instance.value(key));
+            }
+        }
+        InstanceSample::new(
+            instance_index,
+            SampleScheme::ObliviousPoisson { p: self.p },
+            0.0,
+            entries,
+        )
+    }
+}
+
+/// Weighted Poisson PPS sampling: keep a key of value `v` iff `v ≥ u·τ*`,
+/// i.e. with probability `min(1, v/τ*)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PpsPoissonSampler {
+    tau_star: f64,
+}
+
+impl PpsPoissonSampler {
+    /// Creates a sampler with PPS threshold `τ* > 0`.
+    ///
+    /// # Panics
+    /// Panics if `tau_star` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(tau_star: f64) -> Self {
+        assert!(
+            tau_star > 0.0 && tau_star.is_finite(),
+            "tau_star must be positive and finite, got {tau_star}"
+        );
+        Self { tau_star }
+    }
+
+    /// Chooses τ* so that the expected sample size over `instance` is `k`.
+    ///
+    /// Returns `None` if the instance has fewer than `⌈k⌉` positive keys (in
+    /// which case every positive key should simply be kept).
+    #[must_use]
+    pub fn with_expected_size(instance: &Instance, k: f64) -> Option<Self> {
+        let weights: Vec<f64> = instance.iter().map(|(_, v)| v).collect();
+        let tau = crate::rank::PpsRanks.threshold_for_expected_size(&weights, k);
+        if tau.is_finite() && tau > 0.0 {
+            // PPS inclusion prob with threshold tau is min(1, v*tau); τ* = 1/tau.
+            Some(Self::new(1.0 / tau))
+        } else {
+            None
+        }
+    }
+
+    /// The PPS threshold τ*.
+    #[must_use]
+    pub fn tau_star(&self) -> f64 {
+        self.tau_star
+    }
+
+    /// Samples `instance`.  Only keys with positive value can be selected;
+    /// the key universe is implicit (zero-valued keys are never sampled by a
+    /// weighted scheme).
+    #[must_use]
+    pub fn sample(
+        &self,
+        instance: &Instance,
+        seeds: &SeedAssignment,
+        instance_index: u64,
+    ) -> InstanceSample {
+        let mut entries = HashMap::new();
+        for (key, value) in instance.iter() {
+            if value <= 0.0 {
+                continue;
+            }
+            let u = seeds.seed(key, instance_index);
+            if value >= u * self.tau_star {
+                entries.insert(key, value);
+            }
+        }
+        InstanceSample::new(
+            instance_index,
+            SampleScheme::PpsPoisson {
+                tau_star: self.tau_star,
+            },
+            self.tau_star,
+            entries,
+        )
+    }
+}
+
+/// Generic Poisson-τ sampling for an arbitrary rank family: keep a key iff
+/// its rank (drawn from `F_{v}` using the key's seed) is below `tau`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdRankSampler<R: RankFamily> {
+    family: R,
+    tau: f64,
+}
+
+impl<R: RankFamily> ThresholdRankSampler<R> {
+    /// Creates a sampler keeping keys with rank below `tau > 0`.
+    ///
+    /// # Panics
+    /// Panics if `tau` is not strictly positive.
+    #[must_use]
+    pub fn new(family: R, tau: f64) -> Self {
+        assert!(tau > 0.0, "tau must be positive, got {tau}");
+        Self { family, tau }
+    }
+
+    /// The rank threshold τ.
+    #[must_use]
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// Samples `instance`; only positive-valued keys can be selected.
+    #[must_use]
+    pub fn sample(
+        &self,
+        instance: &Instance,
+        seeds: &SeedAssignment,
+        instance_index: u64,
+    ) -> InstanceSample {
+        let mut entries = HashMap::new();
+        for (key, value) in instance.iter() {
+            if value <= 0.0 {
+                continue;
+            }
+            let u = seeds.seed(key, instance_index);
+            let rank = self.family.rank_from_seed(u, value);
+            if rank < self.tau {
+                entries.insert(key, value);
+            }
+        }
+        // Represent as a PPS or bottom-k style scheme?  The natural mapping is a
+        // "bottom-k with known threshold" — we reuse the PpsPoisson descriptor
+        // when the family is PPS (tau_star = 1/tau) and the BottomK descriptor
+        // otherwise, so inclusion probabilities stay recomputable.
+        let (scheme, threshold) = match self.family.name() {
+            "pps" => (
+                SampleScheme::PpsPoisson {
+                    tau_star: 1.0 / self.tau,
+                },
+                1.0 / self.tau,
+            ),
+            _ => (
+                SampleScheme::BottomK {
+                    k: entries.len(),
+                    ranks: RankKind::Exp,
+                },
+                self.tau,
+            ),
+        };
+        InstanceSample::new(instance_index, scheme, threshold, entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rank::{ExpRanks, PpsRanks};
+
+    fn big_instance(n: u64, value: f64) -> Instance {
+        Instance::from_pairs((0..n).map(|k| (k, value)))
+    }
+
+    #[test]
+    fn oblivious_sampler_rate_matches_p() {
+        let inst = big_instance(20_000, 1.0);
+        let universe = inst.sorted_keys();
+        let sampler = ObliviousPoissonSampler::new(0.3);
+        let seeds = SeedAssignment::independent_known(7);
+        let s = sampler.sample(&inst, &universe, &seeds, 0);
+        let rate = s.len() as f64 / universe.len() as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn oblivious_sampler_includes_zero_valued_keys() {
+        let inst = Instance::from_pairs([(1, 0.0), (2, 5.0)]);
+        let universe = vec![1, 2, 3];
+        let sampler = ObliviousPoissonSampler::new(1.0);
+        let seeds = SeedAssignment::independent_known(7);
+        let s = sampler.sample(&inst, &universe, &seeds, 0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.value(1), Some(0.0));
+        assert_eq!(s.value(3), Some(0.0));
+        assert_eq!(s.value(2), Some(5.0));
+    }
+
+    #[test]
+    fn pps_sampler_rate_matches_inclusion_probability() {
+        let inst = big_instance(20_000, 2.0);
+        let sampler = PpsPoissonSampler::new(8.0); // p = 2/8 = 0.25
+        let seeds = SeedAssignment::independent_known(3);
+        let s = sampler.sample(&inst, &seeds, 0);
+        let rate = s.len() as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn pps_sampler_always_keeps_heavy_keys() {
+        let mut inst = big_instance(100, 0.001);
+        inst.set(999, 100.0);
+        let sampler = PpsPoissonSampler::new(50.0);
+        let seeds = SeedAssignment::independent_known(11);
+        let s = sampler.sample(&inst, &seeds, 0);
+        assert!(s.contains(999), "value above tau_star must always be kept");
+    }
+
+    #[test]
+    fn pps_sampler_never_keeps_zero_keys() {
+        let inst = Instance::from_pairs([(1, 0.0), (2, 1.0)]);
+        let sampler = PpsPoissonSampler::new(0.5);
+        let seeds = SeedAssignment::independent_known(11);
+        let s = sampler.sample(&inst, &seeds, 0);
+        assert!(!s.contains(1));
+        assert!(s.contains(2), "value >= tau_star is always sampled");
+    }
+
+    #[test]
+    fn pps_with_expected_size_hits_target() {
+        let inst = Instance::from_pairs((0..1000u64).map(|k| (k, 1.0 + (k % 7) as f64)));
+        let sampler = PpsPoissonSampler::with_expected_size(&inst, 100.0).unwrap();
+        let mut total = 0usize;
+        let reps = 30;
+        for rep in 0..reps {
+            let seeds = SeedAssignment::independent_known(rep);
+            total += sampler.sample(&inst, &seeds, 0).len();
+        }
+        let mean = total as f64 / reps as f64;
+        assert!((mean - 100.0).abs() < 10.0, "mean sample size {mean}");
+    }
+
+    #[test]
+    fn pps_with_expected_size_returns_none_when_k_too_large() {
+        let inst = Instance::from_pairs([(1, 1.0), (2, 2.0)]);
+        assert!(PpsPoissonSampler::with_expected_size(&inst, 5.0).is_none());
+    }
+
+    #[test]
+    fn threshold_rank_sampler_pps_equivalent_to_pps_poisson() {
+        // ThresholdRankSampler with PPS ranks and tau = 1/τ* selects exactly the
+        // same keys as PpsPoissonSampler with τ*.
+        let inst = Instance::from_pairs((0..500u64).map(|k| (k, 0.5 + (k % 13) as f64)));
+        let seeds = SeedAssignment::independent_known(5);
+        let tau_star = 20.0;
+        let a = PpsPoissonSampler::new(tau_star).sample(&inst, &seeds, 0);
+        let b = ThresholdRankSampler::new(PpsRanks, 1.0 / tau_star).sample(&inst, &seeds, 0);
+        assert_eq!(a.sorted_keys(), b.sorted_keys());
+    }
+
+    #[test]
+    fn threshold_rank_sampler_exp_rate() {
+        let inst = big_instance(20_000, 1.0);
+        // With EXP ranks and tau, inclusion prob = 1 - e^{-tau}.
+        let tau = 0.5f64;
+        let sampler = ThresholdRankSampler::new(ExpRanks, tau);
+        let seeds = SeedAssignment::independent_known(17);
+        let s = sampler.sample(&inst, &seeds, 0);
+        let rate = s.len() as f64 / 20_000.0;
+        let expect = 1.0 - (-tau).exp();
+        assert!((rate - expect).abs() < 0.02, "rate {rate} expect {expect}");
+    }
+
+    #[test]
+    fn shared_seed_sampling_is_coordinated() {
+        // With shared seeds and equal values, the *same* keys are sampled in
+        // both instances (full coordination).
+        let inst = big_instance(5000, 1.0);
+        let sampler = PpsPoissonSampler::new(4.0);
+        let seeds = SeedAssignment::shared(23);
+        let s0 = sampler.sample(&inst, &seeds, 0);
+        let s1 = sampler.sample(&inst, &seeds, 1);
+        assert_eq!(s0.sorted_keys(), s1.sorted_keys());
+    }
+
+    #[test]
+    fn independent_sampling_is_not_coordinated() {
+        let inst = big_instance(5000, 1.0);
+        let sampler = PpsPoissonSampler::new(4.0);
+        let seeds = SeedAssignment::independent_known(23);
+        let s0 = sampler.sample(&inst, &seeds, 0);
+        let s1 = sampler.sample(&inst, &seeds, 1);
+        assert_ne!(s0.sorted_keys(), s1.sorted_keys());
+        // Overlap should be roughly p^2 * n = 312, far less than p*n = 1250.
+        let keys0 = s0.sorted_keys();
+        let overlap = keys0.iter().filter(|&&k| s1.contains(k)).count();
+        assert!(
+            (overlap as f64) < 0.6 * keys0.len() as f64,
+            "overlap {overlap} of {}",
+            keys0.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in (0,1]")]
+    fn oblivious_rejects_bad_p() {
+        let _ = ObliviousPoissonSampler::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau_star must be positive")]
+    fn pps_rejects_bad_tau() {
+        let _ = PpsPoissonSampler::new(0.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Rank distributions for weighted sampling (Section 7.1).
+//!
+//! Bottom-k and Poisson samples are defined through a *random rank assignment*:
+//! each key draws a rank from a weight-dependent distribution `f_w`, and either
+//! the `k` smallest-ranked keys (bottom-k) or all keys below a threshold τ
+//! (Poisson) are kept.  The paper uses two families:
+//!
+//! * **PPS ranks** — `f_w = U[0, 1/w]`, i.e. `rank = u / w`.  Poisson sampling
+//!   with threshold τ then includes a key with probability `min(1, wτ)`
+//!   (probability proportional to size); bottom-k with PPS ranks is *priority
+//!   sampling*.
+//! * **EXP ranks** — `rank ~ Exp(w)`, i.e. `rank = −ln(1−u)/w`.  Bottom-k with
+//!   EXP ranks is weighted sampling without replacement; the minimum rank of a
+//!   subpopulation is `Exp(Σw)`, which many sketch estimators exploit.
+//!
+//! A rank family is fully described by its per-weight CDF `F_w`; every sampler
+//! in this crate is generic over [`RankFamily`].
+
+/// A family of rank distributions `f_w`, one per weight `w ≥ 0`.
+///
+/// Implementations must guarantee that for fixed `u`, `rank_from_seed(u, w)` is
+/// non-increasing in `w` (heavier keys get smaller ranks), which is what makes
+/// shared-seed rank assignments *consistent* in the sense of Section 7.2.
+pub trait RankFamily: std::fmt::Debug + Clone + Send + Sync {
+    /// Human-readable name (used in reports and bench output).
+    fn name(&self) -> &'static str;
+
+    /// The rank obtained from a uniform seed `u ∈ (0,1)` and weight `w > 0`.
+    ///
+    /// Must equal `F_w^{-1}(u)`.  For `w = 0` the rank is `+∞` (a zero-weight
+    /// key is never sampled by a weighted scheme).
+    fn rank_from_seed(&self, u: f64, w: f64) -> f64;
+
+    /// The CDF `F_w(x) = Pr[rank ≤ x]` for weight `w`.
+    fn cdf(&self, w: f64, x: f64) -> f64;
+
+    /// Probability that a key of weight `w` has rank below threshold `tau`,
+    /// i.e. its inclusion probability under Poisson-τ sampling.
+    fn inclusion_probability(&self, w: f64, tau: f64) -> f64 {
+        self.cdf(w, tau)
+    }
+
+    /// The threshold τ giving a target expected sample size `k` over weights `ws`.
+    ///
+    /// Solves `Σ_i F_{w_i}(τ) = k` by bisection.  Returns `f64::INFINITY` when
+    /// `k` is at least the number of positive weights (everything is sampled).
+    fn threshold_for_expected_size(&self, ws: &[f64], k: f64) -> f64 {
+        let positive = ws.iter().filter(|&&w| w > 0.0).count() as f64;
+        if k >= positive {
+            return f64::INFINITY;
+        }
+        if k <= 0.0 {
+            return 0.0;
+        }
+        // Expected size is non-decreasing in tau; bisect on tau.
+        let mut lo = 0.0f64;
+        let mut hi = 1.0f64;
+        let expected = |tau: f64| ws.iter().map(|&w| self.cdf(w, tau)).sum::<f64>();
+        while expected(hi) < k {
+            hi *= 2.0;
+            if hi > 1e300 {
+                return f64::INFINITY;
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if expected(mid) < k {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+/// PPS ranks: `rank = u / w`, `F_w(x) = min(1, w·x)`.
+///
+/// Poisson sampling with these ranks is IPPS (inclusion probability
+/// proportional to size); bottom-k sampling with these ranks is priority
+/// sampling (Duffield–Lund–Thorup).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PpsRanks;
+
+impl RankFamily for PpsRanks {
+    fn name(&self) -> &'static str {
+        "pps"
+    }
+
+    #[inline]
+    fn rank_from_seed(&self, u: f64, w: f64) -> f64 {
+        if w <= 0.0 {
+            f64::INFINITY
+        } else {
+            u / w
+        }
+    }
+
+    #[inline]
+    fn cdf(&self, w: f64, x: f64) -> f64 {
+        if w <= 0.0 || x <= 0.0 {
+            0.0
+        } else {
+            (w * x).min(1.0)
+        }
+    }
+}
+
+/// Exponential ranks: `rank ~ Exp(w)`, `F_w(x) = 1 − e^{−w·x}`.
+///
+/// Bottom-k sampling with these ranks is weighted sampling without
+/// replacement; the minimum rank over a set of keys is exponentially
+/// distributed with the total weight as its parameter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExpRanks;
+
+impl RankFamily for ExpRanks {
+    fn name(&self) -> &'static str {
+        "exp"
+    }
+
+    #[inline]
+    fn rank_from_seed(&self, u: f64, w: f64) -> f64 {
+        if w <= 0.0 {
+            f64::INFINITY
+        } else {
+            -(-u).ln_1p() / w
+        }
+    }
+
+    #[inline]
+    fn cdf(&self, w: f64, x: f64) -> f64 {
+        if w <= 0.0 || x <= 0.0 {
+            0.0
+        } else {
+            (-w * x).exp_ln_1p_neg()
+        }
+    }
+}
+
+/// Helper extension: computes `1 - exp(v)` accurately for `v <= 0`.
+trait ExpM1Neg {
+    fn exp_ln_1p_neg(self) -> f64;
+}
+
+impl ExpM1Neg for f64 {
+    #[inline]
+    fn exp_ln_1p_neg(self) -> f64 {
+        // 1 - e^v  computed as  -(e^v - 1) = -expm1(v), accurate for small |v|.
+        -self.exp_m1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn pps_rank_matches_inverse_cdf() {
+        let fam = PpsRanks;
+        for &w in &[0.1, 1.0, 7.5] {
+            for &u in &[0.01, 0.3, 0.77, 0.999] {
+                let r = fam.rank_from_seed(u, w);
+                assert_close(fam.cdf(w, r), u.min(fam.cdf(w, f64::INFINITY)), 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn exp_rank_matches_inverse_cdf() {
+        let fam = ExpRanks;
+        for &w in &[0.1, 1.0, 7.5] {
+            for &u in &[0.01, 0.3, 0.77, 0.999] {
+                let r = fam.rank_from_seed(u, w);
+                assert_close(fam.cdf(w, r), u, 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_weight_never_sampled() {
+        assert_eq!(PpsRanks.rank_from_seed(0.5, 0.0), f64::INFINITY);
+        assert_eq!(ExpRanks.rank_from_seed(0.5, 0.0), f64::INFINITY);
+        assert_eq!(PpsRanks.cdf(0.0, 10.0), 0.0);
+        assert_eq!(ExpRanks.cdf(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn pps_inclusion_probability_is_min_1_w_tau() {
+        let fam = PpsRanks;
+        assert_close(fam.inclusion_probability(2.0, 0.25), 0.5, 1e-15);
+        assert_close(fam.inclusion_probability(10.0, 0.25), 1.0, 1e-15);
+        assert_close(fam.inclusion_probability(0.5, 0.25), 0.125, 1e-15);
+    }
+
+    #[test]
+    fn ranks_decrease_with_weight_for_fixed_seed() {
+        // Consistency property behind shared-seed coordination: larger value
+        // => smaller rank, for the same seed.
+        let u = 0.42;
+        assert!(PpsRanks.rank_from_seed(u, 2.0) < PpsRanks.rank_from_seed(u, 1.0));
+        assert!(ExpRanks.rank_from_seed(u, 2.0) < ExpRanks.rank_from_seed(u, 1.0));
+    }
+
+    #[test]
+    fn threshold_for_expected_size_pps() {
+        let fam = PpsRanks;
+        let ws = vec![1.0, 2.0, 3.0, 4.0];
+        let k = 2.0;
+        let tau = fam.threshold_for_expected_size(&ws, k);
+        let expected: f64 = ws.iter().map(|&w| fam.cdf(w, tau)).sum();
+        assert_close(expected, k, 1e-6);
+    }
+
+    #[test]
+    fn threshold_for_expected_size_exp() {
+        let fam = ExpRanks;
+        let ws = vec![0.5, 0.5, 5.0, 10.0, 0.1];
+        let k = 3.0;
+        let tau = fam.threshold_for_expected_size(&ws, k);
+        let expected: f64 = ws.iter().map(|&w| fam.cdf(w, tau)).sum();
+        assert_close(expected, k, 1e-6);
+    }
+
+    #[test]
+    fn threshold_saturates_when_k_exceeds_support() {
+        let fam = PpsRanks;
+        let ws = vec![1.0, 0.0, 2.0];
+        assert_eq!(fam.threshold_for_expected_size(&ws, 2.0), f64::INFINITY);
+        assert_eq!(fam.threshold_for_expected_size(&ws, 5.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn exp_minimum_rank_distribution() {
+        // Empirical check of the EXP-rank property: the minimum rank over keys of
+        // total weight W is Exp(W).  Mean of Exp(W) is 1/W.
+        use crate::hash::Hasher64;
+        let fam = ExpRanks;
+        let weights = [1.0, 2.0, 3.0]; // total 6
+        let trials = 20_000;
+        let mut sum_min = 0.0;
+        for t in 0..trials {
+            let h = Hasher64::new(t as u64);
+            let min_rank = weights
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| fam.rank_from_seed(h.open_unit(i as u64), w))
+                .fold(f64::INFINITY, f64::min);
+            sum_min += min_rank;
+        }
+        let mean = sum_min / trials as f64;
+        assert!((mean - 1.0 / 6.0).abs() < 0.01, "mean {mean}");
+    }
+}

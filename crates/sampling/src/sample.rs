@@ -1,0 +1,302 @@
+//! The result of summarizing one instance: an [`InstanceSample`].
+//!
+//! A sample stores the sampled keys with their exact values plus just enough
+//! metadata (the scheme and its threshold) to recompute per-key inclusion
+//! probabilities — which is all downstream estimators need.  For bottom-k
+//! samples the stored threshold is the `(k+1)`-st smallest rank, so inclusion
+//! probabilities are the *rank-conditioned* (RC) probabilities of
+//! Section 7.1, which let bottom-k samples be treated like Poisson samples
+//! for estimation purposes.
+
+use std::collections::HashMap;
+
+use crate::instance::Key;
+
+/// Which rank family a rank-based sampler used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RankKind {
+    /// PPS ranks `u/w` (priority sampling when used with bottom-k).
+    Pps,
+    /// Exponential ranks `−ln(1−u)/w` (weighted sampling without replacement).
+    Exp,
+}
+
+/// The sampling scheme that produced an [`InstanceSample`], with the
+/// parameters needed to recompute inclusion probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SampleScheme {
+    /// Weight-oblivious Poisson sampling: every key of the universe is kept
+    /// independently with probability `p`, regardless of its value.
+    ObliviousPoisson {
+        /// Per-key inclusion probability.
+        p: f64,
+    },
+    /// Weighted Poisson PPS sampling: a key of value `v` is kept with
+    /// probability `min(1, v / tau_star)`.
+    PpsPoisson {
+        /// The PPS threshold τ*.
+        tau_star: f64,
+    },
+    /// Bottom-k (order) sampling with the given rank family.  `threshold` on
+    /// the sample is the `(k+1)`-st smallest rank; conditioned on it, a key of
+    /// value `v` is included with probability `F_v(threshold)`.
+    BottomK {
+        /// Sample size.
+        k: usize,
+        /// Rank family used to draw ranks.
+        ranks: RankKind,
+    },
+    /// VarOpt sampling with fixed size `k`; `threshold` on the sample is the
+    /// VarOpt threshold τ, and a key of value `v` has inclusion probability
+    /// `min(1, v/τ)`.
+    VarOpt {
+        /// Sample size.
+        k: usize,
+    },
+}
+
+impl SampleScheme {
+    /// Whether this scheme is weighted (inclusion depends on the value).
+    #[must_use]
+    pub fn is_weighted(&self) -> bool {
+        !matches!(self, SampleScheme::ObliviousPoisson { .. })
+    }
+}
+
+/// A summary of one instance: the sampled keys with their values, plus the
+/// scheme metadata needed to compute inclusion probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceSample {
+    /// Index of the instance this sample summarizes (matches the instance's
+    /// position in the multi-instance sampling call).
+    pub instance_index: u64,
+    /// The scheme that produced the sample.
+    pub scheme: SampleScheme,
+    /// Scheme-specific threshold:
+    /// * `ObliviousPoisson` — unused (0),
+    /// * `PpsPoisson` — τ* (duplicated for convenience),
+    /// * `BottomK` — the `(k+1)`-st smallest rank (`+∞` if fewer than `k+1` keys),
+    /// * `VarOpt` — the VarOpt threshold τ.
+    pub threshold: f64,
+    entries: HashMap<Key, f64>,
+}
+
+impl InstanceSample {
+    /// Creates a sample from its parts.
+    #[must_use]
+    pub fn new(
+        instance_index: u64,
+        scheme: SampleScheme,
+        threshold: f64,
+        entries: HashMap<Key, f64>,
+    ) -> Self {
+        Self {
+            instance_index,
+            scheme,
+            threshold,
+            entries,
+        }
+    }
+
+    /// Number of sampled keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the sample is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `key` was sampled.
+    #[must_use]
+    pub fn contains(&self, key: Key) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// The sampled value of `key`, or `None` if the key was not sampled.
+    #[must_use]
+    pub fn value(&self, key: Key) -> Option<f64> {
+        self.entries.get(&key).copied()
+    }
+
+    /// Iterator over sampled `(key, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Key, f64)> + '_ {
+        self.entries.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Sampled keys sorted ascending (deterministic order for reports/tests).
+    #[must_use]
+    pub fn sorted_keys(&self) -> Vec<Key> {
+        let mut ks: Vec<Key> = self.entries.keys().copied().collect();
+        ks.sort_unstable();
+        ks
+    }
+
+    /// The inclusion probability of a key with value `value` under this
+    /// sample's scheme (conditioned on the stored threshold for bottom-k).
+    ///
+    /// This is the `p` used by Horvitz–Thompson style estimators.  It is well
+    /// defined for any value, whether or not the key was sampled.
+    #[must_use]
+    pub fn inclusion_probability(&self, value: f64) -> f64 {
+        match self.scheme {
+            SampleScheme::ObliviousPoisson { p } => p,
+            SampleScheme::PpsPoisson { tau_star } => {
+                if tau_star <= 0.0 {
+                    1.0
+                } else {
+                    (value / tau_star).clamp(0.0, 1.0)
+                }
+            }
+            SampleScheme::BottomK { ranks, .. } => {
+                if !self.threshold.is_finite() {
+                    // Fewer than k+1 keys: everything with positive value is kept.
+                    if value > 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    match ranks {
+                        RankKind::Pps => (value * self.threshold).clamp(0.0, 1.0),
+                        RankKind::Exp => -(-value * self.threshold).exp_m1(),
+                    }
+                }
+            }
+            SampleScheme::VarOpt { .. } => {
+                if self.threshold <= 0.0 {
+                    if value > 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    (value / self.threshold).clamp(0.0, 1.0)
+                }
+            }
+        }
+    }
+
+    /// The Horvitz–Thompson estimate of the total value of all keys in a
+    /// selected subset, `Σ_{h ∈ K'} v(h)` (a single-instance subset-sum query).
+    ///
+    /// `select` decides membership of a key in the queried subset `K'`.
+    #[must_use]
+    pub fn ht_subset_sum<F: Fn(Key) -> bool>(&self, select: F) -> f64 {
+        self.iter()
+            .filter(|&(k, _)| select(k))
+            .map(|(_, v)| {
+                let p = self.inclusion_probability(v);
+                if p > 0.0 {
+                    v / p
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_with(scheme: SampleScheme, threshold: f64) -> InstanceSample {
+        let mut entries = HashMap::new();
+        entries.insert(1, 10.0);
+        entries.insert(2, 0.5);
+        InstanceSample::new(0, scheme, threshold, entries)
+    }
+
+    #[test]
+    fn oblivious_inclusion_probability_is_constant() {
+        let s = sample_with(SampleScheme::ObliviousPoisson { p: 0.3 }, 0.0);
+        assert_eq!(s.inclusion_probability(10.0), 0.3);
+        assert_eq!(s.inclusion_probability(0.0), 0.3);
+    }
+
+    #[test]
+    fn pps_inclusion_probability_caps_at_one() {
+        let s = sample_with(SampleScheme::PpsPoisson { tau_star: 4.0 }, 4.0);
+        assert_eq!(s.inclusion_probability(2.0), 0.5);
+        assert_eq!(s.inclusion_probability(8.0), 1.0);
+        assert_eq!(s.inclusion_probability(0.0), 0.0);
+    }
+
+    #[test]
+    fn bottomk_pps_rank_conditioned_probability() {
+        let s = sample_with(
+            SampleScheme::BottomK {
+                k: 2,
+                ranks: RankKind::Pps,
+            },
+            0.1,
+        );
+        // rank = u/v < 0.1  ⇔  u < 0.1 v ⇒ probability min(1, 0.1 v)
+        assert!((s.inclusion_probability(5.0) - 0.5).abs() < 1e-12);
+        assert_eq!(s.inclusion_probability(100.0), 1.0);
+    }
+
+    #[test]
+    fn bottomk_exp_rank_conditioned_probability() {
+        let s = sample_with(
+            SampleScheme::BottomK {
+                k: 2,
+                ranks: RankKind::Exp,
+            },
+            0.2,
+        );
+        let expected = 1.0 - (-0.2f64 * 3.0).exp();
+        assert!((s.inclusion_probability(3.0) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bottomk_infinite_threshold_keeps_positive_keys() {
+        let s = sample_with(
+            SampleScheme::BottomK {
+                k: 10,
+                ranks: RankKind::Pps,
+            },
+            f64::INFINITY,
+        );
+        assert_eq!(s.inclusion_probability(1.0), 1.0);
+        assert_eq!(s.inclusion_probability(0.0), 0.0);
+    }
+
+    #[test]
+    fn ht_subset_sum_uses_inclusion_probability() {
+        let s = sample_with(SampleScheme::PpsPoisson { tau_star: 20.0 }, 20.0);
+        // key 1 value 10 => p = 0.5 => contributes 20; key 2 value 0.5 => p = 0.025 => 20.
+        let total = s.ht_subset_sum(|_| true);
+        assert!((total - 40.0).abs() < 1e-9);
+        let only_key1 = s.ht_subset_sum(|k| k == 1);
+        assert!((only_key1 - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accessors() {
+        let s = sample_with(SampleScheme::ObliviousPoisson { p: 0.5 }, 0.0);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert!(s.contains(1));
+        assert!(!s.contains(3));
+        assert_eq!(s.value(2), Some(0.5));
+        assert_eq!(s.value(3), None);
+        assert_eq!(s.sorted_keys(), vec![1, 2]);
+    }
+
+    #[test]
+    fn scheme_weighted_flag() {
+        assert!(!SampleScheme::ObliviousPoisson { p: 0.1 }.is_weighted());
+        assert!(SampleScheme::PpsPoisson { tau_star: 1.0 }.is_weighted());
+        assert!(SampleScheme::BottomK {
+            k: 3,
+            ranks: RankKind::Exp
+        }
+        .is_weighted());
+        assert!(SampleScheme::VarOpt { k: 3 }.is_weighted());
+    }
+}

@@ -1,0 +1,354 @@
+//! VarOpt sampling (Section 7.1; Cohen–Duffield–Kaplan–Lund–Thorup 2009, Chao 1982).
+//!
+//! VarOpt produces a *fixed-size* sample of `k` keys with PPS inclusion
+//! probabilities (`min(1, v/τ)` for the final threshold τ) and non-positively
+//! correlated inclusions, which makes subset-sum estimates variance optimal
+//! among fixed-size schemes.
+//!
+//! The implementation is the classic one-pass reservoir procedure: keys whose
+//! value exceeds the current threshold are kept exactly ("large" keys);
+//! smaller keys are kept with probability `v/τ` and, when kept, are
+//! interchangeable — each arrival above capacity evicts exactly one small key
+//! chosen with probability proportional to `1 − v/τ`.
+//!
+//! The paper notes it is unclear whether "known seeds" can be incorporated
+//! into VarOpt; accordingly the sampler draws fresh randomness from an RNG
+//! rather than from a hash-seed assignment, and its samples are used for
+//! single-instance subset sums and as a baseline, not for the known-seed
+//! multi-instance estimators.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use crate::instance::{Instance, Key};
+use crate::sample::{InstanceSample, SampleScheme};
+
+/// One key held by the VarOpt reservoir.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Item {
+    key: Key,
+    value: f64,
+}
+
+/// Streaming VarOpt reservoir of capacity `k`.
+#[derive(Debug, Clone)]
+pub struct VarOptSampler {
+    k: usize,
+    /// Keys with value strictly above the current threshold, kept exactly.
+    /// Sorted ascending by value so the smallest large item can be demoted in O(1).
+    large: Vec<Item>,
+    /// Keys at or below the threshold; each currently included with
+    /// probability `value / tau`.
+    small: Vec<Item>,
+    /// Current threshold τ (0 until the reservoir first overflows).
+    tau: f64,
+    processed: usize,
+}
+
+impl VarOptSampler {
+    /// Creates an empty VarOpt reservoir of capacity `k > 0`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "VarOpt sample size must be positive");
+        Self {
+            k,
+            large: Vec::with_capacity(k + 1),
+            small: Vec::with_capacity(k + 1),
+            tau: 0.0,
+            processed: 0,
+        }
+    }
+
+    /// The capacity `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The current threshold τ.
+    #[must_use]
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// Number of keys offered so far (zero-valued keys are not counted).
+    #[must_use]
+    pub fn processed(&self) -> usize {
+        self.processed
+    }
+
+    /// Number of keys currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.large.len() + self.small.len()
+    }
+
+    /// Whether the reservoir is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Offers one `(key, value)` pair, evicting a key if the reservoir is full.
+    ///
+    /// Zero-valued keys are ignored.
+    ///
+    /// # Panics
+    /// Panics if `value` is negative or non-finite.
+    pub fn offer<RNG: Rng + ?Sized>(&mut self, key: Key, value: f64, rng: &mut RNG) {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "VarOpt values must be finite and nonnegative, got {value}"
+        );
+        if value <= 0.0 {
+            return;
+        }
+        self.processed += 1;
+
+        // The newcomer enters with its explicit weight; if it is at or below
+        // the eventual threshold it will be demoted (and possibly evicted) in
+        // the step below, exactly like a demoted "large" key.
+        let pos = self
+            .large
+            .binary_search_by(|it| it.value.partial_cmp(&value).unwrap())
+            .unwrap_or_else(|e| e);
+        self.large.insert(pos, Item { key, value });
+
+        if self.len() <= self.k {
+            return;
+        }
+
+        // Eviction step.  Adjusted weights: a key already in the small bucket
+        // counts as the *current* threshold τ (its inclusion probability is
+        // v/τ and must become v/τ', so it is kept with probability τ/τ');
+        // large keys and the newcomer count with their explicit weights.  The
+        // new threshold τ' solves
+        //   Σ_i min(1, a_i / τ') = k      over the k+1 adjusted weights,
+        // i.e.  τ' = (Σ small-side adjusted weights) / (#small-side − 1).
+        // Large keys whose weight falls at or below the candidate threshold
+        // are demoted to the small side until the partition is consistent.
+        let tau_old = self.tau;
+        let n_old_small = self.small.len();
+        let old_small_adjusted_sum = n_old_small as f64 * tau_old;
+        let mut demoted: Vec<Item> = Vec::new();
+        let mut demoted_sum = 0.0f64;
+        let t = loop {
+            let n_small_side = n_old_small + demoted.len();
+            if n_small_side >= 2 {
+                let t = (old_small_adjusted_sum + demoted_sum) / (n_small_side as f64 - 1.0);
+                match self.large.first() {
+                    Some(&Item { value: v, .. }) if v <= t => {
+                        let item = self.large.remove(0);
+                        demoted_sum += item.value;
+                        demoted.push(item);
+                    }
+                    _ => break t,
+                }
+            } else {
+                // Fewer than two small-side keys: the expectation constraint
+                // cannot hold yet, demote the smallest large key unconditionally.
+                let item = self.large.remove(0);
+                demoted_sum += item.value;
+                demoted.push(item);
+            }
+        };
+        debug_assert!(
+            t.is_finite() && t >= tau_old && t > 0.0,
+            "threshold must be positive and non-decreasing after overflow"
+        );
+        self.tau = t;
+
+        // Evict exactly one small-side key: an old small key with probability
+        // (1 − τ/τ'), a demoted key with probability (1 − v/τ').  These
+        // probabilities sum to exactly 1 by the choice of τ'.
+        let u: f64 = rng.gen::<f64>();
+        let mut acc = 0.0;
+        let mut evicted = false;
+        for i in 0..self.small.len() {
+            acc += 1.0 - tau_old / t;
+            if u < acc {
+                self.small.swap_remove(i);
+                evicted = true;
+                break;
+            }
+        }
+        let mut skip_demoted_idx = None;
+        if !evicted {
+            for (i, it) in demoted.iter().enumerate() {
+                acc += 1.0 - it.value / t;
+                if u < acc {
+                    skip_demoted_idx = Some(i);
+                    evicted = true;
+                    break;
+                }
+            }
+        }
+        if !evicted {
+            // Numerical slack: evict the last demoted key (smallest residual
+            // probability mass) or, failing that, the last old small key.
+            if !demoted.is_empty() {
+                skip_demoted_idx = Some(demoted.len() - 1);
+            } else {
+                self.small.pop();
+            }
+        }
+        for (i, it) in demoted.into_iter().enumerate() {
+            if Some(i) != skip_demoted_idx {
+                self.small.push(it);
+            }
+        }
+        debug_assert_eq!(self.len(), self.k);
+    }
+
+    /// Finalizes the reservoir into an [`InstanceSample`].
+    #[must_use]
+    pub fn finish(self, instance_index: u64) -> InstanceSample {
+        let mut entries = HashMap::with_capacity(self.len());
+        for it in self.large.iter().chain(self.small.iter()) {
+            entries.insert(it.key, it.value);
+        }
+        InstanceSample::new(
+            instance_index,
+            SampleScheme::VarOpt { k: self.k },
+            self.tau,
+            entries,
+        )
+    }
+
+    /// Convenience: samples a whole instance in one call.
+    #[must_use]
+    pub fn sample<RNG: Rng + ?Sized>(
+        k: usize,
+        instance: &Instance,
+        rng: &mut RNG,
+        instance_index: u64,
+    ) -> InstanceSample {
+        let mut res = Self::new(k);
+        for (key, value) in instance.iter() {
+            res.offer(key, value, rng);
+        }
+        res.finish(instance_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_size_is_exactly_k() {
+        let inst = Instance::from_pairs((0..1000u64).map(|k| (k, 1.0 + (k % 9) as f64)));
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = VarOptSampler::sample(64, &inst, &mut rng, 0);
+        assert_eq!(s.len(), 64);
+        assert!(s.threshold > 0.0);
+    }
+
+    #[test]
+    fn small_inputs_kept_entirely() {
+        let inst = Instance::from_pairs((0..10u64).map(|k| (k, 1.0)));
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = VarOptSampler::sample(64, &inst, &mut rng, 0);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.threshold, 0.0);
+    }
+
+    #[test]
+    fn heavy_keys_always_kept() {
+        let mut inst = Instance::from_pairs((0..500u64).map(|k| (k, 1.0)));
+        inst.set(9999, 1_000.0);
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = VarOptSampler::sample(16, &inst, &mut rng, 0);
+            assert!(s.contains(9999), "heavy key evicted with rng seed {seed}");
+        }
+    }
+
+    #[test]
+    fn zero_values_ignored() {
+        let inst = Instance::from_pairs([(1, 0.0), (2, 3.0)]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = VarOptSampler::sample(4, &inst, &mut rng, 0);
+        assert!(!s.contains(1));
+        assert!(s.contains(2));
+    }
+
+    #[test]
+    fn subset_sum_estimates_are_unbiased() {
+        // HT (adjusted-weight) estimate of the total should be unbiased.
+        let inst = Instance::from_pairs((0..300u64).map(|k| (k, 0.5 + (k % 13) as f64)));
+        let truth = inst.total();
+        let reps = 600;
+        let mut sum = 0.0;
+        for seed in 0..reps {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = VarOptSampler::sample(40, &inst, &mut rng, 0);
+            sum += s.ht_subset_sum(|_| true);
+        }
+        let mean = sum / reps as f64;
+        let rel_err = (mean - truth).abs() / truth;
+        assert!(rel_err < 0.05, "relative bias {rel_err}");
+    }
+
+    #[test]
+    fn subset_sum_estimates_of_selection_are_unbiased() {
+        let inst = Instance::from_pairs((0..300u64).map(|k| (k, 0.5 + (k % 13) as f64)));
+        let truth: f64 = inst.iter().filter(|(k, _)| k % 3 == 0).map(|(_, v)| v).sum();
+        let reps = 800;
+        let mut sum = 0.0;
+        for seed in 0..reps {
+            let mut rng = StdRng::seed_from_u64(10_000 + seed);
+            let s = VarOptSampler::sample(40, &inst, &mut rng, 0);
+            sum += s.ht_subset_sum(|k| k % 3 == 0);
+        }
+        let mean = sum / reps as f64;
+        let rel_err = (mean - truth).abs() / truth;
+        assert!(rel_err < 0.07, "relative bias {rel_err}");
+    }
+
+    #[test]
+    fn inclusion_probability_matches_empirical_rate() {
+        // A key with value v should be included with probability about min(1, v/τ);
+        // check a light key's empirical inclusion rate against the average reported
+        // probability.
+        let mut inst = Instance::from_pairs((0..200u64).map(|k| (k, 2.0)));
+        inst.set(777, 1.0); // the light key under test
+        let reps = 2000;
+        let mut hits = 0;
+        let mut prob_sum = 0.0;
+        for seed in 0..reps {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = VarOptSampler::sample(50, &inst, &mut rng, 0);
+            prob_sum += s.inclusion_probability(1.0);
+            if s.contains(777) {
+                hits += 1;
+            }
+        }
+        let rate = f64::from(hits) / f64::from(reps as u32);
+        let avg_prob = prob_sum / f64::from(reps as u32);
+        assert!(
+            (rate - avg_prob).abs() < 0.05,
+            "rate {rate} vs reported probability {avg_prob}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = VarOptSampler::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_value_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut v = VarOptSampler::new(4);
+        v.offer(1, -2.0, &mut rng);
+    }
+}

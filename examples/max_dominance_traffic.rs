@@ -1,0 +1,69 @@
+//! Max-dominance estimation over two hours of (synthetic) IP traffic
+//! (Section 8.2 / Figure 7).
+//!
+//! Each hour's destination-IP → flow-count log is summarized independently by
+//! Poisson PPS sampling with hash seeds.  The max-dominance norm
+//! `Σ_h max(v₁(h), v₂(h))` — a measure of peak per-destination load across the
+//! two hours — is then estimated from the two samples, comparing the HT and
+//! the Pareto-optimal L estimators.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example max_dominance_traffic
+//! ```
+
+use partial_info_estimators::analysis::RunningStats;
+use partial_info_estimators::core::aggregate::{
+    max_dominance_ht, max_dominance_l, true_max_dominance,
+};
+use partial_info_estimators::datagen::{generate_two_hours, TrafficConfig};
+use partial_info_estimators::sampling::{sample_all_pps, SeedAssignment};
+
+fn main() {
+    let mut config = TrafficConfig::paper_scale();
+    config.keys_per_hour = 8_000; // keep the example snappy; use paper_scale() as-is for the full run
+    config.flows_per_hour = 1.8e5;
+    let data = generate_two_hours(&config);
+    let truth = true_max_dominance(data.instances(), |_| true);
+
+    println!("hours          : 2 (synthetic, heavy-tailed, partially overlapping)");
+    println!("keys per hour  : {}", data.instances()[0].len());
+    println!("distinct keys  : {}", data.keys().len());
+    println!("true Σ max     : {truth:.0}\n");
+
+    // About 4% of keys sampled per hour.
+    let tau_star = 60.0;
+    println!("{:>10}  {:>14}  {:>14}  {:>10}", "sample", "HT estimate", "L estimate", "truth");
+    let (mut ht_stats, mut l_stats) = (RunningStats::new(), RunningStats::new());
+    for rep in 0..30u64 {
+        let seeds = SeedAssignment::independent_known(rep);
+        let samples = sample_all_pps(data.instances(), tau_star, &seeds);
+        let ht = max_dominance_ht(&samples, &seeds, |_| true);
+        let l = max_dominance_l(&samples, &seeds, |_| true);
+        ht_stats.push(ht);
+        l_stats.push(l);
+        if rep < 5 {
+            let size = samples[0].len() + samples[1].len();
+            println!("{size:>10}  {ht:>14.0}  {l:>14.0}  {truth:>10.0}");
+        }
+    }
+
+    println!("\nover {} independent samplings:", ht_stats.count());
+    println!(
+        "  HT: mean {:.0} (bias {:+.2}%), cv {:.3}",
+        ht_stats.mean(),
+        100.0 * (ht_stats.mean() - truth) / truth,
+        ht_stats.std_dev() / truth
+    );
+    println!(
+        "  L : mean {:.0} (bias {:+.2}%), cv {:.3}",
+        l_stats.mean(),
+        100.0 * (l_stats.mean() - truth) / truth,
+        l_stats.std_dev() / truth
+    );
+    println!(
+        "  variance ratio VAR[HT]/VAR[L] ≈ {:.2}",
+        ht_stats.variance() / l_stats.variance()
+    );
+    println!("\n(The paper reports ratios between 2.45 and 2.7 on its traffic data.)");
+}

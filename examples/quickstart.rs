@@ -1,0 +1,68 @@
+//! Quickstart: estimate `max(v₁, v₂)` for a single key from two independently
+//! sampled instances, and see why partial information matters.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use partial_info_estimators::analysis::{evaluate_oblivious, evaluate_pps_known_seeds};
+use partial_info_estimators::core::functions::maximum;
+use partial_info_estimators::core::oblivious::{MaxHtOblivious, MaxL2, MaxU2};
+use partial_info_estimators::core::weighted::{MaxHtPps, MaxLPps2};
+use partial_info_estimators::core::Estimator;
+use partial_info_estimators::sampling::{ObliviousEntry, ObliviousOutcome};
+
+fn main() {
+    println!("== Partial information in a single outcome ==\n");
+
+    // A key had value 8.0 in instance 1 and some unknown value in instance 2.
+    // Each instance was sampled (weight-obliviously) with probability 1/2, and
+    // only instance 1 sampled the key.
+    let outcome = ObliviousOutcome::new(vec![
+        ObliviousEntry { p: 0.5, value: Some(8.0) },
+        ObliviousEntry { p: 0.5, value: None },
+    ]);
+
+    let ht = MaxHtOblivious;
+    let l = MaxL2::new(0.5, 0.5);
+    let u = MaxU2::new(0.5, 0.5);
+    println!("outcome: instance 1 sampled value 8.0, instance 2 not sampled");
+    println!("  max^(HT) estimate : {:>7.3}   (ignores the partial information)", ht.estimate(&outcome));
+    println!("  max^(L)  estimate : {:>7.3}   (credits the lower bound of 8.0)", l.estimate(&outcome));
+    println!("  max^(U)  estimate : {:>7.3}", u.estimate(&outcome));
+
+    println!("\n== Variance over the whole sampling distribution ==\n");
+    let v = [8.0, 6.0];
+    let p = [0.5, 0.5];
+    for (name, eval) in [
+        ("max^(HT)", evaluate_oblivious(&ht, maximum, &v, &p, 200_000, 1)),
+        ("max^(L) ", evaluate_oblivious(&l, maximum, &v, &p, 200_000, 2)),
+        ("max^(U) ", evaluate_oblivious(&u, maximum, &v, &p, 200_000, 3)),
+    ] {
+        println!(
+            "  {name}: mean = {:>7.3} (truth {:.1}), variance = {:>8.3}",
+            eval.mean, eval.truth, eval.variance
+        );
+    }
+
+    println!("\n== Weighted (PPS) sampling with known seeds ==\n");
+    let v = [8.0, 6.0];
+    let tau = [20.0, 20.0];
+    for (name, eval) in [
+        (
+            "max^(HT)",
+            evaluate_pps_known_seeds(&MaxHtPps, maximum, &v, &tau, 200_000, 4),
+        ),
+        (
+            "max^(L) ",
+            evaluate_pps_known_seeds(&MaxLPps2, maximum, &v, &tau, 200_000, 5),
+        ),
+    ] {
+        println!(
+            "  {name}: mean = {:>7.3} (truth {:.1}), variance = {:>8.3}",
+            eval.mean, eval.truth, eval.variance
+        );
+    }
+    println!("\nBoth pairs are unbiased; the L estimators have visibly lower variance.");
+}

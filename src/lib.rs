@@ -1,0 +1,31 @@
+//! # partial-info-estimators
+//!
+//! Umbrella crate for the Rust reproduction of Cohen & Kaplan,
+//! *"Get the Most out of Your Sample: Optimal Unbiased Estimators using
+//! Partial Information"* (PODS 2011).
+//!
+//! The workspace is organized as four focused crates, re-exported here for
+//! convenience:
+//!
+//! * [`sampling`] (`pie-sampling`) — hash-seeded randomization, rank
+//!   distributions, Poisson / bottom-k / VarOpt samplers, per-key outcomes;
+//! * [`core`] (`pie-core`) — the paper's estimators: Horvitz–Thompson
+//!   baselines, the Pareto-optimal `L`/`U` estimators for `max` and `OR`,
+//!   the known-seed PPS estimators, the Algorithm 1 derivation engine, the
+//!   impossibility results, and sum aggregates (distinct count, dominance
+//!   norms);
+//! * [`datagen`] (`pie-datagen`) — synthetic workloads (Zipf traffic, set
+//!   pairs with controlled Jaccard, the paper's worked example);
+//! * [`analysis`] (`pie-analysis`) — Monte-Carlo and quadrature evaluation,
+//!   statistics, and report formatting.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and the
+//! `pie-bench` crate for the benchmarks and figure-regeneration harnesses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pie_analysis as analysis;
+pub use pie_core as core;
+pub use pie_datagen as datagen;
+pub use pie_sampling as sampling;

@@ -1,0 +1,115 @@
+//! End-to-end pipeline tests: generate data → summarize each instance
+//! independently → estimate multi-instance aggregates from the samples only.
+//!
+//! These tests exercise the whole public API the way an application would,
+//! including bottom-k (priority) summaries and selection predicates.
+
+use partial_info_estimators::core::aggregate::{
+    distinct_count_ht, distinct_count_l, max_dominance_l, min_dominance_ht, sum_aggregate,
+    true_max_dominance, true_min_dominance,
+};
+use partial_info_estimators::core::weighted::MaxLPps2;
+use partial_info_estimators::datagen::{
+    generate_set_pair, generate_two_hours, SetPairConfig, TrafficConfig,
+};
+use partial_info_estimators::sampling::{
+    sample_all_pps, BottomKSampler, PpsRanks, SeedAssignment,
+};
+
+#[test]
+fn distinct_count_pipeline_over_poisson_samples() {
+    let config = SetPairConfig::new(20_000, 0.5);
+    let data = generate_set_pair(&config);
+    let truth = config.union_size() as f64;
+    let p = 0.1;
+    let mut ht_sum = 0.0;
+    let mut l_sum = 0.0;
+    let reps = 40;
+    for salt in 0..reps {
+        let seeds = SeedAssignment::independent_known(salt);
+        let samples = sample_all_pps(data.instances(), 1.0 / p, &seeds);
+        ht_sum += distinct_count_ht(&samples[0], &samples[1], &seeds, |_| true);
+        l_sum += distinct_count_l(&samples[0], &samples[1], &seeds, |_| true);
+    }
+    let (ht_mean, l_mean) = (ht_sum / reps as f64, l_sum / reps as f64);
+    assert!((ht_mean - truth).abs() / truth < 0.03, "HT mean {ht_mean} vs {truth}");
+    assert!((l_mean - truth).abs() / truth < 0.03, "L mean {l_mean} vs {truth}");
+}
+
+#[test]
+fn distinct_count_pipeline_over_bottom_k_samples() {
+    // Bottom-k (priority) summaries: the (k+1)-st rank plays the role of the
+    // sampling threshold; the same estimators apply through the rank-conditioned
+    // inclusion probabilities.
+    let config = SetPairConfig::new(5_000, 0.6);
+    let data = generate_set_pair(&config);
+    let truth = config.union_size() as f64;
+    let k = 600;
+    let mut l_sum = 0.0;
+    let reps = 30;
+    for salt in 0..reps {
+        let seeds = SeedAssignment::independent_known(1_000 + salt);
+        let sampler = BottomKSampler::new(PpsRanks, k);
+        let s1 = sampler.sample(&data.instances()[0], &seeds, 0);
+        let s2 = sampler.sample(&data.instances()[1], &seeds, 1);
+        l_sum += distinct_count_l(&s1, &s2, &seeds, |_| true);
+    }
+    let l_mean = l_sum / reps as f64;
+    assert!(
+        (l_mean - truth).abs() / truth < 0.05,
+        "bottom-k L mean {l_mean} vs {truth}"
+    );
+}
+
+#[test]
+fn max_dominance_pipeline_with_selection_predicate() {
+    let data = generate_two_hours(&TrafficConfig::small(21));
+    let select = |k: u64| k.is_multiple_of(3);
+    let truth = true_max_dominance(data.instances(), select);
+    let mut sum = 0.0;
+    let reps = 60;
+    for salt in 0..reps {
+        let seeds = SeedAssignment::independent_known(salt);
+        let samples = sample_all_pps(data.instances(), 100.0, &seeds);
+        sum += max_dominance_l(&samples, &seeds, select);
+    }
+    let mean = sum / reps as f64;
+    assert!((mean - truth).abs() / truth < 0.05, "mean {mean} vs truth {truth}");
+}
+
+#[test]
+fn min_dominance_pipeline() {
+    let data = generate_two_hours(&TrafficConfig::small(33));
+    let truth = true_min_dominance(data.instances(), |_| true);
+    let mut sum = 0.0;
+    let reps = 80;
+    for salt in 0..reps {
+        let seeds = SeedAssignment::independent_known(salt);
+        let samples = sample_all_pps(data.instances(), 60.0, &seeds);
+        sum += min_dominance_ht(&samples, &seeds, |_| true);
+    }
+    let mean = sum / reps as f64;
+    assert!((mean - truth).abs() / truth < 0.08, "mean {mean} vs truth {truth}");
+}
+
+#[test]
+fn generic_sum_aggregate_matches_specialized_driver() {
+    let data = generate_two_hours(&TrafficConfig::small(5));
+    let seeds = SeedAssignment::independent_known(9);
+    let samples = sample_all_pps(data.instances(), 120.0, &seeds);
+    let a = max_dominance_l(&samples, &seeds, |_| true);
+    let b = sum_aggregate(&MaxLPps2, &samples, &seeds, |_| true);
+    assert!((a - b).abs() < 1e-9);
+}
+
+#[test]
+fn estimates_are_reproducible_for_a_fixed_salt() {
+    // The whole pipeline is hash-driven: same salt, same samples, same estimate.
+    let data = generate_two_hours(&TrafficConfig::small(64));
+    let run = || {
+        let seeds = SeedAssignment::independent_known(31337);
+        let samples = sample_all_pps(data.instances(), 80.0, &seeds);
+        max_dominance_l(&samples, &seeds, |_| true)
+    };
+    assert_eq!(run(), run());
+}

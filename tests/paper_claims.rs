@@ -1,0 +1,253 @@
+//! Cross-crate integration tests for the paper's headline claims.
+//!
+//! Each test corresponds to a statement made in the paper's text and checks it
+//! end-to-end through the public API (sampling substrate + estimators +
+//! evaluation harness).
+
+use partial_info_estimators::analysis::{pps2_variance, Evaluation};
+use partial_info_estimators::analysis::{evaluate_aggregate_pps, evaluate_pps_known_seeds};
+use partial_info_estimators::core::aggregate::{
+    distinct_ht_variance, distinct_l_variance, max_dominance_ht, max_dominance_l,
+    required_sample_size_ht, required_sample_size_l, true_max_dominance,
+};
+use partial_info_estimators::core::functions::maximum;
+use partial_info_estimators::core::negative::{
+    or_unknown_seeds_forced_estimator, or_unknown_seeds_nonnegative_exists,
+};
+use partial_info_estimators::core::oblivious::{MaxHtOblivious, MaxL2, MaxLUniform, MaxU2, OrL2, OrU2};
+use partial_info_estimators::core::variance::{
+    exact_oblivious_variance, max_ht_variance_half, max_l_variance_half, max_u_variance_half,
+    or_ht_variance, or_l_variance_change, or_l_variance_equal,
+};
+use partial_info_estimators::core::weighted::{MaxHtPps, MaxLPps2};
+use partial_info_estimators::datagen::{generate_two_hours, TrafficConfig};
+
+/// Section 1 / Section 4: the L and U estimators strictly dominate HT for the
+/// maximum over weight-oblivious samples, and are incomparable to each other.
+#[test]
+fn l_and_u_dominate_ht_and_are_incomparable() {
+    let p = [0.5, 0.5];
+    let l = MaxL2::new(0.5, 0.5);
+    let u = MaxU2::new(0.5, 0.5);
+    for &v in &[[1.0, 0.0], [1.0, 0.5], [1.0, 1.0], [7.0, 3.0]] {
+        let var_ht = exact_oblivious_variance(&MaxHtOblivious, &v, &p);
+        let var_l = exact_oblivious_variance(&l, &v, &p);
+        let var_u = exact_oblivious_variance(&u, &v, &p);
+        assert!(var_l < var_ht);
+        assert!(var_u < var_ht);
+        // And they agree with the Figure 1 closed forms.
+        assert!((var_ht - max_ht_variance_half(v[0], v[1])).abs() < 1e-9);
+        assert!((var_l - max_l_variance_half(v[0], v[1])).abs() < 1e-9);
+        assert!((var_u - max_u_variance_half(v[0], v[1])).abs() < 1e-9);
+    }
+    // Incomparability: L wins on similar entries, U wins on disjoint ones.
+    assert!(max_l_variance_half(1.0, 1.0) < max_u_variance_half(1.0, 1.0));
+    assert!(max_u_variance_half(1.0, 0.0) < max_l_variance_half(1.0, 0.0));
+}
+
+/// Section 4.3: the asymptotic variance gains of OR^(L)/OR^(U) over OR^(HT).
+#[test]
+fn or_asymptotic_gains() {
+    let p = 0.002;
+    // HT: ≈ 1/p² on any vector with OR = 1.
+    assert!((or_ht_variance(&[p, p]) * p * p - 1.0).abs() < 0.01);
+    // L on (1,1): ≈ 1/(2p); on (1,0): ≈ 1/(4p²).
+    assert!((or_l_variance_equal(p, p) * 2.0 * p - 1.0).abs() < 0.01);
+    assert!((or_l_variance_change(p, p) * 4.0 * p * p - 1.0).abs() < 0.02);
+    // The gain on "no change" data is roughly the square root of the HT variance.
+    let ht = or_ht_variance(&[p, p]);
+    let l = or_l_variance_equal(p, p);
+    assert!((l - 0.5 * ht.sqrt()).abs() / (0.5 * ht.sqrt()) < 0.01);
+}
+
+/// Figure 2's qualitative content: L is best on (1,1), U is best on (1,0),
+/// both dominate HT, across a sweep of sampling probabilities.
+#[test]
+fn figure2_ordering_holds_across_probabilities() {
+    for &p in &[0.05, 0.1, 0.2, 0.4, 0.6] {
+        let probs = [p, p];
+        let var = |est: &dyn partial_info_estimators::core::Estimator<
+            partial_info_estimators::sampling::ObliviousOutcome,
+        >,
+                   v: &[f64; 2]| exact_oblivious_variance(&est, v, &probs);
+        let l = OrL2::new(p, p);
+        let u = OrU2::new(p, p);
+        let ht = partial_info_estimators::core::oblivious::OrHtOblivious;
+        assert!(var(&l, &[1.0, 1.0]) <= var(&u, &[1.0, 1.0]));
+        assert!(var(&u, &[1.0, 0.0]) <= var(&l, &[1.0, 0.0]));
+        assert!(var(&l, &[1.0, 1.0]) <= var(&ht, &[1.0, 1.0]));
+        assert!(var(&u, &[1.0, 0.0]) <= var(&ht, &[1.0, 0.0]));
+    }
+}
+
+/// Section 4.1 / Theorem 4.2: Algorithm 3 extends max^(L) to many instances;
+/// the estimator remains unbiased and dominates HT for r up to 5.
+#[test]
+fn algorithm3_scales_to_more_instances() {
+    for r in 2..=5usize {
+        let p = 0.4;
+        let est = MaxLUniform::new(r, p);
+        let probs = vec![p; r];
+        let mut v: Vec<f64> = (0..r).map(|i| 1.0 + i as f64).collect();
+        v.reverse();
+        let var_l = exact_oblivious_variance(&est, &v, &probs);
+        let var_ht = exact_oblivious_variance(&MaxHtOblivious, &v, &probs);
+        assert!(var_l <= var_ht, "r={r}: {var_l} vs {var_ht}");
+        let mean = partial_info_estimators::core::variance::exact_oblivious_expectation(
+            &est, &v, &probs,
+        );
+        assert!((mean - maximum(&v)).abs() < 1e-8, "r={r} bias");
+    }
+}
+
+/// Section 5.2: the weighted known-seed max^(L) dominates max^(HT) across a
+/// grid of value pairs, with the largest gains when the entries are similar.
+#[test]
+fn pps_known_seeds_l_dominates_ht() {
+    let tau = [10.0, 10.0];
+    let mut ratio_similar = 0.0;
+    let mut ratio_disjoint = 0.0;
+    for &v in &[[4.0, 4.0], [4.0, 2.0], [4.0, 0.0]] {
+        let var_l = pps2_variance(&MaxLPps2, v, tau);
+        let var_ht = pps2_variance(&MaxHtPps, v, tau);
+        assert!(var_l <= var_ht + 1e-9, "L must dominate HT at {v:?}");
+        if v[1] == 4.0 {
+            ratio_similar = var_ht / var_l;
+        }
+        if v[1] == 0.0 {
+            ratio_disjoint = var_ht / var_l;
+        }
+    }
+    assert!(
+        ratio_similar > ratio_disjoint,
+        "the gain should be largest for similar entries: {ratio_similar} vs {ratio_disjoint}"
+    );
+    assert!(ratio_similar > 4.0);
+    assert!(ratio_disjoint > 1.8);
+}
+
+/// Section 5.2 variance-ratio claim, checked at the data points the paper
+/// emphasises (max(v) close to τ*, entries similar): VAR[HT]/VAR[L] ≥ 2.
+#[test]
+fn pps_variance_ratio_at_least_two_for_similar_entries() {
+    let tau = [10.0, 10.0];
+    for &v in &[[9.0, 9.0], [5.0, 5.0], [2.0, 1.8], [9.0, 7.0]] {
+        let var_l = pps2_variance(&MaxLPps2, v, tau);
+        let var_ht = pps2_variance(&MaxHtPps, v, tau);
+        assert!(
+            var_ht / var_l >= 2.0,
+            "ratio {} at {v:?} should be at least 2",
+            var_ht / var_l
+        );
+    }
+}
+
+/// Theorem 6.1: without seeds, unbiased nonnegative estimation of OR is
+/// impossible below the p1 + p2 = 1 threshold and possible above it.
+#[test]
+fn unknown_seeds_threshold() {
+    assert!(!or_unknown_seeds_nonnegative_exists(0.2, 0.3));
+    assert!(!or_unknown_seeds_nonnegative_exists(0.49, 0.49));
+    assert!(or_unknown_seeds_nonnegative_exists(0.5, 0.5));
+    assert!(or_unknown_seeds_nonnegative_exists(0.9, 0.2));
+    let forced = or_unknown_seeds_forced_estimator(0.2, 0.3);
+    assert!(forced[3] < 0.0);
+}
+
+/// Section 5 vs Section 6: the same sampling distribution supports an
+/// unbiased nonnegative estimator exactly when the seeds are known.
+#[test]
+fn known_seeds_rescue_estimation() {
+    // With known seeds, OR^(L) exists for any probabilities (here far below
+    // the unknown-seed threshold) and is unbiased.
+    use partial_info_estimators::core::weighted::OrLKnownSeeds;
+    use partial_info_estimators::core::Estimator;
+    use partial_info_estimators::sampling::{WeightedEntry, WeightedOutcome};
+    let (p1, p2) = (0.2, 0.25);
+    let (t1, t2) = (1.0 / p1, 1.0 / p2);
+    // Exhaustive expectation over the 4 seed regions for data (1, 0).
+    let mut expectation = 0.0;
+    for (low1, prob1) in [(true, p1), (false, 1.0 - p1)] {
+        for (low2, prob2) in [(true, p2), (false, 1.0 - p2)] {
+            let outcome = WeightedOutcome::new(vec![
+                WeightedEntry {
+                    tau_star: t1,
+                    seed: Some(if low1 { p1 * 0.5 } else { p1 + (1.0 - p1) * 0.5 }),
+                    value: if low1 { Some(1.0) } else { None },
+                },
+                WeightedEntry {
+                    tau_star: t2,
+                    seed: Some(if low2 { p2 * 0.5 } else { p2 + (1.0 - p2) * 0.5 }),
+                    value: None,
+                },
+            ]);
+            let est = OrLKnownSeeds.estimate(&outcome);
+            assert!(est >= 0.0);
+            expectation += prob1 * prob2 * est;
+        }
+    }
+    assert!((expectation - 1.0).abs() < 1e-10);
+    // While with unknown seeds the forced estimator is negative.
+    assert!(!or_unknown_seeds_nonnegative_exists(p1, p2));
+}
+
+/// Section 8.1 / Figure 6: the L estimator needs roughly √(1−J)/2 of the HT
+/// sample size, i.e. at most half, and only Θ(1) samples when the sets are
+/// identical.
+#[test]
+fn figure6_sample_size_factor() {
+    let n = 1e8;
+    for &cv in &[0.1, 0.02] {
+        for &j in &[0.0, 0.5, 0.9] {
+            let s_ht = required_sample_size_ht(n, j, cv);
+            let s_l = required_sample_size_l(n, j, cv);
+            assert!(s_l < 0.62 * s_ht, "J={j}, cv={cv}: {s_l} vs {s_ht}");
+        }
+        let s_l_identical = required_sample_size_l(n, 1.0, cv);
+        assert!(s_l_identical < 1e4, "identical sets need only Θ(1) samples");
+    }
+    // Variance formulas behind the figure.
+    let d = 1000.0;
+    assert!(distinct_l_variance(d, 0.5, 0.1, 0.1) < distinct_ht_variance(d, 0.1, 0.1));
+}
+
+/// Section 8.2 / Figure 7: on heavy-tailed two-instance traffic, the
+/// max-dominance L estimator is unbiased and reduces the variance of the HT
+/// estimator by a factor comparable to the paper's 2.45–2.7.
+#[test]
+fn figure7_max_dominance_gain() {
+    let data = generate_two_hours(&TrafficConfig::small(99));
+    let truth = true_max_dominance(data.instances(), |_| true);
+    let tau_star = 150.0;
+    let trials = 120;
+    let eval = |f: &dyn Fn(
+        &[partial_info_estimators::sampling::InstanceSample],
+        &partial_info_estimators::sampling::SeedAssignment,
+    ) -> f64|
+     -> Evaluation {
+        evaluate_aggregate_pps(&data, tau_star, truth, trials, 5, f)
+    };
+    let ht = eval(&|s, seeds| max_dominance_ht(s, seeds, |_| true));
+    let l = eval(&|s, seeds| max_dominance_l(s, seeds, |_| true));
+    assert!(ht.relative_bias < 0.03, "HT bias {}", ht.relative_bias);
+    assert!(l.relative_bias < 0.03, "L bias {}", l.relative_bias);
+    let ratio = ht.variance / l.variance;
+    assert!(
+        ratio > 1.5 && ratio < 6.0,
+        "variance ratio {ratio} should show a clear (roughly 2-3x) gain"
+    );
+}
+
+/// Per-key estimates aggregate into low-relative-error sums (Section 7):
+/// the aggregate CV is far below the single-key CV.
+#[test]
+fn aggregation_shrinks_relative_error() {
+    let single_key = evaluate_pps_known_seeds(&MaxLPps2, maximum, &[4.0, 3.0], &[40.0, 40.0], 100_000, 3);
+    let data = generate_two_hours(&TrafficConfig::small(7));
+    let truth = true_max_dominance(data.instances(), |_| true);
+    let aggregate = evaluate_aggregate_pps(&data, 150.0, truth, 60, 11, |s, seeds| {
+        max_dominance_l(s, seeds, |_| true)
+    });
+    assert!(single_key.cv() > 1.0, "a single aggressively-sampled key is noisy");
+    assert!(aggregate.cv() < 0.1, "the aggregate is accurate: cv {}", aggregate.cv());
+}

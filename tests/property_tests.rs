@@ -1,0 +1,185 @@
+//! Property-based tests (proptest) for the core invariants:
+//!
+//! * unbiasedness of every estimator, verified by exact enumeration
+//!   (weight-oblivious) or quadrature (PPS with known seeds);
+//! * nonnegativity of the L/U estimators on arbitrary outcomes;
+//! * dominance of the L/U estimators over Horvitz–Thompson;
+//! * structural invariants of the sampling substrate (rank monotonicity,
+//!   bottom-k sample size, VarOpt fixed size, seed determinism).
+
+use proptest::prelude::*;
+
+use partial_info_estimators::analysis::{pps2_expectation, pps2_variance};
+use partial_info_estimators::core::oblivious::{
+    MaxHtOblivious, MaxL2, MaxLUniform, MaxU2, OrL2, OrU2,
+};
+use partial_info_estimators::core::variance::{
+    exact_oblivious_expectation, exact_oblivious_variance,
+};
+use partial_info_estimators::core::weighted::{MaxHtPps, MaxLPps2};
+use partial_info_estimators::core::Estimator;
+use partial_info_estimators::sampling::{
+    BottomKSampler, ExpRanks, Instance, ObliviousEntry, ObliviousOutcome, PpsRanks, RankFamily,
+    SeedAssignment, VarOptSampler,
+};
+
+fn prob() -> impl Strategy<Value = f64> {
+    0.05f64..1.0
+}
+
+fn value() -> impl Strategy<Value = f64> {
+    0.0f64..100.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// max^(L) and max^(U) (r = 2) are unbiased for arbitrary values and
+    /// probabilities, by exact enumeration over the 4 outcomes.
+    #[test]
+    fn max_l2_and_u2_unbiased(v1 in value(), v2 in value(), p1 in prob(), p2 in prob()) {
+        let truth = v1.max(v2);
+        let l = exact_oblivious_expectation(&MaxL2::new(p1, p2), &[v1, v2], &[p1, p2]);
+        let u = exact_oblivious_expectation(&MaxU2::new(p1, p2), &[v1, v2], &[p1, p2]);
+        prop_assert!((l - truth).abs() <= 1e-8 * truth.max(1.0));
+        prop_assert!((u - truth).abs() <= 1e-8 * truth.max(1.0));
+    }
+
+    /// Both Pareto-optimal estimators dominate HT on every input.
+    #[test]
+    fn l_and_u_dominate_ht(v1 in value(), v2 in value(), p1 in prob(), p2 in prob()) {
+        let var_ht = exact_oblivious_variance(&MaxHtOblivious, &[v1, v2], &[p1, p2]);
+        let var_l = exact_oblivious_variance(&MaxL2::new(p1, p2), &[v1, v2], &[p1, p2]);
+        let var_u = exact_oblivious_variance(&MaxU2::new(p1, p2), &[v1, v2], &[p1, p2]);
+        prop_assert!(var_l <= var_ht + 1e-6 + 1e-9 * var_ht);
+        prop_assert!(var_u <= var_ht + 1e-6 + 1e-9 * var_ht);
+    }
+
+    /// The L/U estimates are nonnegative on every outcome.
+    #[test]
+    fn l_and_u_nonnegative(v1 in value(), v2 in value(), p1 in prob(), p2 in prob(),
+                           s1 in any::<bool>(), s2 in any::<bool>()) {
+        let o = ObliviousOutcome::new(vec![
+            ObliviousEntry { p: p1, value: s1.then_some(v1) },
+            ObliviousEntry { p: p2, value: s2.then_some(v2) },
+        ]);
+        prop_assert!(MaxL2::new(p1, p2).estimate(&o) >= -1e-9);
+        prop_assert!(MaxU2::new(p1, p2).estimate(&o) >= -1e-9);
+    }
+
+    /// OR^(L) / OR^(U) are unbiased and nonnegative on binary data.
+    #[test]
+    fn or_estimators_unbiased(b1 in any::<bool>(), b2 in any::<bool>(), p1 in prob(), p2 in prob()) {
+        let v = [f64::from(b1 as u8), f64::from(b2 as u8)];
+        let truth = if b1 || b2 { 1.0 } else { 0.0 };
+        let l = exact_oblivious_expectation(&OrL2::new(p1, p2), &v, &[p1, p2]);
+        let u = exact_oblivious_expectation(&OrU2::new(p1, p2), &v, &[p1, p2]);
+        prop_assert!((l - truth).abs() < 1e-9);
+        prop_assert!((u - truth).abs() < 1e-9);
+    }
+
+    /// Algorithm 3 (uniform p, r instances) stays unbiased and keeps the
+    /// Lemma 4.2 coefficient signs for r up to 5.
+    #[test]
+    fn max_l_uniform_unbiased_and_signed(
+        r in 2usize..=5,
+        p in 0.1f64..0.95,
+        raw in proptest::collection::vec(0.0f64..50.0, 5),
+    ) {
+        let v = &raw[..r];
+        let est = MaxLUniform::new(r, p);
+        let probs = vec![p; r];
+        let truth = v.iter().copied().fold(0.0, f64::max);
+        let mean = exact_oblivious_expectation(&est, v, &probs);
+        prop_assert!((mean - truth).abs() <= 1e-7 * truth.max(1.0), "bias {mean} vs {truth}");
+        let alpha = est.coefficients();
+        prop_assert!(alpha[0] > 0.0);
+        for &a in &alpha[1..] {
+            prop_assert!(a <= 1e-12);
+        }
+    }
+
+    /// The weighted known-seed max^(L) (Figure 3) is unbiased for arbitrary
+    /// values and (possibly asymmetric) thresholds, by quadrature.
+    #[test]
+    fn max_l_pps2_unbiased(
+        v1 in 0.5f64..20.0,
+        v2 in 0.0f64..20.0,
+        t1 in 5.0f64..30.0,
+        t2 in 5.0f64..30.0,
+    ) {
+        let truth = v1.max(v2);
+        let mean = pps2_expectation(&MaxLPps2, [v1, v2], [t1, t2]);
+        prop_assert!((mean - truth).abs() <= 3e-3 * truth, "bias {mean} vs {truth}");
+    }
+
+    /// With equal thresholds — the setting of Section 5.2 and Figure 4 — the
+    /// weighted known-seed max^(L) dominates max^(HT).  (With very asymmetric
+    /// thresholds, one zero entry and max(v) above the smaller threshold, the
+    /// Figure 3 estimator's logarithmic branch can exceed HT's variance; see
+    /// EXPERIMENTS.md.)
+    #[test]
+    fn max_l_pps2_dominates_ht_for_equal_thresholds(
+        v1 in 0.5f64..20.0,
+        v2 in 0.0f64..20.0,
+        tau in 5.0f64..30.0,
+    ) {
+        let var_l = pps2_variance(&MaxLPps2, [v1, v2], [tau, tau]);
+        let var_ht = pps2_variance(&MaxHtPps, [v1, v2], [tau, tau]);
+        prop_assert!(var_l <= var_ht + 1e-6 + 1e-3 * var_ht,
+            "var_l {var_l} should not exceed var_ht {var_ht}");
+    }
+
+    /// Rank families: ranks decrease with the value for a fixed seed
+    /// (the consistency property behind coordinated sampling).
+    #[test]
+    fn ranks_monotone_in_value(u in 0.01f64..0.99, w1 in 0.1f64..100.0, delta in 0.1f64..50.0) {
+        let w2 = w1 + delta;
+        prop_assert!(PpsRanks.rank_from_seed(u, w2) <= PpsRanks.rank_from_seed(u, w1));
+        prop_assert!(ExpRanks.rank_from_seed(u, w2) <= ExpRanks.rank_from_seed(u, w1));
+    }
+
+    /// Bottom-k samples have exactly min(k, #positive keys) entries and their
+    /// threshold upper-bounds every sampled rank.
+    #[test]
+    fn bottom_k_size_and_threshold(n in 1usize..200, k in 1usize..50, salt in 0u64..1000) {
+        let inst = Instance::from_pairs((0..n as u64).map(|i| (i, 1.0 + (i % 7) as f64)));
+        let seeds = SeedAssignment::independent_known(salt);
+        let sampler = BottomKSampler::new(PpsRanks, k);
+        let s = sampler.sample(&inst, &seeds, 0);
+        prop_assert_eq!(s.len(), k.min(n));
+        for (key, value) in s.iter() {
+            let rank = sampler.rank_of(key, value, &seeds, 0);
+            prop_assert!(rank <= s.threshold);
+        }
+    }
+
+    /// VarOpt reservoirs never exceed their capacity and keep every key whose
+    /// value exceeds the final threshold.
+    #[test]
+    fn varopt_size_and_heavy_keys(n in 1usize..300, k in 1usize..40, seed in 0u64..500) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let inst = Instance::from_pairs((0..n as u64).map(|i| (i, 0.5 + (i % 11) as f64)));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = VarOptSampler::sample(k, &inst, &mut rng, 0);
+        prop_assert_eq!(s.len(), k.min(n));
+        if s.threshold > 0.0 {
+            for (key, value) in inst.iter() {
+                if value > s.threshold {
+                    prop_assert!(s.contains(key), "heavy key {key} missing");
+                }
+            }
+        }
+    }
+
+    /// Seed assignments are deterministic and respect coordination.
+    #[test]
+    fn seed_assignment_properties(salt in 0u64..10_000, key in 0u64..1_000_000, inst in 0u64..8) {
+        let shared = SeedAssignment::shared(salt);
+        let indep = SeedAssignment::independent_known(salt);
+        prop_assert_eq!(shared.seed(key, inst), shared.seed(key, inst + 1));
+        prop_assert_eq!(indep.seed(key, inst), indep.seed(key, inst));
+        let u = indep.seed(key, inst);
+        prop_assert!(u > 0.0 && u < 1.0);
+    }
+}
