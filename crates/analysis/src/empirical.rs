@@ -1,14 +1,22 @@
-//! Monte-Carlo evaluation of estimators.
+//! Monte-Carlo evaluation of estimators, batch-first.
 //!
 //! For the sampling regimes whose outcome space is continuous (PPS with known
 //! seeds) or whose aggregates span many keys, variance is measured by
 //! repeated simulation.  Each evaluation reports bias, variance, and the
 //! coefficient of variation of the estimator, together with the ground truth.
+//!
+//! Simulation is organized around *batches of outcomes*: trials are
+//! materialized into a reusable buffer of outcomes (entry vectors are
+//! rewritten in place, so the hot loop performs no per-outcome allocation),
+//! and estimators consume each batch through
+//! [`Estimator::estimate_batch`].  The `*_family` evaluators amortize
+//! outcome generation further by running a whole [`EstimatorRegistry`] over
+//! each batch in one pass — the shape benches and figure harnesses want.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use pie_core::Estimator;
+use pie_core::{Estimator, EstimatorRegistry};
 use pie_datagen::Dataset;
 use pie_sampling::{
     sample_all_pps, Key, ObliviousEntry, ObliviousOutcome, SeedAssignment, WeightedEntry,
@@ -16,6 +24,11 @@ use pie_sampling::{
 };
 
 use crate::stats::RunningStats;
+
+/// Number of simulated outcomes materialized per batch by the Monte-Carlo
+/// evaluators.  Large enough to amortize per-batch dispatch, small enough to
+/// stay cache-resident.
+pub const SIMULATION_BATCH: usize = 256;
 
 /// The result of evaluating an estimator against a known ground truth.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,7 +46,9 @@ pub struct Evaluation {
 }
 
 impl Evaluation {
-    fn from_stats(stats: &RunningStats, truth: f64) -> Self {
+    /// Summarizes accumulated trial statistics against a known ground truth.
+    #[must_use]
+    pub fn from_stats(stats: &RunningStats, truth: f64) -> Self {
         Self {
             truth,
             mean: stats.mean(),
@@ -65,8 +80,91 @@ impl Evaluation {
     }
 }
 
+/// Simulates `trials` weight-oblivious outcomes of one key's value vector and
+/// feeds them to `consume` in reusable batches of at most
+/// [`SIMULATION_BATCH`].
+///
+/// The batch buffer is allocated once; each trial rewrites an outcome's
+/// entries in place, so the per-trial hot loop is allocation-free.
+fn for_each_oblivious_batch<C>(
+    values: &[f64],
+    probs: &[f64],
+    trials: u64,
+    seed: u64,
+    mut consume: C,
+) where
+    C: FnMut(&[ObliviousOutcome]),
+{
+    assert_eq!(
+        values.len(),
+        probs.len(),
+        "values and probabilities must align"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let batch = SIMULATION_BATCH.min(trials.max(1) as usize);
+    let template: Vec<ObliviousEntry> = probs
+        .iter()
+        .map(|&p| ObliviousEntry { p, value: None })
+        .collect();
+    let mut buffer: Vec<ObliviousOutcome> = (0..batch)
+        .map(|_| ObliviousOutcome::new(template.clone()))
+        .collect();
+    let mut remaining = trials;
+    while remaining > 0 {
+        let n = batch.min(usize::try_from(remaining).unwrap_or(batch));
+        for outcome in &mut buffer[..n] {
+            for (entry, &v) in outcome.entries.iter_mut().zip(values) {
+                entry.value = (rng.gen::<f64>() < entry.p).then_some(v);
+            }
+        }
+        consume(&buffer[..n]);
+        remaining -= n as u64;
+    }
+}
+
+/// Simulates `trials` weighted (PPS, known seeds) outcomes of one key's value
+/// vector and feeds them to `consume` in reusable batches, like
+/// [`for_each_oblivious_batch`].
+fn for_each_pps_batch<C>(values: &[f64], tau_stars: &[f64], trials: u64, seed: u64, mut consume: C)
+where
+    C: FnMut(&[WeightedOutcome]),
+{
+    assert_eq!(
+        values.len(),
+        tau_stars.len(),
+        "values and thresholds must align"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let batch = SIMULATION_BATCH.min(trials.max(1) as usize);
+    let template: Vec<WeightedEntry> = tau_stars
+        .iter()
+        .map(|&tau| WeightedEntry {
+            tau_star: tau,
+            seed: Some(0.5),
+            value: None,
+        })
+        .collect();
+    let mut buffer: Vec<WeightedOutcome> = (0..batch)
+        .map(|_| WeightedOutcome::new(template.clone()))
+        .collect();
+    let mut remaining = trials;
+    while remaining > 0 {
+        let n = batch.min(usize::try_from(remaining).unwrap_or(batch));
+        for outcome in &mut buffer[..n] {
+            for (entry, &v) in outcome.entries.iter_mut().zip(values) {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                entry.seed = Some(u);
+                entry.value = (v > 0.0 && v >= u * entry.tau_star).then_some(v);
+            }
+        }
+        consume(&buffer[..n]);
+        remaining -= n as u64;
+    }
+}
+
 /// Evaluates an estimator of `f(v)` under weight-oblivious Poisson sampling of
-/// a single key's value vector, by Monte-Carlo simulation.
+/// a single key's value vector, by Monte-Carlo simulation through the batched
+/// hot path ([`Estimator::estimate_batch`]).
 ///
 /// (The exact enumeration in `pie_core::variance` is preferable for small `r`;
 /// this exists for cross-checking and for large `r`.)
@@ -82,25 +180,52 @@ where
     E: Estimator<ObliviousOutcome>,
     F: Fn(&[f64]) -> f64,
 {
-    assert_eq!(values.len(), probs.len(), "values and probabilities must align");
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut stats = RunningStats::new();
-    for _ in 0..trials {
-        let entries = values
-            .iter()
-            .zip(probs)
-            .map(|(&v, &p)| ObliviousEntry {
-                p,
-                value: if rng.gen::<f64>() < p { Some(v) } else { None },
-            })
-            .collect();
-        stats.push(estimator.estimate(&ObliviousOutcome::new(entries)));
-    }
+    let mut out = vec![0.0; SIMULATION_BATCH.min(trials.max(1) as usize)];
+    for_each_oblivious_batch(values, probs, trials, seed, |outcomes| {
+        let out = &mut out[..outcomes.len()];
+        estimator.estimate_batch(outcomes, out);
+        stats.extend(out.iter().copied());
+    });
     Evaluation::from_stats(&stats, f(values))
 }
 
+/// Evaluates a whole registry of weight-oblivious estimators against the same
+/// simulated outcomes, generating each outcome batch once and running every
+/// estimator over it through [`Estimator::estimate_batch`].
+///
+/// Returns `(name, evaluation)` pairs in registration order.
+pub fn evaluate_oblivious_family<F>(
+    registry: &EstimatorRegistry<ObliviousOutcome>,
+    f: F,
+    values: &[f64],
+    probs: &[f64],
+    trials: u64,
+    seed: u64,
+) -> Vec<(String, Evaluation)>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    let mut stats: Vec<RunningStats> = (0..registry.len()).map(|_| RunningStats::new()).collect();
+    let mut out = vec![0.0; SIMULATION_BATCH.min(trials.max(1) as usize)];
+    for_each_oblivious_batch(values, probs, trials, seed, |outcomes| {
+        let out = &mut out[..outcomes.len()];
+        for ((_, estimator), stat) in registry.iter().zip(&mut stats) {
+            estimator.estimate_batch(outcomes, out);
+            stat.extend(out.iter().copied());
+        }
+    });
+    let truth = f(values);
+    registry
+        .names()
+        .zip(&stats)
+        .map(|(name, stat)| (name.to_string(), Evaluation::from_stats(stat, truth)))
+        .collect()
+}
+
 /// Evaluates an estimator of `f(v)` under weighted PPS Poisson sampling with
-/// known seeds of a single key's value vector, by Monte-Carlo simulation.
+/// known seeds of a single key's value vector, by Monte-Carlo simulation
+/// through the batched hot path.
 pub fn evaluate_pps_known_seeds<E, F>(
     estimator: &E,
     f: F,
@@ -113,26 +238,45 @@ where
     E: Estimator<WeightedOutcome>,
     F: Fn(&[f64]) -> f64,
 {
-    assert_eq!(values.len(), tau_stars.len(), "values and thresholds must align");
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut stats = RunningStats::new();
-    for _ in 0..trials {
-        let entries = values
-            .iter()
-            .zip(tau_stars)
-            .map(|(&v, &tau)| {
-                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                let sampled = v > 0.0 && v >= u * tau;
-                WeightedEntry {
-                    tau_star: tau,
-                    seed: Some(u),
-                    value: if sampled { Some(v) } else { None },
-                }
-            })
-            .collect();
-        stats.push(estimator.estimate(&WeightedOutcome::new(entries)));
-    }
+    let mut out = vec![0.0; SIMULATION_BATCH.min(trials.max(1) as usize)];
+    for_each_pps_batch(values, tau_stars, trials, seed, |outcomes| {
+        let out = &mut out[..outcomes.len()];
+        estimator.estimate_batch(outcomes, out);
+        stats.extend(out.iter().copied());
+    });
     Evaluation::from_stats(&stats, f(values))
+}
+
+/// Evaluates a whole registry of weighted (known-seed) estimators against the
+/// same simulated outcomes; the PPS counterpart of
+/// [`evaluate_oblivious_family`].
+pub fn evaluate_pps_family<F>(
+    registry: &EstimatorRegistry<WeightedOutcome>,
+    f: F,
+    values: &[f64],
+    tau_stars: &[f64],
+    trials: u64,
+    seed: u64,
+) -> Vec<(String, Evaluation)>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    let mut stats: Vec<RunningStats> = (0..registry.len()).map(|_| RunningStats::new()).collect();
+    let mut out = vec![0.0; SIMULATION_BATCH.min(trials.max(1) as usize)];
+    for_each_pps_batch(values, tau_stars, trials, seed, |outcomes| {
+        let out = &mut out[..outcomes.len()];
+        for ((_, estimator), stat) in registry.iter().zip(&mut stats) {
+            estimator.estimate_batch(outcomes, out);
+            stat.extend(out.iter().copied());
+        }
+    });
+    let truth = f(values);
+    registry
+        .names()
+        .zip(&stats)
+        .map(|(name, stat)| (name.to_string(), Evaluation::from_stats(stat, truth)))
+        .collect()
 }
 
 /// Evaluates a *sum-aggregate* estimator over PPS samples of a whole dataset,
@@ -178,6 +322,43 @@ mod tests {
     use pie_datagen::{generate_two_hours, TrafficConfig};
 
     #[test]
+    fn family_evaluation_matches_individual_evaluation() {
+        let v = [4.0, 1.5];
+        let p = [0.5, 0.3];
+        let registry = pie_core::suite::max_oblivious_suite(0.5, 0.3);
+        let family = evaluate_oblivious_family(&registry, maximum, &v, &p, 20_000, 5);
+        assert_eq!(family.len(), registry.len());
+        // The family evaluator replays the same seeded outcome stream as the
+        // single-estimator evaluator, so the evaluations agree bit-for-bit.
+        for (name, eval) in &family {
+            let single =
+                evaluate_oblivious(&registry.get(name).unwrap(), maximum, &v, &p, 20_000, 5);
+            assert_eq!(eval.mean, single.mean, "{name} mean");
+            assert_eq!(eval.variance, single.variance, "{name} variance");
+        }
+    }
+
+    #[test]
+    fn pps_family_evaluation_matches_individual_evaluation() {
+        let v = [5.0, 2.0];
+        let tau = [10.0, 10.0];
+        let registry = pie_core::suite::max_weighted_suite();
+        let family = evaluate_pps_family(&registry, maximum, &v, &tau, 20_000, 6);
+        for (name, eval) in &family {
+            let single = evaluate_pps_known_seeds(
+                &registry.get(name).unwrap(),
+                maximum,
+                &v,
+                &tau,
+                20_000,
+                6,
+            );
+            assert_eq!(eval.mean, single.mean, "{name} mean");
+            assert_eq!(eval.variance, single.variance, "{name} variance");
+        }
+    }
+
+    #[test]
     fn oblivious_monte_carlo_matches_exact_enumeration() {
         let v = [4.0, 1.5];
         let p = [0.5, 0.3];
@@ -194,7 +375,8 @@ mod tests {
 
     #[test]
     fn pps_monte_carlo_is_unbiased_for_max_l() {
-        let eval = evaluate_pps_known_seeds(&MaxLPps2, maximum, &[5.0, 2.0], &[10.0, 10.0], 300_000, 2);
+        let eval =
+            evaluate_pps_known_seeds(&MaxLPps2, maximum, &[5.0, 2.0], &[10.0, 10.0], 300_000, 2);
         assert!(eval.relative_bias < 0.02, "bias {}", eval.relative_bias);
         assert!(eval.variance > 0.0);
         assert!(eval.cv() > 0.0);

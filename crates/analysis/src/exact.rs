@@ -165,8 +165,16 @@ where
 {
     assert!(tau[0] > 0.0 && tau[1] > 0.0, "thresholds must be positive");
     let q = [
-        if v[0] > 0.0 { (v[0] / tau[0]).min(1.0) } else { 0.0 },
-        if v[1] > 0.0 { (v[1] / tau[1]).min(1.0) } else { 0.0 },
+        if v[0] > 0.0 {
+            (v[0] / tau[0]).min(1.0)
+        } else {
+            0.0
+        },
+        if v[1] > 0.0 {
+            (v[1] / tau[1]).min(1.0)
+        } else {
+            0.0
+        },
     ];
     let g = |u1: f64, u2: f64, pattern: [bool; 2]| {
         transform(estimator.estimate(&outcome_with_pattern(v, tau, [u1, u2], pattern)))
@@ -184,14 +192,26 @@ where
     // sampled value v1 (the determining vector stops being capped).
     let b = if q[0] > 0.0 {
         let kink = v[0] / tau[1];
-        q[0] * integrate_axis(|u2| g(q[0] * 0.5, u2, [true, false]), q[1], 1.0, &[kink], panels)
+        q[0] * integrate_axis(
+            |u2| g(q[0] * 0.5, u2, [true, false]),
+            q[1],
+            1.0,
+            &[kink],
+            panels,
+        )
     } else {
         0.0
     };
     // Region C: only entry 2 sampled — integrate over u1 ∈ (q1, 1).
     let c = if q[1] > 0.0 {
         let kink = v[1] / tau[0];
-        q[1] * integrate_axis(|u1| g(u1, q[1] * 0.5, [false, true]), q[0], 1.0, &[kink], panels)
+        q[1] * integrate_axis(
+            |u1| g(u1, q[1] * 0.5, [false, true]),
+            q[0],
+            1.0,
+            &[kink],
+            panels,
+        )
     } else {
         0.0
     };

@@ -21,7 +21,8 @@ pub mod report;
 pub mod stats;
 
 pub use empirical::{
-    all_keys, evaluate_aggregate_pps, evaluate_oblivious, evaluate_pps_known_seeds, Evaluation,
+    all_keys, evaluate_aggregate_pps, evaluate_oblivious, evaluate_oblivious_family,
+    evaluate_pps_family, evaluate_pps_known_seeds, Evaluation, SIMULATION_BATCH,
 };
 pub use exact::{pps2_expectation, pps2_mean_variance, pps2_outcome, pps2_variance};
 pub use report::{format_sig, Series, Table};

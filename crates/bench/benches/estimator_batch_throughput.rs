@@ -1,0 +1,266 @@
+//! Throughput of the batched estimation hot path versus the per-outcome
+//! path, for both outcome regimes, through dynamic dispatch (the shape the
+//! `EstimatorRegistry` / `Pipeline` use in production).
+//!
+//! Besides the Criterion groups, running this bench rewrites
+//! `BENCH_estimator_batch_throughput.json` at the workspace root with a
+//! machine-readable data point, so the perf trajectory of the hot path is
+//! tracked in-repo.
+//!
+//! ```text
+//! cargo bench -p pie-bench --bench estimator_batch_throughput
+//! ```
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, Criterion, Throughput};
+
+use pie_core::oblivious::{MaxHtOblivious, MaxL2};
+use pie_core::weighted::MaxLPps2;
+use pie_core::Estimator;
+use pie_sampling::{ObliviousEntry, ObliviousOutcome, WeightedEntry, WeightedOutcome};
+
+/// Number of outcomes per batch: large enough to amortize dispatch, the
+/// scale of one key-range shard in a production sweep.
+const BATCH: usize = 4096;
+
+fn oblivious_batch() -> Vec<ObliviousOutcome> {
+    (0..BATCH)
+        .map(|i| {
+            ObliviousOutcome::new(vec![
+                ObliviousEntry {
+                    p: 0.5,
+                    value: (i % 3 != 0).then_some(1.0 + (i % 17) as f64),
+                },
+                ObliviousEntry {
+                    p: 0.5,
+                    value: (i % 2 != 0).then_some(0.5 + (i % 11) as f64),
+                },
+            ])
+        })
+        .collect()
+}
+
+fn weighted_batch() -> Vec<WeightedOutcome> {
+    (0..BATCH)
+        .map(|i| {
+            let u1 = 0.05 + 0.9 * ((i * 7919) % 1000) as f64 / 1000.0;
+            let u2 = 0.05 + 0.9 * ((i * 104_729) % 1000) as f64 / 1000.0;
+            let v1 = 1.0 + (i % 13) as f64;
+            let v2 = (i % 9) as f64;
+            let tau = 10.0;
+            WeightedOutcome::new(vec![
+                WeightedEntry {
+                    tau_star: tau,
+                    seed: Some(u1),
+                    value: (v1 >= u1 * tau).then_some(v1),
+                },
+                WeightedEntry {
+                    tau_star: tau,
+                    seed: Some(u2),
+                    value: (v2 > 0.0 && v2 >= u2 * tau).then_some(v2),
+                },
+            ])
+        })
+        .collect()
+}
+
+/// Fills `out` with one dynamic call per outcome: the historical shape of
+/// every evaluation loop in this workspace.
+fn per_outcome_path<O>(estimator: &dyn Estimator<O>, outcomes: &[O], out: &mut [f64]) {
+    for (slot, outcome) in out.iter_mut().zip(outcomes) {
+        *slot = estimator.estimate(outcome);
+    }
+}
+
+/// Fills `out` with one dynamic call per batch; inside `estimate_batch` the
+/// receiver is concrete, so the inner per-outcome calls devirtualize.
+fn batched_path<O>(estimator: &dyn Estimator<O>, outcomes: &[O], out: &mut [f64]) {
+    estimator.estimate_batch(outcomes, out);
+}
+
+fn bench_oblivious(c: &mut Criterion) {
+    let outcomes = oblivious_batch();
+    let estimator = MaxL2::new(0.5, 0.5);
+    let dyn_est: &dyn Estimator<ObliviousOutcome> = &estimator;
+    let mut out = vec![0.0; outcomes.len()];
+    let mut group = c.benchmark_group("estimator_batch_throughput/oblivious_max_l_2");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("per_outcome", |b| {
+        b.iter(|| {
+            per_outcome_path(dyn_est, black_box(&outcomes), &mut out);
+            black_box(out.last().copied())
+        })
+    });
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            batched_path(dyn_est, black_box(&outcomes), &mut out);
+            black_box(out.last().copied())
+        })
+    });
+    group.finish();
+}
+
+fn bench_weighted(c: &mut Criterion) {
+    let outcomes = weighted_batch();
+    let dyn_est: &dyn Estimator<WeightedOutcome> = &MaxLPps2;
+    let mut out = vec![0.0; outcomes.len()];
+    let mut group = c.benchmark_group("estimator_batch_throughput/weighted_max_l_pps_2");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("per_outcome", |b| {
+        b.iter(|| {
+            per_outcome_path(dyn_est, black_box(&outcomes), &mut out);
+            black_box(out.last().copied())
+        })
+    });
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            batched_path(dyn_est, black_box(&outcomes), &mut out);
+            black_box(out.last().copied())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oblivious, bench_weighted);
+
+/// Fastest observed ns per *outcome* for the two paths, measured in
+/// interleaved A/B rounds (so clock-frequency drift affects both equally)
+/// with the loops written inline — wrapper functions around the timed region
+/// perturb codegen enough to skew a ~7 ns/outcome measurement.  The minimum
+/// is the standard microbenchmark statistic: it reflects the code's cost
+/// with the least scheduler/frequency noise.
+fn measure_pair<O>(
+    estimator: &dyn Estimator<O>,
+    outcomes: &[O],
+    out: &mut [f64],
+    rounds: usize,
+    iters: usize,
+) -> (f64, f64) {
+    let mut best_per_outcome = f64::INFINITY;
+    let mut best_batched = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        for _ in 0..iters {
+            for (slot, outcome) in out.iter_mut().zip(black_box(outcomes)) {
+                *slot = estimator.estimate(outcome);
+            }
+            black_box(out.last().copied());
+        }
+        best_per_outcome =
+            best_per_outcome.min(start.elapsed().as_nanos() as f64 / (iters * BATCH) as f64);
+        let start = Instant::now();
+        for _ in 0..iters {
+            estimator.estimate_batch(black_box(outcomes), out);
+            black_box(out.last().copied());
+        }
+        best_batched = best_batched.min(start.elapsed().as_nanos() as f64 / (iters * BATCH) as f64);
+    }
+    (best_per_outcome, best_batched)
+}
+
+/// End-to-end evaluation-loop comparison: the *legacy* per-outcome shape
+/// (assemble a fresh outcome — one `Vec` allocation — then estimate it, as
+/// the pre-batch evaluators did every trial) against the *batched* hot loop
+/// (rewrite a reusable outcome buffer in place, then one `estimate_batch`
+/// call).  This, not raw dispatch, is where the batch-first API wins.
+fn measure_eval_loop(rounds: usize, iters: usize) -> (f64, f64) {
+    let estimator = MaxL2::new(0.5, 0.5);
+    let dyn_est: &dyn Estimator<ObliviousOutcome> = &estimator;
+    let mut out = vec![0.0; BATCH];
+    // Raw per-outcome data the loops assemble outcomes from.
+    let sampled: Vec<[Option<f64>; 2]> = (0..BATCH)
+        .map(|i| {
+            [
+                (i % 3 != 0).then_some(1.0 + (i % 17) as f64),
+                (i % 2 != 0).then_some(0.5 + (i % 11) as f64),
+            ]
+        })
+        .collect();
+    let mut best_legacy = f64::INFINITY;
+    let mut best_batched = f64::INFINITY;
+    let mut buffer = oblivious_batch();
+    for _ in 0..rounds {
+        let start = Instant::now();
+        for _ in 0..iters {
+            for (slot, values) in out.iter_mut().zip(black_box(&sampled)) {
+                let outcome = ObliviousOutcome::new(vec![
+                    ObliviousEntry {
+                        p: 0.5,
+                        value: values[0],
+                    },
+                    ObliviousEntry {
+                        p: 0.5,
+                        value: values[1],
+                    },
+                ]);
+                *slot = dyn_est.estimate(&outcome);
+            }
+            black_box(out.last().copied());
+        }
+        best_legacy = best_legacy.min(start.elapsed().as_nanos() as f64 / (iters * BATCH) as f64);
+        let start = Instant::now();
+        for _ in 0..iters {
+            for (outcome, values) in buffer.iter_mut().zip(black_box(&sampled)) {
+                outcome.entries[0].value = values[0];
+                outcome.entries[1].value = values[1];
+            }
+            dyn_est.estimate_batch(&buffer, &mut out);
+            black_box(out.last().copied());
+        }
+        best_batched = best_batched.min(start.elapsed().as_nanos() as f64 / (iters * BATCH) as f64);
+    }
+    (best_legacy, best_batched)
+}
+
+/// Writes the machine-readable perf data point consumed by the repo's
+/// BENCH_* trajectory files.
+fn emit_json() {
+    let outcomes = oblivious_batch();
+    let mut out = vec![0.0; outcomes.len()];
+
+    let ht = MaxHtOblivious;
+    let ht_dyn: &dyn Estimator<ObliviousOutcome> = &ht;
+    let (ht_per_outcome_ns, ht_batched_ns) = measure_pair(ht_dyn, &outcomes, &mut out, 15, 100);
+
+    let estimator = MaxL2::new(0.5, 0.5);
+    let dyn_est: &dyn Estimator<ObliviousOutcome> = &estimator;
+    let (per_outcome_ns, batched_ns) = measure_pair(dyn_est, &outcomes, &mut out, 15, 100);
+
+    let w_outcomes = weighted_batch();
+    let w_dyn: &dyn Estimator<WeightedOutcome> = &MaxLPps2;
+    let mut w_out = vec![0.0; w_outcomes.len()];
+    let (w_per_outcome_ns, w_batched_ns) = measure_pair(w_dyn, &w_outcomes, &mut w_out, 15, 100);
+
+    let (legacy_loop_ns, batched_loop_ns) = measure_eval_loop(15, 100);
+
+    let case = |name: &str, per: f64, batched: f64| {
+        format!(
+            "    {{ \"case\": \"{name}\", \"per_outcome_ns\": {per:.2}, \"batched_ns\": {batched:.2}, \"batched_speedup\": {:.3} }}",
+            per / batched
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"estimator_batch_throughput\",\n  \"batch_outcomes\": {BATCH},\n  \"note\": \"estimate_* cases compare raw dispatch (parity expected: the estimate itself dominates); eval_loop compares the legacy allocating per-outcome evaluation loop against the reusable-buffer batched hot loop\",\n  \"results\": [\n{},\n{},\n{},\n{}\n  ]\n}}\n",
+        case("estimate_oblivious_max_ht", ht_per_outcome_ns, ht_batched_ns),
+        case("estimate_oblivious_max_l_2", per_outcome_ns, batched_ns),
+        case("estimate_weighted_max_l_pps_2", w_per_outcome_ns, w_batched_ns),
+        case("eval_loop_oblivious_max_l_2", legacy_loop_ns, batched_loop_ns),
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_estimator_batch_throughput.json"
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    print!("{json}");
+}
+
+fn main() {
+    let _args: Vec<String> = std::env::args().collect();
+    let mut criterion = Criterion::default();
+    benches(&mut criterion);
+    emit_json();
+}

@@ -17,7 +17,11 @@ fn oblivious_outcome(r: usize) -> ObliviousOutcome {
         (0..r)
             .map(|i| ObliviousEntry {
                 p: 0.4,
-                value: if i % 3 != 0 { Some(1.0 + i as f64) } else { None },
+                value: if i % 3 != 0 {
+                    Some(1.0 + i as f64)
+                } else {
+                    None
+                },
             })
             .collect(),
     )
@@ -55,14 +59,24 @@ fn bench_estimates(c: &mut Criterion) {
     let uniform8 = MaxLUniform::new(8, 0.4);
     let asym = MaxU2Asymmetric::new(0.4, 0.4);
     let w = weighted_outcome();
-    group.bench_function("max_l_uniform_r8", |b| b.iter(|| uniform8.estimate(black_box(&o8))));
-    group.bench_function("max_u2_asymmetric", |b| b.iter(|| asym.estimate(black_box(&o2))));
+    group.bench_function("max_l_uniform_r8", |b| {
+        b.iter(|| uniform8.estimate(black_box(&o8)))
+    });
+    group.bench_function("max_u2_asymmetric", |b| {
+        b.iter(|| asym.estimate(black_box(&o2)))
+    });
     group.bench_function("full_sample_ht_range", |b| {
         b.iter(|| FullSampleHt::range().estimate(black_box(&o2)))
     });
-    group.bench_function("or_l_known_seeds", |b| b.iter(|| OrLKnownSeeds.estimate(black_box(&w))));
-    group.bench_function("or_u_known_seeds", |b| b.iter(|| OrUKnownSeeds.estimate(black_box(&w))));
-    group.bench_function("min_ht_weighted", |b| b.iter(|| MinHtWeighted.estimate(black_box(&w))));
+    group.bench_function("or_l_known_seeds", |b| {
+        b.iter(|| OrLKnownSeeds.estimate(black_box(&w)))
+    });
+    group.bench_function("or_u_known_seeds", |b| {
+        b.iter(|| OrUKnownSeeds.estimate(black_box(&w)))
+    });
+    group.bench_function("min_ht_weighted", |b| {
+        b.iter(|| MinHtWeighted.estimate(black_box(&w)))
+    });
     group.finish();
 }
 
@@ -79,5 +93,10 @@ fn bench_derivation_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_coefficients, bench_estimates, bench_derivation_engine);
+criterion_group!(
+    benches,
+    bench_coefficients,
+    bench_estimates,
+    bench_derivation_engine
+);
 criterion_main!(benches);

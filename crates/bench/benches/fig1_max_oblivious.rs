@@ -33,7 +33,10 @@ fn bench_estimators(c: &mut Criterion) {
             p: 0.5,
             value: Some(8.0),
         },
-        ObliviousEntry { p: 0.5, value: None },
+        ObliviousEntry {
+            p: 0.5,
+            value: None,
+        },
     ]);
     let l = MaxL2::new(0.5, 0.5);
     let u = MaxU2::new(0.5, 0.5);
@@ -41,9 +44,15 @@ fn bench_estimators(c: &mut Criterion) {
     group.bench_function("max_ht_full_outcome", |b| {
         b.iter(|| MaxHtOblivious.estimate(black_box(&outcome)))
     });
-    group.bench_function("max_l2_full_outcome", |b| b.iter(|| l.estimate(black_box(&outcome))));
-    group.bench_function("max_l2_partial_outcome", |b| b.iter(|| l.estimate(black_box(&partial))));
-    group.bench_function("max_u2_full_outcome", |b| b.iter(|| u.estimate(black_box(&outcome))));
+    group.bench_function("max_l2_full_outcome", |b| {
+        b.iter(|| l.estimate(black_box(&outcome)))
+    });
+    group.bench_function("max_l2_partial_outcome", |b| {
+        b.iter(|| l.estimate(black_box(&partial)))
+    });
+    group.bench_function("max_u2_full_outcome", |b| {
+        b.iter(|| u.estimate(black_box(&outcome)))
+    });
     group.finish();
 }
 

@@ -45,7 +45,12 @@ fn bench_audit(c: &mut Criterion) {
         b.iter(|| pps2_expectation(&MaxLPps2, black_box([6.0, 3.0]), black_box([10.0, 10.0])))
     });
     group.bench_function("audit_table_4_rows", |b| {
-        b.iter(|| fig3::audit_table([10.0, 10.0], &[[1.0, 0.5], [3.0, 1.0], [5.0, 5.0], [8.0, 2.0]]))
+        b.iter(|| {
+            fig3::audit_table(
+                [10.0, 10.0],
+                &[[1.0, 0.5], [3.0, 1.0], [5.0, 5.0], [8.0, 2.0]],
+            )
+        })
     });
     group.finish();
 }

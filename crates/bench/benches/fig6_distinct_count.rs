@@ -26,10 +26,24 @@ fn bench_distinct_estimators(c: &mut Criterion) {
     let samples = sample_all_pps(data.instances(), 1.0 / 0.05, &seeds);
     let mut group = c.benchmark_group("fig6_estimators");
     group.bench_function("distinct_count_ht_50k_keys_p0.05", |b| {
-        b.iter(|| distinct_count_ht(black_box(&samples[0]), black_box(&samples[1]), &seeds, |_| true))
+        b.iter(|| {
+            distinct_count_ht(
+                black_box(&samples[0]),
+                black_box(&samples[1]),
+                &seeds,
+                |_| true,
+            )
+        })
     });
     group.bench_function("distinct_count_l_50k_keys_p0.05", |b| {
-        b.iter(|| distinct_count_l(black_box(&samples[0]), black_box(&samples[1]), &seeds, |_| true))
+        b.iter(|| {
+            distinct_count_l(
+                black_box(&samples[0]),
+                black_box(&samples[1]),
+                &seeds,
+                |_| true,
+            )
+        })
     });
     group.finish();
 }

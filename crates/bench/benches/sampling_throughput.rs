@@ -39,14 +39,22 @@ fn bench_samplers(c: &mut Criterion) {
             let sampler = PpsPoissonSampler::new(1000.0);
             b.iter(|| sampler.sample(black_box(inst), &seeds, 0))
         });
-        group.bench_with_input(BenchmarkId::new("oblivious_poisson", n), &inst, |b, inst| {
-            let sampler = ObliviousPoissonSampler::new(0.05);
-            b.iter(|| sampler.sample(black_box(inst), &universe, &seeds, 0))
-        });
-        group.bench_with_input(BenchmarkId::new("bottom_k_priority_k1000", n), &inst, |b, inst| {
-            let sampler = BottomKSampler::new(PpsRanks, 1000);
-            b.iter(|| sampler.sample(black_box(inst), &seeds, 0))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("oblivious_poisson", n),
+            &inst,
+            |b, inst| {
+                let sampler = ObliviousPoissonSampler::new(0.05);
+                b.iter(|| sampler.sample(black_box(inst), &universe, &seeds, 0))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bottom_k_priority_k1000", n),
+            &inst,
+            |b, inst| {
+                let sampler = BottomKSampler::new(PpsRanks, 1000);
+                b.iter(|| sampler.sample(black_box(inst), &seeds, 0))
+            },
+        );
         group.bench_with_input(BenchmarkId::new("varopt_k1000", n), &inst, |b, inst| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(3);

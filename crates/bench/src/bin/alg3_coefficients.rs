@@ -22,10 +22,7 @@ fn main() {
             let est = MaxLUniform::new(r, p);
             let a = est.prefix_sums_slice();
             let alpha = est.coefficients();
-            table.push_values(
-                &[p, a[0], a[r - 1], alpha[0], alpha[1], alpha[r - 1]],
-                5,
-            );
+            table.push_values(&[p, a[0], a[r - 1], alpha[0], alpha[1], alpha[r - 1]], 5);
         }
         println!("{}", table.render());
     }

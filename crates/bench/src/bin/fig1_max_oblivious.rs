@@ -13,6 +13,10 @@ fn main() {
     for series in fig1::compute(p, 20) {
         println!("{}", series.render());
     }
+    println!("# batched Monte-Carlo cross-check (evaluate_oblivious_family / estimate_batch):");
+    for series in fig1::compute_monte_carlo(p, 10, 40_000, 1) {
+        println!("{}", series.render());
+    }
     println!("# paper reference points (from the closed forms in the Figure 1 box):");
     println!("#   min/max = 0 : var[L]/var[HT] = 11/27 ≈ 0.407");
     println!("#   min/max = 1 : var[L]/var[HT] = 1/9   ≈ 0.111");

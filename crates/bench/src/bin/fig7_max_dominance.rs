@@ -33,6 +33,26 @@ fn main() {
     for series in fig7::to_series(&points) {
         println!("{}", series.render());
     }
+    let mc_trials = if quick { 60 } else { 200 };
+    eprintln!("cross-checking through the batched Pipeline ({mc_trials} trials/fraction)...");
+    let dataset = pie_datagen::generate_two_hours(&config);
+    let mc_points = fig7::compute_monte_carlo_on(&dataset, &fractions, mc_trials, 1);
+    let mut mc_table = pie_analysis::Table::new(
+        "Figure 7 (Pipeline Monte-Carlo cross-check)",
+        &["% sampled", "var[HT]/mu^2", "var[L]/mu^2", "var[HT]/var[L]"],
+    );
+    for p in &mc_points {
+        mc_table.push_values(
+            &[
+                p.sampled_fraction * 100.0,
+                p.ht_normalized_variance,
+                p.l_normalized_variance,
+                p.ratio(),
+            ],
+            4,
+        );
+    }
+    println!("{}", mc_table.render());
     println!("# paper reference: var[HT]/var[L] between 2.45 and 2.7 across sampling rates");
     println!("# on the authors' two-hour gateway trace.");
 }

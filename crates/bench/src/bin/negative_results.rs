@@ -20,7 +20,15 @@ fn main() {
     println!("Theorem 6.1: OR over weighted samples with UNKNOWN seeds\n");
     let mut table = Table::new(
         "forced (unique) unbiased estimator per outcome",
-        &["p1", "p2", "est(∅)", "est({1})", "est({2})", "est({1,2})", "nonnegative?"],
+        &[
+            "p1",
+            "p2",
+            "est(∅)",
+            "est({1})",
+            "est({2})",
+            "est({1,2})",
+            "nonnegative?",
+        ],
     );
     for &(p1, p2) in &[(0.1, 0.2), (0.3, 0.4), (0.45, 0.45), (0.5, 0.5), (0.7, 0.6)] {
         let e = or_unknown_seeds_forced_estimator(p1, p2);
@@ -32,7 +40,14 @@ fn main() {
             format!("{:.4}", e[2]),
             format!("{:.4}", e[3]),
         ];
-        row.push(if or_unknown_seeds_nonnegative_exists(p1, p2) { "yes" } else { "NO" }.to_string());
+        row.push(
+            if or_unknown_seeds_nonnegative_exists(p1, p2) {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
+        );
         table.push_row(&row);
     }
     println!("{}", table.render());

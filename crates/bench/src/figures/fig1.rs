@@ -2,8 +2,10 @@
 //! over weight-oblivious Poisson samples with `p₁ = p₂ = 1/2`, as a function
 //! of `min(v)/max(v)`.
 
-use pie_analysis::Series;
+use pie_analysis::{evaluate_oblivious_family, Series};
+use pie_core::functions::maximum;
 use pie_core::oblivious::{MaxHtOblivious, MaxL2, MaxU2};
+use pie_core::suite::max_oblivious_suite;
 use pie_core::variance::exact_oblivious_variance;
 
 /// The curves of Figure 1 for sampling probability `p` (the paper uses 1/2):
@@ -28,9 +30,57 @@ pub fn compute(p: f64, points: usize) -> Vec<Series> {
     vec![l_series, u_series]
 }
 
+/// Monte-Carlo cross-check of [`compute`] through the batched estimation
+/// API: the whole `max` estimator family ([`max_oblivious_suite`]) is
+/// evaluated against shared simulated outcome batches
+/// ([`evaluate_oblivious_family`], backed by
+/// [`pie_core::Estimator::estimate_batch`]) instead of a hand-rolled
+/// per-trial loop.
+#[must_use]
+pub fn compute_monte_carlo(p: f64, points: usize, trials: u64, seed: u64) -> Vec<Series> {
+    let mut l_series = Series::new("var[L]/var[HT] (mc)");
+    let mut u_series = Series::new("var[U]/var[HT] (mc)");
+    let registry = max_oblivious_suite(p, p);
+    for i in 0..=points {
+        let ratio = i as f64 / points as f64;
+        let v = [1.0, ratio];
+        let probs = [p, p];
+        let family = evaluate_oblivious_family(
+            &registry,
+            maximum,
+            &v,
+            &probs,
+            trials,
+            seed.wrapping_add(i as u64),
+        );
+        let variance_of = |name: &str| {
+            family
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, e)| e.variance)
+                .expect("estimator in suite")
+        };
+        let var_ht = variance_of("max_ht_oblivious");
+        l_series.push(ratio, variance_of("max_l_2") / var_ht);
+        u_series.push(ratio, variance_of("max_u_2") / var_ht);
+    }
+    vec![l_series, u_series]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn monte_carlo_cross_check_matches_exact_enumeration() {
+        let exact = compute(0.5, 4);
+        let mc = compute_monte_carlo(0.5, 4, 60_000, 42);
+        for (e_series, m_series) in exact.iter().zip(&mc) {
+            for (&(_, e), &(_, m)) in e_series.points.iter().zip(&m_series.points) {
+                assert!((e - m).abs() < 0.08, "exact ratio {e} vs monte-carlo {m}");
+            }
+        }
+    }
 
     #[test]
     fn endpoints_match_closed_forms() {

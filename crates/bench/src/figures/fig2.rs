@@ -2,7 +2,9 @@
 //! `(1,1)` and `(1,0)` as a function of the sampling probability
 //! `p = p₁ = p₂`.
 
-use pie_analysis::Series;
+use pie_analysis::{evaluate_oblivious_family, Series};
+use pie_core::functions::boolean_or;
+use pie_core::suite::or_oblivious_suite;
 use pie_core::variance::{
     or_ht_variance, or_l_variance_change, or_l_variance_equal, or_u_variance_change,
     or_u_variance_equal,
@@ -33,9 +35,70 @@ pub fn compute(p_min: f64, p_max: f64, points: usize) -> Vec<Series> {
     curves
 }
 
+/// Monte-Carlo cross-check of [`compute`] through the batched estimation
+/// API: the `OR` family ([`or_oblivious_suite`]) runs over shared simulated
+/// outcome batches via [`evaluate_oblivious_family`] on the two data vectors
+/// of the figure, `(1,1)` and `(1,0)`.
+#[must_use]
+pub fn compute_monte_carlo(
+    p_min: f64,
+    p_max: f64,
+    points: usize,
+    trials: u64,
+    seed: u64,
+) -> Vec<Series> {
+    assert!(p_min > 0.0 && p_max <= 1.0 && p_min < p_max);
+    let mut curves = vec![
+        Series::new("HT on (1,0), (1,1) (mc)"),
+        Series::new("L on (1,1) (mc)"),
+        Series::new("L on (1,0) (mc)"),
+        Series::new("U on (1,1) (mc)"),
+        Series::new("U on (1,0) (mc)"),
+    ];
+    let log_min = p_min.ln();
+    let log_max = p_max.ln();
+    for i in 0..=points {
+        let p = (log_min + (log_max - log_min) * i as f64 / points as f64).exp();
+        let registry = or_oblivious_suite(p, p);
+        let probs = [p, p];
+        let on_equal =
+            evaluate_oblivious_family(&registry, boolean_or, &[1.0, 1.0], &probs, trials, seed);
+        let on_change =
+            evaluate_oblivious_family(&registry, boolean_or, &[1.0, 0.0], &probs, trials, seed + 1);
+        let variance_of = |family: &[(String, pie_analysis::Evaluation)], name: &str| {
+            family
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, e)| e.variance)
+                .expect("estimator in suite")
+        };
+        curves[0].push(p, variance_of(&on_change, "or_ht_oblivious"));
+        curves[1].push(p, variance_of(&on_equal, "or_l_2"));
+        curves[2].push(p, variance_of(&on_change, "or_l_2"));
+        curves[3].push(p, variance_of(&on_equal, "or_u_2"));
+        curves[4].push(p, variance_of(&on_change, "or_u_2"));
+    }
+    curves
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn monte_carlo_cross_check_tracks_closed_forms() {
+        let exact = compute(0.2, 0.8, 3);
+        let mc = compute_monte_carlo(0.2, 0.8, 3, 60_000, 7);
+        for (e_series, m_series) in exact.iter().zip(&mc) {
+            for (&(p, e), &(_, m)) in e_series.points.iter().zip(&m_series.points) {
+                let tolerance = 0.05 * e.max(1.0);
+                assert!(
+                    (e - m).abs() < tolerance,
+                    "p={p}: exact variance {e} vs monte-carlo {m}"
+                );
+            }
+        }
+    }
 
     #[test]
     fn curves_have_the_expected_ordering() {

@@ -33,8 +33,16 @@ pub fn audit_table(tau: [f64; 2], value_pairs: &[[f64; 2]]) -> Table {
                 v1,
                 v2,
                 MaxLPps2.estimate(&both),
-                if v1 > 0.0 { MaxLPps2.estimate(&only1) } else { 0.0 },
-                if v2 > 0.0 { MaxLPps2.estimate(&only2) } else { 0.0 },
+                if v1 > 0.0 {
+                    MaxLPps2.estimate(&only1)
+                } else {
+                    0.0
+                },
+                if v2 > 0.0 {
+                    MaxLPps2.estimate(&only2)
+                } else {
+                    0.0
+                },
                 expectation,
                 v1.max(v2),
             ],

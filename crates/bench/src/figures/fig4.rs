@@ -37,7 +37,11 @@ pub fn ratio_curves(rhos: &[f64], points: usize) -> Vec<Series> {
                 let v = [v1, frac * v1];
                 let var_ht = pps2_variance(&MaxHtPps, v, [tau, tau]);
                 let var_l = pps2_variance(&MaxLPps2, v, [tau, tau]);
-                let ratio = if var_l > 0.0 { var_ht / var_l } else { f64::NAN };
+                let ratio = if var_l > 0.0 {
+                    var_ht / var_l
+                } else {
+                    f64::NAN
+                };
                 series.push(frac, ratio);
             }
             series
@@ -55,7 +59,10 @@ mod tests {
         let curves = normalized_variance_curves(0.5, 8);
         let expected = max_ht_pps_normalized_variance(0.5);
         for &(_, y) in &curves[0].points {
-            assert!((y - expected).abs() < 1e-2, "HT normalized variance {y} vs {expected}");
+            assert!(
+                (y - expected).abs() < 1e-2,
+                "HT normalized variance {y} vs {expected}"
+            );
         }
     }
 
@@ -77,7 +84,10 @@ mod tests {
             let first = series.points[0].1;
             let last = series.points.last().unwrap().1;
             assert!(last > first, "ratio should grow with min/max similarity");
-            assert!(first >= 1.0 - 1e-6, "L never loses to HT for equal thresholds");
+            assert!(
+                first >= 1.0 - 1e-6,
+                "L never loses to HT for equal thresholds"
+            );
         }
         // At min/max = 1 the ratio is roughly 2/ρ(2−ρ)·(1−ρ²)/(1−ρ) …; what
         // matters for the figure's shape is that smaller ρ gives a larger

@@ -82,7 +82,10 @@ mod tests {
                 assert!(b.1 >= a.1, "tighter cv must not need fewer samples");
             }
             for w in loose.points.windows(2) {
-                assert!(w[1].1 >= w[0].1 * 0.999, "sample size should not shrink with n");
+                assert!(
+                    w[1].1 >= w[0].1 * 0.999,
+                    "sample size should not shrink with n"
+                );
             }
         }
     }

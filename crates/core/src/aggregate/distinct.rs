@@ -127,7 +127,11 @@ impl ClassCounts {
         select: F,
     ) -> Self {
         let mut counts = Self::default();
-        let mut keys: Vec<Key> = s1.iter().map(|(k, _)| k).chain(s2.iter().map(|(k, _)| k)).collect();
+        let mut keys: Vec<Key> = s1
+            .iter()
+            .map(|(k, _)| k)
+            .chain(s2.iter().map(|(k, _)| k))
+            .collect();
         keys.sort_unstable();
         keys.dedup();
         for key in keys {
@@ -277,11 +281,7 @@ mod tests {
     fn set_pair(n: u64, overlap: u64) -> (Instance, Instance) {
         // Keys 0..overlap shared; N1 also has [overlap, n); N2 has [n, 2n-overlap).
         let n1 = Instance::from_pairs((0..n).map(|k| (k, 1.0)));
-        let n2 = Instance::from_pairs(
-            (0..overlap)
-                .chain(n..(2 * n - overlap))
-                .map(|k| (k, 1.0)),
-        );
+        let n2 = Instance::from_pairs((0..overlap).chain(n..(2 * n - overlap)).map(|k| (k, 1.0)));
         (n1, n2)
     }
 
@@ -306,8 +306,11 @@ mod tests {
         let (s1, s2, seeds) = sample_sets(&n1, &n2, 0.4, 7);
         let counts = ClassCounts::tally(&s1, &s2, &seeds, |_| true);
         let sampled_union = {
-            let mut ks: Vec<Key> =
-                s1.iter().map(|(k, _)| k).chain(s2.iter().map(|(k, _)| k)).collect();
+            let mut ks: Vec<Key> = s1
+                .iter()
+                .map(|(k, _)| k)
+                .chain(s2.iter().map(|(k, _)| k))
+                .collect();
             ks.sort_unstable();
             ks.dedup();
             ks.len()
@@ -329,8 +332,14 @@ mod tests {
         }
         let mean_ht = sum_ht / reps as f64;
         let mean_l = sum_l / reps as f64;
-        assert!((mean_ht - truth).abs() / truth < 0.05, "HT bias: {mean_ht} vs {truth}");
-        assert!((mean_l - truth).abs() / truth < 0.05, "L bias: {mean_l} vs {truth}");
+        assert!(
+            (mean_ht - truth).abs() / truth < 0.05,
+            "HT bias: {mean_ht} vs {truth}"
+        );
+        assert!(
+            (mean_l - truth).abs() / truth < 0.05,
+            "L bias: {mean_l} vs {truth}"
+        );
     }
 
     #[test]
@@ -341,8 +350,11 @@ mod tests {
         let p = 0.35;
         let (s1, s2, seeds) = sample_sets(&n1, &n2, p, 42);
         let by_counting = distinct_count_l(&s1, &s2, &seeds, |_| true);
-        let mut keys: Vec<Key> =
-            s1.iter().map(|(k, _)| k).chain(s2.iter().map(|(k, _)| k)).collect();
+        let mut keys: Vec<Key> = s1
+            .iter()
+            .map(|(k, _)| k)
+            .chain(s2.iter().map(|(k, _)| k))
+            .collect();
         keys.sort_unstable();
         keys.dedup();
         let by_summing: f64 = keys
@@ -392,7 +404,10 @@ mod tests {
         let jaccard = 200.0 / 600.0;
         let pred_ht = distinct_ht_variance(truth, p, p);
         let pred_l = distinct_l_variance(truth, jaccard, p, p);
-        assert!((var_ht / pred_ht - 1.0).abs() < 0.35, "{var_ht} vs {pred_ht}");
+        assert!(
+            (var_ht / pred_ht - 1.0).abs() < 0.35,
+            "{var_ht} vs {pred_ht}"
+        );
         assert!((var_l / pred_l - 1.0).abs() < 0.35, "{var_l} vs {pred_l}");
     }
 

@@ -49,7 +49,11 @@ pub fn max_dominance_l<F: Fn(Key) -> bool>(
     seeds: &SeedAssignment,
     select: F,
 ) -> f64 {
-    assert_eq!(samples.len(), 2, "max^(L) dominance is defined for two instances");
+    assert_eq!(
+        samples.len(),
+        2,
+        "max^(L) dominance is defined for two instances"
+    );
     sum_aggregate(&MaxLPps2, samples, seeds, select)
 }
 
@@ -88,7 +92,11 @@ pub fn l1_distance_estimate<F: Fn(Key) -> bool + Copy>(
     seeds: &SeedAssignment,
     select: F,
 ) -> f64 {
-    assert_eq!(samples.len(), 2, "the L1 distance is defined for two instances");
+    assert_eq!(
+        samples.len(),
+        2,
+        "the L1 distance is defined for two instances"
+    );
     max_dominance_l(samples, seeds, select) - min_dominance_ht(samples, seeds, select)
 }
 
@@ -143,8 +151,22 @@ mod tests {
 
     fn example_instances() -> Vec<Instance> {
         // Figure 5 (A): 3 instances × 6 keys; we use the first two instances.
-        let i1 = Instance::from_pairs([(1, 15.0), (2, 0.0), (3, 10.0), (4, 5.0), (5, 10.0), (6, 10.0)]);
-        let i2 = Instance::from_pairs([(1, 20.0), (2, 10.0), (3, 12.0), (4, 20.0), (5, 0.0), (6, 10.0)]);
+        let i1 = Instance::from_pairs([
+            (1, 15.0),
+            (2, 0.0),
+            (3, 10.0),
+            (4, 5.0),
+            (5, 10.0),
+            (6, 10.0),
+        ]);
+        let i2 = Instance::from_pairs([
+            (1, 20.0),
+            (2, 10.0),
+            (3, 12.0),
+            (4, 20.0),
+            (5, 0.0),
+            (6, 10.0),
+        ]);
         vec![i1, i2]
     }
 
@@ -159,7 +181,10 @@ mod tests {
         // Min dominance: 15+0+10+5+0+10 = 40.
         assert_eq!(true_min_dominance(&instances, |_| true), 40.0);
         // L1 distance: 5+10+2+15+10+0 = 42.
-        assert_eq!(true_l1_distance(&instances[0], &instances[1], |_| true), 42.0);
+        assert_eq!(
+            true_l1_distance(&instances[0], &instances[1], |_| true),
+            42.0
+        );
     }
 
     #[test]
@@ -181,8 +206,14 @@ mod tests {
         }
         let mean_l = sum_l / reps as f64;
         let mean_ht = sum_ht / reps as f64;
-        assert!((mean_l - truth).abs() / truth < 0.05, "L bias: {mean_l} vs {truth}");
-        assert!((mean_ht - truth).abs() / truth < 0.05, "HT bias: {mean_ht} vs {truth}");
+        assert!(
+            (mean_l - truth).abs() / truth < 0.05,
+            "L bias: {mean_l} vs {truth}"
+        );
+        assert!(
+            (mean_ht - truth).abs() / truth < 0.05,
+            "HT bias: {mean_ht} vs {truth}"
+        );
     }
 
     #[test]
@@ -225,7 +256,10 @@ mod tests {
             sum += min_dominance_ht(&samples, &seeds, |_| true);
         }
         let mean = sum / reps as f64;
-        assert!((mean - truth).abs() / truth < 0.05, "min-dominance bias: {mean} vs {truth}");
+        assert!(
+            (mean - truth).abs() / truth < 0.05,
+            "min-dominance bias: {mean} vs {truth}"
+        );
     }
 
     #[test]
@@ -242,7 +276,10 @@ mod tests {
             sum += l1_distance_estimate(&samples, &seeds, |_| true);
         }
         let mean = sum / reps as f64;
-        assert!((mean - truth).abs() / truth < 0.08, "L1 bias: {mean} vs {truth}");
+        assert!(
+            (mean - truth).abs() / truth < 0.08,
+            "L1 bias: {mean} vs {truth}"
+        );
     }
 
     #[test]

@@ -63,7 +63,10 @@ impl ObliviousPoissonModel {
         assert_eq!(probs.len(), domains.len(), "probs and domains must align");
         assert!(!probs.is_empty(), "need at least one entry");
         for &p in &probs {
-            assert!(p > 0.0 && p <= 1.0, "probabilities must be in (0,1], got {p}");
+            assert!(
+                p > 0.0 && p <= 1.0,
+                "probabilities must be in (0,1], got {p}"
+            );
         }
         for d in &domains {
             assert!(!d.is_empty(), "every entry needs a nonempty domain");
@@ -130,7 +133,10 @@ impl WeightedKnownSeedsBinaryModel {
     #[must_use]
     pub fn new(probs: Vec<f64>) -> Self {
         for &p in &probs {
-            assert!(p > 0.0 && p <= 1.0, "probabilities must be in (0,1], got {p}");
+            assert!(
+                p > 0.0 && p <= 1.0,
+                "probabilities must be in (0,1], got {p}"
+            );
         }
         Self { probs }
     }
@@ -175,7 +181,10 @@ impl WeightedUnknownSeedsBinaryModel {
     #[must_use]
     pub fn new(probs: Vec<f64>) -> Self {
         for &p in &probs {
-            assert!(p > 0.0 && p <= 1.0, "probabilities must be in (0,1], got {p}");
+            assert!(
+                p > 0.0 && p <= 1.0,
+                "probabilities must be in (0,1], got {p}"
+            );
         }
         Self { probs }
     }
@@ -340,7 +349,9 @@ impl DerivationResult {
                 vector,
                 required,
                 forced,
-            } => panic!("{msg}: derivation failed at {vector:?} (needs {required}, forced {forced})"),
+            } => {
+                panic!("{msg}: derivation failed at {vector:?} (needs {required}, forced {forced})")
+            }
         }
     }
 
@@ -479,8 +490,8 @@ mod tests {
             vec![vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 2.0]],
         );
         let order = dense_first_order(&model.data_vectors());
-        let est = derive_order_based(&model, maximum, &order, 1e-12)
-            .expect_success("max^(L) derivation");
+        let est =
+            derive_order_based(&model, maximum, &order, 1e-12).expect_success("max^(L) derivation");
         assert!(est.max_bias(&model, maximum) < 1e-10);
         assert!(est.is_nonnegative(1e-10));
 
@@ -492,8 +503,14 @@ mod tests {
                 // both sampled
                 let key = vec![(i + 1) as u32, (j + 1) as u32];
                 let o = ObliviousOutcome::new(vec![
-                    ObliviousEntry { p: p1, value: Some(v1) },
-                    ObliviousEntry { p: p2, value: Some(v2) },
+                    ObliviousEntry {
+                        p: p1,
+                        value: Some(v1),
+                    },
+                    ObliviousEntry {
+                        p: p2,
+                        value: Some(v2),
+                    },
                 ]);
                 assert!(
                     (est.estimate(&key) - closed.estimate(&o)).abs() < 1e-9,
@@ -502,7 +519,10 @@ mod tests {
                 // only entry 1 sampled
                 let key = vec![(i + 1) as u32, 0];
                 let o = ObliviousOutcome::new(vec![
-                    ObliviousEntry { p: p1, value: Some(v1) },
+                    ObliviousEntry {
+                        p: p1,
+                        value: Some(v1),
+                    },
                     ObliviousEntry { p: p2, value: None },
                 ]);
                 assert!(
@@ -542,7 +562,10 @@ mod tests {
         let est = derive_order_based(&model, boolean_or, &order, 1e-12)
             .expect_success("unknown-seed OR derivation");
         assert!(est.max_bias(&model, boolean_or) < 1e-10);
-        assert!(!est.is_nonnegative(1e-9), "estimator should be forced negative");
+        assert!(
+            !est.is_nonnegative(1e-9),
+            "estimator should be forced negative"
+        );
         let forced = est.estimate(&vec![1, 1]);
         let expected = (p1 + p2 - 1.0) / (p1 * p2);
         assert!(
@@ -611,18 +634,34 @@ mod tests {
         assert_eq!(dense[0], vec![0.0, 0.0, 0.0]);
         assert_eq!(sparse[0], vec![0.0, 0.0, 0.0]);
         // Dense-first puts the all-ones vector before the single-one vectors.
-        let pos_all_ones = dense.iter().position(|v| v == &vec![1.0, 1.0, 1.0]).unwrap();
-        let pos_single = dense.iter().position(|v| v == &vec![1.0, 0.0, 0.0]).unwrap();
+        let pos_all_ones = dense
+            .iter()
+            .position(|v| v == &vec![1.0, 1.0, 1.0])
+            .unwrap();
+        let pos_single = dense
+            .iter()
+            .position(|v| v == &vec![1.0, 0.0, 0.0])
+            .unwrap();
         assert!(pos_all_ones < pos_single);
         // Sparse-first does the opposite.
-        let pos_all_ones = sparse.iter().position(|v| v == &vec![1.0, 1.0, 1.0]).unwrap();
-        let pos_single = sparse.iter().position(|v| v == &vec![1.0, 0.0, 0.0]).unwrap();
+        let pos_all_ones = sparse
+            .iter()
+            .position(|v| v == &vec![1.0, 1.0, 1.0])
+            .unwrap();
+        let pos_single = sparse
+            .iter()
+            .position(|v| v == &vec![1.0, 0.0, 0.0])
+            .unwrap();
         assert!(pos_single < pos_all_ones);
     }
 
     #[test]
     fn sample_probabilities_sum_to_one() {
-        for model_probs in [vec![0.3, 0.4], vec![0.5, 0.5, 0.5], vec![0.1, 0.9, 0.2, 0.7]] {
+        for model_probs in [
+            vec![0.3, 0.4],
+            vec![0.5, 0.5, 0.5],
+            vec![0.1, 0.9, 0.2, 0.7],
+        ] {
             let model = ObliviousPoissonModel::binary(model_probs);
             let total: f64 = model.sample_probabilities().iter().sum();
             assert!((total - 1.0).abs() < 1e-12);
@@ -633,8 +672,8 @@ mod tests {
     fn three_instance_binary_or_derivation_is_unbiased_and_nonnegative() {
         let model = ObliviousPoissonModel::binary(vec![0.4, 0.4, 0.4]);
         let order = dense_first_order(&model.data_vectors());
-        let est = derive_order_based(&model, boolean_or, &order, 1e-12)
-            .expect_success("r=3 OR^(L)");
+        let est =
+            derive_order_based(&model, boolean_or, &order, 1e-12).expect_success("r=3 OR^(L)");
         assert!(est.max_bias(&model, boolean_or) < 1e-10);
         assert!(est.is_nonnegative(1e-10));
         // It must agree with the Algorithm 3 closed form.

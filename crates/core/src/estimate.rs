@@ -1,4 +1,5 @@
-//! Estimator traits and the properties the paper cares about.
+//! Estimator traits, the batched estimation hot path, and the properties the
+//! paper cares about.
 //!
 //! An estimator (Section 2.1) is a function applied to an *outcome* — what
 //! sampling revealed about one key's value vector.  The properties of
@@ -6,6 +7,27 @@
 //! and (Pareto) dominance; the concrete estimators in this crate document
 //! which of these they satisfy, and the test-suite and the `pie-analysis`
 //! crate verify them numerically.
+//!
+//! # Batch-first design
+//!
+//! In production these estimators run per key over millions of keys, so the
+//! API is shaped around that regime rather than around one outcome at a
+//! time:
+//!
+//! * [`Estimator::estimate_batch`] is the hot path: it maps a slice of
+//!   outcomes into a caller-provided output slice, so a whole key range is
+//!   estimated with zero allocation and one virtual dispatch.  The default
+//!   implementation loops over [`Estimator::estimate`]; estimators with
+//!   shareable per-call setup can override it.
+//! * [`Estimator`] is object-safe: pipelines, benches, and CLIs hold
+//!   `Box<dyn Estimator<O>>` and dispatch dynamically.
+//! * [`EstimatorRegistry`] is the name-keyed collection used to enumerate
+//!   estimator families dynamically (reports, benchmark matrices,
+//!   `Pipeline::estimators` in the umbrella crate).
+//!
+//! Outcomes themselves are read through the allocation-free
+//! [`pie_sampling::OutcomeView`] accessors; the old `Vec`-returning
+//! accessors remain as deprecated shims.
 
 use pie_sampling::{ObliviousOutcome, WeightedOutcome};
 
@@ -13,12 +35,52 @@ use pie_sampling::{ObliviousOutcome, WeightedOutcome};
 ///
 /// Implementations must be deterministic functions of the outcome: all the
 /// randomness lives in the sampling, none in the estimation.
+///
+/// The trait is object-safe; `&dyn Estimator<O>` and `Box<dyn Estimator<O>>`
+/// estimate through the same batched hot path as concrete types.
 pub trait Estimator<O> {
     /// Returns the estimate for the given outcome.
     fn estimate(&self, outcome: &O) -> f64;
 
     /// A short, stable name used in reports and benchmark output.
     fn name(&self) -> &'static str;
+
+    /// Estimates every outcome of a batch, writing `outcomes[i]`'s estimate
+    /// to `out[i]`.
+    ///
+    /// This is the allocation-free hot path: callers own both slices and
+    /// reuse them across batches.  The default delegates to
+    /// [`estimate`](Self::estimate) per outcome; implementations whose
+    /// per-outcome work shares setup may override it, but must produce
+    /// exactly the same values (the workspace property tests assert this for
+    /// every registered estimator).
+    ///
+    /// # Panics
+    /// Panics if `outcomes` and `out` have different lengths.
+    fn estimate_batch(&self, outcomes: &[O], out: &mut [f64]) {
+        check_batch_len(outcomes, out);
+        for (slot, outcome) in out.iter_mut().zip(outcomes) {
+            *slot = self.estimate(outcome);
+        }
+    }
+}
+
+/// Asserts that a batch's outcome and output slices have equal lengths.
+///
+/// Every [`Estimator::estimate_batch`] override must call this first (the
+/// default implementation does): the loops below are written with `zip`,
+/// which would otherwise silently truncate to the shorter slice.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn check_batch_len<O>(outcomes: &[O], out: &[f64]) {
+    assert_eq!(
+        outcomes.len(),
+        out.len(),
+        "estimate_batch: {} outcomes but {} output slots",
+        outcomes.len(),
+        out.len()
+    );
 }
 
 /// Convenience alias for estimators over weight-oblivious Poisson outcomes
@@ -40,6 +102,9 @@ impl<O, E: Estimator<O> + ?Sized> Estimator<O> for &E {
     fn name(&self) -> &'static str {
         (**self).name()
     }
+    fn estimate_batch(&self, outcomes: &[O], out: &mut [f64]) {
+        (**self).estimate_batch(outcomes, out);
+    }
 }
 
 impl<O, E: Estimator<O> + ?Sized> Estimator<O> for Box<E> {
@@ -48,6 +113,9 @@ impl<O, E: Estimator<O> + ?Sized> Estimator<O> for Box<E> {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn estimate_batch(&self, outcomes: &[O], out: &mut [f64]) {
+        (**self).estimate_batch(outcomes, out);
     }
 }
 
@@ -104,6 +172,142 @@ pub trait DocumentedEstimator<O>: Estimator<O> {
     fn properties(&self) -> EstimatorProperties;
 }
 
+/// The boxed, dynamically dispatched estimator type held by registries and
+/// pipelines.
+pub type DynEstimator<O> = Box<dyn Estimator<O> + Send + Sync>;
+
+/// A name-keyed, insertion-ordered collection of estimators over one outcome
+/// type.
+///
+/// This is how benches, reports, and CLIs enumerate estimator families
+/// dynamically instead of hard-coding one struct per call site: build a
+/// registry once, then iterate it, look estimators up by name, and run each
+/// through the batched hot path ([`Estimator::estimate_batch`]).
+///
+/// ```
+/// use pie_core::{Estimator, EstimatorRegistry};
+/// use pie_core::oblivious::{MaxHtOblivious, MaxL2};
+/// use pie_sampling::{ObliviousEntry, ObliviousOutcome};
+///
+/// let registry = EstimatorRegistry::new()
+///     .with(MaxHtOblivious)
+///     .with(MaxL2::new(0.5, 0.5));
+/// assert_eq!(
+///     registry.names().collect::<Vec<_>>(),
+///     ["max_ht_oblivious", "max_l_2"]
+/// );
+///
+/// let outcomes = vec![ObliviousOutcome::new(vec![
+///     ObliviousEntry { p: 0.5, value: Some(8.0) },
+///     ObliviousEntry { p: 0.5, value: None },
+/// ])];
+/// let mut out = vec![0.0; outcomes.len()];
+/// for (name, estimator) in registry.iter() {
+///     estimator.estimate_batch(&outcomes, &mut out);
+///     println!("{name}: {}", out[0]);
+/// }
+/// ```
+pub struct EstimatorRegistry<O> {
+    entries: Vec<(String, DynEstimator<O>)>,
+}
+
+impl<O> Default for EstimatorRegistry<O> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<O> EstimatorRegistry<O> {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Registers `estimator` under its own [`Estimator::name`].
+    ///
+    /// # Panics
+    /// Panics if an estimator with the same name is already registered —
+    /// duplicate names would make name-keyed reports ambiguous.
+    pub fn register<E>(&mut self, estimator: E) -> &mut Self
+    where
+        E: Estimator<O> + Send + Sync + 'static,
+    {
+        self.register_named(estimator.name().to_string(), estimator)
+    }
+
+    /// Registers `estimator` under an explicit name (e.g. to distinguish two
+    /// parameterizations of the same estimator type).
+    ///
+    /// # Panics
+    /// Panics if the name is already taken.
+    pub fn register_named<E>(&mut self, name: impl Into<String>, estimator: E) -> &mut Self
+    where
+        E: Estimator<O> + Send + Sync + 'static,
+    {
+        let name = name.into();
+        assert!(
+            self.get(&name).is_none(),
+            "estimator name {name:?} registered twice"
+        );
+        self.entries.push((name, Box::new(estimator)));
+        self
+    }
+
+    /// Builder-style [`register`](Self::register).
+    #[must_use]
+    pub fn with<E>(mut self, estimator: E) -> Self
+    where
+        E: Estimator<O> + Send + Sync + 'static,
+    {
+        self.register(estimator);
+        self
+    }
+
+    /// Builder-style [`register_named`](Self::register_named).
+    #[must_use]
+    pub fn with_named<E>(mut self, name: impl Into<String>, estimator: E) -> Self
+    where
+        E: Estimator<O> + Send + Sync + 'static,
+    {
+        self.register_named(name, estimator);
+        self
+    }
+
+    /// Looks an estimator up by registered name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&(dyn Estimator<O> + Send + Sync)> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, e)| &**e)
+    }
+
+    /// The registered names, in insertion order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Iterates `(name, estimator)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &(dyn Estimator<O> + Send + Sync))> {
+        self.entries.iter().map(|(n, e)| (n.as_str(), &**e))
+    }
+
+    /// Number of registered estimators.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +321,71 @@ mod tests {
         fn name(&self) -> &'static str {
             "always7"
         }
+    }
+
+    #[test]
+    fn default_estimate_batch_matches_per_outcome() {
+        let outcomes: Vec<ObliviousOutcome> = (0..5)
+            .map(|i| {
+                ObliviousOutcome::new(vec![ObliviousEntry {
+                    p: 0.5,
+                    value: (i % 2 == 0).then_some(f64::from(i)),
+                }])
+            })
+            .collect();
+        let mut out = vec![f64::NAN; outcomes.len()];
+        Always7.estimate_batch(&outcomes, &mut out);
+        for (o, &batch) in outcomes.iter().zip(&out) {
+            assert_eq!(batch, Always7.estimate(o));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output slots")]
+    fn estimate_batch_rejects_length_mismatch() {
+        let outcomes = vec![ObliviousOutcome::new(vec![ObliviousEntry {
+            p: 0.5,
+            value: None,
+        }])];
+        let mut out = vec![0.0; 2];
+        Always7.estimate_batch(&outcomes, &mut out);
+    }
+
+    #[test]
+    fn registry_is_name_keyed_and_insertion_ordered() {
+        struct Always(f64, &'static str);
+        impl Estimator<ObliviousOutcome> for Always {
+            fn estimate(&self, _o: &ObliviousOutcome) -> f64 {
+                self.0
+            }
+            fn name(&self) -> &'static str {
+                self.1
+            }
+        }
+        let registry = EstimatorRegistry::new()
+            .with(Always(1.0, "one"))
+            .with(Always(2.0, "two"))
+            .with_named("custom", Always(3.0, "ignored"));
+        assert_eq!(registry.len(), 3);
+        assert!(!registry.is_empty());
+        assert_eq!(
+            registry.names().collect::<Vec<_>>(),
+            ["one", "two", "custom"]
+        );
+        let o = ObliviousOutcome::new(vec![ObliviousEntry {
+            p: 0.5,
+            value: None,
+        }]);
+        assert_eq!(registry.get("two").unwrap().estimate(&o), 2.0);
+        assert!(registry.get("missing").is_none());
+        let estimates: Vec<f64> = registry.iter().map(|(_, e)| e.estimate(&o)).collect();
+        assert_eq!(estimates, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn registry_rejects_duplicate_names() {
+        let _ = EstimatorRegistry::new().with(Always7).with(Always7);
     }
 
     #[test]
@@ -140,12 +409,15 @@ mod tests {
         assert!(ht.unbiased && ht.nonnegative && ht.monotone && !ht.pareto_optimal);
         let p = EstimatorProperties::pareto();
         assert!(p.pareto_optimal && p.unbiased);
-        assert_eq!(EstimatorProperties::default(), EstimatorProperties {
-            unbiased: false,
-            nonnegative: false,
-            bounded_variance: false,
-            monotone: false,
-            pareto_optimal: false
-        });
+        assert_eq!(
+            EstimatorProperties::default(),
+            EstimatorProperties {
+                unbiased: false,
+                nonnegative: false,
+                bounded_variance: false,
+                monotone: false,
+                pareto_optimal: false
+            }
+        );
     }
 }

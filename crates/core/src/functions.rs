@@ -33,7 +33,11 @@ pub fn minimum(v: &[f64]) -> f64 {
 /// Panics if `l` is 0 or exceeds `v.len()`.
 #[must_use]
 pub fn lth_largest(v: &[f64], l: usize) -> f64 {
-    assert!(l >= 1 && l <= v.len(), "l must be in 1..={}, got {l}", v.len());
+    assert!(
+        l >= 1 && l <= v.len(),
+        "l must be in 1..={}, got {l}",
+        v.len()
+    );
     let mut sorted = v.to_vec();
     sorted.sort_by(|a, b| b.partial_cmp(a).expect("values must not be NaN"));
     sorted[l - 1]

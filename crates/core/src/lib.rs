@@ -5,7 +5,11 @@
 //! Estimators using Partial Information"* (PODS 2011):
 //!
 //! * multi-instance primitive functions ([`functions`]);
-//! * the estimator abstraction and its properties ([`estimate`]);
+//! * the estimator abstraction — including the batched
+//!   [`Estimator::estimate_batch`] hot path and the name-keyed
+//!   [`EstimatorRegistry`] — and its properties ([`estimate`]);
+//! * prebuilt estimator suites for the families the paper compares
+//!   ([`suite`]);
 //! * Horvitz–Thompson baselines and the paper's Pareto-optimal `L`/`U`
 //!   estimators for `max` and Boolean `OR` over weight-oblivious Poisson
 //!   samples ([`oblivious`]);
@@ -55,8 +59,11 @@ pub mod functions;
 pub mod negative;
 pub mod oblivious;
 pub mod quantile;
+pub mod suite;
 pub mod variance;
 pub mod weighted;
 
-pub use estimate::{DocumentedEstimator, Estimator, EstimatorProperties};
+pub use estimate::{
+    DocumentedEstimator, DynEstimator, Estimator, EstimatorProperties, EstimatorRegistry,
+};
 pub use functions::MultiInstanceFn;

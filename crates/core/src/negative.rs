@@ -56,9 +56,15 @@ pub fn or_unknown_seeds_nonnegative_exists(p1: f64, p2: f64) -> bool {
 pub fn lth_unknown_seeds_forced_value(probs: &[f64], l: usize) -> f64 {
     let r = probs.len();
     assert!(r >= 2, "need at least two instances");
-    assert!(l >= 1 && l < r, "theorem applies to 1 ≤ l < r, got l={l}, r={r}");
+    assert!(
+        l >= 1 && l < r,
+        "theorem applies to 1 ≤ l < r, got l={l}, r={r}"
+    );
     for &p in probs {
-        assert!(p > 0.0 && p <= 1.0, "probabilities must be in (0,1], got {p}");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "probabilities must be in (0,1], got {p}"
+        );
     }
     let (p1, p2) = (probs[0], probs[1]);
     // Entries 3..=l+1 (0-based indices 2..=l) carry value 1 and must all be

@@ -64,6 +64,37 @@ impl Estimator<ObliviousOutcome> for MaxHtOblivious {
     fn name(&self) -> &'static str {
         "max_ht_oblivious"
     }
+
+    /// Batched hot path fusing the three entry scans of
+    /// [`estimate`](Self::estimate) (`all_sampled`, `max_sampled`,
+    /// `all_sampled_probability`) into one pass with early exit on the first
+    /// unsampled entry.  Accumulation order matches the scans exactly, so
+    /// results are bit-identical.
+    fn estimate_batch(&self, outcomes: &[ObliviousOutcome], out: &mut [f64]) {
+        crate::estimate::check_batch_len(outcomes, out);
+        for (slot, outcome) in out.iter_mut().zip(outcomes) {
+            let mut product = 1.0f64;
+            let mut max: Option<f64> = None;
+            let mut all_sampled = true;
+            for entry in outcome.entries() {
+                match entry.value {
+                    Some(v) => {
+                        product *= entry.p;
+                        max = Some(max.map_or(v, |a: f64| a.max(v)));
+                    }
+                    None => {
+                        all_sampled = false;
+                        break;
+                    }
+                }
+            }
+            *slot = if all_sampled {
+                max.unwrap_or(0.0) / product
+            } else {
+                0.0
+            };
+        }
+    }
 }
 
 impl DocumentedEstimator<ObliviousOutcome> for MaxHtOblivious {
@@ -114,14 +145,35 @@ impl Estimator<ObliviousOutcome> for MaxL2 {
             (Some(v1), None) => v1 / p_any,
             (None, Some(v2)) => v2 / p_any,
             (Some(v1), Some(v2)) => {
-                v1.max(v2) / (p1 * p2)
-                    - ((1.0 / p2 - 1.0) * v1 + (1.0 / p1 - 1.0) * v2) / p_any
+                v1.max(v2) / (p1 * p2) - ((1.0 / p2 - 1.0) * v1 + (1.0 / p1 - 1.0) * v2) / p_any
             }
         }
     }
 
     fn name(&self) -> &'static str {
         "max_l_2"
+    }
+
+    /// Batched hot path with the per-call setup — `p_any`, `p₁p₂`, and the
+    /// two reciprocal coefficients (each a division) — hoisted out of the
+    /// loop.  Every hoisted expression is written exactly as in
+    /// [`estimate`](Self::estimate), so the results are bit-identical.
+    fn estimate_batch(&self, outcomes: &[ObliviousOutcome], out: &mut [f64]) {
+        crate::estimate::check_batch_len(outcomes, out);
+        let (p1, p2) = (self.p1, self.p2);
+        let p_any = self.p_any();
+        let p12 = p1 * p2;
+        let c1 = 1.0 / p2 - 1.0;
+        let c2 = 1.0 / p1 - 1.0;
+        for (slot, outcome) in out.iter_mut().zip(outcomes) {
+            let [(_, e1), (_, e2)] = two_entries(outcome);
+            *slot = match (e1, e2) {
+                (None, None) => 0.0,
+                (Some(v1), None) => v1 / p_any,
+                (None, Some(v2)) => v2 / p_any,
+                (Some(v1), Some(v2)) => v1.max(v2) / p12 - (c1 * v1 + c2 * v2) / p_any,
+            };
+        }
     }
 }
 
@@ -179,6 +231,29 @@ impl Estimator<ObliviousOutcome> for MaxU2 {
 
     fn name(&self) -> &'static str {
         "max_u_2"
+    }
+
+    /// Batched hot path with the per-call setup (`denom`, `p₁p₂`, and the
+    /// per-branch products) hoisted out of the loop; expressions match
+    /// [`estimate`](Self::estimate) exactly, so results are bit-identical.
+    fn estimate_batch(&self, outcomes: &[ObliviousOutcome], out: &mut [f64]) {
+        crate::estimate::check_batch_len(outcomes, out);
+        let (p1, p2) = (self.p1, self.p2);
+        let denom = 1.0 + self.slack();
+        let d1 = p1 * denom;
+        let d2 = p2 * denom;
+        let p12 = p1 * p2;
+        for (slot, outcome) in out.iter_mut().zip(outcomes) {
+            let [(_, e1), (_, e2)] = two_entries(outcome);
+            *slot = match (e1, e2) {
+                (None, None) => 0.0,
+                (Some(v1), None) => v1 / d1,
+                (None, Some(v2)) => v2 / d2,
+                (Some(v1), Some(v2)) => {
+                    (v1.max(v2) - (v1 * (1.0 - p2) + v2 * (1.0 - p1)) / denom) / p12
+                }
+            };
+        }
     }
 }
 
@@ -274,7 +349,12 @@ impl MaxLUniform {
         for h in 1..r {
             alpha[h] = prefix[h] - prefix[h - 1];
         }
-        Self { r, p, alpha, prefix }
+        Self {
+            r,
+            p,
+            alpha,
+            prefix,
+        }
     }
 
     /// The prefix sums `A_1, …, A_r` of Theorem 4.2 (`prefix[h-1]` is `A_h`).
@@ -452,7 +532,10 @@ mod tests {
         for &[v1, v2] in DATA_2 {
             for &(p1, p2) in &[(0.5, 0.5), (0.3, 0.8), (0.1, 0.9)] {
                 let e = expectation(&MaxHtOblivious, &[v1, v2], &[p1, p2]);
-                assert!((e - max_of(&[v1, v2])).abs() < 1e-10, "bias for ({v1},{v2})");
+                assert!(
+                    (e - max_of(&[v1, v2])).abs() < 1e-10,
+                    "bias for ({v1},{v2})"
+                );
             }
         }
     }
@@ -520,8 +603,14 @@ mod tests {
                 let var_ht = variance(&MaxHtOblivious, &[v1, v2], &[p1, p2]);
                 let var_l = variance(&MaxL2::new(p1, p2), &[v1, v2], &[p1, p2]);
                 let var_u = variance(&MaxU2::new(p1, p2), &[v1, v2], &[p1, p2]);
-                assert!(var_l <= var_ht + 1e-9, "L should dominate HT on ({v1},{v2})");
-                assert!(var_u <= var_ht + 1e-9, "U should dominate HT on ({v1},{v2})");
+                assert!(
+                    var_l <= var_ht + 1e-9,
+                    "L should dominate HT on ({v1},{v2})"
+                );
+                assert!(
+                    var_u <= var_ht + 1e-9,
+                    "U should dominate HT on ({v1},{v2})"
+                );
             }
         }
     }
@@ -541,9 +630,7 @@ mod tests {
         // max^(L): only entry 1 sampled -> 4 v1 / 3
         assert!((l.estimate(&o(Some(v1), None)) - 4.0 * v1 / 3.0).abs() < 1e-12);
         // both sampled -> (8 max - 4 min) / 3
-        assert!(
-            (l.estimate(&o(Some(v1), Some(v2))) - (8.0 * v1 - 4.0 * v2) / 3.0).abs() < 1e-12
-        );
+        assert!((l.estimate(&o(Some(v1), Some(v2))) - (8.0 * v1 - 4.0 * v2) / 3.0).abs() < 1e-12);
         // max^(U): only entry 1 sampled -> 2 v1 ; both -> 2 max - 2 min
         assert!((u.estimate(&o(Some(v1), None)) - 2.0 * v1).abs() < 1e-12);
         assert!((u.estimate(&o(Some(v1), Some(v2))) - (2.0 * v1 - 2.0 * v2)).abs() < 1e-12);
@@ -563,8 +650,14 @@ mod tests {
             let var_ht = variance(&MaxHtOblivious, &[v1, v2], &[0.5, 0.5]);
             let expect_l = 11.0 / 9.0 * mx * mx + 8.0 / 9.0 * mn * mn - 16.0 / 9.0 * mx * mn;
             let expect_u = mx * mx + 2.0 * mn * mn - 2.0 * mx * mn;
-            assert!((var_l - expect_l).abs() < 1e-9, "L variance {var_l} vs {expect_l}");
-            assert!((var_u - expect_u).abs() < 1e-9, "U variance {var_u} vs {expect_u}");
+            assert!(
+                (var_l - expect_l).abs() < 1e-9,
+                "L variance {var_l} vs {expect_l}"
+            );
+            assert!(
+                (var_u - expect_u).abs() < 1e-9,
+                "U variance {var_u} vs {expect_u}"
+            );
             assert!((var_ht - 3.0 * mx * mx).abs() < 1e-9);
         }
     }
@@ -591,7 +684,11 @@ mod tests {
             let a1 = (2.0 + p * p - 2.0 * p) / (p.powi(3) * (p * p - 3.0 * p + 3.0) * (2.0 - p));
             assert!((a[2] - a3).abs() < 1e-10, "A3 mismatch at p={p}");
             assert!((a[1] - a2).abs() < 1e-10, "A2 mismatch at p={p}");
-            assert!((a[0] - a1).abs() < 1e-10, "A1 mismatch at p={p}: {} vs {a1}", a[0]);
+            assert!(
+                (a[0] - a1).abs() < 1e-10,
+                "A1 mismatch at p={p}: {} vs {a1}",
+                a[0]
+            );
         }
     }
 
@@ -655,7 +752,11 @@ mod tests {
                     "alpha_1 too large at r={r}, p={p}"
                 );
                 for (i, &a) in alpha.iter().enumerate().skip(1) {
-                    assert!(a < 1e-12, "alpha_{} = {a} should be negative (r={r}, p={p})", i + 1);
+                    assert!(
+                        a < 1e-12,
+                        "alpha_{} = {a} should be negative (r={r}, p={p})",
+                        i + 1
+                    );
                 }
                 // Prefix sums must stay positive (needed for monotonicity).
                 for (h, &s) in est.prefix_sums_slice().iter().enumerate() {
@@ -669,7 +770,12 @@ mod tests {
     fn uniform_dominates_ht_r3() {
         let p = 0.4;
         let est = MaxLUniform::new(3, p);
-        for v in &[[1.0, 0.0, 0.0], [1.0, 1.0, 0.0], [1.0, 1.0, 1.0], [3.0, 2.0, 1.0]] {
+        for v in &[
+            [1.0, 0.0, 0.0],
+            [1.0, 1.0, 0.0],
+            [1.0, 1.0, 1.0],
+            [3.0, 2.0, 1.0],
+        ] {
             let var_l = variance(&est, v, &[p, p, p]);
             let var_ht = variance(&MaxHtOblivious, v, &[p, p, p]);
             assert!(var_l <= var_ht + 1e-9, "L should dominate HT on {v:?}");
@@ -695,8 +801,14 @@ mod tests {
     #[test]
     fn empty_outcome_estimates_zero() {
         let o = ObliviousOutcome::new(vec![
-            ObliviousEntry { p: 0.5, value: None },
-            ObliviousEntry { p: 0.5, value: None },
+            ObliviousEntry {
+                p: 0.5,
+                value: None,
+            },
+            ObliviousEntry {
+                p: 0.5,
+                value: None,
+            },
         ]);
         assert_eq!(MaxHtOblivious.estimate(&o), 0.0);
         assert_eq!(MaxL2::new(0.5, 0.5).estimate(&o), 0.0);
@@ -708,9 +820,18 @@ mod tests {
     #[should_panic(expected = "exactly two instances")]
     fn max_l2_rejects_three_instances() {
         let o = ObliviousOutcome::new(vec![
-            ObliviousEntry { p: 0.5, value: None },
-            ObliviousEntry { p: 0.5, value: None },
-            ObliviousEntry { p: 0.5, value: None },
+            ObliviousEntry {
+                p: 0.5,
+                value: None,
+            },
+            ObliviousEntry {
+                p: 0.5,
+                value: None,
+            },
+            ObliviousEntry {
+                p: 0.5,
+                value: None,
+            },
         ]);
         let _ = MaxL2::new(0.5, 0.5).estimate(&o);
     }

@@ -285,7 +285,11 @@ mod tests {
         let var_l_11 = variance(&OrL2::new(p, p), &[1.0, 1.0], &[p, p]);
         let var_u_11 = variance(&OrU2::new(p, p), &[1.0, 1.0], &[p, p]);
         assert!((var_ht * p * p - 1.0).abs() < 0.01);
-        assert!((var_l_10 * 4.0 * p * p - 1.0).abs() < 0.01, "{}", var_l_10 * 4.0 * p * p);
+        assert!(
+            (var_l_10 * 4.0 * p * p - 1.0).abs() < 0.01,
+            "{}",
+            var_l_10 * 4.0 * p * p
+        );
         assert!((var_u_10 * 4.0 * p * p - 1.0).abs() < 0.01);
         assert!((var_l_11 * 2.0 * p - 1.0).abs() < 0.01);
         assert!((var_u_11 * 2.0 * p - 1.0).abs() < 0.01);
@@ -328,7 +332,10 @@ mod tests {
                 p: 0.5,
                 value: Some(2.0),
             },
-            ObliviousEntry { p: 0.5, value: None },
+            ObliviousEntry {
+                p: 0.5,
+                value: None,
+            },
         ]);
         let _ = OrL2::new(0.5, 0.5).estimate(&o);
     }

@@ -171,11 +171,17 @@ mod tests {
             for (f, truth) in [
                 (MultiInstanceFn::Min, crate::functions::minimum(v)),
                 (MultiInstanceFn::Range, crate::functions::range(v)),
-                (MultiInstanceFn::LthLargest(2), crate::functions::lth_largest(v, 2)),
+                (
+                    MultiInstanceFn::LthLargest(2),
+                    crate::functions::lth_largest(v, 2),
+                ),
                 (MultiInstanceFn::Max, crate::functions::maximum(v)),
             ] {
                 let e = expectation(&FullSampleHt::new(f), v, &p);
-                assert!((e - truth).abs() < 1e-10, "{f:?} biased on {v:?}: {e} vs {truth}");
+                assert!(
+                    (e - truth).abs() < 1e-10,
+                    "{f:?} biased on {v:?}: {e} vs {truth}"
+                );
             }
         }
     }
@@ -204,7 +210,10 @@ mod tests {
                 p: 0.5,
                 value: Some(4.0),
             },
-            ObliviousEntry { p: 0.5, value: None },
+            ObliviousEntry {
+                p: 0.5,
+                value: None,
+            },
         ]);
         assert_eq!(FullSampleHt::min().estimate(&o), 0.0);
         assert_eq!(FullSampleHt::range().estimate(&o), 0.0);

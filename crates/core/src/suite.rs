@@ -1,0 +1,85 @@
+//! Standard estimator suites: prebuilt [`EstimatorRegistry`]s for the
+//! families the paper compares.
+//!
+//! Benches, figure harnesses, and the umbrella crate's `Pipeline` enumerate
+//! estimators dynamically through a registry instead of hard-coding one
+//! struct per call site; these constructors bundle the canonical line-ups
+//! (HT baseline vs. the Pareto-optimal `L`/`U` estimators) per target
+//! function and sampling regime.
+
+use pie_sampling::{ObliviousOutcome, WeightedOutcome};
+
+use crate::estimate::EstimatorRegistry;
+use crate::oblivious::{MaxHtOblivious, MaxL2, MaxLUniform, MaxU2, OrHtOblivious, OrL2, OrU2};
+use crate::weighted::{MaxHtPps, MaxLPps2, OrHtKnownSeeds, OrLKnownSeeds, OrUKnownSeeds};
+
+/// The `max` estimators over two weight-oblivious Poisson instances sampled
+/// with probabilities `p1`, `p2`: the HT baseline and the Pareto-optimal
+/// `max^(L)` / `max^(U)` (Section 4, Figure 1).
+#[must_use]
+pub fn max_oblivious_suite(p1: f64, p2: f64) -> EstimatorRegistry<ObliviousOutcome> {
+    EstimatorRegistry::new()
+        .with(MaxHtOblivious)
+        .with(MaxL2::new(p1, p2))
+        .with(MaxU2::new(p1, p2))
+}
+
+/// The `max` estimators over `r` weight-oblivious instances with uniform
+/// sampling probability `p`: the HT baseline and the Algorithm 3 `max^(L)`
+/// (Section 4.2).
+#[must_use]
+pub fn max_oblivious_uniform_suite(r: usize, p: f64) -> EstimatorRegistry<ObliviousOutcome> {
+    EstimatorRegistry::new()
+        .with(MaxHtOblivious)
+        .with(MaxLUniform::new(r, p))
+}
+
+/// The Boolean `OR` estimators over two weight-oblivious instances
+/// (Section 4.3, Figure 2).
+#[must_use]
+pub fn or_oblivious_suite(p1: f64, p2: f64) -> EstimatorRegistry<ObliviousOutcome> {
+    EstimatorRegistry::new()
+        .with(OrHtOblivious)
+        .with(OrL2::new(p1, p2))
+        .with(OrU2::new(p1, p2))
+}
+
+/// The `max` estimators over weighted (PPS) samples with known seeds: the HT
+/// baseline and the Figure 3 closed-form `max^(L)` (Sections 5–6).
+#[must_use]
+pub fn max_weighted_suite() -> EstimatorRegistry<WeightedOutcome> {
+    EstimatorRegistry::new().with(MaxHtPps).with(MaxLPps2)
+}
+
+/// The Boolean `OR` estimators over weighted samples with known seeds
+/// (Section 5.1).
+#[must_use]
+pub fn or_weighted_suite() -> EstimatorRegistry<WeightedOutcome> {
+    EstimatorRegistry::new()
+        .with(OrHtKnownSeeds)
+        .with(OrLKnownSeeds)
+        .with(OrUKnownSeeds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_enumerate_expected_line_ups() {
+        assert_eq!(
+            max_oblivious_suite(0.5, 0.5).names().collect::<Vec<_>>(),
+            ["max_ht_oblivious", "max_l_2", "max_u_2"]
+        );
+        assert_eq!(max_oblivious_uniform_suite(4, 0.3).len(), 2);
+        assert_eq!(
+            or_oblivious_suite(0.4, 0.6).names().collect::<Vec<_>>(),
+            ["or_ht_oblivious", "or_l_2", "or_u_2"]
+        );
+        assert_eq!(
+            max_weighted_suite().names().collect::<Vec<_>>(),
+            ["max_ht_pps", "max_l_pps_2"]
+        );
+        assert_eq!(or_weighted_suite().len(), 3);
+    }
+}

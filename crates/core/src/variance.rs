@@ -132,7 +132,10 @@ pub fn max_u_variance_half_as_printed(v1: f64, v2: f64) -> f64 {
 /// for `τ*_1 = τ*_2 = τ*` and `ρ = max(v)/τ* ≤ 1`; independent of `min(v)`.
 #[must_use]
 pub fn max_ht_pps_normalized_variance(rho: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&rho), "rho must be in [0,1], got {rho}");
+    assert!(
+        (0.0..=1.0).contains(&rho),
+        "rho must be in [0,1], got {rho}"
+    );
     if rho == 0.0 {
         0.0
     } else {
@@ -152,7 +155,10 @@ pub fn max_ht_pps_normalized_variance(rho: f64) -> f64 {
 /// figure harness; see EXPERIMENTS.md for measured-vs-claimed numbers.
 #[must_use]
 pub fn max_l_pps_normalized_variance_extreme_claimed(rho: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&rho), "rho must be in [0,1], got {rho}");
+    assert!(
+        (0.0..=1.0).contains(&rho),
+        "rho must be in [0,1], got {rho}"
+    );
     rho - rho * rho
 }
 
@@ -183,7 +189,11 @@ pub fn max_pps_variance_ratio_lower_bound_claimed(rho: f64) -> f64 {
 /// would be enormous).
 #[must_use]
 pub fn enumerate_oblivious_outcomes(v: &[f64], probs: &[f64]) -> Vec<(f64, ObliviousOutcome)> {
-    assert_eq!(v.len(), probs.len(), "value and probability vectors must align");
+    assert_eq!(
+        v.len(),
+        probs.len(),
+        "value and probability vectors must align"
+    );
     let r = v.len();
     assert!(r <= 24, "exact enumeration limited to r ≤ 24, got {r}");
     let mut out = Vec::with_capacity(1usize << r);

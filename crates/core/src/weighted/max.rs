@@ -296,7 +296,8 @@ mod tests {
         ];
         for (i, (v, tau)) in cases.iter().enumerate() {
             let truth = v[0].max(v[1]);
-            let (mean, _) = monte_carlo_mean_var(&MaxLPps2, v, tau, trials(600_000), 100 + i as u64);
+            let (mean, _) =
+                monte_carlo_mean_var(&MaxLPps2, v, tau, trials(600_000), 100 + i as u64);
             assert!(
                 (mean - truth).abs() / truth < 0.02,
                 "max^L biased on {v:?} tau {tau:?}: {mean} vs {truth}"
@@ -354,7 +355,10 @@ mod tests {
         let (_, var_ht) = monte_carlo_mean_var(&MaxHtPps, &[5.0, 0.0], &tau, trials(400_000), 21);
         let (_, var_l) = monte_carlo_mean_var(&MaxLPps2, &[5.0, 0.0], &tau, trials(400_000), 23);
         let ratio = var_ht / var_l;
-        assert!(ratio > 1.8, "ratio on the extreme vector should stay near 2, got {ratio}");
+        assert!(
+            ratio > 1.8,
+            "ratio on the extreme vector should stay near 2, got {ratio}"
+        );
     }
 
     #[test]

@@ -212,7 +212,11 @@ mod tests {
             for i in 0..r {
                 let low = mask & (1 << i) != 0;
                 prob *= if low { p[i] } else { 1.0 - p[i] };
-                let seed = if low { p[i] * 0.5 } else { p[i] + (1.0 - p[i]) * 0.5 };
+                let seed = if low {
+                    p[i] * 0.5
+                } else {
+                    p[i] + (1.0 - p[i]) * 0.5
+                };
                 // Sampled iff v_i = 1 and the seed is low.
                 let sampled = v[i] == 1.0 && low;
                 entries.push(WeightedEntry {
@@ -374,7 +378,12 @@ mod tests {
     fn uniform_known_seed_or_is_unbiased_r3() {
         let tau = 3.0; // p = 1/3
         let est = OrLKnownSeedsUniform::new(3, 1.0 / 3.0);
-        for v in &[[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [1.0, 1.0, 0.0], [1.0, 1.0, 1.0]] {
+        for v in &[
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [1.0, 1.0, 0.0],
+            [1.0, 1.0, 1.0],
+        ] {
             let e = expectation(&est, v, &[tau, tau, tau]);
             assert!((e - or_of(v)).abs() < 1e-9, "bias on {v:?}: {e}");
         }

@@ -20,7 +20,10 @@ impl Dataset {
     /// Panics if no instances are supplied.
     #[must_use]
     pub fn new(name: impl Into<String>, instances: Vec<Instance>) -> Self {
-        assert!(!instances.is_empty(), "a dataset needs at least one instance");
+        assert!(
+            !instances.is_empty(),
+            "a dataset needs at least one instance"
+        );
         Self {
             name: name.into(),
             instances,
@@ -77,7 +80,10 @@ impl Dataset {
     /// Panics if `r` is zero or exceeds the number of instances.
     #[must_use]
     pub fn take_instances(&self, r: usize) -> Self {
-        assert!(r >= 1 && r <= self.instances.len(), "invalid instance count {r}");
+        assert!(
+            r >= 1 && r <= self.instances.len(),
+            "invalid instance count {r}"
+        );
         Self {
             name: format!("{}[..{}]", self.name, r),
             instances: self.instances[..r].to_vec(),
@@ -90,9 +96,30 @@ impl Dataset {
 /// Keys are numbered 1–6 exactly as in the paper.
 #[must_use]
 pub fn paper_example() -> Dataset {
-    let i1 = Instance::from_pairs([(1, 15.0), (2, 0.0), (3, 10.0), (4, 5.0), (5, 10.0), (6, 10.0)]);
-    let i2 = Instance::from_pairs([(1, 20.0), (2, 10.0), (3, 12.0), (4, 20.0), (5, 0.0), (6, 10.0)]);
-    let i3 = Instance::from_pairs([(1, 10.0), (2, 15.0), (3, 15.0), (4, 0.0), (5, 15.0), (6, 10.0)]);
+    let i1 = Instance::from_pairs([
+        (1, 15.0),
+        (2, 0.0),
+        (3, 10.0),
+        (4, 5.0),
+        (5, 10.0),
+        (6, 10.0),
+    ]);
+    let i2 = Instance::from_pairs([
+        (1, 20.0),
+        (2, 10.0),
+        (3, 12.0),
+        (4, 20.0),
+        (5, 0.0),
+        (6, 10.0),
+    ]);
+    let i3 = Instance::from_pairs([
+        (1, 10.0),
+        (2, 15.0),
+        (3, 15.0),
+        (4, 0.0),
+        (5, 15.0),
+        (6, 10.0),
+    ]);
     Dataset::new("figure5-example", vec![i1, i2, i3])
 }
 
@@ -108,14 +135,26 @@ mod tests {
         assert_eq!(ds.keys(), vec![1, 2, 3, 4, 5, 6]);
         // Figure 5 (A): max over instances {1,2} per key.
         let two = ds.take_instances(2);
-        let max12: Vec<f64> = two.keys().iter().map(|&k| maximum(&two.value_vector(k))).collect();
+        let max12: Vec<f64> = two
+            .keys()
+            .iter()
+            .map(|&k| maximum(&two.value_vector(k)))
+            .collect();
         assert_eq!(max12, vec![20.0, 10.0, 12.0, 20.0, 10.0, 10.0]);
         // min over instances {1,2}.  (The figure prints 0 for key 4, but the
         // data in the same figure gives min(5, 20) = 5; we follow the data.)
-        let min12: Vec<f64> = two.keys().iter().map(|&k| minimum(&two.value_vector(k))).collect();
+        let min12: Vec<f64> = two
+            .keys()
+            .iter()
+            .map(|&k| minimum(&two.value_vector(k)))
+            .collect();
         assert_eq!(min12, vec![15.0, 0.0, 10.0, 5.0, 0.0, 10.0]);
         // RG over the three instances.
-        let rg: Vec<f64> = ds.keys().iter().map(|&k| range(&ds.value_vector(k))).collect();
+        let rg: Vec<f64> = ds
+            .keys()
+            .iter()
+            .map(|&k| range(&ds.value_vector(k)))
+            .collect();
         assert_eq!(rg, vec![10.0, 15.0, 5.0, 20.0, 15.0, 0.0]);
     }
 

@@ -61,7 +61,7 @@ impl TrafficConfig {
     pub fn paper_scale() -> Self {
         Self {
             keys_per_hour: 24_500,
-            shared_fraction: 0.45, // union = (2 − 0.45)·24.5k ≈ 38k keys
+            shared_fraction: 0.45,        // union = (2 − 0.45)·24.5k ≈ 38k keys
             shared_volume_fraction: 0.72, // Σ max ≈ (0.72·1.1 + 0.28·2)·5.5e5 ≈ 7.45e5
             flows_per_hour: 5.5e5,
             zipf_exponent: 1.05,
@@ -99,8 +99,14 @@ pub fn generate_two_hours(config: &TrafficConfig) -> Dataset {
         (0.0..=1.0).contains(&config.shared_fraction),
         "shared_fraction must be in [0,1]"
     );
-    assert!(config.flows_per_hour > 0.0, "flows_per_hour must be positive");
-    assert!((0.0..1.0).contains(&config.jitter), "jitter must be in [0,1)");
+    assert!(
+        config.flows_per_hour > 0.0,
+        "flows_per_hour must be positive"
+    );
+    assert!(
+        (0.0..1.0).contains(&config.jitter),
+        "jitter must be in [0,1)"
+    );
     assert!(
         (0.0..=1.0).contains(&config.shared_volume_fraction),
         "shared_volume_fraction must be in [0,1]"
@@ -213,7 +219,10 @@ mod tests {
             let (a, b) = (h1.value(k), h2.value(k));
             if a > 0.0 && b > 0.0 {
                 let ratio = b / a;
-                assert!(ratio > 0.3 && ratio < 2.0, "ratio {ratio} out of band for key {k}");
+                assert!(
+                    ratio > 0.3 && ratio < 2.0,
+                    "ratio {ratio} out of band for key {k}"
+                );
                 checked += 1;
             }
         }

@@ -22,7 +22,10 @@ impl Zipf {
     #[must_use]
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n >= 1, "Zipf needs at least one rank");
-        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and nonnegative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and nonnegative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 1..=n {
@@ -117,7 +120,10 @@ mod tests {
                 count_tail += 1;
             }
         }
-        assert!(count_rank1 > count_tail, "rank 1 should dominate the tail half");
+        assert!(
+            count_rank1 > count_tail,
+            "rank 1 should dominate the tail half"
+        );
         let expected_rank1 = z.probability(1) * trials as f64;
         assert!((count_rank1 as f64 - expected_rank1).abs() < 0.1 * expected_rank1);
     }

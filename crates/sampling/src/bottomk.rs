@@ -234,9 +234,15 @@ mod tests {
         for (key, value) in inst.iter() {
             let rank = sampler.rank_of(key, value, &seeds, 0);
             if s.contains(key) {
-                assert!(rank <= s.threshold, "sampled key {key} has rank above threshold");
+                assert!(
+                    rank <= s.threshold,
+                    "sampled key {key} has rank above threshold"
+                );
             } else {
-                assert!(rank >= s.threshold, "missed key {key} has rank below threshold");
+                assert!(
+                    rank >= s.threshold,
+                    "missed key {key} has rank below threshold"
+                );
             }
         }
     }
@@ -264,7 +270,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits as f64 > 0.95 * reps as f64, "heavy key sampled only {hits}/{reps}");
+        assert!(
+            hits as f64 > 0.95 * reps as f64,
+            "heavy key sampled only {hits}/{reps}"
+        );
     }
 
     #[test]

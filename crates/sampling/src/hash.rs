@@ -94,7 +94,10 @@ impl Hasher64 {
     #[inline]
     #[must_use]
     pub fn hash_pair(&self, key: u64, stream: u64) -> u64 {
-        combine(self.hash_u64(key), mix64(stream.wrapping_add(0xA076_1D64_78BD_642F)))
+        combine(
+            self.hash_u64(key),
+            mix64(stream.wrapping_add(0xA076_1D64_78BD_642F)),
+        )
     }
 
     /// Returns a uniform variate in `[0, 1)` for a key.

@@ -13,7 +13,9 @@
 //! * the per-instance sample representation ([`sample`]) with
 //!   rank-conditioned inclusion probabilities;
 //! * multi-instance drivers and per-key outcomes ([`multi`], [`outcome`]) —
-//!   the inputs consumed by the estimators in the `pie-core` crate.
+//!   the inputs consumed by the estimators in the `pie-core` crate;
+//! * the borrowed, allocation-free outcome accessors ([`view`]) read by the
+//!   batched estimation hot path.
 //!
 //! The guiding constraint (Section 2 of the paper) is that the processing of
 //! one instance never depends on the values of another: all coordination
@@ -33,6 +35,7 @@ pub mod rank;
 pub mod sample;
 pub mod seed;
 pub mod varopt;
+pub mod view;
 
 pub use bottomk::{BottomKBuilder, BottomKSampler, PrioritySampler, WsWithoutReplacementSampler};
 pub use hash::Hasher64;
@@ -46,3 +49,4 @@ pub use rank::{ExpRanks, PpsRanks, RankFamily};
 pub use sample::{InstanceSample, RankKind, SampleScheme};
 pub use seed::{Coordination, SeedAssignment, SeedVisibility};
 pub use varopt::VarOptSampler;
+pub use view::OutcomeView;

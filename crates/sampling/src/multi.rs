@@ -152,7 +152,10 @@ mod tests {
         assert_eq!(outcomes.len(), keys.len());
         for (key, o) in &outcomes {
             assert_eq!(o.num_instances(), 2);
-            assert!(o.num_sampled() >= 1, "key {key} should be sampled somewhere");
+            assert!(
+                o.num_sampled() >= 1,
+                "key {key} should be sampled somewhere"
+            );
         }
     }
 
@@ -166,7 +169,7 @@ mod tests {
         assert_eq!(outcomes.len(), 4);
         for (_, o) in &outcomes {
             assert_eq!(o.num_instances(), 2);
-            assert_eq!(o.probabilities(), vec![0.8, 0.8]);
+            assert_eq!(o.probabilities_iter().collect::<Vec<_>>(), vec![0.8, 0.8]);
         }
     }
 

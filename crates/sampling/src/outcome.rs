@@ -16,10 +16,17 @@
 //!   `i` is sampled iff `v_i ≥ u_i·τ*_i`.  A sampled entry reveals its value;
 //!   an unsampled entry reveals the upper bound `v_i < u_i·τ*_i` when the seed
 //!   `u_i` is known, and nothing when it is unknown.
+//!
+//! Both types implement the borrowed, allocation-free
+//! [`OutcomeView`](crate::view::OutcomeView) accessors — the interface the
+//! batched estimation hot path reads outcomes through.  The historical
+//! `Vec`-returning accessors (`sampled_indices`, `probabilities`) remain as
+//! deprecated shims.
 
 use crate::instance::Key;
 use crate::sample::{InstanceSample, RankKind, SampleScheme};
 use crate::seed::SeedAssignment;
+use crate::view::OutcomeView;
 
 /// One entry of a weight-oblivious outcome.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,7 +75,9 @@ impl ObliviousOutcome {
                     p,
                     value: s.value(key),
                 },
-                other => panic!("ObliviousOutcome requires weight-oblivious samples, got {other:?}"),
+                other => {
+                    panic!("ObliviousOutcome requires weight-oblivious samples, got {other:?}")
+                }
             })
             .collect();
         Self::new(entries)
@@ -80,14 +89,21 @@ impl ObliviousOutcome {
         self.entries.len()
     }
 
-    /// Indices of sampled entries.
+    /// The per-instance entries as a borrowed slice (the allocation-free way
+    /// to walk probabilities and values together).
     #[must_use]
+    pub fn entries(&self) -> &[ObliviousEntry] {
+        &self.entries
+    }
+
+    /// Indices of sampled entries, as a freshly allocated `Vec`.
+    #[must_use]
+    #[deprecated(
+        since = "0.2.0",
+        note = "allocates per call; use `OutcomeView::sampled_indices_iter` instead"
+    )]
     pub fn sampled_indices(&self) -> Vec<usize> {
-        self.entries
-            .iter()
-            .enumerate()
-            .filter_map(|(i, e)| e.value.map(|_| i))
-            .collect()
+        self.sampled_indices_iter().collect()
     }
 
     /// Number of sampled entries `|S|`.
@@ -111,16 +127,63 @@ impl ObliviousOutcome {
             .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
-    /// The inclusion probabilities `p_1, …, p_r`.
+    /// Iterates over the inclusion probabilities `p_1, …, p_r` without
+    /// allocating.
+    pub fn probabilities_iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.entries.iter().map(|e| e.p)
+    }
+
+    /// The inclusion probabilities `p_1, …, p_r`, as a freshly allocated `Vec`.
     #[must_use]
+    #[deprecated(
+        since = "0.2.0",
+        note = "allocates per call; use `probabilities_iter` or the `entries` slice instead"
+    )]
     pub fn probabilities(&self) -> Vec<f64> {
-        self.entries.iter().map(|e| e.p).collect()
+        self.probabilities_iter().collect()
     }
 
     /// The product `∏_i p_i` (probability that all entries are sampled).
     #[must_use]
     pub fn all_sampled_probability(&self) -> f64 {
         self.entries.iter().map(|e| e.p).product()
+    }
+}
+
+impl OutcomeView for ObliviousOutcome {
+    fn num_instances(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn value_at(&self, index: usize) -> Option<f64> {
+        self.entries[index].value
+    }
+
+    fn num_sampled(&self) -> usize {
+        ObliviousOutcome::num_sampled(self)
+    }
+
+    fn all_sampled(&self) -> bool {
+        ObliviousOutcome::all_sampled(self)
+    }
+
+    fn max_sampled(&self) -> Option<f64> {
+        ObliviousOutcome::max_sampled(self)
+    }
+
+    fn values(&self) -> impl Iterator<Item = Option<f64>> + '_ {
+        self.entries.iter().map(|e| e.value)
+    }
+
+    fn sampled_values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.entries.iter().filter_map(|e| e.value)
+    }
+
+    fn sampled_indices_iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.value.map(|_| i))
     }
 }
 
@@ -233,14 +296,21 @@ impl WeightedOutcome {
         self.entries.len()
     }
 
-    /// Indices of sampled entries.
+    /// The per-instance entries as a borrowed slice (the allocation-free way
+    /// to walk thresholds, seeds, and values together).
     #[must_use]
+    pub fn entries(&self) -> &[WeightedEntry] {
+        &self.entries
+    }
+
+    /// Indices of sampled entries, as a freshly allocated `Vec`.
+    #[must_use]
+    #[deprecated(
+        since = "0.2.0",
+        note = "allocates per call; use `OutcomeView::sampled_indices_iter` instead"
+    )]
     pub fn sampled_indices(&self) -> Vec<usize> {
-        self.entries
-            .iter()
-            .enumerate()
-            .filter_map(|(i, e)| e.value.map(|_| i))
-            .collect()
+        self.sampled_indices_iter().collect()
     }
 
     /// Number of sampled entries `|S|`.
@@ -285,6 +355,43 @@ impl WeightedOutcome {
     }
 }
 
+impl OutcomeView for WeightedOutcome {
+    fn num_instances(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn value_at(&self, index: usize) -> Option<f64> {
+        self.entries[index].value
+    }
+
+    fn num_sampled(&self) -> usize {
+        WeightedOutcome::num_sampled(self)
+    }
+
+    fn all_sampled(&self) -> bool {
+        self.entries.iter().all(|e| e.value.is_some())
+    }
+
+    fn max_sampled(&self) -> Option<f64> {
+        WeightedOutcome::max_sampled(self)
+    }
+
+    fn values(&self) -> impl Iterator<Item = Option<f64>> + '_ {
+        self.entries.iter().map(|e| e.value)
+    }
+
+    fn sampled_values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.entries.iter().filter_map(|e| e.value)
+    }
+
+    fn sampled_indices_iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.value.map(|_| i))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,7 +405,10 @@ mod tests {
                 p: 0.5,
                 value: Some(3.0),
             },
-            ObliviousEntry { p: 0.4, value: None },
+            ObliviousEntry {
+                p: 0.4,
+                value: None,
+            },
             ObliviousEntry {
                 p: 1.0,
                 value: Some(7.0),
@@ -306,11 +416,89 @@ mod tests {
         ]);
         assert_eq!(o.num_instances(), 3);
         assert_eq!(o.num_sampled(), 2);
-        assert_eq!(o.sampled_indices(), vec![0, 2]);
+        assert_eq!(o.sampled_indices_iter().collect::<Vec<_>>(), vec![0, 2]);
         assert!(!o.all_sampled());
         assert_eq!(o.max_sampled(), Some(7.0));
         assert!((o.all_sampled_probability() - 0.2).abs() < 1e-12);
-        assert_eq!(o.probabilities(), vec![0.5, 0.4, 1.0]);
+        assert_eq!(
+            o.probabilities_iter().collect::<Vec<_>>(),
+            vec![0.5, 0.4, 1.0]
+        );
+        assert_eq!(o.entries().len(), 3);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_vec_shims_match_iterator_accessors() {
+        let o = ObliviousOutcome::new(vec![
+            ObliviousEntry {
+                p: 0.3,
+                value: None,
+            },
+            ObliviousEntry {
+                p: 0.9,
+                value: Some(2.0),
+            },
+        ]);
+        assert_eq!(
+            o.sampled_indices(),
+            o.sampled_indices_iter().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            o.probabilities(),
+            o.probabilities_iter().collect::<Vec<_>>()
+        );
+        let w = WeightedOutcome::new(vec![
+            WeightedEntry {
+                tau_star: 5.0,
+                seed: Some(0.5),
+                value: Some(1.0),
+            },
+            WeightedEntry {
+                tau_star: 5.0,
+                seed: Some(0.5),
+                value: None,
+            },
+        ]);
+        assert_eq!(
+            w.sampled_indices(),
+            w.sampled_indices_iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn outcome_view_is_uniform_across_regimes() {
+        let o = ObliviousOutcome::new(vec![
+            ObliviousEntry {
+                p: 0.5,
+                value: Some(4.0),
+            },
+            ObliviousEntry {
+                p: 0.5,
+                value: None,
+            },
+        ]);
+        let w = WeightedOutcome::new(vec![
+            WeightedEntry {
+                tau_star: 8.0,
+                seed: Some(0.25),
+                value: Some(4.0),
+            },
+            WeightedEntry {
+                tau_star: 8.0,
+                seed: Some(0.25),
+                value: None,
+            },
+        ]);
+        fn summarize<V: OutcomeView>(v: &V) -> (usize, usize, Option<f64>, Vec<Option<f64>>) {
+            (
+                v.num_instances(),
+                v.num_sampled(),
+                v.max_sampled(),
+                v.values().collect(),
+            )
+        }
+        assert_eq!(summarize(&o), summarize(&w));
     }
 
     #[test]
@@ -456,6 +644,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "in (0,1]")]
     fn oblivious_outcome_rejects_zero_probability() {
-        let _ = ObliviousOutcome::new(vec![ObliviousEntry { p: 0.0, value: None }]);
+        let _ = ObliviousOutcome::new(vec![ObliviousEntry {
+            p: 0.0,
+            value: None,
+        }]);
     }
 }

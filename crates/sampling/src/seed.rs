@@ -194,7 +194,9 @@ mod tests {
     fn different_salts_give_different_assignments() {
         let a = SeedAssignment::independent_known(1);
         let b = SeedAssignment::independent_known(2);
-        let same = (0..100u64).filter(|&k| a.seed(k, 0) == b.seed(k, 0)).count();
+        let same = (0..100u64)
+            .filter(|&k| a.seed(k, 0) == b.seed(k, 0))
+            .count();
         assert_eq!(same, 0);
     }
 

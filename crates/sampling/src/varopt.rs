@@ -299,7 +299,11 @@ mod tests {
     #[test]
     fn subset_sum_estimates_of_selection_are_unbiased() {
         let inst = Instance::from_pairs((0..300u64).map(|k| (k, 0.5 + (k % 13) as f64)));
-        let truth: f64 = inst.iter().filter(|(k, _)| k % 3 == 0).map(|(_, v)| v).sum();
+        let truth: f64 = inst
+            .iter()
+            .filter(|(k, _)| k % 3 == 0)
+            .map(|(_, v)| v)
+            .sum();
         let reps = 800;
         let mut sum = 0.0;
         for seed in 0..reps {

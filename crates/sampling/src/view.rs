@@ -1,0 +1,119 @@
+//! [`OutcomeView`]: the borrowed, allocation-free view of a per-key outcome.
+//!
+//! The paper's estimators are applied per key over millions of keys, so the
+//! accessor layer must not allocate.  `OutcomeView` unifies
+//! [`ObliviousOutcome`](crate::ObliviousOutcome) and
+//! [`WeightedOutcome`](crate::WeightedOutcome) behind one iterator/slice-based
+//! interface: everything an estimator needs to know about *which* entries were
+//! sampled and *what* they revealed is available by borrowing, without
+//! materializing intermediate `Vec`s.  (The historical `Vec`-returning
+//! accessors survive on the concrete types as deprecated shims.)
+//!
+//! Regime-specific information — inclusion probabilities for weight-oblivious
+//! outcomes, thresholds and seeds for weighted ones — stays on the concrete
+//! types; estimators that need it are regime-specific anyway.
+
+/// A borrowed view of one key's multi-instance outcome.
+///
+/// Required methods are the positional core (`num_instances`, `value_at`);
+/// every derived accessor has an allocation-free default built on top of
+/// them, which implementors may override with direct slice iteration.
+///
+/// This trait is deliberately *not* object-safe (its iterator accessors are
+/// `impl Trait` methods); the object-safe abstraction for dynamic dispatch is
+/// [`Estimator`](../pie_core/trait.Estimator.html), not the outcome view.
+pub trait OutcomeView {
+    /// Number of instances `r` (entries of the value vector).
+    fn num_instances(&self) -> usize;
+
+    /// The exact value of entry `index` if it was sampled, `None` otherwise.
+    ///
+    /// # Panics
+    /// May panic if `index ≥ num_instances()`.
+    fn value_at(&self, index: usize) -> Option<f64>;
+
+    /// Whether the outcome spans zero instances.
+    fn is_empty(&self) -> bool {
+        self.num_instances() == 0
+    }
+
+    /// Number of sampled entries `|S|`.
+    fn num_sampled(&self) -> usize {
+        (0..self.num_instances())
+            .filter(|&i| self.value_at(i).is_some())
+            .count()
+    }
+
+    /// Whether every entry was sampled (`S = [r]`).
+    fn all_sampled(&self) -> bool {
+        (0..self.num_instances()).all(|i| self.value_at(i).is_some())
+    }
+
+    /// Maximum value among sampled entries, or `None` if nothing was sampled.
+    fn max_sampled(&self) -> Option<f64> {
+        self.sampled_values()
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Iterates over the per-entry values in instance order: `Some(v)` for
+    /// sampled entries, `None` for unsampled ones.
+    fn values(&self) -> impl Iterator<Item = Option<f64>> + '_ {
+        (0..self.num_instances()).map(|i| self.value_at(i))
+    }
+
+    /// Iterates over the values of sampled entries in instance order.
+    fn sampled_values(&self) -> impl Iterator<Item = f64> + '_ {
+        (0..self.num_instances()).filter_map(|i| self.value_at(i))
+    }
+
+    /// Iterates over the indices of sampled entries, ascending.
+    ///
+    /// The borrowing replacement for the deprecated `sampled_indices()`
+    /// `Vec` accessors.
+    fn sampled_indices_iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.num_instances()).filter(|&i| self.value_at(i).is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic view backed by a plain slice, exercising the defaults.
+    struct SliceView<'a>(&'a [Option<f64>]);
+
+    impl OutcomeView for SliceView<'_> {
+        fn num_instances(&self) -> usize {
+            self.0.len()
+        }
+        fn value_at(&self, index: usize) -> Option<f64> {
+            self.0[index]
+        }
+    }
+
+    #[test]
+    fn default_accessors_derive_from_value_at() {
+        let v = SliceView(&[Some(3.0), None, Some(7.0), None]);
+        assert_eq!(v.num_instances(), 4);
+        assert!(!v.is_empty());
+        assert_eq!(v.num_sampled(), 2);
+        assert!(!v.all_sampled());
+        assert_eq!(v.max_sampled(), Some(7.0));
+        assert_eq!(v.sampled_values().collect::<Vec<_>>(), vec![3.0, 7.0]);
+        assert_eq!(v.sampled_indices_iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(
+            v.values().collect::<Vec<_>>(),
+            vec![Some(3.0), None, Some(7.0), None]
+        );
+    }
+
+    #[test]
+    fn empty_view_edge_cases() {
+        let v = SliceView(&[]);
+        assert!(v.is_empty());
+        assert_eq!(v.num_sampled(), 0);
+        assert!(v.all_sampled(), "vacuously true on zero instances");
+        assert_eq!(v.max_sampled(), None);
+        assert_eq!(v.sampled_values().count(), 0);
+    }
+}

@@ -17,8 +17,8 @@
 //! ```
 
 use partial_info_estimators::core::derive::{
-    dense_first_order, derive_order_based, sparse_first_order, FiniteModel,
-    ObliviousPoissonModel, WeightedUnknownSeedsBinaryModel,
+    dense_first_order, derive_order_based, sparse_first_order, FiniteModel, ObliviousPoissonModel,
+    WeightedUnknownSeedsBinaryModel,
 };
 use partial_info_estimators::core::functions::{boolean_and, boolean_or};
 use partial_info_estimators::core::negative::or_unknown_seeds_forced_estimator;
@@ -39,8 +39,8 @@ fn main() {
     println!("== 1. OR over weight-oblivious binary samples (p = {p1}, {p2}) ==\n");
     let model = ObliviousPoissonModel::binary(vec![p1, p2]);
     let order = dense_first_order(&model.data_vectors());
-    let or_l = derive_order_based(&model, boolean_or, &order, 1e-12)
-        .expect_success("OR^(L) derivation");
+    let or_l =
+        derive_order_based(&model, boolean_or, &order, 1e-12).expect_success("OR^(L) derivation");
     println!("outcome  estimate   ('·' = entry not sampled)");
     let mut keys: Vec<_> = or_l.estimates().keys().cloned().collect();
     keys.sort();
@@ -54,8 +54,8 @@ fn main() {
     );
 
     println!("== 2. The same machinery derives an estimator for Boolean AND ==\n");
-    let and_hat = derive_order_based(&model, boolean_and, &order, 1e-12)
-        .expect_success("AND derivation");
+    let and_hat =
+        derive_order_based(&model, boolean_and, &order, 1e-12).expect_success("AND derivation");
     let mut keys: Vec<_> = and_hat.estimates().keys().cloned().collect();
     keys.sort();
     for key in keys {
@@ -84,5 +84,7 @@ fn main() {
         forced.most_negative()
     );
     println!("\nTheorem 6.1: with unknown seeds no unbiased *nonnegative* estimator exists;");
-    println!("reproducible (hash-generated) seeds are what make the Section 5 estimators possible.");
+    println!(
+        "reproducible (hash-generated) seeds are what make the Section 5 estimators possible."
+    );
 }

@@ -34,13 +34,23 @@ fn main() {
     let sampler = PpsPoissonSampler::new(1.0 / p);
     let s1 = sampler.sample(&data.instances()[0], &seeds, 0);
     let s2 = sampler.sample(&data.instances()[1], &seeds, 1);
-    println!("sample sizes                 : {} and {}", s1.len(), s2.len());
+    println!(
+        "sample sizes                 : {} and {}",
+        s1.len(),
+        s2.len()
+    );
 
     // Estimate from the samples alone.
     let ht = distinct_count_ht(&s1, &s2, &seeds, |_| true);
     let l = distinct_count_l(&s1, &s2, &seeds, |_| true);
-    println!("\nHT estimate                  : {ht:>12.1}  (error {:+.2}%)", 100.0 * (ht - truth) / truth);
-    println!("L  estimate                  : {l:>12.1}  (error {:+.2}%)", 100.0 * (l - truth) / truth);
+    println!(
+        "\nHT estimate                  : {ht:>12.1}  (error {:+.2}%)",
+        100.0 * (ht - truth) / truth
+    );
+    println!(
+        "L  estimate                  : {l:>12.1}  (error {:+.2}%)",
+        100.0 * (l - truth) / truth
+    );
 
     // Analytic standard deviations (Section 8.1).
     let sd_ht = distinct_ht_variance(truth, p, p).sqrt();
@@ -53,11 +63,7 @@ fn main() {
     );
 
     // A selection predicate: distinct count restricted to \"even\" URLs.
-    let even_truth: f64 = data
-        .keys()
-        .iter()
-        .filter(|&&k| k % 2 == 0)
-        .count() as f64;
+    let even_truth: f64 = data.keys().iter().filter(|&&k| k % 2 == 0).count() as f64;
     let even_l = distinct_count_l(&s1, &s2, &seeds, |k| k % 2 == 0);
     println!("\nselected subset (even keys)  : true {even_truth}, L estimate {even_l:.1}");
 }

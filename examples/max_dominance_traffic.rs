@@ -7,17 +7,23 @@
 //! two hours — is then estimated from the two samples, comparing the HT and
 //! the Pareto-optimal L estimators.
 //!
+//! The repeated-sampling experiment runs through the [`Pipeline`] builder:
+//! sampling, pooled outcome assembly, batched estimation
+//! (`Estimator::estimate_batch`), and aggregation are wired by the library,
+//! not hand-rolled here.
+//!
 //! Run with:
 //! ```text
 //! cargo run --release --example max_dominance_traffic
 //! ```
 
-use partial_info_estimators::analysis::RunningStats;
 use partial_info_estimators::core::aggregate::{
     max_dominance_ht, max_dominance_l, true_max_dominance,
 };
+use partial_info_estimators::core::suite::max_weighted_suite;
 use partial_info_estimators::datagen::{generate_two_hours, TrafficConfig};
 use partial_info_estimators::sampling::{sample_all_pps, SeedAssignment};
+use partial_info_estimators::{Pipeline, Scheme, Statistic};
 
 fn main() {
     let mut config = TrafficConfig::paper_scale();
@@ -33,37 +39,39 @@ fn main() {
 
     // About 4% of keys sampled per hour.
     let tau_star = 60.0;
-    println!("{:>10}  {:>14}  {:>14}  {:>10}", "sample", "HT estimate", "L estimate", "truth");
-    let (mut ht_stats, mut l_stats) = (RunningStats::new(), RunningStats::new());
-    for rep in 0..30u64 {
+
+    // A few illustrative samplings through the low-level API first.
+    println!(
+        "{:>10}  {:>14}  {:>14}  {:>10}",
+        "sample", "HT estimate", "L estimate", "truth"
+    );
+    for rep in 0..5u64 {
         let seeds = SeedAssignment::independent_known(rep);
         let samples = sample_all_pps(data.instances(), tau_star, &seeds);
         let ht = max_dominance_ht(&samples, &seeds, |_| true);
         let l = max_dominance_l(&samples, &seeds, |_| true);
-        ht_stats.push(ht);
-        l_stats.push(l);
-        if rep < 5 {
-            let size = samples[0].len() + samples[1].len();
-            println!("{size:>10}  {ht:>14.0}  {l:>14.0}  {truth:>10.0}");
-        }
+        let size = samples[0].len() + samples[1].len();
+        println!("{size:>10}  {ht:>14.0}  {l:>14.0}  {truth:>10.0}");
     }
 
-    println!("\nover {} independent samplings:", ht_stats.count());
-    println!(
-        "  HT: mean {:.0} (bias {:+.2}%), cv {:.3}",
-        ht_stats.mean(),
-        100.0 * (ht_stats.mean() - truth) / truth,
-        ht_stats.std_dev() / truth
-    );
-    println!(
-        "  L : mean {:.0} (bias {:+.2}%), cv {:.3}",
-        l_stats.mean(),
-        100.0 * (l_stats.mean() - truth) / truth,
-        l_stats.std_dev() / truth
-    );
+    // The full repeated-sampling comparison, end to end through the Pipeline.
+    let report = Pipeline::new()
+        .dataset(data)
+        .scheme(Scheme::pps(tau_star))
+        .estimators(max_weighted_suite())
+        .statistic(Statistic::max_dominance())
+        .trials(30)
+        .base_salt(0)
+        .run()
+        .expect("pipeline is fully configured");
+
+    println!("\nover {} independent samplings:", report.trials);
+    println!("{}", report.render());
+    let ht = report.get("max_ht_pps").expect("HT in suite");
+    let l = report.get("max_l_pps_2").expect("L in suite");
     println!(
         "  variance ratio VAR[HT]/VAR[L] ≈ {:.2}",
-        ht_stats.variance() / l_stats.variance()
+        ht.variance / l.variance
     );
     println!("\n(The paper reports ratios between 2.45 and 2.7 on its traffic data.)");
 }

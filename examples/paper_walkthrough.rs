@@ -10,9 +10,7 @@
 use partial_info_estimators::analysis::Table;
 use partial_info_estimators::core::functions::{maximum, minimum, range};
 use partial_info_estimators::datagen::paper_example;
-use partial_info_estimators::sampling::{
-    BottomKSampler, PpsRanks, RankFamily, SeedAssignment,
-};
+use partial_info_estimators::sampling::{BottomKSampler, PpsRanks, RankFamily, SeedAssignment};
 
 fn main() {
     let data = paper_example();
@@ -33,7 +31,9 @@ fn main() {
     for (name, values) in [
         (
             "max(v1,v2)",
-            (1..=6u64).map(|k| maximum(&two.value_vector(k))).collect::<Vec<_>>(),
+            (1..=6u64)
+                .map(|k| maximum(&two.value_vector(k)))
+                .collect::<Vec<_>>(),
         ),
         (
             "max(v1,v2,v3)",
@@ -74,7 +74,10 @@ fn main() {
         ("independent seeds", SeedAssignment::independent_known(42)),
     ] {
         println!("-- {label} --");
-        let mut ranks = Table::new("PPS ranks", &["instance\\key", "1", "2", "3", "4", "5", "6"]);
+        let mut ranks = Table::new(
+            "PPS ranks",
+            &["instance\\key", "1", "2", "3", "4", "5", "6"],
+        );
         for (i, inst) in data.instances().iter().enumerate() {
             let mut row = vec![format!("r{}", i + 1)];
             for key in 1..=6u64 {
@@ -92,7 +95,11 @@ fn main() {
 
         for (i, inst) in data.instances().iter().enumerate() {
             let sample = BottomKSampler::new(PpsRanks, 3).sample(inst, &seeds, i as u64);
-            println!("  bottom-3 sample of instance {}: keys {:?}", i + 1, sample.sorted_keys());
+            println!(
+                "  bottom-3 sample of instance {}: keys {:?}",
+                i + 1,
+                sample.sorted_keys()
+            );
         }
         println!();
     }

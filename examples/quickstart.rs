@@ -1,17 +1,20 @@
-//! Quickstart: estimate `max(v₁, v₂)` for a single key from two independently
-//! sampled instances, and see why partial information matters.
+//! Quickstart: estimate `max(v₁, v₂)` from two independently sampled
+//! instances — first for a single outcome, then for whole estimator families
+//! over batches, then end to end through the [`Pipeline`] builder.
 //!
 //! Run with:
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use partial_info_estimators::analysis::{evaluate_oblivious, evaluate_pps_known_seeds};
+use partial_info_estimators::analysis::{evaluate_oblivious_family, evaluate_pps_family};
 use partial_info_estimators::core::functions::maximum;
 use partial_info_estimators::core::oblivious::{MaxHtOblivious, MaxL2, MaxU2};
-use partial_info_estimators::core::weighted::{MaxHtPps, MaxLPps2};
+use partial_info_estimators::core::suite::{max_oblivious_suite, max_weighted_suite};
 use partial_info_estimators::core::Estimator;
-use partial_info_estimators::sampling::{ObliviousEntry, ObliviousOutcome};
+use partial_info_estimators::datagen::paper_example;
+use partial_info_estimators::sampling::{ObliviousEntry, ObliviousOutcome, OutcomeView};
+use partial_info_estimators::{Pipeline, Scheme, Statistic};
 
 fn main() {
     println!("== Partial information in a single outcome ==\n");
@@ -20,49 +23,74 @@ fn main() {
     // Each instance was sampled (weight-obliviously) with probability 1/2, and
     // only instance 1 sampled the key.
     let outcome = ObliviousOutcome::new(vec![
-        ObliviousEntry { p: 0.5, value: Some(8.0) },
-        ObliviousEntry { p: 0.5, value: None },
+        ObliviousEntry {
+            p: 0.5,
+            value: Some(8.0),
+        },
+        ObliviousEntry {
+            p: 0.5,
+            value: None,
+        },
     ]);
+    // The allocation-free OutcomeView accessors describe what sampling revealed:
+    println!(
+        "outcome: instances {:?} of {} sampled, max sampled value {:?}",
+        outcome.sampled_indices_iter().collect::<Vec<_>>(),
+        outcome.num_instances(),
+        outcome.max_sampled(),
+    );
 
     let ht = MaxHtOblivious;
     let l = MaxL2::new(0.5, 0.5);
     let u = MaxU2::new(0.5, 0.5);
-    println!("outcome: instance 1 sampled value 8.0, instance 2 not sampled");
-    println!("  max^(HT) estimate : {:>7.3}   (ignores the partial information)", ht.estimate(&outcome));
-    println!("  max^(L)  estimate : {:>7.3}   (credits the lower bound of 8.0)", l.estimate(&outcome));
+    println!(
+        "  max^(HT) estimate : {:>7.3}   (ignores the partial information)",
+        ht.estimate(&outcome)
+    );
+    println!(
+        "  max^(L)  estimate : {:>7.3}   (credits the lower bound of 8.0)",
+        l.estimate(&outcome)
+    );
     println!("  max^(U)  estimate : {:>7.3}", u.estimate(&outcome));
 
-    println!("\n== Variance over the whole sampling distribution ==\n");
+    println!("\n== The whole estimator family over shared outcome batches ==\n");
+    // evaluate_*_family simulates each outcome batch once and runs every
+    // registered estimator over it through Estimator::estimate_batch.
     let v = [8.0, 6.0];
     let p = [0.5, 0.5];
-    for (name, eval) in [
-        ("max^(HT)", evaluate_oblivious(&ht, maximum, &v, &p, 200_000, 1)),
-        ("max^(L) ", evaluate_oblivious(&l, maximum, &v, &p, 200_000, 2)),
-        ("max^(U) ", evaluate_oblivious(&u, maximum, &v, &p, 200_000, 3)),
-    ] {
+    for (name, eval) in
+        evaluate_oblivious_family(&max_oblivious_suite(0.5, 0.5), maximum, &v, &p, 200_000, 1)
+    {
         println!(
-            "  {name}: mean = {:>7.3} (truth {:.1}), variance = {:>8.3}",
+            "  {name:<18}: mean = {:>7.3} (truth {:.1}), variance = {:>8.3}",
             eval.mean, eval.truth, eval.variance
         );
     }
 
     println!("\n== Weighted (PPS) sampling with known seeds ==\n");
-    let v = [8.0, 6.0];
     let tau = [20.0, 20.0];
-    for (name, eval) in [
-        (
-            "max^(HT)",
-            evaluate_pps_known_seeds(&MaxHtPps, maximum, &v, &tau, 200_000, 4),
-        ),
-        (
-            "max^(L) ",
-            evaluate_pps_known_seeds(&MaxLPps2, maximum, &v, &tau, 200_000, 5),
-        ),
-    ] {
+    for (name, eval) in evaluate_pps_family(&max_weighted_suite(), maximum, &v, &tau, 200_000, 4) {
         println!(
-            "  {name}: mean = {:>7.3} (truth {:.1}), variance = {:>8.3}",
+            "  {name:<18}: mean = {:>7.3} (truth {:.1}), variance = {:>8.3}",
             eval.mean, eval.truth, eval.variance
         );
     }
-    println!("\nBoth pairs are unbiased; the L estimators have visibly lower variance.");
+
+    println!("\n== End to end: the Pipeline builder ==\n");
+    // datagen → sampling → pooled outcome assembly → batched estimation →
+    // sum aggregation, with no per-outcome allocation in the hot loop.
+    let report = Pipeline::new()
+        .dataset(paper_example().take_instances(2))
+        .scheme(Scheme::oblivious(0.5))
+        .estimators(max_oblivious_suite(0.5, 0.5))
+        .statistic(Statistic::max_dominance())
+        .trials(5000)
+        .run()
+        .expect("pipeline is fully configured");
+    println!("{}", report.render());
+    println!(
+        "Lowest-variance estimator: {}",
+        report.best_by_variance().unwrap_or("n/a")
+    );
+    println!("\nAll estimators are unbiased; the L estimators have visibly lower variance.");
 }

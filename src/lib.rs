@@ -19,13 +19,49 @@
 //! * [`analysis`] (`pie-analysis`) — Monte-Carlo and quadrature evaluation,
 //!   statistics, and report formatting.
 //!
+//! # Batch-first estimation
+//!
+//! The API is shaped around the production regime — millions of keys per
+//! query — rather than one outcome at a time:
+//!
+//! * outcomes are read through the borrowed, allocation-free
+//!   [`sampling::OutcomeView`] accessors;
+//! * estimators run over slices of outcomes via the object-safe
+//!   [`core::Estimator::estimate_batch`] hot path and are enumerated
+//!   dynamically through [`core::EstimatorRegistry`] (prebuilt line-ups in
+//!   [`core::suite`]);
+//! * the top-level [`Pipeline`] builder wires dataset → sampling → outcome
+//!   assembly → batched estimation → sum aggregation end to end:
+//!
+//! ```
+//! use partial_info_estimators::{Pipeline, Scheme, Statistic};
+//! use partial_info_estimators::core::suite::max_oblivious_suite;
+//! use partial_info_estimators::datagen::paper_example;
+//!
+//! let report = Pipeline::new()
+//!     .dataset(paper_example().take_instances(2))
+//!     .scheme(Scheme::oblivious(0.5))
+//!     .estimators(max_oblivious_suite(0.5, 0.5))
+//!     .statistic(Statistic::max_dominance())
+//!     .trials(500)
+//!     .run()
+//!     .unwrap();
+//! println!("{}", report.render());
+//! ```
+//!
 //! See the `examples/` directory for runnable end-to-end scenarios and the
 //! `pie-bench` crate for the benchmarks and figure-regeneration harnesses.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pipeline;
+
 pub use pie_analysis as analysis;
 pub use pie_core as core;
 pub use pie_datagen as datagen;
 pub use pie_sampling as sampling;
+
+pub use pipeline::{
+    EstimatorReport, EstimatorSet, Pipeline, PipelineError, PipelineReport, Scheme, Statistic,
+};

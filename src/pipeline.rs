@@ -1,0 +1,769 @@
+//! The end-to-end estimation pipeline: dataset → sampling → outcome
+//! assembly → batched estimation → sum aggregation.
+//!
+//! [`Pipeline`] is the one-stop builder that replaces the hand-rolled loops
+//! previously copied across examples, benches, and figure harnesses.  It
+//! wires the workspace crates together:
+//!
+//! 1. a [`Dataset`] (from `pie-datagen` or your own instances),
+//! 2. a sampling [`Scheme`] applied independently per instance
+//!    (`pie-sampling`),
+//! 3. per-key outcome assembly into reusable buffers — entry vectors are
+//!    rewritten in place, so the per-key hot loop performs **no per-outcome
+//!    heap allocation** after warm-up,
+//! 4. a registry of estimators run over each outcome batch through the
+//!    batched hot path ([`Estimator::estimate_batch`]),
+//! 5. the sum aggregate over selected keys, repeated over Monte-Carlo trials
+//!    and summarized against the exact ground truth (`pie-analysis`).
+//!
+//! ```
+//! use partial_info_estimators::{Pipeline, Scheme, Statistic};
+//! use partial_info_estimators::core::suite::max_weighted_suite;
+//! use partial_info_estimators::datagen::{generate_two_hours, TrafficConfig};
+//!
+//! let report = Pipeline::new()
+//!     .dataset(generate_two_hours(&TrafficConfig::small(3)))
+//!     .scheme(Scheme::pps(200.0))
+//!     .estimators(max_weighted_suite())
+//!     .statistic(Statistic::max_dominance())
+//!     .trials(40)
+//!     .run()
+//!     .unwrap();
+//! let l = report.get("max_l_pps_2").unwrap();
+//! let ht = report.get("max_ht_pps").unwrap();
+//! assert!(l.variance < ht.variance, "L dominates HT on traffic data");
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+
+use pie_analysis::{Evaluation, RunningStats, Table};
+use pie_core::{functions, EstimatorRegistry};
+use pie_datagen::Dataset;
+use pie_sampling::{
+    sample_all_pps, sampled_key_union, InstanceSample, Key, ObliviousEntry, ObliviousOutcome,
+    ObliviousPoissonSampler, SeedAssignment, WeightedEntry, WeightedOutcome,
+};
+
+/// How each instance is sampled, independently of the others.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scheme {
+    /// Weight-oblivious Poisson sampling: every key of the universe is
+    /// included with probability `p`, regardless of its value (Section 4).
+    ObliviousPoisson {
+        /// Per-entry inclusion probability, in `(0, 1]`.
+        p: f64,
+    },
+    /// Weighted Poisson PPS sampling with known seeds: a key with value `v`
+    /// is included iff `v ≥ u·τ*` (Sections 5–6).
+    PpsPoisson {
+        /// The PPS threshold τ*.
+        tau_star: f64,
+    },
+}
+
+impl Scheme {
+    /// Weight-oblivious Poisson sampling with probability `p`.
+    #[must_use]
+    pub fn oblivious(p: f64) -> Self {
+        Self::ObliviousPoisson { p }
+    }
+
+    /// Weighted PPS Poisson sampling with threshold `tau_star`.
+    #[must_use]
+    pub fn pps(tau_star: f64) -> Self {
+        Self::PpsPoisson { tau_star }
+    }
+}
+
+/// The boxed per-key function inside a [`Statistic`].
+type StatisticFn = Box<dyn Fn(&[f64]) -> f64 + Send + Sync>;
+
+/// The per-key statistic being aggregated: a named function of one key's
+/// value vector, summed over keys.
+pub struct Statistic {
+    name: String,
+    f: StatisticFn,
+}
+
+impl Statistic {
+    /// A custom statistic: `name` is used in reports, `f` maps one key's
+    /// value vector to its contribution.
+    #[must_use]
+    pub fn new(name: impl Into<String>, f: impl Fn(&[f64]) -> f64 + Send + Sync + 'static) -> Self {
+        Self {
+            name: name.into(),
+            f: Box::new(f),
+        }
+    }
+
+    /// The max-dominance norm `Σ_key max_i v_i(key)` (Section 8.2, Figure 7).
+    #[must_use]
+    pub fn max_dominance() -> Self {
+        Self::new("max_dominance", functions::maximum)
+    }
+
+    /// The distinct count `Σ_key OR_i (v_i(key) > 0)` — the size of the union
+    /// over instances (Section 8.1, Figure 6).
+    #[must_use]
+    pub fn distinct_count() -> Self {
+        Self::new("distinct_count", functions::boolean_or)
+    }
+
+    /// The statistic's report name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Evaluates the per-key contribution on one value vector.
+    #[must_use]
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        (self.f)(values)
+    }
+}
+
+impl fmt::Debug for Statistic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Statistic")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// The estimators a pipeline runs: a registry for whichever outcome regime
+/// the scheme produces.  Constructed via `From`/`Into` so
+/// [`Pipeline::estimators`] accepts either registry type directly.
+pub enum EstimatorSet {
+    /// Estimators over weight-oblivious outcomes.
+    Oblivious(EstimatorRegistry<ObliviousOutcome>),
+    /// Estimators over weighted (known-seed) outcomes.
+    Weighted(EstimatorRegistry<WeightedOutcome>),
+}
+
+impl From<EstimatorRegistry<ObliviousOutcome>> for EstimatorSet {
+    fn from(registry: EstimatorRegistry<ObliviousOutcome>) -> Self {
+        Self::Oblivious(registry)
+    }
+}
+
+impl From<EstimatorRegistry<WeightedOutcome>> for EstimatorSet {
+    fn from(registry: EstimatorRegistry<WeightedOutcome>) -> Self {
+        Self::Weighted(registry)
+    }
+}
+
+impl EstimatorSet {
+    fn len(&self) -> usize {
+        match self {
+            Self::Oblivious(r) => r.len(),
+            Self::Weighted(r) => r.len(),
+        }
+    }
+}
+
+/// Why a [`Pipeline`] could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// No dataset was supplied.
+    MissingDataset,
+    /// No sampling scheme was supplied.
+    MissingScheme,
+    /// No estimators were supplied (or the registry was empty).
+    MissingEstimators,
+    /// No statistic was supplied.
+    MissingStatistic,
+    /// The estimator registry's outcome regime does not match the scheme's
+    /// (e.g. weighted estimators with an oblivious scheme).
+    RegimeMismatch {
+        /// Debug rendering of the configured scheme.
+        scheme: String,
+        /// The regime of the supplied estimators.
+        estimators: &'static str,
+    },
+    /// A scheme parameter is out of range (oblivious `p` outside `(0, 1]`,
+    /// or a PPS `tau_star` that is not positive and finite).
+    InvalidScheme {
+        /// Debug rendering of the rejected scheme.
+        scheme: String,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingDataset => write!(f, "pipeline has no dataset; call .dataset(..)"),
+            Self::MissingScheme => write!(f, "pipeline has no sampling scheme; call .scheme(..)"),
+            Self::MissingEstimators => {
+                write!(f, "pipeline has no estimators; call .estimators(..) with a non-empty registry")
+            }
+            Self::MissingStatistic => write!(f, "pipeline has no statistic; call .statistic(..)"),
+            Self::RegimeMismatch { scheme, estimators } => write!(
+                f,
+                "scheme {scheme} produces a different outcome regime than the {estimators} estimators consume"
+            ),
+            Self::InvalidScheme { scheme, reason } => {
+                write!(f, "invalid scheme {scheme}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Per-estimator slice of a [`PipelineReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatorReport {
+    /// The estimator's registered name.
+    pub name: String,
+    /// Bias/variance summary of its aggregate estimates across trials.
+    pub evaluation: Evaluation,
+}
+
+/// The result of running a [`Pipeline`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineReport {
+    /// Name of the aggregated statistic.
+    pub statistic: String,
+    /// The exact aggregate computed from the raw dataset.
+    pub truth: f64,
+    /// Number of Monte-Carlo sampling trials.
+    pub trials: u64,
+    /// One entry per registered estimator, in registration order.
+    pub estimators: Vec<EstimatorReport>,
+}
+
+impl PipelineReport {
+    /// Looks up one estimator's evaluation by registered name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Evaluation> {
+        self.estimators
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| &e.evaluation)
+    }
+
+    /// The name of the estimator with the lowest variance, if any ran.
+    #[must_use]
+    pub fn best_by_variance(&self) -> Option<&str> {
+        self.estimators
+            .iter()
+            .min_by(|a, b| a.evaluation.variance.total_cmp(&b.evaluation.variance))
+            .map(|e| e.name.as_str())
+    }
+
+    /// Renders the report as an aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut table = Table::new(
+            format!(
+                "{} (truth {:.4}, {} trials)",
+                self.statistic, self.truth, self.trials
+            ),
+            &["estimator", "mean", "rel. bias", "variance", "cv"],
+        );
+        for e in &self.estimators {
+            table.push_row(&[
+                e.name.clone(),
+                format!("{:.4}", e.evaluation.mean),
+                format!("{:.5}", e.evaluation.relative_bias),
+                format!("{:.4}", e.evaluation.variance),
+                format!("{:.4}", e.evaluation.cv()),
+            ]);
+        }
+        table.render()
+    }
+}
+
+/// Builder wiring datagen → sampling → outcome assembly → batched estimation
+/// → sum aggregation.  See the [module docs](self) for the full walkthrough.
+#[derive(Debug)]
+#[must_use = "a pipeline does nothing until .run()"]
+pub struct Pipeline {
+    dataset: Option<Arc<Dataset>>,
+    scheme: Option<Scheme>,
+    estimators: Option<EstimatorSet>,
+    statistic: Option<Statistic>,
+    trials: u64,
+    base_salt: u64,
+}
+
+impl Default for Pipeline {
+    /// Same as [`Pipeline::new`]: empty stages, 100 trials, salt 0.
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for EstimatorSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Oblivious(r) => write!(f, "EstimatorSet::Oblivious({} estimators)", r.len()),
+            Self::Weighted(r) => write!(f, "EstimatorSet::Weighted({} estimators)", r.len()),
+        }
+    }
+}
+
+impl Pipeline {
+    /// Starts an empty pipeline (100 trials, salt 0 by default).
+    pub fn new() -> Self {
+        Self {
+            dataset: None,
+            scheme: None,
+            estimators: None,
+            statistic: None,
+            trials: 100,
+            base_salt: 0,
+        }
+    }
+
+    /// Sets the dataset to sample and estimate over.
+    ///
+    /// Accepts either an owned [`Dataset`] or an `Arc<Dataset>`; pass a
+    /// shared `Arc` when running several pipelines over the same data (e.g.
+    /// a parameter sweep) to avoid deep-copying the instances per run.
+    pub fn dataset(mut self, dataset: impl Into<Arc<Dataset>>) -> Self {
+        self.dataset = Some(dataset.into());
+        self
+    }
+
+    /// Sets the per-instance sampling scheme.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = Some(scheme);
+        self
+    }
+
+    /// Sets the estimators to run; accepts a registry for either outcome
+    /// regime (it must match the scheme at [`run`](Self::run) time).
+    pub fn estimators(mut self, estimators: impl Into<EstimatorSet>) -> Self {
+        self.estimators = Some(estimators.into());
+        self
+    }
+
+    /// Sets the aggregated statistic (and the ground truth it implies).
+    pub fn statistic(mut self, statistic: Statistic) -> Self {
+        self.statistic = Some(statistic);
+        self
+    }
+
+    /// Sets the number of Monte-Carlo sampling trials (default 100).
+    pub fn trials(mut self, trials: u64) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the base hash salt; trial `t` uses salt `base_salt + t`, so
+    /// different salts give independent experiments (default 0).
+    pub fn base_salt(mut self, base_salt: u64) -> Self {
+        self.base_salt = base_salt;
+        self
+    }
+
+    /// Runs the pipeline: samples every instance `trials` times, assembles
+    /// per-key outcomes into reusable buffers, pushes them through each
+    /// estimator's batched hot path, and summarizes the per-trial sum
+    /// aggregates against the exact truth.
+    ///
+    /// # Estimator requirements
+    ///
+    /// Under the PPS scheme, outcomes are only assembled for keys present in
+    /// at least one sample; keys sampled nowhere are credited **zero**
+    /// without consulting the estimators.  Every estimator in the registry
+    /// must therefore return `0.0` on a fully-unsampled outcome — true of
+    /// all unbiased *nonnegative* estimators (an all-`None` outcome is
+    /// consistent with the all-zero vector), and of everything in
+    /// [`pie_core::suite`] — or its aggregate will be biased.  The
+    /// oblivious scheme evaluates every dataset key, so it carries no such
+    /// requirement.
+    ///
+    /// # Errors
+    /// Returns a [`PipelineError`] if a stage is missing or the estimator
+    /// regime does not match the scheme.
+    pub fn run(self) -> Result<PipelineReport, PipelineError> {
+        let dataset = self.dataset.ok_or(PipelineError::MissingDataset)?;
+        let scheme = self.scheme.ok_or(PipelineError::MissingScheme)?;
+        let estimators = self.estimators.ok_or(PipelineError::MissingEstimators)?;
+        let statistic = self.statistic.ok_or(PipelineError::MissingStatistic)?;
+        if estimators.len() == 0 {
+            return Err(PipelineError::MissingEstimators);
+        }
+        match scheme {
+            Scheme::ObliviousPoisson { p } if !(p > 0.0 && p <= 1.0) => {
+                return Err(PipelineError::InvalidScheme {
+                    scheme: format!("{scheme:?}"),
+                    reason: "sampling probability must lie in (0, 1]",
+                });
+            }
+            Scheme::PpsPoisson { tau_star } if !(tau_star > 0.0 && tau_star.is_finite()) => {
+                return Err(PipelineError::InvalidScheme {
+                    scheme: format!("{scheme:?}"),
+                    reason: "tau_star must be positive and finite",
+                });
+            }
+            _ => {}
+        }
+        match (scheme, estimators) {
+            (Scheme::ObliviousPoisson { p }, EstimatorSet::Oblivious(registry)) => {
+                Ok(run_oblivious(
+                    &dataset,
+                    p,
+                    &registry,
+                    &statistic,
+                    self.trials,
+                    self.base_salt,
+                ))
+            }
+            (Scheme::PpsPoisson { tau_star }, EstimatorSet::Weighted(registry)) => Ok(run_pps(
+                &dataset,
+                tau_star,
+                &registry,
+                &statistic,
+                self.trials,
+                self.base_salt,
+            )),
+            (scheme, estimators) => Err(PipelineError::RegimeMismatch {
+                scheme: format!("{scheme:?}"),
+                estimators: match estimators {
+                    EstimatorSet::Oblivious(_) => "weight-oblivious",
+                    EstimatorSet::Weighted(_) => "weighted",
+                },
+            }),
+        }
+    }
+}
+
+/// Exact ground truth of the aggregate: `Σ_key statistic(v(key))`.
+fn exact_truth(dataset: &Dataset, statistic: &Statistic) -> f64 {
+    dataset
+        .keys()
+        .iter()
+        .map(|&k| statistic.eval(&dataset.value_vector(k)))
+        .sum()
+}
+
+fn summarize(
+    statistic: &Statistic,
+    truth: f64,
+    trials: u64,
+    names: impl Iterator<Item = impl Into<String>>,
+    stats: &[RunningStats],
+) -> PipelineReport {
+    PipelineReport {
+        statistic: statistic.name().to_string(),
+        truth,
+        trials,
+        estimators: names
+            .zip(stats)
+            .map(|(name, stat)| EstimatorReport {
+                name: name.into(),
+                evaluation: Evaluation::from_stats(stat, truth),
+            })
+            .collect(),
+    }
+}
+
+fn run_oblivious(
+    dataset: &Dataset,
+    p: f64,
+    registry: &EstimatorRegistry<ObliviousOutcome>,
+    statistic: &Statistic,
+    trials: u64,
+    base_salt: u64,
+) -> PipelineReport {
+    let truth = exact_truth(dataset, statistic);
+    let keys = dataset.keys();
+    let r = dataset.num_instances();
+    // Reusable buffers: one outcome per key, rewritten in place every trial.
+    let mut outcomes: Vec<ObliviousOutcome> = keys
+        .iter()
+        .map(|_| ObliviousOutcome::new(vec![ObliviousEntry { p, value: None }; r]))
+        .collect();
+    let mut estimates = vec![0.0; keys.len()];
+    let mut stats: Vec<RunningStats> = (0..registry.len()).map(|_| RunningStats::new()).collect();
+    // `keys` is already the sorted, deduped union of all instances' keys
+    // (`Dataset::keys`), so sample each instance against it directly instead
+    // of letting `sample_all_oblivious` recompute the union every trial.
+    let sampler = ObliviousPoissonSampler::new(p);
+    for t in 0..trials {
+        let seeds = SeedAssignment::independent_known(base_salt.wrapping_add(t));
+        let samples: Vec<InstanceSample> = dataset
+            .instances()
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| sampler.sample(inst, &keys, &seeds, i as u64))
+            .collect();
+        fill_oblivious_outcomes(&keys, &samples, &mut outcomes);
+        for ((_, estimator), stat) in registry.iter().zip(&mut stats) {
+            estimator.estimate_batch(&outcomes, &mut estimates);
+            stat.push(estimates.iter().sum());
+        }
+    }
+    summarize(statistic, truth, trials, registry.names(), &stats)
+}
+
+fn run_pps(
+    dataset: &Dataset,
+    tau_star: f64,
+    registry: &EstimatorRegistry<WeightedOutcome>,
+    statistic: &Statistic,
+    trials: u64,
+    base_salt: u64,
+) -> PipelineReport {
+    let truth = exact_truth(dataset, statistic);
+    let r = dataset.num_instances();
+    // Outcome pool: grows to the largest per-trial key set, then is reused.
+    // (Keys sampled nowhere contribute zero for nonnegative estimators, so
+    // each trial only assembles outcomes for keys present in some sample.)
+    let mut pool: Vec<WeightedOutcome> = Vec::new();
+    let mut estimates: Vec<f64> = Vec::new();
+    let mut stats: Vec<RunningStats> = (0..registry.len()).map(|_| RunningStats::new()).collect();
+    for t in 0..trials {
+        let seeds = SeedAssignment::independent_known(base_salt.wrapping_add(t));
+        let samples = sample_all_pps(dataset.instances(), tau_star, &seeds);
+        let keys = sampled_key_union(&samples);
+        grow_weighted_pool(&mut pool, keys.len(), r, tau_star);
+        fill_weighted_outcomes(&keys, &samples, &seeds, tau_star, &mut pool[..keys.len()]);
+        estimates.resize(keys.len(), 0.0);
+        for ((_, estimator), stat) in registry.iter().zip(&mut stats) {
+            estimator.estimate_batch(&pool[..keys.len()], &mut estimates[..keys.len()]);
+            stat.push(estimates[..keys.len()].iter().sum());
+        }
+    }
+    summarize(statistic, truth, trials, registry.names(), &stats)
+}
+
+/// Rewrites each key's outcome entries in place from the trial's samples.
+fn fill_oblivious_outcomes(
+    keys: &[Key],
+    samples: &[InstanceSample],
+    outcomes: &mut [ObliviousOutcome],
+) {
+    for (&key, outcome) in keys.iter().zip(outcomes) {
+        for (entry, sample) in outcome.entries.iter_mut().zip(samples) {
+            entry.value = sample.value(key);
+        }
+    }
+}
+
+fn grow_weighted_pool(pool: &mut Vec<WeightedOutcome>, len: usize, r: usize, tau_star: f64) {
+    while pool.len() < len {
+        pool.push(WeightedOutcome::new(vec![
+            WeightedEntry {
+                tau_star,
+                seed: None,
+                value: None,
+            };
+            r
+        ]));
+    }
+}
+
+/// Rewrites pooled weighted outcomes in place for this trial's key set.
+fn fill_weighted_outcomes(
+    keys: &[Key],
+    samples: &[InstanceSample],
+    seeds: &SeedAssignment,
+    tau_star: f64,
+    outcomes: &mut [WeightedOutcome],
+) {
+    for (&key, outcome) in keys.iter().zip(outcomes) {
+        for ((j, entry), sample) in outcome.entries.iter_mut().enumerate().zip(samples) {
+            entry.tau_star = tau_star;
+            entry.seed = seeds.visible_seed(key, j as u64);
+            entry.value = sample.value(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pie_core::suite::{max_oblivious_suite, max_weighted_suite};
+    use pie_datagen::{generate_two_hours, paper_example, TrafficConfig};
+
+    #[test]
+    fn pipeline_requires_every_stage() {
+        assert_eq!(
+            Pipeline::new().run().unwrap_err(),
+            PipelineError::MissingDataset
+        );
+        assert_eq!(
+            Pipeline::new()
+                .dataset(paper_example().take_instances(2))
+                .run()
+                .unwrap_err(),
+            PipelineError::MissingScheme
+        );
+        assert_eq!(
+            Pipeline::new()
+                .dataset(paper_example().take_instances(2))
+                .scheme(Scheme::oblivious(0.5))
+                .run()
+                .unwrap_err(),
+            PipelineError::MissingEstimators
+        );
+        assert_eq!(
+            Pipeline::new()
+                .dataset(paper_example().take_instances(2))
+                .scheme(Scheme::oblivious(0.5))
+                .estimators(max_oblivious_suite(0.5, 0.5))
+                .run()
+                .unwrap_err(),
+            PipelineError::MissingStatistic
+        );
+    }
+
+    #[test]
+    fn pipeline_rejects_out_of_range_scheme_parameters() {
+        for scheme in [Scheme::oblivious(0.0), Scheme::oblivious(1.5)] {
+            let err = Pipeline::new()
+                .dataset(paper_example().take_instances(2))
+                .scheme(scheme)
+                .estimators(max_oblivious_suite(0.5, 0.5))
+                .statistic(Statistic::max_dominance())
+                .run()
+                .unwrap_err();
+            assert!(
+                matches!(err, PipelineError::InvalidScheme { .. }),
+                "{scheme:?}"
+            );
+        }
+        for tau in [0.0, -1.0, f64::INFINITY, f64::NAN] {
+            let err = Pipeline::new()
+                .dataset(paper_example().take_instances(2))
+                .scheme(Scheme::pps(tau))
+                .estimators(max_weighted_suite())
+                .statistic(Statistic::max_dominance())
+                .run()
+                .unwrap_err();
+            assert!(
+                matches!(err, PipelineError::InvalidScheme { .. }),
+                "tau_star {tau}"
+            );
+            assert!(err.to_string().contains("positive and finite"));
+        }
+    }
+
+    #[test]
+    fn pipeline_default_matches_new() {
+        // A derived Default would zero `trials`; the manual impl must keep
+        // new()'s documented 100-trial default.
+        let report = Pipeline::default()
+            .dataset(paper_example().take_instances(2))
+            .scheme(Scheme::oblivious(0.5))
+            .estimators(max_oblivious_suite(0.5, 0.5))
+            .statistic(Statistic::max_dominance())
+            .run()
+            .unwrap();
+        assert_eq!(report.trials, 100);
+        assert!(report.estimators.iter().all(|e| e.evaluation.trials == 100));
+    }
+
+    #[test]
+    fn pipeline_rejects_regime_mismatch() {
+        let err = Pipeline::new()
+            .dataset(paper_example().take_instances(2))
+            .scheme(Scheme::oblivious(0.5))
+            .estimators(max_weighted_suite())
+            .statistic(Statistic::max_dominance())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::RegimeMismatch { .. }));
+        assert!(err.to_string().contains("weighted"));
+    }
+
+    #[test]
+    fn oblivious_pipeline_is_unbiased_and_ranks_l_first() {
+        let report = Pipeline::new()
+            .dataset(paper_example().take_instances(2))
+            .scheme(Scheme::oblivious(0.5))
+            .estimators(max_oblivious_suite(0.5, 0.5))
+            .statistic(Statistic::max_dominance())
+            .trials(4000)
+            .base_salt(11)
+            .run()
+            .unwrap();
+        assert_eq!(report.estimators.len(), 3);
+        for e in &report.estimators {
+            assert!(
+                e.evaluation.relative_bias < 0.05,
+                "{} bias {}",
+                e.name,
+                e.evaluation.relative_bias
+            );
+        }
+        let ht = report.get("max_ht_oblivious").unwrap();
+        let l = report.get("max_l_2").unwrap();
+        assert!(l.variance < ht.variance, "L should beat HT");
+        assert_ne!(report.best_by_variance(), Some("max_ht_oblivious"));
+        let rendered = report.render();
+        assert!(rendered.contains("max_dominance"));
+        assert!(rendered.contains("max_l_2"));
+    }
+
+    #[test]
+    fn pps_pipeline_matches_bespoke_aggregate_loop() {
+        use pie_analysis::{all_keys, evaluate_aggregate_pps};
+        use pie_core::aggregate::{max_dominance_l, true_max_dominance};
+
+        let dataset = generate_two_hours(&TrafficConfig::small(3));
+        let truth = true_max_dominance(dataset.instances(), |_| true);
+        let trials = 60;
+        let salt = 7;
+        let report = Pipeline::new()
+            .dataset(dataset.clone())
+            .scheme(Scheme::pps(200.0))
+            .estimators(max_weighted_suite())
+            .statistic(Statistic::max_dominance())
+            .trials(trials)
+            .base_salt(salt)
+            .run()
+            .unwrap();
+        assert!((report.truth - truth).abs() < 1e-9);
+        // The pipeline's L-estimator path must reproduce the bespoke
+        // `evaluate_aggregate_pps` + `max_dominance_l` loop it replaced.
+        let bespoke = evaluate_aggregate_pps(&dataset, 200.0, truth, trials, salt, |s, seeds| {
+            max_dominance_l(s, seeds, all_keys)
+        });
+        let l = report.get("max_l_pps_2").unwrap();
+        assert!(
+            (l.mean - bespoke.mean).abs() <= 1e-9 * bespoke.mean.abs().max(1.0),
+            "pipeline mean {} vs bespoke {}",
+            l.mean,
+            bespoke.mean
+        );
+        assert!(
+            (l.variance - bespoke.variance).abs() <= 1e-6 * bespoke.variance.max(1.0),
+            "pipeline variance {} vs bespoke {}",
+            l.variance,
+            bespoke.variance
+        );
+    }
+
+    #[test]
+    fn distinct_count_statistic_on_binary_data() {
+        use pie_datagen::{generate_set_pair, SetPairConfig};
+        let dataset = generate_set_pair(&SetPairConfig::new(200, 0.5));
+        let report = Pipeline::new()
+            .dataset(dataset)
+            .scheme(Scheme::oblivious(0.4))
+            .estimators(pie_core::suite::or_oblivious_suite(0.4, 0.4))
+            .statistic(Statistic::distinct_count())
+            .trials(300)
+            .run()
+            .unwrap();
+        for e in &report.estimators {
+            assert!(
+                e.evaluation.relative_bias < 0.05,
+                "{} bias {}",
+                e.name,
+                e.evaluation.relative_bias
+            );
+        }
+        let ht = report.get("or_ht_oblivious").unwrap();
+        let l = report.get("or_l_2").unwrap();
+        assert!(l.variance < ht.variance);
+    }
+}

@@ -12,9 +12,7 @@ use partial_info_estimators::core::weighted::MaxLPps2;
 use partial_info_estimators::datagen::{
     generate_set_pair, generate_two_hours, SetPairConfig, TrafficConfig,
 };
-use partial_info_estimators::sampling::{
-    sample_all_pps, BottomKSampler, PpsRanks, SeedAssignment,
-};
+use partial_info_estimators::sampling::{sample_all_pps, BottomKSampler, PpsRanks, SeedAssignment};
 
 #[test]
 fn distinct_count_pipeline_over_poisson_samples() {
@@ -32,8 +30,14 @@ fn distinct_count_pipeline_over_poisson_samples() {
         l_sum += distinct_count_l(&samples[0], &samples[1], &seeds, |_| true);
     }
     let (ht_mean, l_mean) = (ht_sum / reps as f64, l_sum / reps as f64);
-    assert!((ht_mean - truth).abs() / truth < 0.03, "HT mean {ht_mean} vs {truth}");
-    assert!((l_mean - truth).abs() / truth < 0.03, "L mean {l_mean} vs {truth}");
+    assert!(
+        (ht_mean - truth).abs() / truth < 0.03,
+        "HT mean {ht_mean} vs {truth}"
+    );
+    assert!(
+        (l_mean - truth).abs() / truth < 0.03,
+        "L mean {l_mean} vs {truth}"
+    );
 }
 
 #[test]
@@ -74,7 +78,10 @@ fn max_dominance_pipeline_with_selection_predicate() {
         sum += max_dominance_l(&samples, &seeds, select);
     }
     let mean = sum / reps as f64;
-    assert!((mean - truth).abs() / truth < 0.05, "mean {mean} vs truth {truth}");
+    assert!(
+        (mean - truth).abs() / truth < 0.05,
+        "mean {mean} vs truth {truth}"
+    );
 }
 
 #[test]
@@ -89,7 +96,10 @@ fn min_dominance_pipeline() {
         sum += min_dominance_ht(&samples, &seeds, |_| true);
     }
     let mean = sum / reps as f64;
-    assert!((mean - truth).abs() / truth < 0.08, "mean {mean} vs truth {truth}");
+    assert!(
+        (mean - truth).abs() / truth < 0.08,
+        "mean {mean} vs truth {truth}"
+    );
 }
 
 #[test]

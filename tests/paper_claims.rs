@@ -4,8 +4,8 @@
 //! end-to-end through the public API (sampling substrate + estimators +
 //! evaluation harness).
 
-use partial_info_estimators::analysis::{pps2_variance, Evaluation};
 use partial_info_estimators::analysis::{evaluate_aggregate_pps, evaluate_pps_known_seeds};
+use partial_info_estimators::analysis::{pps2_variance, Evaluation};
 use partial_info_estimators::core::aggregate::{
     distinct_ht_variance, distinct_l_variance, max_dominance_ht, max_dominance_l,
     required_sample_size_ht, required_sample_size_l, true_max_dominance,
@@ -14,7 +14,9 @@ use partial_info_estimators::core::functions::maximum;
 use partial_info_estimators::core::negative::{
     or_unknown_seeds_forced_estimator, or_unknown_seeds_nonnegative_exists,
 };
-use partial_info_estimators::core::oblivious::{MaxHtOblivious, MaxL2, MaxLUniform, MaxU2, OrL2, OrU2};
+use partial_info_estimators::core::oblivious::{
+    MaxHtOblivious, MaxL2, MaxLUniform, MaxU2, OrL2, OrU2,
+};
 use partial_info_estimators::core::variance::{
     exact_oblivious_variance, max_ht_variance_half, max_l_variance_half, max_u_variance_half,
     or_ht_variance, or_l_variance_change, or_l_variance_equal,
@@ -93,9 +95,8 @@ fn algorithm3_scales_to_more_instances() {
         let var_l = exact_oblivious_variance(&est, &v, &probs);
         let var_ht = exact_oblivious_variance(&MaxHtOblivious, &v, &probs);
         assert!(var_l <= var_ht, "r={r}: {var_l} vs {var_ht}");
-        let mean = partial_info_estimators::core::variance::exact_oblivious_expectation(
-            &est, &v, &probs,
-        );
+        let mean =
+            partial_info_estimators::core::variance::exact_oblivious_expectation(&est, &v, &probs);
         assert!((mean - maximum(&v)).abs() < 1e-8, "r={r} bias");
     }
 }
@@ -172,12 +173,20 @@ fn known_seeds_rescue_estimation() {
             let outcome = WeightedOutcome::new(vec![
                 WeightedEntry {
                     tau_star: t1,
-                    seed: Some(if low1 { p1 * 0.5 } else { p1 + (1.0 - p1) * 0.5 }),
+                    seed: Some(if low1 {
+                        p1 * 0.5
+                    } else {
+                        p1 + (1.0 - p1) * 0.5
+                    }),
                     value: if low1 { Some(1.0) } else { None },
                 },
                 WeightedEntry {
                     tau_star: t2,
-                    seed: Some(if low2 { p2 * 0.5 } else { p2 + (1.0 - p2) * 0.5 }),
+                    seed: Some(if low2 {
+                        p2 * 0.5
+                    } else {
+                        p2 + (1.0 - p2) * 0.5
+                    }),
                     value: None,
                 },
             ]);
@@ -224,9 +233,7 @@ fn figure7_max_dominance_gain() {
         &[partial_info_estimators::sampling::InstanceSample],
         &partial_info_estimators::sampling::SeedAssignment,
     ) -> f64|
-     -> Evaluation {
-        evaluate_aggregate_pps(&data, tau_star, truth, trials, 5, f)
-    };
+     -> Evaluation { evaluate_aggregate_pps(&data, tau_star, truth, trials, 5, f) };
     let ht = eval(&|s, seeds| max_dominance_ht(s, seeds, |_| true));
     let l = eval(&|s, seeds| max_dominance_l(s, seeds, |_| true));
     assert!(ht.relative_bias < 0.03, "HT bias {}", ht.relative_bias);
@@ -242,12 +249,20 @@ fn figure7_max_dominance_gain() {
 /// the aggregate CV is far below the single-key CV.
 #[test]
 fn aggregation_shrinks_relative_error() {
-    let single_key = evaluate_pps_known_seeds(&MaxLPps2, maximum, &[4.0, 3.0], &[40.0, 40.0], 100_000, 3);
+    let single_key =
+        evaluate_pps_known_seeds(&MaxLPps2, maximum, &[4.0, 3.0], &[40.0, 40.0], 100_000, 3);
     let data = generate_two_hours(&TrafficConfig::small(7));
     let truth = true_max_dominance(data.instances(), |_| true);
     let aggregate = evaluate_aggregate_pps(&data, 150.0, truth, 60, 11, |s, seeds| {
         max_dominance_l(s, seeds, |_| true)
     });
-    assert!(single_key.cv() > 1.0, "a single aggressively-sampled key is noisy");
-    assert!(aggregate.cv() < 0.1, "the aggregate is accurate: cv {}", aggregate.cv());
+    assert!(
+        single_key.cv() > 1.0,
+        "a single aggressively-sampled key is noisy"
+    );
+    assert!(
+        aggregate.cv() < 0.1,
+        "the aggregate is accurate: cv {}",
+        aggregate.cv()
+    );
 }

@@ -5,7 +5,11 @@
 //! * nonnegativity of the L/U estimators on arbitrary outcomes;
 //! * dominance of the L/U estimators over Horvitz–Thompson;
 //! * structural invariants of the sampling substrate (rank monotonicity,
-//!   bottom-k sample size, VarOpt fixed size, seed determinism).
+//!   bottom-k sample size, VarOpt fixed size, seed determinism);
+//! * consistency of the batched estimation path: `estimate_batch` agrees
+//!   with per-outcome `estimate` for every registered estimator, and the
+//!   borrowed `OutcomeView` accessors agree with the deprecated
+//!   `Vec`-returning shims.
 
 use proptest::prelude::*;
 
@@ -13,15 +17,65 @@ use partial_info_estimators::analysis::{pps2_expectation, pps2_variance};
 use partial_info_estimators::core::oblivious::{
     MaxHtOblivious, MaxL2, MaxLUniform, MaxU2, OrL2, OrU2,
 };
+use partial_info_estimators::core::suite::{
+    max_oblivious_suite, max_weighted_suite, or_oblivious_suite, or_weighted_suite,
+};
 use partial_info_estimators::core::variance::{
     exact_oblivious_expectation, exact_oblivious_variance,
 };
 use partial_info_estimators::core::weighted::{MaxHtPps, MaxLPps2};
 use partial_info_estimators::core::Estimator;
 use partial_info_estimators::sampling::{
-    BottomKSampler, ExpRanks, Instance, ObliviousEntry, ObliviousOutcome, PpsRanks, RankFamily,
-    SeedAssignment, VarOptSampler,
+    BottomKSampler, ExpRanks, Instance, ObliviousEntry, ObliviousOutcome, OutcomeView, PpsRanks,
+    RankFamily, SeedAssignment, VarOptSampler, WeightedEntry, WeightedOutcome,
 };
+
+/// Builds `n` weight-oblivious outcomes over two instances from flat random
+/// draws.
+fn oblivious_outcomes(
+    n: usize,
+    p1: f64,
+    p2: f64,
+    values: &[f64],
+    sampled: &[bool],
+) -> Vec<ObliviousOutcome> {
+    (0..n)
+        .map(|i| {
+            ObliviousOutcome::new(vec![
+                ObliviousEntry {
+                    p: p1,
+                    value: sampled[2 * i].then_some(values[2 * i]),
+                },
+                ObliviousEntry {
+                    p: p2,
+                    value: sampled[2 * i + 1].then_some(values[2 * i + 1]),
+                },
+            ])
+        })
+        .collect()
+}
+
+/// Builds `n` weighted (known-seed) outcomes over two instances; entry
+/// `values[j]` is sampled exactly when the PPS rule `v ≥ u·τ*` fires.
+fn weighted_outcomes(n: usize, tau: f64, values: &[f64], seeds: &[f64]) -> Vec<WeightedOutcome> {
+    (0..n)
+        .map(|i| {
+            WeightedOutcome::new(
+                (0..2)
+                    .map(|j| {
+                        let v = values[2 * i + j];
+                        let u = seeds[2 * i + j];
+                        WeightedEntry {
+                            tau_star: tau,
+                            seed: Some(u),
+                            value: (v > 0.0 && v >= u * tau).then_some(v),
+                        }
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
 
 fn prob() -> impl Strategy<Value = f64> {
     0.05f64..1.0
@@ -169,6 +223,94 @@ proptest! {
                     prop_assert!(s.contains(key), "heavy key {key} missing");
                 }
             }
+        }
+    }
+
+    /// `estimate_batch` agrees with per-outcome `estimate` for every
+    /// registered weight-oblivious estimator, on batches of random outcomes.
+    #[test]
+    fn estimate_batch_matches_per_outcome_oblivious(
+        p1 in prob(), p2 in prob(),
+        values in proptest::collection::vec(0.0f64..50.0, 16),
+        sampled in proptest::collection::vec(any::<bool>(), 16),
+        binary in proptest::collection::vec(any::<bool>(), 16),
+    ) {
+        let n = 8;
+        // max estimators on arbitrary values, OR estimators on binary data.
+        let max_batch = oblivious_outcomes(n, p1, p2, &values, &sampled);
+        let bits: Vec<f64> = binary.iter().map(|&b| f64::from(b as u8)).collect();
+        let or_batch = oblivious_outcomes(n, p1, p2, &bits, &sampled);
+        for (registry, outcomes) in [
+            (max_oblivious_suite(p1, p2), &max_batch),
+            (or_oblivious_suite(p1, p2), &or_batch),
+        ] {
+            let mut out = vec![f64::NAN; outcomes.len()];
+            for (name, estimator) in registry.iter() {
+                estimator.estimate_batch(outcomes, &mut out);
+                for (outcome, &batched) in outcomes.iter().zip(&out) {
+                    let single = estimator.estimate(outcome);
+                    prop_assert!(
+                        batched == single || (batched.is_nan() && single.is_nan()),
+                        "{name}: batched {batched} != single {single}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// `estimate_batch` agrees with per-outcome `estimate` for every
+    /// registered weighted (known-seed) estimator.
+    #[test]
+    fn estimate_batch_matches_per_outcome_weighted(
+        tau in 5.0f64..30.0,
+        values in proptest::collection::vec(0.0f64..40.0, 16),
+        seeds in proptest::collection::vec(0.001f64..0.999, 16),
+        binary in proptest::collection::vec(any::<bool>(), 16),
+    ) {
+        let n = 8;
+        let max_batch = weighted_outcomes(n, tau, &values, &seeds);
+        let bits: Vec<f64> = binary.iter().map(|&b| f64::from(b as u8)).collect();
+        let or_batch = weighted_outcomes(n, 0.9, &bits, &seeds);
+        for (registry, outcomes) in [
+            (max_weighted_suite(), &max_batch),
+            (or_weighted_suite(), &or_batch),
+        ] {
+            let mut out = vec![f64::NAN; outcomes.len()];
+            for (name, estimator) in registry.iter() {
+                estimator.estimate_batch(outcomes, &mut out);
+                for (outcome, &batched) in outcomes.iter().zip(&out) {
+                    let single = estimator.estimate(outcome);
+                    prop_assert!(
+                        batched == single || (batched.is_nan() && single.is_nan()),
+                        "{name}: batched {batched} != single {single}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The borrowed `OutcomeView` accessors agree with the deprecated
+    /// `Vec`-returning shims on random outcomes of both regimes.
+    #[test]
+    #[allow(deprecated)]
+    fn outcome_view_matches_deprecated_vec_accessors(
+        p1 in prob(), p2 in prob(),
+        tau in 5.0f64..30.0,
+        values in proptest::collection::vec(0.0f64..50.0, 16),
+        sampled in proptest::collection::vec(any::<bool>(), 16),
+        seeds in proptest::collection::vec(0.001f64..0.999, 16),
+    ) {
+        for o in oblivious_outcomes(8, p1, p2, &values, &sampled) {
+            prop_assert_eq!(o.sampled_indices(), o.sampled_indices_iter().collect::<Vec<_>>());
+            prop_assert_eq!(o.probabilities(), o.probabilities_iter().collect::<Vec<_>>());
+            prop_assert_eq!(o.num_sampled(), o.sampled_indices_iter().count());
+            prop_assert_eq!(o.max_sampled(), o.sampled_values().fold(None, |a: Option<f64>, v| Some(a.map_or(v, |x| x.max(v)))));
+            prop_assert_eq!(o.values().collect::<Vec<_>>(), o.entries().iter().map(|e| e.value).collect::<Vec<_>>());
+        }
+        for w in weighted_outcomes(8, tau, &values, &seeds) {
+            prop_assert_eq!(w.sampled_indices(), w.sampled_indices_iter().collect::<Vec<_>>());
+            prop_assert_eq!(w.num_sampled(), w.sampled_indices_iter().count());
+            prop_assert_eq!(w.values().collect::<Vec<_>>(), w.entries().iter().map(|e| e.value).collect::<Vec<_>>());
         }
     }
 

@@ -1,0 +1,306 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched.  This vendored stub implements the subset of the API
+//! the workspace's benches use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — as a small but honest
+//! wall-clock harness: every benchmark is warmed up, then timed over enough
+//! iterations to fill a fixed measurement window, and the median of several
+//! samples is reported in ns/iter (plus derived element throughput).
+//!
+//! It is wired in through the path entries in `[workspace.dependencies]` of
+//! the workspace `Cargo.toml` (a `[patch.crates-io]` table would still need
+//! registry access); point those entries back at registry versions to
+//! restore the real dependency once a registry is reachable.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Measurement window per sample; kept short so `cargo bench` over the
+    /// whole suite stays fast.
+    measurement: Duration,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement: Duration::from_millis(40),
+            samples: 7,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(self, &id.render(), None, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of logical elements processed per iteration, so the
+    /// report can derive elements/second.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the number of timing samples (kept for API compatibility;
+    /// clamped to a small value).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.clamp(3, 15));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().render());
+        let samples = self.sample_size;
+        let throughput = self.throughput.clone();
+        let criterion = &mut *self.criterion;
+        if let Some(s) = samples {
+            let saved = criterion.samples;
+            criterion.samples = s;
+            run_benchmark(criterion, &full, throughput.as_ref(), &mut f);
+            criterion.samples = saved;
+        } else {
+            run_benchmark(criterion, &full, throughput.as_ref(), &mut f);
+        }
+        self
+    }
+
+    /// Runs one benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (report-only in the real criterion; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `function` with parameter `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// A benchmark identified by its parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("benchmark"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            function: Some(name.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self {
+            function: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+/// Logical work performed per iteration, used to derive throughput.
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; times the routine under measurement.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(criterion: &Criterion, name: &str, throughput: Option<&Throughput>, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: find an iteration count that roughly fills the window.
+    let mut iterations = 1u64;
+    loop {
+        let mut b = Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= criterion.measurement || iterations >= 1 << 30 {
+            break;
+        }
+        let per_iter = b.elapsed.as_nanos().max(1) as u64 / iterations.max(1);
+        let target = criterion.measurement.as_nanos() as u64;
+        iterations = (target / per_iter.max(1)).clamp(iterations * 2, iterations * 128);
+    }
+    // Measure: several samples, report the median.
+    let mut per_iter_ns: Vec<f64> = (0..criterion.samples)
+        .map(|_| {
+            let mut b = Bencher {
+                iterations,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iterations as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(f64::total_cmp);
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let mut line = format!("{name:<60} {median:>12.1} ns/iter");
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let _ = write!(line, " {:>14.3} Melem/s", *n as f64 / median * 1e9 / 1e6);
+        }
+        Some(Throughput::Bytes(n)) => {
+            let _ = write!(
+                line,
+                " {:>14.3} MiB/s",
+                *n as f64 / median * 1e9 / (1 << 20) as f64
+            );
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// Collects benchmark functions into a named runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Entry point running every group passed to it, mirroring criterion's macro
+/// of the same name.  Command-line arguments (as passed by `cargo bench`) are
+/// accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let _args: Vec<String> = std::env::args().collect();
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 8).render(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(32).render(), "32");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+
+    #[test]
+    fn harness_times_a_closure() {
+        let mut c = Criterion {
+            measurement: Duration::from_micros(200),
+            samples: 3,
+        };
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(1));
+        let mut count = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+
+use crate::Strategy;
+
+/// The allowed sizes of a generated collection: either fixed or a range.
+#[derive(Debug, Clone, Copy)]
+pub enum SizeRange {
+    /// Exactly this many elements.
+    Fixed(usize),
+    /// A half-open range of element counts.
+    Between(usize, usize),
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange::Fixed(n)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange::Between(r.start, r.end)
+    }
+}
+
+/// Strategy generating `Vec`s whose elements come from `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = match self.size {
+            SizeRange::Fixed(n) => n,
+            SizeRange::Between(lo, hi) => {
+                assert!(lo < hi, "empty size range");
+                rng.gen_range(lo..hi)
+            }
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates vectors of values drawn from `element`, with `size` elements,
+/// mirroring `proptest::collection::vec`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}

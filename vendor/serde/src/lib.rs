@@ -1,0 +1,37 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the real `serde` cannot be
+//! fetched.  The workspace only uses `#[derive(Serialize)]` as a structural
+//! marker (JSON emission is hand-rolled where needed), so this stub provides a
+//! marker [`Serialize`] trait and a derive macro producing an empty impl.
+//!
+//! It is wired in through the path entries in `[workspace.dependencies]` of
+//! the workspace `Cargo.toml` (a `[patch.crates-io]` table would still need
+//! registry access); point those entries back at registry versions to
+//! restore the real dependency once a registry is reachable.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::Serialize;
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// Deriving it documents that a type is plain data safe to emit to external
+/// tooling; the actual emission in this workspace is hand-rolled (see
+/// `pie_analysis::report`).
+pub trait Serialize {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl Serialize for f64 {}
+impl Serialize for f32 {}
+impl Serialize for u64 {}
+impl Serialize for u32 {}
+impl Serialize for usize {}
+impl Serialize for i64 {}
+impl Serialize for i32 {}
+impl Serialize for bool {}
+impl Serialize for String {}
+impl Serialize for str {}

@@ -1,0 +1,29 @@
+//! Derive macro for the vendored `serde` stub (see `vendor/serde`).
+//!
+//! Written against `proc_macro` alone (no `syn`/`quote`, which are equally
+//! unavailable offline): it scans the token stream for the `struct`/`enum`
+//! keyword, takes the following identifier as the type name, and emits an
+//! empty `impl serde::Serialize` for it.  Generic types are out of scope —
+//! the workspace only derives on concrete types.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the marker `serde::Serialize` impl for a concrete struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return format!("impl serde::Serialize for {name} {{}}")
+                        .parse()
+                        .expect("generated impl must parse");
+                }
+                break;
+            }
+        }
+    }
+    panic!("#[derive(Serialize)] (vendored stub) supports only non-generic structs and enums");
+}
