@@ -19,8 +19,8 @@ use rand::{Rng, SeedableRng};
 use pie_core::{Estimator, EstimatorRegistry};
 use pie_datagen::Dataset;
 use pie_sampling::{
-    sample_all_pps, Key, ObliviousEntry, ObliviousOutcome, SeedAssignment, WeightedEntry,
-    WeightedOutcome,
+    sample_all, Key, ObliviousEntry, ObliviousOutcome, PpsPoissonSampler, SeedAssignment,
+    WeightedEntry, WeightedOutcome,
 };
 
 use crate::stats::RunningStats;
@@ -299,7 +299,11 @@ where
     let mut stats = RunningStats::new();
     for t in 0..trials {
         let seeds = SeedAssignment::independent_known(base_salt.wrapping_add(t));
-        let samples = sample_all_pps(dataset.instances(), tau_star, &seeds);
+        let samples = sample_all(
+            &PpsPoissonSampler::new(tau_star),
+            dataset.instances(),
+            &seeds,
+        );
         stats.push(aggregate(&samples, &seeds));
     }
     Evaluation::from_stats(&stats, truth)

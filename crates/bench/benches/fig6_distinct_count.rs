@@ -6,7 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pie_bench::fig6;
 use pie_core::aggregate::{distinct_count_ht, distinct_count_l};
 use pie_datagen::{generate_set_pair, SetPairConfig};
-use pie_sampling::{sample_all_pps, SeedAssignment};
+use pie_sampling::{sample_all, PpsPoissonSampler, SeedAssignment};
 
 fn bench_fig6_curves(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6");
@@ -23,7 +23,11 @@ fn bench_fig6_curves(c: &mut Criterion) {
 fn bench_distinct_estimators(c: &mut Criterion) {
     let data = generate_set_pair(&SetPairConfig::new(50_000, 0.5));
     let seeds = SeedAssignment::independent_known(1);
-    let samples = sample_all_pps(data.instances(), 1.0 / 0.05, &seeds);
+    let samples = sample_all(
+        &PpsPoissonSampler::new(1.0 / 0.05),
+        data.instances(),
+        &seeds,
+    );
     let mut group = c.benchmark_group("fig6_estimators");
     group.bench_function("distinct_count_ht_50k_keys_p0.05", |b| {
         b.iter(|| {

@@ -6,16 +6,22 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use pie_core::aggregate::{max_dominance_ht, max_dominance_l};
 use pie_datagen::{generate_two_hours, TrafficConfig};
-use pie_sampling::{sample_all_pps, SeedAssignment};
+use pie_sampling::{sample_all, PpsPoissonSampler, SeedAssignment};
 
 fn bench_fig7(c: &mut Criterion) {
     let data = generate_two_hours(&TrafficConfig::small(1));
     let seeds = SeedAssignment::independent_known(1);
-    let samples = sample_all_pps(data.instances(), 150.0, &seeds);
+    let samples = sample_all(&PpsPoissonSampler::new(150.0), data.instances(), &seeds);
 
     let mut group = c.benchmark_group("fig7");
     group.bench_function("sample_two_instances_2k_keys", |b| {
-        b.iter(|| sample_all_pps(black_box(data.instances()), black_box(150.0), &seeds))
+        b.iter(|| {
+            sample_all(
+                &PpsPoissonSampler::new(black_box(150.0)),
+                black_box(data.instances()),
+                &seeds,
+            )
+        })
     });
     group.bench_function("max_dominance_ht_aggregate", |b| {
         b.iter(|| max_dominance_ht(black_box(&samples), &seeds, |_| true))

@@ -1,0 +1,194 @@
+//! Ingest throughput of the streaming sampling API on a 1M-record traffic
+//! workload: legacy single-stream batch ingestion (materialize an `Instance`
+//! from the stream, then `sample()` it) versus sharded streaming sketch
+//! ingestion (`ingest` → `merge` → `finalize`) at 1/2/4/8 shards, for the
+//! PPS Poisson and bottom-k families.
+//!
+//! Two effects are measured:
+//!
+//! * **streaming vs. materialization** — the streaming path never builds the
+//!   per-instance hash map, so even a single shard ingests far faster than
+//!   the legacy batch path;
+//! * **shard scaling** — each shard ingests on its own OS thread; on
+//!   multi-core hosts the sharded rows drop further, while on a single
+//!   hardware thread they only pay the (small) spawn + merge overhead.  The
+//!   JSON records `threads_available` so the trajectory files stay
+//!   interpretable across machines.
+//!
+//! Besides the console table, running this bench rewrites
+//! `BENCH_stream_ingest_throughput.json` at the workspace root with the
+//! machine-readable data points (uploaded as a CI artifact).
+//!
+//! ```text
+//! cargo bench -p pie-bench --bench stream_ingest_throughput
+//! ```
+
+use std::time::Instant;
+
+use partial_info_estimators::{ingest_merge_finalize, sketch_pools};
+use pie_datagen::{generate_two_hours, ShardedStream, TrafficConfig};
+use pie_sampling::{
+    BottomKSampler, Instance, InstanceSample, PpsPoissonSampler, PpsRanks, SamplingScheme,
+    SeedAssignment,
+};
+
+/// Target workload size: 2 instances × 500k keys = 1M records.
+const KEYS_PER_INSTANCE: usize = 500_000;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const ROUNDS: usize = 5;
+
+/// One measured configuration.
+struct Case {
+    name: String,
+    ms: f64,
+    records_per_sec: f64,
+}
+
+fn measure_case(name: impl Into<String>, records: usize, mut pass: impl FnMut()) -> Case {
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        pass();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    Case {
+        name: name.into(),
+        ms: best,
+        records_per_sec: records as f64 / (best / 1e3),
+    }
+}
+
+/// The legacy path: the stream must be materialized into an `Instance`
+/// (hash-map build over every record) before `sample()` can run.
+fn legacy_single_stream<F>(stream: &ShardedStream, sample: F) -> Vec<InstanceSample>
+where
+    F: Fn(&Instance, u64) -> InstanceSample,
+{
+    (0..stream.num_instances())
+        .map(|i| {
+            let instance = Instance::from_pairs(stream.part(i, 0).iter().copied());
+            sample(&instance, i as u64)
+        })
+        .collect()
+}
+
+fn run_family<S: SamplingScheme>(
+    label: &str,
+    scheme: &S,
+    dataset: &pie_datagen::Dataset,
+    seeds: &SeedAssignment,
+    legacy: impl Fn(&Instance, u64) -> InstanceSample,
+    cases: &mut Vec<Case>,
+) {
+    let single = ShardedStream::from_dataset(dataset, 1);
+    let records = single.num_records();
+
+    let case = measure_case(format!("{label}/single_stream_batch"), records, || {
+        std::hint::black_box(legacy_single_stream(&single, &legacy));
+    });
+    let single_ms = case.ms;
+    println!(
+        "{:<44} {:>9.2} ms  ({:>5.1} Mrec/s)",
+        case.name,
+        case.ms,
+        case.records_per_sec / 1e6
+    );
+    cases.push(case);
+
+    let mut reference: Option<Vec<InstanceSample>> = None;
+    for shards in SHARD_COUNTS {
+        let stream = ShardedStream::from_dataset(dataset, shards);
+        // The streaming path shares the pipeline's sketch-lifecycle
+        // implementation, so the bench measures the exact production pass.
+        let mut pools = sketch_pools(scheme, &stream, seeds);
+        let mut out: Vec<InstanceSample> = Vec::new();
+        let case = measure_case(
+            format!("{label}/stream_ingest_shards_{shards}"),
+            records,
+            || out = ingest_merge_finalize(&stream, &mut pools, seeds),
+        );
+        println!(
+            "{:<44} {:>9.2} ms  ({:>5.1} Mrec/s, {:.2}x vs single-stream batch)",
+            case.name,
+            case.ms,
+            case.records_per_sec / 1e6,
+            single_ms / case.ms
+        );
+        match &reference {
+            None => reference = Some(out.clone()),
+            Some(r) => assert_eq!(r, &out, "shard count must not change the sample"),
+        }
+        cases.push(case);
+    }
+}
+
+fn main() {
+    let mut config = TrafficConfig::paper_scale();
+    config.keys_per_hour = KEYS_PER_INSTANCE;
+    config.flows_per_hour = 1.1e7;
+    let dataset = generate_two_hours(&config);
+    let total_records: usize = dataset.instances().iter().map(Instance::len).sum();
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    println!(
+        "traffic workload: {total_records} records over {} instances, {threads} hardware thread(s)\n",
+        dataset.num_instances()
+    );
+
+    let seeds = SeedAssignment::independent_known(0xBEEF);
+    let mut cases: Vec<Case> = Vec::new();
+
+    // ~50k of 1M records sampled per instance.
+    let pps = PpsPoissonSampler::new(220.0);
+    run_family(
+        "pps_poisson",
+        &pps,
+        &dataset,
+        &seeds,
+        |inst, i| pps.sample(inst, &seeds, i),
+        &mut cases,
+    );
+    println!();
+
+    let bottomk = BottomKSampler::new(PpsRanks, 4096);
+    run_family(
+        "bottomk_pps_4096",
+        &bottomk,
+        &dataset,
+        &seeds,
+        |inst, i| bottomk.sample(inst, &seeds, i),
+        &mut cases,
+    );
+
+    // Machine-readable trajectory point.
+    let find = |name_prefix: &str| {
+        cases
+            .iter()
+            .find(|c| c.name.starts_with(name_prefix))
+            .expect("case measured")
+    };
+    let pps_single = find("pps_poisson/single_stream_batch");
+    let pps_sharded4 = find("pps_poisson/stream_ingest_shards_4");
+    let rows: Vec<String> = cases
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{ \"case\": \"{}\", \"ms\": {:.2}, \"records_per_sec\": {:.0} }}",
+                c.name, c.ms, c.records_per_sec
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"stream_ingest_throughput\",\n  \"records\": {total_records},\n  \"threads_available\": {threads},\n  \"note\": \"single_stream_batch is the legacy ingest path (materialize an Instance from the stream, then batch sample()); stream_ingest_shards_N is the SamplingScheme sketch path with N key-partitioned shards, one thread per shard, merged per instance. Shard counts never change the resulting sample (asserted each run).\",\n  \"sharded_4_vs_single_stream_speedup\": {:.2},\n  \"results\": [\n{}\n  ]\n}}\n",
+        pps_single.ms / pps_sharded4.ms,
+        rows.join(",\n")
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_stream_ingest_throughput.json"
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+    print!("{json}");
+}

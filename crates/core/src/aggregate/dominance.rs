@@ -147,7 +147,7 @@ pub fn true_l1_distance<F: Fn(Key) -> bool>(a: &Instance, b: &Instance, select: 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pie_sampling::sample_all_pps;
+    use pie_sampling::{sample_all, PpsPoissonSampler};
 
     fn example_instances() -> Vec<Instance> {
         // Figure 5 (A): 3 instances × 6 keys; we use the first two instances.
@@ -200,7 +200,7 @@ mod tests {
         let (mut sum_l, mut sum_ht) = (0.0, 0.0);
         for salt in 0..reps {
             let seeds = SeedAssignment::independent_known(salt);
-            let samples = sample_all_pps(&instances, tau_star, &seeds);
+            let samples = sample_all(&PpsPoissonSampler::new(tau_star), &instances, &seeds);
             sum_l += max_dominance_l(&samples, &seeds, |_| true);
             sum_ht += max_dominance_ht(&samples, &seeds, |_| true);
         }
@@ -227,7 +227,7 @@ mod tests {
         let (mut sq_l, mut sq_ht) = (0.0, 0.0);
         for salt in 0..reps {
             let seeds = SeedAssignment::independent_known(10_000 + salt);
-            let samples = sample_all_pps(&instances, tau_star, &seeds);
+            let samples = sample_all(&PpsPoissonSampler::new(tau_star), &instances, &seeds);
             sq_l += (max_dominance_l(&samples, &seeds, |_| true) - truth).powi(2);
             sq_ht += (max_dominance_ht(&samples, &seeds, |_| true) - truth).powi(2);
         }
@@ -252,7 +252,7 @@ mod tests {
         let mut sum = 0.0;
         for salt in 0..reps {
             let seeds = SeedAssignment::independent_known(salt);
-            let samples = sample_all_pps(&instances, 25.0, &seeds);
+            let samples = sample_all(&PpsPoissonSampler::new(25.0), &instances, &seeds);
             sum += min_dominance_ht(&samples, &seeds, |_| true);
         }
         let mean = sum / reps as f64;
@@ -272,7 +272,7 @@ mod tests {
         let mut sum = 0.0;
         for salt in 0..reps {
             let seeds = SeedAssignment::independent_known(salt);
-            let samples = sample_all_pps(&instances, 20.0, &seeds);
+            let samples = sample_all(&PpsPoissonSampler::new(20.0), &instances, &seeds);
             sum += l1_distance_estimate(&samples, &seeds, |_| true);
         }
         let mean = sum / reps as f64;
@@ -286,7 +286,7 @@ mod tests {
     fn selection_predicates_partition_the_estimate() {
         let instances = example_instances();
         let seeds = SeedAssignment::independent_known(5);
-        let samples = sample_all_pps(&instances, 15.0, &seeds);
+        let samples = sample_all(&PpsPoissonSampler::new(15.0), &instances, &seeds);
         let all = max_dominance_l(&samples, &seeds, |_| true);
         let even = max_dominance_l(&samples, &seeds, |k| k % 2 == 0);
         let odd = max_dominance_l(&samples, &seeds, |k| k % 2 == 1);
@@ -308,10 +308,10 @@ mod tests {
         let (mut sum_coord, mut sum_indep) = (0.0, 0.0);
         for salt in 0..reps {
             let shared = SeedAssignment::shared(salt);
-            let samples = sample_all_pps(&instances, 20.0, &shared);
+            let samples = sample_all(&PpsPoissonSampler::new(20.0), &instances, &shared);
             sum_coord += max_dominance_l(&samples, &shared, |_| true);
             let indep = SeedAssignment::independent_known(salt);
-            let samples = sample_all_pps(&instances, 20.0, &indep);
+            let samples = sample_all(&PpsPoissonSampler::new(20.0), &instances, &indep);
             sum_indep += max_dominance_l(&samples, &indep, |_| true);
         }
         let mean_coord = sum_coord / reps as f64;

@@ -9,7 +9,9 @@
 //! * [`traffic`] — the synthetic stand-in for the paper's proprietary two-hour
 //!   IP-traffic logs (Section 8.2 / Figure 7);
 //! * [`sets`] — binary set pairs with a controlled Jaccard coefficient
-//!   (Section 8.1 / Figure 6).
+//!   (Section 8.1 / Figure 6);
+//! * [`stream`] — adapters that expose a dataset as a sharded record stream
+//!   for the streaming `SamplingScheme` ingest path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -17,10 +19,12 @@
 
 pub mod dataset;
 pub mod sets;
+pub mod stream;
 pub mod traffic;
 pub mod zipf;
 
 pub use dataset::{paper_example, Dataset};
 pub use sets::{generate_set_pair, SetPairConfig};
+pub use stream::{dataset_records, shard_of, ShardedStream, StreamRecord};
 pub use traffic::{generate_two_hours, TrafficConfig};
 pub use zipf::{zipf_values, Zipf};

@@ -1,0 +1,210 @@
+//! Stream adapters: expose datasets as sharded record streams.
+//!
+//! The streaming sampling API (`pie-sampling`'s `SamplingScheme` /
+//! `Sketch`) consumes records `(key, weight)` one at a time, partitioned by
+//! key across shards.  This module adapts the in-memory [`Dataset`] model to
+//! that regime: [`dataset_records`] flattens a dataset into a deterministic
+//! record stream (instance-major, key-ascending), and [`ShardedStream`]
+//! pre-partitions the records per `(instance, shard)` the way a keyed log
+//! partitioner would, so ingest loops and benches can replay them without
+//! touching the dataset again.
+//!
+//! Sharding is by key hash ([`shard_of`]), which keeps every key's records
+//! in one shard — the contract the mergeable sketches require — while
+//! spreading heavy-tailed key populations evenly.
+
+use pie_sampling::hash::mix64;
+use pie_sampling::Key;
+
+use crate::dataset::Dataset;
+
+/// One record of a traffic stream: `key` contributed `value` in `instance`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamRecord {
+    /// Index of the instance (e.g. the hour) this record belongs to.
+    pub instance: u64,
+    /// The record's key.
+    pub key: Key,
+    /// The record's (pre-aggregated) weight.
+    pub value: f64,
+}
+
+/// The shard a key's records are routed to, out of `shards`.
+///
+/// Uses the avalanching [`mix64`] so that sequential key spaces (as the
+/// synthetic generators produce) still spread evenly.
+///
+/// # Panics
+/// Panics if `shards == 0`.
+#[must_use]
+pub fn shard_of(key: Key, shards: usize) -> usize {
+    assert!(shards > 0, "need at least one shard");
+    (mix64(key) % shards as u64) as usize
+}
+
+/// Flattens a dataset into its record stream in deterministic order:
+/// instance-major, keys ascending within each instance.
+///
+/// Only explicitly stored entries are emitted (weighted schemes never sample
+/// absent keys); use [`ShardedStream::over_universe`] when zero-valued
+/// universe keys must participate (weight-oblivious sampling).
+pub fn dataset_records(dataset: &Dataset) -> impl Iterator<Item = StreamRecord> + '_ {
+    dataset
+        .instances()
+        .iter()
+        .enumerate()
+        .flat_map(|(i, inst)| {
+            inst.sorted_keys().into_iter().map(move |key| StreamRecord {
+                instance: i as u64,
+                key,
+                value: inst.value(key),
+            })
+        })
+}
+
+/// A dataset's record stream, pre-partitioned per `(instance, shard)`.
+///
+/// Each part holds its records key-ascending, so replaying a part is
+/// deterministic; the concatenation of all parts of one instance is a
+/// key-partition of that instance's logical stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedStream {
+    shards: usize,
+    /// `parts[instance][shard]` — records routed to that shard.
+    parts: Vec<Vec<Vec<(Key, f64)>>>,
+}
+
+impl ShardedStream {
+    /// Partitions the dataset's explicit records into `shards` shards per
+    /// instance.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    #[must_use]
+    pub fn from_dataset(dataset: &Dataset, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let mut parts: Vec<Vec<Vec<(Key, f64)>>> = dataset
+            .instances()
+            .iter()
+            .map(|_| vec![Vec::new(); shards])
+            .collect();
+        for record in dataset_records(dataset) {
+            parts[record.instance as usize][shard_of(record.key, shards)]
+                .push((record.key, record.value));
+        }
+        Self { shards, parts }
+    }
+
+    /// Partitions the dataset over its full key universe: every union key is
+    /// emitted into **every** instance's stream, with weight 0 where the
+    /// instance has no value — the stream weight-oblivious sampling needs.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    #[must_use]
+    pub fn over_universe(dataset: &Dataset, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let universe = dataset.keys();
+        let parts = dataset
+            .instances()
+            .iter()
+            .map(|inst| {
+                let mut per_shard = vec![Vec::new(); shards];
+                for &key in &universe {
+                    per_shard[shard_of(key, shards)].push((key, inst.value(key)));
+                }
+                per_shard
+            })
+            .collect();
+        Self { shards, parts }
+    }
+
+    /// Number of shards per instance.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of instances.
+    #[must_use]
+    pub fn num_instances(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The records routed to `(instance, shard)`, key-ascending.
+    #[must_use]
+    pub fn part(&self, instance: usize, shard: usize) -> &[(Key, f64)] {
+        &self.parts[instance][shard]
+    }
+
+    /// Total number of records across all instances and shards.
+    #[must_use]
+    pub fn num_records(&self) -> usize {
+        self.parts
+            .iter()
+            .map(|inst| inst.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::paper_example;
+
+    #[test]
+    fn records_are_instance_major_and_key_sorted() {
+        let ds = paper_example();
+        let recs: Vec<StreamRecord> = dataset_records(&ds).collect();
+        assert_eq!(recs.len(), 18, "3 instances × 6 keys");
+        for pair in recs.windows(2) {
+            assert!(
+                pair[0].instance < pair[1].instance
+                    || (pair[0].instance == pair[1].instance && pair[0].key < pair[1].key),
+                "order violated: {pair:?}"
+            );
+        }
+        assert_eq!(recs[0].value, ds.instances()[0].value(recs[0].key));
+    }
+
+    #[test]
+    fn sharding_partitions_each_instance_exactly() {
+        let ds = paper_example();
+        for shards in [1, 2, 3, 5] {
+            let stream = ShardedStream::from_dataset(&ds, shards);
+            assert_eq!(stream.shards(), shards);
+            assert_eq!(stream.num_instances(), 3);
+            assert_eq!(stream.num_records(), 18);
+            for i in 0..3 {
+                let mut keys: Vec<Key> = (0..shards)
+                    .flat_map(|s| stream.part(i, s).iter().map(|&(k, _)| k))
+                    .collect();
+                keys.sort_unstable();
+                assert_eq!(keys, ds.instances()[i].sorted_keys());
+            }
+        }
+    }
+
+    #[test]
+    fn shard_routing_is_consistent_and_total() {
+        for key in 0..1000u64 {
+            let s = shard_of(key, 7);
+            assert!(s < 7);
+            assert_eq!(s, shard_of(key, 7), "routing must be deterministic");
+        }
+        // All shards receive traffic from a modest sequential key space.
+        let hit: std::collections::HashSet<usize> = (0..1000u64).map(|k| shard_of(k, 8)).collect();
+        assert_eq!(hit.len(), 8);
+    }
+
+    #[test]
+    fn universe_stream_contains_zero_valued_keys() {
+        let ds = paper_example();
+        let stream = ShardedStream::over_universe(&ds, 2);
+        // Key 2 has value 0 in instance 0 but must still appear in its stream.
+        let part = stream.part(0, shard_of(2, 2));
+        assert!(part.iter().any(|&(k, v)| k == 2 && v == 0.0));
+        // Every instance's stream covers the full 6-key universe.
+        assert_eq!(stream.num_records(), 18);
+    }
+}

@@ -11,15 +11,20 @@
 //! Poisson sample with per-key inclusion probability `F_v(threshold)`, which
 //! is how [`InstanceSample::inclusion_probability`] computes it.
 //!
-//! A streaming builder ([`BottomKBuilder`]) is provided for one-pass
-//! summarization with `O(k)` memory.
+//! Summarization is one-pass with `O(k)` memory and *mergeable*: because a
+//! key's rank is a pure function of `(seed, value)`, the `k + 1`
+//! smallest-ranked keys of a stream are always contained in the union of the
+//! `k + 1` smallest of its shards, so merging per-shard
+//! [`BottomKSketch`]es (or [`BottomKBuilder`]s) and re-trimming reproduces
+//! the single-stream sample bit for bit.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use crate::instance::{Instance, Key};
 use crate::rank::{ExpRanks, PpsRanks, RankFamily};
 use crate::sample::{InstanceSample, RankKind, SampleScheme};
+use crate::scheme::{SamplingScheme, Sketch};
 use crate::seed::SeedAssignment;
 
 /// An entry in the streaming bottom-k heap, ordered by rank (max-heap so the
@@ -85,8 +90,9 @@ impl<R: RankFamily> BottomKSampler<R> {
         &self.family
     }
 
-    /// Samples `instance`, producing the `k` smallest-ranked positive keys and
-    /// recording the `(k+1)`-st smallest rank as the threshold.
+    /// Samples `instance` — a thin batch wrapper over streaming
+    /// ingest-then-finalize — producing the `k` smallest-ranked positive keys
+    /// and recording the `(k+1)`-st smallest rank as the threshold.
     #[must_use]
     pub fn sample(
         &self,
@@ -94,11 +100,11 @@ impl<R: RankFamily> BottomKSampler<R> {
         seeds: &SeedAssignment,
         instance_index: u64,
     ) -> InstanceSample {
-        let mut builder = BottomKBuilder::new(self.family.clone(), self.k);
+        let mut sketch = self.sketch(seeds, instance_index);
         for (key, value) in instance.iter() {
-            builder.offer(key, value, seeds.seed(key, instance_index));
+            sketch.ingest(key, value);
         }
-        builder.finish(instance_index, rank_kind_of(&self.family))
+        sketch.finalize()
     }
 
     /// The rank a given `(key, value)` would receive with the supplied seeds —
@@ -172,27 +178,120 @@ impl<R: RankFamily> BottomKBuilder<R> {
         self.offered
     }
 
-    /// Finalizes the sample.
+    /// Merges `other` — a builder over a disjoint shard of the same stream —
+    /// into `self`, draining it.
+    ///
+    /// Each builder retains its shard's `k + 1` smallest ranks; the stream's
+    /// `k + 1` smallest are contained in the union of those candidate sets,
+    /// so pushing and re-trimming reproduces single-stream summarization
+    /// exactly.
+    ///
+    /// # Panics
+    /// Panics if the two builders have different `k`.
+    pub fn merge(&mut self, other: &mut Self) {
+        assert_eq!(
+            self.k, other.k,
+            "cannot merge bottom-k builders of different k"
+        );
+        self.offered += std::mem::take(&mut other.offered);
+        for e in other.heap.drain() {
+            self.heap.push(e);
+            if self.heap.len() > self.k + 1 {
+                self.heap.pop();
+            }
+        }
+    }
+
+    /// Clears the builder for reuse, retaining heap capacity.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.offered = 0;
+    }
+
+    /// Finalizes the sample, draining the builder (which stays reusable).
     #[must_use]
-    pub fn finish(self, instance_index: u64, ranks: RankKind) -> InstanceSample {
-        let mut entries_sorted: Vec<HeapEntry> = self.heap.into_sorted_vec();
-        // `into_sorted_vec` is ascending by rank; the last entry (if we have
-        // k + 1) is the threshold and is excluded from the sample.
+    pub fn take_sample(&mut self, instance_index: u64, ranks: RankKind) -> InstanceSample {
+        let mut entries_sorted: Vec<HeapEntry> = self.heap.drain().collect();
+        self.offered = 0;
+        entries_sorted.sort_unstable();
+        // Ascending by rank; the last entry (if we have k + 1) is the
+        // threshold and is excluded from the sample.
         let threshold = if entries_sorted.len() > self.k {
             entries_sorted.pop().map_or(f64::INFINITY, |e| e.rank)
         } else {
             f64::INFINITY
         };
-        let mut entries = HashMap::with_capacity(entries_sorted.len());
-        for e in entries_sorted {
-            entries.insert(e.key, e.value);
-        }
         InstanceSample::new(
             instance_index,
             SampleScheme::BottomK { k: self.k, ranks },
             threshold,
-            entries,
+            entries_sorted.into_iter().map(|e| (e.key, e.value)),
         )
+    }
+
+    /// Finalizes the sample, consuming the builder.
+    #[must_use]
+    pub fn finish(mut self, instance_index: u64, ranks: RankKind) -> InstanceSample {
+        self.take_sample(instance_index, ranks)
+    }
+}
+
+impl<R: RankFamily> SamplingScheme for BottomKSampler<R> {
+    type Sketch = BottomKSketch<R>;
+
+    fn name(&self) -> &'static str {
+        match self.family.name() {
+            "pps" => "bottomk_pps",
+            _ => "bottomk_exp",
+        }
+    }
+
+    fn sketch(&self, seeds: &SeedAssignment, instance_index: u64) -> Self::Sketch {
+        BottomKSketch {
+            builder: BottomKBuilder::new(self.family.clone(), self.k),
+            ranks: rank_kind_of(&self.family),
+            seeds: *seeds,
+            instance_index,
+        }
+    }
+}
+
+/// Streaming bottom-k state: a bounded `k + 1` heap of the smallest ranks
+/// seen in this shard, with ranks derived from the hash-seed assignment.
+#[derive(Debug, Clone)]
+pub struct BottomKSketch<R: RankFamily> {
+    builder: BottomKBuilder<R>,
+    ranks: RankKind,
+    seeds: SeedAssignment,
+    instance_index: u64,
+}
+
+impl<R: RankFamily> Sketch for BottomKSketch<R> {
+    fn ingest(&mut self, key: Key, weight: f64) {
+        self.builder
+            .offer(key, weight, self.seeds.seed(key, self.instance_index));
+    }
+
+    fn merge(&mut self, other: &mut Self) {
+        assert_eq!(
+            self.instance_index, other.instance_index,
+            "cannot merge bottom-k sketches of different instances"
+        );
+        self.builder.merge(&mut other.builder);
+    }
+
+    fn finalize(&mut self) -> InstanceSample {
+        self.builder.take_sample(self.instance_index, self.ranks)
+    }
+
+    fn reset(&mut self, seeds: &SeedAssignment, instance_index: u64) {
+        self.seeds = *seeds;
+        self.instance_index = instance_index;
+        self.builder.clear();
+    }
+
+    fn ingested(&self) -> usize {
+        self.builder.offered()
     }
 }
 

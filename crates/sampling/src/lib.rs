@@ -1,28 +1,42 @@
-//! # pie-sampling — sampling substrate for partial-information estimation
+//! # pie-sampling — streaming sampling substrate for partial-information
+//! estimation
 //!
 //! This crate implements every sampling scheme used by Cohen & Kaplan,
 //! *"Get the Most out of Your Sample: Optimal Unbiased Estimators using
-//! Partial Information"* (PODS 2011):
+//! Partial Information"* (PODS 2011), organized **stream-first**: records
+//! `(key, weight)` are ingested one at a time into per-shard sketches,
+//! shard sketches are merged, and the merged sketch finalizes into the
+//! rank-conditioned per-instance sample the estimators consume.
 //!
-//! * reproducible hash-based randomization ([`hash`], [`seed`]) — the basis of
-//!   the paper's "known seeds" and coordinated-sampling models;
+//! * the unified streaming API ([`scheme`]): [`SamplingScheme`] opens a
+//!   mergeable [`Sketch`] per instance/shard — `ingest` → `merge` →
+//!   `finalize`, with pooling support for allocation-free hot loops;
+//! * reproducible hash-based randomization ([`hash`], [`seed`]) — the basis
+//!   of the paper's "known seeds" and coordinated-sampling models, and of
+//!   the bit-identical shard-merge guarantee;
 //! * rank distributions ([`rank`]): PPS ranks and exponential ranks;
-//! * single-instance samplers: weight-oblivious and weighted Poisson
-//!   ([`poisson`]), bottom-k / priority / weighted-without-replacement
-//!   ([`bottomk`]), and VarOpt ([`varopt`]);
+//! * the four scheme families: weight-oblivious and weighted Poisson
+//!   ([`poisson`]), bottom-k / priority / weighted-without-replacement over
+//!   a bounded heap ([`bottomk`]), and VarOpt with threshold merge
+//!   ([`varopt`]);
 //! * the per-instance sample representation ([`sample`]) with
-//!   rank-conditioned inclusion probabilities;
+//!   rank-conditioned inclusion probabilities and deterministic (key-sorted)
+//!   iteration;
 //! * multi-instance drivers and per-key outcomes ([`multi`], [`outcome`]) —
 //!   the inputs consumed by the estimators in the `pie-core` crate;
 //! * the borrowed, allocation-free outcome accessors ([`view`]) read by the
 //!   batched estimation hot path.
+//!
+//! Batch `sample()` methods still exist on every sampler, but they are thin
+//! wrappers over ingest-then-finalize on the corresponding sketch — the
+//! streaming path is the implementation, not an afterthought.
 //!
 //! The guiding constraint (Section 2 of the paper) is that the processing of
 //! one instance never depends on the values of another: all coordination
 //! happens through the shared, hash-derived seed assignment.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod bottomk;
@@ -33,20 +47,29 @@ pub mod outcome;
 pub mod poisson;
 pub mod rank;
 pub mod sample;
+pub mod scheme;
 pub mod seed;
 pub mod varopt;
 pub mod view;
 
-pub use bottomk::{BottomKBuilder, BottomKSampler, PrioritySampler, WsWithoutReplacementSampler};
+pub use bottomk::{
+    BottomKBuilder, BottomKSampler, BottomKSketch, PrioritySampler, WsWithoutReplacementSampler,
+};
 pub use hash::Hasher64;
 pub use instance::{key_union, value_vector, Instance, Key};
 pub use multi::{
-    oblivious_outcomes, sample_all_oblivious, sample_all_pps, sampled_key_union, weighted_outcomes,
+    oblivious_outcomes, sample_all, sample_all_with_universe, sampled_key_union, weighted_outcomes,
 };
+#[allow(deprecated)]
+pub use multi::{sample_all_oblivious, sample_all_pps};
 pub use outcome::{ObliviousEntry, ObliviousOutcome, WeightedEntry, WeightedOutcome};
-pub use poisson::{ObliviousPoissonSampler, PpsPoissonSampler, ThresholdRankSampler};
+pub use poisson::{
+    ObliviousPoissonSampler, ObliviousPoissonSketch, PpsPoissonSampler, PpsPoissonSketch,
+    ThresholdRankSampler,
+};
 pub use rank::{ExpRanks, PpsRanks, RankFamily};
 pub use sample::{InstanceSample, RankKind, SampleScheme};
+pub use scheme::{merge_tree, SamplingScheme, Sketch};
 pub use seed::{Coordination, SeedAssignment, SeedVisibility};
-pub use varopt::VarOptSampler;
+pub use varopt::{VarOptSampler, VarOptScheme, VarOptSketch};
 pub use view::OutcomeView;

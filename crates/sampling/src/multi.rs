@@ -1,21 +1,85 @@
-//! Multi-instance sampling drivers.
+//! Multi-instance sampling drivers over the streaming [`SamplingScheme`]
+//! API.
 //!
 //! Dispersed instances are summarized *independently of each other's values*
 //! (the constraint of Section 2); what may be shared is the randomization.
-//! The helpers here sample every instance of a dataset with one scheme and
-//! one [`SeedAssignment`], and assemble per-key outcomes for downstream
-//! estimation.
+//! The drivers here open one [`Sketch`] per instance under a single
+//! [`SeedAssignment`], ingest each instance's records, and finalize into the
+//! per-instance samples downstream estimation consumes.  They are the
+//! single-process, single-shard specialization of the sharded
+//! ingest → merge → estimate flow; a sharded front-end (the umbrella crate's
+//! `StreamPipeline`) uses the same sketches across threads.
+//!
+//! Records are ingested in ascending key order, so even order-sensitive
+//! schemes (VarOpt) are reproducible across processes.
 
 use crate::instance::{key_union, Instance, Key};
 use crate::outcome::{ObliviousOutcome, WeightedOutcome};
 use crate::poisson::{ObliviousPoissonSampler, PpsPoissonSampler};
 use crate::sample::InstanceSample;
+use crate::scheme::{SamplingScheme, Sketch};
 use crate::seed::SeedAssignment;
+
+/// Samples every instance with one scheme and one seed assignment, streaming
+/// each instance's stored records through a fresh sketch.
+///
+/// Instance `i` uses instance index `i`; records are the instance's explicit
+/// entries (weighted schemes skip non-positive values on ingest).  Returns
+/// one [`InstanceSample`] per instance, in order.
+#[must_use]
+pub fn sample_all<S: SamplingScheme>(
+    scheme: &S,
+    instances: &[Instance],
+    seeds: &SeedAssignment,
+) -> Vec<InstanceSample> {
+    instances
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| {
+            let mut sketch = scheme.sketch(seeds, i as u64);
+            for key in inst.sorted_keys() {
+                sketch.ingest(key, inst.value(key));
+            }
+            sketch.finalize()
+        })
+        .collect()
+}
+
+/// Samples every instance over an explicit key `universe`: each universe key
+/// is ingested into every instance's sketch with that instance's value
+/// (0 where absent).
+///
+/// This is the driver for weight-oblivious sampling, where zero-valued keys
+/// participate in the Bernoulli trials; for weighted schemes it is
+/// equivalent to [`sample_all`] restricted to the universe.
+#[must_use]
+pub fn sample_all_with_universe<S: SamplingScheme>(
+    scheme: &S,
+    instances: &[Instance],
+    universe: &[Key],
+    seeds: &SeedAssignment,
+) -> Vec<InstanceSample> {
+    instances
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| {
+            let mut sketch = scheme.sketch(seeds, i as u64);
+            for &key in universe {
+                sketch.ingest(key, inst.value(key));
+            }
+            sketch.finalize()
+        })
+        .collect()
+}
 
 /// Samples every instance with weight-oblivious Poisson sampling over the
 /// union of all keys (plus any extra universe keys supplied).
 ///
 /// Returns one [`InstanceSample`] per instance, in order.
+#[deprecated(
+    since = "0.3.0",
+    note = "use sample_all_with_universe(&ObliviousPoissonSampler::new(p), ..) — the SamplingScheme streaming API"
+)]
 #[must_use]
 pub fn sample_all_oblivious(
     instances: &[Instance],
@@ -27,29 +91,28 @@ pub fn sample_all_oblivious(
     universe.extend_from_slice(extra_universe);
     universe.sort_unstable();
     universe.dedup();
-    let sampler = ObliviousPoissonSampler::new(p);
-    instances
-        .iter()
-        .enumerate()
-        .map(|(i, inst)| sampler.sample(inst, &universe, seeds, i as u64))
-        .collect()
+    sample_all_with_universe(
+        &ObliviousPoissonSampler::new(p),
+        instances,
+        &universe,
+        seeds,
+    )
 }
 
 /// Samples every instance with weighted Poisson PPS sampling (threshold τ*).
 ///
 /// Returns one [`InstanceSample`] per instance, in order.
+#[deprecated(
+    since = "0.3.0",
+    note = "use sample_all(&PpsPoissonSampler::new(tau_star), ..) — the SamplingScheme streaming API"
+)]
 #[must_use]
 pub fn sample_all_pps(
     instances: &[Instance],
     tau_star: f64,
     seeds: &SeedAssignment,
 ) -> Vec<InstanceSample> {
-    let sampler = PpsPoissonSampler::new(tau_star);
-    instances
-        .iter()
-        .enumerate()
-        .map(|(i, inst)| sampler.sample(inst, seeds, i as u64))
-        .collect()
+    sample_all(&PpsPoissonSampler::new(tau_star), instances, seeds)
 }
 
 /// Assembles the weight-oblivious outcome of every key in `keys` from the
@@ -78,7 +141,8 @@ pub fn weighted_outcomes(
 }
 
 /// The set of keys that appear (i.e. were sampled) in at least one of the
-/// samples, sorted ascending.
+/// samples, sorted ascending — a deterministic order, so downstream outcome
+/// batches and reports are reproducible across processes.
 ///
 /// For weighted schemes this is the natural key set over which to evaluate a
 /// sum aggregate: keys sampled nowhere necessarily contribute an estimate of
@@ -110,6 +174,7 @@ mod tests {
     fn oblivious_sampling_covers_key_union() {
         let instances = two_instances();
         let seeds = SeedAssignment::independent_known(1);
+        #[allow(deprecated)]
         let samples = sample_all_oblivious(&instances, 1.0, &[], &seeds);
         assert_eq!(samples.len(), 2);
         // With p = 1 every universe key is in every sample, including keys the
@@ -125,6 +190,7 @@ mod tests {
     fn oblivious_sampling_includes_extra_universe() {
         let instances = two_instances();
         let seeds = SeedAssignment::independent_known(1);
+        #[allow(deprecated)]
         let samples = sample_all_oblivious(&instances, 1.0, &[99], &seeds);
         assert!(samples[0].contains(99));
         assert_eq!(samples[0].value(99), Some(0.0));
@@ -134,7 +200,7 @@ mod tests {
     fn pps_sampling_produces_per_instance_samples() {
         let instances = two_instances();
         let seeds = SeedAssignment::independent_known(2);
-        let samples = sample_all_pps(&instances, 20.0, &seeds);
+        let samples = sample_all(&PpsPoissonSampler::new(20.0), &instances, &seeds);
         assert_eq!(samples.len(), 2);
         assert_eq!(samples[0].instance_index, 0);
         assert_eq!(samples[1].instance_index, 1);
@@ -143,10 +209,32 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_shims_match_trait_drivers() {
+        let instances = two_instances();
+        let seeds = SeedAssignment::independent_known(7);
+        #[allow(deprecated)]
+        let shim = sample_all_pps(&instances, 6.0, &seeds);
+        let direct = sample_all(&PpsPoissonSampler::new(6.0), &instances, &seeds);
+        assert_eq!(shim, direct);
+        let mut universe = key_union(&instances);
+        universe.push(42);
+        universe.sort_unstable();
+        #[allow(deprecated)]
+        let shim = sample_all_oblivious(&instances, 0.6, &[42], &seeds);
+        let direct = sample_all_with_universe(
+            &ObliviousPoissonSampler::new(0.6),
+            &instances,
+            &universe,
+            &seeds,
+        );
+        assert_eq!(shim, direct);
+    }
+
+    #[test]
     fn outcome_assembly_round_trips() {
         let instances = two_instances();
         let seeds = SeedAssignment::independent_known(3);
-        let samples = sample_all_pps(&instances, 20.0, &seeds);
+        let samples = sample_all(&PpsPoissonSampler::new(20.0), &instances, &seeds);
         let keys = sampled_key_union(&samples);
         let outcomes = weighted_outcomes(&keys, &samples, &seeds);
         assert_eq!(outcomes.len(), keys.len());
@@ -163,7 +251,13 @@ mod tests {
     fn oblivious_outcome_assembly() {
         let instances = two_instances();
         let seeds = SeedAssignment::independent_known(4);
-        let samples = sample_all_oblivious(&instances, 0.8, &[], &seeds);
+        let universe = key_union(&instances);
+        let samples = sample_all_with_universe(
+            &ObliviousPoissonSampler::new(0.8),
+            &instances,
+            &universe,
+            &seeds,
+        );
         let keys = vec![1, 2, 3, 4];
         let outcomes = oblivious_outcomes(&keys, &samples);
         assert_eq!(outcomes.len(), 4);
@@ -177,7 +271,7 @@ mod tests {
     fn sampled_key_union_is_sorted_and_deduped() {
         let instances = two_instances();
         let seeds = SeedAssignment::independent_known(5);
-        let samples = sample_all_pps(&instances, 0.5, &seeds);
+        let samples = sample_all(&PpsPoissonSampler::new(0.5), &instances, &seeds);
         let keys = sampled_key_union(&samples);
         let mut sorted = keys.clone();
         sorted.sort_unstable();

@@ -1,26 +1,30 @@
-//! Poisson (independent per-key) sampling of a single instance.
+//! Poisson (independent per-key) sampling, streaming-first.
 //!
-//! Three samplers are provided, matching Section 2 and Section 7.1 of the
+//! Poisson sampling makes a pure per-record decision — keep `(key, weight)`
+//! iff a function of the key's hash seed fires — so it shards trivially: a
+//! stream can be ingested by any number of [`Sketch`]es partitioned by key
+//! and merged into the exact sample single-stream ingestion would produce.
+//! Three schemes are provided, matching Section 2 and Section 7.1 of the
 //! paper:
 //!
-//! * [`ObliviousPoissonSampler`] — weight-oblivious: each key of an explicit
-//!   key universe is kept with a fixed probability `p`, independent of its
-//!   value.  This is the scheme of Section 4.
+//! * [`ObliviousPoissonSampler`] — weight-oblivious: each key of the stream
+//!   (including zero-weight universe keys) is kept with a fixed probability
+//!   `p`, independent of its value.  This is the scheme of Section 4.
 //! * [`PpsPoissonSampler`] — weighted PPS: a key of value `v` is kept with
 //!   probability `min(1, v/τ*)` (inclusion probability proportional to size).
 //!   This is the scheme of Section 5.
 //! * [`ThresholdRankSampler`] — generic Poisson-τ sampling for any
 //!   [`RankFamily`]: a key is kept iff its rank falls below a fixed threshold.
 //!
-//! All samplers draw their randomness from a [`SeedAssignment`], so samples
+//! All schemes draw their randomness from a [`SeedAssignment`], so samples
 //! are reproducible and the "known seeds" estimation model is available
-//! post hoc.
-
-use std::collections::HashMap;
+//! post hoc.  The batch `sample()` methods are thin wrappers over
+//! ingest-then-finalize on the corresponding sketch.
 
 use crate::instance::{Instance, Key};
 use crate::rank::RankFamily;
 use crate::sample::{InstanceSample, RankKind, SampleScheme};
+use crate::scheme::{SamplingScheme, Sketch};
 use crate::seed::SeedAssignment;
 
 /// Weight-oblivious Poisson sampling: keep each key of the universe with
@@ -47,7 +51,8 @@ impl ObliviousPoissonSampler {
         self.p
     }
 
-    /// Samples `instance` over the key universe `universe`.
+    /// Samples `instance` over the key universe `universe` — a thin batch
+    /// wrapper over streaming ingest-then-finalize.
     ///
     /// The universe must be supplied explicitly because weight-oblivious
     /// sampling also selects keys whose value is zero (they carry information
@@ -62,19 +67,83 @@ impl ObliviousPoissonSampler {
         seeds: &SeedAssignment,
         instance_index: u64,
     ) -> InstanceSample {
-        let mut entries = HashMap::new();
+        let mut sketch = self.sketch(seeds, instance_index);
         for &key in universe {
-            let u = seeds.seed(key, instance_index);
-            if u < self.p {
-                entries.insert(key, instance.value(key));
-            }
+            sketch.ingest(key, instance.value(key));
         }
-        InstanceSample::new(
+        sketch.finalize()
+    }
+}
+
+impl SamplingScheme for ObliviousPoissonSampler {
+    type Sketch = ObliviousPoissonSketch;
+
+    fn name(&self) -> &'static str {
+        "oblivious_poisson"
+    }
+
+    fn sketch(&self, seeds: &SeedAssignment, instance_index: u64) -> Self::Sketch {
+        ObliviousPoissonSketch {
+            p: self.p,
+            seeds: *seeds,
             instance_index,
+            entries: Vec::new(),
+            ingested: 0,
+        }
+    }
+}
+
+/// Streaming state of weight-oblivious Poisson sampling: the records whose
+/// Bernoulli trial fired.
+///
+/// Zero-weight records participate — the stream defines the key universe, so
+/// feed every universe key (with weight 0 where the instance has no value)
+/// when downstream estimators need oblivious outcomes over the full universe.
+#[derive(Debug, Clone)]
+pub struct ObliviousPoissonSketch {
+    p: f64,
+    seeds: SeedAssignment,
+    instance_index: u64,
+    entries: Vec<(Key, f64)>,
+    ingested: usize,
+}
+
+impl Sketch for ObliviousPoissonSketch {
+    fn ingest(&mut self, key: Key, weight: f64) {
+        self.ingested += 1;
+        if self.seeds.seed(key, self.instance_index) < self.p {
+            self.entries.push((key, weight));
+        }
+    }
+
+    fn merge(&mut self, other: &mut Self) {
+        assert!(
+            self.p == other.p && self.instance_index == other.instance_index,
+            "cannot merge oblivious sketches with different p or instance"
+        );
+        self.entries.append(&mut other.entries);
+        self.ingested += std::mem::take(&mut other.ingested);
+    }
+
+    fn finalize(&mut self) -> InstanceSample {
+        self.ingested = 0;
+        InstanceSample::new(
+            self.instance_index,
             SampleScheme::ObliviousPoisson { p: self.p },
             0.0,
-            entries,
+            self.entries.drain(..),
         )
+    }
+
+    fn reset(&mut self, seeds: &SeedAssignment, instance_index: u64) {
+        self.seeds = *seeds;
+        self.instance_index = instance_index;
+        self.entries.clear();
+        self.ingested = 0;
+    }
+
+    fn ingested(&self) -> usize {
+        self.ingested
     }
 }
 
@@ -121,7 +190,8 @@ impl PpsPoissonSampler {
         self.tau_star
     }
 
-    /// Samples `instance`.  Only keys with positive value can be selected;
+    /// Samples `instance` — a thin batch wrapper over streaming
+    /// ingest-then-finalize.  Only keys with positive value can be selected;
     /// the key universe is implicit (zero-valued keys are never sampled by a
     /// weighted scheme).
     #[must_use]
@@ -131,24 +201,84 @@ impl PpsPoissonSampler {
         seeds: &SeedAssignment,
         instance_index: u64,
     ) -> InstanceSample {
-        let mut entries = HashMap::new();
+        let mut sketch = self.sketch(seeds, instance_index);
         for (key, value) in instance.iter() {
-            if value <= 0.0 {
-                continue;
-            }
-            let u = seeds.seed(key, instance_index);
-            if value >= u * self.tau_star {
-                entries.insert(key, value);
-            }
+            sketch.ingest(key, value);
         }
-        InstanceSample::new(
+        sketch.finalize()
+    }
+}
+
+impl SamplingScheme for PpsPoissonSampler {
+    type Sketch = PpsPoissonSketch;
+
+    fn name(&self) -> &'static str {
+        "pps_poisson"
+    }
+
+    fn sketch(&self, seeds: &SeedAssignment, instance_index: u64) -> Self::Sketch {
+        PpsPoissonSketch {
+            tau_star: self.tau_star,
+            seeds: *seeds,
             instance_index,
+            entries: Vec::new(),
+            ingested: 0,
+        }
+    }
+}
+
+/// Streaming state of weighted PPS Poisson sampling: the records that
+/// passed the `v ≥ u·τ*` test.  Non-positive weights are ignored.
+#[derive(Debug, Clone)]
+pub struct PpsPoissonSketch {
+    tau_star: f64,
+    seeds: SeedAssignment,
+    instance_index: u64,
+    entries: Vec<(Key, f64)>,
+    ingested: usize,
+}
+
+impl Sketch for PpsPoissonSketch {
+    fn ingest(&mut self, key: Key, weight: f64) {
+        if weight <= 0.0 {
+            return;
+        }
+        self.ingested += 1;
+        if weight >= self.seeds.seed(key, self.instance_index) * self.tau_star {
+            self.entries.push((key, weight));
+        }
+    }
+
+    fn merge(&mut self, other: &mut Self) {
+        assert!(
+            self.tau_star == other.tau_star && self.instance_index == other.instance_index,
+            "cannot merge PPS sketches with different tau_star or instance"
+        );
+        self.entries.append(&mut other.entries);
+        self.ingested += std::mem::take(&mut other.ingested);
+    }
+
+    fn finalize(&mut self) -> InstanceSample {
+        self.ingested = 0;
+        InstanceSample::new(
+            self.instance_index,
             SampleScheme::PpsPoisson {
                 tau_star: self.tau_star,
             },
             self.tau_star,
-            entries,
+            self.entries.drain(..),
         )
+    }
+
+    fn reset(&mut self, seeds: &SeedAssignment, instance_index: u64) {
+        self.seeds = *seeds;
+        self.instance_index = instance_index;
+        self.entries.clear();
+        self.ingested = 0;
+    }
+
+    fn ingested(&self) -> usize {
+        self.ingested
     }
 }
 
@@ -185,7 +315,7 @@ impl<R: RankFamily> ThresholdRankSampler<R> {
         seeds: &SeedAssignment,
         instance_index: u64,
     ) -> InstanceSample {
-        let mut entries = HashMap::new();
+        let mut entries = Vec::new();
         for (key, value) in instance.iter() {
             if value <= 0.0 {
                 continue;
@@ -193,7 +323,7 @@ impl<R: RankFamily> ThresholdRankSampler<R> {
             let u = seeds.seed(key, instance_index);
             let rank = self.family.rank_from_seed(u, value);
             if rank < self.tau {
-                entries.insert(key, value);
+                entries.push((key, value));
             }
         }
         // Represent as a PPS or bottom-k style scheme?  The natural mapping is a

@@ -7,8 +7,13 @@
 //! probabilities are the *rank-conditioned* (RC) probabilities of
 //! Section 7.1, which let bottom-k samples be treated like Poisson samples
 //! for estimation purposes.
-
-use std::collections::HashMap;
+//!
+//! Samples are produced either by a streaming [`Sketch`](crate::Sketch)
+//! (`ingest` → `merge` → `finalize`) or by the batch `sample()` wrappers,
+//! which are thin shims over the same sketches.  Entries are stored **sorted
+//! by key**, so iteration order, equality, and report output are
+//! deterministic across processes — two runs with the same seeds produce
+//! bit-identical samples regardless of ingestion sharding.
 
 use crate::instance::Key;
 
@@ -78,18 +83,28 @@ pub struct InstanceSample {
     /// * `BottomK` — the `(k+1)`-st smallest rank (`+∞` if fewer than `k+1` keys),
     /// * `VarOpt` — the VarOpt threshold τ.
     pub threshold: f64,
-    entries: HashMap<Key, f64>,
+    /// Sampled `(key, value)` pairs, sorted ascending by key.
+    entries: Vec<(Key, f64)>,
 }
 
 impl InstanceSample {
     /// Creates a sample from its parts.
+    ///
+    /// `entries` may arrive in any order (a `HashMap`, a drained sketch
+    /// buffer, …); they are canonicalized to ascending key order so that
+    /// iteration, equality, and rendering are deterministic.  If a key occurs
+    /// more than once, the occurrence that survives is unspecified — sketches
+    /// and samplers never emit duplicates.
     #[must_use]
     pub fn new(
         instance_index: u64,
         scheme: SampleScheme,
         threshold: f64,
-        entries: HashMap<Key, f64>,
+        entries: impl IntoIterator<Item = (Key, f64)>,
     ) -> Self {
+        let mut entries: Vec<(Key, f64)> = entries.into_iter().collect();
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        entries.dedup_by_key(|&mut (k, _)| k);
         Self {
             instance_index,
             scheme,
@@ -113,26 +128,34 @@ impl InstanceSample {
     /// Whether `key` was sampled.
     #[must_use]
     pub fn contains(&self, key: Key) -> bool {
-        self.entries.contains_key(&key)
+        self.entries.binary_search_by_key(&key, |&(k, _)| k).is_ok()
     }
 
     /// The sampled value of `key`, or `None` if the key was not sampled.
     #[must_use]
     pub fn value(&self, key: Key) -> Option<f64> {
-        self.entries.get(&key).copied()
+        self.entries
+            .binary_search_by_key(&key, |&(k, _)| k)
+            .ok()
+            .map(|i| self.entries[i].1)
     }
 
-    /// Iterator over sampled `(key, value)` pairs in unspecified order.
+    /// Iterator over sampled `(key, value)` pairs in ascending key order
+    /// (deterministic across runs and processes).
     pub fn iter(&self) -> impl Iterator<Item = (Key, f64)> + '_ {
-        self.entries.iter().map(|(&k, &v)| (k, v))
+        self.entries.iter().copied()
+    }
+
+    /// The sampled `(key, value)` pairs as a slice, sorted ascending by key.
+    #[must_use]
+    pub fn entries(&self) -> &[(Key, f64)] {
+        &self.entries
     }
 
     /// Sampled keys sorted ascending (deterministic order for reports/tests).
     #[must_use]
     pub fn sorted_keys(&self) -> Vec<Key> {
-        let mut ks: Vec<Key> = self.entries.keys().copied().collect();
-        ks.sort_unstable();
-        ks
+        self.entries.iter().map(|&(k, _)| k).collect()
     }
 
     /// The inclusion probability of a key with value `value` under this
@@ -205,10 +228,7 @@ mod tests {
     use super::*;
 
     fn sample_with(scheme: SampleScheme, threshold: f64) -> InstanceSample {
-        let mut entries = HashMap::new();
-        entries.insert(1, 10.0);
-        entries.insert(2, 0.5);
-        InstanceSample::new(0, scheme, threshold, entries)
+        InstanceSample::new(0, scheme, threshold, [(2, 0.5), (1, 10.0)])
     }
 
     #[test]
@@ -286,6 +306,17 @@ mod tests {
         assert_eq!(s.value(2), Some(0.5));
         assert_eq!(s.value(3), None);
         assert_eq!(s.sorted_keys(), vec![1, 2]);
+    }
+
+    #[test]
+    fn entries_are_canonicalized_to_key_order() {
+        let scheme = SampleScheme::ObliviousPoisson { p: 0.5 };
+        let a = InstanceSample::new(0, scheme, 0.0, [(5, 1.0), (1, 2.0), (3, 4.0)]);
+        let b = InstanceSample::new(0, scheme, 0.0, [(3, 4.0), (5, 1.0), (1, 2.0)]);
+        assert_eq!(a, b, "insertion order must not affect equality");
+        assert_eq!(a.entries(), &[(1, 2.0), (3, 4.0), (5, 1.0)]);
+        let collected: Vec<(Key, f64)> = a.iter().collect();
+        assert_eq!(collected, vec![(1, 2.0), (3, 4.0), (5, 1.0)]);
     }
 
     #[test]

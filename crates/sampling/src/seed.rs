@@ -122,6 +122,18 @@ impl SeedAssignment {
         }
     }
 
+    /// Derives a deterministic 64-bit RNG seed for `(instance, shard)`.
+    ///
+    /// Schemes that need fresh (non-hash-seeded) randomness — VarOpt's
+    /// eviction draws — use this to seed a per-sketch RNG: runs with the same
+    /// salt are reproducible, while distinct shards of the same instance get
+    /// decorrelated streams.  Per-key sampling seeds are untouched.
+    #[inline]
+    #[must_use]
+    pub fn rng_seed(&self, instance: u64, shard: u64) -> u64 {
+        self.hasher.hash_pair(instance, shard)
+    }
+
     /// Returns the seed if it is visible to estimators, `None` otherwise.
     ///
     /// This is the accessor estimator-construction code should use: it makes

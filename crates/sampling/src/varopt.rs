@@ -16,13 +16,31 @@
 //! rather than from a hash-seed assignment, and its samples are used for
 //! single-instance subset sums and as a baseline, not for the known-seed
 //! multi-instance estimators.
+//!
+//! # Streaming and merging
+//!
+//! The reservoir is one-pass by construction; [`VarOptScheme`] /
+//! [`VarOptSketch`] adapt it to the unified
+//! [`SamplingScheme`](crate::SamplingScheme) streaming API, seeding each
+//! shard's RNG deterministically from the [`SeedAssignment`].  Shard merge
+//! uses the classic *threshold merge* (Cohen–Duffield–Kaplan–Lund–Thorup):
+//! each item of the absorbed reservoir re-enters with its **adjusted**
+//! weight — its true weight if above that reservoir's threshold, the
+//! threshold τ otherwise — so per-key Horvitz–Thompson estimates
+//! (`InstanceSample::ht_subset_sum`) stay unbiased for the concatenated
+//! stream.  Because eviction randomness is fresh per sketch, merge
+//! equivalence is distributional, not bitwise (unlike the hash-seeded
+//! schemes).  A merged sample may therefore report an item's adjusted rather
+//! than raw weight; estimation, which only consumes `v/p = max(v, τ)`, is
+//! unaffected.
 
-use std::collections::HashMap;
-
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::instance::{Instance, Key};
 use crate::sample::{InstanceSample, SampleScheme};
+use crate::scheme::{SamplingScheme, Sketch};
+use crate::seed::SeedAssignment;
 
 /// One key held by the VarOpt reservoir.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -204,22 +222,76 @@ impl VarOptSampler {
         debug_assert_eq!(self.len(), self.k);
     }
 
-    /// Finalizes the reservoir into an [`InstanceSample`].
-    #[must_use]
-    pub fn finish(self, instance_index: u64) -> InstanceSample {
-        let mut entries = HashMap::with_capacity(self.len());
-        for it in self.large.iter().chain(self.small.iter()) {
-            entries.insert(it.key, it.value);
+    /// Merges `other` — a reservoir over a disjoint shard of the same stream
+    /// — into `self`, draining it (threshold merge).
+    ///
+    /// Items from `other` re-enter with their adjusted weights: large items
+    /// with their true weight, small items with `other`'s threshold τ (their
+    /// unbiased adjusted weight), preserving unbiased subset-sum estimation
+    /// over the union.  `other` is left empty and reusable.
+    ///
+    /// # Panics
+    /// Panics if the reservoirs have different capacities.
+    pub fn merge_from<RNG: Rng + ?Sized>(&mut self, other: &mut Self, rng: &mut RNG) {
+        assert_eq!(
+            self.k, other.k,
+            "cannot merge VarOpt reservoirs of different capacities"
+        );
+        let processed = self.processed + other.processed;
+        let tau_other = other.tau;
+        for it in std::mem::take(&mut other.large) {
+            self.offer(it.key, it.value, rng);
         }
+        for it in std::mem::take(&mut other.small) {
+            // A small item's inclusion probability so far is v/τ; offering it
+            // at adjusted weight τ and surviving with probability τ/τ' leaves
+            // it included with the correct v/τ' overall.
+            self.offer(it.key, tau_other, rng);
+        }
+        self.processed = processed;
+        other.tau = 0.0;
+        other.processed = 0;
+    }
+
+    /// Clears the reservoir for reuse, retaining capacity.
+    pub fn clear(&mut self) {
+        self.large.clear();
+        self.small.clear();
+        self.tau = 0.0;
+        self.processed = 0;
+    }
+
+    /// Finalizes the reservoir into an [`InstanceSample`], draining it (the
+    /// reservoir stays reusable).
+    #[must_use]
+    pub fn take_sample(&mut self, instance_index: u64) -> InstanceSample {
+        let tau = self.tau;
+        let entries: Vec<(Key, f64)> = self
+            .large
+            .drain(..)
+            .chain(self.small.drain(..))
+            .map(|it| (it.key, it.value))
+            .collect();
+        self.clear();
         InstanceSample::new(
             instance_index,
             SampleScheme::VarOpt { k: self.k },
-            self.tau,
+            tau,
             entries,
         )
     }
 
+    /// Finalizes the reservoir into an [`InstanceSample`].
+    #[must_use]
+    pub fn finish(mut self, instance_index: u64) -> InstanceSample {
+        self.take_sample(instance_index)
+    }
+
     /// Convenience: samples a whole instance in one call.
+    ///
+    /// Keys are offered in ascending order so that, given the same RNG seed,
+    /// the sample is reproducible across processes (hash-map iteration order
+    /// is not).
     #[must_use]
     pub fn sample<RNG: Rng + ?Sized>(
         k: usize,
@@ -228,10 +300,112 @@ impl VarOptSampler {
         instance_index: u64,
     ) -> InstanceSample {
         let mut res = Self::new(k);
-        for (key, value) in instance.iter() {
-            res.offer(key, value, rng);
+        for key in instance.sorted_keys() {
+            res.offer(key, instance.value(key), rng);
         }
-        res.finish(instance_index)
+        res.take_sample(instance_index)
+    }
+}
+
+/// Configuration of VarOpt sampling for the streaming
+/// [`SamplingScheme`] API: a fixed sample size `k`.
+///
+/// Unlike the hash-seeded schemes, each [`VarOptSketch`] owns an RNG seeded
+/// deterministically from the [`SeedAssignment`] via
+/// [`SeedAssignment::rng_seed`], so runs are reproducible while distinct
+/// shards draw decorrelated eviction randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VarOptScheme {
+    k: usize,
+}
+
+impl VarOptScheme {
+    /// Creates the scheme with fixed sample size `k > 0`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "VarOpt sample size must be positive");
+        Self { k }
+    }
+
+    /// The sample size `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl SamplingScheme for VarOptScheme {
+    type Sketch = VarOptSketch;
+
+    fn name(&self) -> &'static str {
+        "varopt"
+    }
+
+    fn sketch(&self, seeds: &SeedAssignment, instance_index: u64) -> Self::Sketch {
+        self.sketch_for_shard(seeds, instance_index, 0)
+    }
+
+    fn sketch_for_shard(
+        &self,
+        seeds: &SeedAssignment,
+        instance_index: u64,
+        shard: u64,
+    ) -> Self::Sketch {
+        VarOptSketch {
+            inner: VarOptSampler::new(self.k),
+            rng: StdRng::seed_from_u64(seeds.rng_seed(instance_index, shard)),
+            shard,
+            instance_index,
+        }
+    }
+}
+
+/// Streaming VarOpt state: a fixed-size reservoir plus the sketch-local RNG
+/// driving its evictions.
+#[derive(Debug, Clone)]
+pub struct VarOptSketch {
+    inner: VarOptSampler,
+    rng: StdRng,
+    shard: u64,
+    instance_index: u64,
+}
+
+impl VarOptSketch {
+    /// The current VarOpt threshold τ.
+    #[must_use]
+    pub fn tau(&self) -> f64 {
+        self.inner.tau()
+    }
+}
+
+impl Sketch for VarOptSketch {
+    fn ingest(&mut self, key: Key, weight: f64) {
+        self.inner.offer(key, weight, &mut self.rng);
+    }
+
+    fn merge(&mut self, other: &mut Self) {
+        assert_eq!(
+            self.instance_index, other.instance_index,
+            "cannot merge VarOpt sketches of different instances"
+        );
+        self.inner.merge_from(&mut other.inner, &mut self.rng);
+    }
+
+    fn finalize(&mut self) -> InstanceSample {
+        self.inner.take_sample(self.instance_index)
+    }
+
+    fn reset(&mut self, seeds: &SeedAssignment, instance_index: u64) {
+        self.instance_index = instance_index;
+        self.rng = StdRng::seed_from_u64(seeds.rng_seed(instance_index, self.shard));
+        self.inner.clear();
+    }
+
+    fn ingested(&self) -> usize {
+        self.inner.processed()
     }
 }
 

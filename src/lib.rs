@@ -19,11 +19,17 @@
 //! * [`analysis`] (`pie-analysis`) — Monte-Carlo and quadrature evaluation,
 //!   statistics, and report formatting.
 //!
-//! # Batch-first estimation
+//! # Streaming ingestion, batch-first estimation
 //!
-//! The API is shaped around the production regime — millions of keys per
-//! query — rather than one outcome at a time:
+//! The API is shaped around the production regime — keyed record streams of
+//! millions of keys — rather than materialized instances and one outcome at
+//! a time:
 //!
+//! * sampling runs through the unified [`sampling::SamplingScheme`] /
+//!   [`sampling::Sketch`] streaming API (`ingest` → `merge` → `finalize`);
+//!   the sharded [`StreamPipeline`] front-end ingests N key-partitioned
+//!   shards concurrently and merges them, bit-identically to single-stream
+//!   sampling for the hash-seeded schemes;
 //! * outcomes are read through the borrowed, allocation-free
 //!   [`sampling::OutcomeView`] accessors;
 //! * estimators run over slices of outcomes via the object-safe
@@ -56,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub mod pipeline;
+pub mod stream;
 
 pub use pie_analysis as analysis;
 pub use pie_core as core;
@@ -65,3 +72,4 @@ pub use pie_sampling as sampling;
 pub use pipeline::{
     EstimatorReport, EstimatorSet, Pipeline, PipelineError, PipelineReport, Scheme, Statistic,
 };
+pub use stream::{ingest_merge_finalize, sketch_pools, StreamPipeline};

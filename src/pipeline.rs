@@ -41,8 +41,9 @@ use pie_analysis::{Evaluation, RunningStats, Table};
 use pie_core::{functions, EstimatorRegistry};
 use pie_datagen::Dataset;
 use pie_sampling::{
-    sample_all_pps, sampled_key_union, InstanceSample, Key, ObliviousEntry, ObliviousOutcome,
-    ObliviousPoissonSampler, SeedAssignment, WeightedEntry, WeightedOutcome,
+    sample_all, sample_all_with_universe, sampled_key_union, InstanceSample, Key, ObliviousEntry,
+    ObliviousOutcome, ObliviousPoissonSampler, PpsPoissonSampler, SeedAssignment, WeightedEntry,
+    WeightedOutcome,
 };
 
 /// How each instance is sampled, independently of the others.
@@ -154,7 +155,7 @@ impl From<EstimatorRegistry<WeightedOutcome>> for EstimatorSet {
 }
 
 impl EstimatorSet {
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         match self {
             Self::Oblivious(r) => r.len(),
             Self::Weighted(r) => r.len(),
@@ -389,40 +390,39 @@ impl Pipeline {
         if estimators.len() == 0 {
             return Err(PipelineError::MissingEstimators);
         }
-        match scheme {
-            Scheme::ObliviousPoisson { p } if !(p > 0.0 && p <= 1.0) => {
-                return Err(PipelineError::InvalidScheme {
-                    scheme: format!("{scheme:?}"),
-                    reason: "sampling probability must lie in (0, 1]",
-                });
-            }
-            Scheme::PpsPoisson { tau_star } if !(tau_star > 0.0 && tau_star.is_finite()) => {
-                return Err(PipelineError::InvalidScheme {
-                    scheme: format!("{scheme:?}"),
-                    reason: "tau_star must be positive and finite",
-                });
-            }
-            _ => {}
-        }
+        validate_scheme(scheme)?;
         match (scheme, estimators) {
             (Scheme::ObliviousPoisson { p }, EstimatorSet::Oblivious(registry)) => {
-                Ok(run_oblivious(
+                // `Dataset::keys` is already the sorted, deduped union, so
+                // compute the universe once instead of per trial.
+                let universe = dataset.keys();
+                let sampler = ObliviousPoissonSampler::new(p);
+                let ds = Arc::clone(&dataset);
+                Ok(run_oblivious_with(
                     &dataset,
                     p,
                     &registry,
                     &statistic,
                     self.trials,
                     self.base_salt,
+                    move |_, seeds| {
+                        sample_all_with_universe(&sampler, ds.instances(), &universe, seeds)
+                    },
                 ))
             }
-            (Scheme::PpsPoisson { tau_star }, EstimatorSet::Weighted(registry)) => Ok(run_pps(
-                &dataset,
-                tau_star,
-                &registry,
-                &statistic,
-                self.trials,
-                self.base_salt,
-            )),
+            (Scheme::PpsPoisson { tau_star }, EstimatorSet::Weighted(registry)) => {
+                let sampler = PpsPoissonSampler::new(tau_star);
+                let ds = Arc::clone(&dataset);
+                Ok(run_pps_with(
+                    &dataset,
+                    tau_star,
+                    &registry,
+                    &statistic,
+                    self.trials,
+                    self.base_salt,
+                    move |_, seeds| sample_all(&sampler, ds.instances(), seeds),
+                ))
+            }
             (scheme, estimators) => Err(PipelineError::RegimeMismatch {
                 scheme: format!("{scheme:?}"),
                 estimators: match estimators {
@@ -431,6 +431,26 @@ impl Pipeline {
                 },
             }),
         }
+    }
+}
+
+/// Validates the scheme's parameters (shared by [`Pipeline`] and
+/// [`StreamPipeline`](crate::StreamPipeline)).
+pub(crate) fn validate_scheme(scheme: Scheme) -> Result<(), PipelineError> {
+    match scheme {
+        Scheme::ObliviousPoisson { p } if !(p > 0.0 && p <= 1.0) => {
+            Err(PipelineError::InvalidScheme {
+                scheme: format!("{scheme:?}"),
+                reason: "sampling probability must lie in (0, 1]",
+            })
+        }
+        Scheme::PpsPoisson { tau_star } if !(tau_star > 0.0 && tau_star.is_finite()) => {
+            Err(PipelineError::InvalidScheme {
+                scheme: format!("{scheme:?}"),
+                reason: "tau_star must be positive and finite",
+            })
+        }
+        _ => Ok(()),
     }
 }
 
@@ -464,15 +484,25 @@ fn summarize(
     }
 }
 
-fn run_oblivious(
+/// The oblivious-regime estimation core: runs `trials` Monte-Carlo trials,
+/// obtaining each trial's per-instance samples from `sample_trial` (batch
+/// samplers, sharded streaming ingest, …) and pushing them through the
+/// pooled outcome buffers and the batched estimator hot path.
+pub(crate) fn run_oblivious_with<F>(
     dataset: &Dataset,
     p: f64,
     registry: &EstimatorRegistry<ObliviousOutcome>,
     statistic: &Statistic,
     trials: u64,
     base_salt: u64,
-) -> PipelineReport {
+    mut sample_trial: F,
+) -> PipelineReport
+where
+    F: FnMut(u64, &SeedAssignment) -> Vec<InstanceSample>,
+{
     let truth = exact_truth(dataset, statistic);
+    // `keys` is the sorted, deduped union of all instances' keys: the same
+    // universe the sampling stage (batch or streaming) covers.
     let keys = dataset.keys();
     let r = dataset.num_instances();
     // Reusable buffers: one outcome per key, rewritten in place every trial.
@@ -482,18 +512,9 @@ fn run_oblivious(
         .collect();
     let mut estimates = vec![0.0; keys.len()];
     let mut stats: Vec<RunningStats> = (0..registry.len()).map(|_| RunningStats::new()).collect();
-    // `keys` is already the sorted, deduped union of all instances' keys
-    // (`Dataset::keys`), so sample each instance against it directly instead
-    // of letting `sample_all_oblivious` recompute the union every trial.
-    let sampler = ObliviousPoissonSampler::new(p);
     for t in 0..trials {
         let seeds = SeedAssignment::independent_known(base_salt.wrapping_add(t));
-        let samples: Vec<InstanceSample> = dataset
-            .instances()
-            .iter()
-            .enumerate()
-            .map(|(i, inst)| sampler.sample(inst, &keys, &seeds, i as u64))
-            .collect();
+        let samples = sample_trial(t, &seeds);
         fill_oblivious_outcomes(&keys, &samples, &mut outcomes);
         for ((_, estimator), stat) in registry.iter().zip(&mut stats) {
             estimator.estimate_batch(&outcomes, &mut estimates);
@@ -503,14 +524,20 @@ fn run_oblivious(
     summarize(statistic, truth, trials, registry.names(), &stats)
 }
 
-fn run_pps(
+/// The weighted (PPS, known seeds) estimation core; see
+/// [`run_oblivious_with`] for the trial structure.
+pub(crate) fn run_pps_with<F>(
     dataset: &Dataset,
     tau_star: f64,
     registry: &EstimatorRegistry<WeightedOutcome>,
     statistic: &Statistic,
     trials: u64,
     base_salt: u64,
-) -> PipelineReport {
+    mut sample_trial: F,
+) -> PipelineReport
+where
+    F: FnMut(u64, &SeedAssignment) -> Vec<InstanceSample>,
+{
     let truth = exact_truth(dataset, statistic);
     let r = dataset.num_instances();
     // Outcome pool: grows to the largest per-trial key set, then is reused.
@@ -521,7 +548,7 @@ fn run_pps(
     let mut stats: Vec<RunningStats> = (0..registry.len()).map(|_| RunningStats::new()).collect();
     for t in 0..trials {
         let seeds = SeedAssignment::independent_known(base_salt.wrapping_add(t));
-        let samples = sample_all_pps(dataset.instances(), tau_star, &seeds);
+        let samples = sample_trial(t, &seeds);
         let keys = sampled_key_union(&samples);
         grow_weighted_pool(&mut pool, keys.len(), r, tau_star);
         fill_weighted_outcomes(&keys, &samples, &seeds, tau_star, &mut pool[..keys.len()]);

@@ -1,0 +1,388 @@
+//! The sharded streaming front-end: traffic source → N shard sketches →
+//! merge tree → the batched estimation stage.
+//!
+//! [`StreamPipeline`] is the streaming counterpart of [`Pipeline`]: instead
+//! of sampling fully materialized instances, it replays each instance's
+//! record stream through per-shard [`Sketch`]es (one OS thread per shard),
+//! combines them with a binary merge tree, and finalizes into the exact
+//! per-instance samples the estimation stage already consumes.  For the
+//! hash-seeded schemes the estimates are **bit-identical** to the batch
+//! [`Pipeline`] on the same seeds, whatever the shard count — sharding is an
+//! execution strategy, not a statistical choice.
+//!
+//! Sketches are pooled per `(instance, shard)` and reset between
+//! Monte-Carlo trials, so the steady-state ingest loop performs no
+//! per-record heap allocation.
+//!
+//! ```
+//! use partial_info_estimators::{Pipeline, Scheme, Statistic, StreamPipeline};
+//! use partial_info_estimators::core::suite::max_weighted_suite;
+//! use partial_info_estimators::datagen::{generate_two_hours, TrafficConfig};
+//! use std::sync::Arc;
+//!
+//! let data = Arc::new(generate_two_hours(&TrafficConfig::small(3)));
+//! let streamed = StreamPipeline::new()
+//!     .dataset(Arc::clone(&data))
+//!     .scheme(Scheme::pps(200.0))
+//!     .shards(4)
+//!     .estimators(max_weighted_suite())
+//!     .statistic(Statistic::max_dominance())
+//!     .trials(10)
+//!     .run()
+//!     .unwrap();
+//! let batch = Pipeline::new()
+//!     .dataset(data)
+//!     .scheme(Scheme::pps(200.0))
+//!     .estimators(max_weighted_suite())
+//!     .statistic(Statistic::max_dominance())
+//!     .trials(10)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(streamed, batch, "sharding must not change the estimates");
+//! ```
+
+use std::sync::Arc;
+
+use pie_datagen::{Dataset, ShardedStream};
+use pie_sampling::{
+    InstanceSample, ObliviousPoissonSampler, PpsPoissonSampler, SamplingScheme, SeedAssignment,
+    Sketch,
+};
+
+use crate::pipeline::{
+    run_oblivious_with, run_pps_with, validate_scheme, EstimatorSet, PipelineError, PipelineReport,
+    Scheme, Statistic,
+};
+
+/// Builder wiring record stream → sharded ingest → merge tree → batched
+/// estimation.  See the [module docs](self) for the full walkthrough.
+#[derive(Debug)]
+#[must_use = "a stream pipeline does nothing until .run()"]
+pub struct StreamPipeline {
+    dataset: Option<Arc<Dataset>>,
+    scheme: Option<Scheme>,
+    shards: usize,
+    estimators: Option<EstimatorSet>,
+    statistic: Option<Statistic>,
+    trials: u64,
+    base_salt: u64,
+}
+
+impl Default for StreamPipeline {
+    /// Same as [`StreamPipeline::new`]: empty stages, 1 shard, 100 trials,
+    /// salt 0.
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamPipeline {
+    /// Starts an empty stream pipeline (1 shard, 100 trials, salt 0).
+    pub fn new() -> Self {
+        Self {
+            dataset: None,
+            scheme: None,
+            shards: 1,
+            estimators: None,
+            statistic: None,
+            trials: 100,
+            base_salt: 0,
+        }
+    }
+
+    /// Sets the dataset whose record stream is replayed.
+    pub fn dataset(mut self, dataset: impl Into<Arc<Dataset>>) -> Self {
+        self.dataset = Some(dataset.into());
+        self
+    }
+
+    /// Sets the per-instance sampling scheme.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = Some(scheme);
+        self
+    }
+
+    /// Sets the number of ingest shards per instance (default 1; values
+    /// below 1 are clamped to 1).  Each shard ingests on its own thread.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the estimators to run (registry regime must match the scheme).
+    pub fn estimators(mut self, estimators: impl Into<EstimatorSet>) -> Self {
+        self.estimators = Some(estimators.into());
+        self
+    }
+
+    /// Sets the aggregated statistic (and the ground truth it implies).
+    pub fn statistic(mut self, statistic: Statistic) -> Self {
+        self.statistic = Some(statistic);
+        self
+    }
+
+    /// Sets the number of Monte-Carlo sampling trials (default 100).
+    pub fn trials(mut self, trials: u64) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the base hash salt; trial `t` uses salt `base_salt + t`.
+    pub fn base_salt(mut self, base_salt: u64) -> Self {
+        self.base_salt = base_salt;
+        self
+    }
+
+    /// Runs the pipeline: partitions each instance's record stream across
+    /// the configured shards once, then per trial ingests all `(instance,
+    /// shard)` parts concurrently into pooled sketches, merges, finalizes,
+    /// and feeds the estimation stage shared with [`crate::Pipeline`].
+    ///
+    /// # Errors
+    /// Returns a [`PipelineError`] if a stage is missing, a scheme parameter
+    /// is out of range, or the estimator regime does not match the scheme.
+    pub fn run(self) -> Result<PipelineReport, PipelineError> {
+        let dataset = self.dataset.ok_or(PipelineError::MissingDataset)?;
+        let scheme = self.scheme.ok_or(PipelineError::MissingScheme)?;
+        let estimators = self.estimators.ok_or(PipelineError::MissingEstimators)?;
+        let statistic = self.statistic.ok_or(PipelineError::MissingStatistic)?;
+        if estimators.len() == 0 {
+            return Err(PipelineError::MissingEstimators);
+        }
+        validate_scheme(scheme)?;
+        let seeds0 = SeedAssignment::independent_known(self.base_salt);
+        match (scheme, estimators) {
+            (Scheme::ObliviousPoisson { p }, EstimatorSet::Oblivious(registry)) => {
+                // Weight-oblivious sampling runs over the key universe, so
+                // every union key is streamed into every instance's shards.
+                let stream = ShardedStream::over_universe(&dataset, self.shards);
+                let sampler = ObliviousPoissonSampler::new(p);
+                let mut pools = sketch_pools(&sampler, &stream, &seeds0);
+                Ok(run_oblivious_with(
+                    &dataset,
+                    p,
+                    &registry,
+                    &statistic,
+                    self.trials,
+                    self.base_salt,
+                    move |_, seeds| ingest_merge_finalize(&stream, &mut pools, seeds),
+                ))
+            }
+            (Scheme::PpsPoisson { tau_star }, EstimatorSet::Weighted(registry)) => {
+                let stream = ShardedStream::from_dataset(&dataset, self.shards);
+                let sampler = PpsPoissonSampler::new(tau_star);
+                let mut pools = sketch_pools(&sampler, &stream, &seeds0);
+                Ok(run_pps_with(
+                    &dataset,
+                    tau_star,
+                    &registry,
+                    &statistic,
+                    self.trials,
+                    self.base_salt,
+                    move |_, seeds| ingest_merge_finalize(&stream, &mut pools, seeds),
+                ))
+            }
+            (scheme, estimators) => Err(PipelineError::RegimeMismatch {
+                scheme: format!("{scheme:?}"),
+                estimators: match estimators {
+                    EstimatorSet::Oblivious(_) => "weight-oblivious",
+                    EstimatorSet::Weighted(_) => "weighted",
+                },
+            }),
+        }
+    }
+}
+
+/// Allocates the pooled sketches for one [`ShardedStream`], laid out
+/// `pools[shard][instance]` — the shape [`ingest_merge_finalize`] consumes,
+/// chosen so each shard's ingest thread owns one contiguous column.
+pub fn sketch_pools<S: SamplingScheme>(
+    scheme: &S,
+    stream: &ShardedStream,
+    seeds: &SeedAssignment,
+) -> Vec<Vec<S::Sketch>> {
+    (0..stream.shards())
+        .map(|s| {
+            (0..stream.num_instances())
+                .map(|i| scheme.sketch_for_shard(seeds, i as u64, s as u64))
+                .collect()
+        })
+        .collect()
+}
+
+/// One sharded sampling pass over a record stream: resets the pooled
+/// sketches (layout `pools[shard][instance]`, from [`sketch_pools`]) to this
+/// randomization, ingests every shard's parts — one OS thread per shard,
+/// each covering all instances — merges the shard sketches with a binary
+/// merge tree per instance, and finalizes into one [`InstanceSample`] per
+/// instance.
+///
+/// This is the single implementation of the sketch lifecycle choreography:
+/// the [`StreamPipeline`] hot loop calls it once per trial, and the
+/// `stream_ingest_throughput` bench and `sharded_traffic` example call it
+/// directly, so all three exercise the same code path.  The sketches are
+/// drained but keep their allocations, so repeated passes perform no
+/// per-record heap allocation.
+///
+/// # Panics
+/// Panics if `pools` does not match the stream's `[shard][instance]` shape.
+pub fn ingest_merge_finalize<K: Sketch>(
+    stream: &ShardedStream,
+    pools: &mut [Vec<K>],
+    seeds: &SeedAssignment,
+) -> Vec<InstanceSample> {
+    let shards = stream.shards();
+    let instances = stream.num_instances();
+    assert!(
+        pools.len() == shards && pools.iter().all(|column| column.len() == instances),
+        "sketch pools must be [shard][instance]-shaped for this stream"
+    );
+    let ingest_column = |s: usize, column: &mut Vec<K>| {
+        for (i, sketch) in column.iter_mut().enumerate() {
+            sketch.reset(seeds, i as u64);
+            for &(key, value) in stream.part(i, s) {
+                sketch.ingest(key, value);
+            }
+        }
+    };
+    if shards == 1 {
+        ingest_column(0, &mut pools[0]);
+    } else {
+        std::thread::scope(|scope| {
+            for (s, column) in pools.iter_mut().enumerate() {
+                scope.spawn(move || ingest_column(s, column));
+            }
+        });
+    }
+    // Binary merge tree across the shard dimension, per instance.
+    let mut step = 1;
+    while step < shards {
+        let mut s = 0;
+        while s + step < shards {
+            let (left, right) = pools.split_at_mut(s + step);
+            for (dst, src) in left[s].iter_mut().zip(right[0].iter_mut()) {
+                dst.merge(src);
+            }
+            s += 2 * step;
+        }
+        step *= 2;
+    }
+    pools[0].iter_mut().map(Sketch::finalize).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pipeline, Statistic};
+    use pie_core::suite::{max_oblivious_suite, max_weighted_suite};
+    use pie_datagen::{generate_two_hours, paper_example, TrafficConfig};
+
+    #[test]
+    fn stream_pipeline_requires_every_stage() {
+        assert_eq!(
+            StreamPipeline::new().run().unwrap_err(),
+            PipelineError::MissingDataset
+        );
+        assert_eq!(
+            StreamPipeline::new()
+                .dataset(paper_example())
+                .run()
+                .unwrap_err(),
+            PipelineError::MissingScheme
+        );
+        assert_eq!(
+            StreamPipeline::new()
+                .dataset(paper_example())
+                .scheme(Scheme::oblivious(0.5))
+                .run()
+                .unwrap_err(),
+            PipelineError::MissingEstimators
+        );
+    }
+
+    #[test]
+    fn stream_pipeline_rejects_regime_mismatch_and_bad_parameters() {
+        let err = StreamPipeline::new()
+            .dataset(paper_example())
+            .scheme(Scheme::oblivious(0.5))
+            .estimators(max_weighted_suite())
+            .statistic(Statistic::max_dominance())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::RegimeMismatch { .. }));
+        let err = StreamPipeline::new()
+            .dataset(paper_example())
+            .scheme(Scheme::pps(-1.0))
+            .estimators(max_weighted_suite())
+            .statistic(Statistic::max_dominance())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::InvalidScheme { .. }));
+    }
+
+    #[test]
+    fn sharded_pps_stream_matches_batch_pipeline_bitwise() {
+        let data = Arc::new(generate_two_hours(&TrafficConfig::small(5)));
+        let batch = Pipeline::new()
+            .dataset(Arc::clone(&data))
+            .scheme(Scheme::pps(150.0))
+            .estimators(max_weighted_suite())
+            .statistic(Statistic::max_dominance())
+            .trials(25)
+            .base_salt(3)
+            .run()
+            .unwrap();
+        for shards in [1, 2, 4, 7] {
+            let streamed = StreamPipeline::new()
+                .dataset(Arc::clone(&data))
+                .scheme(Scheme::pps(150.0))
+                .shards(shards)
+                .estimators(max_weighted_suite())
+                .statistic(Statistic::max_dominance())
+                .trials(25)
+                .base_salt(3)
+                .run()
+                .unwrap();
+            assert_eq!(streamed, batch, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn sharded_oblivious_stream_matches_batch_pipeline_bitwise() {
+        let data = Arc::new(paper_example().take_instances(2));
+        let batch = Pipeline::new()
+            .dataset(Arc::clone(&data))
+            .scheme(Scheme::oblivious(0.5))
+            .estimators(max_oblivious_suite(0.5, 0.5))
+            .statistic(Statistic::max_dominance())
+            .trials(200)
+            .run()
+            .unwrap();
+        for shards in [1, 3, 4] {
+            let streamed = StreamPipeline::new()
+                .dataset(Arc::clone(&data))
+                .scheme(Scheme::oblivious(0.5))
+                .shards(shards)
+                .estimators(max_oblivious_suite(0.5, 0.5))
+                .statistic(Statistic::max_dominance())
+                .trials(200)
+                .run()
+                .unwrap();
+            assert_eq!(streamed, batch, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let report = StreamPipeline::new()
+            .dataset(paper_example().take_instances(2))
+            .scheme(Scheme::oblivious(0.5))
+            .shards(0)
+            .estimators(max_oblivious_suite(0.5, 0.5))
+            .statistic(Statistic::max_dominance())
+            .trials(5)
+            .run()
+            .unwrap();
+        assert_eq!(report.trials, 5);
+    }
+}

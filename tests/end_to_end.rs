@@ -12,7 +12,9 @@ use partial_info_estimators::core::weighted::MaxLPps2;
 use partial_info_estimators::datagen::{
     generate_set_pair, generate_two_hours, SetPairConfig, TrafficConfig,
 };
-use partial_info_estimators::sampling::{sample_all_pps, BottomKSampler, PpsRanks, SeedAssignment};
+use partial_info_estimators::sampling::{
+    sample_all, BottomKSampler, PpsPoissonSampler, PpsRanks, SeedAssignment,
+};
 
 #[test]
 fn distinct_count_pipeline_over_poisson_samples() {
@@ -25,7 +27,7 @@ fn distinct_count_pipeline_over_poisson_samples() {
     let reps = 40;
     for salt in 0..reps {
         let seeds = SeedAssignment::independent_known(salt);
-        let samples = sample_all_pps(data.instances(), 1.0 / p, &seeds);
+        let samples = sample_all(&PpsPoissonSampler::new(1.0 / p), data.instances(), &seeds);
         ht_sum += distinct_count_ht(&samples[0], &samples[1], &seeds, |_| true);
         l_sum += distinct_count_l(&samples[0], &samples[1], &seeds, |_| true);
     }
@@ -74,7 +76,7 @@ fn max_dominance_pipeline_with_selection_predicate() {
     let reps = 60;
     for salt in 0..reps {
         let seeds = SeedAssignment::independent_known(salt);
-        let samples = sample_all_pps(data.instances(), 100.0, &seeds);
+        let samples = sample_all(&PpsPoissonSampler::new(100.0), data.instances(), &seeds);
         sum += max_dominance_l(&samples, &seeds, select);
     }
     let mean = sum / reps as f64;
@@ -92,7 +94,7 @@ fn min_dominance_pipeline() {
     let reps = 80;
     for salt in 0..reps {
         let seeds = SeedAssignment::independent_known(salt);
-        let samples = sample_all_pps(data.instances(), 60.0, &seeds);
+        let samples = sample_all(&PpsPoissonSampler::new(60.0), data.instances(), &seeds);
         sum += min_dominance_ht(&samples, &seeds, |_| true);
     }
     let mean = sum / reps as f64;
@@ -106,7 +108,7 @@ fn min_dominance_pipeline() {
 fn generic_sum_aggregate_matches_specialized_driver() {
     let data = generate_two_hours(&TrafficConfig::small(5));
     let seeds = SeedAssignment::independent_known(9);
-    let samples = sample_all_pps(data.instances(), 120.0, &seeds);
+    let samples = sample_all(&PpsPoissonSampler::new(120.0), data.instances(), &seeds);
     let a = max_dominance_l(&samples, &seeds, |_| true);
     let b = sum_aggregate(&MaxLPps2, &samples, &seeds, |_| true);
     assert!((a - b).abs() < 1e-9);
@@ -118,7 +120,7 @@ fn estimates_are_reproducible_for_a_fixed_salt() {
     let data = generate_two_hours(&TrafficConfig::small(64));
     let run = || {
         let seeds = SeedAssignment::independent_known(31337);
-        let samples = sample_all_pps(data.instances(), 80.0, &seeds);
+        let samples = sample_all(&PpsPoissonSampler::new(80.0), data.instances(), &seeds);
         max_dominance_l(&samples, &seeds, |_| true)
     };
     assert_eq!(run(), run());
