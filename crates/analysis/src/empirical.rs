@@ -12,6 +12,14 @@
 //! [`Estimator::estimate_batch`].  The `*_family` evaluators amortize
 //! outcome generation further by running a whole [`EstimatorRegistry`] over
 //! each batch in one pass — the shape benches and figure harnesses want.
+//!
+//! All evaluators execute on the parallel trial engine
+//! ([`crate::trial::TrialRunner`]): the trial range is partitioned into
+//! chunks of [`SIMULATION_BATCH`] trials, each chunk draws its outcomes from
+//! an RNG seeded by `(seed, chunk index)`, and per-chunk statistics are
+//! merged in chunk order.  Results therefore depend only on `(inputs,
+//! trials, seed)` — never on the worker-thread count, which follows
+//! `PIE_THREADS` / the machine's available parallelism.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -19,16 +27,22 @@ use rand::{Rng, SeedableRng};
 use pie_core::{Estimator, EstimatorRegistry};
 use pie_datagen::Dataset;
 use pie_sampling::{
-    sample_all, Key, ObliviousEntry, ObliviousOutcome, PpsPoissonSampler, SeedAssignment,
+    hash, sample_all, Key, ObliviousEntry, ObliviousOutcome, PpsPoissonSampler, SeedAssignment,
     WeightedEntry, WeightedOutcome,
 };
 
 use crate::stats::RunningStats;
+use crate::trial::TrialRunner;
 
 /// Number of simulated outcomes materialized per batch by the Monte-Carlo
-/// evaluators.  Large enough to amortize per-batch dispatch, small enough to
-/// stay cache-resident.
+/// evaluators — also their trial-engine reduction chunk width, so each chunk
+/// is generated as exactly one batch.  Large enough to amortize per-batch
+/// dispatch, small enough to stay cache-resident.
 pub const SIMULATION_BATCH: usize = 256;
+
+/// A dynamically dispatched, thread-shareable estimator reference — the lane
+/// unit of the batched Monte-Carlo evaluators.
+type DynLane<'a, O> = &'a (dyn Estimator<O> + Send + Sync);
 
 /// The result of evaluating an estimator against a known ground truth.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -80,62 +94,81 @@ impl Evaluation {
     }
 }
 
-/// Simulates `trials` weight-oblivious outcomes of one key's value vector and
-/// feeds them to `consume` in reusable batches of at most
-/// [`SIMULATION_BATCH`].
+/// The evaluators' trial engine: thread count from the environment, chunk
+/// width pinned to [`SIMULATION_BATCH`] so every chunk is one batch.
+fn evaluator_runner() -> TrialRunner {
+    TrialRunner::new().chunk_trials(SIMULATION_BATCH as u64)
+}
+
+/// The RNG seed of one reduction chunk: a pure function of the evaluation
+/// seed and the chunk index, so chunk outcomes are reproducible whichever
+/// worker generates them.
+fn chunk_rng(seed: u64, chunk_start: u64) -> StdRng {
+    StdRng::seed_from_u64(hash::combine(seed, chunk_start / SIMULATION_BATCH as u64))
+}
+
+/// Runs every estimator lane over `trials` simulated weight-oblivious
+/// outcomes of one key's value vector, one reduction chunk per outcome
+/// batch, returning the merged per-lane statistics.
 ///
-/// The batch buffer is allocated once; each trial rewrites an outcome's
-/// entries in place, so the per-trial hot loop is allocation-free.
-fn for_each_oblivious_batch<C>(
+/// The batch buffer is allocated once per worker thread; each trial rewrites
+/// an outcome's entries in place, so the per-trial hot loop is
+/// allocation-free.
+fn oblivious_lanes(
+    estimators: &[DynLane<'_, ObliviousOutcome>],
     values: &[f64],
     probs: &[f64],
     trials: u64,
     seed: u64,
-    mut consume: C,
-) where
-    C: FnMut(&[ObliviousOutcome]),
-{
+) -> Vec<RunningStats> {
     assert_eq!(
         values.len(),
         probs.len(),
         "values and probabilities must align"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
-    let batch = SIMULATION_BATCH.min(trials.max(1) as usize);
     let template: Vec<ObliviousEntry> = probs
         .iter()
         .map(|&p| ObliviousEntry { p, value: None })
         .collect();
-    let mut buffer: Vec<ObliviousOutcome> = (0..batch)
-        .map(|_| ObliviousOutcome::new(template.clone()))
-        .collect();
-    let mut remaining = trials;
-    while remaining > 0 {
-        let n = batch.min(usize::try_from(remaining).unwrap_or(batch));
-        for outcome in &mut buffer[..n] {
-            for (entry, &v) in outcome.entries.iter_mut().zip(values) {
-                entry.value = (rng.gen::<f64>() < entry.p).then_some(v);
+    let batch = SIMULATION_BATCH.min(trials.max(1) as usize);
+    evaluator_runner().run_chunks(
+        trials,
+        estimators.len(),
+        |_worker| {
+            let buffer: Vec<ObliviousOutcome> = (0..batch)
+                .map(|_| ObliviousOutcome::new(template.clone()))
+                .collect();
+            (buffer, vec![0.0; batch])
+        },
+        |(buffer, out), range, stats| {
+            let mut rng = chunk_rng(seed, range.start);
+            let n = (range.end - range.start) as usize;
+            for outcome in &mut buffer[..n] {
+                for (entry, &v) in outcome.entries.iter_mut().zip(values) {
+                    entry.value = (rng.gen::<f64>() < entry.p).then_some(v);
+                }
             }
-        }
-        consume(&buffer[..n]);
-        remaining -= n as u64;
-    }
+            for (estimator, stat) in estimators.iter().zip(stats) {
+                estimator.estimate_batch(&buffer[..n], &mut out[..n]);
+                stat.extend(out[..n].iter().copied());
+            }
+        },
+    )
 }
 
-/// Simulates `trials` weighted (PPS, known seeds) outcomes of one key's value
-/// vector and feeds them to `consume` in reusable batches, like
-/// [`for_each_oblivious_batch`].
-fn for_each_pps_batch<C>(values: &[f64], tau_stars: &[f64], trials: u64, seed: u64, mut consume: C)
-where
-    C: FnMut(&[WeightedOutcome]),
-{
+/// The weighted (PPS, known seeds) counterpart of [`oblivious_lanes`].
+fn pps_lanes(
+    estimators: &[DynLane<'_, WeightedOutcome>],
+    values: &[f64],
+    tau_stars: &[f64],
+    trials: u64,
+    seed: u64,
+) -> Vec<RunningStats> {
     assert_eq!(
         values.len(),
         tau_stars.len(),
         "values and thresholds must align"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
-    let batch = SIMULATION_BATCH.min(trials.max(1) as usize);
     let template: Vec<WeightedEntry> = tau_stars
         .iter()
         .map(|&tau| WeightedEntry {
@@ -144,22 +177,32 @@ where
             value: None,
         })
         .collect();
-    let mut buffer: Vec<WeightedOutcome> = (0..batch)
-        .map(|_| WeightedOutcome::new(template.clone()))
-        .collect();
-    let mut remaining = trials;
-    while remaining > 0 {
-        let n = batch.min(usize::try_from(remaining).unwrap_or(batch));
-        for outcome in &mut buffer[..n] {
-            for (entry, &v) in outcome.entries.iter_mut().zip(values) {
-                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                entry.seed = Some(u);
-                entry.value = (v > 0.0 && v >= u * entry.tau_star).then_some(v);
+    let batch = SIMULATION_BATCH.min(trials.max(1) as usize);
+    evaluator_runner().run_chunks(
+        trials,
+        estimators.len(),
+        |_worker| {
+            let buffer: Vec<WeightedOutcome> = (0..batch)
+                .map(|_| WeightedOutcome::new(template.clone()))
+                .collect();
+            (buffer, vec![0.0; batch])
+        },
+        |(buffer, out), range, stats| {
+            let mut rng = chunk_rng(seed, range.start);
+            let n = (range.end - range.start) as usize;
+            for outcome in &mut buffer[..n] {
+                for (entry, &v) in outcome.entries.iter_mut().zip(values) {
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    entry.seed = Some(u);
+                    entry.value = (v > 0.0 && v >= u * entry.tau_star).then_some(v);
+                }
             }
-        }
-        consume(&buffer[..n]);
-        remaining -= n as u64;
-    }
+            for (estimator, stat) in estimators.iter().zip(stats) {
+                estimator.estimate_batch(&buffer[..n], &mut out[..n]);
+                stat.extend(out[..n].iter().copied());
+            }
+        },
+    )
 }
 
 /// Evaluates an estimator of `f(v)` under weight-oblivious Poisson sampling of
@@ -177,22 +220,20 @@ pub fn evaluate_oblivious<E, F>(
     seed: u64,
 ) -> Evaluation
 where
-    E: Estimator<ObliviousOutcome>,
+    E: Estimator<ObliviousOutcome> + Send + Sync,
     F: Fn(&[f64]) -> f64,
 {
-    let mut stats = RunningStats::new();
-    let mut out = vec![0.0; SIMULATION_BATCH.min(trials.max(1) as usize)];
-    for_each_oblivious_batch(values, probs, trials, seed, |outcomes| {
-        let out = &mut out[..outcomes.len()];
-        estimator.estimate_batch(outcomes, out);
-        stats.extend(out.iter().copied());
-    });
-    Evaluation::from_stats(&stats, f(values))
+    let lanes = oblivious_lanes(&[estimator], values, probs, trials, seed);
+    Evaluation::from_stats(&lanes[0], f(values))
 }
 
 /// Evaluates a whole registry of weight-oblivious estimators against the same
 /// simulated outcomes, generating each outcome batch once and running every
 /// estimator over it through [`Estimator::estimate_batch`].
+///
+/// Each registered estimator is one lane of the shared trial run, so its
+/// evaluation is bit-identical to an [`evaluate_oblivious`] call with the
+/// same inputs (the workspace property tests assert this).
 ///
 /// Returns `(name, evaluation)` pairs in registration order.
 pub fn evaluate_oblivious_family<F>(
@@ -206,19 +247,12 @@ pub fn evaluate_oblivious_family<F>(
 where
     F: Fn(&[f64]) -> f64,
 {
-    let mut stats: Vec<RunningStats> = (0..registry.len()).map(|_| RunningStats::new()).collect();
-    let mut out = vec![0.0; SIMULATION_BATCH.min(trials.max(1) as usize)];
-    for_each_oblivious_batch(values, probs, trials, seed, |outcomes| {
-        let out = &mut out[..outcomes.len()];
-        for ((_, estimator), stat) in registry.iter().zip(&mut stats) {
-            estimator.estimate_batch(outcomes, out);
-            stat.extend(out.iter().copied());
-        }
-    });
+    let estimators: Vec<DynLane<'_, ObliviousOutcome>> = registry.iter().map(|(_, e)| e).collect();
+    let lanes = oblivious_lanes(&estimators, values, probs, trials, seed);
     let truth = f(values);
     registry
         .names()
-        .zip(&stats)
+        .zip(&lanes)
         .map(|(name, stat)| (name.to_string(), Evaluation::from_stats(stat, truth)))
         .collect()
 }
@@ -235,17 +269,11 @@ pub fn evaluate_pps_known_seeds<E, F>(
     seed: u64,
 ) -> Evaluation
 where
-    E: Estimator<WeightedOutcome>,
+    E: Estimator<WeightedOutcome> + Send + Sync,
     F: Fn(&[f64]) -> f64,
 {
-    let mut stats = RunningStats::new();
-    let mut out = vec![0.0; SIMULATION_BATCH.min(trials.max(1) as usize)];
-    for_each_pps_batch(values, tau_stars, trials, seed, |outcomes| {
-        let out = &mut out[..outcomes.len()];
-        estimator.estimate_batch(outcomes, out);
-        stats.extend(out.iter().copied());
-    });
-    Evaluation::from_stats(&stats, f(values))
+    let lanes = pps_lanes(&[estimator], values, tau_stars, trials, seed);
+    Evaluation::from_stats(&lanes[0], f(values))
 }
 
 /// Evaluates a whole registry of weighted (known-seed) estimators against the
@@ -262,19 +290,12 @@ pub fn evaluate_pps_family<F>(
 where
     F: Fn(&[f64]) -> f64,
 {
-    let mut stats: Vec<RunningStats> = (0..registry.len()).map(|_| RunningStats::new()).collect();
-    let mut out = vec![0.0; SIMULATION_BATCH.min(trials.max(1) as usize)];
-    for_each_pps_batch(values, tau_stars, trials, seed, |outcomes| {
-        let out = &mut out[..outcomes.len()];
-        for ((_, estimator), stat) in registry.iter().zip(&mut stats) {
-            estimator.estimate_batch(outcomes, out);
-            stat.extend(out.iter().copied());
-        }
-    });
+    let estimators: Vec<DynLane<'_, WeightedOutcome>> = registry.iter().map(|(_, e)| e).collect();
+    let lanes = pps_lanes(&estimators, values, tau_stars, trials, seed);
     let truth = f(values);
     registry
         .names()
-        .zip(&stats)
+        .zip(&lanes)
         .map(|(name, stat)| (name.to_string(), Evaluation::from_stats(stat, truth)))
         .collect()
 }
@@ -285,6 +306,10 @@ where
 /// `aggregate` receives the per-instance samples and the seed assignment and
 /// returns the aggregate estimate (e.g.
 /// [`pie_core::aggregate::max_dominance_l`]); `truth` is the exact aggregate.
+///
+/// Trial `t` samples with salt `base_salt + t`, so the trial loop runs on
+/// the parallel engine ([`crate::trial::TrialRunner`]) without changing any
+/// trial's sample.
 pub fn evaluate_aggregate_pps<A>(
     dataset: &Dataset,
     tau_star: f64,
@@ -294,19 +319,19 @@ pub fn evaluate_aggregate_pps<A>(
     aggregate: A,
 ) -> Evaluation
 where
-    A: Fn(&[pie_sampling::InstanceSample], &SeedAssignment) -> f64,
+    A: Fn(&[pie_sampling::InstanceSample], &SeedAssignment) -> f64 + Sync,
 {
-    let mut stats = RunningStats::new();
-    for t in 0..trials {
-        let seeds = SeedAssignment::independent_known(base_salt.wrapping_add(t));
-        let samples = sample_all(
-            &PpsPoissonSampler::new(tau_star),
-            dataset.instances(),
-            &seeds,
-        );
-        stats.push(aggregate(&samples, &seeds));
-    }
-    Evaluation::from_stats(&stats, truth)
+    let stats = TrialRunner::new().run(
+        trials,
+        1,
+        |_worker| PpsPoissonSampler::new(tau_star),
+        |sampler, t, stats| {
+            let seeds = SeedAssignment::independent_known(base_salt.wrapping_add(t));
+            let samples = sample_all(sampler, dataset.instances(), &seeds);
+            stats[0].push(aggregate(&samples, &seeds));
+        },
+    );
+    Evaluation::from_stats(&stats[0], truth)
 }
 
 /// Convenience selection predicate accepting every key.

@@ -3,22 +3,28 @@
 //! Tools for measuring estimator quality against ground truth:
 //!
 //! * [`stats`] — streaming summary statistics (mean, variance, CV,
-//!   confidence intervals);
+//!   confidence intervals), mergeable for parallel reduction;
+//! * [`trial`] — the parallel, deterministic Monte-Carlo trial engine
+//!   ([`TrialRunner`]): chunked trial execution across OS threads with a
+//!   canonical [`RunningStats::merge`] reduction order, so reports are
+//!   bit-identical at any thread count;
 //! * [`empirical`] — Monte-Carlo evaluation of per-key estimators and of
-//!   whole sum aggregates over sampled datasets;
+//!   whole sum aggregates over sampled datasets, running on the trial
+//!   engine;
 //! * [`exact`] — quadrature-based exact expectation/variance for two-instance
 //!   PPS sampling with known seeds (noise-free Figure 3 / Figure 4 curves);
 //! * [`report`] — aligned text tables, data series, and CSV output used by the
 //!   figure-regeneration binaries in `pie-bench`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod empirical;
 pub mod exact;
 pub mod report;
 pub mod stats;
+pub mod trial;
 
 pub use empirical::{
     all_keys, evaluate_aggregate_pps, evaluate_oblivious, evaluate_oblivious_family,
@@ -27,3 +33,4 @@ pub use empirical::{
 pub use exact::{pps2_expectation, pps2_mean_variance, pps2_outcome, pps2_variance};
 pub use report::{format_sig, Series, Table};
 pub use stats::{relative_error, RunningStats};
+pub use trial::{parse_threads, TrialRunner, THREADS_ENV, TRIAL_CHUNK};

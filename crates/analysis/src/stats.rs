@@ -33,6 +33,44 @@ impl RunningStats {
         self.max = self.max.max(x);
     }
 
+    /// Folds another accumulator into this one (Chan et al. pairwise moment
+    /// combination), as if every observation pushed into `other` had been
+    /// pushed into `self` after the observations it already holds.
+    ///
+    /// This is the reduction primitive behind the parallel trial engine
+    /// ([`crate::trial::TrialRunner`]): per-chunk accumulators are combined
+    /// in a fixed chunk order, so the merged result is **bit-identical no
+    /// matter how many threads computed the chunks**.  Relative to pushing
+    /// every observation into a single accumulator, the merged moments agree
+    /// mathematically and to within a few ULPs numerically (the pairwise
+    /// combination is at least as stable as a long push chain); `count`,
+    /// `min`, and `max` are always exact.
+    ///
+    /// Merging with an empty accumulator is an exact identity in both
+    /// directions: it leaves every field bitwise unchanged (or bitwise
+    /// copies `other` when `self` is empty).
+    pub fn merge(&mut self, other: &Self) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let n = self.n + other.n;
+        let nf = n as f64;
+        let delta = other.mean - self.mean;
+        // Welford-style combined moments: stable even when one side is much
+        // larger than the other (delta is scaled, never the raw sums).
+        self.mean += delta * (n2 / nf);
+        self.m2 += other.m2 + delta * delta * (n1 * n2 / nf);
+        self.n = n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Adds every observation of an iterator.
     pub fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
         for x in iter {
@@ -186,6 +224,50 @@ mod tests {
         let s = RunningStats::from_values((0..1000).map(|i| offset + f64::from(i % 7)));
         assert!((s.mean() - (offset + 3.0)).abs() < 1.0);
         assert!(s.variance() > 3.0 && s.variance() < 5.0);
+    }
+
+    #[test]
+    fn merge_with_empty_is_bitwise_identity() {
+        let s = RunningStats::from_values([1.0, 2.5, -3.0]);
+        let mut left = s;
+        left.merge(&RunningStats::new());
+        assert_eq!(left, s);
+        let mut right = RunningStats::new();
+        right.merge(&s);
+        assert_eq!(right, s);
+        let mut both = RunningStats::new();
+        both.merge(&RunningStats::new());
+        assert_eq!(both, RunningStats::new());
+    }
+
+    #[test]
+    fn merge_of_split_matches_sequential_push() {
+        let xs: Vec<f64> = (0..1000).map(|i| f64::from(i % 23) * 1.7 - 5.0).collect();
+        let sequential = RunningStats::from_values(xs.iter().copied());
+        for split in [1, 137, 500, 999] {
+            let mut merged = RunningStats::from_values(xs[..split].iter().copied());
+            merged.merge(&RunningStats::from_values(xs[split..].iter().copied()));
+            assert_eq!(merged.count(), sequential.count());
+            assert!((merged.mean() - sequential.mean()).abs() <= 1e-12 * sequential.mean().abs());
+            assert!(
+                (merged.variance() - sequential.variance()).abs()
+                    <= 1e-9 * sequential.variance().abs()
+            );
+            assert_eq!(merged.min(), sequential.min());
+            assert_eq!(merged.max(), sequential.max());
+        }
+    }
+
+    #[test]
+    fn merge_is_stable_for_large_offsets() {
+        let offset = 1e12;
+        let a = RunningStats::from_values((0..500).map(|i| offset + f64::from(i % 7)));
+        let b = RunningStats::from_values((500..1000).map(|i| offset + f64::from(i % 7)));
+        let mut merged = a;
+        merged.merge(&b);
+        let sequential = RunningStats::from_values((0..1000).map(|i| offset + f64::from(i % 7)));
+        assert!((merged.mean() - sequential.mean()).abs() < 1e-3);
+        assert!((merged.variance() - sequential.variance()).abs() < 1e-3);
     }
 
     #[test]

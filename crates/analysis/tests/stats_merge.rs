@@ -1,0 +1,151 @@
+//! Property coverage of `RunningStats::merge` and the deterministic chunked
+//! reduction it powers.
+//!
+//! The contract under test:
+//!
+//! * **Deterministic reduction order** — folding per-chunk accumulators in
+//!   chunk-index order is *bit-identical* however the chunks were computed:
+//!   the `TrialRunner` engine produces the same lanes at every thread
+//!   count, and a by-hand fold of independently built chunk accumulators
+//!   reproduces the engine exactly.
+//! * **Permutation robustness** — for *arbitrary* splits and merge orders
+//!   (which are **not** the canonical order), the merged moments still agree
+//!   with a single sequential `push` pass within tight f64 tolerance, and
+//!   `count`/`min`/`max` are exact.
+//! * **Identity** — merging with an empty accumulator changes nothing,
+//!   bitwise.
+
+use proptest::prelude::*;
+
+use pie_analysis::trial::TrialRunner;
+use pie_analysis::RunningStats;
+
+/// A deterministic, heavy-tailed observation for trial `t` (so properties
+/// only need to draw counts, salts, and split points).
+fn observation(salt: u64, t: u64) -> f64 {
+    let mut x = t
+        .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 30)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+    // Mix scales so merges see non-trivial mean shifts between chunks.
+    if x.is_multiple_of(17) {
+        1e6 * u
+    } else {
+        u * 10.0 - 5.0
+    }
+}
+
+/// Splits `[0, n)` at sorted cut points derived from `cuts`, folds each
+/// piece into its own accumulator, and merges left-to-right.
+fn merged_over_splits(salt: u64, n: u64, cuts: &[u64]) -> RunningStats {
+    let mut bounds: Vec<u64> = cuts.iter().map(|&c| c % (n + 1)).collect();
+    bounds.push(0);
+    bounds.push(n);
+    bounds.sort_unstable();
+    let mut acc = RunningStats::new();
+    for pair in bounds.windows(2) {
+        let chunk = RunningStats::from_values((pair[0]..pair[1]).map(|t| observation(salt, t)));
+        acc.merge(&chunk);
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The engine's canonical chunked reduction is bit-identical at every
+    /// thread count — merge-of-chunks *is* the sequential reduction.
+    #[test]
+    fn engine_reduction_is_thread_invariant_bitwise(
+        trials in 0u64..600,
+        salt in 0u64..1_000,
+        threads in 2usize..9,
+    ) {
+        let run = |threads: usize| {
+            TrialRunner::with_threads(threads).run(trials, 2, |_| (), |(), t, lanes| {
+                lanes[0].push(observation(salt, t));
+                lanes[1].push(observation(salt.wrapping_add(1), t));
+            })
+        };
+        prop_assert_eq!(run(threads), run(1));
+    }
+
+    /// A by-hand fold of independently computed chunk accumulators, in
+    /// chunk-index order, reproduces the engine bitwise: the reduction is a
+    /// pure function of the chunk partition, not of who computed the chunks.
+    #[test]
+    fn manual_chunk_fold_matches_engine_bitwise(
+        trials in 1u64..600,
+        salt in 0u64..1_000,
+        chunk in 1u64..64,
+        threads in 1usize..9,
+    ) {
+        let engine = TrialRunner::with_threads(threads)
+            .chunk_trials(chunk)
+            .run(trials, 1, |_| (), |(), t, lanes| lanes[0].push(observation(salt, t)));
+        // Compute every chunk accumulator independently (in reverse, to
+        // prove computation order is irrelevant), then fold in chunk order.
+        let num_chunks = trials.div_ceil(chunk);
+        let chunks: Vec<RunningStats> = (0..num_chunks).rev().map(|c| {
+            let hi = ((c + 1) * chunk).min(trials);
+            RunningStats::from_values((c * chunk..hi).map(|t| observation(salt, t)))
+        }).collect();
+        let mut folded = RunningStats::new();
+        for chunk_stat in chunks.iter().rev() {
+            folded.merge(chunk_stat);
+        }
+        prop_assert_eq!(vec![folded], engine);
+    }
+
+    /// Arbitrary splits merged left-to-right agree with one sequential
+    /// `push` pass within f64 tolerance; count/min/max exactly.
+    #[test]
+    fn arbitrary_splits_match_sequential_push_within_tolerance(
+        n in 1u64..800,
+        salt in 0u64..1_000,
+        cuts in proptest::collection::vec(0u64..800, 0..6),
+    ) {
+        let merged = merged_over_splits(salt, n, &cuts);
+        let sequential = RunningStats::from_values((0..n).map(|t| observation(salt, t)));
+        prop_assert_eq!(merged.count(), sequential.count());
+        prop_assert_eq!(merged.min(), sequential.min());
+        prop_assert_eq!(merged.max(), sequential.max());
+        let mean_scale = sequential.mean().abs().max(1.0);
+        prop_assert!((merged.mean() - sequential.mean()).abs() <= 1e-9 * mean_scale,
+            "mean {} vs {}", merged.mean(), sequential.mean());
+        let var_scale = sequential.variance().abs().max(1.0);
+        prop_assert!((merged.variance() - sequential.variance()).abs() <= 1e-6 * var_scale,
+            "variance {} vs {}", merged.variance(), sequential.variance());
+    }
+
+    /// Two different split sets of the same data merge to the same moments
+    /// within tolerance (permutation robustness across partitions).
+    #[test]
+    fn different_partitions_agree_within_tolerance(
+        n in 1u64..800,
+        salt in 0u64..1_000,
+        cuts_a in proptest::collection::vec(0u64..800, 0..6),
+        cuts_b in proptest::collection::vec(0u64..800, 0..6),
+    ) {
+        let a = merged_over_splits(salt, n, &cuts_a);
+        let b = merged_over_splits(salt, n, &cuts_b);
+        prop_assert_eq!(a.count(), b.count());
+        prop_assert_eq!(a.min(), b.min());
+        prop_assert_eq!(a.max(), b.max());
+        prop_assert!((a.mean() - b.mean()).abs() <= 1e-9 * a.mean().abs().max(1.0));
+        prop_assert!((a.variance() - b.variance()).abs() <= 1e-6 * a.variance().abs().max(1.0));
+    }
+
+    /// Merging with an empty accumulator is a bitwise identity either way.
+    #[test]
+    fn empty_merge_is_bitwise_identity(n in 0u64..200, salt in 0u64..1_000) {
+        let s = RunningStats::from_values((0..n).map(|t| observation(salt, t)));
+        let mut left = s;
+        left.merge(&RunningStats::new());
+        prop_assert_eq!(left, s);
+        let mut right = RunningStats::new();
+        right.merge(&s);
+        prop_assert_eq!(right, s);
+    }
+}

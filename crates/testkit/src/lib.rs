@@ -1,0 +1,508 @@
+//! # pie-testkit — statistical assertion helpers for conformance tests
+//!
+//! The paper's headline claims are *statistical*: every estimator is
+//! unbiased, and the order-optimal `L`/`U` estimators dominate the
+//! Horvitz–Thompson baseline's variance.  Asserting such claims mechanically
+//! needs more care than `assert!(a < b)` on a single Monte-Carlo run — an
+//! unbiased estimator's sample mean is *never* exactly the truth, and a
+//! variance ordering can flip on an unlucky seed.  This crate packages the
+//! statistically sound versions used by the workspace's tier-2 conformance
+//! tests (and available to downstream experiments):
+//!
+//! * [`check_unbiased`] / [`assert_unbiased`] — is the sample mean within a
+//!   `z`-standard-error confidence interval of the truth?  Failure messages
+//!   report the interval, the miss distance, and the trial count.
+//! * [`check_variance_ordering`] / [`assert_variance_ordering`] — does a
+//!   measured variance ranking hold with an explicit relative margin
+//!   absorbing Monte-Carlo noise?
+//! * [`SeedSweep`] — repeats an evaluation across decorrelated base salts
+//!   and applies a check to every repetition, so a conformance property is
+//!   established across many independent randomizations instead of one
+//!   (with an optional pass-fraction to tolerate designed-in CI tail mass).
+//!
+//! Checks come in `check_*` (returning `Result<(), ConformanceFailure>`)
+//! and `assert_*` (panicking with the rendered failure) flavors; tests use
+//! the asserting ones, and harnesses that want to count or report failures
+//! use the checking ones.
+//!
+//! ```
+//! use pie_analysis::Evaluation;
+//! use pie_testkit::{assert_unbiased, check_variance_ordering};
+//!
+//! let eval = Evaluation { truth: 10.0, mean: 10.02, variance: 4.0, relative_bias: 0.002, trials: 40_000 };
+//! assert_unbiased("max_l_2", &eval, 4.0);
+//! // U ≤ L ≤ HT, allowing 5% relative Monte-Carlo slack per adjacent pair.
+//! check_variance_ordering(&[("U", 1.9), ("L", 2.0), ("HT", 6.1)], 0.05).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::fmt;
+
+use pie_analysis::Evaluation;
+
+/// Why a statistical conformance check failed.
+///
+/// Rendered by [`fmt::Display`] with every quantity a human needs to judge
+/// whether the failure is a real defect or an under-powered check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConformanceFailure {
+    /// The sample mean fell outside the `z`-standard-error confidence
+    /// interval around the truth.
+    Biased {
+        /// Name of the estimator (or experiment) under test.
+        name: String,
+        /// The exact value being estimated.
+        truth: f64,
+        /// The Monte-Carlo sample mean.
+        mean: f64,
+        /// Half-width `z · SE` of the accepted interval around the truth.
+        ci_half_width: f64,
+        /// The `z` multiplier the caller chose.
+        z: f64,
+        /// Number of Monte-Carlo trials behind the mean.
+        trials: u64,
+    },
+    /// The check was asked about an evaluation with too few trials to
+    /// estimate a standard error (fewer than 2).
+    Underpowered {
+        /// Name of the estimator (or experiment) under test.
+        name: String,
+        /// Number of trials supplied.
+        trials: u64,
+    },
+    /// Two adjacent entries of a claimed variance ranking compare the wrong
+    /// way, beyond the allowed relative margin.
+    Misordered {
+        /// Name of the entry claimed to have the smaller variance.
+        smaller_name: String,
+        /// Its measured variance.
+        smaller: f64,
+        /// Name of the entry claimed to have the larger variance.
+        larger_name: String,
+        /// Its measured variance.
+        larger: f64,
+        /// The relative Monte-Carlo slack that was allowed.
+        rel_margin: f64,
+    },
+    /// A seed sweep passed on too small a fraction of its salts.
+    SweepFailed {
+        /// Salts on which the per-seed check passed.
+        passed: usize,
+        /// Total salts swept.
+        total: usize,
+        /// The minimum pass fraction required.
+        required_fraction: f64,
+        /// The first per-seed failure, as rendered text (kept as a string so
+        /// the variant stays `PartialEq` and cheap to clone).
+        first_failure: String,
+    },
+}
+
+impl fmt::Display for ConformanceFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Biased {
+                name,
+                truth,
+                mean,
+                ci_half_width,
+                z,
+                trials,
+            } => write!(
+                f,
+                "{name}: mean {mean} outside truth {truth} ± {ci_half_width} \
+                 (z = {z}, {trials} trials, miss = {})",
+                (mean - truth).abs() - ci_half_width
+            ),
+            Self::Underpowered { name, trials } => write!(
+                f,
+                "{name}: {trials} trial(s) cannot support a confidence-interval check \
+                 (need at least 2)"
+            ),
+            Self::Misordered {
+                smaller_name,
+                smaller,
+                larger_name,
+                larger,
+                rel_margin,
+            } => write!(
+                f,
+                "variance ordering violated: var[{smaller_name}] = {smaller} should be \
+                 ≤ var[{larger_name}] = {larger} within {:.1}% relative margin",
+                rel_margin * 100.0
+            ),
+            Self::SweepFailed {
+                passed,
+                total,
+                required_fraction,
+                first_failure,
+            } => write!(
+                f,
+                "seed sweep: {passed}/{total} salts passed, required {:.0}%; \
+                 first failure: {first_failure}",
+                required_fraction * 100.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConformanceFailure {}
+
+/// The standard error of an evaluation's mean: `sqrt(s² / n)` with the
+/// unbiased sample variance `s² = n/(n−1) · Var` recovered from the stored
+/// population variance.  Returns `None` for fewer than 2 trials.
+#[must_use]
+pub fn standard_error(eval: &Evaluation) -> Option<f64> {
+    if eval.trials < 2 {
+        return None;
+    }
+    let n = eval.trials as f64;
+    let sample_variance = eval.variance * n / (n - 1.0);
+    Some((sample_variance / n).sqrt())
+}
+
+/// Checks that `eval`'s mean lies within `z` standard errors of its truth —
+/// the mechanical form of "the estimator is unbiased", with the test's
+/// false-failure probability controlled by `z` (`z = 4` ≈ 6·10⁻⁵ two-sided
+/// under the CLT normal approximation).
+///
+/// # Errors
+/// [`ConformanceFailure::Biased`] when the mean misses the interval, or
+/// [`ConformanceFailure::Underpowered`] when fewer than 2 trials were run.
+pub fn check_unbiased(name: &str, eval: &Evaluation, z: f64) -> Result<(), ConformanceFailure> {
+    let Some(se) = standard_error(eval) else {
+        return Err(ConformanceFailure::Underpowered {
+            name: name.to_string(),
+            trials: eval.trials,
+        });
+    };
+    let ci_half_width = z * se;
+    if (eval.mean - eval.truth).abs() <= ci_half_width {
+        Ok(())
+    } else {
+        Err(ConformanceFailure::Biased {
+            name: name.to_string(),
+            truth: eval.truth,
+            mean: eval.mean,
+            ci_half_width,
+            z,
+            trials: eval.trials,
+        })
+    }
+}
+
+/// Panicking form of [`check_unbiased`], for direct use in tests.
+///
+/// # Panics
+/// Panics with the rendered [`ConformanceFailure`] if the check fails.
+pub fn assert_unbiased(name: &str, eval: &Evaluation, z: f64) {
+    if let Err(failure) = check_unbiased(name, eval, z) {
+        panic!("{failure}");
+    }
+}
+
+/// Checks a claimed variance ranking `ranked[0] ≤ ranked[1] ≤ …` (e.g.
+/// `U ≤ L ≤ HT`), allowing each adjacent pair a strictly relative
+/// Monte-Carlo margin: `var[i] ≤ var[i+1] · (1 + rel_margin)`.  A zero
+/// variance on the larger side therefore admits no positive smaller side —
+/// an exact zero is noise-free, so any positive competitor genuinely
+/// outranks it.
+///
+/// The margin makes the check's intent explicit: a *strict* paper claim is
+/// asserted with a small margin absorbing simulation noise, never by
+/// silently picking a lucky seed.
+///
+/// # Errors
+/// [`ConformanceFailure::Misordered`] naming the first offending pair.
+pub fn check_variance_ordering(
+    ranked: &[(&str, f64)],
+    rel_margin: f64,
+) -> Result<(), ConformanceFailure> {
+    for pair in ranked.windows(2) {
+        let (smaller_name, smaller) = pair[0];
+        let (larger_name, larger) = pair[1];
+        if smaller > larger * (1.0 + rel_margin) {
+            return Err(ConformanceFailure::Misordered {
+                smaller_name: smaller_name.to_string(),
+                smaller,
+                larger_name: larger_name.to_string(),
+                larger,
+                rel_margin,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Panicking form of [`check_variance_ordering`], for direct use in tests.
+///
+/// # Panics
+/// Panics with the rendered [`ConformanceFailure`] if the ordering fails.
+pub fn assert_variance_ordering(ranked: &[(&str, f64)], rel_margin: f64) {
+    if let Err(failure) = check_variance_ordering(ranked, rel_margin) {
+        panic!("{failure}");
+    }
+}
+
+/// A sweep over decorrelated base salts: the harness for asserting a
+/// statistical property across many independent randomizations.
+///
+/// Salt `i` is `base_salt + i · STRIDE` with a large odd stride, so sweeps
+/// never reuse the per-trial salts `base + t` of another repetition (trial
+/// loops add at most `trials ≪ STRIDE` to their base).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedSweep {
+    base_salt: u64,
+    sweeps: u64,
+}
+
+/// The salt stride between sweep repetitions (a large odd constant, so
+/// repetitions stay decorrelated and never overlap trial-salt ranges).
+const SWEEP_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl SeedSweep {
+    /// A sweep of `sweeps` repetitions starting at `base_salt` (clamped to
+    /// ≥ 1 repetition).
+    #[must_use]
+    pub fn new(base_salt: u64, sweeps: u64) -> Self {
+        Self {
+            base_salt,
+            sweeps: sweeps.max(1),
+        }
+    }
+
+    /// The swept base salts, in repetition order.
+    pub fn salts(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.sweeps).map(|i| self.base_salt.wrapping_add(i.wrapping_mul(SWEEP_STRIDE)))
+    }
+
+    /// Runs `evaluate` once per salt, collecting the evaluations.
+    pub fn evaluate(&self, mut evaluate: impl FnMut(u64) -> Evaluation) -> SweepReport {
+        SweepReport {
+            evaluations: self.salts().map(|salt| (salt, evaluate(salt))).collect(),
+        }
+    }
+
+    /// Applies `check` at every salt and requires at least `min_fraction` of
+    /// the repetitions to pass (use `1.0` to require all).  A fraction
+    /// strictly below 1 is how a sweep of `z`-interval checks tolerates the
+    /// interval's designed-in tail mass without hiding systematic bias.
+    ///
+    /// # Errors
+    /// [`ConformanceFailure::SweepFailed`] carrying the pass count and the
+    /// first per-salt failure.
+    pub fn check(
+        &self,
+        min_fraction: f64,
+        check: impl FnMut(u64) -> Result<(), ConformanceFailure>,
+    ) -> Result<(), ConformanceFailure> {
+        require_pass_fraction(self.salts().map(check), min_fraction)
+    }
+}
+
+/// The shared pass-fraction gate behind [`SeedSweep::check`] and
+/// [`SweepReport::check_unbiased`]: counts passing repetitions and fails
+/// with [`ConformanceFailure::SweepFailed`] (carrying the first per-
+/// repetition failure) when fewer than `min_fraction` of them pass.
+fn require_pass_fraction(
+    results: impl Iterator<Item = Result<(), ConformanceFailure>>,
+    min_fraction: f64,
+) -> Result<(), ConformanceFailure> {
+    let mut passed = 0usize;
+    let mut total = 0usize;
+    let mut first_failure: Option<ConformanceFailure> = None;
+    for result in results {
+        total += 1;
+        match result {
+            Ok(()) => passed += 1,
+            Err(failure) => {
+                first_failure.get_or_insert(failure);
+            }
+        }
+    }
+    if (passed as f64) < min_fraction * total as f64 {
+        Err(ConformanceFailure::SweepFailed {
+            passed,
+            total,
+            required_fraction: min_fraction,
+            first_failure: first_failure.map_or_else(
+                || "(no per-salt failure recorded)".to_string(),
+                |f| f.to_string(),
+            ),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// The evaluations a [`SeedSweep::evaluate`] run collected, with summary
+/// accessors for cross-repetition assertions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// `(salt, evaluation)` pairs in repetition order.
+    pub evaluations: Vec<(u64, Evaluation)>,
+}
+
+impl SweepReport {
+    /// The largest relative bias observed across the sweep.
+    #[must_use]
+    pub fn worst_relative_bias(&self) -> f64 {
+        self.evaluations
+            .iter()
+            .map(|(_, e)| e.relative_bias)
+            .fold(0.0, f64::max)
+    }
+
+    /// The mean of the per-repetition variances — a lower-noise variance
+    /// estimate for ordering checks than any single repetition.
+    #[must_use]
+    pub fn mean_variance(&self) -> f64 {
+        if self.evaluations.is_empty() {
+            return 0.0;
+        }
+        self.evaluations
+            .iter()
+            .map(|(_, e)| e.variance)
+            .sum::<f64>()
+            / self.evaluations.len() as f64
+    }
+
+    /// Checks every repetition's unbiasedness at `z` standard errors,
+    /// requiring at least `min_fraction` of them to pass.
+    ///
+    /// # Errors
+    /// See [`SeedSweep::check`].
+    pub fn check_unbiased(
+        &self,
+        name: &str,
+        z: f64,
+        min_fraction: f64,
+    ) -> Result<(), ConformanceFailure> {
+        require_pass_fraction(
+            self.evaluations
+                .iter()
+                .map(|(_, eval)| check_unbiased(name, eval, z)),
+            min_fraction,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(truth: f64, mean: f64, variance: f64, trials: u64) -> Evaluation {
+        Evaluation {
+            truth,
+            mean,
+            variance,
+            relative_bias: if truth == 0.0 {
+                mean.abs()
+            } else {
+                (mean - truth).abs() / truth.abs()
+            },
+            trials,
+        }
+    }
+
+    #[test]
+    fn unbiased_check_accepts_mean_within_interval() {
+        // SE = sqrt((4 * 10000/9999) / 10000) ≈ 0.02; z=4 interval ≈ ±0.08.
+        let e = eval(10.0, 10.05, 4.0, 10_000);
+        assert!(check_unbiased("ok", &e, 4.0).is_ok());
+        assert_unbiased("ok", &e, 4.0);
+    }
+
+    #[test]
+    fn unbiased_check_rejects_clear_bias() {
+        let e = eval(10.0, 10.5, 4.0, 10_000);
+        let failure = check_unbiased("biased", &e, 4.0).unwrap_err();
+        let msg = failure.to_string();
+        assert!(msg.contains("biased"), "{msg}");
+        assert!(msg.contains("10.5"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside truth")]
+    fn assert_unbiased_panics_with_interval() {
+        assert_unbiased("biased", &eval(10.0, 12.0, 1.0, 10_000), 4.0);
+    }
+
+    #[test]
+    fn unbiased_check_flags_underpowered_evaluations() {
+        let e = eval(10.0, 10.0, 0.0, 1);
+        assert!(matches!(
+            check_unbiased("tiny", &e, 4.0),
+            Err(ConformanceFailure::Underpowered { trials: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn variance_ordering_respects_margin() {
+        // In order, comfortably.
+        assert!(check_variance_ordering(&[("U", 1.0), ("L", 2.0), ("HT", 4.0)], 0.0).is_ok());
+        // 5% out of order, allowed by a 10% margin…
+        assert!(check_variance_ordering(&[("U", 2.1), ("L", 2.0)], 0.1).is_ok());
+        // …but not by a 1% margin.
+        let failure = check_variance_ordering(&[("U", 2.1), ("L", 2.0)], 0.01).unwrap_err();
+        assert!(failure.to_string().contains("var[U]"));
+    }
+
+    #[test]
+    #[should_panic(expected = "variance ordering violated")]
+    fn assert_variance_ordering_panics() {
+        assert_variance_ordering(&[("L", 5.0), ("HT", 2.0)], 0.05);
+    }
+
+    #[test]
+    fn sweep_salts_are_distinct_and_reproducible() {
+        let sweep = SeedSweep::new(7, 16);
+        let salts: Vec<u64> = sweep.salts().collect();
+        assert_eq!(salts.len(), 16);
+        assert_eq!(salts[0], 7);
+        let mut dedup = salts.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 16, "salts must be distinct");
+        assert_eq!(salts, SeedSweep::new(7, 16).salts().collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn sweep_check_enforces_pass_fraction() {
+        let sweep = SeedSweep::new(0, 10);
+        // 8/10 pass; require 70% -> ok, require 90% -> failure.
+        let flaky = |salt: u64| -> Result<(), ConformanceFailure> {
+            if salt == 0 || salt == SWEEP_STRIDE.wrapping_mul(5) {
+                Err(ConformanceFailure::Underpowered {
+                    name: "flaky".into(),
+                    trials: 1,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        assert!(sweep.check(0.7, flaky).is_ok());
+        let failure = sweep.check(0.9, flaky).unwrap_err();
+        assert!(failure.to_string().contains("8/10"), "{failure}");
+    }
+
+    #[test]
+    fn sweep_report_summaries() {
+        let report = SweepReport {
+            evaluations: vec![
+                (0, eval(10.0, 10.1, 2.0, 1000)),
+                (1, eval(10.0, 9.8, 4.0, 1000)),
+            ],
+        };
+        assert!((report.worst_relative_bias() - 0.02).abs() < 1e-12);
+        assert!((report.mean_variance() - 3.0).abs() < 1e-12);
+        assert!(report.check_unbiased("x", 4.0, 0.5).is_ok());
+        let empty = SweepReport {
+            evaluations: Vec::new(),
+        };
+        assert_eq!(empty.mean_variance(), 0.0);
+    }
+}

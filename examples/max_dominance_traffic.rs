@@ -60,7 +60,10 @@ fn main() {
     }
 
     // The full repeated-sampling comparison, end to end through the sharded
-    // streaming front-end: 4 shard sketches per hour, merged per trial.
+    // streaming front-end: 4 shard sketches per hour, merged per trial, and
+    // trials spread over the machine's cores (the thread count — here the
+    // PIE_THREADS / available-parallelism default — never changes the
+    // report, so this line is reproducible everywhere).
     let report = StreamPipeline::new()
         .dataset(data)
         .scheme(Scheme::pps(tau_star))

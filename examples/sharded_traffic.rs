@@ -67,30 +67,39 @@ fn main() {
         assert!(identical, "sharded merge must be bit-identical");
     }
 
-    // End to end: the estimates are invariant in the shard count.
-    println!("\nestimates per shard count (must all be identical):");
-    let mut last: Option<(usize, f64)> = None;
+    // End to end: the estimates are invariant in the shard count *and* in
+    // the trial-worker thread count (shards parallelize one trial's ingest;
+    // threads parallelize across trials — both are execution choices).
+    println!("\nestimates per (shard, trial-thread) count (must all be identical):");
+    let mut last: Option<(usize, usize, f64)> = None;
     for shards in SHARD_COUNTS {
-        let report = StreamPipeline::new()
-            .dataset(Arc::clone(&data))
-            .scheme(Scheme::pps(tau_star))
-            .shards(shards)
-            .estimators(max_weighted_suite())
-            .statistic(Statistic::max_dominance())
-            .trials(10)
-            .base_salt(1)
-            .run()
-            .expect("stream pipeline is fully configured");
-        let l = report.get("max_l_pps_2").expect("L in suite");
-        println!("  {shards} shard(s): mean L estimate = {:.4}", l.mean);
-        if let Some((prev_shards, prev_mean)) = last {
-            assert_eq!(
-                prev_mean.to_bits(),
-                l.mean.to_bits(),
-                "estimates diverged between {prev_shards} and {shards} shards"
+        for threads in [1, 4] {
+            let report = StreamPipeline::new()
+                .dataset(Arc::clone(&data))
+                .scheme(Scheme::pps(tau_star))
+                .shards(shards)
+                .threads(threads)
+                .estimators(max_weighted_suite())
+                .statistic(Statistic::max_dominance())
+                .trials(10)
+                .base_salt(1)
+                .run()
+                .expect("stream pipeline is fully configured");
+            let l = report.get("max_l_pps_2").expect("L in suite");
+            println!(
+                "  {shards} shard(s) x {threads} thread(s): mean L estimate = {:.4}",
+                l.mean
             );
+            if let Some((prev_shards, prev_threads, prev_mean)) = last {
+                assert_eq!(
+                    prev_mean.to_bits(),
+                    l.mean.to_bits(),
+                    "estimates diverged between {prev_shards}x{prev_threads} and \
+                     {shards} shards x {threads} threads"
+                );
+            }
+            last = Some((shards, threads, l.mean));
         }
-        last = Some((shards, l.mean));
     }
-    println!("\nsharding is an execution strategy, not a statistical choice.");
+    println!("\nsharding and threading are execution strategies, not statistical choices.");
 }

@@ -36,6 +36,11 @@
 //!   [`core::Estimator::estimate_batch`] hot path and are enumerated
 //!   dynamically through [`core::EstimatorRegistry`] (prebuilt line-ups in
 //!   [`core::suite`]);
+//! * Monte-Carlo trial loops run on the parallel deterministic trial engine
+//!   ([`TrialRunner`]): trials are chunked across OS threads
+//!   (`PIE_THREADS` / [`Pipeline::threads`]) and reduced in a canonical
+//!   order with mergeable statistics, so every report is **bit-identical at
+//!   any thread count**;
 //! * the top-level [`Pipeline`] builder wires dataset → sampling → outcome
 //!   assembly → batched estimation → sum aggregation end to end:
 //!
@@ -68,6 +73,8 @@ pub use pie_analysis as analysis;
 pub use pie_core as core;
 pub use pie_datagen as datagen;
 pub use pie_sampling as sampling;
+
+pub use pie_analysis::TrialRunner;
 
 pub use pipeline::{
     EstimatorReport, EstimatorSet, Pipeline, PipelineError, PipelineReport, Scheme, Statistic,

@@ -14,7 +14,10 @@
 //! 4. a registry of estimators run over each outcome batch through the
 //!    batched hot path ([`Estimator::estimate_batch`]),
 //! 5. the sum aggregate over selected keys, repeated over Monte-Carlo trials
-//!    and summarized against the exact ground truth (`pie-analysis`).
+//!    on the parallel deterministic trial engine ([`TrialRunner`], thread
+//!    count via [`Pipeline::threads`] or `PIE_THREADS` — reports are
+//!    bit-identical at any thread count) and summarized against the exact
+//!    ground truth (`pie-analysis`).
 //!
 //! ```
 //! use partial_info_estimators::{Pipeline, Scheme, Statistic};
@@ -37,7 +40,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use pie_analysis::{Evaluation, RunningStats, Table};
+use pie_analysis::{Evaluation, RunningStats, Table, TrialRunner};
 use pie_core::{functions, EstimatorRegistry};
 use pie_datagen::Dataset;
 use pie_sampling::{
@@ -289,6 +292,7 @@ pub struct Pipeline {
     statistic: Option<Statistic>,
     trials: u64,
     base_salt: u64,
+    threads: Option<usize>,
 }
 
 impl Default for Pipeline {
@@ -317,6 +321,7 @@ impl Pipeline {
             statistic: None,
             trials: 100,
             base_salt: 0,
+            threads: None,
         }
     }
 
@@ -362,6 +367,19 @@ impl Pipeline {
         self
     }
 
+    /// Sets the number of worker threads for the Monte-Carlo trial loop
+    /// (clamped to ≥ 1).
+    ///
+    /// The default follows the `PIE_THREADS` environment variable, falling
+    /// back to the machine's available parallelism.  Thread count **never
+    /// changes the report**: trials are partitioned into fixed chunks and
+    /// reduced in a canonical order (see [`TrialRunner`]), so any thread
+    /// count reproduces the sequential output bit for bit.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
     /// Runs the pipeline: samples every instance `trials` times, assembles
     /// per-key outcomes into reusable buffers, pushes them through each
     /// estimator's batched hot path, and summarizes the per-trial sum
@@ -391,36 +409,42 @@ impl Pipeline {
             return Err(PipelineError::MissingEstimators);
         }
         validate_scheme(scheme)?;
+        let plan = TrialPlan::new(self.trials, self.base_salt, self.threads);
         match (scheme, estimators) {
             (Scheme::ObliviousPoisson { p }, EstimatorSet::Oblivious(registry)) => {
                 // `Dataset::keys` is already the sorted, deduped union, so
-                // compute the universe once instead of per trial.
+                // compute the universe once instead of per worker.
                 let universe = dataset.keys();
-                let sampler = ObliviousPoissonSampler::new(p);
-                let ds = Arc::clone(&dataset);
                 Ok(run_oblivious_with(
                     &dataset,
                     p,
                     &registry,
                     &statistic,
-                    self.trials,
-                    self.base_salt,
-                    move |_, seeds| {
-                        sample_all_with_universe(&sampler, ds.instances(), &universe, seeds)
+                    &plan,
+                    |_worker| {
+                        let sampler = ObliviousPoissonSampler::new(p);
+                        let ds = Arc::clone(&dataset);
+                        let universe = &universe;
+                        move |_t, seeds: &SeedAssignment| {
+                            sample_all_with_universe(&sampler, ds.instances(), universe, seeds)
+                        }
                     },
                 ))
             }
             (Scheme::PpsPoisson { tau_star }, EstimatorSet::Weighted(registry)) => {
-                let sampler = PpsPoissonSampler::new(tau_star);
-                let ds = Arc::clone(&dataset);
                 Ok(run_pps_with(
                     &dataset,
                     tau_star,
                     &registry,
                     &statistic,
-                    self.trials,
-                    self.base_salt,
-                    move |_, seeds| sample_all(&sampler, ds.instances(), seeds),
+                    &plan,
+                    |_worker| {
+                        let sampler = PpsPoissonSampler::new(tau_star);
+                        let ds = Arc::clone(&dataset);
+                        move |_t, seeds: &SeedAssignment| {
+                            sample_all(&sampler, ds.instances(), seeds)
+                        }
+                    },
                 ))
             }
             (scheme, estimators) => Err(PipelineError::RegimeMismatch {
@@ -430,6 +454,31 @@ impl Pipeline {
                     EstimatorSet::Weighted(_) => "weighted",
                 },
             }),
+        }
+    }
+}
+
+/// The Monte-Carlo execution plan shared by both pipeline front-ends: how
+/// many trials, the salt from which trial `t` derives its randomization
+/// (`base_salt + t`), and the engine that runs the loop.
+pub(crate) struct TrialPlan {
+    pub(crate) trials: u64,
+    pub(crate) base_salt: u64,
+    pub(crate) runner: TrialRunner,
+}
+
+impl TrialPlan {
+    /// Builds a plan from a builder's `.trials`/`.base_salt`/`.threads`
+    /// settings: an explicit thread count wins, otherwise `PIE_THREADS` /
+    /// available parallelism (see [`TrialRunner::new`]).
+    pub(crate) fn new(trials: u64, base_salt: u64, threads: Option<usize>) -> Self {
+        Self {
+            trials,
+            base_salt,
+            runner: match threads {
+                Some(n) => TrialRunner::with_threads(n),
+                None => TrialRunner::new(),
+            },
         }
     }
 }
@@ -484,81 +533,120 @@ fn summarize(
     }
 }
 
-/// The oblivious-regime estimation core: runs `trials` Monte-Carlo trials,
-/// obtaining each trial's per-instance samples from `sample_trial` (batch
-/// samplers, sharded streaming ingest, …) and pushing them through the
-/// pooled outcome buffers and the batched estimator hot path.
-pub(crate) fn run_oblivious_with<F>(
+/// Per-worker scratch state of the oblivious estimation core: the worker's
+/// sampling closure plus its reusable outcome and estimate buffers.
+struct ObliviousWorker<G> {
+    sample_trial: G,
+    outcomes: Vec<ObliviousOutcome>,
+    estimates: Vec<f64>,
+}
+
+/// The oblivious-regime estimation core: runs `trials` Monte-Carlo trials on
+/// the parallel trial engine, obtaining each trial's per-instance samples
+/// from a worker's sampling closure (batch samplers, sharded streaming
+/// ingest, …) and pushing them through the pooled outcome buffers and the
+/// batched estimator hot path.
+///
+/// `make_sampler(worker)` builds one worker thread's sampling closure
+/// (cloned samplers, per-worker sketch pools, …).  Each closure must be a
+/// pure function of `(trial, seeds)` — per-trial samples may not depend on
+/// which worker draws them — which is what makes the report bit-identical
+/// at every thread count.
+pub(crate) fn run_oblivious_with<G, F>(
     dataset: &Dataset,
     p: f64,
     registry: &EstimatorRegistry<ObliviousOutcome>,
     statistic: &Statistic,
-    trials: u64,
-    base_salt: u64,
-    mut sample_trial: F,
+    plan: &TrialPlan,
+    make_sampler: F,
 ) -> PipelineReport
 where
-    F: FnMut(u64, &SeedAssignment) -> Vec<InstanceSample>,
+    F: Fn(usize) -> G + Sync,
+    G: FnMut(u64, &SeedAssignment) -> Vec<InstanceSample> + Send,
 {
     let truth = exact_truth(dataset, statistic);
     // `keys` is the sorted, deduped union of all instances' keys: the same
     // universe the sampling stage (batch or streaming) covers.
     let keys = dataset.keys();
+    let keys = &keys;
     let r = dataset.num_instances();
-    // Reusable buffers: one outcome per key, rewritten in place every trial.
-    let mut outcomes: Vec<ObliviousOutcome> = keys
-        .iter()
-        .map(|_| ObliviousOutcome::new(vec![ObliviousEntry { p, value: None }; r]))
-        .collect();
-    let mut estimates = vec![0.0; keys.len()];
-    let mut stats: Vec<RunningStats> = (0..registry.len()).map(|_| RunningStats::new()).collect();
-    for t in 0..trials {
-        let seeds = SeedAssignment::independent_known(base_salt.wrapping_add(t));
-        let samples = sample_trial(t, &seeds);
-        fill_oblivious_outcomes(&keys, &samples, &mut outcomes);
-        for ((_, estimator), stat) in registry.iter().zip(&mut stats) {
-            estimator.estimate_batch(&outcomes, &mut estimates);
-            stat.push(estimates.iter().sum());
-        }
-    }
-    summarize(statistic, truth, trials, registry.names(), &stats)
+    let base_salt = plan.base_salt;
+    let stats = plan.runner.run(
+        plan.trials,
+        registry.len(),
+        // Reusable per-worker buffers: one outcome per key, rewritten in
+        // place every trial, so the hot loop stays allocation-free.
+        |worker| ObliviousWorker {
+            sample_trial: make_sampler(worker),
+            outcomes: keys
+                .iter()
+                .map(|_| ObliviousOutcome::new(vec![ObliviousEntry { p, value: None }; r]))
+                .collect(),
+            estimates: vec![0.0; keys.len()],
+        },
+        |w, t, stats| {
+            let seeds = SeedAssignment::independent_known(base_salt.wrapping_add(t));
+            let samples = (w.sample_trial)(t, &seeds);
+            fill_oblivious_outcomes(keys, &samples, &mut w.outcomes);
+            for ((_, estimator), stat) in registry.iter().zip(stats.iter_mut()) {
+                estimator.estimate_batch(&w.outcomes, &mut w.estimates);
+                stat.push(w.estimates.iter().sum());
+            }
+        },
+    );
+    summarize(statistic, truth, plan.trials, registry.names(), &stats)
+}
+
+/// Per-worker scratch state of the weighted estimation core.
+struct WeightedWorker<G> {
+    sample_trial: G,
+    pool: Vec<WeightedOutcome>,
+    estimates: Vec<f64>,
 }
 
 /// The weighted (PPS, known seeds) estimation core; see
-/// [`run_oblivious_with`] for the trial structure.
-pub(crate) fn run_pps_with<F>(
+/// [`run_oblivious_with`] for the trial structure and determinism contract.
+pub(crate) fn run_pps_with<G, F>(
     dataset: &Dataset,
     tau_star: f64,
     registry: &EstimatorRegistry<WeightedOutcome>,
     statistic: &Statistic,
-    trials: u64,
-    base_salt: u64,
-    mut sample_trial: F,
+    plan: &TrialPlan,
+    make_sampler: F,
 ) -> PipelineReport
 where
-    F: FnMut(u64, &SeedAssignment) -> Vec<InstanceSample>,
+    F: Fn(usize) -> G + Sync,
+    G: FnMut(u64, &SeedAssignment) -> Vec<InstanceSample> + Send,
 {
     let truth = exact_truth(dataset, statistic);
     let r = dataset.num_instances();
-    // Outcome pool: grows to the largest per-trial key set, then is reused.
-    // (Keys sampled nowhere contribute zero for nonnegative estimators, so
-    // each trial only assembles outcomes for keys present in some sample.)
-    let mut pool: Vec<WeightedOutcome> = Vec::new();
-    let mut estimates: Vec<f64> = Vec::new();
-    let mut stats: Vec<RunningStats> = (0..registry.len()).map(|_| RunningStats::new()).collect();
-    for t in 0..trials {
-        let seeds = SeedAssignment::independent_known(base_salt.wrapping_add(t));
-        let samples = sample_trial(t, &seeds);
-        let keys = sampled_key_union(&samples);
-        grow_weighted_pool(&mut pool, keys.len(), r, tau_star);
-        fill_weighted_outcomes(&keys, &samples, &seeds, tau_star, &mut pool[..keys.len()]);
-        estimates.resize(keys.len(), 0.0);
-        for ((_, estimator), stat) in registry.iter().zip(&mut stats) {
-            estimator.estimate_batch(&pool[..keys.len()], &mut estimates[..keys.len()]);
-            stat.push(estimates[..keys.len()].iter().sum());
-        }
-    }
-    summarize(statistic, truth, trials, registry.names(), &stats)
+    let base_salt = plan.base_salt;
+    let stats = plan.runner.run(
+        plan.trials,
+        registry.len(),
+        // Per-worker outcome pool: grows to the worker's largest per-trial
+        // key set, then is reused.  (Keys sampled nowhere contribute zero
+        // for nonnegative estimators, so each trial only assembles outcomes
+        // for keys present in some sample.)
+        |worker| WeightedWorker {
+            sample_trial: make_sampler(worker),
+            pool: Vec::new(),
+            estimates: Vec::new(),
+        },
+        |w, t, stats| {
+            let seeds = SeedAssignment::independent_known(base_salt.wrapping_add(t));
+            let samples = (w.sample_trial)(t, &seeds);
+            let keys = sampled_key_union(&samples);
+            grow_weighted_pool(&mut w.pool, keys.len(), r, tau_star);
+            fill_weighted_outcomes(&keys, &samples, &seeds, tau_star, &mut w.pool[..keys.len()]);
+            w.estimates.resize(keys.len(), 0.0);
+            for ((_, estimator), stat) in registry.iter().zip(stats.iter_mut()) {
+                estimator.estimate_batch(&w.pool[..keys.len()], &mut w.estimates[..keys.len()]);
+                stat.push(w.estimates[..keys.len()].iter().sum());
+            }
+        },
+    );
+    summarize(statistic, truth, plan.trials, registry.names(), &stats)
 }
 
 /// Rewrites each key's outcome entries in place from the trial's samples.

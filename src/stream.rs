@@ -51,7 +51,7 @@ use pie_sampling::{
 
 use crate::pipeline::{
     run_oblivious_with, run_pps_with, validate_scheme, EstimatorSet, PipelineError, PipelineReport,
-    Scheme, Statistic,
+    Scheme, Statistic, TrialPlan,
 };
 
 /// Builder wiring record stream → sharded ingest → merge tree → batched
@@ -66,6 +66,7 @@ pub struct StreamPipeline {
     statistic: Option<Statistic>,
     trials: u64,
     base_salt: u64,
+    threads: Option<usize>,
 }
 
 impl Default for StreamPipeline {
@@ -87,6 +88,7 @@ impl StreamPipeline {
             statistic: None,
             trials: 100,
             base_salt: 0,
+            threads: None,
         }
     }
 
@@ -133,6 +135,18 @@ impl StreamPipeline {
         self
     }
 
+    /// Sets the number of worker threads for the Monte-Carlo trial loop
+    /// (clamped to ≥ 1; default `PIE_THREADS`, else available parallelism).
+    ///
+    /// Trial workers are orthogonal to [`shards`](Self::shards): each worker
+    /// owns a full set of per-`(instance, shard)` sketch pools and replays
+    /// whole trials.  As with the batch [`crate::Pipeline`], the thread
+    /// count never changes the report — only the wall clock.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
     /// Runs the pipeline: partitions each instance's record stream across
     /// the configured shards once, then per trial ingests all `(instance,
     /// shard)` parts concurrently into pooled sketches, merges, finalizes,
@@ -151,35 +165,47 @@ impl StreamPipeline {
         }
         validate_scheme(scheme)?;
         let seeds0 = SeedAssignment::independent_known(self.base_salt);
+        let plan = TrialPlan::new(self.trials, self.base_salt, self.threads);
         match (scheme, estimators) {
             (Scheme::ObliviousPoisson { p }, EstimatorSet::Oblivious(registry)) => {
                 // Weight-oblivious sampling runs over the key universe, so
                 // every union key is streamed into every instance's shards.
                 let stream = ShardedStream::over_universe(&dataset, self.shards);
                 let sampler = ObliviousPoissonSampler::new(p);
-                let mut pools = sketch_pools(&sampler, &stream, &seeds0);
+                let stream = &stream;
                 Ok(run_oblivious_with(
                     &dataset,
                     p,
                     &registry,
                     &statistic,
-                    self.trials,
-                    self.base_salt,
-                    move |_, seeds| ingest_merge_finalize(&stream, &mut pools, seeds),
+                    &plan,
+                    |_worker| {
+                        // Each trial worker owns one full sketch-pool set;
+                        // sketches reset to the trial's seeds before ingest,
+                        // so any worker replays any trial identically.
+                        let mut pools = sketch_pools(&sampler, stream, &seeds0);
+                        move |_t, seeds: &SeedAssignment| {
+                            ingest_merge_finalize(stream, &mut pools, seeds)
+                        }
+                    },
                 ))
             }
             (Scheme::PpsPoisson { tau_star }, EstimatorSet::Weighted(registry)) => {
                 let stream = ShardedStream::from_dataset(&dataset, self.shards);
                 let sampler = PpsPoissonSampler::new(tau_star);
-                let mut pools = sketch_pools(&sampler, &stream, &seeds0);
+                let stream = &stream;
                 Ok(run_pps_with(
                     &dataset,
                     tau_star,
                     &registry,
                     &statistic,
-                    self.trials,
-                    self.base_salt,
-                    move |_, seeds| ingest_merge_finalize(&stream, &mut pools, seeds),
+                    &plan,
+                    |_worker| {
+                        let mut pools = sketch_pools(&sampler, stream, &seeds0);
+                        move |_t, seeds: &SeedAssignment| {
+                            ingest_merge_finalize(stream, &mut pools, seeds)
+                        }
+                    },
                 ))
             }
             (scheme, estimators) => Err(PipelineError::RegimeMismatch {

@@ -229,10 +229,11 @@ fn figure7_max_dominance_gain() {
     let truth = true_max_dominance(data.instances(), |_| true);
     let tau_star = 150.0;
     let trials = 120;
-    let eval = |f: &dyn Fn(
+    let eval = |f: &(dyn Fn(
         &[partial_info_estimators::sampling::InstanceSample],
         &partial_info_estimators::sampling::SeedAssignment,
-    ) -> f64|
+    ) -> f64
+                      + Sync)|
      -> Evaluation { evaluate_aggregate_pps(&data, tau_star, truth, trials, 5, f) };
     let ht = eval(&|s, seeds| max_dominance_ht(s, seeds, |_| true));
     let l = eval(&|s, seeds| max_dominance_l(s, seeds, |_| true));
