@@ -94,6 +94,28 @@ impl Evaluation {
     }
 }
 
+impl pie_store::Encode for Evaluation {
+    fn encode(&self, w: &mut dyn std::io::Write) -> Result<(), pie_store::StoreError> {
+        self.truth.encode(w)?;
+        self.mean.encode(w)?;
+        self.variance.encode(w)?;
+        self.relative_bias.encode(w)?;
+        self.trials.encode(w)
+    }
+}
+
+impl pie_store::Decode for Evaluation {
+    fn decode(r: &mut dyn std::io::Read) -> Result<Self, pie_store::StoreError> {
+        Ok(Self {
+            truth: f64::decode(r)?,
+            mean: f64::decode(r)?,
+            variance: f64::decode(r)?,
+            relative_bias: f64::decode(r)?,
+            trials: u64::decode(r)?,
+        })
+    }
+}
+
 /// The evaluators' trial engine: thread count from the environment, chunk
 /// width pinned to [`SIMULATION_BATCH`] so every chunk is one batch.
 fn evaluator_runner() -> TrialRunner {

@@ -1,5 +1,7 @@
 //! Streaming summary statistics used throughout the evaluation harness.
 
+use pie_store::StoreError;
+
 /// Online mean / variance accumulator (Welford's algorithm).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RunningStats {
@@ -166,6 +168,31 @@ impl RunningStats {
     #[must_use]
     pub fn max(&self) -> f64 {
         self.max
+    }
+}
+
+impl pie_store::Encode for RunningStats {
+    /// Writes the raw moment state — count, mean, `M2`, min, max — with the
+    /// floats as IEEE-754 bit patterns, so a decoded accumulator is *bitwise*
+    /// equal to the encoded one (merging it later gives identical results).
+    fn encode(&self, w: &mut dyn std::io::Write) -> Result<(), StoreError> {
+        self.n.encode(w)?;
+        self.mean.encode(w)?;
+        self.m2.encode(w)?;
+        self.min.encode(w)?;
+        self.max.encode(w)
+    }
+}
+
+impl pie_store::Decode for RunningStats {
+    fn decode(r: &mut dyn std::io::Read) -> Result<Self, StoreError> {
+        Ok(Self {
+            n: u64::decode(r)?,
+            mean: f64::decode(r)?,
+            m2: f64::decode(r)?,
+            min: f64::decode(r)?,
+            max: f64::decode(r)?,
+        })
     }
 }
 

@@ -1,0 +1,93 @@
+//! Snapshot roundtrip properties for the mergeable statistics and
+//! evaluation types: encode → decode is bitwise (including after merges and
+//! for empty accumulators), and malformed bytes yield typed errors.
+
+use pie_analysis::{Evaluation, RunningStats};
+use pie_store::{snapshot_from_slice, snapshot_to_vec, StoreError};
+use proptest::prelude::*;
+
+fn assert_stats_roundtrip_bitwise(stats: &RunningStats) {
+    let bytes = snapshot_to_vec(stats).unwrap();
+    let back: RunningStats = snapshot_from_slice(&bytes).unwrap();
+    // Field-for-field bitwise: re-encoding reproduces the exact bytes, and
+    // the derived moments agree to the last bit.
+    assert_eq!(snapshot_to_vec(&back).unwrap(), bytes);
+    assert_eq!(back.count(), stats.count());
+    assert_eq!(back.mean().to_bits(), stats.mean().to_bits());
+    assert_eq!(back.variance().to_bits(), stats.variance().to_bits());
+    assert_eq!(back.min().to_bits(), stats.min().to_bits());
+    assert_eq!(back.max().to_bits(), stats.max().to_bits());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn running_stats_roundtrip_after_pushes_and_merges(
+        xs in proptest::collection::vec(-1.0e6f64..1.0e6, 40),
+        split in 0usize..40,
+    ) {
+        let mut merged = RunningStats::from_values(xs[..split].iter().copied());
+        merged.merge(&RunningStats::from_values(xs[split..].iter().copied()));
+        assert_stats_roundtrip_bitwise(&merged);
+
+        // A decoded accumulator merges exactly like the original.
+        let bytes = snapshot_to_vec(&merged).unwrap();
+        let decoded: RunningStats = snapshot_from_slice(&bytes).unwrap();
+        let extra = RunningStats::from_values(xs.iter().map(|x| x * 0.5));
+        let mut a = merged;
+        let mut b = decoded;
+        a.merge(&extra);
+        b.merge(&extra);
+        prop_assert_eq!(snapshot_to_vec(&a).unwrap(), snapshot_to_vec(&b).unwrap());
+    }
+
+    #[test]
+    fn evaluation_roundtrip(truth in -1.0e6f64..1.0e6, xs in proptest::collection::vec(-1.0e6f64..1.0e6, 16)) {
+        let stats = RunningStats::from_values(xs.iter().copied());
+        let eval = Evaluation::from_stats(&stats, truth);
+        let bytes = snapshot_to_vec(&eval).unwrap();
+        let back: Evaluation = snapshot_from_slice(&bytes).unwrap();
+        prop_assert_eq!(back, eval);
+        prop_assert_eq!(snapshot_to_vec(&back).unwrap(), bytes);
+    }
+}
+
+#[test]
+fn empty_running_stats_roundtrip_bitwise() {
+    // The empty accumulator carries ±∞ sentinels in min/max; both must
+    // survive exactly so that merging a decoded empty stays the identity.
+    let empty = RunningStats::new();
+    assert_stats_roundtrip_bitwise(&empty);
+    let bytes = snapshot_to_vec(&empty).unwrap();
+    let decoded: RunningStats = snapshot_from_slice(&bytes).unwrap();
+    let mut target = RunningStats::from_values([1.0, 2.0, 3.0]);
+    let reference = target;
+    target.merge(&decoded);
+    assert_eq!(target, reference, "merging a decoded empty is the identity");
+}
+
+#[test]
+fn malformed_stats_snapshots_are_typed_errors() {
+    let bytes = snapshot_to_vec(&RunningStats::from_values([1.0, 2.0])).unwrap();
+    for cut in 0..bytes.len() {
+        let err = snapshot_from_slice::<RunningStats>(&bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Truncated { .. }),
+            "cut {cut}: {err}"
+        );
+    }
+    let mut wrong_version = bytes.clone();
+    wrong_version[4] = 9;
+    assert!(matches!(
+        snapshot_from_slice::<RunningStats>(&wrong_version).unwrap_err(),
+        StoreError::UnsupportedVersion { found: 9, .. }
+    ));
+    let mut corrupted = bytes;
+    let mid = corrupted.len() - 2;
+    corrupted[mid] ^= 0x01;
+    assert!(matches!(
+        snapshot_from_slice::<RunningStats>(&corrupted).unwrap_err(),
+        StoreError::ChecksumMismatch { .. }
+    ));
+}

@@ -21,10 +21,12 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use pie_store::StoreError;
+
 use crate::instance::{Instance, Key};
 use crate::rank::{ExpRanks, PpsRanks, RankFamily};
 use crate::sample::{InstanceSample, RankKind, SampleScheme};
-use crate::scheme::{SamplingScheme, Sketch};
+use crate::scheme::{sketch_tag, SamplingScheme, Sketch};
 use crate::seed::SeedAssignment;
 
 /// An entry in the streaming bottom-k heap, ordered by rank (max-heap so the
@@ -292,6 +294,82 @@ impl<R: RankFamily> Sketch for BottomKSketch<R> {
 
     fn ingested(&self) -> usize {
         self.builder.offered()
+    }
+}
+
+impl<R: RankFamily> pie_store::Encode for BottomKSketch<R> {
+    /// Heap entries are written sorted by `(rank, key)` — the heap's internal
+    /// array order depends on insertion history, so sorting is what makes the
+    /// encoding canonical (equal sketch states ⇒ identical bytes).
+    fn encode(&self, w: &mut dyn std::io::Write) -> Result<(), StoreError> {
+        sketch_tag::BOTTOM_K.encode(w)?;
+        self.ranks.encode(w)?;
+        self.builder.k.encode(w)?;
+        self.builder.offered.encode(w)?;
+        self.seeds.encode(w)?;
+        self.instance_index.encode(w)?;
+        let mut entries: Vec<HeapEntry> = self.builder.heap.iter().copied().collect();
+        entries.sort_unstable();
+        entries.len().encode(w)?;
+        for e in &entries {
+            e.rank.encode(w)?;
+            e.key.encode(w)?;
+            e.value.encode(w)?;
+        }
+        Ok(())
+    }
+}
+
+impl<R: RankFamily + Default> pie_store::Decode for BottomKSketch<R> {
+    fn decode(r: &mut dyn std::io::Read) -> Result<Self, StoreError> {
+        let tag = u32::decode(r)?;
+        if tag != sketch_tag::BOTTOM_K {
+            return Err(StoreError::InvalidTag {
+                what: "BottomKSketch",
+                tag,
+            });
+        }
+        let family = R::default();
+        let ranks = RankKind::decode(r)?;
+        if ranks != rank_kind_of(&family) {
+            return Err(StoreError::InvalidValue {
+                what: "bottom-k snapshot was written with a different rank family",
+            });
+        }
+        let k = usize::decode(r)?;
+        if k == 0 {
+            return Err(StoreError::InvalidValue {
+                what: "bottom-k sample size must be positive",
+            });
+        }
+        let offered = usize::decode(r)?;
+        let seeds = SeedAssignment::decode(r)?;
+        let instance_index = u64::decode(r)?;
+        let len = usize::decode(r)?;
+        if len > k + 1 {
+            return Err(StoreError::InvalidValue {
+                what: "bottom-k snapshot holds more than k + 1 candidates",
+            });
+        }
+        let mut builder = BottomKBuilder::new(family, k);
+        builder.offered = offered;
+        for _ in 0..len {
+            let rank = f64::decode(r)?;
+            let key = Key::decode(r)?;
+            let value = f64::decode(r)?;
+            if !rank.is_finite() || !value.is_finite() {
+                return Err(StoreError::InvalidValue {
+                    what: "bottom-k candidate rank and value must be finite",
+                });
+            }
+            builder.heap.push(HeapEntry { rank, key, value });
+        }
+        Ok(Self {
+            builder,
+            ranks,
+            seeds,
+            instance_index,
+        })
     }
 }
 

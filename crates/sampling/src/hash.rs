@@ -129,6 +129,24 @@ impl Hasher64 {
     }
 }
 
+impl pie_store::Encode for Hasher64 {
+    /// Writes the (already mixed) salt — 8 bytes.
+    fn encode(&self, w: &mut dyn std::io::Write) -> Result<(), pie_store::StoreError> {
+        self.salt.encode(w)
+    }
+}
+
+impl pie_store::Decode for Hasher64 {
+    /// Restores the hasher from its mixed salt, bypassing the mixing in
+    /// [`Hasher64::new`] — the decoded hasher agrees with the encoded one on
+    /// every input, bit for bit.
+    fn decode(r: &mut dyn std::io::Read) -> Result<Self, pie_store::StoreError> {
+        Ok(Self {
+            salt: u64::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

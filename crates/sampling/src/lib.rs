@@ -27,6 +27,12 @@
 //! * the borrowed, allocation-free outcome accessors ([`view`]) read by the
 //!   batched estimation hot path.
 //!
+//! Every sketch family — plus [`InstanceSample`] and [`SeedAssignment`] —
+//! implements the `pie-store` snapshot codec (`Encode`/`Decode`, defined
+//! next to each type), so sketch state can be persisted, checkpointed, and
+//! merged across processes with bitwise-exact round-trips; see
+//! [`scheme::sketch_tag`] for the family discriminants.
+//!
 //! Batch `sample()` methods still exist on every sampler, but they are thin
 //! wrappers over ingest-then-finalize on the corresponding sketch — the
 //! streaming path is the implementation, not an afterthought.
@@ -60,8 +66,6 @@ pub use instance::{key_union, value_vector, Instance, Key};
 pub use multi::{
     oblivious_outcomes, sample_all, sample_all_with_universe, sampled_key_union, weighted_outcomes,
 };
-#[allow(deprecated)]
-pub use multi::{sample_all_oblivious, sample_all_pps};
 pub use outcome::{ObliviousEntry, ObliviousOutcome, WeightedEntry, WeightedOutcome};
 pub use poisson::{
     ObliviousPoissonSampler, ObliviousPoissonSketch, PpsPoissonSampler, PpsPoissonSketch,

@@ -13,9 +13,8 @@
 //! Records are ingested in ascending key order, so even order-sensitive
 //! schemes (VarOpt) are reproducible across processes.
 
-use crate::instance::{key_union, Instance, Key};
+use crate::instance::{Instance, Key};
 use crate::outcome::{ObliviousOutcome, WeightedOutcome};
-use crate::poisson::{ObliviousPoissonSampler, PpsPoissonSampler};
 use crate::sample::InstanceSample;
 use crate::scheme::{SamplingScheme, Sketch};
 use crate::seed::SeedAssignment;
@@ -72,49 +71,6 @@ pub fn sample_all_with_universe<S: SamplingScheme>(
         .collect()
 }
 
-/// Samples every instance with weight-oblivious Poisson sampling over the
-/// union of all keys (plus any extra universe keys supplied).
-///
-/// Returns one [`InstanceSample`] per instance, in order.
-#[deprecated(
-    since = "0.3.0",
-    note = "use sample_all_with_universe(&ObliviousPoissonSampler::new(p), ..) — the SamplingScheme streaming API"
-)]
-#[must_use]
-pub fn sample_all_oblivious(
-    instances: &[Instance],
-    p: f64,
-    extra_universe: &[Key],
-    seeds: &SeedAssignment,
-) -> Vec<InstanceSample> {
-    let mut universe = key_union(instances);
-    universe.extend_from_slice(extra_universe);
-    universe.sort_unstable();
-    universe.dedup();
-    sample_all_with_universe(
-        &ObliviousPoissonSampler::new(p),
-        instances,
-        &universe,
-        seeds,
-    )
-}
-
-/// Samples every instance with weighted Poisson PPS sampling (threshold τ*).
-///
-/// Returns one [`InstanceSample`] per instance, in order.
-#[deprecated(
-    since = "0.3.0",
-    note = "use sample_all(&PpsPoissonSampler::new(tau_star), ..) — the SamplingScheme streaming API"
-)]
-#[must_use]
-pub fn sample_all_pps(
-    instances: &[Instance],
-    tau_star: f64,
-    seeds: &SeedAssignment,
-) -> Vec<InstanceSample> {
-    sample_all(&PpsPoissonSampler::new(tau_star), instances, seeds)
-}
-
 /// Assembles the weight-oblivious outcome of every key in `keys` from the
 /// given per-instance samples.
 #[must_use]
@@ -162,6 +118,8 @@ pub fn sampled_key_union(samples: &[InstanceSample]) -> Vec<Key> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::instance::key_union;
+    use crate::poisson::{ObliviousPoissonSampler, PpsPoissonSampler};
 
     fn two_instances() -> Vec<Instance> {
         vec![
@@ -174,8 +132,13 @@ mod tests {
     fn oblivious_sampling_covers_key_union() {
         let instances = two_instances();
         let seeds = SeedAssignment::independent_known(1);
-        #[allow(deprecated)]
-        let samples = sample_all_oblivious(&instances, 1.0, &[], &seeds);
+        let universe = key_union(&instances);
+        let samples = sample_all_with_universe(
+            &ObliviousPoissonSampler::new(1.0),
+            &instances,
+            &universe,
+            &seeds,
+        );
         assert_eq!(samples.len(), 2);
         // With p = 1 every universe key is in every sample, including keys the
         // instance itself does not carry (value 0).
@@ -187,11 +150,17 @@ mod tests {
     }
 
     #[test]
-    fn oblivious_sampling_includes_extra_universe() {
+    fn oblivious_sampling_includes_extra_universe_keys() {
         let instances = two_instances();
         let seeds = SeedAssignment::independent_known(1);
-        #[allow(deprecated)]
-        let samples = sample_all_oblivious(&instances, 1.0, &[99], &seeds);
+        let mut universe = key_union(&instances);
+        universe.push(99);
+        let samples = sample_all_with_universe(
+            &ObliviousPoissonSampler::new(1.0),
+            &instances,
+            &universe,
+            &seeds,
+        );
         assert!(samples[0].contains(99));
         assert_eq!(samples[0].value(99), Some(0.0));
     }
@@ -209,25 +178,16 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_match_trait_drivers() {
+    fn universe_driver_matches_restricted_sample_all_for_weighted_schemes() {
+        // For a weighted scheme the universe driver is sample_all restricted
+        // to the universe: zero-valued keys are never selected either way.
         let instances = two_instances();
         let seeds = SeedAssignment::independent_known(7);
-        #[allow(deprecated)]
-        let shim = sample_all_pps(&instances, 6.0, &seeds);
+        let universe = key_union(&instances);
         let direct = sample_all(&PpsPoissonSampler::new(6.0), &instances, &seeds);
-        assert_eq!(shim, direct);
-        let mut universe = key_union(&instances);
-        universe.push(42);
-        universe.sort_unstable();
-        #[allow(deprecated)]
-        let shim = sample_all_oblivious(&instances, 0.6, &[42], &seeds);
-        let direct = sample_all_with_universe(
-            &ObliviousPoissonSampler::new(0.6),
-            &instances,
-            &universe,
-            &seeds,
-        );
-        assert_eq!(shim, direct);
+        let via_universe =
+            sample_all_with_universe(&PpsPoissonSampler::new(6.0), &instances, &universe, &seeds);
+        assert_eq!(direct, via_universe);
     }
 
     #[test]

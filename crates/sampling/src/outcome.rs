@@ -19,9 +19,7 @@
 //!
 //! Both types implement the borrowed, allocation-free
 //! [`OutcomeView`](crate::view::OutcomeView) accessors — the interface the
-//! batched estimation hot path reads outcomes through.  The historical
-//! `Vec`-returning accessors (`sampled_indices`, `probabilities`) remain as
-//! deprecated shims.
+//! batched estimation hot path reads outcomes through.
 
 use crate::instance::Key;
 use crate::sample::{InstanceSample, RankKind, SampleScheme};
@@ -96,16 +94,6 @@ impl ObliviousOutcome {
         &self.entries
     }
 
-    /// Indices of sampled entries, as a freshly allocated `Vec`.
-    #[must_use]
-    #[deprecated(
-        since = "0.2.0",
-        note = "allocates per call; use `OutcomeView::sampled_indices_iter` instead"
-    )]
-    pub fn sampled_indices(&self) -> Vec<usize> {
-        self.sampled_indices_iter().collect()
-    }
-
     /// Number of sampled entries `|S|`.
     #[must_use]
     pub fn num_sampled(&self) -> usize {
@@ -131,16 +119,6 @@ impl ObliviousOutcome {
     /// allocating.
     pub fn probabilities_iter(&self) -> impl Iterator<Item = f64> + '_ {
         self.entries.iter().map(|e| e.p)
-    }
-
-    /// The inclusion probabilities `p_1, …, p_r`, as a freshly allocated `Vec`.
-    #[must_use]
-    #[deprecated(
-        since = "0.2.0",
-        note = "allocates per call; use `probabilities_iter` or the `entries` slice instead"
-    )]
-    pub fn probabilities(&self) -> Vec<f64> {
-        self.probabilities_iter().collect()
     }
 
     /// The product `∏_i p_i` (probability that all entries are sampled).
@@ -303,16 +281,6 @@ impl WeightedOutcome {
         &self.entries
     }
 
-    /// Indices of sampled entries, as a freshly allocated `Vec`.
-    #[must_use]
-    #[deprecated(
-        since = "0.2.0",
-        note = "allocates per call; use `OutcomeView::sampled_indices_iter` instead"
-    )]
-    pub fn sampled_indices(&self) -> Vec<usize> {
-        self.sampled_indices_iter().collect()
-    }
-
     /// Number of sampled entries `|S|`.
     #[must_use]
     pub fn num_sampled(&self) -> usize {
@@ -428,8 +396,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_vec_shims_match_iterator_accessors() {
+    fn iterator_accessors_agree_with_entry_slices() {
         let o = ObliviousOutcome::new(vec![
             ObliviousEntry {
                 p: 0.3,
@@ -440,13 +407,10 @@ mod tests {
                 value: Some(2.0),
             },
         ]);
+        assert_eq!(o.sampled_indices_iter().collect::<Vec<_>>(), vec![1]);
         assert_eq!(
-            o.sampled_indices(),
-            o.sampled_indices_iter().collect::<Vec<_>>()
-        );
-        assert_eq!(
-            o.probabilities(),
-            o.probabilities_iter().collect::<Vec<_>>()
+            o.probabilities_iter().collect::<Vec<_>>(),
+            o.entries().iter().map(|e| e.p).collect::<Vec<_>>()
         );
         let w = WeightedOutcome::new(vec![
             WeightedEntry {
@@ -460,10 +424,7 @@ mod tests {
                 value: None,
             },
         ]);
-        assert_eq!(
-            w.sampled_indices(),
-            w.sampled_indices_iter().collect::<Vec<_>>()
-        );
+        assert_eq!(w.sampled_indices_iter().collect::<Vec<_>>(), vec![0]);
     }
 
     #[test]

@@ -21,10 +21,12 @@
 //! post hoc.  The batch `sample()` methods are thin wrappers over
 //! ingest-then-finalize on the corresponding sketch.
 
+use pie_store::{Decode as _, Encode as _, StoreError};
+
 use crate::instance::{Instance, Key};
 use crate::rank::RankFamily;
 use crate::sample::{InstanceSample, RankKind, SampleScheme};
-use crate::scheme::{SamplingScheme, Sketch};
+use crate::scheme::{sketch_tag, SamplingScheme, Sketch};
 use crate::seed::SeedAssignment;
 
 /// Weight-oblivious Poisson sampling: keep each key of the universe with
@@ -144,6 +146,72 @@ impl Sketch for ObliviousPoissonSketch {
 
     fn ingested(&self) -> usize {
         self.ingested
+    }
+}
+
+/// Writes a sketch's retained entries in canonical (key-ascending) order so
+/// equal sketch states always encode to identical bytes, whatever the
+/// in-memory push order was.
+fn encode_entries_sorted(
+    entries: &[(Key, f64)],
+    w: &mut dyn std::io::Write,
+) -> Result<(), StoreError> {
+    if entries.windows(2).all(|pair| pair[0].0 < pair[1].0) {
+        entries.encode(w)
+    } else {
+        let mut sorted = entries.to_vec();
+        sorted.sort_unstable_by_key(|&(k, _)| k);
+        sorted.encode(w)
+    }
+}
+
+/// Decodes a Poisson sketch's entry list, enforcing the canonical
+/// strictly-ascending key order the encoder writes — so a decoded sketch
+/// always re-encodes to the identical bytes, and duplicate keys cannot
+/// slip through to be silently dropped by `InstanceSample::new`'s dedup.
+fn decode_entries_sorted(r: &mut dyn std::io::Read) -> Result<Vec<(Key, f64)>, StoreError> {
+    let entries: Vec<(Key, f64)> = Vec::decode(r)?;
+    if entries.windows(2).any(|pair| pair[0].0 >= pair[1].0) {
+        return Err(StoreError::InvalidValue {
+            what: "Poisson sketch entries must be strictly ascending by key",
+        });
+    }
+    Ok(entries)
+}
+
+impl pie_store::Encode for ObliviousPoissonSketch {
+    fn encode(&self, w: &mut dyn std::io::Write) -> Result<(), StoreError> {
+        sketch_tag::OBLIVIOUS_POISSON.encode(w)?;
+        self.p.encode(w)?;
+        self.seeds.encode(w)?;
+        self.instance_index.encode(w)?;
+        encode_entries_sorted(&self.entries, w)?;
+        self.ingested.encode(w)
+    }
+}
+
+impl pie_store::Decode for ObliviousPoissonSketch {
+    fn decode(r: &mut dyn std::io::Read) -> Result<Self, StoreError> {
+        let tag = u32::decode(r)?;
+        if tag != sketch_tag::OBLIVIOUS_POISSON {
+            return Err(StoreError::InvalidTag {
+                what: "ObliviousPoissonSketch",
+                tag,
+            });
+        }
+        let p = f64::decode(r)?;
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(StoreError::InvalidValue {
+                what: "oblivious sampling probability must lie in (0, 1]",
+            });
+        }
+        Ok(Self {
+            p,
+            seeds: SeedAssignment::decode(r)?,
+            instance_index: u64::decode(r)?,
+            entries: decode_entries_sorted(r)?,
+            ingested: usize::decode(r)?,
+        })
     }
 }
 
@@ -279,6 +347,50 @@ impl Sketch for PpsPoissonSketch {
 
     fn ingested(&self) -> usize {
         self.ingested
+    }
+}
+
+impl pie_store::Encode for PpsPoissonSketch {
+    fn encode(&self, w: &mut dyn std::io::Write) -> Result<(), StoreError> {
+        sketch_tag::PPS_POISSON.encode(w)?;
+        self.tau_star.encode(w)?;
+        self.seeds.encode(w)?;
+        self.instance_index.encode(w)?;
+        encode_entries_sorted(&self.entries, w)?;
+        self.ingested.encode(w)
+    }
+}
+
+impl pie_store::Decode for PpsPoissonSketch {
+    fn decode(r: &mut dyn std::io::Read) -> Result<Self, StoreError> {
+        let tag = u32::decode(r)?;
+        if tag != sketch_tag::PPS_POISSON {
+            return Err(StoreError::InvalidTag {
+                what: "PpsPoissonSketch",
+                tag,
+            });
+        }
+        let tau_star = f64::decode(r)?;
+        if !(tau_star > 0.0 && tau_star.is_finite()) {
+            return Err(StoreError::InvalidValue {
+                what: "PPS tau_star must be positive and finite",
+            });
+        }
+        let seeds = SeedAssignment::decode(r)?;
+        let instance_index = u64::decode(r)?;
+        let entries = decode_entries_sorted(r)?;
+        if entries.iter().any(|&(_, v)| !(v.is_finite() && v > 0.0)) {
+            return Err(StoreError::InvalidValue {
+                what: "PPS sketch entries must have finite positive weights",
+            });
+        }
+        Ok(Self {
+            tau_star,
+            seeds,
+            instance_index,
+            entries,
+            ingested: usize::decode(r)?,
+        })
     }
 }
 

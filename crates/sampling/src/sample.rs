@@ -15,6 +15,8 @@
 //! deterministic across processes — two runs with the same seeds produce
 //! bit-identical samples regardless of ingestion sharding.
 
+use pie_store::StoreError;
+
 use crate::instance::Key;
 
 /// Which rank family a rank-based sampler used.
@@ -220,6 +222,110 @@ impl InstanceSample {
                 }
             })
             .sum()
+    }
+}
+
+impl pie_store::Encode for RankKind {
+    fn encode(&self, w: &mut dyn std::io::Write) -> Result<(), StoreError> {
+        let tag: u32 = match self {
+            Self::Pps => 0,
+            Self::Exp => 1,
+        };
+        tag.encode(w)
+    }
+}
+
+impl pie_store::Decode for RankKind {
+    fn decode(r: &mut dyn std::io::Read) -> Result<Self, StoreError> {
+        match u32::decode(r)? {
+            0 => Ok(Self::Pps),
+            1 => Ok(Self::Exp),
+            tag => Err(StoreError::InvalidTag {
+                what: "RankKind",
+                tag,
+            }),
+        }
+    }
+}
+
+impl pie_store::Encode for SampleScheme {
+    fn encode(&self, w: &mut dyn std::io::Write) -> Result<(), StoreError> {
+        match *self {
+            Self::ObliviousPoisson { p } => {
+                0u32.encode(w)?;
+                p.encode(w)
+            }
+            Self::PpsPoisson { tau_star } => {
+                1u32.encode(w)?;
+                tau_star.encode(w)
+            }
+            Self::BottomK { k, ranks } => {
+                2u32.encode(w)?;
+                k.encode(w)?;
+                ranks.encode(w)
+            }
+            Self::VarOpt { k } => {
+                3u32.encode(w)?;
+                k.encode(w)
+            }
+        }
+    }
+}
+
+impl pie_store::Decode for SampleScheme {
+    fn decode(r: &mut dyn std::io::Read) -> Result<Self, StoreError> {
+        match u32::decode(r)? {
+            0 => Ok(Self::ObliviousPoisson { p: f64::decode(r)? }),
+            1 => Ok(Self::PpsPoisson {
+                tau_star: f64::decode(r)?,
+            }),
+            2 => Ok(Self::BottomK {
+                k: usize::decode(r)?,
+                ranks: RankKind::decode(r)?,
+            }),
+            3 => Ok(Self::VarOpt {
+                k: usize::decode(r)?,
+            }),
+            tag => Err(StoreError::InvalidTag {
+                what: "SampleScheme",
+                tag,
+            }),
+        }
+    }
+}
+
+impl pie_store::Encode for InstanceSample {
+    /// Entries are stored key-sorted already, so the encoding is canonical:
+    /// equal samples produce identical bytes.
+    fn encode(&self, w: &mut dyn std::io::Write) -> Result<(), StoreError> {
+        self.instance_index.encode(w)?;
+        self.scheme.encode(w)?;
+        self.threshold.encode(w)?;
+        self.entries.encode(w)
+    }
+}
+
+impl pie_store::Decode for InstanceSample {
+    fn decode(r: &mut dyn std::io::Read) -> Result<Self, StoreError> {
+        let instance_index = u64::decode(r)?;
+        let scheme = SampleScheme::decode(r)?;
+        let threshold = f64::decode(r)?;
+        let entries: Vec<(Key, f64)> = Vec::decode(r)?;
+        // The strictly-ascending key order is the invariant every accessor
+        // (binary search, deterministic iteration) relies on; reject inputs
+        // that violate it rather than silently re-sorting, so a decoded
+        // sample is guaranteed byte-identical to its source.
+        if entries.windows(2).any(|pair| pair[0].0 >= pair[1].0) {
+            return Err(StoreError::InvalidValue {
+                what: "InstanceSample entries must be strictly ascending by key",
+            });
+        }
+        Ok(Self {
+            instance_index,
+            scheme,
+            threshold,
+            entries,
+        })
     }
 }
 

@@ -120,6 +120,25 @@ pub trait SamplingScheme {
     }
 }
 
+/// Discriminant tags identifying the sketch family at the head of every
+/// sketch snapshot payload.
+///
+/// Each sketch's [`Encode`](pie_store::Encode) impl writes its family tag
+/// first and its [`Decode`](pie_store::Decode) impl validates it, so feeding
+/// a snapshot of one family to another family's decoder yields a typed
+/// [`InvalidTag`](pie_store::StoreError::InvalidTag) instead of garbage
+/// state.
+pub mod sketch_tag {
+    /// [`ObliviousPoissonSketch`](crate::ObliviousPoissonSketch) snapshots.
+    pub const OBLIVIOUS_POISSON: u32 = 1;
+    /// [`PpsPoissonSketch`](crate::PpsPoissonSketch) snapshots.
+    pub const PPS_POISSON: u32 = 2;
+    /// [`BottomKSketch`](crate::BottomKSketch) snapshots (any rank family).
+    pub const BOTTOM_K: u32 = 3;
+    /// [`VarOptSketch`](crate::VarOptSketch) snapshots.
+    pub const VAR_OPT: u32 = 4;
+}
+
 /// Merges a slice of sibling sketches with a balanced binary merge tree,
 /// leaving the combined result in `sketches[0]` (all others are drained).
 ///

@@ -149,6 +149,72 @@ impl SeedAssignment {
     }
 }
 
+impl pie_store::Encode for Coordination {
+    fn encode(&self, w: &mut dyn std::io::Write) -> Result<(), pie_store::StoreError> {
+        let tag: u32 = match self {
+            Self::Independent => 0,
+            Self::SharedSeed => 1,
+        };
+        tag.encode(w)
+    }
+}
+
+impl pie_store::Decode for Coordination {
+    fn decode(r: &mut dyn std::io::Read) -> Result<Self, pie_store::StoreError> {
+        match u32::decode(r)? {
+            0 => Ok(Self::Independent),
+            1 => Ok(Self::SharedSeed),
+            tag => Err(pie_store::StoreError::InvalidTag {
+                what: "Coordination",
+                tag,
+            }),
+        }
+    }
+}
+
+impl pie_store::Encode for SeedVisibility {
+    fn encode(&self, w: &mut dyn std::io::Write) -> Result<(), pie_store::StoreError> {
+        let tag: u32 = match self {
+            Self::Known => 0,
+            Self::Unknown => 1,
+        };
+        tag.encode(w)
+    }
+}
+
+impl pie_store::Decode for SeedVisibility {
+    fn decode(r: &mut dyn std::io::Read) -> Result<Self, pie_store::StoreError> {
+        match u32::decode(r)? {
+            0 => Ok(Self::Known),
+            1 => Ok(Self::Unknown),
+            tag => Err(pie_store::StoreError::InvalidTag {
+                what: "SeedVisibility",
+                tag,
+            }),
+        }
+    }
+}
+
+impl pie_store::Encode for SeedAssignment {
+    /// Writes the mixed hash salt plus the coordination and visibility tags;
+    /// the decoded assignment reproduces every seed bit for bit.
+    fn encode(&self, w: &mut dyn std::io::Write) -> Result<(), pie_store::StoreError> {
+        self.hasher.encode(w)?;
+        self.coordination.encode(w)?;
+        self.visibility.encode(w)
+    }
+}
+
+impl pie_store::Decode for SeedAssignment {
+    fn decode(r: &mut dyn std::io::Read) -> Result<Self, pie_store::StoreError> {
+        Ok(Self {
+            hasher: crate::hash::Hasher64::decode(r)?,
+            coordination: Coordination::decode(r)?,
+            visibility: SeedVisibility::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

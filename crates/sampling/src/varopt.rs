@@ -34,12 +34,13 @@
 //! than raw weight; estimation, which only consumes `v/p = max(v, τ)`, is
 //! unaffected.
 
+use pie_store::StoreError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::instance::{Instance, Key};
 use crate::sample::{InstanceSample, SampleScheme};
-use crate::scheme::{SamplingScheme, Sketch};
+use crate::scheme::{sketch_tag, SamplingScheme, Sketch};
 use crate::seed::SeedAssignment;
 
 /// One key held by the VarOpt reservoir.
@@ -307,6 +308,51 @@ impl VarOptSampler {
     }
 }
 
+/// A [`StdRng`] that remembers its seed and how many draws it has produced.
+///
+/// VarOpt is the one scheme whose sketch state includes *consumed
+/// randomness*, which generic RNGs cannot export.  Wrapping the generator
+/// with a draw counter makes the state snapshotable portably: a decoded
+/// sketch re-seeds and discards the same number of draws, reproducing the
+/// generator position bit for bit — independent of the RNG's internal
+/// representation (so snapshots stay valid if the vendored stub is swapped
+/// for the real `rand`).
+#[derive(Debug, Clone)]
+struct ReplayableRng {
+    inner: StdRng,
+    seed: u64,
+    draws: u64,
+}
+
+impl ReplayableRng {
+    /// Starts a fresh generator from `seed` with zero draws consumed.
+    fn from_seed(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+            draws: 0,
+        }
+    }
+
+    /// Reconstructs a generator that has already produced `draws` values
+    /// from `seed`, by replaying (and discarding) them.
+    fn replay(seed: u64, draws: u64) -> Self {
+        let mut rng = Self::from_seed(seed);
+        for _ in 0..draws {
+            let _ = rng.inner.next_u64();
+        }
+        rng.draws = draws;
+        rng
+    }
+}
+
+impl Rng for ReplayableRng {
+    fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.inner.next_u64()
+    }
+}
+
 /// Configuration of VarOpt sampling for the streaming
 /// [`SamplingScheme`] API: a fixed sample size `k`.
 ///
@@ -356,7 +402,7 @@ impl SamplingScheme for VarOptScheme {
     ) -> Self::Sketch {
         VarOptSketch {
             inner: VarOptSampler::new(self.k),
-            rng: StdRng::seed_from_u64(seeds.rng_seed(instance_index, shard)),
+            rng: ReplayableRng::from_seed(seeds.rng_seed(instance_index, shard)),
             shard,
             instance_index,
         }
@@ -368,7 +414,7 @@ impl SamplingScheme for VarOptScheme {
 #[derive(Debug, Clone)]
 pub struct VarOptSketch {
     inner: VarOptSampler,
-    rng: StdRng,
+    rng: ReplayableRng,
     shard: u64,
     instance_index: u64,
 }
@@ -400,12 +446,105 @@ impl Sketch for VarOptSketch {
 
     fn reset(&mut self, seeds: &SeedAssignment, instance_index: u64) {
         self.instance_index = instance_index;
-        self.rng = StdRng::seed_from_u64(seeds.rng_seed(instance_index, self.shard));
+        self.rng = ReplayableRng::from_seed(seeds.rng_seed(instance_index, self.shard));
         self.inner.clear();
     }
 
     fn ingested(&self) -> usize {
         self.inner.processed()
+    }
+}
+
+impl pie_store::Encode for VarOptSketch {
+    /// Unlike the hash-seeded sketches, both reservoir vectors are written in
+    /// their exact in-memory order: eviction probabilities iterate the small
+    /// bucket positionally, so the order *is* part of the sketch state.  The
+    /// RNG is stored as `(seed, draws-consumed)` and replayed on decode.
+    fn encode(&self, w: &mut dyn std::io::Write) -> Result<(), StoreError> {
+        sketch_tag::VAR_OPT.encode(w)?;
+        self.inner.k.encode(w)?;
+        self.inner.tau.encode(w)?;
+        self.inner.processed.encode(w)?;
+        let write_items = |items: &[Item], w: &mut dyn std::io::Write| -> Result<(), StoreError> {
+            items.len().encode(w)?;
+            for it in items {
+                it.key.encode(w)?;
+                it.value.encode(w)?;
+            }
+            Ok(())
+        };
+        write_items(&self.inner.large, w)?;
+        write_items(&self.inner.small, w)?;
+        self.rng.seed.encode(w)?;
+        self.rng.draws.encode(w)?;
+        self.shard.encode(w)?;
+        self.instance_index.encode(w)
+    }
+}
+
+impl pie_store::Decode for VarOptSketch {
+    fn decode(r: &mut dyn std::io::Read) -> Result<Self, StoreError> {
+        let tag = u32::decode(r)?;
+        if tag != sketch_tag::VAR_OPT {
+            return Err(StoreError::InvalidTag {
+                what: "VarOptSketch",
+                tag,
+            });
+        }
+        let k = usize::decode(r)?;
+        if k == 0 {
+            return Err(StoreError::InvalidValue {
+                what: "VarOpt sample size must be positive",
+            });
+        }
+        let tau = f64::decode(r)?;
+        if !(tau.is_finite() && tau >= 0.0) {
+            return Err(StoreError::InvalidValue {
+                what: "VarOpt threshold must be finite and nonnegative",
+            });
+        }
+        let processed = usize::decode(r)?;
+        let read_items = |r: &mut dyn std::io::Read| -> Result<Vec<Item>, StoreError> {
+            let len = usize::decode(r)?;
+            let mut items = Vec::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                let key = Key::decode(r)?;
+                let value = f64::decode(r)?;
+                if !(value.is_finite() && value > 0.0) {
+                    return Err(StoreError::InvalidValue {
+                        what: "VarOpt reservoir values must be finite and positive",
+                    });
+                }
+                items.push(Item { key, value });
+            }
+            Ok(items)
+        };
+        let large = read_items(r)?;
+        let small = read_items(r)?;
+        if large.len() + small.len() > k + 1 {
+            return Err(StoreError::InvalidValue {
+                what: "VarOpt reservoir holds more than k + 1 items",
+            });
+        }
+        if large.windows(2).any(|pair| pair[0].value > pair[1].value) {
+            return Err(StoreError::InvalidValue {
+                what: "VarOpt large bucket must be sorted ascending by value",
+            });
+        }
+        let seed = u64::decode(r)?;
+        let draws = u64::decode(r)?;
+        Ok(Self {
+            inner: VarOptSampler {
+                k,
+                large,
+                small,
+                tau,
+                processed,
+            },
+            rng: ReplayableRng::replay(seed, draws),
+            shard: u64::decode(r)?,
+            instance_index: u64::decode(r)?,
+        })
     }
 }
 

@@ -6,8 +6,7 @@
 //! [`WeightedOutcome`](crate::WeightedOutcome) behind one iterator/slice-based
 //! interface: everything an estimator needs to know about *which* entries were
 //! sampled and *what* they revealed is available by borrowing, without
-//! materializing intermediate `Vec`s.  (The historical `Vec`-returning
-//! accessors survive on the concrete types as deprecated shims.)
+//! materializing intermediate `Vec`s.
 //!
 //! Regime-specific information — inclusion probabilities for weight-oblivious
 //! outcomes, thresholds and seeds for weighted ones — stays on the concrete
@@ -67,9 +66,6 @@ pub trait OutcomeView {
     }
 
     /// Iterates over the indices of sampled entries, ascending.
-    ///
-    /// The borrowing replacement for the deprecated `sampled_indices()`
-    /// `Vec` accessors.
     fn sampled_indices_iter(&self) -> impl Iterator<Item = usize> + '_ {
         (0..self.num_instances()).filter(|&i| self.value_at(i).is_some())
     }

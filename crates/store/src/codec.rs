@@ -1,0 +1,339 @@
+//! The [`Encode`] / [`Decode`] traits and their primitive implementations.
+//!
+//! Every multi-byte value is written **little-endian**, whatever the host —
+//! snapshots written on one machine decode bit-identically on any other.
+//! Floats round-trip through their IEEE-754 bit patterns
+//! ([`f64::to_bits`]/[`f64::from_bits`]), so NaN payloads, signed zeros, and
+//! infinities survive exactly; this is what makes sketch snapshots *bitwise*
+//! reproducible rather than merely approximately equal.
+//!
+//! Composite values are built from the primitives: sequences are a `u64`
+//! length prefix followed by the elements, options are a presence byte,
+//! enums are a `u32` discriminant tag (decoders reject unknown tags with
+//! [`StoreError::InvalidTag`], never a panic).
+
+use std::io::{Read, Write};
+
+use crate::error::StoreError;
+
+/// A value that can be written into a snapshot payload.
+///
+/// Implementations must be deterministic: encoding the same logical value
+/// twice must produce the same bytes (canonicalize any internal state whose
+/// in-memory order is unspecified, e.g. heap arrays, before writing).
+pub trait Encode {
+    /// Writes the binary representation of `self` to `w`.
+    ///
+    /// # Errors
+    /// Propagates I/O failures from the sink.
+    fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError>;
+}
+
+/// A value that can be reconstructed from a snapshot payload.
+///
+/// Decoders must treat the input as untrusted: malformed bytes yield a typed
+/// [`StoreError`], never a panic or an unbounded allocation.
+pub trait Decode: Sized {
+    /// Reads one value of this type from `r`.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Truncated`] when the input ends early and
+    /// [`StoreError::InvalidTag`] / [`StoreError::InvalidValue`] for bytes
+    /// that do not form a valid value.
+    fn decode(r: &mut dyn Read) -> Result<Self, StoreError>;
+}
+
+/// Reads exactly `N` bytes, mapping a short read to [`StoreError::Truncated`].
+fn read_array<const N: usize>(
+    r: &mut dyn Read,
+    context: &'static str,
+) -> Result<[u8; N], StoreError> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::Truncated { context }
+        } else {
+            StoreError::Io(e)
+        }
+    })?;
+    Ok(buf)
+}
+
+macro_rules! impl_le_primitive {
+    ($($t:ty => $ctx:literal),* $(,)?) => {$(
+        impl Encode for $t {
+            fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
+                w.write_all(&self.to_le_bytes())?;
+                Ok(())
+            }
+        }
+        impl Decode for $t {
+            fn decode(r: &mut dyn Read) -> Result<Self, StoreError> {
+                Ok(<$t>::from_le_bytes(read_array(r, $ctx)?))
+            }
+        }
+    )*};
+}
+
+impl_le_primitive!(
+    u8 => "u8",
+    u16 => "u16",
+    u32 => "u32",
+    u64 => "u64",
+    i64 => "i64",
+);
+
+impl Encode for f64 {
+    fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
+        self.to_bits().encode(w)
+    }
+}
+
+impl Decode for f64 {
+    fn decode(r: &mut dyn Read) -> Result<Self, StoreError> {
+        Ok(f64::from_bits(u64::decode(r)?))
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
+        u8::from(*self).encode(w)
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut dyn Read) -> Result<Self, StoreError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(StoreError::InvalidTag {
+                what: "bool",
+                tag: u32::from(tag),
+            }),
+        }
+    }
+}
+
+impl Encode for usize {
+    /// `usize` is written as `u64` so 32- and 64-bit hosts interoperate.
+    fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
+        (*self as u64).encode(w)
+    }
+}
+
+impl Decode for usize {
+    fn decode(r: &mut dyn Read) -> Result<Self, StoreError> {
+        usize::try_from(u64::decode(r)?).map_err(|_| StoreError::InvalidValue {
+            what: "length does not fit in usize on this host",
+        })
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
+        self.len().encode(w)?;
+        w.write_all(self.as_bytes())?;
+        Ok(())
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut dyn Read) -> Result<Self, StoreError> {
+        let bytes: Vec<u8> = Vec::decode(r)?;
+        String::from_utf8(bytes).map_err(|_| StoreError::InvalidValue {
+            what: "string is not valid UTF-8",
+        })
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
+        match self {
+            None => false.encode(w),
+            Some(v) => {
+                true.encode(w)?;
+                v.encode(w)
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut dyn Read) -> Result<Self, StoreError> {
+        if bool::decode(r)? {
+            Ok(Some(T::decode(r)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
+        self.0.encode(w)?;
+        self.1.encode(w)
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut dyn Read) -> Result<Self, StoreError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+/// Ceiling on speculative `Vec` preallocation while decoding.
+///
+/// A corrupted length prefix must not trigger a multi-gigabyte allocation;
+/// decoding reserves at most this many elements up front and then grows
+/// organically (a genuinely truncated input fails on the first missing
+/// element instead).
+const MAX_PREALLOC: usize = 1 << 16;
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
+        self.len().encode(w)?;
+        for item in self {
+            item.encode(w)?;
+        }
+        Ok(())
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut dyn Read) -> Result<Self, StoreError> {
+        let len = usize::decode(r)?;
+        let mut out = Vec::with_capacity(len.min(MAX_PREALLOC));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode> Encode for [T] {
+    fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
+        self.len().encode(w)?;
+        for item in self {
+            item.encode(w)?;
+        }
+        Ok(())
+    }
+}
+
+/// Encodes a value into a fresh byte vector (payload bytes only, no
+/// snapshot framing — see [`crate::SnapshotWriter`] for framed output).
+///
+/// # Errors
+/// Propagates encoding failures (writing to a `Vec` itself cannot fail).
+pub fn encode_to_vec<T: Encode + ?Sized>(value: &T) -> Result<Vec<u8>, StoreError> {
+    let mut buf = Vec::new();
+    value.encode(&mut buf)?;
+    Ok(buf)
+}
+
+/// Decodes a value from a byte slice, requiring every byte to be consumed.
+///
+/// # Errors
+/// Returns [`StoreError::InvalidValue`] if trailing bytes remain after the
+/// value, plus any decoding failure of the value itself.
+pub fn decode_from_slice<T: Decode>(mut bytes: &[u8]) -> Result<T, StoreError> {
+    let r: &mut dyn Read = &mut bytes;
+    let value = T::decode(r)?;
+    if bytes.is_empty() {
+        Ok(value)
+    } else {
+        Err(StoreError::InvalidValue {
+            what: "trailing bytes after value",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = encode_to_vec(&value).unwrap();
+        let back: T = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(0xBEEFu16);
+        roundtrip(0xDEAD_BEEFu32);
+        roundtrip(u64::MAX);
+        roundtrip(-42i64);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(123_456usize);
+        roundtrip(String::from("héllo"));
+        roundtrip(Some(7.25f64));
+        roundtrip(Option::<f64>::None);
+        roundtrip((3u64, 2.5f64));
+        roundtrip(vec![1.0f64, -0.0, f64::INFINITY]);
+    }
+
+    #[test]
+    fn f64_roundtrip_is_bitwise() {
+        for bits in [
+            0u64,
+            f64::NAN.to_bits(),
+            0x7FF8_0000_0000_1234, // NaN with payload
+            (-0.0f64).to_bits(),
+            f64::MIN_POSITIVE.to_bits(),
+        ] {
+            let x = f64::from_bits(bits);
+            let bytes = encode_to_vec(&x).unwrap();
+            let back: f64 = decode_from_slice(&bytes).unwrap();
+            assert_eq!(back.to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn encoding_is_little_endian() {
+        assert_eq!(encode_to_vec(&0x0102_0304u32).unwrap(), [4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn truncated_input_is_typed() {
+        let bytes = encode_to_vec(&vec![1.0f64, 2.0]).unwrap();
+        for cut in 0..bytes.len() {
+            let err = decode_from_slice::<Vec<f64>>(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, StoreError::Truncated { .. }),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_length_does_not_overallocate() {
+        // A length prefix of u64::MAX must fail on the first missing element,
+        // not attempt the allocation.
+        let bytes = encode_to_vec(&u64::MAX).unwrap();
+        let err = decode_from_slice::<Vec<u64>>(&bytes).unwrap_err();
+        assert!(matches!(err, StoreError::Truncated { .. }));
+    }
+
+    #[test]
+    fn invalid_bool_and_utf8_are_typed() {
+        let err = decode_from_slice::<bool>(&[2]).unwrap_err();
+        assert!(matches!(err, StoreError::InvalidTag { what: "bool", .. }));
+        let mut bytes = encode_to_vec(&String::from("ab")).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] = 0xFF;
+        let err = decode_from_slice::<String>(&bytes).unwrap_err();
+        assert!(matches!(err, StoreError::InvalidValue { .. }));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_to_vec(&7u32).unwrap();
+        bytes.push(0);
+        let err = decode_from_slice::<u32>(&bytes).unwrap_err();
+        assert!(matches!(err, StoreError::InvalidValue { .. }));
+    }
+}

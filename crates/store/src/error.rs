@@ -1,0 +1,191 @@
+//! The typed failure modes of snapshot encoding and decoding.
+//!
+//! Decoding is exercised on bytes the process did not produce — files from
+//! older builds, other machines, or interrupted writes — so every corruption
+//! mode surfaces as a variant of [`StoreError`], never as a panic.
+
+use std::fmt;
+use std::io;
+
+/// Why a snapshot could not be written or read.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An underlying I/O operation failed (other than a clean end-of-input,
+    /// which is reported as [`StoreError::Truncated`]).
+    Io(io::Error),
+    /// The input ended before the expected data was read — the snapshot was
+    /// truncated (e.g. an interrupted write or a partial download).
+    Truncated {
+        /// What was being read when the input ran out.
+        context: &'static str,
+    },
+    /// The leading magic bytes are not a snapshot header; the file is not a
+    /// snapshot at all.
+    BadMagic {
+        /// The bytes found where the magic was expected.
+        found: [u8; 4],
+    },
+    /// The snapshot was written with a format version this build does not
+    /// understand.
+    UnsupportedVersion {
+        /// The version recorded in the snapshot header.
+        found: u32,
+        /// The (single) version this build reads and writes.
+        supported: u32,
+    },
+    /// The payload checksum does not match the header — the bytes were
+    /// corrupted in storage or transit.
+    ChecksumMismatch {
+        /// The checksum recorded in the snapshot.
+        expected: u64,
+        /// The checksum computed over the payload actually read.
+        actual: u64,
+    },
+    /// A discriminant tag does not name any variant of the decoded type.
+    InvalidTag {
+        /// The type whose tag was invalid.
+        what: &'static str,
+        /// The tag value found.
+        tag: u32,
+    },
+    /// A decoded value violates an invariant of its type (a length that
+    /// cannot fit, a float where a finite value is required, …).
+    InvalidValue {
+        /// Which invariant was violated.
+        what: &'static str,
+    },
+    /// A manifest field does not match the configuration it is being resumed
+    /// or merged into.
+    ManifestMismatch {
+        /// The manifest field that disagrees.
+        field: &'static str,
+        /// The value the running configuration expected.
+        expected: String,
+        /// The value recorded in the manifest.
+        found: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            Self::Truncated { context } => {
+                write!(f, "snapshot truncated while reading {context}")
+            }
+            Self::BadMagic { found } => {
+                write!(f, "not a snapshot: bad magic bytes {found:02x?}")
+            }
+            Self::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot format version {found} (this build supports {supported})"
+            ),
+            Self::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "snapshot checksum mismatch: header says {expected:#018x}, payload hashes to {actual:#018x}"
+            ),
+            Self::InvalidTag { what, tag } => {
+                write!(f, "invalid {what} tag {tag} in snapshot")
+            }
+            Self::InvalidValue { what } => {
+                write!(f, "invalid snapshot value: {what}")
+            }
+            Self::ManifestMismatch {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "snapshot manifest mismatch on {field}: expected {expected}, found {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    /// Converts an I/O error, folding clean end-of-file into
+    /// [`StoreError::Truncated`] so callers see one canonical
+    /// "input ended early" variant.
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            Self::Truncated {
+                context: "snapshot bytes",
+            }
+        } else {
+            Self::Io(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let cases: Vec<(StoreError, &str)> = vec![
+            (
+                StoreError::Truncated { context: "header" },
+                "truncated while reading header",
+            ),
+            (StoreError::BadMagic { found: *b"nope" }, "bad magic"),
+            (
+                StoreError::UnsupportedVersion {
+                    found: 9,
+                    supported: 1,
+                },
+                "version 9",
+            ),
+            (
+                StoreError::ChecksumMismatch {
+                    expected: 1,
+                    actual: 2,
+                },
+                "checksum mismatch",
+            ),
+            (
+                StoreError::InvalidTag {
+                    what: "scheme",
+                    tag: 77,
+                },
+                "scheme tag 77",
+            ),
+            (
+                StoreError::InvalidValue { what: "length" },
+                "invalid snapshot value",
+            ),
+            (
+                StoreError::ManifestMismatch {
+                    field: "shards",
+                    expected: "2".into(),
+                    found: "3".into(),
+                },
+                "mismatch on shards",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn eof_maps_to_truncated() {
+        let eof = io::Error::new(io::ErrorKind::UnexpectedEof, "eof");
+        assert!(matches!(
+            StoreError::from(eof),
+            StoreError::Truncated { .. }
+        ));
+        let other = io::Error::new(io::ErrorKind::PermissionDenied, "denied");
+        assert!(matches!(StoreError::from(other), StoreError::Io(_)));
+    }
+}

@@ -1,0 +1,397 @@
+//! Snapshot framing: magic, format version, payload length, and checksum.
+//!
+//! A snapshot is one self-describing frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"PIES"
+//! 4       4     format version (u32 LE)
+//! 8       8     payload length in bytes (u64 LE)
+//! 16      n     payload (Encode-d values, little-endian)
+//! 16+n    8     FNV-1a 64 checksum of version ‖ length ‖ payload (u64 LE)
+//! ```
+//!
+//! [`SnapshotWriter`] buffers the payload so the header can state its exact
+//! length, then flushes header + payload + checksum in one pass.
+//! [`SnapshotReader`] validates magic, version, length, and checksum *before*
+//! handing any bytes to `Decode` impls, so decoders only ever see payloads
+//! that were written whole by a compatible build; anything else surfaces as
+//! a typed [`StoreError`].
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::codec::{Decode, Encode};
+use crate::error::StoreError;
+
+/// The four magic bytes every snapshot starts with.
+pub const MAGIC: [u8; 4] = *b"PIES";
+
+/// The snapshot format version this build writes and reads.
+///
+/// Bump on any layout change; readers reject other versions with
+/// [`StoreError::UnsupportedVersion`] instead of misinterpreting bytes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Incremental FNV-1a 64 checksum over a byte stream.
+///
+/// FNV is not cryptographic; it guards against storage/transport corruption
+/// and truncation, which is all a trusted-snapshot format needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checksum(u64);
+
+impl Checksum {
+    /// Starts a fresh checksum.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Folds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The checksum value accumulated so far.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Checksum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Writes one snapshot frame to an [`io::Write`](Write) sink.
+///
+/// Values are appended with [`SnapshotWriter::write`]; nothing reaches the
+/// sink until [`SnapshotWriter::finish`], which emits the complete frame
+/// (header, payload, checksum) and returns the sink.
+#[derive(Debug)]
+pub struct SnapshotWriter<W: Write> {
+    sink: W,
+    payload: Vec<u8>,
+}
+
+impl<W: Write> SnapshotWriter<W> {
+    /// Starts a snapshot frame over `sink`.
+    pub fn new(sink: W) -> Self {
+        Self {
+            sink,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Appends one encodable value to the payload.
+    ///
+    /// # Errors
+    /// Propagates encoding failures (buffering itself cannot fail).
+    pub fn write<T: Encode + ?Sized>(&mut self, value: &T) -> Result<(), StoreError> {
+        value.encode(&mut self.payload)
+    }
+
+    /// Bytes buffered so far (useful for size accounting in benches).
+    #[must_use]
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Writes the complete frame to the sink and returns it.
+    ///
+    /// # Errors
+    /// Propagates I/O failures from the sink.
+    pub fn finish(mut self) -> Result<W, StoreError> {
+        let version = FORMAT_VERSION.to_le_bytes();
+        let len = (self.payload.len() as u64).to_le_bytes();
+        let mut checksum = Checksum::new();
+        checksum.update(&version);
+        checksum.update(&len);
+        checksum.update(&self.payload);
+        self.sink.write_all(&MAGIC)?;
+        self.sink.write_all(&version)?;
+        self.sink.write_all(&len)?;
+        self.sink.write_all(&self.payload)?;
+        self.sink.write_all(&checksum.value().to_le_bytes())?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Reads one snapshot frame, validating it fully up front.
+///
+/// Construction consumes the whole frame from the source and verifies
+/// magic, version, length, and checksum; [`SnapshotReader::read`] then
+/// decodes values out of the validated payload.
+#[derive(Debug)]
+pub struct SnapshotReader {
+    payload: Vec<u8>,
+    pos: usize,
+}
+
+impl SnapshotReader {
+    /// Reads and validates one snapshot frame from `src`.
+    ///
+    /// # Errors
+    /// [`StoreError::BadMagic`], [`StoreError::UnsupportedVersion`],
+    /// [`StoreError::Truncated`], or [`StoreError::ChecksumMismatch`] when
+    /// the frame is not a whole, compatible snapshot.
+    pub fn new<R: Read>(mut src: R) -> Result<Self, StoreError> {
+        let mut magic = [0u8; 4];
+        read_exact(&mut src, &mut magic, "snapshot magic")?;
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic { found: magic });
+        }
+        let mut version_bytes = [0u8; 4];
+        read_exact(&mut src, &mut version_bytes, "snapshot version")?;
+        let version = u32::from_le_bytes(version_bytes);
+        if version != FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let mut len_bytes = [0u8; 8];
+        read_exact(&mut src, &mut len_bytes, "snapshot payload length")?;
+        let len = usize::try_from(u64::from_le_bytes(len_bytes)).map_err(|_| {
+            StoreError::InvalidValue {
+                what: "payload length does not fit in usize on this host",
+            }
+        })?;
+        // Read the payload without trusting the length for preallocation: a
+        // corrupted header must not trigger a huge allocation, so take() the
+        // claimed length and let a short stream surface as Truncated.
+        let mut payload = Vec::new();
+        let read = (&mut src).take(len as u64).read_to_end(&mut payload)?;
+        if read != len {
+            return Err(StoreError::Truncated {
+                context: "snapshot payload",
+            });
+        }
+        let mut checksum_bytes = [0u8; 8];
+        read_exact(&mut src, &mut checksum_bytes, "snapshot checksum")?;
+        let expected = u64::from_le_bytes(checksum_bytes);
+        let mut checksum = Checksum::new();
+        checksum.update(&version_bytes);
+        checksum.update(&len_bytes);
+        checksum.update(&payload);
+        if checksum.value() != expected {
+            return Err(StoreError::ChecksumMismatch {
+                expected,
+                actual: checksum.value(),
+            });
+        }
+        Ok(Self { payload, pos: 0 })
+    }
+
+    /// Decodes the next value out of the payload.
+    ///
+    /// # Errors
+    /// Propagates decoding failures; reading past the payload end yields
+    /// [`StoreError::Truncated`].
+    pub fn read<T: Decode>(&mut self) -> Result<T, StoreError> {
+        let mut slice = &self.payload[self.pos..];
+        let before = slice.len();
+        let value = T::decode(&mut (&mut slice as &mut dyn Read))?;
+        self.pos += before - slice.len();
+        Ok(value)
+    }
+
+    /// Number of payload bytes not yet decoded.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.payload.len() - self.pos
+    }
+
+    /// Asserts the payload was fully consumed.
+    ///
+    /// # Errors
+    /// [`StoreError::InvalidValue`] if undecoded bytes remain — usually a
+    /// sign the reader and writer disagree about the payload schema.
+    pub fn finish(self) -> Result<(), StoreError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(StoreError::InvalidValue {
+                what: "trailing bytes after snapshot payload",
+            })
+        }
+    }
+}
+
+fn read_exact<R: Read>(
+    src: &mut R,
+    buf: &mut [u8],
+    context: &'static str,
+) -> Result<(), StoreError> {
+    src.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::Truncated { context }
+        } else {
+            StoreError::Io(e)
+        }
+    })
+}
+
+/// Writes `value` as a single-value snapshot file at `path` (buffered).
+///
+/// # Errors
+/// Propagates encoding and file I/O failures.
+pub fn write_snapshot_file<T: Encode + ?Sized>(
+    path: impl AsRef<Path>,
+    value: &T,
+) -> Result<(), StoreError> {
+    let file = File::create(path)?;
+    let mut writer = SnapshotWriter::new(BufWriter::new(file));
+    writer.write(value)?;
+    writer.finish()?;
+    Ok(())
+}
+
+/// Reads a single-value snapshot file written by [`write_snapshot_file`].
+///
+/// # Errors
+/// Propagates validation and decoding failures; requires the payload to
+/// contain exactly one value.
+pub fn read_snapshot_file<T: Decode>(path: impl AsRef<Path>) -> Result<T, StoreError> {
+    let file = File::open(path)?;
+    let mut reader = SnapshotReader::new(BufReader::new(file))?;
+    let value = reader.read::<T>()?;
+    reader.finish()?;
+    Ok(value)
+}
+
+/// Encodes `value` into a complete in-memory snapshot frame.
+///
+/// # Errors
+/// Propagates encoding failures.
+pub fn snapshot_to_vec<T: Encode + ?Sized>(value: &T) -> Result<Vec<u8>, StoreError> {
+    let mut writer = SnapshotWriter::new(Vec::new());
+    writer.write(value)?;
+    writer.finish()
+}
+
+/// Decodes a single value from a complete in-memory snapshot frame.
+///
+/// # Errors
+/// Propagates validation and decoding failures; requires the payload to
+/// contain exactly one value.
+pub fn snapshot_from_slice<T: Decode>(bytes: &[u8]) -> Result<T, StoreError> {
+    let mut reader = SnapshotReader::new(bytes)?;
+    let value = reader.read::<T>()?;
+    reader.finish()?;
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let bytes = snapshot_to_vec(&vec![1.5f64, -2.5, 3.25]).unwrap();
+        let back: Vec<f64> = snapshot_from_slice(&bytes).unwrap();
+        assert_eq!(back, vec![1.5, -2.5, 3.25]);
+    }
+
+    #[test]
+    fn multiple_values_in_one_frame() {
+        let mut w = SnapshotWriter::new(Vec::new());
+        w.write(&7u64).unwrap();
+        w.write(&String::from("hello")).unwrap();
+        assert!(w.payload_len() > 8);
+        let bytes = w.finish().unwrap();
+        let mut r = SnapshotReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(r.read::<u64>().unwrap(), 7);
+        assert_eq!(r.read::<String>().unwrap(), "hello");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut bytes = snapshot_to_vec(&1u64).unwrap();
+        bytes[0] = b'X';
+        let err = snapshot_from_slice::<u64>(&bytes).unwrap_err();
+        assert!(matches!(err, StoreError::BadMagic { .. }));
+    }
+
+    #[test]
+    fn wrong_version_is_typed() {
+        let mut bytes = snapshot_to_vec(&1u64).unwrap();
+        bytes[4] = 99;
+        let err = snapshot_from_slice::<u64>(&bytes).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::UnsupportedVersion { found: 99, .. }
+        ));
+    }
+
+    #[test]
+    fn every_truncation_point_is_typed() {
+        let bytes = snapshot_to_vec(&vec![1.0f64, 2.0]).unwrap();
+        for cut in 0..bytes.len() {
+            let err = SnapshotReader::new(&bytes[..cut]).map(|_| ()).unwrap_err();
+            assert!(
+                matches!(err, StoreError::Truncated { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_corrupted_byte_is_detected() {
+        let bytes = snapshot_to_vec(&vec![1.0f64, 2.0]).unwrap();
+        // Flipping any single bit in version, length, payload, or checksum
+        // must be caught (magic corruption surfaces as BadMagic).
+        for i in 4..bytes.len() {
+            let mut corrupted = bytes.clone();
+            corrupted[i] ^= 0x40;
+            let result = SnapshotReader::new(corrupted.as_slice()).map(|_| ());
+            assert!(result.is_err(), "corruption at byte {i} went unnoticed");
+        }
+    }
+
+    #[test]
+    fn unconsumed_payload_is_an_error() {
+        let bytes = snapshot_to_vec(&(1u64, 2u64)).unwrap();
+        let reader = SnapshotReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(reader.remaining(), 16);
+        assert!(matches!(
+            reader.finish(),
+            Err(StoreError::InvalidValue { .. })
+        ));
+        let err = snapshot_from_slice::<u64>(&bytes).unwrap_err();
+        assert!(matches!(err, StoreError::InvalidValue { .. }));
+    }
+
+    #[test]
+    fn file_helpers_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("pie-store-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("value.pies");
+        write_snapshot_file(&path, &vec![42u64, 7]).unwrap();
+        let back: Vec<u64> = read_snapshot_file(&path).unwrap();
+        assert_eq!(back, vec![42, 7]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        let mut a = Checksum::new();
+        a.update(&[1, 2]);
+        let mut b = Checksum::new();
+        b.update(&[2, 1]);
+        assert_ne!(a.value(), b.value());
+        assert_eq!(Checksum::new().value(), Checksum::default().value());
+    }
+}

@@ -4,7 +4,7 @@
 //! *"Get the Most out of Your Sample: Optimal Unbiased Estimators using
 //! Partial Information"* (PODS 2011).
 //!
-//! The workspace is organized as four focused crates, re-exported here for
+//! The workspace is organized as five focused crates, re-exported here for
 //! convenience:
 //!
 //! * [`sampling`] (`pie-sampling`) — hash-seeded randomization, rank
@@ -14,6 +14,9 @@
 //!   the known-seed PPS estimators, the Algorithm 1 derivation engine, the
 //!   impossibility results, and sum aggregates (distinct count, dominance
 //!   norms);
+//! * [`store`] (`pie-store`) — the versioned, checksummed binary snapshot
+//!   substrate behind sketch persistence, checkpoint/restore, and
+//!   cross-process merge;
 //! * [`datagen`] (`pie-datagen`) — synthetic workloads (Zipf traffic, set
 //!   pairs with controlled Jaccard, the paper's worked example);
 //! * [`analysis`] (`pie-analysis`) — Monte-Carlo and quadrature evaluation,
@@ -41,6 +44,10 @@
 //!   (`PIE_THREADS` / [`Pipeline::threads`]) and reduced in a canonical
 //!   order with mergeable statistics, so every report is **bit-identical at
 //!   any thread count**;
+//! * sketch state survives the process: [`StreamPipeline`] ingest sessions
+//!   checkpoint to — and resume from — versioned binary snapshot files
+//!   ([`checkpoint`]), and shard snapshots written by independent processes
+//!   merge into reports bit-identical to a single-process run;
 //! * the top-level [`Pipeline`] builder wires dataset → sampling → outcome
 //!   assembly → batched estimation → sum aggregation end to end:
 //!
@@ -66,6 +73,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod pipeline;
 pub mod stream;
 
@@ -73,10 +81,12 @@ pub use pie_analysis as analysis;
 pub use pie_core as core;
 pub use pie_datagen as datagen;
 pub use pie_sampling as sampling;
+pub use pie_store as store;
 
 pub use pie_analysis::TrialRunner;
 
+pub use checkpoint::{CheckpointError, SnapshotKind, SnapshotManifest, StreamIngestSession};
 pub use pipeline::{
     EstimatorReport, EstimatorSet, Pipeline, PipelineError, PipelineReport, Scheme, Statistic,
 };
-pub use stream::{ingest_merge_finalize, sketch_pools, StreamPipeline};
+pub use stream::{ingest_merge_finalize, merge_finalize, sketch_pools, StreamPipeline};

@@ -281,6 +281,92 @@ impl PipelineReport {
     }
 }
 
+impl pie_store::Encode for Scheme {
+    fn encode(&self, w: &mut dyn std::io::Write) -> Result<(), pie_store::StoreError> {
+        match *self {
+            Self::ObliviousPoisson { p } => {
+                0u32.encode(w)?;
+                p.encode(w)
+            }
+            Self::PpsPoisson { tau_star } => {
+                1u32.encode(w)?;
+                tau_star.encode(w)
+            }
+        }
+    }
+}
+
+impl pie_store::Decode for Scheme {
+    fn decode(r: &mut dyn std::io::Read) -> Result<Self, pie_store::StoreError> {
+        match u32::decode(r)? {
+            0 => Ok(Self::ObliviousPoisson { p: f64::decode(r)? }),
+            1 => Ok(Self::PpsPoisson {
+                tau_star: f64::decode(r)?,
+            }),
+            tag => Err(pie_store::StoreError::InvalidTag {
+                what: "Scheme",
+                tag,
+            }),
+        }
+    }
+}
+
+impl pie_store::Encode for EstimatorReport {
+    fn encode(&self, w: &mut dyn std::io::Write) -> Result<(), pie_store::StoreError> {
+        self.name.encode(w)?;
+        self.evaluation.encode(w)
+    }
+}
+
+impl pie_store::Decode for EstimatorReport {
+    fn decode(r: &mut dyn std::io::Read) -> Result<Self, pie_store::StoreError> {
+        Ok(Self {
+            name: String::decode(r)?,
+            evaluation: Evaluation::decode(r)?,
+        })
+    }
+}
+
+impl pie_store::Encode for PipelineReport {
+    fn encode(&self, w: &mut dyn std::io::Write) -> Result<(), pie_store::StoreError> {
+        self.statistic.encode(w)?;
+        self.truth.encode(w)?;
+        self.trials.encode(w)?;
+        self.estimators.encode(w)
+    }
+}
+
+impl pie_store::Decode for PipelineReport {
+    fn decode(r: &mut dyn std::io::Read) -> Result<Self, pie_store::StoreError> {
+        Ok(Self {
+            statistic: String::decode(r)?,
+            truth: f64::decode(r)?,
+            trials: u64::decode(r)?,
+            estimators: Vec::decode(r)?,
+        })
+    }
+}
+
+impl PipelineReport {
+    /// Persists the report as a snapshot file (versioned, checksummed).
+    ///
+    /// # Errors
+    /// Propagates file I/O failures.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), pie_store::StoreError> {
+        pie_store::write_snapshot_file(path, self)
+    }
+
+    /// Loads a report previously written by [`PipelineReport::save`] —
+    /// bit-identical to the saved one, so reports from different processes
+    /// can be compared exactly.
+    ///
+    /// # Errors
+    /// Propagates snapshot validation and decoding failures.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, pie_store::StoreError> {
+        pie_store::read_snapshot_file(path)
+    }
+}
+
 /// Builder wiring datagen → sampling → outcome assembly → batched estimation
 /// → sum aggregation.  See the [module docs](self) for the full walkthrough.
 #[derive(Debug)]

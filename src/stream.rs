@@ -59,14 +59,14 @@ use crate::pipeline::{
 #[derive(Debug)]
 #[must_use = "a stream pipeline does nothing until .run()"]
 pub struct StreamPipeline {
-    dataset: Option<Arc<Dataset>>,
-    scheme: Option<Scheme>,
-    shards: usize,
-    estimators: Option<EstimatorSet>,
-    statistic: Option<Statistic>,
-    trials: u64,
-    base_salt: u64,
-    threads: Option<usize>,
+    pub(crate) dataset: Option<Arc<Dataset>>,
+    pub(crate) scheme: Option<Scheme>,
+    pub(crate) shards: usize,
+    pub(crate) estimators: Option<EstimatorSet>,
+    pub(crate) statistic: Option<Statistic>,
+    pub(crate) trials: u64,
+    pub(crate) base_salt: u64,
+    pub(crate) threads: Option<usize>,
 }
 
 impl Default for StreamPipeline {
@@ -280,6 +280,20 @@ pub fn ingest_merge_finalize<K: Sketch>(
             }
         });
     }
+    merge_finalize(pools)
+}
+
+/// The merge + finalize tail of one sharded sampling pass: combines the
+/// `pools[shard][instance]` sketches with a binary merge tree across the
+/// shard dimension and finalizes one [`InstanceSample`] per instance,
+/// draining every sketch.
+///
+/// Factored out of [`ingest_merge_finalize`] so sketches restored from
+/// snapshot files — a resumed checkpoint, or shard snapshots written by
+/// other processes — flow through the *same* merge tree as live in-process
+/// ingestion, which is what keeps cross-process reports bit-identical.
+pub fn merge_finalize<K: Sketch>(pools: &mut [Vec<K>]) -> Vec<InstanceSample> {
+    let shards = pools.len();
     // Binary merge tree across the shard dimension, per instance.
     let mut step = 1;
     while step < shards {

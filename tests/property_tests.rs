@@ -289,11 +289,10 @@ proptest! {
         }
     }
 
-    /// The borrowed `OutcomeView` accessors agree with the deprecated
-    /// `Vec`-returning shims on random outcomes of both regimes.
+    /// The borrowed `OutcomeView` accessors are internally consistent with
+    /// the entry slices on random outcomes of both regimes.
     #[test]
-    #[allow(deprecated)]
-    fn outcome_view_matches_deprecated_vec_accessors(
+    fn outcome_view_accessors_are_consistent(
         p1 in prob(), p2 in prob(),
         tau in 5.0f64..30.0,
         values in proptest::collection::vec(0.0f64..50.0, 16),
@@ -301,14 +300,12 @@ proptest! {
         seeds in proptest::collection::vec(0.001f64..0.999, 16),
     ) {
         for o in oblivious_outcomes(8, p1, p2, &values, &sampled) {
-            prop_assert_eq!(o.sampled_indices(), o.sampled_indices_iter().collect::<Vec<_>>());
-            prop_assert_eq!(o.probabilities(), o.probabilities_iter().collect::<Vec<_>>());
             prop_assert_eq!(o.num_sampled(), o.sampled_indices_iter().count());
             prop_assert_eq!(o.max_sampled(), o.sampled_values().fold(None, |a: Option<f64>, v| Some(a.map_or(v, |x| x.max(v)))));
             prop_assert_eq!(o.values().collect::<Vec<_>>(), o.entries().iter().map(|e| e.value).collect::<Vec<_>>());
+            prop_assert_eq!(o.probabilities_iter().collect::<Vec<_>>(), o.entries().iter().map(|e| e.p).collect::<Vec<_>>());
         }
         for w in weighted_outcomes(8, tau, &values, &seeds) {
-            prop_assert_eq!(w.sampled_indices(), w.sampled_indices_iter().collect::<Vec<_>>());
             prop_assert_eq!(w.num_sampled(), w.sampled_indices_iter().count());
             prop_assert_eq!(w.values().collect::<Vec<_>>(), w.entries().iter().map(|e| e.value).collect::<Vec<_>>());
         }
