@@ -1,0 +1,153 @@
+//! Serving throughput: queries/sec and latency of the `pie-serve` stack at
+//! 1/4/8 concurrent client threads.
+//!
+//! One server hosts a finalized traffic sketch; each client thread runs a
+//! closed loop of `Estimate` queries over its own connection.  Per-query
+//! wall times are collected so the JSON can report p50/p99 alongside
+//! throughput, and one response per thread count is asserted bit-identical
+//! to the in-process pipeline — the bench measures a path whose
+//! correctness is enforced in the same run.
+//!
+//! Besides the console table, running this bench rewrites
+//! `BENCH_serve_throughput.json` at the workspace root (uploaded as a CI
+//! artifact).  `threads_available` is recorded: on a single-core container
+//! the multi-client rows measure connection multiplexing, not parallel
+//! speedup.
+//!
+//! ```text
+//! cargo bench -p pie-bench --bench serve_throughput
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use partial_info_estimators::core::suite::max_weighted_suite;
+use partial_info_estimators::datagen::{generate_two_hours, TrafficConfig};
+use partial_info_estimators::{CatalogEntry, Pipeline, Scheme, Statistic};
+use pie_serve::{ServeClient, Server};
+
+const TRIALS: u64 = 8;
+const QUERIES_PER_THREAD: usize = 60;
+const CLIENT_THREADS: [usize; 3] = [1, 4, 8];
+
+struct Row {
+    clients: usize,
+    queries: usize,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    let idx = ((sorted_ms.len() as f64 - 1.0) * q).round() as usize;
+    sorted_ms[idx]
+}
+
+fn main() {
+    let data = Arc::new(generate_two_hours(&TrafficConfig::small(5)));
+    let threads_available = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let scheme = Scheme::pps(180.0);
+    let reference = Pipeline::new()
+        .dataset(Arc::clone(&data))
+        .scheme(scheme)
+        .estimators(max_weighted_suite())
+        .statistic(Statistic::max_dominance())
+        .trials(TRIALS)
+        .base_salt(5)
+        .run()
+        .expect("reference pipeline");
+
+    let server = Server::bind("127.0.0.1:0").expect("bind server");
+    let entry =
+        CatalogEntry::build(Arc::clone(&data), scheme, 2, TRIALS, 5).expect("catalog entry");
+    server.catalog().insert("traffic", entry);
+    let addr = server.local_addr();
+
+    let total_records: usize = data
+        .instances()
+        .iter()
+        .map(partial_info_estimators::sampling::Instance::len)
+        .sum();
+    println!(
+        "serving a {total_records}-record, {TRIALS}-trial sketch on {addr}; {threads_available} hardware thread(s)\n"
+    );
+
+    let mut rows = Vec::new();
+    for &clients in &CLIENT_THREADS {
+        // Warm up connections and code paths once per thread count.
+        {
+            let mut client = ServeClient::connect(addr).expect("warmup connect");
+            let report = client
+                .estimate("traffic", "max_weighted", "max_dominance")
+                .expect("warmup query");
+            assert_eq!(
+                report, reference,
+                "served report must be bit-identical to the in-process pipeline"
+            );
+        }
+        let start = Instant::now();
+        let mut latencies_ms: Vec<f64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut client = ServeClient::connect(addr).expect("connect");
+                        let mut latencies = Vec::with_capacity(QUERIES_PER_THREAD);
+                        for _ in 0..QUERIES_PER_THREAD {
+                            let t = Instant::now();
+                            let report = client
+                                .estimate("traffic", "max_weighted", "max_dominance")
+                                .expect("estimate");
+                            latencies.push(t.elapsed().as_secs_f64() * 1e3);
+                            debug_assert_eq!(report.trials, TRIALS);
+                        }
+                        latencies
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        latencies_ms.sort_by(f64::total_cmp);
+        let queries = clients * QUERIES_PER_THREAD;
+        let row = Row {
+            clients,
+            queries,
+            qps: queries as f64 / elapsed,
+            p50_ms: percentile(&latencies_ms, 0.50),
+            p99_ms: percentile(&latencies_ms, 0.99),
+        };
+        println!(
+            "{:>2} client thread(s): {:>6} queries  {:>8.0} q/s   p50 {:>6.2} ms   p99 {:>6.2} ms",
+            row.clients, row.queries, row.qps, row.p50_ms, row.p99_ms
+        );
+        rows.push(row);
+    }
+    server.shutdown();
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"client_threads\": {}, \"queries\": {}, \"queries_per_s\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3} }}",
+                r.clients, r.queries, r.qps, r.p50_ms, r.p99_ms
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"records\": {total_records},\n  \"trials\": {TRIALS},\n  \"threads_available\": {threads_available},\n  \"note\": \"closed-loop Estimate queries (max_weighted / max_dominance over a {TRIALS}-trial PPS traffic sketch) against one pie-serve server; each client thread owns one connection; per-query latency measured client-side; one response per thread count asserted bit-identical to the in-process Pipeline. On threads_available=1 hosts the multi-client rows measure connection multiplexing, not parallel speedup.\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_serve_throughput.json"
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+    print!("{json}");
+}

@@ -6,6 +6,11 @@
 //! struct per call site; these constructors bundle the canonical line-ups
 //! (HT baseline vs. the Pareto-optimal `L`/`U` estimators) per target
 //! function and sampling regime.
+//!
+//! For callers that receive a suite choice as *data* — a CLI flag, a served
+//! `Estimate` request naming its estimator family — the module also exposes
+//! a name-keyed lookup surface: [`SUITE_NAMES`], [`suite_regime`],
+//! [`oblivious_suite_by_name`], and [`weighted_suite_by_name`].
 
 use pie_sampling::{ObliviousOutcome, WeightedOutcome};
 
@@ -61,6 +66,67 @@ pub fn or_weighted_suite() -> EstimatorRegistry<WeightedOutcome> {
         .with(OrUKnownSeeds)
 }
 
+/// The outcome regime a named suite consumes — which sampling scheme it can
+/// estimate over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuiteRegime {
+    /// Estimators over weight-oblivious Poisson outcomes.
+    Oblivious,
+    /// Estimators over weighted (known-seed PPS) outcomes.
+    Weighted,
+}
+
+/// Every suite name resolvable through [`oblivious_suite_by_name`] /
+/// [`weighted_suite_by_name`], in a stable order.
+pub const SUITE_NAMES: [&str; 5] = [
+    "max_oblivious",
+    "max_oblivious_uniform",
+    "or_oblivious",
+    "max_weighted",
+    "or_weighted",
+];
+
+/// The regime of a named suite, or `None` for an unknown name.
+#[must_use]
+pub fn suite_regime(name: &str) -> Option<SuiteRegime> {
+    match name {
+        "max_oblivious" | "max_oblivious_uniform" | "or_oblivious" => Some(SuiteRegime::Oblivious),
+        "max_weighted" | "or_weighted" => Some(SuiteRegime::Weighted),
+        _ => None,
+    }
+}
+
+/// Resolves an oblivious-regime suite by name: `r` is the instance count and
+/// `p` the (shared) sampling probability.
+///
+/// The pairwise suites (`max_oblivious`, `or_oblivious`) use `p` for both
+/// instances; `max_oblivious_uniform` uses Algorithm 3 over all `r`
+/// instances.  Returns `None` for unknown or weighted-regime names.
+#[must_use]
+pub fn oblivious_suite_by_name(
+    name: &str,
+    r: usize,
+    p: f64,
+) -> Option<EstimatorRegistry<ObliviousOutcome>> {
+    match name {
+        "max_oblivious" => Some(max_oblivious_suite(p, p)),
+        "max_oblivious_uniform" => Some(max_oblivious_uniform_suite(r, p)),
+        "or_oblivious" => Some(or_oblivious_suite(p, p)),
+        _ => None,
+    }
+}
+
+/// Resolves a weighted-regime suite by name; `None` for unknown or
+/// oblivious-regime names.
+#[must_use]
+pub fn weighted_suite_by_name(name: &str) -> Option<EstimatorRegistry<WeightedOutcome>> {
+    match name {
+        "max_weighted" => Some(max_weighted_suite()),
+        "or_weighted" => Some(or_weighted_suite()),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,5 +147,43 @@ mod tests {
             ["max_ht_pps", "max_l_pps_2"]
         );
         assert_eq!(or_weighted_suite().len(), 3);
+    }
+
+    #[test]
+    fn lookup_surface_covers_every_name_exactly_once() {
+        for name in SUITE_NAMES {
+            let regime = suite_regime(name).expect(name);
+            match regime {
+                SuiteRegime::Oblivious => {
+                    assert!(oblivious_suite_by_name(name, 2, 0.5).is_some(), "{name}");
+                    assert!(weighted_suite_by_name(name).is_none(), "{name}");
+                }
+                SuiteRegime::Weighted => {
+                    assert!(weighted_suite_by_name(name).is_some(), "{name}");
+                    assert!(oblivious_suite_by_name(name, 2, 0.5).is_none(), "{name}");
+                }
+            }
+        }
+        assert!(suite_regime("nope").is_none());
+        assert!(oblivious_suite_by_name("nope", 2, 0.5).is_none());
+        assert!(weighted_suite_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn named_lookup_matches_direct_constructors() {
+        assert_eq!(
+            oblivious_suite_by_name("max_oblivious", 2, 0.4)
+                .unwrap()
+                .names()
+                .collect::<Vec<_>>(),
+            max_oblivious_suite(0.4, 0.4).names().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            weighted_suite_by_name("or_weighted")
+                .unwrap()
+                .names()
+                .collect::<Vec<_>>(),
+            or_weighted_suite().names().collect::<Vec<_>>()
+        );
     }
 }

@@ -91,6 +91,32 @@ impl Dataset {
     }
 }
 
+impl pie_store::Encode for Dataset {
+    /// Instances are written in order; each instance's entries are written
+    /// in ascending key order, so the encoding is canonical.
+    fn encode(&self, w: &mut dyn std::io::Write) -> Result<(), pie_store::StoreError> {
+        self.name.encode(w)?;
+        self.instances.encode(w)
+    }
+}
+
+impl pie_store::Decode for Dataset {
+    /// Decoding treats the input as untrusted: the per-instance invariants
+    /// are validated by [`Instance`]'s decoder, and an instance-less dataset
+    /// (which [`Dataset::new`] rejects by panicking) surfaces as a typed
+    /// error instead.
+    fn decode(r: &mut dyn std::io::Read) -> Result<Self, pie_store::StoreError> {
+        let name = String::decode(r)?;
+        let instances: Vec<Instance> = Vec::decode(r)?;
+        if instances.is_empty() {
+            return Err(pie_store::StoreError::InvalidValue {
+                what: "a Dataset needs at least one instance",
+            });
+        }
+        Ok(Self { name, instances })
+    }
+}
+
 /// The 3-instance × 6-key example data set of Figure 5 (A).
 ///
 /// Keys are numbered 1–6 exactly as in the paper.
@@ -188,5 +214,27 @@ mod tests {
     #[should_panic(expected = "at least one instance")]
     fn empty_dataset_rejected() {
         let _ = Dataset::new("empty", vec![]);
+    }
+
+    #[test]
+    fn codec_roundtrips_canonically() {
+        let ds = paper_example();
+        let bytes = pie_store::encode_to_vec(&ds).unwrap();
+        let back: Dataset = pie_store::decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, ds);
+        assert_eq!(back.name(), "figure5-example");
+        assert_eq!(pie_store::encode_to_vec(&back).unwrap(), bytes);
+    }
+
+    #[test]
+    fn decode_rejects_empty_dataset() {
+        // name ‖ zero-length instance vector: Dataset::new would panic on
+        // this shape, so the decoder must reject it as a typed error.
+        let mut bytes = pie_store::encode_to_vec(&String::from("empty")).unwrap();
+        bytes.extend_from_slice(&pie_store::encode_to_vec(&0u64).unwrap());
+        assert!(matches!(
+            pie_store::decode_from_slice::<Dataset>(&bytes).unwrap_err(),
+            pie_store::StoreError::InvalidValue { .. }
+        ));
     }
 }

@@ -14,7 +14,7 @@
 //!   for the streaming `SamplingScheme` ingest path.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod dataset;

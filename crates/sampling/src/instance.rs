@@ -134,6 +134,41 @@ impl FromIterator<(Key, f64)> for Instance {
     }
 }
 
+impl pie_store::Encode for Instance {
+    /// Entries are written in ascending key order, so the encoding is
+    /// canonical: equal instances produce identical bytes even though the
+    /// in-memory map iterates in an unspecified order.
+    fn encode(&self, w: &mut dyn std::io::Write) -> Result<(), pie_store::StoreError> {
+        (self.values.len() as u64).encode(w)?;
+        for key in self.sorted_keys() {
+            key.encode(w)?;
+            self.value(key).encode(w)?;
+        }
+        Ok(())
+    }
+}
+
+impl pie_store::Decode for Instance {
+    /// Decoding treats the input as untrusted: keys must be strictly
+    /// ascending (the canonical-encoding invariant) and values finite and
+    /// nonnegative (the [`Instance::set`] invariant) — violations surface as
+    /// typed errors, never as the constructor's panics.
+    fn decode(r: &mut dyn std::io::Read) -> Result<Self, pie_store::StoreError> {
+        let entries: Vec<(Key, f64)> = Vec::decode(r)?;
+        if entries.windows(2).any(|pair| pair[0].0 >= pair[1].0) {
+            return Err(pie_store::StoreError::InvalidValue {
+                what: "Instance entries must be strictly ascending by key",
+            });
+        }
+        if entries.iter().any(|&(_, v)| !(v.is_finite() && v >= 0.0)) {
+            return Err(pie_store::StoreError::InvalidValue {
+                what: "Instance values must be finite and nonnegative",
+            });
+        }
+        Ok(Self::from_pairs(entries))
+    }
+}
+
 /// Returns the union of the key sets of several instances, sorted ascending.
 #[must_use]
 pub fn key_union(instances: &[Instance]) -> Vec<Key> {
@@ -202,6 +237,39 @@ mod tests {
         let union = key_union(&[a.clone(), b.clone()]);
         assert_eq!(union, vec![1, 2, 3]);
         assert_eq!(value_vector(&[a, b], 2), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn codec_roundtrips_canonically() {
+        let inst = Instance::from_pairs([(9, 1.5), (2, 0.0), (5, 3.25)]);
+        let bytes = pie_store::encode_to_vec(&inst).unwrap();
+        let back: Instance = pie_store::decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, inst);
+        // Canonical: re-encoding the decoded instance is byte-identical.
+        assert_eq!(pie_store::encode_to_vec(&back).unwrap(), bytes);
+    }
+
+    #[test]
+    fn decode_rejects_unsorted_keys_and_invalid_values() {
+        use pie_store::{decode_from_slice, encode_to_vec, StoreError};
+        // Duplicate / descending keys.
+        let unsorted = encode_to_vec(&vec![(5u64, 1.0f64), (5, 2.0)]).unwrap();
+        assert!(matches!(
+            decode_from_slice::<Instance>(&unsorted).unwrap_err(),
+            StoreError::InvalidValue { .. }
+        ));
+        // Negative, NaN, and infinite values must be typed errors, not the
+        // constructor's panic.
+        for bad in [-1.0, f64::NAN, f64::INFINITY] {
+            let bytes = encode_to_vec(&vec![(1u64, bad)]).unwrap();
+            assert!(
+                matches!(
+                    decode_from_slice::<Instance>(&bytes).unwrap_err(),
+                    StoreError::InvalidValue { .. }
+                ),
+                "value {bad}"
+            );
+        }
     }
 
     #[test]

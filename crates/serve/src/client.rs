@@ -1,0 +1,171 @@
+//! The blocking client library for the sketch-query wire protocol.
+//!
+//! [`ServeClient`] speaks one request/response exchange at a time over a
+//! plain [`TcpStream`] — the shape a query fan-out wants (one client per
+//! worker thread), with no async runtime.  Every failure mode is a typed
+//! [`ServeError`]: transport failures, protocol violations, and the
+//! server's own typed refusals all arrive through the same error type.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use partial_info_estimators::PipelineReport;
+
+use crate::error::ServeError;
+use crate::wire::{
+    read_response, write_message, IngestRecord, Request, Response, SketchConfig, SketchInfo,
+};
+
+/// The acknowledgement of one ingest batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestAck {
+    /// The sketch the batch was appended to.
+    pub sketch: String,
+    /// Records buffered server-side after this batch (0 once finalized).
+    pub buffered_records: u64,
+    /// Whether the sketch is now finalized and answering queries.
+    pub ready: bool,
+}
+
+/// A blocking connection to a [`Server`](crate::Server).
+///
+/// ```no_run
+/// use pie_serve::ServeClient;
+///
+/// let mut client = ServeClient::connect("127.0.0.1:7070").unwrap();
+/// let report = client
+///     .estimate("traffic", "max_weighted", "max_dominance")
+///     .unwrap();
+/// println!("{}", report.render());
+/// ```
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl ServeClient {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    /// [`ServeError::Transport`] when the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ServeError::transport(&e))?;
+        let read_half = stream.try_clone().map_err(|e| ServeError::transport(&e))?;
+        Ok(Self {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// One request/response exchange.
+    fn call(&mut self, request: &Request) -> Result<Response, ServeError> {
+        write_message(&mut self.writer, request).map_err(|e| ServeError::protocol(&e))?;
+        match read_response(&mut self.reader) {
+            Ok(Some(Response::Error(error))) => Err(error),
+            Ok(Some(response)) => Ok(response),
+            Ok(None) => Err(ServeError::Transport {
+                detail: "server closed the connection".to_string(),
+            }),
+            Err(fault) => Err(fault.to_serve_error()),
+        }
+    }
+
+    /// Lists every catalog entry, sorted by name.
+    ///
+    /// # Errors
+    /// Transport/protocol failures or the server's typed refusal.
+    pub fn list_catalog(&mut self) -> Result<Vec<SketchInfo>, ServeError> {
+        match self.call(&Request::ListCatalog)? {
+            Response::Catalog(entries) => Ok(entries),
+            _ => Err(ServeError::UnexpectedResponse {
+                expected: "Catalog",
+            }),
+        }
+    }
+
+    /// Asks the server to load a persisted catalog-entry snapshot file
+    /// (a path on the **server's** filesystem) under `name`.
+    ///
+    /// # Errors
+    /// As [`list_catalog`](Self::list_catalog); snapshot failures arrive as
+    /// [`ServeError::Snapshot`].
+    pub fn load_snapshot(
+        &mut self,
+        name: impl Into<String>,
+        path: impl Into<String>,
+    ) -> Result<SketchInfo, ServeError> {
+        let request = Request::LoadSnapshot {
+            name: name.into(),
+            path: path.into(),
+        };
+        match self.call(&request)? {
+            Response::Loaded(info) => Ok(info),
+            _ => Err(ServeError::UnexpectedResponse { expected: "Loaded" }),
+        }
+    }
+
+    /// Appends one batch of records to a (possibly new) building sketch;
+    /// `last: true` finalizes it.  Batches for one sketch may come from
+    /// many clients concurrently — the finalized state is independent of
+    /// arrival order.
+    ///
+    /// # Errors
+    /// As [`list_catalog`](Self::list_catalog); ingest refusals arrive as
+    /// their own typed variants (config mismatch, invalid record, …).
+    pub fn ingest_batch(
+        &mut self,
+        sketch: impl Into<String>,
+        config: SketchConfig,
+        records: Vec<IngestRecord>,
+        last: bool,
+    ) -> Result<IngestAck, ServeError> {
+        let request = Request::IngestBatch {
+            sketch: sketch.into(),
+            config,
+            records,
+            last,
+        };
+        match self.call(&request)? {
+            Response::Ingested {
+                sketch,
+                buffered_records,
+                ready,
+            } => Ok(IngestAck {
+                sketch,
+                buffered_records,
+                ready,
+            }),
+            _ => Err(ServeError::UnexpectedResponse {
+                expected: "Ingested",
+            }),
+        }
+    }
+
+    /// Runs one estimation query: `estimator` names a suite from
+    /// [`pie_core::suite::SUITE_NAMES`], `statistic` a statistic from
+    /// [`Statistic::NAMES`](partial_info_estimators::Statistic::NAMES).
+    /// The report is bit-identical to the in-process pipelines on the same
+    /// configuration.
+    ///
+    /// # Errors
+    /// As [`list_catalog`](Self::list_catalog); estimator resolution
+    /// failures arrive as their typed variants.
+    pub fn estimate(
+        &mut self,
+        sketch: impl Into<String>,
+        estimator: impl Into<String>,
+        statistic: impl Into<String>,
+    ) -> Result<PipelineReport, ServeError> {
+        let request = Request::Estimate {
+            sketch: sketch.into(),
+            estimator: estimator.into(),
+            statistic: statistic.into(),
+        };
+        match self.call(&request)? {
+            Response::Estimated(report) => Ok(report),
+            _ => Err(ServeError::UnexpectedResponse {
+                expected: "Estimated",
+            }),
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! The typed failure modes of the serving boundary.
+//!
+//! Every way a request can fail — malformed bytes, unknown names, regime
+//! mismatches, snapshot problems — is a [`ServeError`] variant.  The type
+//! travels the wire (it implements the snapshot codec), so a client sees
+//! the *same* typed error the server produced, and malformed input never
+//! takes down a connection thread with a panic.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use pie_store::{Decode, Encode, StoreError};
+
+/// Why a request could not be served (or a call could not complete).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The peer's bytes did not form a valid frame or message: bad magic,
+    /// wrong protocol version, checksum mismatch, truncation, an unknown
+    /// tag, or trailing payload bytes.
+    Protocol {
+        /// Human-readable rendering of the underlying framing/codec error.
+        detail: String,
+    },
+    /// The transport itself failed (connect, read, or write I/O error).
+    /// Client-side only: a dead connection has no one to respond to.
+    Transport {
+        /// Human-readable rendering of the I/O error.
+        detail: String,
+    },
+    /// Loading a catalog snapshot file failed (I/O, corruption, version).
+    Snapshot {
+        /// Human-readable rendering of the store error.
+        detail: String,
+    },
+    /// No catalog entry is registered under this name.
+    UnknownSketch {
+        /// The name that did not resolve.
+        name: String,
+    },
+    /// The named sketch is still ingesting and cannot answer estimation
+    /// queries yet (no `last: true` batch has arrived).
+    SketchNotReady {
+        /// The building sketch's name.
+        name: String,
+    },
+    /// An `IngestBatch` addressed a sketch that is already finalized.
+    SketchFinalized {
+        /// The finalized sketch's name.
+        name: String,
+    },
+    /// An `IngestBatch` carried a configuration that disagrees with the
+    /// batches already buffered for this sketch.
+    ConfigMismatch {
+        /// The sketch whose configuration disagrees.
+        sketch: String,
+        /// The first disagreeing field.
+        field: String,
+    },
+    /// A record in an `IngestBatch` violates the data model (non-finite or
+    /// negative value).
+    InvalidRecord {
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The sketch configuration itself is invalid (out-of-range scheme
+    /// parameter, nothing to finalize).
+    InvalidConfig {
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// No estimator suite is registered under this name.
+    UnknownEstimator {
+        /// The name that did not resolve.
+        name: String,
+    },
+    /// No statistic is registered under this name.
+    UnknownStatistic {
+        /// The name that did not resolve.
+        name: String,
+    },
+    /// The named estimator suite cannot run over this sketch (wrong outcome
+    /// regime, wrong instance count, or non-binary data for an `OR` suite).
+    EstimatorMismatch {
+        /// The requested estimator suite.
+        estimator: String,
+        /// Why it cannot run.
+        detail: String,
+    },
+    /// The server replied with a different response type than the request
+    /// calls for — a protocol bug, surfaced rather than mis-read.
+    UnexpectedResponse {
+        /// What the client was waiting for.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Protocol { detail } => write!(f, "protocol error: {detail}"),
+            Self::Transport { detail } => write!(f, "transport error: {detail}"),
+            Self::Snapshot { detail } => write!(f, "snapshot error: {detail}"),
+            Self::UnknownSketch { name } => write!(f, "unknown sketch {name:?}"),
+            Self::SketchNotReady { name } => {
+                write!(f, "sketch {name:?} is still ingesting; send a final batch")
+            }
+            Self::SketchFinalized { name } => {
+                write!(
+                    f,
+                    "sketch {name:?} is finalized and accepts no more records"
+                )
+            }
+            Self::ConfigMismatch { sketch, field } => {
+                write!(
+                    f,
+                    "ingest config disagrees with sketch {sketch:?} on {field}"
+                )
+            }
+            Self::InvalidRecord { detail } => write!(f, "invalid record: {detail}"),
+            Self::InvalidConfig { detail } => write!(f, "invalid sketch config: {detail}"),
+            Self::UnknownEstimator { name } => write!(f, "unknown estimator suite {name:?}"),
+            Self::UnknownStatistic { name } => write!(f, "unknown statistic {name:?}"),
+            Self::EstimatorMismatch { estimator, detail } => {
+                write!(f, "estimator suite {estimator:?} cannot run here: {detail}")
+            }
+            Self::UnexpectedResponse { expected } => {
+                write!(
+                    f,
+                    "server sent a different response type (expected {expected})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl ServeError {
+    /// Wraps a framing/decoding failure for the wire.
+    #[must_use]
+    pub fn protocol(error: &StoreError) -> Self {
+        Self::Protocol {
+            detail: error.to_string(),
+        }
+    }
+
+    /// Wraps a transport I/O failure (client side).
+    #[must_use]
+    pub fn transport(error: &std::io::Error) -> Self {
+        Self::Transport {
+            detail: error.to_string(),
+        }
+    }
+}
+
+/// Stable wire tags for [`ServeError`] variants.
+const TAG_PROTOCOL: u32 = 0;
+const TAG_TRANSPORT: u32 = 1;
+const TAG_SNAPSHOT: u32 = 2;
+const TAG_UNKNOWN_SKETCH: u32 = 3;
+const TAG_NOT_READY: u32 = 4;
+const TAG_FINALIZED: u32 = 5;
+const TAG_CONFIG_MISMATCH: u32 = 6;
+const TAG_INVALID_RECORD: u32 = 7;
+const TAG_INVALID_CONFIG: u32 = 8;
+const TAG_UNKNOWN_ESTIMATOR: u32 = 9;
+const TAG_UNKNOWN_STATISTIC: u32 = 10;
+const TAG_ESTIMATOR_MISMATCH: u32 = 11;
+const TAG_UNEXPECTED_RESPONSE: u32 = 12;
+
+impl Encode for ServeError {
+    fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
+        match self {
+            Self::Protocol { detail } => {
+                TAG_PROTOCOL.encode(w)?;
+                detail.encode(w)
+            }
+            Self::Transport { detail } => {
+                TAG_TRANSPORT.encode(w)?;
+                detail.encode(w)
+            }
+            Self::Snapshot { detail } => {
+                TAG_SNAPSHOT.encode(w)?;
+                detail.encode(w)
+            }
+            Self::UnknownSketch { name } => {
+                TAG_UNKNOWN_SKETCH.encode(w)?;
+                name.encode(w)
+            }
+            Self::SketchNotReady { name } => {
+                TAG_NOT_READY.encode(w)?;
+                name.encode(w)
+            }
+            Self::SketchFinalized { name } => {
+                TAG_FINALIZED.encode(w)?;
+                name.encode(w)
+            }
+            Self::ConfigMismatch { sketch, field } => {
+                TAG_CONFIG_MISMATCH.encode(w)?;
+                sketch.encode(w)?;
+                field.encode(w)
+            }
+            Self::InvalidRecord { detail } => {
+                TAG_INVALID_RECORD.encode(w)?;
+                detail.encode(w)
+            }
+            Self::InvalidConfig { detail } => {
+                TAG_INVALID_CONFIG.encode(w)?;
+                detail.encode(w)
+            }
+            Self::UnknownEstimator { name } => {
+                TAG_UNKNOWN_ESTIMATOR.encode(w)?;
+                name.encode(w)
+            }
+            Self::UnknownStatistic { name } => {
+                TAG_UNKNOWN_STATISTIC.encode(w)?;
+                name.encode(w)
+            }
+            Self::EstimatorMismatch { estimator, detail } => {
+                TAG_ESTIMATOR_MISMATCH.encode(w)?;
+                estimator.encode(w)?;
+                detail.encode(w)
+            }
+            Self::UnexpectedResponse { expected } => {
+                TAG_UNEXPECTED_RESPONSE.encode(w)?;
+                expected.to_string().encode(w)
+            }
+        }
+    }
+}
+
+impl Decode for ServeError {
+    fn decode(r: &mut dyn Read) -> Result<Self, StoreError> {
+        Ok(match u32::decode(r)? {
+            TAG_PROTOCOL => Self::Protocol {
+                detail: String::decode(r)?,
+            },
+            TAG_TRANSPORT => Self::Transport {
+                detail: String::decode(r)?,
+            },
+            TAG_SNAPSHOT => Self::Snapshot {
+                detail: String::decode(r)?,
+            },
+            TAG_UNKNOWN_SKETCH => Self::UnknownSketch {
+                name: String::decode(r)?,
+            },
+            TAG_NOT_READY => Self::SketchNotReady {
+                name: String::decode(r)?,
+            },
+            TAG_FINALIZED => Self::SketchFinalized {
+                name: String::decode(r)?,
+            },
+            TAG_CONFIG_MISMATCH => Self::ConfigMismatch {
+                sketch: String::decode(r)?,
+                field: String::decode(r)?,
+            },
+            TAG_INVALID_RECORD => Self::InvalidRecord {
+                detail: String::decode(r)?,
+            },
+            TAG_INVALID_CONFIG => Self::InvalidConfig {
+                detail: String::decode(r)?,
+            },
+            TAG_UNKNOWN_ESTIMATOR => Self::UnknownEstimator {
+                name: String::decode(r)?,
+            },
+            TAG_UNKNOWN_STATISTIC => Self::UnknownStatistic {
+                name: String::decode(r)?,
+            },
+            TAG_ESTIMATOR_MISMATCH => Self::EstimatorMismatch {
+                estimator: String::decode(r)?,
+                detail: String::decode(r)?,
+            },
+            // UnexpectedResponse is decoded into its own variant by detail,
+            // but its `expected` field is a &'static str; carry it through
+            // the generic protocol variant instead of inventing leaks.
+            TAG_UNEXPECTED_RESPONSE => Self::Protocol {
+                detail: format!("peer reported unexpected response ({})", String::decode(r)?),
+            },
+            tag => {
+                return Err(StoreError::InvalidTag {
+                    what: "ServeError",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(e: &ServeError) -> ServeError {
+        let bytes = pie_store::encode_to_vec(e).unwrap();
+        pie_store::decode_from_slice(&bytes).unwrap()
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        let cases = vec![
+            ServeError::Protocol {
+                detail: "bad".into(),
+            },
+            ServeError::Transport {
+                detail: "refused".into(),
+            },
+            ServeError::Snapshot {
+                detail: "truncated".into(),
+            },
+            ServeError::UnknownSketch { name: "s".into() },
+            ServeError::SketchNotReady { name: "s".into() },
+            ServeError::SketchFinalized { name: "s".into() },
+            ServeError::ConfigMismatch {
+                sketch: "s".into(),
+                field: "trials".into(),
+            },
+            ServeError::InvalidRecord {
+                detail: "NaN".into(),
+            },
+            ServeError::InvalidConfig { detail: "p".into() },
+            ServeError::UnknownEstimator { name: "e".into() },
+            ServeError::UnknownStatistic { name: "f".into() },
+            ServeError::EstimatorMismatch {
+                estimator: "e".into(),
+                detail: "regime".into(),
+            },
+        ];
+        for case in cases {
+            assert_eq!(roundtrip(&case), case, "{case}");
+            assert!(!case.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_typed() {
+        let bytes = pie_store::encode_to_vec(&99u32).unwrap();
+        assert!(matches!(
+            pie_store::decode_from_slice::<ServeError>(&bytes).unwrap_err(),
+            StoreError::InvalidTag {
+                what: "ServeError",
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,190 @@
+//! The multi-threaded TCP server: accept loop, per-connection threads, and
+//! the request dispatcher.
+//!
+//! One OS thread accepts connections; each connection gets its own thread
+//! running a read → dispatch → respond loop over the shared
+//! [`SketchCatalog`].  Estimation runs outside all catalog locks, so slow
+//! queries never block ingest, listings, or each other.
+//!
+//! **Malformed input never panics and never kills the server.**  Every
+//! frame- or decode-level failure is answered with a typed
+//! [`ServeError::Protocol`](crate::ServeError::Protocol) response; the
+//! connection then keeps serving when the stream is still at a frame
+//! boundary (wrong version, checksum mismatch, bad payload) and closes
+//! when it cannot be (bad magic, oversized length prefix, truncation) —
+//! see the [`crate::wire`] recovery contract.  Either way the accept loop
+//! and every other connection are untouched.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::catalog::SketchCatalog;
+use crate::wire::{read_request, write_message, Request, Response};
+
+/// A running sketch-query server.
+///
+/// Binding spawns the accept loop; [`shutdown`](Server::shutdown) (or drop)
+/// stops accepting and joins it.  Connections already open run to their
+/// natural end (client hang-up or fatal protocol fault).
+///
+/// ```no_run
+/// use pie_serve::{Server, ServeClient};
+///
+/// let server = Server::bind("127.0.0.1:0").unwrap();
+/// let mut client = ServeClient::connect(server.local_addr()).unwrap();
+/// println!("{} sketches", client.list_catalog().unwrap().len());
+/// server.shutdown();
+/// ```
+pub struct Server {
+    addr: SocketAddr,
+    catalog: Arc<SketchCatalog>,
+    stop: Arc<AtomicBool>,
+    accept_loop: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections.
+    ///
+    /// # Errors
+    /// Propagates socket binding failures.
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let catalog = Arc::new(SketchCatalog::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_loop = {
+            let catalog = Arc::clone(&catalog);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(&listener, &catalog, &stop))
+        };
+        Ok(Self {
+            addr,
+            catalog,
+            stop,
+            accept_loop: Some(accept_loop),
+        })
+    }
+
+    /// The address the server is listening on (the resolved ephemeral port
+    /// when bound to port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared catalog — the in-process surface behind the wire
+    /// protocol, for preloading entries without a round trip (benches,
+    /// tests, embedded servers).
+    #[must_use]
+    pub fn catalog(&self) -> &Arc<SketchCatalog> {
+        &self.catalog
+    }
+
+    /// Stops accepting new connections and joins the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with one throwaway connection to itself.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_loop.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+/// Accepts connections until the stop flag flips, one thread per
+/// connection.
+fn accept_loop(listener: &TcpListener, catalog: &Arc<SketchCatalog>, stop: &Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                let catalog = Arc::clone(catalog);
+                std::thread::spawn(move || serve_connection(stream, &catalog));
+            }
+            // Transient accept errors (peer reset mid-handshake, fd
+            // pressure): keep accepting.
+            Err(_) => continue,
+        }
+    }
+}
+
+/// One connection's read → dispatch → respond loop.
+fn serve_connection(stream: TcpStream, catalog: &SketchCatalog) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            // Clean hang-up between frames.
+            Ok(None) => break,
+            Ok(Some(request)) => {
+                let response = dispatch(request, catalog);
+                if write_message(&mut writer, &response).is_err() {
+                    break;
+                }
+            }
+            Err(fault) => {
+                // Answer with the typed fault whenever the socket still
+                // works; survive only faults that leave the stream at a
+                // frame boundary.
+                let answered =
+                    write_message(&mut writer, &Response::Error(fault.to_serve_error())).is_ok();
+                if fault.fatal || !answered {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Maps one request to its response; never panics on any input.
+fn dispatch(request: Request, catalog: &SketchCatalog) -> Response {
+    match request {
+        Request::ListCatalog => Response::Catalog(catalog.list()),
+        Request::LoadSnapshot { name, path } => match catalog.load_snapshot(&name, &path) {
+            Ok(info) => Response::Loaded(info),
+            Err(e) => Response::Error(e),
+        },
+        Request::IngestBatch {
+            sketch,
+            config,
+            records,
+            last,
+        } => match catalog.ingest(&sketch, config, &records, last) {
+            Ok((buffered_records, ready)) => Response::Ingested {
+                sketch,
+                buffered_records,
+                ready,
+            },
+            Err(e) => Response::Error(e),
+        },
+        Request::Estimate {
+            sketch,
+            estimator,
+            statistic,
+        } => match catalog.estimate(&sketch, &estimator, &statistic) {
+            Ok(report) => Response::Estimated(report),
+            Err(e) => Response::Error(e),
+        },
+    }
+}

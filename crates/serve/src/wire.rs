@@ -1,0 +1,568 @@
+//! The versioned, length-prefixed binary wire protocol.
+//!
+//! Every request and response is one frame of the shared
+//! [`pie_store::frame`] layer — the same layout as snapshot files (magic,
+//! version, payload length, FNV-1a checksum), instantiated with the
+//! wire magic [`WIRE_MAGIC`] (`PIEW`) and [`WIRE_VERSION`], and read with a
+//! hard payload bound ([`MAX_FRAME_BYTES`]) because the peer is untrusted.
+//! Payloads are `pie-store` [`Encode`]/[`Decode`] values, so the value
+//! types (schemes, reports, errors) reuse the exact codecs that make
+//! snapshots bit-exact.
+//!
+//! # Version policy
+//!
+//! [`WIRE_VERSION`] is independent of the snapshot
+//! [`pie_store::FORMAT_VERSION`]: the wire can evolve without invalidating
+//! files on disk and vice versa.  As with snapshots, any message-layout
+//! change bumps the version and peers reject other versions with a typed
+//! error.  The 16-byte frame header itself is frozen across versions
+//! (see the [`pie_store::frame`] version policy), which is what lets a
+//! server *consume* a wrong-version frame whole, answer with a typed
+//! [`ServeError::Protocol`], and keep serving the connection.
+//!
+//! # Recovery contract
+//!
+//! [`read_request`] tells the connection loop whether the stream is still
+//! at a frame boundary after a failure ([`WireFault::fatal`]):
+//! checksum mismatches, wrong versions, and payload-decoding failures are
+//! survivable; bad magic, oversized length prefixes, truncation, and I/O
+//! errors are not (the stream position is unknowable), so the server
+//! responds where possible and closes.
+
+use std::io::{Read, Write};
+
+use partial_info_estimators::{PipelineReport, Scheme};
+use pie_store::frame::{read_frame_or_eof, recoverable, write_frame};
+use pie_store::{Decode, Encode, StoreError};
+
+use crate::error::ServeError;
+
+/// The four magic bytes every wire frame starts with (`PIEW`).
+pub const WIRE_MAGIC: [u8; 4] = *b"PIEW";
+
+/// The wire protocol version this build speaks.  Bump on any message-layout
+/// change; peers reject other versions with a typed error instead of
+/// misinterpreting bytes.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Hard upper bound on one frame's payload.  A hostile length prefix above
+/// this is rejected before any payload byte is read.
+pub const MAX_FRAME_BYTES: u64 = 64 * 1024 * 1024;
+
+/// One ingested record: `key` contributed `value` in `instance`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestRecord {
+    /// Index of the instance (e.g. the hour) the record belongs to.
+    pub instance: u64,
+    /// The record's key.
+    pub key: u64,
+    /// The record's (pre-aggregated) weight.
+    pub value: f64,
+}
+
+impl Encode for IngestRecord {
+    fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
+        self.instance.encode(w)?;
+        self.key.encode(w)?;
+        self.value.encode(w)
+    }
+}
+
+impl Decode for IngestRecord {
+    fn decode(r: &mut dyn Read) -> Result<Self, StoreError> {
+        Ok(Self {
+            instance: u64::decode(r)?,
+            key: u64::decode(r)?,
+            value: f64::decode(r)?,
+        })
+    }
+}
+
+/// The sampling configuration a sketch is built under — the wire mirror of
+/// the catalog entry's experiment parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SketchConfig {
+    /// The per-instance sampling scheme.
+    pub scheme: Scheme,
+    /// Number of ingest shards per instance.
+    pub shards: u64,
+    /// Number of Monte-Carlo trials (one sample set per trial).
+    pub trials: u64,
+    /// Base hash salt; trial `t` derives its seeds from `base_salt + t`.
+    pub base_salt: u64,
+}
+
+impl Encode for SketchConfig {
+    fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
+        self.scheme.encode(w)?;
+        self.shards.encode(w)?;
+        self.trials.encode(w)?;
+        self.base_salt.encode(w)
+    }
+}
+
+impl Decode for SketchConfig {
+    fn decode(r: &mut dyn Read) -> Result<Self, StoreError> {
+        Ok(Self {
+            scheme: Scheme::decode(r)?,
+            shards: u64::decode(r)?,
+            trials: u64::decode(r)?,
+            base_salt: u64::decode(r)?,
+        })
+    }
+}
+
+/// One catalog listing row: a sketch's name, configuration, and state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchInfo {
+    /// The sketch's catalog name.
+    pub name: String,
+    /// The configuration it was (or will be) built under.
+    pub config: SketchConfig,
+    /// Number of instances (`r`); 0 while no record has arrived.
+    pub instances: u64,
+    /// Whether the sketch is finalized and answering estimation queries.
+    pub ready: bool,
+    /// Records buffered so far (building sketches only; 0 once ready).
+    pub buffered_records: u64,
+}
+
+impl Encode for SketchInfo {
+    fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
+        self.name.encode(w)?;
+        self.config.encode(w)?;
+        self.instances.encode(w)?;
+        self.ready.encode(w)?;
+        self.buffered_records.encode(w)
+    }
+}
+
+impl Decode for SketchInfo {
+    fn decode(r: &mut dyn Read) -> Result<Self, StoreError> {
+        Ok(Self {
+            name: String::decode(r)?,
+            config: SketchConfig::decode(r)?,
+            instances: u64::decode(r)?,
+            ready: bool::decode(r)?,
+            buffered_records: u64::decode(r)?,
+        })
+    }
+}
+
+/// A client request, one per frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// List every catalog entry (name, configuration, state).
+    ListCatalog,
+    /// Load a persisted [`CatalogEntry`](partial_info_estimators::CatalogEntry)
+    /// snapshot file from the **server's** filesystem under `name`
+    /// (replacing any same-named entry atomically).
+    LoadSnapshot {
+        /// The catalog name to register the entry under.
+        name: String,
+        /// Path of the snapshot file on the server's filesystem.
+        path: String,
+    },
+    /// Append records to a building sketch (created on first batch with
+    /// `config`); `last: true` finalizes it into a servable entry.
+    IngestBatch {
+        /// The sketch's catalog name.
+        sketch: String,
+        /// The sampling configuration (must agree across batches).
+        config: SketchConfig,
+        /// The records of this batch (may be empty, e.g. a bare finalize).
+        records: Vec<IngestRecord>,
+        /// Whether this is the final batch.
+        last: bool,
+    },
+    /// Estimate over a finalized sketch with a per-query estimator suite
+    /// and statistic choice.
+    Estimate {
+        /// The sketch's catalog name.
+        sketch: String,
+        /// Estimator suite name (see [`pie_core::suite::SUITE_NAMES`]).
+        estimator: String,
+        /// Statistic name (see
+        /// [`Statistic::NAMES`](partial_info_estimators::Statistic::NAMES)).
+        statistic: String,
+    },
+}
+
+const REQ_LIST: u32 = 0;
+const REQ_LOAD: u32 = 1;
+const REQ_INGEST: u32 = 2;
+const REQ_ESTIMATE: u32 = 3;
+
+impl Encode for Request {
+    fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
+        match self {
+            Self::ListCatalog => REQ_LIST.encode(w),
+            Self::LoadSnapshot { name, path } => {
+                REQ_LOAD.encode(w)?;
+                name.encode(w)?;
+                path.encode(w)
+            }
+            Self::IngestBatch {
+                sketch,
+                config,
+                records,
+                last,
+            } => {
+                REQ_INGEST.encode(w)?;
+                sketch.encode(w)?;
+                config.encode(w)?;
+                records.encode(w)?;
+                last.encode(w)
+            }
+            Self::Estimate {
+                sketch,
+                estimator,
+                statistic,
+            } => {
+                REQ_ESTIMATE.encode(w)?;
+                sketch.encode(w)?;
+                estimator.encode(w)?;
+                statistic.encode(w)
+            }
+        }
+    }
+}
+
+impl Decode for Request {
+    fn decode(r: &mut dyn Read) -> Result<Self, StoreError> {
+        Ok(match u32::decode(r)? {
+            REQ_LIST => Self::ListCatalog,
+            REQ_LOAD => Self::LoadSnapshot {
+                name: String::decode(r)?,
+                path: String::decode(r)?,
+            },
+            REQ_INGEST => Self::IngestBatch {
+                sketch: String::decode(r)?,
+                config: SketchConfig::decode(r)?,
+                records: Vec::decode(r)?,
+                last: bool::decode(r)?,
+            },
+            REQ_ESTIMATE => Self::Estimate {
+                sketch: String::decode(r)?,
+                estimator: String::decode(r)?,
+                statistic: String::decode(r)?,
+            },
+            tag => {
+                return Err(StoreError::InvalidTag {
+                    what: "Request",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// A server response, one per frame, mirroring the request that caused it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::ListCatalog`]: every entry, sorted by name.
+    Catalog(Vec<SketchInfo>),
+    /// Answer to [`Request::LoadSnapshot`]: the loaded entry's listing row.
+    Loaded(SketchInfo),
+    /// Answer to [`Request::IngestBatch`]: the sketch's updated state.
+    Ingested {
+        /// The sketch's catalog name.
+        sketch: String,
+        /// Records buffered so far (0 once finalized).
+        buffered_records: u64,
+        /// Whether the sketch is now finalized and servable.
+        ready: bool,
+    },
+    /// Answer to [`Request::Estimate`]: the full report, bit-identical to
+    /// the in-process pipelines on the same configuration.
+    Estimated(PipelineReport),
+    /// Any request that failed, with the typed reason.
+    Error(ServeError),
+}
+
+const RESP_CATALOG: u32 = 0;
+const RESP_LOADED: u32 = 1;
+const RESP_INGESTED: u32 = 2;
+const RESP_ESTIMATED: u32 = 3;
+const RESP_ERROR: u32 = 4;
+
+impl Encode for Response {
+    fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
+        match self {
+            Self::Catalog(entries) => {
+                RESP_CATALOG.encode(w)?;
+                entries.encode(w)
+            }
+            Self::Loaded(info) => {
+                RESP_LOADED.encode(w)?;
+                info.encode(w)
+            }
+            Self::Ingested {
+                sketch,
+                buffered_records,
+                ready,
+            } => {
+                RESP_INGESTED.encode(w)?;
+                sketch.encode(w)?;
+                buffered_records.encode(w)?;
+                ready.encode(w)
+            }
+            Self::Estimated(report) => {
+                RESP_ESTIMATED.encode(w)?;
+                report.encode(w)
+            }
+            Self::Error(error) => {
+                RESP_ERROR.encode(w)?;
+                error.encode(w)
+            }
+        }
+    }
+}
+
+impl Decode for Response {
+    fn decode(r: &mut dyn Read) -> Result<Self, StoreError> {
+        Ok(match u32::decode(r)? {
+            RESP_CATALOG => Self::Catalog(Vec::decode(r)?),
+            RESP_LOADED => Self::Loaded(SketchInfo::decode(r)?),
+            RESP_INGESTED => Self::Ingested {
+                sketch: String::decode(r)?,
+                buffered_records: u64::decode(r)?,
+                ready: bool::decode(r)?,
+            },
+            RESP_ESTIMATED => Self::Estimated(PipelineReport::decode(r)?),
+            RESP_ERROR => Self::Error(ServeError::decode(r)?),
+            tag => {
+                return Err(StoreError::InvalidTag {
+                    what: "Response",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// A failed frame or message read, with the resynchronization verdict.
+#[derive(Debug)]
+pub struct WireFault {
+    /// The underlying framing or decoding error.
+    pub error: StoreError,
+    /// Whether the stream position is lost (`true`: close the connection
+    /// after responding; `false`: the next frame can still be served).
+    pub fatal: bool,
+}
+
+impl WireFault {
+    fn from(error: StoreError) -> Self {
+        let fatal = !recoverable(&error);
+        Self { error, fatal }
+    }
+
+    /// The typed error a server should answer this fault with.
+    #[must_use]
+    pub fn to_serve_error(&self) -> ServeError {
+        ServeError::protocol(&self.error)
+    }
+}
+
+/// Encodes `message` into one wire frame on `sink`.
+///
+/// # Errors
+/// Propagates encoding and I/O failures.
+pub fn write_message<T: Encode + ?Sized>(
+    sink: &mut impl Write,
+    message: &T,
+) -> Result<(), StoreError> {
+    let mut payload = Vec::new();
+    message.encode(&mut payload)?;
+    write_frame(sink, WIRE_MAGIC, WIRE_VERSION, &payload)
+}
+
+/// Decodes one value from a fully-validated frame payload, requiring the
+/// payload to be consumed exactly.
+fn decode_payload<T: Decode>(payload: &[u8]) -> Result<T, StoreError> {
+    let mut cursor = payload;
+    let value = T::decode(&mut (&mut cursor as &mut dyn Read))?;
+    if !cursor.is_empty() {
+        return Err(StoreError::InvalidValue {
+            what: "trailing bytes after wire message",
+        });
+    }
+    Ok(value)
+}
+
+/// Reads one message frame, distinguishing a clean peer hang-up (`Ok(None)`)
+/// from malformed input (an [`WireFault`] with its recovery verdict).
+///
+/// # Errors
+/// Any framing or decoding failure, wrapped with the fatality verdict.
+pub fn read_message<T: Decode>(src: &mut impl Read) -> Result<Option<T>, WireFault> {
+    match read_frame_or_eof(src, WIRE_MAGIC, WIRE_VERSION, MAX_FRAME_BYTES) {
+        Ok(None) => Ok(None),
+        Ok(Some(payload)) => match decode_payload(&payload) {
+            Ok(value) => Ok(Some(value)),
+            // The frame was consumed whole; only its contents were bad.
+            Err(error) => Err(WireFault::from(error)),
+        },
+        Err(error) => Err(WireFault::from(error)),
+    }
+}
+
+/// Reads one [`Request`] (server side).
+///
+/// # Errors
+/// As [`read_message`].
+pub fn read_request(src: &mut impl Read) -> Result<Option<Request>, WireFault> {
+    read_message(src)
+}
+
+/// Reads one [`Response`] (client side).
+///
+/// # Errors
+/// As [`read_message`].
+pub fn read_response(src: &mut impl Read) -> Result<Option<Response>, WireFault> {
+    read_message(src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partial_info_estimators::{EstimatorReport, Scheme};
+    use pie_analysis_evaluation_stub::evaluation;
+
+    /// `pie-analysis` is not a dependency of this crate; build an
+    /// `Evaluation` through the umbrella re-export instead.
+    mod pie_analysis_evaluation_stub {
+        use partial_info_estimators::analysis::{Evaluation, RunningStats};
+
+        pub fn evaluation() -> Evaluation {
+            let mut stats = RunningStats::new();
+            stats.push(1.0);
+            stats.push(3.0);
+            Evaluation::from_stats(&stats, 2.0)
+        }
+    }
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::ListCatalog,
+            Request::LoadSnapshot {
+                name: "traffic".into(),
+                path: "/tmp/traffic.pies".into(),
+            },
+            Request::IngestBatch {
+                sketch: "live".into(),
+                config: SketchConfig {
+                    scheme: Scheme::pps(150.0),
+                    shards: 2,
+                    trials: 8,
+                    base_salt: 5,
+                },
+                records: vec![IngestRecord {
+                    instance: 0,
+                    key: 42,
+                    value: 7.5,
+                }],
+                last: true,
+            },
+            Request::Estimate {
+                sketch: "traffic".into(),
+                estimator: "max_weighted".into(),
+                statistic: "max_dominance".into(),
+            },
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        let info = SketchInfo {
+            name: "traffic".into(),
+            config: SketchConfig {
+                scheme: Scheme::oblivious(0.5),
+                shards: 1,
+                trials: 4,
+                base_salt: 0,
+            },
+            instances: 2,
+            ready: true,
+            buffered_records: 0,
+        };
+        vec![
+            Response::Catalog(vec![info.clone()]),
+            Response::Loaded(info),
+            Response::Ingested {
+                sketch: "live".into(),
+                buffered_records: 10,
+                ready: false,
+            },
+            Response::Estimated(partial_info_estimators::PipelineReport {
+                statistic: "max_dominance".into(),
+                truth: 10.0,
+                trials: 2,
+                estimators: vec![EstimatorReport {
+                    name: "max_ht_pps".into(),
+                    evaluation: evaluation(),
+                }],
+            }),
+            Response::Error(ServeError::UnknownSketch {
+                name: "gone".into(),
+            }),
+        ]
+    }
+
+    #[test]
+    fn every_message_roundtrips_through_a_frame() {
+        for req in sample_requests() {
+            let mut bytes = Vec::new();
+            write_message(&mut bytes, &req).unwrap();
+            let back = read_request(&mut bytes.as_slice()).unwrap().unwrap();
+            assert_eq!(back, req);
+        }
+        for resp in sample_responses() {
+            let mut bytes = Vec::new();
+            write_message(&mut bytes, &resp).unwrap();
+            let back = read_response(&mut bytes.as_slice()).unwrap().unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_not_an_error() {
+        let empty: &[u8] = &[];
+        assert!(read_request(&mut { empty }).unwrap().is_none());
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_a_recoverable_fault() {
+        let mut payload = Vec::new();
+        Request::ListCatalog.encode(&mut payload).unwrap();
+        payload.push(0xAB);
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, WIRE_MAGIC, WIRE_VERSION, &payload).unwrap();
+        let fault = read_request(&mut bytes.as_slice()).unwrap_err();
+        assert!(!fault.fatal);
+        assert!(matches!(fault.error, StoreError::InvalidValue { .. }));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_fatal() {
+        let mut bytes = Vec::new();
+        write_message(&mut bytes, &Request::ListCatalog).unwrap();
+        bytes[8..16].copy_from_slice(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        let fault = read_request(&mut bytes.as_slice()).unwrap_err();
+        assert!(fault.fatal);
+        assert!(matches!(fault.error, StoreError::FrameTooLarge { .. }));
+    }
+
+    #[test]
+    fn wrong_version_is_recoverable_and_consumes_the_frame() {
+        let mut bytes = Vec::new();
+        write_message(&mut bytes, &Request::ListCatalog).unwrap();
+        let mut tail = Vec::new();
+        write_message(&mut tail, &Request::ListCatalog).unwrap();
+        bytes[4] = 77;
+        bytes.extend_from_slice(&tail);
+        let mut src = bytes.as_slice();
+        let fault = read_request(&mut src).unwrap_err();
+        assert!(!fault.fatal, "{}", fault.error);
+        assert!(read_request(&mut src).unwrap().is_some());
+    }
+}

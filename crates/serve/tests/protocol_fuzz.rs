@@ -1,0 +1,331 @@
+//! Protocol fuzz/property tests: malformed bytes against the wire decoders
+//! and against a live server connection.
+//!
+//! Every case must yield a typed `ServeError`/`StoreError` — never a panic —
+//! and the connection must survive every *recoverable* fault (wrong
+//! version, checksum mismatch, bad payload) to serve the next well-formed
+//! request.  Fatal faults (bad magic, oversized length prefix, truncation)
+//! may close the connection, but the server itself must keep accepting.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use partial_info_estimators::{CatalogEntry, Scheme};
+use pie_datagen::paper_example;
+use pie_serve::wire::{
+    read_request, read_response, write_message, Request, SketchConfig, MAX_FRAME_BYTES, WIRE_MAGIC,
+    WIRE_VERSION,
+};
+use pie_serve::{Response, ServeClient, ServeError, Server};
+use pie_store::frame::write_frame;
+use pie_store::{Encode, StoreError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One well-formed frame per request type, as the mutation corpus.
+fn corpus() -> Vec<Vec<u8>> {
+    let requests = [
+        Request::ListCatalog,
+        Request::LoadSnapshot {
+            name: "traffic".into(),
+            path: "/tmp/t.pies".into(),
+        },
+        Request::IngestBatch {
+            sketch: "live".into(),
+            config: SketchConfig {
+                scheme: Scheme::pps(150.0),
+                shards: 2,
+                trials: 6,
+                base_salt: 1,
+            },
+            records: vec![pie_serve::IngestRecord {
+                instance: 0,
+                key: 7,
+                value: 2.5,
+            }],
+            last: false,
+        },
+        Request::Estimate {
+            sketch: "traffic".into(),
+            estimator: "max_weighted".into(),
+            statistic: "max_dominance".into(),
+        },
+    ];
+    requests
+        .iter()
+        .map(|r| {
+            let mut bytes = Vec::new();
+            write_message(&mut bytes, r).unwrap();
+            bytes
+        })
+        .collect()
+}
+
+#[test]
+fn seeded_random_mutations_never_panic_the_request_decoder() {
+    let corpus = corpus();
+    let mut rng = StdRng::seed_from_u64(0xF055_AA11);
+    let mut decoded_ok = 0usize;
+    let mut faulted = 0usize;
+    for round in 0..4000 {
+        let base = &corpus[round % corpus.len()];
+        let mut bytes = base.clone();
+        // 1–4 random single-byte mutations anywhere in the frame.
+        for _ in 0..rng.gen_range(1usize..5) {
+            let i = rng.gen_range(0usize..bytes.len());
+            bytes[i] ^= 1 << rng.gen_range(0u32..8);
+        }
+        match read_request(&mut bytes.as_slice()) {
+            // A mutation may cancel out or hit a don't-care byte; a decoded
+            // request is fine as long as nothing panicked.
+            Ok(_) => decoded_ok += 1,
+            Err(fault) => {
+                faulted += 1;
+                // The error is typed, displayable, and classified.
+                let _ = fault.error.to_string();
+                let _ = fault.fatal;
+            }
+        }
+    }
+    assert!(faulted > 0, "mutations never produced a fault?");
+    // The checksum catches essentially everything; decoded_ok only counts
+    // lucky identity mutations.
+    assert!(decoded_ok < faulted);
+}
+
+#[test]
+fn every_truncation_of_every_request_is_a_typed_fault() {
+    for base in corpus() {
+        for cut in 0..base.len() {
+            match read_request(&mut &base[..cut]) {
+                Ok(None) => assert_eq!(cut, 0, "clean EOF only before the first byte"),
+                Ok(Some(_)) => panic!("truncated frame decoded at cut {cut}"),
+                Err(fault) => {
+                    assert!(
+                        matches!(
+                            fault.error,
+                            StoreError::Truncated { .. } | StoreError::Io(_)
+                        ),
+                        "cut {cut}: {}",
+                        fault.error
+                    );
+                    assert!(fault.fatal, "a truncated stream cannot be resynced");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_and_hostile_length_prefixes_are_rejected_up_front() {
+    for claimed in [
+        MAX_FRAME_BYTES + 1,
+        u64::from(u32::MAX),
+        u64::MAX / 2,
+        u64::MAX,
+    ] {
+        let mut bytes = Vec::new();
+        write_message(&mut bytes, &Request::ListCatalog).unwrap();
+        bytes[8..16].copy_from_slice(&claimed.to_le_bytes());
+        let fault = read_request(&mut bytes.as_slice()).unwrap_err();
+        assert!(
+            matches!(fault.error, StoreError::FrameTooLarge { len, .. } if len == claimed),
+            "claimed {claimed}: {}",
+            fault.error
+        );
+        assert!(fault.fatal);
+    }
+}
+
+#[test]
+fn wrong_version_and_wrong_magic_are_distinct_typed_faults() {
+    let mut bytes = Vec::new();
+    write_message(&mut bytes, &Request::ListCatalog).unwrap();
+    let mut wrong_version = bytes.clone();
+    wrong_version[4] = 0xEE;
+    let fault = read_request(&mut wrong_version.as_slice()).unwrap_err();
+    assert!(matches!(
+        fault.error,
+        StoreError::UnsupportedVersion { found: 0xEE, .. }
+    ));
+    assert!(!fault.fatal, "wrong version is survivable");
+
+    let mut wrong_magic = bytes;
+    wrong_magic[..4].copy_from_slice(b"HTTP");
+    let fault = read_request(&mut wrong_magic.as_slice()).unwrap_err();
+    assert!(matches!(fault.error, StoreError::BadMagic { .. }));
+    assert!(fault.fatal, "an unframed stream cannot be resynced");
+}
+
+#[test]
+fn random_garbage_never_panics_either_decoder() {
+    let mut rng = StdRng::seed_from_u64(0xDEAD_BEEF);
+    for _ in 0..2000 {
+        let len = rng.gen_range(0usize..256);
+        let garbage: Vec<u8> = (0..len).map(|_| (rng.gen::<u32>() & 0xFF) as u8).collect();
+        let _ = read_request(&mut garbage.as_slice());
+        let _ = read_response(&mut garbage.as_slice());
+        // Garbage wrapped in a *valid* frame exercises the payload decoders
+        // specifically (the frame layer validates clean, so the decoders
+        // must reject on their own).
+        let mut framed = Vec::new();
+        write_frame(&mut framed, WIRE_MAGIC, WIRE_VERSION, &garbage).unwrap();
+        let _ = read_request(&mut framed.as_slice());
+        let _ = read_response(&mut framed.as_slice());
+    }
+}
+
+/// Sends raw bytes on a fresh connection, then checks the server still
+/// accepts a well-formed request on a *new* connection.
+fn send_raw_then_expect_alive(server: &Server, raw: &[u8]) {
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.write_all(raw).unwrap();
+    stream.flush().unwrap();
+    // Read whatever the server answers (possibly nothing) until it closes
+    // or responds; either way it must not bring the server down.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = Vec::new();
+    let _ = (&mut stream).take(1 << 20).read_to_end(&mut sink);
+    drop(stream);
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    client.list_catalog().expect("server must stay alive");
+}
+
+#[test]
+fn live_server_survives_recoverable_faults_on_the_same_connection() {
+    let server = Server::bind("127.0.0.1:0").unwrap();
+    let entry = CatalogEntry::build(
+        paper_example().take_instances(2),
+        Scheme::oblivious(0.5),
+        1,
+        10,
+        0,
+    )
+    .unwrap();
+    server.catalog().insert("example", entry);
+
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    let well_formed = {
+        let mut bytes = Vec::new();
+        write_message(&mut bytes, &Request::ListCatalog).unwrap();
+        bytes
+    };
+
+    // Recoverable fault class 1: corrupted payload byte (checksum catches).
+    let mut corrupted = well_formed.clone();
+    let last = corrupted.len() - 9; // a payload byte, not the checksum
+    corrupted[last] ^= 0x10;
+    // Class 2: wrong protocol version.
+    let mut wrong_version = well_formed.clone();
+    wrong_version[4] = 42;
+    // Class 3: valid frame, invalid request tag.
+    let bad_tag = {
+        let mut payload = Vec::new();
+        9999u32.encode(&mut payload).unwrap();
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, WIRE_MAGIC, WIRE_VERSION, &payload).unwrap();
+        bytes
+    };
+    // Class 4: valid frame, trailing bytes after a valid request.
+    let trailing = {
+        let mut payload = Vec::new();
+        Request::ListCatalog.encode(&mut payload).unwrap();
+        payload.extend_from_slice(b"junk");
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, WIRE_MAGIC, WIRE_VERSION, &payload).unwrap();
+        bytes
+    };
+
+    for (what, malformed) in [
+        ("corrupted payload", &corrupted),
+        ("wrong version", &wrong_version),
+        ("invalid tag", &bad_tag),
+        ("trailing bytes", &trailing),
+    ] {
+        writer.write_all(malformed).unwrap();
+        writer.flush().unwrap();
+        let response = read_response(&mut reader)
+            .unwrap_or_else(|f| panic!("{what}: fault instead of response: {}", f.error))
+            .expect("server closed unexpectedly");
+        assert!(
+            matches!(response, Response::Error(ServeError::Protocol { .. })),
+            "{what}: got {response:?}"
+        );
+        // The SAME connection serves the next well-formed request.
+        writer.write_all(&well_formed).unwrap();
+        writer.flush().unwrap();
+        let response = read_response(&mut reader).unwrap().unwrap();
+        assert!(
+            matches!(response, Response::Catalog(ref rows) if rows.len() == 1),
+            "{what}: connection did not survive, got {response:?}"
+        );
+    }
+    drop(writer);
+    server.shutdown();
+}
+
+#[test]
+fn live_server_survives_fatal_faults_on_fresh_connections() {
+    let server = Server::bind("127.0.0.1:0").unwrap();
+
+    // Bad magic: server answers (if it can) and closes; must stay up.
+    let mut http = Vec::new();
+    http.extend_from_slice(b"GET / HTTP/1.1\r\n\r\n");
+    send_raw_then_expect_alive(&server, &http);
+
+    // Oversized length prefix.
+    let mut oversized = Vec::new();
+    write_message(&mut oversized, &Request::ListCatalog).unwrap();
+    oversized[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+    send_raw_then_expect_alive(&server, &oversized);
+
+    // Truncated frame then hang-up.
+    let mut whole = Vec::new();
+    write_message(&mut whole, &Request::ListCatalog).unwrap();
+    send_raw_then_expect_alive(&server, &whole[..whole.len() / 2]);
+
+    // Seeded-random garbage connections.
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..20 {
+        let len = rng.gen_range(1usize..128);
+        let garbage: Vec<u8> = (0..len).map(|_| (rng.gen::<u32>() & 0xFF) as u8).collect();
+        send_raw_then_expect_alive(&server, &garbage);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn response_decoder_survives_mutations_of_real_responses() {
+    // Exercise the client-side decoder against mutated server output.
+    let server = Server::bind("127.0.0.1:0").unwrap();
+    let entry = CatalogEntry::build(
+        paper_example().take_instances(2),
+        Scheme::oblivious(0.5),
+        1,
+        5,
+        0,
+    )
+    .unwrap();
+    server.catalog().insert("example", entry);
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    let report = client
+        .estimate("example", "max_oblivious", "max_dominance")
+        .unwrap();
+    server.shutdown();
+
+    let mut frame = Vec::new();
+    write_message(&mut frame, &Response::Estimated(report)).unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..2000 {
+        let mut mutated = frame.clone();
+        let i = rng.gen_range(0usize..mutated.len());
+        mutated[i] ^= 1 << rng.gen_range(0u32..8);
+        let _ = read_response(&mut mutated.as_slice());
+        // Truncations too.
+        let cut = rng.gen_range(0usize..mutated.len());
+        let _ = read_response(&mut &mutated[..cut]);
+    }
+}

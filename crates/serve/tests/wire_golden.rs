@@ -1,0 +1,159 @@
+//! Golden wire-format pins: byte-exact snapshots of one encoded frame per
+//! request and response type.
+//!
+//! Any accidental protocol drift — a reordered field, a changed tag, a new
+//! frame constant — fails these tests loudly.  An *intentional* wire change
+//! must bump [`WIRE_VERSION`] and re-pin (run with
+//! `PIE_PRINT_GOLDEN=1 cargo test -p pie-serve --test wire_golden -- --nocapture`
+//! to print the new hex).  Mirrors `seed_golden.rs` in `pie-sampling`.
+
+use partial_info_estimators::analysis::{Evaluation, RunningStats};
+use partial_info_estimators::{EstimatorReport, PipelineReport, Scheme};
+use pie_serve::wire::write_message;
+use pie_serve::{IngestRecord, Request, Response, ServeError, SketchConfig, SketchInfo};
+use pie_store::Encode;
+
+/// One deterministic exemplar per message type.
+fn exemplars() -> Vec<(&'static str, Vec<u8>)> {
+    let info = SketchInfo {
+        name: "traffic".into(),
+        config: SketchConfig {
+            scheme: Scheme::pps(150.0),
+            shards: 2,
+            trials: 6,
+            base_salt: 5,
+        },
+        instances: 2,
+        ready: true,
+        buffered_records: 0,
+    };
+    let report = PipelineReport {
+        statistic: "max_dominance".into(),
+        truth: 10.0,
+        trials: 2,
+        estimators: vec![EstimatorReport {
+            name: "max_ht_pps".into(),
+            evaluation: {
+                let mut stats = RunningStats::new();
+                stats.push(9.0);
+                stats.push(11.0);
+                Evaluation::from_stats(&stats, 10.0)
+            },
+        }],
+    };
+    let messages: Vec<(&'static str, Box<dyn Encode>)> = vec![
+        ("request_list_catalog", Box::new(Request::ListCatalog)),
+        (
+            "request_load_snapshot",
+            Box::new(Request::LoadSnapshot {
+                name: "traffic".into(),
+                path: "/srv/traffic.pies".into(),
+            }),
+        ),
+        (
+            "request_ingest_batch",
+            Box::new(Request::IngestBatch {
+                sketch: "live".into(),
+                config: SketchConfig {
+                    scheme: Scheme::oblivious(0.5),
+                    shards: 2,
+                    trials: 6,
+                    base_salt: 5,
+                },
+                records: vec![IngestRecord {
+                    instance: 1,
+                    key: 42,
+                    value: 2.5,
+                }],
+                last: true,
+            }),
+        ),
+        (
+            "request_estimate",
+            Box::new(Request::Estimate {
+                sketch: "traffic".into(),
+                estimator: "max_weighted".into(),
+                statistic: "max_dominance".into(),
+            }),
+        ),
+        (
+            "response_catalog",
+            Box::new(Response::Catalog(vec![info.clone()])),
+        ),
+        ("response_loaded", Box::new(Response::Loaded(info))),
+        (
+            "response_ingested",
+            Box::new(Response::Ingested {
+                sketch: "live".into(),
+                buffered_records: 12,
+                ready: false,
+            }),
+        ),
+        ("response_estimated", Box::new(Response::Estimated(report))),
+        (
+            "response_error",
+            Box::new(Response::Error(ServeError::UnknownSketch {
+                name: "gone".into(),
+            })),
+        ),
+    ];
+    messages
+        .into_iter()
+        .map(|(name, message)| {
+            let mut bytes = Vec::new();
+            write_message(&mut bytes, message.as_ref()).unwrap();
+            (name, bytes)
+        })
+        .collect()
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// The pinned frames.  Regenerate only on an intentional, version-bumped
+/// wire change.
+const GOLDEN: [(&str, &str); 9] = [
+    ("request_list_catalog", "50494557010000000400000000000000000000006069b1e26ffb1364"),
+    ("request_load_snapshot", "50494557010000002c000000000000000100000007000000000000007472616666696311000000000000002f7372762f747261666669632e70696573ef77bed2a22758c3"),
+    ("request_ingest_batch", "504945570100000055000000000000000200000004000000000000006c69766500000000000000000000e03f020000000000000006000000000000000500000000000000010000000000000001000000000000002a00000000000000000000000000044001da38c04643cca3a4"),
+    ("request_estimate", "50494557010000003c00000000000000030000000700000000000000747261666669630c000000000000006d61785f77656967687465640d000000000000006d61785f646f6d696e616e6365f72ba78406d8b6b2"),
+    ("response_catalog", "50494557010000005000000000000000000000000100000000000000070000000000000074726166666963010000000000000000c0624002000000000000000600000000000000050000000000000002000000000000000100000000000000008a5d9cadc662b158"),
+    ("response_loaded", "5049455701000000480000000000000001000000070000000000000074726166666963010000000000000000c062400200000000000000060000000000000005000000000000000200000000000000010000000000000000c226eb5e3fe7e9a5"),
+    ("response_ingested", "504945570100000019000000000000000200000004000000000000006c6976650c0000000000000000ff185b6b6e8f9c50"),
+    ("response_estimated", "50494557010000006b00000000000000030000000d000000000000006d61785f646f6d696e616e63650000000000002440020000000000000001000000000000000a000000000000006d61785f68745f70707300000000000024400000000000002440000000000000f03f000000000000000002000000000000003154033e6d108d87"),
+    ("response_error", "5049455701000000140000000000000004000000030000000400000000000000676f6e65706f15e0b1028cca"),
+];
+
+#[test]
+fn every_message_frame_matches_its_golden_bytes() {
+    let exemplars = exemplars();
+    assert_eq!(exemplars.len(), GOLDEN.len());
+    if std::env::var_os("PIE_PRINT_GOLDEN").is_some() {
+        for (name, bytes) in &exemplars {
+            println!("(\"{name}\", \"{}\"),", hex(bytes));
+        }
+    }
+    for ((name, bytes), (golden_name, golden_hex)) in exemplars.iter().zip(GOLDEN) {
+        assert_eq!(*name, golden_name);
+        assert_eq!(
+            hex(bytes),
+            golden_hex,
+            "wire drift in {name}: if intentional, bump WIRE_VERSION and re-pin"
+        );
+    }
+}
+
+#[test]
+fn frame_constants_are_pinned() {
+    use pie_serve::{MAX_FRAME_BYTES, WIRE_MAGIC, WIRE_VERSION};
+    assert_eq!(WIRE_MAGIC, *b"PIEW");
+    assert_eq!(WIRE_VERSION, 1);
+    assert_eq!(MAX_FRAME_BYTES, 64 * 1024 * 1024);
+    // And the header shape every frame starts with: magic ‖ version ‖ len.
+    let (_, bytes) = &exemplars()[0];
+    assert_eq!(&bytes[..4], b"PIEW");
+    assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), 1);
+    let len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    assert_eq!(bytes.len() as u64, 16 + len + 8);
+}

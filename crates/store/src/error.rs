@@ -34,6 +34,14 @@ pub enum StoreError {
         /// The (single) version this build reads and writes.
         supported: u32,
     },
+    /// The frame header claims a payload longer than the reader's size
+    /// limit — a hostile or garbage length prefix on an untrusted stream.
+    FrameTooLarge {
+        /// The payload length claimed by the header.
+        len: u64,
+        /// The reader's configured maximum payload length.
+        max: u64,
+    },
     /// The payload checksum does not match the header — the bytes were
     /// corrupted in storage or transit.
     ChecksumMismatch {
@@ -80,6 +88,10 @@ impl fmt::Display for StoreError {
             Self::UnsupportedVersion { found, supported } => write!(
                 f,
                 "unsupported snapshot format version {found} (this build supports {supported})"
+            ),
+            Self::FrameTooLarge { len, max } => write!(
+                f,
+                "frame claims a {len}-byte payload, above the reader's {max}-byte limit"
             ),
             Self::ChecksumMismatch { expected, actual } => write!(
                 f,

@@ -1,0 +1,392 @@
+//! The shared frame layer: magic, version, payload length, checksum.
+//!
+//! Both persistence surfaces of the workspace speak the same self-describing
+//! frame, differing only in their magic bytes and version constant:
+//!
+//! * snapshot files ([`crate::snapshot`], magic `PIES`) — one frame per
+//!   file, validated before any payload byte reaches a decoder;
+//! * the `pie-serve` wire protocol (magic `PIEW`) — one frame per request
+//!   or response on a TCP stream.
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic
+//! 4       4     version (u32 LE)
+//! 8       8     payload length in bytes (u64 LE)
+//! 16      n     payload (Encode-d values, little-endian)
+//! 16+n    8     FNV-1a 64 checksum of version ‖ length ‖ payload (u64 LE)
+//! ```
+//!
+//! # Version policy
+//!
+//! The 16-byte header layout (magic, version, length) is **frozen across
+//! versions**: the version field only governs the payload's semantics.  This
+//! lets a reader that encounters an unsupported version still consume the
+//! frame whole — [`read_frame`] skips its payload and checksum before
+//! returning [`StoreError::UnsupportedVersion`] — so a long-lived connection
+//! survives a frame from a newer build instead of losing stream sync.
+//!
+//! # Resynchronization contract
+//!
+//! [`read_frame`] either consumes exactly one whole frame or fails in a way
+//! that leaves the stream unusable; the error variant tells the caller
+//! which.  After [`StoreError::UnsupportedVersion`],
+//! [`StoreError::ChecksumMismatch`], or any payload-decoding failure the
+//! stream is positioned at the next frame boundary and may keep serving;
+//! after [`StoreError::BadMagic`], [`StoreError::FrameTooLarge`],
+//! [`StoreError::Truncated`], or an I/O error the boundary is unknown and
+//! the stream must be dropped.  [`recoverable`] encodes this classification.
+
+use std::io::{Read, Write};
+
+use crate::error::StoreError;
+
+/// Bytes in a frame header: magic (4) + version (4) + payload length (8).
+pub const HEADER_LEN: usize = 16;
+
+/// Bytes in a frame trailer: the FNV-1a 64 checksum.
+pub const TRAILER_LEN: usize = 8;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Incremental FNV-1a 64 checksum over a byte stream.
+///
+/// FNV is not cryptographic; it guards against storage/transport corruption
+/// and truncation, which is all a trusted-frame format needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checksum(u64);
+
+impl Checksum {
+    /// Starts a fresh checksum.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Folds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The checksum value accumulated so far.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Checksum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The checksum of one frame: FNV-1a 64 over version ‖ length ‖ payload.
+fn frame_checksum(version_bytes: &[u8; 4], len_bytes: &[u8; 8], payload: &[u8]) -> u64 {
+    let mut checksum = Checksum::new();
+    checksum.update(version_bytes);
+    checksum.update(len_bytes);
+    checksum.update(payload);
+    checksum.value()
+}
+
+/// Writes one complete frame (header, payload, checksum) to `sink` and
+/// flushes it.
+///
+/// # Errors
+/// Propagates I/O failures from the sink.
+pub fn write_frame<W: Write>(
+    sink: &mut W,
+    magic: [u8; 4],
+    version: u32,
+    payload: &[u8],
+) -> Result<(), StoreError> {
+    let version_bytes = version.to_le_bytes();
+    let len_bytes = (payload.len() as u64).to_le_bytes();
+    let checksum = frame_checksum(&version_bytes, &len_bytes, payload);
+    sink.write_all(&magic)?;
+    sink.write_all(&version_bytes)?;
+    sink.write_all(&len_bytes)?;
+    sink.write_all(payload)?;
+    sink.write_all(&checksum.to_le_bytes())?;
+    sink.flush()?;
+    Ok(())
+}
+
+/// Reads and validates one frame from `src`, returning its payload.
+///
+/// Validation order: magic, length bound, then — after consuming the whole
+/// frame — version and checksum (see the [module docs](self) for why a wrong
+/// version still consumes the frame).  The payload is read through
+/// [`Read::take`] rather than preallocated, so a corrupted length cannot
+/// trigger a huge allocation; `max_payload` additionally rejects lengths the
+/// caller is unwilling to even stream past (a network server's defense
+/// against a hostile length prefix).
+///
+/// # Errors
+/// * [`StoreError::Truncated`] — input ended inside the frame;
+/// * [`StoreError::BadMagic`] — the leading bytes are not `magic`;
+/// * [`StoreError::FrameTooLarge`] — claimed length exceeds `max_payload`;
+/// * [`StoreError::UnsupportedVersion`] — frame consumed, other version;
+/// * [`StoreError::ChecksumMismatch`] — frame consumed, corrupt payload.
+pub fn read_frame<R: Read>(
+    src: &mut R,
+    magic: [u8; 4],
+    version: u32,
+    max_payload: u64,
+) -> Result<Vec<u8>, StoreError> {
+    let mut found_magic = [0u8; 4];
+    read_exact(src, &mut found_magic, "frame magic")?;
+    read_frame_after_magic(src, found_magic, magic, version, max_payload)
+}
+
+/// Like [`read_frame`], but a clean end of input *before the first magic
+/// byte* returns `Ok(None)` instead of [`StoreError::Truncated`] — the shape
+/// a connection loop needs to tell "peer hung up between requests" from
+/// "frame cut short".
+///
+/// # Errors
+/// As [`read_frame`], except the described clean-EOF case.
+pub fn read_frame_or_eof<R: Read>(
+    src: &mut R,
+    magic: [u8; 4],
+    version: u32,
+    max_payload: u64,
+) -> Result<Option<Vec<u8>>, StoreError> {
+    let mut first = [0u8; 1];
+    let mut filled = 0;
+    while filled < first.len() {
+        match src.read(&mut first[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(StoreError::Truncated {
+                    context: "frame magic",
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(StoreError::Io(e)),
+        }
+    }
+    let mut found_magic = [first[0], 0, 0, 0];
+    read_exact(src, &mut found_magic[1..], "frame magic")?;
+    read_frame_after_magic(src, found_magic, magic, version, max_payload).map(Some)
+}
+
+/// The body of [`read_frame`] once the four magic bytes are in hand.
+fn read_frame_after_magic<R: Read>(
+    src: &mut R,
+    found_magic: [u8; 4],
+    magic: [u8; 4],
+    version: u32,
+    max_payload: u64,
+) -> Result<Vec<u8>, StoreError> {
+    if found_magic != magic {
+        return Err(StoreError::BadMagic { found: found_magic });
+    }
+    let mut version_bytes = [0u8; 4];
+    read_exact(src, &mut version_bytes, "frame version")?;
+    let mut len_bytes = [0u8; 8];
+    read_exact(src, &mut len_bytes, "frame payload length")?;
+    let len = u64::from_le_bytes(len_bytes);
+    if len > max_payload {
+        return Err(StoreError::FrameTooLarge {
+            len,
+            max: max_payload,
+        });
+    }
+    let len = usize::try_from(len).map_err(|_| StoreError::InvalidValue {
+        what: "frame payload length does not fit in usize on this host",
+    })?;
+    // Read the payload without trusting the length for preallocation: a
+    // corrupted header must not trigger a huge allocation, so take() the
+    // claimed length and let a short stream surface as Truncated.
+    let mut payload = Vec::new();
+    let read = src.take(len as u64).read_to_end(&mut payload)?;
+    if read != len {
+        return Err(StoreError::Truncated {
+            context: "frame payload",
+        });
+    }
+    let mut checksum_bytes = [0u8; 8];
+    read_exact(src, &mut checksum_bytes, "frame checksum")?;
+    // The whole frame is consumed from here on: version and checksum
+    // failures leave the stream at the next frame boundary.
+    let found_version = u32::from_le_bytes(version_bytes);
+    if found_version != version {
+        return Err(StoreError::UnsupportedVersion {
+            found: found_version,
+            supported: version,
+        });
+    }
+    let expected = u64::from_le_bytes(checksum_bytes);
+    let actual = frame_checksum(&version_bytes, &len_bytes, &payload);
+    if actual != expected {
+        return Err(StoreError::ChecksumMismatch { expected, actual });
+    }
+    Ok(payload)
+}
+
+/// Whether the stream is still positioned at a frame boundary after this
+/// read error — i.e. whether a connection may keep serving (see the
+/// [module docs](self) for the classification).
+///
+/// Payload-*decoding* failures ([`StoreError::InvalidTag`],
+/// [`StoreError::InvalidValue`]) only arise after the frame was consumed
+/// whole, so they are recoverable too.
+#[must_use]
+pub fn recoverable(error: &StoreError) -> bool {
+    matches!(
+        error,
+        StoreError::UnsupportedVersion { .. }
+            | StoreError::ChecksumMismatch { .. }
+            | StoreError::InvalidTag { .. }
+            | StoreError::InvalidValue { .. }
+            | StoreError::ManifestMismatch { .. }
+    )
+}
+
+fn read_exact<R: Read>(
+    src: &mut R,
+    buf: &mut [u8],
+    context: &'static str,
+) -> Result<(), StoreError> {
+    src.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::Truncated { context }
+        } else {
+            StoreError::Io(e)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAGIC: [u8; 4] = *b"TSTF";
+
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, MAGIC, 3, payload).unwrap();
+        bytes
+    }
+
+    #[test]
+    fn roundtrip() {
+        let bytes = frame(b"hello frame");
+        assert_eq!(bytes.len(), HEADER_LEN + 11 + TRAILER_LEN);
+        let payload = read_frame(&mut bytes.as_slice(), MAGIC, 3, u64::MAX).unwrap();
+        assert_eq!(payload, b"hello frame");
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let bytes = frame(b"");
+        let payload = read_frame(&mut bytes.as_slice(), MAGIC, 3, 0).unwrap();
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_fatal() {
+        let mut bytes = frame(b"x");
+        bytes[0] = b'Z';
+        let err = read_frame(&mut bytes.as_slice(), MAGIC, 3, u64::MAX).unwrap_err();
+        assert!(matches!(err, StoreError::BadMagic { .. }));
+        assert!(!recoverable(&err));
+    }
+
+    #[test]
+    fn wrong_version_consumes_the_whole_frame() {
+        let mut bytes = frame(b"abc");
+        let mut tail = frame(b"next");
+        bytes[4] = 9;
+        bytes.append(&mut tail);
+        let mut src = bytes.as_slice();
+        let err = read_frame(&mut src, MAGIC, 3, u64::MAX).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::UnsupportedVersion {
+                found: 9,
+                supported: 3
+            }
+        ));
+        assert!(recoverable(&err));
+        // The stream is at the next frame boundary.
+        let payload = read_frame(&mut src, MAGIC, 3, u64::MAX).unwrap();
+        assert_eq!(payload, b"next");
+    }
+
+    #[test]
+    fn checksum_mismatch_consumes_the_whole_frame() {
+        let mut bytes = frame(b"abcd");
+        let mut tail = frame(b"next");
+        let payload_start = HEADER_LEN;
+        bytes[payload_start] ^= 0x01;
+        bytes.append(&mut tail);
+        let mut src = bytes.as_slice();
+        let err = read_frame(&mut src, MAGIC, 3, u64::MAX).unwrap_err();
+        assert!(matches!(err, StoreError::ChecksumMismatch { .. }));
+        assert!(recoverable(&err));
+        let payload = read_frame(&mut src, MAGIC, 3, u64::MAX).unwrap();
+        assert_eq!(payload, b"next");
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_reading_the_payload() {
+        let mut bytes = frame(&[0u8; 64]);
+        // Claim an absurd payload length.
+        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_frame(&mut bytes.as_slice(), MAGIC, 3, 1024).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::FrameTooLarge { len: u64::MAX, .. }
+        ));
+        assert!(!recoverable(&err));
+    }
+
+    #[test]
+    fn every_truncation_point_is_typed() {
+        let bytes = frame(b"truncate me");
+        for cut in 0..bytes.len() {
+            let err = read_frame(&mut &bytes[..cut], MAGIC, 3, u64::MAX).unwrap_err();
+            assert!(
+                matches!(err, StoreError::Truncated { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn eof_variant_distinguishes_clean_hangup() {
+        let empty: &[u8] = &[];
+        assert!(read_frame_or_eof(&mut { empty }, MAGIC, 3, u64::MAX)
+            .unwrap()
+            .is_none());
+        // One stray byte, then EOF: that is a truncation, not a clean close.
+        let stray: &[u8] = b"T";
+        let err = read_frame_or_eof(&mut { stray }, MAGIC, 3, u64::MAX).unwrap_err();
+        assert!(matches!(err, StoreError::Truncated { .. }));
+        // A whole frame reads normally.
+        let bytes = frame(b"ok");
+        let payload = read_frame_or_eof(&mut bytes.as_slice(), MAGIC, 3, u64::MAX)
+            .unwrap()
+            .unwrap();
+        assert_eq!(payload, b"ok");
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        let mut a = Checksum::new();
+        a.update(&[1, 2]);
+        let mut b = Checksum::new();
+        b.update(&[2, 1]);
+        assert_ne!(a.value(), b.value());
+        assert_eq!(Checksum::new().value(), Checksum::default().value());
+    }
+}

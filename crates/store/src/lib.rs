@@ -9,10 +9,14 @@
 //!   (floats round-trip through their IEEE-754 bit patterns), with
 //!   primitive, tuple, `Option`, `Vec`, and `String` implementations
 //!   ([`codec`]);
-//! * [`SnapshotWriter`] / [`SnapshotReader`] — a self-describing frame
-//!   (magic, format version, payload length, FNV-1a checksum) over any
-//!   [`std::io::Write`] / [`std::io::Read`], validated fully before any
-//!   payload byte reaches a decoder ([`snapshot`]);
+//! * [`frame`] — the shared self-describing frame layer (magic, version,
+//!   payload length, FNV-1a checksum) over any [`std::io::Write`] /
+//!   [`std::io::Read`], with a size-bounded reader for untrusted streams;
+//!   snapshot files and the `pie-serve` wire protocol are both instances
+//!   of it;
+//! * [`SnapshotWriter`] / [`SnapshotReader`] — one frame per snapshot,
+//!   validated fully before any payload byte reaches a decoder
+//!   ([`snapshot`]);
 //! * [`StoreError`] — typed failures for every corruption mode: truncation,
 //!   bad magic, unsupported version, checksum mismatch, invalid tags and
 //!   values, manifest mismatches ([`error`]).  Malformed input never
@@ -47,11 +51,13 @@
 
 pub mod codec;
 pub mod error;
+pub mod frame;
 pub mod snapshot;
 
 pub use codec::{decode_from_slice, encode_to_vec, Decode, Encode};
 pub use error::StoreError;
+pub use frame::Checksum;
 pub use snapshot::{
-    read_snapshot_file, snapshot_from_slice, snapshot_to_vec, write_snapshot_file, Checksum,
-    SnapshotReader, SnapshotWriter, FORMAT_VERSION, MAGIC,
+    read_snapshot_file, snapshot_from_slice, snapshot_to_vec, write_snapshot_file, SnapshotReader,
+    SnapshotWriter, FORMAT_VERSION, MAGIC,
 };

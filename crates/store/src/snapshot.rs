@@ -17,6 +17,10 @@
 //! handing any bytes to `Decode` impls, so decoders only ever see payloads
 //! that were written whole by a compatible build; anything else surfaces as
 //! a typed [`StoreError`].
+//!
+//! The frame itself (layout, checksum, validation order) is the shared
+//! [`crate::frame`] layer; snapshots instantiate it with the `PIES` magic
+//! and [`FORMAT_VERSION`], the `pie-serve` wire protocol with its own.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -24,6 +28,9 @@ use std::path::Path;
 
 use crate::codec::{Decode, Encode};
 use crate::error::StoreError;
+use crate::frame::{read_frame, write_frame};
+
+pub use crate::frame::Checksum;
 
 /// The four magic bytes every snapshot starts with.
 pub const MAGIC: [u8; 4] = *b"PIES";
@@ -32,46 +39,9 @@ pub const MAGIC: [u8; 4] = *b"PIES";
 ///
 /// Bump on any layout change; readers reject other versions with
 /// [`StoreError::UnsupportedVersion`] instead of misinterpreting bytes.
+/// The frame header layout itself is frozen across versions — see the
+/// [`crate::frame`] version policy.
 pub const FORMAT_VERSION: u32 = 1;
-
-/// FNV-1a 64-bit offset basis.
-const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
-/// FNV-1a 64-bit prime.
-const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
-
-/// Incremental FNV-1a 64 checksum over a byte stream.
-///
-/// FNV is not cryptographic; it guards against storage/transport corruption
-/// and truncation, which is all a trusted-snapshot format needs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Checksum(u64);
-
-impl Checksum {
-    /// Starts a fresh checksum.
-    #[must_use]
-    pub fn new() -> Self {
-        Self(FNV_OFFSET)
-    }
-
-    /// Folds `bytes` into the checksum.
-    pub fn update(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
-        }
-    }
-
-    /// The checksum value accumulated so far.
-    #[must_use]
-    pub fn value(&self) -> u64 {
-        self.0
-    }
-}
-
-impl Default for Checksum {
-    fn default() -> Self {
-        Self::new()
-    }
-}
 
 /// Writes one snapshot frame to an [`io::Write`](Write) sink.
 ///
@@ -112,18 +82,7 @@ impl<W: Write> SnapshotWriter<W> {
     /// # Errors
     /// Propagates I/O failures from the sink.
     pub fn finish(mut self) -> Result<W, StoreError> {
-        let version = FORMAT_VERSION.to_le_bytes();
-        let len = (self.payload.len() as u64).to_le_bytes();
-        let mut checksum = Checksum::new();
-        checksum.update(&version);
-        checksum.update(&len);
-        checksum.update(&self.payload);
-        self.sink.write_all(&MAGIC)?;
-        self.sink.write_all(&version)?;
-        self.sink.write_all(&len)?;
-        self.sink.write_all(&self.payload)?;
-        self.sink.write_all(&checksum.value().to_le_bytes())?;
-        self.sink.flush()?;
+        write_frame(&mut self.sink, MAGIC, FORMAT_VERSION, &self.payload)?;
         Ok(self.sink)
     }
 }
@@ -147,50 +106,7 @@ impl SnapshotReader {
     /// [`StoreError::Truncated`], or [`StoreError::ChecksumMismatch`] when
     /// the frame is not a whole, compatible snapshot.
     pub fn new<R: Read>(mut src: R) -> Result<Self, StoreError> {
-        let mut magic = [0u8; 4];
-        read_exact(&mut src, &mut magic, "snapshot magic")?;
-        if magic != MAGIC {
-            return Err(StoreError::BadMagic { found: magic });
-        }
-        let mut version_bytes = [0u8; 4];
-        read_exact(&mut src, &mut version_bytes, "snapshot version")?;
-        let version = u32::from_le_bytes(version_bytes);
-        if version != FORMAT_VERSION {
-            return Err(StoreError::UnsupportedVersion {
-                found: version,
-                supported: FORMAT_VERSION,
-            });
-        }
-        let mut len_bytes = [0u8; 8];
-        read_exact(&mut src, &mut len_bytes, "snapshot payload length")?;
-        let len = usize::try_from(u64::from_le_bytes(len_bytes)).map_err(|_| {
-            StoreError::InvalidValue {
-                what: "payload length does not fit in usize on this host",
-            }
-        })?;
-        // Read the payload without trusting the length for preallocation: a
-        // corrupted header must not trigger a huge allocation, so take() the
-        // claimed length and let a short stream surface as Truncated.
-        let mut payload = Vec::new();
-        let read = (&mut src).take(len as u64).read_to_end(&mut payload)?;
-        if read != len {
-            return Err(StoreError::Truncated {
-                context: "snapshot payload",
-            });
-        }
-        let mut checksum_bytes = [0u8; 8];
-        read_exact(&mut src, &mut checksum_bytes, "snapshot checksum")?;
-        let expected = u64::from_le_bytes(checksum_bytes);
-        let mut checksum = Checksum::new();
-        checksum.update(&version_bytes);
-        checksum.update(&len_bytes);
-        checksum.update(&payload);
-        if checksum.value() != expected {
-            return Err(StoreError::ChecksumMismatch {
-                expected,
-                actual: checksum.value(),
-            });
-        }
+        let payload = read_frame(&mut src, MAGIC, FORMAT_VERSION, u64::MAX)?;
         Ok(Self { payload, pos: 0 })
     }
 
@@ -227,20 +143,6 @@ impl SnapshotReader {
             })
         }
     }
-}
-
-fn read_exact<R: Read>(
-    src: &mut R,
-    buf: &mut [u8],
-    context: &'static str,
-) -> Result<(), StoreError> {
-    src.read_exact(buf).map_err(|e| {
-        if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            StoreError::Truncated { context }
-        } else {
-            StoreError::Io(e)
-        }
-    })
 }
 
 /// Writes `value` as a single-value snapshot file at `path` (buffered).

@@ -587,7 +587,7 @@ fn estimate_from_samples(
                 &registry,
                 &config.statistic,
                 &plan,
-                |_worker| move |t, _seeds: &SeedAssignment| samples[t as usize].clone(),
+                |_worker| move |t, _seeds: &SeedAssignment| samples[t as usize].as_slice(),
             ))
         }
         (Scheme::PpsPoisson { tau_star }, EstimatorSet::Weighted(registry)) => Ok(run_pps_with(
@@ -596,7 +596,7 @@ fn estimate_from_samples(
             &registry,
             &config.statistic,
             &plan,
-            |_worker| move |t, _seeds: &SeedAssignment| samples[t as usize].clone(),
+            |_worker| move |t, _seeds: &SeedAssignment| samples[t as usize].as_slice(),
         )),
         // validate_pipeline rejected mismatched regimes already.
         (scheme, estimators) => Err(CheckpointError::Pipeline(PipelineError::RegimeMismatch {
@@ -757,6 +757,35 @@ impl StreamIngestSession {
             TrialSketches::Pps(pools) => samples_per_trial(pools),
         };
         estimate_from_samples(self.config, samples)
+    }
+
+    /// Merges and finalizes the per-trial samples into a servable
+    /// [`CatalogEntry`](crate::CatalogEntry) instead of estimating — the
+    /// bridge from checkpointed (PR 4) snapshot state to `pie-serve`'s
+    /// sketch catalog: ingest, checkpoint, resume in a serving process,
+    /// finish into the catalog, answer queries.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Incomplete`] if records remain.
+    pub fn finish_into_catalog(self) -> Result<crate::CatalogEntry, CheckpointError> {
+        if !self.is_complete() {
+            return Err(CheckpointError::Incomplete {
+                ingested: self.watermark,
+                total: self.total,
+            });
+        }
+        let samples = match self.sketches {
+            TrialSketches::Oblivious(pools) => samples_per_trial(pools),
+            TrialSketches::Pps(pools) => samples_per_trial(pools),
+        };
+        Ok(crate::CatalogEntry::from_parts(
+            self.config.dataset,
+            self.config.scheme,
+            self.config.shards,
+            self.config.trials,
+            self.config.base_salt,
+            samples,
+        ))
     }
 }
 

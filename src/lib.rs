@@ -48,6 +48,11 @@
 //!   checkpoint to — and resume from — versioned binary snapshot files
 //!   ([`checkpoint`]), and shard snapshots written by independent processes
 //!   merge into reports bit-identical to a single-process run;
+//! * finalized sketches become servable units: a [`CatalogEntry`]
+//!   ([`catalog`]) persists whole, loads once, and answers estimation
+//!   queries with per-query estimator and statistic choice — the substrate
+//!   behind the `pie-serve` TCP service, whose responses are bit-identical
+//!   to in-process estimation;
 //! * the top-level [`Pipeline`] builder wires dataset → sampling → outcome
 //!   assembly → batched estimation → sum aggregation end to end:
 //!
@@ -73,6 +78,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod catalog;
 pub mod checkpoint;
 pub mod pipeline;
 pub mod stream;
@@ -85,6 +91,7 @@ pub use pie_store as store;
 
 pub use pie_analysis::TrialRunner;
 
+pub use catalog::{CatalogEntry, CatalogError};
 pub use checkpoint::{CheckpointError, SnapshotKind, SnapshotManifest, StreamIngestSession};
 pub use pipeline::{
     EstimatorReport, EstimatorSet, Pipeline, PipelineError, PipelineReport, Scheme, Statistic,

@@ -114,6 +114,22 @@ impl Statistic {
         Self::new("distinct_count", functions::boolean_or)
     }
 
+    /// Every statistic name resolvable through [`Statistic::by_name`], in a
+    /// stable order.
+    pub const NAMES: [&'static str; 2] = ["max_dominance", "distinct_count"];
+
+    /// Resolves a built-in statistic by its report name — the lookup used
+    /// when the statistic choice arrives as data (a CLI flag, a served
+    /// `Estimate` request).  Returns `None` for unknown names.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "max_dominance" => Some(Self::max_dominance()),
+            "distinct_count" => Some(Self::distinct_count()),
+            _ => None,
+        }
+    }
+
     /// The statistic's report name.
     #[must_use]
     pub fn name(&self) -> &str {
@@ -637,8 +653,11 @@ struct ObliviousWorker<G> {
 /// (cloned samplers, per-worker sketch pools, …).  Each closure must be a
 /// pure function of `(trial, seeds)` — per-trial samples may not depend on
 /// which worker draws them — which is what makes the report bit-identical
-/// at every thread count.
-pub(crate) fn run_oblivious_with<G, F>(
+/// at every thread count.  The closure may return owned samples (live
+/// sampling) or borrow precomputed ones (`&[InstanceSample]`, the
+/// catalog/checkpoint replay paths) — anything `AsRef<[InstanceSample]>` —
+/// so replaying finalized samples costs no per-trial deep copy.
+pub(crate) fn run_oblivious_with<R, G, F>(
     dataset: &Dataset,
     p: f64,
     registry: &EstimatorRegistry<ObliviousOutcome>,
@@ -648,7 +667,8 @@ pub(crate) fn run_oblivious_with<G, F>(
 ) -> PipelineReport
 where
     F: Fn(usize) -> G + Sync,
-    G: FnMut(u64, &SeedAssignment) -> Vec<InstanceSample> + Send,
+    G: FnMut(u64, &SeedAssignment) -> R + Send,
+    R: AsRef<[InstanceSample]>,
 {
     let truth = exact_truth(dataset, statistic);
     // `keys` is the sorted, deduped union of all instances' keys: the same
@@ -673,7 +693,7 @@ where
         |w, t, stats| {
             let seeds = SeedAssignment::independent_known(base_salt.wrapping_add(t));
             let samples = (w.sample_trial)(t, &seeds);
-            fill_oblivious_outcomes(keys, &samples, &mut w.outcomes);
+            fill_oblivious_outcomes(keys, samples.as_ref(), &mut w.outcomes);
             for ((_, estimator), stat) in registry.iter().zip(stats.iter_mut()) {
                 estimator.estimate_batch(&w.outcomes, &mut w.estimates);
                 stat.push(w.estimates.iter().sum());
@@ -692,7 +712,7 @@ struct WeightedWorker<G> {
 
 /// The weighted (PPS, known seeds) estimation core; see
 /// [`run_oblivious_with`] for the trial structure and determinism contract.
-pub(crate) fn run_pps_with<G, F>(
+pub(crate) fn run_pps_with<R, G, F>(
     dataset: &Dataset,
     tau_star: f64,
     registry: &EstimatorRegistry<WeightedOutcome>,
@@ -702,7 +722,8 @@ pub(crate) fn run_pps_with<G, F>(
 ) -> PipelineReport
 where
     F: Fn(usize) -> G + Sync,
-    G: FnMut(u64, &SeedAssignment) -> Vec<InstanceSample> + Send,
+    G: FnMut(u64, &SeedAssignment) -> R + Send,
+    R: AsRef<[InstanceSample]>,
 {
     let truth = exact_truth(dataset, statistic);
     let r = dataset.num_instances();
@@ -722,9 +743,10 @@ where
         |w, t, stats| {
             let seeds = SeedAssignment::independent_known(base_salt.wrapping_add(t));
             let samples = (w.sample_trial)(t, &seeds);
-            let keys = sampled_key_union(&samples);
+            let samples = samples.as_ref();
+            let keys = sampled_key_union(samples);
             grow_weighted_pool(&mut w.pool, keys.len(), r, tau_star);
-            fill_weighted_outcomes(&keys, &samples, &seeds, tau_star, &mut w.pool[..keys.len()]);
+            fill_weighted_outcomes(&keys, samples, &seeds, tau_star, &mut w.pool[..keys.len()]);
             w.estimates.resize(keys.len(), 0.0);
             for ((_, estimator), stat) in registry.iter().zip(stats.iter_mut()) {
                 estimator.estimate_batch(&w.pool[..keys.len()], &mut w.estimates[..keys.len()]);

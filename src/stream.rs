@@ -217,6 +217,23 @@ impl StreamPipeline {
             }),
         }
     }
+
+    /// Samples the configured dataset and finalizes the per-trial samples
+    /// into a servable [`CatalogEntry`](crate::CatalogEntry) instead of
+    /// estimating — the export hook behind `pie-serve`'s sketch catalog.
+    ///
+    /// Only the dataset, scheme, shards, trials, and base salt are
+    /// consulted: estimator and statistic choice is deferred to each query
+    /// against the entry (that deferral is the point of serving).
+    ///
+    /// # Errors
+    /// [`PipelineError::MissingDataset`] / [`PipelineError::MissingScheme`]
+    /// / [`PipelineError::InvalidScheme`].
+    pub fn into_catalog_entry(self) -> Result<crate::CatalogEntry, PipelineError> {
+        let dataset = self.dataset.ok_or(PipelineError::MissingDataset)?;
+        let scheme = self.scheme.ok_or(PipelineError::MissingScheme)?;
+        crate::CatalogEntry::build(dataset, scheme, self.shards, self.trials, self.base_salt)
+    }
 }
 
 /// Allocates the pooled sketches for one [`ShardedStream`], laid out
