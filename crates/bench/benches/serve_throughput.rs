@@ -24,7 +24,8 @@ use std::time::Instant;
 use partial_info_estimators::core::suite::max_weighted_suite;
 use partial_info_estimators::datagen::{generate_two_hours, TrafficConfig};
 use partial_info_estimators::{CatalogEntry, Pipeline, Scheme, Statistic};
-use pie_serve::{ServeClient, Server};
+use pie_bench::LatencySummary;
+use pie_serve::{EngineConfig, ServeClient, Server};
 
 const TRIALS: u64 = 8;
 const QUERIES_PER_THREAD: usize = 60;
@@ -32,15 +33,7 @@ const CLIENT_THREADS: [usize; 3] = [1, 4, 8];
 
 struct Row {
     clients: usize,
-    queries: usize,
-    qps: f64,
-    p50_ms: f64,
-    p99_ms: f64,
-}
-
-fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
-    let idx = ((sorted_ms.len() as f64 - 1.0) * q).round() as usize;
-    sorted_ms[idx]
+    summary: LatencySummary,
 }
 
 fn main() {
@@ -58,7 +51,16 @@ fn main() {
         .run()
         .expect("reference pipeline");
 
-    let server = Server::bind("127.0.0.1:0").expect("bind server");
+    // Cache disabled: this bench has always measured the recompute path
+    // (wire + estimation); the cached path is `engine_load`'s subject.
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        EngineConfig {
+            cache_capacity: 0,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("bind server");
     let entry =
         CatalogEntry::build(Arc::clone(&data), scheme, 2, TRIALS, 5).expect("catalog entry");
     server.catalog().insert("traffic", entry);
@@ -87,7 +89,7 @@ fn main() {
             );
         }
         let start = Instant::now();
-        let mut latencies_ms: Vec<f64> = std::thread::scope(|scope| {
+        let latencies_ms: Vec<f64> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..clients)
                 .map(|_| {
                     scope.spawn(|| {
@@ -111,18 +113,17 @@ fn main() {
                 .collect()
         });
         let elapsed = start.elapsed().as_secs_f64();
-        latencies_ms.sort_by(f64::total_cmp);
-        let queries = clients * QUERIES_PER_THREAD;
         let row = Row {
             clients,
-            queries,
-            qps: queries as f64 / elapsed,
-            p50_ms: percentile(&latencies_ms, 0.50),
-            p99_ms: percentile(&latencies_ms, 0.99),
+            summary: LatencySummary::from_latencies_ms(latencies_ms, elapsed),
         };
         println!(
             "{:>2} client thread(s): {:>6} queries  {:>8.0} q/s   p50 {:>6.2} ms   p99 {:>6.2} ms",
-            row.clients, row.queries, row.qps, row.p50_ms, row.p99_ms
+            row.clients,
+            row.summary.count,
+            row.summary.throughput_per_s,
+            row.summary.p50_ms,
+            row.summary.p99_ms
         );
         rows.push(row);
     }
@@ -133,7 +134,7 @@ fn main() {
         .map(|r| {
             format!(
                 "    {{ \"client_threads\": {}, \"queries\": {}, \"queries_per_s\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3} }}",
-                r.clients, r.queries, r.qps, r.p50_ms, r.p99_ms
+                r.clients, r.summary.count, r.summary.throughput_per_s, r.summary.p50_ms, r.summary.p99_ms
             )
         })
         .collect();

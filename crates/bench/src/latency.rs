@@ -1,0 +1,80 @@
+//! Shared latency aggregation for the serving benches.
+//!
+//! Every bench that talks to a live server collects per-request wall times
+//! and reports throughput plus tail percentiles; this module is that one
+//! summary, so `serve_throughput`, `engine_load`, and future harnesses
+//! agree on nearest-rank percentile semantics and JSON field meanings.
+
+/// The nearest-rank `q`-th percentile (`0.0..=1.0`) of an ascending-sorted
+/// sample in milliseconds.  Empty samples report `NaN` — a bench row with
+/// zero completions has no latency to summarize.
+#[must_use]
+pub fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * q).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Throughput and tail latency of one bench row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Completed requests in the sample.
+    pub count: usize,
+    /// Wall-clock seconds the row ran for.
+    pub elapsed_s: f64,
+    /// Completions per second over `elapsed_s`.
+    pub throughput_per_s: f64,
+    /// Median latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th-percentile latency, milliseconds.
+    pub p999_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes per-request latencies (any order; sorted in place) over a
+    /// row that took `elapsed_s` seconds of wall clock.
+    #[must_use]
+    pub fn from_latencies_ms(mut latencies_ms: Vec<f64>, elapsed_s: f64) -> Self {
+        latencies_ms.sort_by(f64::total_cmp);
+        Self {
+            count: latencies_ms.len(),
+            elapsed_s,
+            throughput_per_s: if elapsed_s > 0.0 {
+                latencies_ms.len() as f64 / elapsed_s
+            } else {
+                f64::NAN
+            },
+            p50_ms: percentile(&latencies_ms, 0.50),
+            p99_ms: percentile(&latencies_ms, 0.99),
+            p999_ms: percentile(&latencies_ms, 0.999),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank_on_sorted_input() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 0.50), 51.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert!(percentile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn summary_sorts_and_counts() {
+        let summary = LatencySummary::from_latencies_ms(vec![3.0, 1.0, 2.0, 4.0], 2.0);
+        assert_eq!(summary.count, 4);
+        assert_eq!(summary.throughput_per_s, 2.0);
+        assert_eq!(summary.p50_ms, 3.0);
+        assert_eq!(summary.p999_ms, 4.0);
+    }
+}

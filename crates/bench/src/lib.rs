@@ -18,5 +18,7 @@
 #![warn(clippy::all)]
 
 pub mod figures;
+pub mod latency;
 
 pub use figures::{fig1, fig2, fig3, fig4, fig6, fig7};
+pub use latency::{percentile, LatencySummary};

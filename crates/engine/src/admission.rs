@@ -1,0 +1,457 @@
+//! Admission control: per-tenant token-bucket quotas and a bounded
+//! in-flight gate.
+//!
+//! Both mechanisms answer overload the same way — a typed [`Shed`] carrying
+//! a retry hint — instead of queueing without bound or panicking.  A shed
+//! request was **not** executed, so a client may always retry it safely.
+//!
+//! Token buckets are deterministic functions of `(state, now_nanos)`; the
+//! production clock is a monotonic [`Instant`] anchored at controller
+//! construction, and tests drive the `_at` variants with explicit
+//! nanosecond timestamps.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use crate::stats::{QueueStats, TenantStatsRow};
+
+/// A request was refused by admission control: quota exhausted or the
+/// in-flight queue full.  The request was not executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shed {
+    /// Which limiter refused (for the error message / Stats attribution).
+    pub what: String,
+    /// Earliest retry that could plausibly succeed, in milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl fmt::Display for Shed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "overloaded ({}); retry after {} ms",
+            self.what, self.retry_after_ms
+        )
+    }
+}
+
+impl std::error::Error for Shed {}
+
+/// One token bucket: capacity `burst`, refilled at `rate` tokens/second.
+#[derive(Debug, Clone)]
+struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last_nanos: u64,
+}
+
+impl TokenBucket {
+    fn new(rate: f64, burst: f64) -> Self {
+        Self {
+            rate,
+            burst,
+            tokens: burst,
+            last_nanos: 0,
+        }
+    }
+
+    /// Refills for the elapsed time, then takes `cost` tokens or reports
+    /// how long (ms) until the deficit would refill.
+    fn try_take(&mut self, cost: f64, now_nanos: u64) -> Result<(), u64> {
+        if self.rate.is_infinite() {
+            return Ok(());
+        }
+        let elapsed = now_nanos.saturating_sub(self.last_nanos);
+        self.last_nanos = now_nanos;
+        self.tokens = (self.tokens + elapsed as f64 * 1e-9 * self.rate).min(self.burst);
+        if self.tokens >= cost {
+            self.tokens -= cost;
+            Ok(())
+        } else {
+            let deficit = cost - self.tokens;
+            let ms = if self.rate > 0.0 {
+                (deficit / self.rate * 1e3).ceil() as u64
+            } else {
+                u64::MAX
+            };
+            Err(ms.max(1))
+        }
+    }
+}
+
+/// A tenant's rate limits.  Rates are tokens per second; a query costs one
+/// token per `(estimator, statistic)` combination it asks for, an ingest
+/// costs one token per record.  `f64::INFINITY` rates never shed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantQuota {
+    /// Sustained query combinations per second.
+    pub query_rate: f64,
+    /// Query burst capacity (bucket size).
+    pub query_burst: f64,
+    /// Sustained ingested records per second.
+    pub ingest_rate: f64,
+    /// Ingest burst capacity (bucket size).
+    pub ingest_burst: f64,
+}
+
+impl TenantQuota {
+    /// A quota that never sheds (the default for unconfigured tenants).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self {
+            query_rate: f64::INFINITY,
+            query_burst: f64::INFINITY,
+            ingest_rate: f64::INFINITY,
+            ingest_burst: f64::INFINITY,
+        }
+    }
+
+    /// A symmetric quota: `rate` tokens/second sustained, `burst` capacity,
+    /// applied to both queries and ingest.
+    #[must_use]
+    pub fn per_second(rate: f64, burst: f64) -> Self {
+        Self {
+            query_rate: rate,
+            query_burst: burst,
+            ingest_rate: rate,
+            ingest_burst: burst,
+        }
+    }
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+/// One tenant's buckets and counters.
+#[derive(Debug)]
+struct TenantState {
+    query: TokenBucket,
+    ingest: TokenBucket,
+    queries_admitted: u64,
+    queries_shed: u64,
+    ingest_records_admitted: u64,
+    ingests_shed: u64,
+}
+
+/// Per-tenant token-bucket admission with admitted/shed accounting.
+///
+/// Tenants materialize on first contact with the quota configured for
+/// their name (or the default quota).  All clock reads come from one
+/// monotonic anchor, so bucket math is immune to wall-clock steps.
+#[derive(Debug)]
+pub struct AdmissionController {
+    start: Instant,
+    default_quota: TenantQuota,
+    quotas: HashMap<String, TenantQuota>,
+    tenants: Mutex<HashMap<String, TenantState>>,
+}
+
+impl AdmissionController {
+    /// Creates a controller with `default_quota` for unlisted tenants and
+    /// per-name overrides in `quotas`.
+    #[must_use]
+    pub fn new(default_quota: TenantQuota, quotas: HashMap<String, TenantQuota>) -> Self {
+        Self {
+            start: Instant::now(),
+            default_quota,
+            quotas,
+            tenants: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn now_nanos(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn with_tenant<T>(&self, tenant: &str, f: impl FnOnce(&mut TenantState) -> T) -> T {
+        let mut tenants = self.tenants.lock().expect("tenant map poisoned");
+        let state = tenants.entry(tenant.to_string()).or_insert_with(|| {
+            let quota = self
+                .quotas
+                .get(tenant)
+                .copied()
+                .unwrap_or(self.default_quota);
+            TenantState {
+                query: TokenBucket::new(quota.query_rate, quota.query_burst),
+                ingest: TokenBucket::new(quota.ingest_rate, quota.ingest_burst),
+                queries_admitted: 0,
+                queries_shed: 0,
+                ingest_records_admitted: 0,
+                ingests_shed: 0,
+            }
+        });
+        f(state)
+    }
+
+    /// Admits `combinations` query combinations for `tenant`, or sheds.
+    ///
+    /// # Errors
+    /// [`Shed`] with a refill-based retry hint when the quota is exhausted.
+    pub fn admit_query(&self, tenant: &str, combinations: u64) -> Result<(), Shed> {
+        self.admit_query_at(tenant, combinations, self.now_nanos())
+    }
+
+    /// [`admit_query`](Self::admit_query) at an explicit monotonic
+    /// timestamp (deterministic tests).
+    ///
+    /// # Errors
+    /// As [`admit_query`](Self::admit_query).
+    pub fn admit_query_at(
+        &self,
+        tenant: &str,
+        combinations: u64,
+        now_nanos: u64,
+    ) -> Result<(), Shed> {
+        self.with_tenant(tenant, |state| {
+            match state.query.try_take(combinations as f64, now_nanos) {
+                Ok(()) => {
+                    state.queries_admitted += combinations;
+                    Ok(())
+                }
+                Err(retry_after_ms) => {
+                    state.queries_shed += combinations;
+                    Err(Shed {
+                        what: format!("query quota for tenant {tenant:?}"),
+                        retry_after_ms,
+                    })
+                }
+            }
+        })
+    }
+
+    /// Admits an ingest batch of `records` records for `tenant`, or sheds.
+    ///
+    /// # Errors
+    /// [`Shed`] with a refill-based retry hint when the quota is exhausted.
+    pub fn admit_ingest(&self, tenant: &str, records: u64) -> Result<(), Shed> {
+        self.admit_ingest_at(tenant, records, self.now_nanos())
+    }
+
+    /// [`admit_ingest`](Self::admit_ingest) at an explicit monotonic
+    /// timestamp (deterministic tests).
+    ///
+    /// # Errors
+    /// As [`admit_ingest`](Self::admit_ingest).
+    pub fn admit_ingest_at(&self, tenant: &str, records: u64, now_nanos: u64) -> Result<(), Shed> {
+        self.with_tenant(tenant, |state| {
+            match state.ingest.try_take(records as f64, now_nanos) {
+                Ok(()) => {
+                    state.ingest_records_admitted += records;
+                    Ok(())
+                }
+                Err(retry_after_ms) => {
+                    state.ingests_shed += 1;
+                    Err(Shed {
+                        what: format!("ingest quota for tenant {tenant:?}"),
+                        retry_after_ms,
+                    })
+                }
+            }
+        })
+    }
+
+    /// Per-tenant counters, sorted by tenant name for determinism.
+    #[must_use]
+    pub fn stats(&self) -> Vec<TenantStatsRow> {
+        let tenants = self.tenants.lock().expect("tenant map poisoned");
+        let mut rows: Vec<TenantStatsRow> = tenants
+            .iter()
+            .map(|(tenant, state)| TenantStatsRow {
+                tenant: tenant.clone(),
+                queries_admitted: state.queries_admitted,
+                queries_shed: state.queries_shed,
+                ingest_records_admitted: state.ingest_records_admitted,
+                ingests_shed: state.ingests_shed,
+            })
+            .collect();
+        rows.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        rows
+    }
+}
+
+/// Interior state of the gate: who is running, who is parked waiting.
+#[derive(Debug, Default)]
+struct GateState {
+    inflight: usize,
+    queued: usize,
+}
+
+/// Bounds concurrent work: at most `max_inflight` permits out at once, at
+/// most `max_queue` callers parked waiting for one.  A caller beyond both
+/// bounds is shed immediately — the queue cannot grow without bound.
+#[derive(Debug)]
+pub struct InflightGate {
+    state: Mutex<GateState>,
+    available: Condvar,
+    max_inflight: usize,
+    max_queue: usize,
+    shed: AtomicU64,
+}
+
+/// Holder of one in-flight slot; dropping it releases the slot and wakes
+/// one queued waiter.
+#[derive(Debug)]
+pub struct InflightPermit<'a> {
+    gate: &'a InflightGate,
+}
+
+impl Drop for InflightPermit<'_> {
+    fn drop(&mut self) {
+        let mut state = self.gate.state.lock().expect("gate poisoned");
+        state.inflight -= 1;
+        drop(state);
+        self.gate.available.notify_one();
+    }
+}
+
+impl InflightGate {
+    /// Creates a gate admitting `max_inflight` concurrent permits with a
+    /// wait queue of at most `max_queue` (`max_inflight` is clamped to at
+    /// least 1 so the gate can always make progress).
+    #[must_use]
+    pub fn new(max_inflight: usize, max_queue: usize) -> Self {
+        Self {
+            state: Mutex::new(GateState::default()),
+            available: Condvar::new(),
+            max_inflight: max_inflight.max(1),
+            max_queue,
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Takes an in-flight slot, parking in the bounded queue if all slots
+    /// are busy.
+    ///
+    /// # Errors
+    /// [`Shed`] immediately when the queue is also full.
+    pub fn admit(&self) -> Result<InflightPermit<'_>, Shed> {
+        let mut state = self.state.lock().expect("gate poisoned");
+        if state.inflight < self.max_inflight {
+            state.inflight += 1;
+            return Ok(InflightPermit { gate: self });
+        }
+        if state.queued >= self.max_queue {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(Shed {
+                what: "in-flight queue".into(),
+                retry_after_ms: 50,
+            });
+        }
+        state.queued += 1;
+        while state.inflight >= self.max_inflight {
+            state = self.available.wait(state).expect("gate poisoned");
+        }
+        state.queued -= 1;
+        state.inflight += 1;
+        Ok(InflightPermit { gate: self })
+    }
+
+    /// Snapshot of queue depth, configured bounds, and the shed count.
+    #[must_use]
+    pub fn stats(&self) -> QueueStats {
+        let state = self.state.lock().expect("gate poisoned");
+        QueueStats {
+            inflight: state.inflight as u64,
+            queued: state.queued as u64,
+            shed: self.shed.load(Ordering::Relaxed),
+            max_inflight: self.max_inflight as u64,
+            max_queue: self.max_queue as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn bucket_sheds_past_burst_and_refills_deterministically() {
+        let controller =
+            AdmissionController::new(TenantQuota::per_second(2.0, 2.0), HashMap::new());
+        // Burst of 2 at t=0: two admits, then a shed with a refill hint.
+        assert!(controller.admit_query_at("t", 1, 0).is_ok());
+        assert!(controller.admit_query_at("t", 1, 0).is_ok());
+        let shed = controller.admit_query_at("t", 1, 0).unwrap_err();
+        assert_eq!(shed.retry_after_ms, 500, "1 token / 2 per sec = 500 ms");
+        // Half a second later one token has refilled.
+        assert!(controller.admit_query_at("t", 1, SEC / 2).is_ok());
+        assert!(controller.admit_query_at("t", 1, SEC / 2).is_err());
+        let rows = controller.stats();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].queries_admitted, 3);
+        assert_eq!(rows[0].queries_shed, 2);
+    }
+
+    #[test]
+    fn ingest_cost_is_per_record() {
+        let controller =
+            AdmissionController::new(TenantQuota::per_second(10.0, 10.0), HashMap::new());
+        assert!(controller.admit_ingest_at("t", 10, 0).is_ok());
+        assert!(controller.admit_ingest_at("t", 1, 0).is_err());
+        let rows = controller.stats();
+        assert_eq!(rows[0].ingest_records_admitted, 10);
+        assert_eq!(rows[0].ingests_shed, 1);
+    }
+
+    #[test]
+    fn per_tenant_quotas_are_independent() {
+        let mut quotas = HashMap::new();
+        quotas.insert("small".to_string(), TenantQuota::per_second(1.0, 1.0));
+        let controller = AdmissionController::new(TenantQuota::unlimited(), quotas);
+        assert!(controller.admit_query_at("small", 1, 0).is_ok());
+        assert!(controller.admit_query_at("small", 1, 0).is_err());
+        for _ in 0..100 {
+            assert!(controller.admit_query_at("big", 1, 0).is_ok());
+        }
+        let rows = controller.stats();
+        assert_eq!(rows[0].tenant, "big");
+        assert_eq!(rows[0].queries_shed, 0);
+        assert_eq!(rows[1].tenant, "small");
+        assert_eq!(rows[1].queries_shed, 1);
+    }
+
+    #[test]
+    fn gate_sheds_only_past_queue_capacity() {
+        let gate = InflightGate::new(1, 0);
+        let permit = gate.admit().unwrap();
+        let shed = gate.admit().unwrap_err();
+        assert_eq!(shed.what, "in-flight queue");
+        assert_eq!(gate.stats().shed, 1);
+        drop(permit);
+        let _again = gate.admit().unwrap();
+        assert_eq!(gate.stats().inflight, 1);
+    }
+
+    #[test]
+    fn queued_waiters_run_after_release() {
+        let gate = std::sync::Arc::new(InflightGate::new(1, 8));
+        let permit = gate.admit().unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let gate = std::sync::Arc::clone(&gate);
+                std::thread::spawn(move || {
+                    let _permit = gate.admit().expect("queue has room");
+                })
+            })
+            .collect();
+        // Wait until all four are parked, then release the head permit.
+        while gate.stats().queued < 4 {
+            std::thread::yield_now();
+        }
+        drop(permit);
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let stats = gate.stats();
+        assert_eq!((stats.inflight, stats.queued, stats.shed), (0, 0, 0));
+    }
+}

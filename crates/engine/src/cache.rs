@@ -1,0 +1,265 @@
+//! The estimate cache: bounded, sharded, fingerprint-keyed.
+//!
+//! A cached report is addressed by [`CacheKey`]: the sketch *name*, the
+//! query (estimator suite + statistic), and the sketch's content
+//! *fingerprint*.  Keying on the fingerprint — not just the name — is what
+//! makes invalidation race-free: when ingest or a snapshot load rebinds a
+//! name to different data, every lookup made on the new entry carries the
+//! new fingerprint and can only miss, even if a slow in-flight query from
+//! the old incarnation inserts its (old-fingerprint) result *after* the
+//! swap.  [`invalidate_sketch`](EstimateCache::invalidate_sketch) therefore
+//! only reclaims space and keeps the entry count honest; correctness never
+//! depends on its timing.
+//!
+//! Shards are chosen by sketch name alone, so an invalidation locks exactly
+//! one shard.  Eviction is least-recently-used within a shard, driven by a
+//! global monotone tick stamped on every hit and insert.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use partial_info_estimators::PipelineReport;
+
+use crate::stats::CacheStats;
+
+/// Number of independent cache shards; matches the catalog's lock sharding
+/// so unrelated sketches never contend.
+const CACHE_SHARDS: usize = 8;
+
+/// Everything that determines a cached report bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Catalog name the query addressed.
+    pub sketch: String,
+    /// Estimator suite name.
+    pub estimator: String,
+    /// Statistic name.
+    pub statistic: String,
+    /// Content fingerprint of the sketch incarnation the report was (or
+    /// would be) computed from; see
+    /// [`CatalogEntry::fingerprint`](partial_info_estimators::CatalogEntry::fingerprint).
+    pub fingerprint: u64,
+}
+
+/// One cached report plus its recency stamp.
+struct CacheSlot {
+    report: Arc<PipelineReport>,
+    last_used: u64,
+}
+
+/// A bounded, sharded `CacheKey → PipelineReport` map with LRU eviction and
+/// hit/miss/eviction/invalidation counters.  See the [module docs](self)
+/// for the invalidation model.
+pub struct EstimateCache {
+    shards: Vec<Mutex<HashMap<CacheKey, CacheSlot>>>,
+    /// Per-shard capacity; 0 disables the cache entirely.
+    per_shard_capacity: usize,
+    /// Total configured capacity (reported in stats).
+    capacity: usize,
+    /// Global recency clock, bumped on every hit and insert.
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidated: AtomicU64,
+}
+
+impl std::fmt::Debug for EstimateCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EstimateCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+/// FNV-1a over the sketch name, finished with a splitmix64-style mix so
+/// short names still spread across shards.
+fn shard_index(sketch: &str) -> usize {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in sketch.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    (h % CACHE_SHARDS as u64) as usize
+}
+
+impl EstimateCache {
+    /// Creates a cache holding at most `capacity` reports in total
+    /// (`capacity == 0` disables caching: every lookup misses and inserts
+    /// are dropped).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            per_shard_capacity: capacity.div_ceil(CACHE_SHARDS),
+            capacity,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, sketch: &str) -> &Mutex<HashMap<CacheKey, CacheSlot>> {
+        &self.shards[shard_index(sketch)]
+    }
+
+    /// Looks `key` up, counting exactly one hit or one miss and refreshing
+    /// the entry's recency on a hit.
+    #[must_use]
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<PipelineReport>> {
+        let mut shard = self
+            .shard(&key.sketch)
+            .lock()
+            .expect("cache shard poisoned");
+        match shard.get_mut(key) {
+            Some(slot) => {
+                slot.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&slot.report))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key → report`, evicting the shard's
+    /// least-recently-used entry if the shard is full.
+    pub fn insert(&self, key: CacheKey, report: Arc<PipelineReport>) {
+        if self.per_shard_capacity == 0 {
+            return;
+        }
+        let mut shard = self
+            .shard(&key.sketch)
+            .lock()
+            .expect("cache shard poisoned");
+        if !shard.contains_key(&key) && shard.len() >= self.per_shard_capacity {
+            // LRU within the shard: scan for the stalest stamp.  Shards are
+            // small (capacity / 8), so the scan is cheap and keeps the hot
+            // path free of auxiliary ordering structures.
+            if let Some(stalest) = shard
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.remove(&stalest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+        shard.insert(key, CacheSlot { report, last_used });
+    }
+
+    /// Drops every cached report for `sketch` (any fingerprint), returning
+    /// how many entries were reclaimed.  Locks exactly one shard.
+    pub fn invalidate_sketch(&self, sketch: &str) -> usize {
+        let mut shard = self.shard(sketch).lock().expect("cache shard poisoned");
+        let before = shard.len();
+        shard.retain(|key, _| key.sketch != sketch);
+        let dropped = before - shard.len();
+        self.invalidated
+            .fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
+    /// Snapshot of the cache counters and current occupancy.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len() as u64)
+            .sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+            entries,
+            capacity: self.capacity as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(statistic: &str, truth: f64) -> Arc<PipelineReport> {
+        Arc::new(PipelineReport {
+            statistic: statistic.to_string(),
+            truth,
+            trials: 1,
+            estimators: Vec::new(),
+        })
+    }
+
+    fn key(sketch: &str, estimator: &str, fingerprint: u64) -> CacheKey {
+        CacheKey {
+            sketch: sketch.into(),
+            estimator: estimator.into(),
+            statistic: "max_dominance".into(),
+            fingerprint,
+        }
+    }
+
+    #[test]
+    fn hit_miss_counters_are_exact() {
+        let cache = EstimateCache::new(64);
+        let k = key("a", "e", 1);
+        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), report("s", 1.0));
+        assert!(cache.get(&k).is_some());
+        // Same name+query, different fingerprint: a distinct key.
+        assert!(cache.get(&key("a", "e", 2)).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn invalidation_drops_only_the_named_sketch() {
+        let cache = EstimateCache::new(64);
+        cache.insert(key("a", "e1", 1), report("s", 1.0));
+        cache.insert(key("a", "e2", 1), report("s", 1.0));
+        cache.insert(key("b", "e1", 1), report("s", 1.0));
+        assert_eq!(cache.invalidate_sketch("a"), 2);
+        assert!(cache.get(&key("a", "e1", 1)).is_none());
+        assert!(cache.get(&key("b", "e1", 1)).is_some());
+        assert_eq!(cache.stats().invalidated, 2);
+        assert_eq!(cache.invalidate_sketch("nope"), 0);
+    }
+
+    #[test]
+    fn full_shard_evicts_least_recently_used() {
+        // Capacity 8 → one slot per shard; same sketch name pins one shard.
+        let cache = EstimateCache::new(8);
+        cache.insert(key("a", "old", 1), report("s", 1.0));
+        cache.insert(key("a", "new", 1), report("s", 2.0));
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get(&key("a", "old", 1)).is_none());
+        assert!(cache.get(&key("a", "new", 1)).is_some());
+        // Refresh "new", add a third: "new" must survive again.
+        cache.insert(key("a", "third", 1), report("s", 3.0));
+        assert!(cache.get(&key("a", "new", 1)).is_none());
+        assert!(cache.get(&key("a", "third", 1)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = EstimateCache::new(0);
+        let k = key("a", "e", 1);
+        cache.insert(k.clone(), report("s", 1.0));
+        assert!(cache.get(&k).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

@@ -1,0 +1,234 @@
+//! [`QueryEngine`]: the cache, admission controller, and in-flight gate
+//! wired together behind one configurable type.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use partial_info_estimators::PipelineReport;
+
+use crate::admission::{AdmissionController, InflightGate, InflightPermit, Shed, TenantQuota};
+use crate::cache::{CacheKey, EstimateCache};
+use crate::stats::EngineStatsReport;
+
+/// Tunables for a [`QueryEngine`].  The defaults are permissive — a large
+/// cache, generous concurrency, unlimited quotas — so wrapping an existing
+/// server in an engine changes no observable behavior until limits are
+/// configured.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Total cached reports across all sketches (0 disables caching).
+    pub cache_capacity: usize,
+    /// Concurrent estimation permits.
+    pub max_inflight: usize,
+    /// Callers allowed to wait for a permit before shedding.
+    pub max_queue: usize,
+    /// Quota for tenants without an explicit entry in `tenant_quotas`.
+    pub default_quota: TenantQuota,
+    /// Per-tenant quota overrides.
+    pub tenant_quotas: Vec<(String, TenantQuota)>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            cache_capacity: 1024,
+            max_inflight: 64,
+            max_queue: 1024,
+            default_quota: TenantQuota::unlimited(),
+            tenant_quotas: Vec::new(),
+        }
+    }
+}
+
+/// The multi-tenant query engine: see the [crate docs](crate) for the
+/// moving parts and the invalidation model.
+#[derive(Debug)]
+pub struct QueryEngine {
+    cache: EstimateCache,
+    admission: AdmissionController,
+    gate: InflightGate,
+}
+
+impl QueryEngine {
+    /// Builds an engine from `config`.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        Self {
+            cache: EstimateCache::new(config.cache_capacity),
+            admission: AdmissionController::new(
+                config.default_quota,
+                config.tenant_quotas.into_iter().collect::<HashMap<_, _>>(),
+            ),
+            gate: InflightGate::new(config.max_inflight, config.max_queue),
+        }
+    }
+
+    /// The estimate cache.
+    #[must_use]
+    pub fn cache(&self) -> &EstimateCache {
+        &self.cache
+    }
+
+    /// The per-tenant admission controller.
+    #[must_use]
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// The bounded in-flight gate.  Take a permit around each unit of
+    /// estimation work:
+    ///
+    /// ```
+    /// # let engine = pie_engine::QueryEngine::new(pie_engine::EngineConfig::default());
+    /// let permit = engine.gate().admit()?;
+    /// // ... compute while holding the permit ...
+    /// drop(permit);
+    /// # Ok::<(), pie_engine::Shed>(())
+    /// ```
+    #[must_use]
+    pub fn gate(&self) -> &InflightGate {
+        &self.gate
+    }
+
+    /// Convenience for `admission().admit_query` + `gate().admit()` in the
+    /// order a dispatcher wants them: quota first (cheap, per-tenant), then
+    /// an in-flight slot.
+    ///
+    /// # Errors
+    /// [`Shed`] from whichever limiter refused.
+    pub fn admit_query(&self, tenant: &str, combinations: u64) -> Result<InflightPermit<'_>, Shed> {
+        self.admission.admit_query(tenant, combinations)?;
+        self.gate.admit()
+    }
+
+    /// Serves `key` from the cache, or runs `compute` and caches its
+    /// report.  Lookups count exactly one hit or miss each; concurrent
+    /// misses on the same key may compute twice, but every computation for
+    /// a given key is bit-identical (the fingerprint pins the inputs), so
+    /// the duplicate insert is harmless.
+    ///
+    /// # Errors
+    /// Whatever `compute` returns; a failed computation caches nothing.
+    pub fn estimate_cached<E>(
+        &self,
+        key: CacheKey,
+        compute: impl FnOnce() -> Result<PipelineReport, E>,
+    ) -> Result<Arc<PipelineReport>, E> {
+        if let Some(report) = self.cache.get(&key) {
+            return Ok(report);
+        }
+        let report = Arc::new(compute()?);
+        self.cache.insert(key, Arc::clone(&report));
+        Ok(report)
+    }
+
+    /// Drops every cached report for `sketch`; call after ingest finalizes
+    /// or a snapshot load rebinds the name.  Returns the reclaimed count.
+    pub fn invalidate_sketch(&self, sketch: &str) -> usize {
+        self.cache.invalidate_sketch(sketch)
+    }
+
+    /// Full observability snapshot (the `Stats` wire payload).
+    #[must_use]
+    pub fn stats(&self) -> EngineStatsReport {
+        EngineStatsReport {
+            cache: self.cache.stats(),
+            queue: self.gate.stats(),
+            tenants: self.admission.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(sketch: &str, fingerprint: u64) -> CacheKey {
+        CacheKey {
+            sketch: sketch.into(),
+            estimator: "max_oblivious".into(),
+            statistic: "max_dominance".into(),
+            fingerprint,
+        }
+    }
+
+    fn report(truth: f64) -> PipelineReport {
+        PipelineReport {
+            statistic: "max_dominance".into(),
+            truth,
+            trials: 1,
+            estimators: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn estimate_cached_computes_once_per_key() {
+        let engine = QueryEngine::new(EngineConfig::default());
+        let mut computes = 0;
+        for _ in 0..3 {
+            let got = engine
+                .estimate_cached(key("a", 1), || {
+                    computes += 1;
+                    Ok::<_, Shed>(report(7.0))
+                })
+                .unwrap();
+            assert_eq!(got.truth, 7.0);
+        }
+        assert_eq!(computes, 1);
+        let stats = engine.stats();
+        assert_eq!((stats.cache.hits, stats.cache.misses), (2, 1));
+    }
+
+    #[test]
+    fn failed_compute_caches_nothing() {
+        let engine = QueryEngine::new(EngineConfig::default());
+        let err = engine
+            .estimate_cached(key("a", 1), || Err::<PipelineReport, _>("boom"))
+            .unwrap_err();
+        assert_eq!(err, "boom");
+        assert_eq!(engine.stats().cache.entries, 0);
+        // The next call must compute again.
+        engine
+            .estimate_cached(key("a", 1), || Ok::<_, Shed>(report(1.0)))
+            .unwrap();
+        assert_eq!(engine.stats().cache.misses, 2);
+    }
+
+    #[test]
+    fn invalidation_then_new_fingerprint_misses() {
+        let engine = QueryEngine::new(EngineConfig::default());
+        engine
+            .estimate_cached(key("a", 1), || Ok::<_, Shed>(report(1.0)))
+            .unwrap();
+        assert_eq!(engine.invalidate_sketch("a"), 1);
+        // Post-rebind lookups carry the new fingerprint: a guaranteed miss
+        // even if a stale insert had raced past the invalidation.
+        let fresh = engine
+            .estimate_cached(key("a", 2), || Ok::<_, Shed>(report(2.0)))
+            .unwrap();
+        assert_eq!(fresh.truth, 2.0);
+    }
+
+    #[test]
+    fn admit_query_combines_quota_and_gate() {
+        let engine = QueryEngine::new(EngineConfig {
+            max_inflight: 1,
+            max_queue: 0,
+            default_quota: TenantQuota::per_second(0.0, 3.0),
+            ..EngineConfig::default()
+        });
+        let permit = engine.admit_query("t", 1).unwrap();
+        // Quota admits (burning a token), but the gate is full and its
+        // queue empty — a gate shed.
+        assert!(engine.admit_query("t", 1).is_err());
+        drop(permit);
+        let _second = engine.admit_query("t", 1).unwrap();
+        // The burst of 3 is now spent and the quota itself sheds.
+        assert!(engine.admit_query("t", 1).is_err());
+        let stats = engine.stats();
+        assert_eq!(stats.queue.shed, 1);
+        let row = &stats.tenants[0];
+        assert_eq!(row.queries_admitted, 3);
+        assert_eq!(row.queries_shed, 1);
+    }
+}

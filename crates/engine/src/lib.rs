@@ -1,0 +1,75 @@
+//! Multi-tenant query engine for the PODS 2011 reproduction.
+//!
+//! The paper's whole premise is that **one** finalized sample answers
+//! **many** downstream queries.  This crate is the serving-side layer that
+//! makes repeated interrogation cheap and safe to share, sitting between a
+//! sketch catalog and whatever transport fronts it:
+//!
+//! * [`EstimateCache`] — a sharded, bounded result cache keyed on
+//!   `(sketch, estimator, statistic, fingerprint)`.  The fingerprint is a
+//!   content digest of the full sketch state
+//!   ([`CatalogEntry::fingerprint`]), so a report cached for one
+//!   incarnation of a name can **never** be served after the name is
+//!   rebound to different data — a stale hit is structurally impossible,
+//!   and explicit [`invalidation`](EstimateCache::invalidate_sketch) merely
+//!   reclaims the dead entries' space.
+//! * [`AdmissionController`] — per-tenant token-bucket quotas over queries
+//!   and ingested records, with per-tenant admitted/shed counters.
+//! * [`InflightGate`] — a bounded in-flight limiter with a bounded wait
+//!   queue: excess load is **shed** with a retry hint instead of piling up
+//!   threads without bound.
+//! * [`QueryEngine`] — the three wired together behind one type, plus an
+//!   [`EngineStatsReport`] snapshot (cache hit rate, queue depth, shed and
+//!   per-tenant counters) that implements the `pie-store` codec so a
+//!   `Stats` wire endpoint can ship it as-is.
+//!
+//! Everything is pure `std`: plain mutex-sharded maps, a condvar gate, and
+//! monotonic-clock token buckets.
+//!
+//! ```
+//! use pie_engine::{CacheKey, EngineConfig, QueryEngine};
+//! use partial_info_estimators::{CatalogEntry, Scheme};
+//! use partial_info_estimators::datagen::paper_example;
+//!
+//! let engine = QueryEngine::new(EngineConfig::default());
+//! let entry = CatalogEntry::build(
+//!     paper_example().take_instances(2),
+//!     Scheme::oblivious(0.5),
+//!     1,
+//!     10,
+//!     0,
+//! )
+//! .unwrap();
+//!
+//! let key = CacheKey {
+//!     sketch: "example".into(),
+//!     estimator: "max_oblivious".into(),
+//!     statistic: "max_dominance".into(),
+//!     fingerprint: entry.fingerprint(),
+//! };
+//! // First call computes, second is served from the cache — bit-identical.
+//! let first = engine
+//!     .estimate_cached(key.clone(), || entry.estimate_named("max_oblivious", "max_dominance", Some(1)))
+//!     .unwrap();
+//! let second = engine
+//!     .estimate_cached(key, || entry.estimate_named("max_oblivious", "max_dominance", Some(1)))
+//!     .unwrap();
+//! assert_eq!(first, second);
+//! assert_eq!(engine.stats().cache.hits, 1);
+//! ```
+//!
+//! [`CatalogEntry::fingerprint`]:
+//! partial_info_estimators::CatalogEntry::fingerprint
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod admission;
+pub mod cache;
+pub mod engine;
+pub mod stats;
+
+pub use admission::{AdmissionController, InflightGate, InflightPermit, Shed, TenantQuota};
+pub use cache::{CacheKey, EstimateCache};
+pub use engine::{EngineConfig, QueryEngine};
+pub use stats::{CacheStats, EngineStatsReport, QueueStats, TenantStatsRow};

@@ -1,0 +1,215 @@
+//! Observable engine state: cache, queue, and per-tenant counters.
+//!
+//! [`EngineStatsReport`] is the payload of a `Stats` wire request, so every
+//! type here implements the `pie-store` codec with stable field order —
+//! changing any field layout is a wire-format change and must be pinned by
+//! the serving layer's golden tests.
+
+use std::io::{Read, Write};
+
+use pie_store::{Decode, Encode, StoreError};
+
+/// Estimate-cache counters and occupancy.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries dropped to make room (LRU within a shard).
+    pub evictions: u64,
+    /// Entries dropped by sketch invalidation.
+    pub invalidated: u64,
+    /// Reports currently cached.
+    pub entries: u64,
+    /// Configured total capacity (0 = caching disabled).
+    pub capacity: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when none were made).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// In-flight gate occupancy and shed count.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Permits currently held.
+    pub inflight: u64,
+    /// Callers currently parked waiting for a permit.
+    pub queued: u64,
+    /// Requests shed because the queue was full.
+    pub shed: u64,
+    /// Configured concurrent-permit bound.
+    pub max_inflight: u64,
+    /// Configured wait-queue bound.
+    pub max_queue: u64,
+}
+
+/// One tenant's admission counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TenantStatsRow {
+    /// Tenant name (connections that never identify share the serving
+    /// layer's default tenant).
+    pub tenant: String,
+    /// Query combinations admitted.
+    pub queries_admitted: u64,
+    /// Query combinations shed by quota.
+    pub queries_shed: u64,
+    /// Ingest records admitted.
+    pub ingest_records_admitted: u64,
+    /// Ingest batches shed by quota.
+    pub ingests_shed: u64,
+}
+
+/// Full engine observability snapshot: what a `Stats` request returns.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EngineStatsReport {
+    /// Estimate-cache counters.
+    pub cache: CacheStats,
+    /// In-flight gate counters.
+    pub queue: QueueStats,
+    /// Per-tenant rows, sorted by tenant name.
+    pub tenants: Vec<TenantStatsRow>,
+}
+
+impl Encode for CacheStats {
+    fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
+        self.hits.encode(w)?;
+        self.misses.encode(w)?;
+        self.evictions.encode(w)?;
+        self.invalidated.encode(w)?;
+        self.entries.encode(w)?;
+        self.capacity.encode(w)
+    }
+}
+
+impl Decode for CacheStats {
+    fn decode(r: &mut dyn Read) -> Result<Self, StoreError> {
+        Ok(Self {
+            hits: u64::decode(r)?,
+            misses: u64::decode(r)?,
+            evictions: u64::decode(r)?,
+            invalidated: u64::decode(r)?,
+            entries: u64::decode(r)?,
+            capacity: u64::decode(r)?,
+        })
+    }
+}
+
+impl Encode for QueueStats {
+    fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
+        self.inflight.encode(w)?;
+        self.queued.encode(w)?;
+        self.shed.encode(w)?;
+        self.max_inflight.encode(w)?;
+        self.max_queue.encode(w)
+    }
+}
+
+impl Decode for QueueStats {
+    fn decode(r: &mut dyn Read) -> Result<Self, StoreError> {
+        Ok(Self {
+            inflight: u64::decode(r)?,
+            queued: u64::decode(r)?,
+            shed: u64::decode(r)?,
+            max_inflight: u64::decode(r)?,
+            max_queue: u64::decode(r)?,
+        })
+    }
+}
+
+impl Encode for TenantStatsRow {
+    fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
+        self.tenant.encode(w)?;
+        self.queries_admitted.encode(w)?;
+        self.queries_shed.encode(w)?;
+        self.ingest_records_admitted.encode(w)?;
+        self.ingests_shed.encode(w)
+    }
+}
+
+impl Decode for TenantStatsRow {
+    fn decode(r: &mut dyn Read) -> Result<Self, StoreError> {
+        Ok(Self {
+            tenant: String::decode(r)?,
+            queries_admitted: u64::decode(r)?,
+            queries_shed: u64::decode(r)?,
+            ingest_records_admitted: u64::decode(r)?,
+            ingests_shed: u64::decode(r)?,
+        })
+    }
+}
+
+impl Encode for EngineStatsReport {
+    fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
+        self.cache.encode(w)?;
+        self.queue.encode(w)?;
+        self.tenants.encode(w)
+    }
+}
+
+impl Decode for EngineStatsReport {
+    fn decode(r: &mut dyn Read) -> Result<Self, StoreError> {
+        Ok(Self {
+            cache: CacheStats::decode(r)?,
+            queue: QueueStats::decode(r)?,
+            tenants: Vec::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_report_roundtrips() {
+        let report = EngineStatsReport {
+            cache: CacheStats {
+                hits: 10,
+                misses: 3,
+                evictions: 1,
+                invalidated: 2,
+                entries: 7,
+                capacity: 64,
+            },
+            queue: QueueStats {
+                inflight: 2,
+                queued: 1,
+                shed: 5,
+                max_inflight: 8,
+                max_queue: 16,
+            },
+            tenants: vec![TenantStatsRow {
+                tenant: "acme".into(),
+                queries_admitted: 40,
+                queries_shed: 2,
+                ingest_records_admitted: 1000,
+                ingests_shed: 1,
+            }],
+        };
+        let bytes = pie_store::encode_to_vec(&report).unwrap();
+        let back: EngineStatsReport = pie_store::decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn hit_rate_handles_zero_lookups() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let stats = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

@@ -364,19 +364,26 @@ impl SketchCatalog {
         let entry = self.get(sketch)?;
         entry
             .estimate_named(estimator, statistic, Some(1))
-            .map_err(|e| match e {
-                CatalogError::UnknownSuite { name } => ServeError::UnknownEstimator { name },
-                CatalogError::UnknownStatistic { name } => ServeError::UnknownStatistic { name },
-                other @ (CatalogError::RegimeMismatch { .. }
-                | CatalogError::ArityMismatch { .. }
-                | CatalogError::NonBinaryData { .. }) => ServeError::EstimatorMismatch {
-                    estimator: estimator.to_string(),
-                    detail: other.to_string(),
-                },
-                other => ServeError::InvalidConfig {
-                    detail: other.to_string(),
-                },
-            })
+            .map_err(|e| map_catalog_error(estimator, e))
+    }
+}
+
+/// Maps a [`CatalogError`] onto the wire's typed refusals, attributing
+/// suite-applicability failures to `estimator` — shared by the single and
+/// batch estimation paths so both produce identical errors.
+pub(crate) fn map_catalog_error(estimator: &str, e: CatalogError) -> ServeError {
+    match e {
+        CatalogError::UnknownSuite { name } => ServeError::UnknownEstimator { name },
+        CatalogError::UnknownStatistic { name } => ServeError::UnknownStatistic { name },
+        other @ (CatalogError::RegimeMismatch { .. }
+        | CatalogError::ArityMismatch { .. }
+        | CatalogError::NonBinaryData { .. }) => ServeError::EstimatorMismatch {
+            estimator: estimator.to_string(),
+            detail: other.to_string(),
+        },
+        other => ServeError::InvalidConfig {
+            detail: other.to_string(),
+        },
     }
 }
 

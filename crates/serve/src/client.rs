@@ -5,15 +5,34 @@
 //! worker thread), with no async runtime.  Every failure mode is a typed
 //! [`ServeError`]: transport failures, protocol violations, and the
 //! server's own typed refusals all arrive through the same error type.
+//!
+//! # Retry semantics
+//!
+//! A [`RetryPolicy`] adds bounded retry-with-backoff in exactly two places
+//! where retrying is known safe:
+//!
+//! * **connect** ([`ServeClient::connect_with_retry`]) — the server may not
+//!   be listening yet;
+//! * **[`ServeError::Overloaded`] responses** — an admission-control shed
+//!   means the request was *not executed*, so re-sending it cannot
+//!   double-apply anything (the client honors the server's
+//!   `retry_after_ms` hint when it is longer than the backoff step).
+//!
+//! Transport and protocol faults are **not** retried: mid-exchange, whether
+//! the server executed the request is unknowable, and a blind re-send could
+//! double-ingest a batch.
 
 use std::io::{BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use partial_info_estimators::PipelineReport;
+use pie_engine::EngineStatsReport;
 
 use crate::error::ServeError;
 use crate::wire::{
-    read_response, write_message, IngestRecord, Request, Response, SketchConfig, SketchInfo,
+    read_response, write_message, BatchQuery, IngestRecord, Request, Response, SketchConfig,
+    SketchInfo,
 };
 
 /// The acknowledgement of one ingest batch.
@@ -25,6 +44,51 @@ pub struct IngestAck {
     pub buffered_records: u64,
     /// Whether the sketch is now finalized and answering queries.
     pub ready: bool,
+}
+
+/// Bounded retry-with-backoff for the two known-safe retry points (see the
+/// [module docs](self)).  The default policy never retries, preserving the
+/// one-exchange-per-call behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retry).
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles per subsequent retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any one sleep (also caps the server's
+    /// `retry_after_ms` hint).
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 1,
+            base_backoff: Duration::from_millis(0),
+            max_backoff: Duration::from_millis(0),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A sensible bounded policy: `attempts` total tries, 10 ms initial
+    /// backoff doubling up to 500 ms.
+    #[must_use]
+    pub fn bounded(attempts: u32) -> Self {
+        Self {
+            attempts: attempts.max(1),
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+        }
+    }
+
+    /// The sleep before retry number `retry` (0-based), before the hint.
+    fn backoff(&self, retry: u32) -> Duration {
+        let scaled = self
+            .base_backoff
+            .saturating_mul(1u32.checked_shl(retry).unwrap_or(u32::MAX));
+        scaled.min(self.max_backoff)
+    }
 }
 
 /// A blocking connection to a [`Server`](crate::Server).
@@ -41,6 +105,7 @@ pub struct IngestAck {
 pub struct ServeClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    retry: RetryPolicy,
 }
 
 impl ServeClient {
@@ -49,16 +114,50 @@ impl ServeClient {
     /// # Errors
     /// [`ServeError::Transport`] when the connection cannot be established.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
-        let stream = TcpStream::connect(addr).map_err(|e| ServeError::transport(&e))?;
+        Self::connect_with_retry(addr, RetryPolicy::default())
+    }
+
+    /// Connects, retrying refused/failed connection attempts under
+    /// `policy`, and installs the same policy for
+    /// [`Overloaded`](ServeError::Overloaded)-response retries on every
+    /// subsequent call.
+    ///
+    /// # Errors
+    /// [`ServeError::Transport`] once the attempts are exhausted.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs,
+        policy: RetryPolicy,
+    ) -> Result<Self, ServeError> {
+        let mut retry = 0u32;
+        let stream = loop {
+            match TcpStream::connect(&addr) {
+                Ok(stream) => break stream,
+                Err(e) if retry + 1 < policy.attempts.max(1) => {
+                    std::thread::sleep(policy.backoff(retry));
+                    retry += 1;
+                    let _ = e;
+                }
+                Err(e) => return Err(ServeError::transport(&e)),
+            }
+        };
         let read_half = stream.try_clone().map_err(|e| ServeError::transport(&e))?;
         Ok(Self {
             reader: BufReader::new(read_half),
             writer: BufWriter::new(stream),
+            retry: policy,
         })
     }
 
-    /// One request/response exchange.
-    fn call(&mut self, request: &Request) -> Result<Response, ServeError> {
+    /// Replaces the retry policy used for
+    /// [`Overloaded`](ServeError::Overloaded)-response retries.
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// One request/response exchange on the wire.
+    fn exchange(&mut self, request: &Request) -> Result<Response, ServeError> {
         write_message(&mut self.writer, request).map_err(|e| ServeError::protocol(&e))?;
         match read_response(&mut self.reader) {
             Ok(Some(Response::Error(error))) => Err(error),
@@ -67,6 +166,34 @@ impl ServeClient {
                 detail: "server closed the connection".to_string(),
             }),
             Err(fault) => Err(fault.to_serve_error()),
+        }
+    }
+
+    /// One logical call: exchanges, retrying only typed
+    /// [`Overloaded`](ServeError::Overloaded) sheds (a shed request was not
+    /// executed, so any request type is safe to re-send), sleeping the
+    /// longer of the backoff step and the server's hint, capped at
+    /// `max_backoff`.
+    fn call(&mut self, request: &Request) -> Result<Response, ServeError> {
+        let mut retry = 0u32;
+        loop {
+            match self.exchange(request) {
+                Err(ServeError::Overloaded {
+                    what,
+                    retry_after_ms,
+                }) => {
+                    if retry + 1 >= self.retry.attempts.max(1) {
+                        return Err(ServeError::Overloaded {
+                            what,
+                            retry_after_ms,
+                        });
+                    }
+                    let hint = Duration::from_millis(retry_after_ms).min(self.retry.max_backoff);
+                    std::thread::sleep(self.retry.backoff(retry).max(hint));
+                    retry += 1;
+                }
+                other => return other,
+            }
         }
     }
 
@@ -79,6 +206,23 @@ impl ServeClient {
             Response::Catalog(entries) => Ok(entries),
             _ => Err(ServeError::UnexpectedResponse {
                 expected: "Catalog",
+            }),
+        }
+    }
+
+    /// Names the tenant this connection's subsequent requests bill to
+    /// (quota buckets and `Stats` counters).
+    ///
+    /// # Errors
+    /// As [`list_catalog`](Self::list_catalog).
+    pub fn identify(&mut self, tenant: impl Into<String>) -> Result<String, ServeError> {
+        let request = Request::Identify {
+            tenant: tenant.into(),
+        };
+        match self.call(&request)? {
+            Response::Identified { tenant } => Ok(tenant),
+            _ => Err(ServeError::UnexpectedResponse {
+                expected: "Identified",
             }),
         }
     }
@@ -166,6 +310,65 @@ impl ServeClient {
             _ => Err(ServeError::UnexpectedResponse {
                 expected: "Estimated",
             }),
+        }
+    }
+
+    /// Answers many `(estimator, statistic)` combinations against one
+    /// sketch from a single server-side replay over its finalized samples.
+    /// Reports come back in request order, each bit-identical to the
+    /// corresponding [`estimate`](Self::estimate) call.
+    ///
+    /// ```no_run
+    /// use pie_serve::{BatchQuery, ServeClient};
+    ///
+    /// let mut client = ServeClient::connect("127.0.0.1:7070").unwrap();
+    /// let reports = client
+    ///     .batch_estimate(
+    ///         "traffic",
+    ///         vec![
+    ///             BatchQuery {
+    ///                 estimator: "max_weighted".into(),
+    ///                 statistic: "max_dominance".into(),
+    ///             },
+    ///             BatchQuery {
+    ///                 estimator: "max_weighted".into(),
+    ///                 statistic: "distinct_count".into(),
+    ///             },
+    ///         ],
+    ///     )
+    ///     .unwrap();
+    /// assert_eq!(reports.len(), 2);
+    /// ```
+    ///
+    /// # Errors
+    /// As [`estimate`](Self::estimate); over- and under-sized batches are
+    /// refused with [`ServeError::InvalidConfig`].
+    pub fn batch_estimate(
+        &mut self,
+        sketch: impl Into<String>,
+        queries: Vec<BatchQuery>,
+    ) -> Result<Vec<PipelineReport>, ServeError> {
+        let request = Request::BatchEstimate {
+            sketch: sketch.into(),
+            queries,
+        };
+        match self.call(&request)? {
+            Response::BatchEstimated(reports) => Ok(reports),
+            _ => Err(ServeError::UnexpectedResponse {
+                expected: "BatchEstimated",
+            }),
+        }
+    }
+
+    /// Fetches the engine's observability snapshot: cache hit rate, queue
+    /// depth, shed counts, and per-tenant counters.
+    ///
+    /// # Errors
+    /// As [`list_catalog`](Self::list_catalog).
+    pub fn stats(&mut self) -> Result<EngineStatsReport, ServeError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            _ => Err(ServeError::UnexpectedResponse { expected: "Stats" }),
         }
     }
 }

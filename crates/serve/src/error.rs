@@ -93,6 +93,15 @@ pub enum ServeError {
         /// What the client was waiting for.
         expected: &'static str,
     },
+    /// Admission control shed the request: a tenant quota was exhausted or
+    /// the in-flight queue was full.  The request was **not** executed, so
+    /// retrying after the hint is always safe.
+    Overloaded {
+        /// Which limiter refused (quota vs. in-flight queue, and whose).
+        what: String,
+        /// Earliest retry that could plausibly succeed, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -129,6 +138,12 @@ impl fmt::Display for ServeError {
                     f,
                     "server sent a different response type (expected {expected})"
                 )
+            }
+            Self::Overloaded {
+                what,
+                retry_after_ms,
+            } => {
+                write!(f, "overloaded ({what}); retry after {retry_after_ms} ms")
             }
         }
     }
@@ -168,6 +183,7 @@ const TAG_UNKNOWN_ESTIMATOR: u32 = 9;
 const TAG_UNKNOWN_STATISTIC: u32 = 10;
 const TAG_ESTIMATOR_MISMATCH: u32 = 11;
 const TAG_UNEXPECTED_RESPONSE: u32 = 12;
+const TAG_OVERLOADED: u32 = 13;
 
 impl Encode for ServeError {
     fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
@@ -226,6 +242,14 @@ impl Encode for ServeError {
                 TAG_UNEXPECTED_RESPONSE.encode(w)?;
                 expected.to_string().encode(w)
             }
+            Self::Overloaded {
+                what,
+                retry_after_ms,
+            } => {
+                TAG_OVERLOADED.encode(w)?;
+                what.encode(w)?;
+                retry_after_ms.encode(w)
+            }
         }
     }
 }
@@ -277,6 +301,10 @@ impl Decode for ServeError {
             TAG_UNEXPECTED_RESPONSE => Self::Protocol {
                 detail: format!("peer reported unexpected response ({})", String::decode(r)?),
             },
+            TAG_OVERLOADED => Self::Overloaded {
+                what: String::decode(r)?,
+                retry_after_ms: u64::decode(r)?,
+            },
             tag => {
                 return Err(StoreError::InvalidTag {
                     what: "ServeError",
@@ -324,6 +352,10 @@ mod tests {
             ServeError::EstimatorMismatch {
                 estimator: "e".into(),
                 detail: "regime".into(),
+            },
+            ServeError::Overloaded {
+                what: "query quota for tenant \"acme\"".into(),
+                retry_after_ms: 250,
             },
         ];
         for case in cases {

@@ -20,13 +20,22 @@
 //!   panics, and survivable faults (wrong version, checksum mismatch, bad
 //!   payload) leave the connection serving.
 //!
-//! Requests: `ListCatalog`, `LoadSnapshot`, `IngestBatch`, and
-//! `Estimate { sketch, estimator, statistic }`.  Estimation dispatches
-//! through the existing `EstimatorRegistry` suites and the shared
-//! estimation cores, so a served report is **bit-identical** to running
-//! `Pipeline` / `StreamPipeline` in-process on the same configuration —
-//! moving estimation behind the wire changes where it runs, not what it
-//! returns.
+//! Requests: `ListCatalog`, `LoadSnapshot`, `IngestBatch`,
+//! `Estimate { sketch, estimator, statistic }`, and the multi-tenant
+//! engine surface — `Identify { tenant }` (connection-scoped billing
+//! identity), `BatchEstimate { sketch, queries }` (many combinations from
+//! one shared replay), and `Stats` (cache/queue/tenant observability).
+//! Estimation dispatches through the existing `EstimatorRegistry` suites
+//! and the shared estimation cores, so a served report is
+//! **bit-identical** to running `Pipeline` / `StreamPipeline` in-process
+//! on the same configuration — moving estimation behind the wire changes
+//! where it runs, not what it returns.  Every estimation request passes
+//! the [`pie_engine::QueryEngine`] first: per-tenant token-bucket quotas
+//! and a bounded in-flight gate shed overload with the typed
+//! [`ServeError::Overloaded`] (the request was *not* executed — always
+//! safe to retry, which [`RetryPolicy`] automates), and an
+//! invalidation-correct estimate cache serves repeated combinations
+//! without recomputing.
 //!
 //! # Quickstart
 //!
@@ -72,10 +81,14 @@ pub mod server;
 pub mod wire;
 
 pub use catalog::SketchCatalog;
-pub use client::{IngestAck, ServeClient};
+pub use client::{IngestAck, RetryPolicy, ServeClient};
 pub use error::ServeError;
-pub use server::Server;
+pub use server::{Server, DEFAULT_TENANT};
 pub use wire::{
-    IngestRecord, Request, Response, SketchConfig, SketchInfo, MAX_FRAME_BYTES, WIRE_MAGIC,
-    WIRE_VERSION,
+    BatchQuery, IngestRecord, Request, Response, SketchConfig, SketchInfo, MAX_BATCH_QUERIES,
+    MAX_FRAME_BYTES, WIRE_MAGIC, WIRE_VERSION,
 };
+
+// The engine tunables taken by [`Server::bind_with`], re-exported so server
+// embedders configure quotas without naming `pie-engine` directly.
+pub use pie_engine::{EngineConfig, EngineStatsReport, TenantQuota};

@@ -1,10 +1,15 @@
 //! The multi-threaded TCP server: accept loop, per-connection threads, and
-//! the request dispatcher.
+//! the engine-routed request dispatcher.
 //!
 //! One OS thread accepts connections; each connection gets its own thread
 //! running a read → dispatch → respond loop over the shared
-//! [`SketchCatalog`].  Estimation runs outside all catalog locks, so slow
-//! queries never block ingest, listings, or each other.
+//! [`SketchCatalog`] and [`QueryEngine`].  Estimation runs outside all
+//! catalog locks, so slow queries never block ingest, listings, or each
+//! other — and every estimation request passes the engine first: per-tenant
+//! quota, then a bounded in-flight permit, then the estimate cache.
+//! Overload is answered with a typed
+//! [`ServeError::Overloaded`](crate::ServeError::Overloaded) shed, never
+//! with unbounded thread pileup.
 //!
 //! **Malformed input never panics and never kills the server.**  Every
 //! frame- or decode-level failure is answered with a typed
@@ -21,8 +26,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crate::catalog::SketchCatalog;
-use crate::wire::{read_request, write_message, Request, Response};
+use partial_info_estimators::{PipelineReport, Statistic};
+use pie_engine::{CacheKey, EngineConfig, QueryEngine, Shed};
+
+use crate::catalog::{map_catalog_error, SketchCatalog};
+use crate::error::ServeError;
+use crate::wire::{read_request, write_message, Request, Response, MAX_BATCH_QUERIES};
+
+/// The tenant connections bill to until they send
+/// [`Request::Identify`](crate::Request::Identify).
+pub const DEFAULT_TENANT: &str = "anonymous";
 
 /// A running sketch-query server.
 ///
@@ -41,29 +54,43 @@ use crate::wire::{read_request, write_message, Request, Response};
 pub struct Server {
     addr: SocketAddr,
     catalog: Arc<SketchCatalog>,
+    engine: Arc<QueryEngine>,
     stop: Arc<AtomicBool>,
     accept_loop: Option<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds to `addr` (use port 0 for an ephemeral port) and starts
-    /// accepting connections.
+    /// accepting connections, with the default (permissive)
+    /// [`EngineConfig`].
     ///
     /// # Errors
     /// Propagates socket binding failures.
     pub fn bind(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::bind_with(addr, EngineConfig::default())
+    }
+
+    /// [`bind`](Self::bind) with explicit engine tunables: cache capacity,
+    /// in-flight bounds, and per-tenant quotas.
+    ///
+    /// # Errors
+    /// Propagates socket binding failures.
+    pub fn bind_with(addr: impl ToSocketAddrs, config: EngineConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let catalog = Arc::new(SketchCatalog::new());
+        let engine = Arc::new(QueryEngine::new(config));
         let stop = Arc::new(AtomicBool::new(false));
         let accept_loop = {
             let catalog = Arc::clone(&catalog);
+            let engine = Arc::clone(&engine);
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || accept_loop(&listener, &catalog, &stop))
+            std::thread::spawn(move || accept_loop(&listener, &catalog, &engine, &stop))
         };
         Ok(Self {
             addr,
             catalog,
+            engine,
             stop,
             accept_loop: Some(accept_loop),
         })
@@ -82,6 +109,14 @@ impl Server {
     #[must_use]
     pub fn catalog(&self) -> &Arc<SketchCatalog> {
         &self.catalog
+    }
+
+    /// The query engine fronting the catalog: estimate cache, admission
+    /// control, in-flight gate, and the [`stats`](QueryEngine::stats)
+    /// snapshot — for in-process observability and cache control.
+    #[must_use]
+    pub fn engine(&self) -> &Arc<QueryEngine> {
+        &self.engine
     }
 
     /// Stops accepting new connections and joins the accept loop.
@@ -109,7 +144,12 @@ impl Drop for Server {
 
 /// Accepts connections until the stop flag flips, one thread per
 /// connection.
-fn accept_loop(listener: &TcpListener, catalog: &Arc<SketchCatalog>, stop: &Arc<AtomicBool>) {
+fn accept_loop(
+    listener: &TcpListener,
+    catalog: &Arc<SketchCatalog>,
+    engine: &Arc<QueryEngine>,
+    stop: &Arc<AtomicBool>,
+) {
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
@@ -117,7 +157,8 @@ fn accept_loop(listener: &TcpListener, catalog: &Arc<SketchCatalog>, stop: &Arc<
         match stream {
             Ok(stream) => {
                 let catalog = Arc::clone(catalog);
-                std::thread::spawn(move || serve_connection(stream, &catalog));
+                let engine = Arc::clone(engine);
+                std::thread::spawn(move || serve_connection(stream, &catalog, &engine));
             }
             // Transient accept errors (peer reset mid-handshake, fd
             // pressure): keep accepting.
@@ -126,19 +167,22 @@ fn accept_loop(listener: &TcpListener, catalog: &Arc<SketchCatalog>, stop: &Arc<
     }
 }
 
-/// One connection's read → dispatch → respond loop.
-fn serve_connection(stream: TcpStream, catalog: &SketchCatalog) {
+/// One connection's read → dispatch → respond loop.  The tenant identity is
+/// connection state: it starts at [`DEFAULT_TENANT`] and follows the last
+/// `Identify` request.
+fn serve_connection(stream: TcpStream, catalog: &SketchCatalog, engine: &QueryEngine) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
+    let mut tenant = DEFAULT_TENANT.to_string();
     loop {
         match read_request(&mut reader) {
             // Clean hang-up between frames.
             Ok(None) => break,
             Ok(Some(request)) => {
-                let response = dispatch(request, catalog);
+                let response = dispatch(request, catalog, engine, &mut tenant);
                 if write_message(&mut writer, &response).is_err() {
                     break;
                 }
@@ -158,33 +202,154 @@ fn serve_connection(stream: TcpStream, catalog: &SketchCatalog) {
 }
 
 /// Maps one request to its response; never panics on any input.
-fn dispatch(request: Request, catalog: &SketchCatalog) -> Response {
+fn dispatch(
+    request: Request,
+    catalog: &SketchCatalog,
+    engine: &QueryEngine,
+    tenant: &mut String,
+) -> Response {
+    match try_dispatch(request, catalog, engine, tenant) {
+        Ok(response) => response,
+        Err(error) => Response::Error(error),
+    }
+}
+
+/// A [`Shed`] as its wire error.
+fn overloaded(shed: Shed) -> ServeError {
+    ServeError::Overloaded {
+        what: shed.what,
+        retry_after_ms: shed.retry_after_ms,
+    }
+}
+
+/// The dispatch body, with `?` on the typed error paths.
+fn try_dispatch(
+    request: Request,
+    catalog: &SketchCatalog,
+    engine: &QueryEngine,
+    tenant: &mut String,
+) -> Result<Response, ServeError> {
     match request {
-        Request::ListCatalog => Response::Catalog(catalog.list()),
-        Request::LoadSnapshot { name, path } => match catalog.load_snapshot(&name, &path) {
-            Ok(info) => Response::Loaded(info),
-            Err(e) => Response::Error(e),
-        },
+        Request::ListCatalog => Ok(Response::Catalog(catalog.list())),
+        Request::Identify { tenant: name } => {
+            name.clone_into(tenant);
+            Ok(Response::Identified { tenant: name })
+        }
+        Request::LoadSnapshot { name, path } => {
+            let info = catalog.load_snapshot(&name, &path)?;
+            // The name may have been rebound to different data: reclaim any
+            // cached reports (new lookups carry the new fingerprint anyway;
+            // this keeps the entry count honest).
+            engine.invalidate_sketch(&name);
+            Ok(Response::Loaded(info))
+        }
         Request::IngestBatch {
             sketch,
             config,
             records,
             last,
-        } => match catalog.ingest(&sketch, config, &records, last) {
-            Ok((buffered_records, ready)) => Response::Ingested {
+        } => {
+            engine
+                .admission()
+                .admit_ingest(tenant, records.len() as u64)
+                .map_err(overloaded)?;
+            let (buffered_records, ready) = catalog.ingest(&sketch, config, &records, last)?;
+            if ready {
+                engine.invalidate_sketch(&sketch);
+            }
+            Ok(Response::Ingested {
                 sketch,
                 buffered_records,
                 ready,
-            },
-            Err(e) => Response::Error(e),
-        },
+            })
+        }
         Request::Estimate {
             sketch,
             estimator,
             statistic,
-        } => match catalog.estimate(&sketch, &estimator, &statistic) {
-            Ok(report) => Response::Estimated(report),
-            Err(e) => Response::Error(e),
-        },
+        } => {
+            let _permit = engine.admit_query(tenant, 1).map_err(overloaded)?;
+            let entry = catalog.get(&sketch)?;
+            let key = CacheKey {
+                sketch,
+                estimator: estimator.clone(),
+                statistic: statistic.clone(),
+                fingerprint: entry.fingerprint(),
+            };
+            let report = engine.estimate_cached(key, || {
+                entry
+                    .estimate_named(&estimator, &statistic, Some(1))
+                    .map_err(|e| map_catalog_error(&estimator, e))
+            })?;
+            Ok(Response::Estimated((*report).clone()))
+        }
+        Request::BatchEstimate { sketch, queries } => {
+            if queries.is_empty() || queries.len() > MAX_BATCH_QUERIES {
+                return Err(ServeError::InvalidConfig {
+                    detail: format!(
+                        "a batch must carry between 1 and {MAX_BATCH_QUERIES} queries, got {}",
+                        queries.len()
+                    ),
+                });
+            }
+            let _permit = engine
+                .admit_query(tenant, queries.len() as u64)
+                .map_err(overloaded)?;
+            let entry = catalog.get(&sketch)?;
+            // Resolve every combination before any estimation runs, so a
+            // bad name yields its precise typed error and a failed batch
+            // does no work.
+            for query in &queries {
+                entry
+                    .suite(&query.estimator)
+                    .map_err(|e| map_catalog_error(&query.estimator, e))?;
+                if Statistic::by_name(&query.statistic).is_none() {
+                    return Err(ServeError::UnknownStatistic {
+                        name: query.statistic.clone(),
+                    });
+                }
+            }
+            let fingerprint = entry.fingerprint();
+            let key_of = |query: &crate::wire::BatchQuery| CacheKey {
+                sketch: sketch.clone(),
+                estimator: query.estimator.clone(),
+                statistic: query.statistic.clone(),
+                fingerprint,
+            };
+            // Serve what the cache holds; answer every remaining
+            // combination from ONE shared replay over the samples.
+            let mut reports: Vec<Option<Arc<PipelineReport>>> = queries
+                .iter()
+                .map(|query| engine.cache().get(&key_of(query)))
+                .collect();
+            let missing: Vec<usize> = (0..queries.len())
+                .filter(|&i| reports[i].is_none())
+                .collect();
+            if !missing.is_empty() {
+                let to_compute: Vec<(&str, &str)> = missing
+                    .iter()
+                    .map(|&i| (queries[i].estimator.as_str(), queries[i].statistic.as_str()))
+                    .collect();
+                let computed = entry
+                    .estimate_batch_named(&to_compute, Some(1))
+                    // Names were pre-validated; only pipeline-level failures
+                    // remain, which the mapper turns into InvalidConfig.
+                    .map_err(|e| map_catalog_error("<batch>", e))?;
+                for (&i, report) in missing.iter().zip(computed) {
+                    let report = Arc::new(report);
+                    engine
+                        .cache()
+                        .insert(key_of(&queries[i]), Arc::clone(&report));
+                    reports[i] = Some(report);
+                }
+            }
+            Ok(Response::BatchEstimated(
+                reports
+                    .into_iter()
+                    .map(|report| (*report.expect("every slot filled")).clone())
+                    .collect(),
+            ))
+        }
+        Request::Stats => Ok(Response::Stats(engine.stats())),
     }
 }

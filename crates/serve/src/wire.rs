@@ -32,6 +32,7 @@
 use std::io::{Read, Write};
 
 use partial_info_estimators::{PipelineReport, Scheme};
+use pie_engine::EngineStatsReport;
 use pie_store::frame::{read_frame_or_eof, recoverable, write_frame};
 use pie_store::{Decode, Encode, StoreError};
 
@@ -149,6 +150,38 @@ impl Decode for SketchInfo {
     }
 }
 
+/// Most `(estimator, statistic)` combinations one `BatchEstimate` request
+/// may carry; larger (or empty) batches are refused with a typed
+/// [`ServeError::InvalidConfig`] before any work runs.
+pub const MAX_BATCH_QUERIES: usize = 64;
+
+/// One `(estimator, statistic)` combination of a
+/// [`Request::BatchEstimate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchQuery {
+    /// Estimator suite name (see [`pie_core::suite::SUITE_NAMES`]).
+    pub estimator: String,
+    /// Statistic name (see
+    /// [`Statistic::NAMES`](partial_info_estimators::Statistic::NAMES)).
+    pub statistic: String,
+}
+
+impl Encode for BatchQuery {
+    fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
+        self.estimator.encode(w)?;
+        self.statistic.encode(w)
+    }
+}
+
+impl Decode for BatchQuery {
+    fn decode(r: &mut dyn Read) -> Result<Self, StoreError> {
+        Ok(Self {
+            estimator: String::decode(r)?,
+            statistic: String::decode(r)?,
+        })
+    }
+}
+
 /// A client request, one per frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -186,12 +219,34 @@ pub enum Request {
         /// [`Statistic::NAMES`](partial_info_estimators::Statistic::NAMES)).
         statistic: String,
     },
+    /// Names the tenant this connection's subsequent requests bill to
+    /// (admission quotas and `Stats` counters).  Connections that never
+    /// identify share the server's default tenant.
+    Identify {
+        /// The tenant name.
+        tenant: String,
+    },
+    /// Answer many `(estimator, statistic)` combinations against one
+    /// finalized sketch from a **single** replay over its samples.  Each
+    /// report is bit-identical to the corresponding [`Request::Estimate`].
+    BatchEstimate {
+        /// The sketch's catalog name.
+        sketch: String,
+        /// The combinations, at most [`MAX_BATCH_QUERIES`] of them.
+        queries: Vec<BatchQuery>,
+    },
+    /// Fetch the engine's observability snapshot: cache hit rate, queue
+    /// depth, shed counts, per-tenant counters.
+    Stats,
 }
 
 const REQ_LIST: u32 = 0;
 const REQ_LOAD: u32 = 1;
 const REQ_INGEST: u32 = 2;
 const REQ_ESTIMATE: u32 = 3;
+const REQ_IDENTIFY: u32 = 4;
+const REQ_BATCH: u32 = 5;
+const REQ_STATS: u32 = 6;
 
 impl Encode for Request {
     fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
@@ -224,6 +279,16 @@ impl Encode for Request {
                 estimator.encode(w)?;
                 statistic.encode(w)
             }
+            Self::Identify { tenant } => {
+                REQ_IDENTIFY.encode(w)?;
+                tenant.encode(w)
+            }
+            Self::BatchEstimate { sketch, queries } => {
+                REQ_BATCH.encode(w)?;
+                sketch.encode(w)?;
+                queries.encode(w)
+            }
+            Self::Stats => REQ_STATS.encode(w),
         }
     }
 }
@@ -247,6 +312,14 @@ impl Decode for Request {
                 estimator: String::decode(r)?,
                 statistic: String::decode(r)?,
             },
+            REQ_IDENTIFY => Self::Identify {
+                tenant: String::decode(r)?,
+            },
+            REQ_BATCH => Self::BatchEstimate {
+                sketch: String::decode(r)?,
+                queries: Vec::decode(r)?,
+            },
+            REQ_STATS => Self::Stats,
             tag => {
                 return Err(StoreError::InvalidTag {
                     what: "Request",
@@ -278,6 +351,16 @@ pub enum Response {
     Estimated(PipelineReport),
     /// Any request that failed, with the typed reason.
     Error(ServeError),
+    /// Answer to [`Request::Identify`]: echoes the now-active tenant.
+    Identified {
+        /// The tenant this connection now bills to.
+        tenant: String,
+    },
+    /// Answer to [`Request::BatchEstimate`]: one report per query, in
+    /// request order, each bit-identical to its single-`Estimate` twin.
+    BatchEstimated(Vec<PipelineReport>),
+    /// Answer to [`Request::Stats`]: the engine observability snapshot.
+    Stats(EngineStatsReport),
 }
 
 const RESP_CATALOG: u32 = 0;
@@ -285,6 +368,9 @@ const RESP_LOADED: u32 = 1;
 const RESP_INGESTED: u32 = 2;
 const RESP_ESTIMATED: u32 = 3;
 const RESP_ERROR: u32 = 4;
+const RESP_IDENTIFIED: u32 = 5;
+const RESP_BATCH: u32 = 6;
+const RESP_STATS: u32 = 7;
 
 impl Encode for Response {
     fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
@@ -315,6 +401,18 @@ impl Encode for Response {
                 RESP_ERROR.encode(w)?;
                 error.encode(w)
             }
+            Self::Identified { tenant } => {
+                RESP_IDENTIFIED.encode(w)?;
+                tenant.encode(w)
+            }
+            Self::BatchEstimated(reports) => {
+                RESP_BATCH.encode(w)?;
+                reports.encode(w)
+            }
+            Self::Stats(stats) => {
+                RESP_STATS.encode(w)?;
+                stats.encode(w)
+            }
         }
     }
 }
@@ -331,6 +429,11 @@ impl Decode for Response {
             },
             RESP_ESTIMATED => Self::Estimated(PipelineReport::decode(r)?),
             RESP_ERROR => Self::Error(ServeError::decode(r)?),
+            RESP_IDENTIFIED => Self::Identified {
+                tenant: String::decode(r)?,
+            },
+            RESP_BATCH => Self::BatchEstimated(Vec::decode(r)?),
+            RESP_STATS => Self::Stats(EngineStatsReport::decode(r)?),
             tag => {
                 return Err(StoreError::InvalidTag {
                     what: "Response",
@@ -469,6 +572,23 @@ mod tests {
                 estimator: "max_weighted".into(),
                 statistic: "max_dominance".into(),
             },
+            Request::Identify {
+                tenant: "acme".into(),
+            },
+            Request::BatchEstimate {
+                sketch: "traffic".into(),
+                queries: vec![
+                    BatchQuery {
+                        estimator: "max_weighted".into(),
+                        statistic: "max_dominance".into(),
+                    },
+                    BatchQuery {
+                        estimator: "max_weighted".into(),
+                        statistic: "distinct_count".into(),
+                    },
+                ],
+            },
+            Request::Stats,
         ]
     }
 
@@ -504,6 +624,42 @@ mod tests {
             }),
             Response::Error(ServeError::UnknownSketch {
                 name: "gone".into(),
+            }),
+            Response::Identified {
+                tenant: "acme".into(),
+            },
+            Response::BatchEstimated(vec![partial_info_estimators::PipelineReport {
+                statistic: "distinct_count".into(),
+                truth: 4.0,
+                trials: 2,
+                estimators: vec![EstimatorReport {
+                    name: "or_ht".into(),
+                    evaluation: evaluation(),
+                }],
+            }]),
+            Response::Stats(EngineStatsReport {
+                cache: pie_engine::CacheStats {
+                    hits: 3,
+                    misses: 1,
+                    evictions: 0,
+                    invalidated: 2,
+                    entries: 1,
+                    capacity: 64,
+                },
+                queue: pie_engine::QueueStats {
+                    inflight: 1,
+                    queued: 0,
+                    shed: 4,
+                    max_inflight: 8,
+                    max_queue: 16,
+                },
+                tenants: vec![pie_engine::TenantStatsRow {
+                    tenant: "acme".into(),
+                    queries_admitted: 9,
+                    queries_shed: 4,
+                    ingest_records_admitted: 100,
+                    ingests_shed: 0,
+                }],
             }),
         ]
     }

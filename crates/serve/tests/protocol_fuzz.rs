@@ -50,6 +50,23 @@ fn corpus() -> Vec<Vec<u8>> {
             estimator: "max_weighted".into(),
             statistic: "max_dominance".into(),
         },
+        Request::Identify {
+            tenant: "acme".into(),
+        },
+        Request::BatchEstimate {
+            sketch: "traffic".into(),
+            queries: vec![
+                pie_serve::BatchQuery {
+                    estimator: "max_weighted".into(),
+                    statistic: "max_dominance".into(),
+                },
+                pie_serve::BatchQuery {
+                    estimator: "max_weighted".into(),
+                    statistic: "distinct_count".into(),
+                },
+            ],
+        },
+        Request::Stats,
     ];
     requests
         .iter()

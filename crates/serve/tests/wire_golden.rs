@@ -9,8 +9,11 @@
 
 use partial_info_estimators::analysis::{Evaluation, RunningStats};
 use partial_info_estimators::{EstimatorReport, PipelineReport, Scheme};
+use pie_engine::{CacheStats, EngineStatsReport, QueueStats, TenantStatsRow};
 use pie_serve::wire::write_message;
-use pie_serve::{IngestRecord, Request, Response, ServeError, SketchConfig, SketchInfo};
+use pie_serve::{
+    BatchQuery, IngestRecord, Request, Response, ServeError, SketchConfig, SketchInfo,
+};
 use pie_store::Encode;
 
 /// One deterministic exemplar per message type.
@@ -89,11 +92,74 @@ fn exemplars() -> Vec<(&'static str, Vec<u8>)> {
                 ready: false,
             }),
         ),
-        ("response_estimated", Box::new(Response::Estimated(report))),
+        (
+            "response_estimated",
+            Box::new(Response::Estimated(report.clone())),
+        ),
         (
             "response_error",
             Box::new(Response::Error(ServeError::UnknownSketch {
                 name: "gone".into(),
+            })),
+        ),
+        (
+            "request_identify",
+            Box::new(Request::Identify {
+                tenant: "acme".into(),
+            }),
+        ),
+        (
+            "request_batch_estimate",
+            Box::new(Request::BatchEstimate {
+                sketch: "traffic".into(),
+                queries: vec![
+                    BatchQuery {
+                        estimator: "max_weighted".into(),
+                        statistic: "max_dominance".into(),
+                    },
+                    BatchQuery {
+                        estimator: "max_weighted".into(),
+                        statistic: "distinct_count".into(),
+                    },
+                ],
+            }),
+        ),
+        ("request_stats", Box::new(Request::Stats)),
+        (
+            "response_identified",
+            Box::new(Response::Identified {
+                tenant: "acme".into(),
+            }),
+        ),
+        (
+            "response_batch_estimated",
+            Box::new(Response::BatchEstimated(vec![report])),
+        ),
+        (
+            "response_stats",
+            Box::new(Response::Stats(EngineStatsReport {
+                cache: CacheStats {
+                    hits: 9,
+                    misses: 3,
+                    evictions: 1,
+                    invalidated: 2,
+                    entries: 4,
+                    capacity: 1024,
+                },
+                queue: QueueStats {
+                    inflight: 1,
+                    queued: 0,
+                    shed: 5,
+                    max_inflight: 64,
+                    max_queue: 1024,
+                },
+                tenants: vec![TenantStatsRow {
+                    tenant: "acme".into(),
+                    queries_admitted: 12,
+                    queries_shed: 5,
+                    ingest_records_admitted: 100,
+                    ingests_shed: 0,
+                }],
             })),
         ),
     ];
@@ -113,7 +179,7 @@ fn hex(bytes: &[u8]) -> String {
 
 /// The pinned frames.  Regenerate only on an intentional, version-bumped
 /// wire change.
-const GOLDEN: [(&str, &str); 9] = [
+const GOLDEN: [(&str, &str); 15] = [
     ("request_list_catalog", "50494557010000000400000000000000000000006069b1e26ffb1364"),
     ("request_load_snapshot", "50494557010000002c000000000000000100000007000000000000007472616666696311000000000000002f7372762f747261666669632e70696573ef77bed2a22758c3"),
     ("request_ingest_batch", "504945570100000055000000000000000200000004000000000000006c69766500000000000000000000e03f020000000000000006000000000000000500000000000000010000000000000001000000000000002a00000000000000000000000000044001da38c04643cca3a4"),
@@ -123,6 +189,12 @@ const GOLDEN: [(&str, &str); 9] = [
     ("response_ingested", "504945570100000019000000000000000200000004000000000000006c6976650c0000000000000000ff185b6b6e8f9c50"),
     ("response_estimated", "50494557010000006b00000000000000030000000d000000000000006d61785f646f6d696e616e63650000000000002440020000000000000001000000000000000a000000000000006d61785f68745f70707300000000000024400000000000002440000000000000f03f000000000000000002000000000000003154033e6d108d87"),
     ("response_error", "5049455701000000140000000000000004000000030000000400000000000000676f6e65706f15e0b1028cca"),
+    ("request_identify", "5049455701000000100000000000000004000000040000000000000061636d656a09e492b5405462"),
+    ("request_batch_estimate", "50494557010000006e000000000000000500000007000000000000007472616666696302000000000000000c000000000000006d61785f77656967687465640d000000000000006d61785f646f6d696e616e63650c000000000000006d61785f77656967687465640e0000000000000064697374696e63745f636f756e7475768155fd2abf05"),
+    ("request_stats", "5049455701000000040000000000000006000000c6d4f3e7a103f423"),
+    ("response_identified", "5049455701000000100000000000000005000000040000000000000061636d650f8f5f6c997aa6cd"),
+    ("response_batch_estimated", "504945570100000073000000000000000600000001000000000000000d000000000000006d61785f646f6d696e616e63650000000000002440020000000000000001000000000000000a000000000000006d61785f68745f70707300000000000024400000000000002440000000000000f03f0000000000000000020000000000000075709144e7272fe8"),
+    ("response_stats", "5049455701000000900000000000000007000000090000000000000003000000000000000100000000000000020000000000000004000000000000000004000000000000010000000000000000000000000000000500000000000000400000000000000000040000000000000100000000000000040000000000000061636d650c000000000000000500000000000000640000000000000000000000000000001861fc1166ab4cd1"),
 ];
 
 #[test]

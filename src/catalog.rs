@@ -58,8 +58,8 @@ use pie_sampling::{InstanceSample, ObliviousPoissonSampler, PpsPoissonSampler, S
 use pie_store::{Decode, Encode, StoreError};
 
 use crate::pipeline::{
-    run_oblivious_with, run_pps_with, validate_scheme, EstimatorSet, PipelineError, PipelineReport,
-    Scheme, Statistic, TrialPlan,
+    run_oblivious_multi_with, run_oblivious_with, run_pps_multi_with, run_pps_with,
+    validate_scheme, EstimatorSet, PipelineError, PipelineReport, Scheme, Statistic, TrialPlan,
 };
 use crate::stream::{ingest_merge_finalize, sketch_pools};
 
@@ -171,8 +171,27 @@ pub struct CatalogEntry {
     /// Whether every explicit dataset value is 0 or 1 (precomputed so
     /// binary-only suites can be gated per query without rescanning).
     binary: bool,
+    /// Content fingerprint over the entry's full encoded state (precomputed
+    /// so result caches can key on it without rescanning; see
+    /// [`fingerprint`](Self::fingerprint)).
+    fingerprint: u64,
     /// One finalized sample per `[trial][instance]`.
     samples: Vec<Vec<InstanceSample>>,
+}
+
+/// `io::Write` adapter that folds encoded bytes into the store's frame
+/// checksum, fingerprinting an entry without materializing its encoding.
+struct ChecksumWriter(pie_store::frame::Checksum);
+
+impl std::io::Write for ChecksumWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.update(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
 }
 
 impl CatalogEntry {
@@ -239,15 +258,22 @@ impl CatalogEntry {
             .instances()
             .iter()
             .all(|inst| inst.iter().all(|(_, v)| v == 0.0 || v == 1.0));
-        Self {
+        let mut entry = Self {
             dataset,
             scheme,
             shards,
             trials,
             base_salt,
             binary,
+            fingerprint: 0,
             samples,
-        }
+        };
+        let mut hasher = ChecksumWriter(pie_store::frame::Checksum::new());
+        entry
+            .encode(&mut hasher)
+            .expect("checksum writer cannot fail");
+        entry.fingerprint = hasher.0.value();
+        entry
     }
 
     /// The sampling scheme the entry was built under.
@@ -285,6 +311,17 @@ impl CatalogEntry {
     #[must_use]
     pub fn is_binary(&self) -> bool {
         self.binary
+    }
+
+    /// Content fingerprint: an FNV-1a digest over the entry's full encoded
+    /// state (dataset, scheme, shards, trials, base salt, and every
+    /// finalized sample).  Two entries answer every query bit-identically
+    /// whenever their fingerprints match, so a result cache keyed on
+    /// `(name, fingerprint, query)` can never serve a report computed from
+    /// a sketch that has since been replaced under the same name.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The dataset the entry summarizes (kept for exact ground truth and,
@@ -435,6 +472,108 @@ impl CatalogEntry {
                 name: statistic.to_string(),
             })?;
         Ok(self.estimate_with(estimators, statistic, threads)?)
+    }
+
+    /// Answers many `(suite, statistic)` queries from **one** replay over
+    /// the finalized samples: per trial, the sampled outcomes are assembled
+    /// once and every query's estimators run over that shared assembly —
+    /// the paper's "one summary, many queries" promise made literal at the
+    /// serving layer.  Each returned report (in request order) is
+    /// **bit-identical** to the corresponding single
+    /// [`estimate_named`](Self::estimate_named) call.
+    ///
+    /// ```
+    /// use partial_info_estimators::{CatalogEntry, Scheme};
+    /// use partial_info_estimators::datagen::paper_example;
+    ///
+    /// let entry = CatalogEntry::build(
+    ///     paper_example().take_instances(2),
+    ///     Scheme::oblivious(0.5),
+    ///     2,
+    ///     20,
+    ///     7,
+    /// )
+    /// .unwrap();
+    /// let reports = entry
+    ///     .estimate_batch_named(
+    ///         &[
+    ///             ("max_oblivious", "max_dominance"),
+    ///             ("max_oblivious", "distinct_count"),
+    ///             ("max_oblivious_uniform", "max_dominance"),
+    ///         ],
+    ///         Some(1),
+    ///     )
+    ///     .unwrap();
+    /// assert_eq!(reports.len(), 3);
+    /// assert_eq!(
+    ///     reports[1],
+    ///     entry.estimate_named("max_oblivious", "distinct_count", Some(1)).unwrap()
+    /// );
+    /// ```
+    ///
+    /// # Errors
+    /// Name-resolution failures as [`estimate_named`](Self::estimate_named);
+    /// every query is resolved before any estimation runs, so a failure
+    /// means no work was done.
+    pub fn estimate_batch_named(
+        &self,
+        queries: &[(&str, &str)],
+        threads: Option<usize>,
+    ) -> Result<Vec<PipelineReport>, CatalogError> {
+        let mut resolved = Vec::with_capacity(queries.len());
+        for (suite, statistic) in queries {
+            let estimators = self.suite(suite)?;
+            let statistic =
+                Statistic::by_name(statistic).ok_or_else(|| CatalogError::UnknownStatistic {
+                    name: (*statistic).to_string(),
+                })?;
+            resolved.push((estimators, statistic));
+        }
+        if resolved.is_empty() {
+            return Ok(Vec::new());
+        }
+        let plan = TrialPlan::new(self.trials, self.base_salt, threads);
+        let samples = &self.samples;
+        // `suite()` regime-checks every set against this entry's scheme, so
+        // the sets are homogeneous and match the arm we dispatch to.
+        match self.scheme {
+            Scheme::ObliviousPoisson { p } => {
+                let combos: Vec<_> = resolved
+                    .iter()
+                    .map(|(set, statistic)| match set {
+                        EstimatorSet::Oblivious(registry) => (registry, statistic),
+                        EstimatorSet::Weighted(_) => {
+                            unreachable!("suite() regime-checks against the scheme")
+                        }
+                    })
+                    .collect();
+                Ok(run_oblivious_multi_with(
+                    &self.dataset,
+                    p,
+                    &combos,
+                    &plan,
+                    |_worker| move |t, _seeds: &SeedAssignment| samples[t as usize].as_slice(),
+                ))
+            }
+            Scheme::PpsPoisson { tau_star } => {
+                let combos: Vec<_> = resolved
+                    .iter()
+                    .map(|(set, statistic)| match set {
+                        EstimatorSet::Weighted(registry) => (registry, statistic),
+                        EstimatorSet::Oblivious(_) => {
+                            unreachable!("suite() regime-checks against the scheme")
+                        }
+                    })
+                    .collect();
+                Ok(run_pps_multi_with(
+                    &self.dataset,
+                    tau_star,
+                    &combos,
+                    &plan,
+                    |_worker| move |t, _seeds: &SeedAssignment| samples[t as usize].as_slice(),
+                ))
+            }
+        }
     }
 
     /// Persists the entry as one versioned, checksummed snapshot file.

@@ -670,16 +670,48 @@ where
     G: FnMut(u64, &SeedAssignment) -> R + Send,
     R: AsRef<[InstanceSample]>,
 {
-    let truth = exact_truth(dataset, statistic);
+    run_oblivious_multi_with(dataset, p, &[(registry, statistic)], plan, make_sampler)
+        .pop()
+        .expect("one combination in, one report out")
+}
+
+/// Multi-query variant of [`run_oblivious_with`]: answers every
+/// `(registry, statistic)` combination from **one** replay of the trial
+/// loop.  Per trial, the samples are drawn once and the per-key outcomes
+/// are assembled once (the expensive part — it scales with the key
+/// universe); each combination then only pays its own `estimate_batch` and
+/// accumulation.  Every float operation a combination sees is the same it
+/// would see running alone, so each returned report is **bit-identical** to
+/// the corresponding single-combination [`run_oblivious_with`] call.
+pub(crate) fn run_oblivious_multi_with<R, G, F>(
+    dataset: &Dataset,
+    p: f64,
+    combos: &[(&EstimatorRegistry<ObliviousOutcome>, &Statistic)],
+    plan: &TrialPlan,
+    make_sampler: F,
+) -> Vec<PipelineReport>
+where
+    F: Fn(usize) -> G + Sync,
+    G: FnMut(u64, &SeedAssignment) -> R + Send,
+    R: AsRef<[InstanceSample]>,
+{
+    let truths: Vec<f64> = combos
+        .iter()
+        .map(|(_, statistic)| exact_truth(dataset, statistic))
+        .collect();
     // `keys` is the sorted, deduped union of all instances' keys: the same
     // universe the sampling stage (batch or streaming) covers.
     let keys = dataset.keys();
     let keys = &keys;
     let r = dataset.num_instances();
     let base_salt = plan.base_salt;
+    // One statistics lane per (combination, estimator), flattened in
+    // combination order; chunk accumulators merge per lane exactly as in a
+    // single-combination run.
+    let lanes: usize = combos.iter().map(|(registry, _)| registry.len()).sum();
     let stats = plan.runner.run(
         plan.trials,
-        registry.len(),
+        lanes,
         // Reusable per-worker buffers: one outcome per key, rewritten in
         // place every trial, so the hot loop stays allocation-free.
         |worker| ObliviousWorker {
@@ -694,13 +726,30 @@ where
             let seeds = SeedAssignment::independent_known(base_salt.wrapping_add(t));
             let samples = (w.sample_trial)(t, &seeds);
             fill_oblivious_outcomes(keys, samples.as_ref(), &mut w.outcomes);
-            for ((_, estimator), stat) in registry.iter().zip(stats.iter_mut()) {
-                estimator.estimate_batch(&w.outcomes, &mut w.estimates);
-                stat.push(w.estimates.iter().sum());
+            let mut lane = 0;
+            for (registry, _) in combos {
+                for (_, estimator) in registry.iter() {
+                    estimator.estimate_batch(&w.outcomes, &mut w.estimates);
+                    stats[lane].push(w.estimates.iter().sum());
+                    lane += 1;
+                }
             }
         },
     );
-    summarize(statistic, truth, plan.trials, registry.names(), &stats)
+    let mut reports = Vec::with_capacity(combos.len());
+    let mut lane = 0;
+    for ((registry, statistic), truth) in combos.iter().zip(&truths) {
+        let slice = &stats[lane..lane + registry.len()];
+        lane += registry.len();
+        reports.push(summarize(
+            statistic,
+            *truth,
+            plan.trials,
+            registry.names(),
+            slice,
+        ));
+    }
+    reports
 }
 
 /// Per-worker scratch state of the weighted estimation core.
@@ -725,12 +774,44 @@ where
     G: FnMut(u64, &SeedAssignment) -> R + Send,
     R: AsRef<[InstanceSample]>,
 {
-    let truth = exact_truth(dataset, statistic);
+    run_pps_multi_with(
+        dataset,
+        tau_star,
+        &[(registry, statistic)],
+        plan,
+        make_sampler,
+    )
+    .pop()
+    .expect("one combination in, one report out")
+}
+
+/// Multi-query variant of [`run_pps_with`]; see [`run_oblivious_multi_with`]
+/// for the shared-replay structure and the bit-identity argument.  Here the
+/// shared per-trial work is even larger: the sampled-key union and the
+/// weighted outcome assembly (seeds, tau*, values) are computed once for
+/// all combinations.
+pub(crate) fn run_pps_multi_with<R, G, F>(
+    dataset: &Dataset,
+    tau_star: f64,
+    combos: &[(&EstimatorRegistry<WeightedOutcome>, &Statistic)],
+    plan: &TrialPlan,
+    make_sampler: F,
+) -> Vec<PipelineReport>
+where
+    F: Fn(usize) -> G + Sync,
+    G: FnMut(u64, &SeedAssignment) -> R + Send,
+    R: AsRef<[InstanceSample]>,
+{
+    let truths: Vec<f64> = combos
+        .iter()
+        .map(|(_, statistic)| exact_truth(dataset, statistic))
+        .collect();
     let r = dataset.num_instances();
     let base_salt = plan.base_salt;
+    let lanes: usize = combos.iter().map(|(registry, _)| registry.len()).sum();
     let stats = plan.runner.run(
         plan.trials,
-        registry.len(),
+        lanes,
         // Per-worker outcome pool: grows to the worker's largest per-trial
         // key set, then is reused.  (Keys sampled nowhere contribute zero
         // for nonnegative estimators, so each trial only assembles outcomes
@@ -748,13 +829,30 @@ where
             grow_weighted_pool(&mut w.pool, keys.len(), r, tau_star);
             fill_weighted_outcomes(&keys, samples, &seeds, tau_star, &mut w.pool[..keys.len()]);
             w.estimates.resize(keys.len(), 0.0);
-            for ((_, estimator), stat) in registry.iter().zip(stats.iter_mut()) {
-                estimator.estimate_batch(&w.pool[..keys.len()], &mut w.estimates[..keys.len()]);
-                stat.push(w.estimates[..keys.len()].iter().sum());
+            let mut lane = 0;
+            for (registry, _) in combos {
+                for (_, estimator) in registry.iter() {
+                    estimator.estimate_batch(&w.pool[..keys.len()], &mut w.estimates[..keys.len()]);
+                    stats[lane].push(w.estimates[..keys.len()].iter().sum());
+                    lane += 1;
+                }
             }
         },
     );
-    summarize(statistic, truth, plan.trials, registry.names(), &stats)
+    let mut reports = Vec::with_capacity(combos.len());
+    let mut lane = 0;
+    for ((registry, statistic), truth) in combos.iter().zip(&truths) {
+        let slice = &stats[lane..lane + registry.len()];
+        lane += registry.len();
+        reports.push(summarize(
+            statistic,
+            *truth,
+            plan.trials,
+            registry.names(),
+            slice,
+        ));
+    }
+    reports
 }
 
 /// Rewrites each key's outcome entries in place from the trial's samples.

@@ -1,0 +1,117 @@
+//! Property test for estimate-cache invalidation correctness.
+//!
+//! The engine caches served reports keyed by
+//! `(sketch, estimator, statistic, entry fingerprint)`.  The property: no
+//! matter how a sketch's name is bound and re-bound — wire ingest into a
+//! fresh name, then any number of `LoadSnapshot` re-binds of that same
+//! name to *different* entry configurations — every served estimate is
+//! bit-identical to a fresh in-process [`Pipeline`] run against the
+//! currently-bound configuration.  A stale cached report surviving a
+//! re-bind would fail the equality immediately, because re-binding
+//! changes `trials`/`base_salt` and therefore the report's contents.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use partial_info_estimators::core::suite::max_oblivious_suite;
+use partial_info_estimators::datagen::{dataset_records, paper_example};
+use partial_info_estimators::{CatalogEntry, Pipeline, PipelineReport, Scheme, Statistic};
+use pie_serve::{IngestRecord, ServeClient, Server, SketchConfig};
+
+fn expected(p: f64, trials: u64, base_salt: u64) -> PipelineReport {
+    Pipeline::new()
+        .dataset(Arc::new(paper_example().take_instances(2)))
+        .scheme(Scheme::oblivious(p))
+        .estimators(max_oblivious_suite(p, p))
+        .statistic(Statistic::max_dominance())
+        .trials(trials)
+        .base_salt(base_salt)
+        .run()
+        .expect("in-process reference run")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn served_estimates_track_every_rebind(
+        trials in 3u64..9,
+        base_salt in 0u64..1000,
+        p_index in 0usize..3,
+        split in 1usize..6,
+        rebinds in 1usize..4,
+    ) {
+        let p = [0.3, 0.5, 0.7][p_index];
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let dir = std::env::temp_dir().join(format!(
+            "pie-cache-inval-{}-{trials}-{base_salt}-{p_index}-{split}-{rebinds}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Bind "subject" over the wire: split the records across two
+        // batches, finalize, and check the first served estimate.
+        let config = SketchConfig {
+            scheme: Scheme::oblivious(p),
+            shards: 2,
+            trials,
+            base_salt,
+        };
+        let records: Vec<IngestRecord> = dataset_records(&paper_example().take_instances(2))
+            .map(|r| IngestRecord {
+                instance: r.instance,
+                key: r.key,
+                value: r.value,
+            })
+            .collect();
+        let cut = split.min(records.len() - 1);
+        let mut client = ServeClient::connect(addr).unwrap();
+        client
+            .ingest_batch("subject", config, records[..cut].to_vec(), false)
+            .unwrap();
+        let ack = client
+            .ingest_batch("subject", config, records[cut..].to_vec(), true)
+            .unwrap();
+        prop_assert!(ack.ready);
+        let got = client
+            .estimate("subject", "max_oblivious", "max_dominance")
+            .unwrap();
+        prop_assert_eq!(&got, &expected(p, trials, base_salt));
+
+        // Ask again: answered from the cache, still bit-identical.
+        let got = client
+            .estimate("subject", "max_oblivious", "max_dominance")
+            .unwrap();
+        prop_assert_eq!(&got, &expected(p, trials, base_salt));
+        let stats = client.stats().unwrap();
+        prop_assert_eq!(stats.cache.hits, 1);
+
+        // Re-bind the SAME name to entries with shifted salt and trial
+        // count; each re-bind must immediately change what is served.
+        for round in 1..=rebinds as u64 {
+            let salt = base_salt + round;
+            let entry = CatalogEntry::build(
+                Arc::new(paper_example().take_instances(2)),
+                Scheme::oblivious(p),
+                2,
+                trials + round,
+                salt,
+            )
+            .unwrap();
+            let path = dir.join(format!("rebind-{round}.pies"));
+            entry.save(&path).unwrap();
+            client
+                .load_snapshot("subject", path.to_str().unwrap())
+                .unwrap();
+            let got = client
+                .estimate("subject", "max_oblivious", "max_dominance")
+                .unwrap();
+            prop_assert_eq!(&got, &expected(p, trials + round, salt));
+        }
+
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,455 @@
+//! Engine-layer soak test: the multi-tenant query engine under concurrent
+//! load.
+//!
+//! The contracts under load:
+//!
+//! 1. **Bit-identity through the cache and the planner** — every served
+//!    `Estimate` (cache hit or miss) and every `BatchEstimate` report
+//!    equals the direct in-process [`Pipeline`] result for the same
+//!    configuration, across all five estimator suites.
+//! 2. **Exact accounting** — cache hits + misses equal the number of
+//!    combination lookups performed; per-tenant admitted counters match
+//!    the combinations each tenant sent.
+//! 3. **Typed overload** — a full in-flight gate and an exhausted tenant
+//!    quota shed with [`ServeError::Overloaded`]; nothing panics, the
+//!    connection survives, and the shed is counted in `Stats`.  A shed
+//!    request was never executed, so [`RetryPolicy`] retries it to
+//!    success once capacity returns.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use partial_info_estimators::core::suite::{
+    max_oblivious_suite, max_oblivious_uniform_suite, max_weighted_suite, or_oblivious_suite,
+    or_weighted_suite,
+};
+use partial_info_estimators::datagen::{
+    generate_set_pair, generate_two_hours, Dataset, SetPairConfig, TrafficConfig,
+};
+use partial_info_estimators::{
+    CatalogEntry, EstimatorSet, Pipeline, PipelineReport, Scheme, Statistic,
+};
+use pie_serve::{
+    BatchQuery, EngineConfig, RetryPolicy, ServeClient, ServeError, Server, SketchConfig,
+    TenantQuota,
+};
+
+/// One sketch in the soak: its name, entry parameters, and the
+/// (suite, statistic) queries it answers with expected in-process reports.
+struct Case {
+    name: &'static str,
+    dataset: Arc<Dataset>,
+    config: SketchConfig,
+    queries: Vec<(&'static str, &'static str, PipelineReport)>,
+}
+
+fn expected(
+    dataset: &Arc<Dataset>,
+    config: &SketchConfig,
+    estimators: EstimatorSet,
+    statistic: Statistic,
+) -> PipelineReport {
+    let mut pipeline = Pipeline::new()
+        .dataset(Arc::clone(dataset))
+        .scheme(config.scheme)
+        .statistic(statistic)
+        .trials(config.trials)
+        .base_salt(config.base_salt);
+    pipeline = match estimators {
+        EstimatorSet::Oblivious(r) => pipeline.estimators(r),
+        EstimatorSet::Weighted(r) => pipeline.estimators(r),
+    };
+    pipeline.run().expect("in-process reference run")
+}
+
+/// The five-suite case matrix, with both statistics on the suites that
+/// support them — the `BatchEstimate` fan-out pulls several combinations
+/// from one replay.
+fn cases() -> Vec<Case> {
+    let mut cases = Vec::new();
+
+    let pair = Arc::new(partial_info_estimators::datagen::paper_example().take_instances(2));
+    let pair_config = SketchConfig {
+        scheme: Scheme::oblivious(0.5),
+        shards: 2,
+        trials: 18,
+        base_salt: 5,
+    };
+    cases.push(Case {
+        name: "paper_pair",
+        dataset: Arc::clone(&pair),
+        config: pair_config,
+        queries: vec![
+            (
+                "max_oblivious",
+                "max_dominance",
+                expected(
+                    &pair,
+                    &pair_config,
+                    max_oblivious_suite(0.5, 0.5).into(),
+                    Statistic::max_dominance(),
+                ),
+            ),
+            (
+                "max_oblivious",
+                "distinct_count",
+                expected(
+                    &pair,
+                    &pair_config,
+                    max_oblivious_suite(0.5, 0.5).into(),
+                    Statistic::distinct_count(),
+                ),
+            ),
+            (
+                "max_oblivious_uniform",
+                "max_dominance",
+                expected(
+                    &pair,
+                    &pair_config,
+                    max_oblivious_uniform_suite(2, 0.5).into(),
+                    Statistic::max_dominance(),
+                ),
+            ),
+        ],
+    });
+
+    let sets = Arc::new(generate_set_pair(&SetPairConfig::new(90, 0.5)));
+    let sets_obl_config = SketchConfig {
+        scheme: Scheme::oblivious(0.4),
+        shards: 2,
+        trials: 14,
+        base_salt: 9,
+    };
+    cases.push(Case {
+        name: "sets_oblivious",
+        dataset: Arc::clone(&sets),
+        config: sets_obl_config,
+        queries: vec![(
+            "or_oblivious",
+            "distinct_count",
+            expected(
+                &sets,
+                &sets_obl_config,
+                or_oblivious_suite(0.4, 0.4).into(),
+                Statistic::distinct_count(),
+            ),
+        )],
+    });
+    let sets_pps_config = SketchConfig {
+        scheme: Scheme::pps(1.5),
+        shards: 2,
+        trials: 14,
+        base_salt: 4,
+    };
+    cases.push(Case {
+        name: "sets_pps",
+        dataset: Arc::clone(&sets),
+        config: sets_pps_config,
+        queries: vec![(
+            "or_weighted",
+            "distinct_count",
+            expected(
+                &sets,
+                &sets_pps_config,
+                or_weighted_suite().into(),
+                Statistic::distinct_count(),
+            ),
+        )],
+    });
+
+    let traffic = Arc::new(generate_two_hours(&TrafficConfig::small(6)));
+    let traffic_config = SketchConfig {
+        scheme: Scheme::pps(150.0),
+        shards: 2,
+        trials: 12,
+        base_salt: 8,
+    };
+    cases.push(Case {
+        name: "traffic_pps",
+        dataset: Arc::clone(&traffic),
+        config: traffic_config,
+        queries: vec![
+            (
+                "max_weighted",
+                "max_dominance",
+                expected(
+                    &traffic,
+                    &traffic_config,
+                    max_weighted_suite().into(),
+                    Statistic::max_dominance(),
+                ),
+            ),
+            (
+                "max_weighted",
+                "distinct_count",
+                expected(
+                    &traffic,
+                    &traffic_config,
+                    max_weighted_suite().into(),
+                    Statistic::distinct_count(),
+                ),
+            ),
+        ],
+    });
+    cases
+}
+
+fn insert_cases(server: &Server, cases: &[Case]) {
+    for case in cases {
+        let entry = CatalogEntry::build(
+            Arc::clone(&case.dataset),
+            case.config.scheme,
+            case.config.shards as usize,
+            case.config.trials,
+            case.config.base_salt,
+        )
+        .unwrap();
+        server.catalog().insert(case.name, entry);
+    }
+}
+
+#[test]
+fn cached_and_batch_estimates_bit_identical_under_concurrent_load() {
+    let cases = cases();
+    let server = Server::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    insert_cases(&server, &cases);
+
+    let distinct: usize = cases.iter().map(|c| c.queries.len()).sum();
+
+    // Warm phase: one client asks every combination once, half through
+    // single `Estimate`, half through one `BatchEstimate` per sketch — so
+    // every miss and its single-replay computation happen exactly once
+    // before the concurrent phase.
+    let mut warm = ServeClient::connect(addr).unwrap();
+    let mut lookups = 0usize;
+    for (i, case) in cases.iter().enumerate() {
+        if i % 2 == 0 {
+            let queries: Vec<BatchQuery> = case
+                .queries
+                .iter()
+                .map(|(suite, statistic, _)| BatchQuery {
+                    estimator: (*suite).to_string(),
+                    statistic: (*statistic).to_string(),
+                })
+                .collect();
+            let reports = warm.batch_estimate(case.name, queries).unwrap();
+            for (got, (suite, statistic, want)) in reports.iter().zip(&case.queries) {
+                assert_eq!(
+                    got, want,
+                    "warm batch {suite}/{statistic} over {} must be bit-identical",
+                    case.name
+                );
+            }
+            lookups += case.queries.len();
+        } else {
+            for (suite, statistic, want) in &case.queries {
+                let got = warm.estimate(case.name, *suite, *statistic).unwrap();
+                assert_eq!(
+                    &got, want,
+                    "warm estimate {suite}/{statistic} over {} must be bit-identical",
+                    case.name
+                );
+                lookups += 1;
+            }
+        }
+    }
+
+    // Every combination was looked up exactly once and missed exactly once.
+    let stats = warm.stats().unwrap();
+    assert_eq!(stats.cache.misses, distinct as u64);
+    assert_eq!(stats.cache.hits, (lookups - distinct) as u64);
+    assert_eq!(stats.cache.entries, distinct as u64);
+
+    // Concurrent phase: every lookup is a warm hit; responses stay
+    // bit-identical whether they come from the cache, a batch, or both.
+    const CLIENTS: usize = 6;
+    const OPS_PER_CLIENT: usize = 30;
+    std::thread::scope(|scope| {
+        for worker in 0..CLIENTS {
+            let cases = &cases;
+            scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).unwrap();
+                client.identify(format!("tenant_{}", worker % 3)).unwrap();
+                for op in 0..OPS_PER_CLIENT {
+                    let case = &cases[(op + worker) % cases.len()];
+                    if (op + worker) % 3 == 0 {
+                        let queries: Vec<BatchQuery> = case
+                            .queries
+                            .iter()
+                            .map(|(suite, statistic, _)| BatchQuery {
+                                estimator: (*suite).to_string(),
+                                statistic: (*statistic).to_string(),
+                            })
+                            .collect();
+                        let reports = client.batch_estimate(case.name, queries).unwrap();
+                        for (got, (suite, statistic, want)) in reports.iter().zip(&case.queries) {
+                            assert_eq!(
+                                got, want,
+                                "soak batch {suite}/{statistic} over {}",
+                                case.name
+                            );
+                        }
+                    } else {
+                        let (suite, statistic, ref want) =
+                            case.queries[(op / 2 + worker) % case.queries.len()];
+                        let got = client.estimate(case.name, suite, statistic).unwrap();
+                        assert_eq!(
+                            &got, want,
+                            "soak estimate {suite}/{statistic} over {}",
+                            case.name
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // The warm set was never invalidated: no new misses, no evictions, and
+    // per-tenant admitted counters cover exactly what the workers sent.
+    let stats = warm.stats().unwrap();
+    assert_eq!(stats.cache.misses, distinct as u64);
+    assert_eq!(stats.cache.evictions, 0);
+    assert_eq!(stats.queue.shed, 0);
+    let admitted: u64 = stats.tenants.iter().map(|row| row.queries_admitted).sum();
+    assert!(stats.tenants.iter().any(|row| row.tenant == "tenant_0"));
+    // Warm client billed to the default tenant; workers to tenant_0..2.
+    assert!(stats
+        .tenants
+        .iter()
+        .any(|row| row.tenant == pie_serve::DEFAULT_TENANT));
+    assert!(admitted >= (lookups + CLIENTS * OPS_PER_CLIENT) as u64);
+    for row in &stats.tenants {
+        assert_eq!(row.queries_shed, 0, "{}", row.tenant);
+        assert_eq!(row.ingests_shed, 0, "{}", row.tenant);
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn full_gate_sheds_typed_overload_and_retry_succeeds() {
+    let cases = cases();
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        EngineConfig {
+            max_inflight: 1,
+            max_queue: 0,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    insert_cases(&server, &cases[..1]);
+    let (suite, statistic, ref want) = cases[0].queries[0];
+
+    // Hold the single in-flight slot in-process: every wire query now
+    // finds the gate full and the queue disabled.
+    let permit = server.engine().gate().admit().unwrap();
+    let mut client = ServeClient::connect(addr).unwrap();
+    let err = client.estimate("paper_pair", suite, statistic).unwrap_err();
+    let ServeError::Overloaded {
+        ref what,
+        retry_after_ms,
+    } = err
+    else {
+        panic!("expected Overloaded, got {err:?}");
+    };
+    assert_eq!(what, "in-flight queue");
+    assert!(retry_after_ms > 0, "the shed must carry a retry hint");
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.queue.shed, 1);
+
+    // The same connection keeps serving, and once capacity returns the
+    // request succeeds — first manually, then via the retry policy while
+    // the permit is released from another thread.
+    drop(permit);
+    let got = client.estimate("paper_pair", suite, statistic).unwrap();
+    assert_eq!(&got, want);
+
+    let permit = server.engine().gate().admit().unwrap();
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            std::thread::sleep(Duration::from_millis(120));
+            drop(permit);
+        });
+        let mut retrying = ServeClient::connect(addr).unwrap().with_retry(RetryPolicy {
+            attempts: 60,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(50),
+        });
+        let got = retrying.estimate("paper_pair", suite, statistic).unwrap();
+        assert_eq!(&got, want, "a shed request must succeed on retry");
+    });
+
+    let stats = client.stats().unwrap();
+    assert!(stats.queue.shed >= 2, "both shed rounds are counted");
+    server.shutdown();
+}
+
+#[test]
+fn exhausted_tenant_quota_sheds_only_that_tenant() {
+    let cases = cases();
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        EngineConfig {
+            tenant_quotas: vec![(
+                "metered".to_string(),
+                TenantQuota {
+                    query_rate: 0.0,
+                    query_burst: 2.0,
+                    ..TenantQuota::unlimited()
+                },
+            )],
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    insert_cases(&server, &cases[..1]);
+    let (suite, statistic, ref want) = cases[0].queries[0];
+
+    let mut metered = ServeClient::connect(addr).unwrap();
+    assert_eq!(metered.identify("metered").unwrap(), "metered");
+    for _ in 0..2 {
+        let got = metered.estimate("paper_pair", suite, statistic).unwrap();
+        assert_eq!(&got, want);
+    }
+    // Burst spent, refill rate zero: every further query sheds — typed,
+    // no panic, connection intact.
+    for _ in 0..3 {
+        assert!(matches!(
+            metered
+                .estimate("paper_pair", suite, statistic)
+                .unwrap_err(),
+            ServeError::Overloaded { .. }
+        ));
+    }
+
+    // An unmetered tenant on the same server is untouched.
+    let mut other = ServeClient::connect(addr).unwrap();
+    let got = other.estimate("paper_pair", suite, statistic).unwrap();
+    assert_eq!(&got, want);
+
+    let stats = other.stats().unwrap();
+    let row = stats
+        .tenants
+        .iter()
+        .find(|row| row.tenant == "metered")
+        .expect("metered tenant row");
+    assert_eq!(row.queries_admitted, 2);
+    assert_eq!(row.queries_shed, 3);
+    server.shutdown();
+}
+
+#[test]
+fn connect_with_retry_gives_up_with_a_typed_transport_error() {
+    // Nothing listens here; the bounded policy must fail typed, not hang.
+    let unused = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = unused.local_addr().unwrap();
+    drop(unused);
+    match ServeClient::connect_with_retry(addr, RetryPolicy::bounded(3)) {
+        Err(err) => assert!(matches!(err, ServeError::Transport { .. }), "{err:?}"),
+        Ok(_) => panic!("connected to a closed port"),
+    }
+}
