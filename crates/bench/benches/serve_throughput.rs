@@ -1,5 +1,6 @@
 //! Serving throughput: queries/sec and latency of the `pie-serve` stack at
-//! 1/4/8 concurrent client threads.
+//! 1/4/8 concurrent client threads, at 1024 held-open connections, and
+//! through a 3-node replicated cluster router.
 //!
 //! One server hosts a finalized traffic sketch; each client thread runs a
 //! closed loop of `Estimate` queries over its own connection.  Per-query
@@ -7,6 +8,15 @@
 //! throughput, and one response per thread count is asserted bit-identical
 //! to the in-process pipeline — the bench measures a path whose
 //! correctness is enforced in the same run.
+//!
+//! The 1024-connection row holds every socket open simultaneously in the
+//! server's one poll set (the multiplexed event loop's reason to exist:
+//! the old thread-per-connection server would need 1024 OS threads) while
+//! eight driver threads issue queries round-robin; its throughput must
+//! stay at least at the 8-client row's level — scale-out in connections
+//! must not cost serving rate.  The cluster row routes every query
+//! through a consistent-hash router over three real nodes (replication
+//! factor 2).
 //!
 //! Besides the console table, running this bench rewrites
 //! `BENCH_serve_throughput.json` at the workspace root (uploaded as a CI
@@ -25,11 +35,23 @@ use partial_info_estimators::core::suite::max_weighted_suite;
 use partial_info_estimators::datagen::{generate_two_hours, TrafficConfig};
 use partial_info_estimators::{CatalogEntry, Pipeline, Scheme, Statistic};
 use pie_bench::LatencySummary;
+use pie_cluster::LocalCluster;
 use pie_serve::{EngineConfig, ServeClient, Server};
 
 const TRIALS: u64 = 8;
 const QUERIES_PER_THREAD: usize = 60;
 const CLIENT_THREADS: [usize; 3] = [1, 4, 8];
+/// Held-open connections in the multiplex row.
+const CONNECTIONS: usize = 1024;
+/// Threads driving those connections round-robin.
+const DRIVERS: usize = 8;
+/// Timed closed-loop rounds over all held connections (queries = rounds ×
+/// conns); one extra untimed round first serves every socket once, so the
+/// row measures steady-state multiplexing rather than per-socket
+/// first-touch costs (kernel buffers, cache warmth).
+const MULTIPLEX_ROUNDS: usize = 4;
+/// Router-path queries in the cluster row.
+const CLUSTER_QUERIES: usize = 120;
 
 struct Row {
     clients: usize,
@@ -127,7 +149,109 @@ fn main() {
         );
         rows.push(row);
     }
+
+    // ---- 1024 held-open connections, 8 driver threads ----------------
+    let multiplex = {
+        let mut clients: Vec<ServeClient> = (0..CONNECTIONS)
+            .map(|i| ServeClient::connect(addr).unwrap_or_else(|e| panic!("conn {i}: {e}")))
+            .collect();
+        // Every socket proves live before timing starts.
+        for client in &mut clients {
+            client.ping().expect("ping at scale");
+        }
+        // Untimed first round: every connection serves one query before the
+        // clock starts (and proves bit-identity at scale).
+        for client in &mut clients {
+            let report = client
+                .estimate("traffic", "max_weighted", "max_dominance")
+                .expect("warmup query at scale");
+            assert_eq!(report, reference, "multiplexed response diverged");
+        }
+        let start = Instant::now();
+        let latencies_ms: Vec<f64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = clients
+                .chunks_mut(CONNECTIONS / DRIVERS)
+                .map(|slice| {
+                    scope.spawn(|| {
+                        let mut latencies = Vec::with_capacity(MULTIPLEX_ROUNDS * slice.len());
+                        for _ in 0..MULTIPLEX_ROUNDS {
+                            for client in slice.iter_mut() {
+                                let t = Instant::now();
+                                let report = client
+                                    .estimate("traffic", "max_weighted", "max_dominance")
+                                    .expect("estimate at scale");
+                                latencies.push(t.elapsed().as_secs_f64() * 1e3);
+                                debug_assert_eq!(report.trials, TRIALS);
+                            }
+                        }
+                        latencies
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("driver thread"))
+                .collect()
+        });
+        let summary =
+            LatencySummary::from_latencies_ms(latencies_ms, start.elapsed().as_secs_f64());
+        println!(
+            "{CONNECTIONS:>4} connections ({DRIVERS} drivers): {:>6} queries  {:>8.0} q/s   p50 {:>6.2} ms   p99 {:>6.2} ms",
+            summary.count, summary.throughput_per_s, summary.p50_ms, summary.p99_ms
+        );
+        summary
+    };
     server.shutdown();
+
+    // Scale-out in connections must not cost serving rate: the 1024-row
+    // keeps at least the 8-client row's throughput (0.9 tolerance for
+    // same-run measurement noise; both raw numbers land in the JSON).
+    let eight_row = rows
+        .iter()
+        .find(|r| r.clients == 8)
+        .expect("8-client row present");
+    assert!(
+        multiplex.throughput_per_s >= 0.9 * eight_row.summary.throughput_per_s,
+        "1024-connection throughput {:.1} q/s fell below the 8-client row {:.1} q/s",
+        multiplex.throughput_per_s,
+        eight_row.summary.throughput_per_s
+    );
+
+    // ---- 3-node replicated cluster through the router -----------------
+    let cluster_summary = {
+        let cluster = LocalCluster::launch_with(
+            3,
+            EngineConfig {
+                cache_capacity: 0,
+                ..EngineConfig::default()
+            },
+        )
+        .expect("launch cluster");
+        let mut router = cluster.router(2).expect("router");
+        let entry =
+            CatalogEntry::build(Arc::clone(&data), scheme, 2, TRIALS, 5).expect("catalog entry");
+        router.publish_entry("traffic", &entry).expect("publish");
+        let report = router
+            .estimate("traffic", "max_weighted", "max_dominance")
+            .expect("cluster warmup");
+        assert_eq!(report, reference, "cluster-served response diverged");
+        let start = Instant::now();
+        let mut latencies = Vec::with_capacity(CLUSTER_QUERIES);
+        for _ in 0..CLUSTER_QUERIES {
+            let t = Instant::now();
+            let report = router
+                .estimate("traffic", "max_weighted", "max_dominance")
+                .expect("cluster estimate");
+            latencies.push(t.elapsed().as_secs_f64() * 1e3);
+            debug_assert_eq!(report.trials, TRIALS);
+        }
+        let summary = LatencySummary::from_latencies_ms(latencies, start.elapsed().as_secs_f64());
+        println!(
+            "3-node cluster (R=2, router): {:>6} queries  {:>8.0} q/s   p50 {:>6.2} ms   p99 {:>6.2} ms",
+            summary.count, summary.throughput_per_s, summary.p50_ms, summary.p99_ms
+        );
+        summary
+    };
 
     let json_rows: Vec<String> = rows
         .iter()
@@ -138,8 +262,19 @@ fn main() {
             )
         })
         .collect();
+    let multiplex_row = format!(
+        "  \"multiplex_row\": {{ \"connections\": {CONNECTIONS}, \"driver_threads\": {DRIVERS}, \"queries\": {}, \"queries_per_s\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3} }}",
+        multiplex.count, multiplex.throughput_per_s, multiplex.p50_ms, multiplex.p99_ms
+    );
+    let cluster_row = format!(
+        "  \"cluster_row\": {{ \"nodes\": 3, \"replication\": 2, \"queries\": {}, \"queries_per_s\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3} }}",
+        cluster_summary.count,
+        cluster_summary.throughput_per_s,
+        cluster_summary.p50_ms,
+        cluster_summary.p99_ms
+    );
     let json = format!(
-        "{{\n  \"bench\": \"serve_throughput\",\n  \"records\": {total_records},\n  \"trials\": {TRIALS},\n  \"threads_available\": {threads_available},\n  \"note\": \"closed-loop Estimate queries (max_weighted / max_dominance over a {TRIALS}-trial PPS traffic sketch) against one pie-serve server; each client thread owns one connection; per-query latency measured client-side; one response per thread count asserted bit-identical to the in-process Pipeline. On threads_available=1 hosts the multi-client rows measure connection multiplexing, not parallel speedup.\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"records\": {total_records},\n  \"trials\": {TRIALS},\n  \"threads_available\": {threads_available},\n  \"note\": \"closed-loop Estimate queries (max_weighted / max_dominance over a {TRIALS}-trial PPS traffic sketch) against one pie-serve server; each client thread owns one connection; per-query latency measured client-side; responses asserted bit-identical to the in-process Pipeline. multiplex_row holds {CONNECTIONS} simultaneously open connections in the server's poll set with {DRIVERS} driver threads (throughput asserted >= 0.9x the 8-client row); cluster_row routes through a consistent-hash router over a 3-node, replication-2 in-process cluster. On threads_available=1 hosts the multi-client rows measure connection multiplexing, not parallel speedup.\",\n  \"rows\": [\n{}\n  ],\n{multiplex_row},\n{cluster_row}\n}}\n",
         json_rows.join(",\n")
     );
     let path = concat!(

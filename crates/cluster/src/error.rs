@@ -1,0 +1,123 @@
+//! Cluster-level failures: configuration mistakes, exhausted replica
+//! sets, and node-scoped transport faults.
+//!
+//! The router deliberately keeps two kinds of failure apart.  A **typed
+//! server answer** (unknown sketch, quota shed, estimator mismatch, …) is
+//! authoritative — the node is healthy and said *no*, so it surfaces
+//! unchanged as [`ClusterError::Serve`] and never triggers failover.
+//! A **delivery failure** (timeout, connection refused, mid-stream
+//! hang-up) says nothing about the data, only about the node — the router
+//! moves on to the next replica and only reports [`ClusterError::NoReplica`]
+//! when every owner of a key is unreachable.
+
+use std::error::Error;
+use std::fmt;
+
+use pie_serve::ServeError;
+
+/// Everything a [`Router`](crate::Router) call can fail with.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The cluster description itself is unusable (empty node list,
+    /// duplicate names, zero replication, …).
+    Config {
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// A specific node could not be reached or answered with a transport
+    /// fault.  Returned by strict fan-out operations (replication writes)
+    /// that must land on *every* owner.
+    NodeUnavailable {
+        /// The node that failed.
+        node: String,
+        /// The underlying delivery failure.
+        error: ServeError,
+    },
+    /// Every replica that owns the key was unreachable.  Carries the last
+    /// per-node failure for diagnosis.
+    NoReplica {
+        /// The key whose owner set was exhausted.
+        sketch: String,
+        /// The node tried last.
+        last_node: String,
+        /// The failure that node produced.
+        last_error: ServeError,
+    },
+    /// A healthy node's typed refusal, passed through verbatim.
+    Serve(ServeError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Config { detail } => write!(f, "invalid cluster configuration: {detail}"),
+            Self::NodeUnavailable { node, error } => {
+                write!(f, "node '{node}' unavailable: {error}")
+            }
+            Self::NoReplica {
+                sketch,
+                last_node,
+                last_error,
+            } => write!(
+                f,
+                "no reachable replica for '{sketch}' (last tried '{last_node}': {last_error})"
+            ),
+            Self::Serve(error) => write!(f, "{error}"),
+        }
+    }
+}
+
+impl Error for ClusterError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Config { .. } => None,
+            Self::NodeUnavailable { error, .. }
+            | Self::NoReplica {
+                last_error: error, ..
+            } => Some(error),
+            Self::Serve(error) => Some(error),
+        }
+    }
+}
+
+impl From<ServeError> for ClusterError {
+    fn from(error: ServeError) -> Self {
+        Self::Serve(error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failing_node() {
+        let err = ClusterError::NodeUnavailable {
+            node: "node-2".into(),
+            error: ServeError::Timeout {
+                during: "reading the response".into(),
+            },
+        };
+        assert!(err.to_string().contains("node-2"));
+        assert!(err.to_string().contains("timed out"));
+
+        let err = ClusterError::NoReplica {
+            sketch: "traffic".into(),
+            last_node: "node-0".into(),
+            last_error: ServeError::Transport {
+                detail: "connection refused".into(),
+            },
+        };
+        assert!(err.to_string().contains("traffic"));
+        assert!(err.to_string().contains("node-0"));
+    }
+
+    #[test]
+    fn serve_errors_pass_through() {
+        let inner = ServeError::UnknownSketch {
+            name: "ghost".into(),
+        };
+        let wrapped = ClusterError::from(inner);
+        assert!(matches!(wrapped, ClusterError::Serve(_)));
+    }
+}

@@ -1,0 +1,90 @@
+//! Distributed catalog serving for the PODS 2011 reproduction: a
+//! consistent-hash router over N `pie-serve` nodes with replicated
+//! failover and bit-identical answers.
+//!
+//! # What this crate adds
+//!
+//! A single `pie-serve` node already serves estimates over TCP with a
+//! multiplexed event loop.  This crate scales that out **without changing
+//! a single answer**:
+//!
+//! - [`HashRing`] maps every sketch name to `R` distinct owner nodes (64
+//!   virtual points per node; placement is a pure function of the node
+//!   *names*, so any router anywhere agrees, and removing a node remaps
+//!   only the keys it owned).
+//! - [`Router`] fans writes to **all** owners (strictly — a short write
+//!   is an error, not a silent degradation) and serves reads from the
+//!   first reachable owner, failing over on timeouts and transport faults
+//!   but never on a healthy node's typed answer.
+//! - [`LocalCluster`] spins up N real in-process nodes for tests and
+//!   benchmarks.
+//!
+//! # Why failover cannot change an answer
+//!
+//! Everything in the stack below is deterministic: a sketch build
+//! finalizes to the same samples on every node given the same batches,
+//! snapshot bytes are identical across replicas (one encoding is shipped
+//! everywhere), and the estimation pipeline is a pure function of the
+//! finalized sketch and the query.  So two replicas are not "eventually
+//! consistent copies" — they are bit-identical, and a query answered by
+//! the third replica after two node deaths returns the same
+//! `PipelineReport`, bit for bit, as the in-process pipeline would.  The
+//! integration tests assert exactly this at every `N × R` combination,
+//! before and after killing nodes.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use partial_info_estimators::datagen::{dataset_records, paper_example};
+//! use partial_info_estimators::Scheme;
+//! use pie_cluster::LocalCluster;
+//! use pie_serve::{IngestRecord, SketchConfig};
+//!
+//! // Three real serving nodes on loopback, replication factor two.
+//! let mut cluster = LocalCluster::launch(3).unwrap();
+//! let mut router = cluster.router(2).unwrap();
+//!
+//! // Ingest through the router: the batch lands on both owner nodes,
+//! // which run the same deterministic build.
+//! let dataset = paper_example().take_instances(2);
+//! let config = SketchConfig {
+//!     scheme: Scheme::oblivious(0.5),
+//!     shards: 2,
+//!     trials: 8,
+//!     base_salt: 3,
+//! };
+//! let records: Vec<IngestRecord> = dataset_records(&dataset)
+//!     .map(|r| IngestRecord {
+//!         instance: r.instance,
+//!         key: r.key,
+//!         value: r.value,
+//!     })
+//!     .collect();
+//! router.ingest_batch("demo", config, records, true).unwrap();
+//!
+//! // Serve an estimate; then kill the sketch's primary owner and serve
+//! // it again — the surviving replica answers bit-identically.
+//! let before = router
+//!     .estimate("demo", "max_oblivious", "max_dominance")
+//!     .unwrap();
+//! let owner = router.owners("demo")[0].to_string();
+//! let index: usize = owner.strip_prefix("node-").unwrap().parse().unwrap();
+//! cluster.kill(index);
+//! let after = router
+//!     .estimate("demo", "max_oblivious", "max_dominance")
+//!     .unwrap();
+//! assert_eq!(before, after);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod local;
+pub mod ring;
+pub mod router;
+
+pub use error::ClusterError;
+pub use local::LocalCluster;
+pub use ring::{HashRing, VNODES};
+pub use router::{ClusterConfig, NodeSpec, Router};

@@ -1,0 +1,248 @@
+//! The consistent-hash ring that decides which nodes own which sketches.
+//!
+//! Sketch names and node identities both hash onto the same `u64` circle
+//! (via `pie-sampling`'s deterministic [`Hasher64`], the workspace's one
+//! source of reproducible randomness); a sketch is owned by the first
+//! `R` **distinct** nodes found walking clockwise from its point.  Each
+//! node contributes [`VNODES`] virtual points so load spreads evenly and
+//! so removing a node only remaps the keys it owned — every other key
+//! keeps its owner list, which is exactly the property that makes
+//! failover cheap: no global reshuffle, the ring is a pure function of
+//! the node-name set.
+//!
+//! Everything here is deterministic: routers on different machines (or a
+//! router restarted years later) built from the same node names agree on
+//! every placement, bit for bit.
+
+use pie_sampling::hash::Hasher64;
+
+use crate::error::ClusterError;
+
+/// Virtual points each node contributes to the ring.  More vnodes smooth
+/// the load split (the expected imbalance shrinks like `1/sqrt(VNODES)`)
+/// at a small cost in ring size; 64 keeps the worst node within a few
+/// tens of percent of the mean, plenty for estimate serving where every
+/// query is cheap.
+pub const VNODES: u64 = 64;
+
+/// Fixed salt for ring placement, shared by every router build — placement
+/// must be a pure function of the name sets, never of any runtime state.
+const RING_SALT: u64 = 0x7069_652d_7269_6e67; // "pie-ring"
+
+/// FNV-1a over a byte string: the stable name → `u64` step (the same
+/// construction the store layer uses for checksums and fingerprints).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A consistent-hash ring over a fixed set of named nodes.
+///
+/// ```
+/// use pie_cluster::HashRing;
+///
+/// let ring = HashRing::new(&["alpha", "beta", "gamma"]).unwrap();
+/// let owners = ring.owners("traffic-2026-08", 2);
+/// assert_eq!(owners.len(), 2);
+/// assert_ne!(owners[0], owners[1], "replicas live on distinct nodes");
+/// // Placement is deterministic: any ring over the same names agrees.
+/// let again = HashRing::new(&["alpha", "beta", "gamma"]).unwrap();
+/// assert_eq!(again.owners("traffic-2026-08", 2), owners);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, node index)`, sorted by point (ties broken by node index
+    /// so construction order never matters).
+    points: Vec<(u64, usize)>,
+    nodes: Vec<String>,
+    hasher: Hasher64,
+}
+
+impl HashRing {
+    /// Builds the ring over `nodes` (order-insensitive: placement depends
+    /// only on the name *set*).
+    ///
+    /// # Errors
+    /// [`ClusterError::Config`] on an empty list, an empty name, or a
+    /// duplicate name.
+    pub fn new<S: AsRef<str>>(nodes: &[S]) -> Result<Self, ClusterError> {
+        if nodes.is_empty() {
+            return Err(ClusterError::Config {
+                detail: "a ring needs at least one node".to_string(),
+            });
+        }
+        let mut names: Vec<String> = nodes.iter().map(|n| n.as_ref().to_string()).collect();
+        // Sort so the node *set* alone fixes every index and point —
+        // routers built from differently-ordered configs still agree.
+        names.sort();
+        if names.iter().any(String::is_empty) {
+            return Err(ClusterError::Config {
+                detail: "node names must be non-empty".to_string(),
+            });
+        }
+        if names.windows(2).any(|w| w[0] == w[1]) {
+            return Err(ClusterError::Config {
+                detail: "node names must be unique".to_string(),
+            });
+        }
+        let hasher = Hasher64::new(RING_SALT);
+        let mut points = Vec::with_capacity(names.len() * VNODES as usize);
+        for (index, name) in names.iter().enumerate() {
+            let identity = fnv64(name.as_bytes());
+            for vnode in 0..VNODES {
+                points.push((hasher.hash_pair(identity, vnode), index));
+            }
+        }
+        points.sort_unstable();
+        Ok(Self {
+            points,
+            nodes: names,
+            hasher,
+        })
+    }
+
+    /// The node names, sorted.
+    #[must_use]
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Number of nodes on the ring.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring has no nodes (never true: construction refuses).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The point a key hashes to on the circle.
+    fn point_of(&self, key: &str) -> u64 {
+        self.hasher.hash_u64(fnv64(key.as_bytes()))
+    }
+
+    /// The indices of the first `replicas` distinct nodes clockwise from
+    /// `key`'s point (capped at the node count; at least one).
+    #[must_use]
+    pub fn owner_indices(&self, key: &str, replicas: usize) -> Vec<usize> {
+        let wanted = replicas.clamp(1, self.nodes.len());
+        let point = self.point_of(key);
+        let start = self.points.partition_point(|&(p, _)| p < point);
+        let mut owners = Vec::with_capacity(wanted);
+        let mut seen = vec![false; self.nodes.len()];
+        for step in 0..self.points.len() {
+            let (_, node) = self.points[(start + step) % self.points.len()];
+            if !seen[node] {
+                seen[node] = true;
+                owners.push(node);
+                if owners.len() == wanted {
+                    break;
+                }
+            }
+        }
+        owners
+    }
+
+    /// The names of the first `replicas` distinct owner nodes, in ring
+    /// (failover-preference) order: the first entry is the primary, each
+    /// subsequent entry the next replica a router should try.
+    #[must_use]
+    pub fn owners(&self, key: &str, replicas: usize) -> Vec<&str> {
+        self.owner_indices(key, replicas)
+            .into_iter()
+            .map(|i| self.nodes[i].as_str())
+            .collect()
+    }
+
+    /// The primary owner of `key`.
+    #[must_use]
+    pub fn primary(&self, key: &str) -> &str {
+        self.nodes[self.owner_indices(key, 1)[0]].as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("sketch-{i}")).collect()
+    }
+
+    #[test]
+    fn construction_validates_names() {
+        assert!(HashRing::new::<&str>(&[]).is_err());
+        assert!(HashRing::new(&["a", ""]).is_err());
+        assert!(HashRing::new(&["a", "b", "a"]).is_err());
+        assert!(HashRing::new(&["a", "b"]).is_ok());
+    }
+
+    #[test]
+    fn placement_is_order_insensitive_and_deterministic() {
+        let forward = HashRing::new(&["alpha", "beta", "gamma"]).unwrap();
+        let backward = HashRing::new(&["gamma", "alpha", "beta"]).unwrap();
+        for key in keys(200) {
+            assert_eq!(forward.owners(&key, 2), backward.owners(&key, 2), "{key}");
+        }
+    }
+
+    #[test]
+    fn owners_are_distinct_and_capped_at_node_count() {
+        let ring = HashRing::new(&["a", "b", "c"]).unwrap();
+        for key in keys(100) {
+            let owners = ring.owners(&key, 2);
+            assert_eq!(owners.len(), 2);
+            assert_ne!(owners[0], owners[1]);
+            // Asking for more replicas than nodes yields every node once.
+            let mut all = ring.owners(&key, 10);
+            assert_eq!(all.len(), 3);
+            all.sort_unstable();
+            assert_eq!(all, ["a", "b", "c"]);
+            // The primary is owners()[0].
+            assert_eq!(ring.primary(&key), ring.owners(&key, 1)[0]);
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_nodes() {
+        let ring = HashRing::new(&["n1", "n2", "n3", "n4", "n5"]).unwrap();
+        let mut counts = std::collections::HashMap::new();
+        let total = 5_000usize;
+        for key in keys(total) {
+            *counts
+                .entry(ring.primary(&key).to_string())
+                .or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 5, "every node owns something");
+        let expected = total / 5;
+        for (node, count) in counts {
+            assert!(
+                count > expected / 2 && count < expected * 2,
+                "{node} owns {count} of {total}; expected near {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_node_only_remaps_its_own_keys() {
+        let full = HashRing::new(&["a", "b", "c", "d"]).unwrap();
+        let without_d = HashRing::new(&["a", "b", "c"]).unwrap();
+        for key in keys(1_000) {
+            let before = full.primary(&key);
+            if before != "d" {
+                assert_eq!(
+                    without_d.primary(&key),
+                    before,
+                    "{key} moved although its owner survived"
+                );
+            }
+        }
+    }
+}

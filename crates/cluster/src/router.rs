@@ -1,0 +1,536 @@
+//! The cluster router: one client-side coordinator that presents N
+//! `pie-serve` nodes as a single catalog.
+//!
+//! Placement comes from the [`HashRing`]: each sketch name owns a point
+//! on the ring, and its entry lives on the first `replication` distinct
+//! nodes clockwise from that point.  Writes ([`Router::publish_entry`],
+//! [`Router::ingest_batch`]) land on **every** owner — strictly, so a
+//! partially replicated write is reported rather than silently degraded.
+//! Reads ([`Router::estimate`], [`Router::batch_estimate`]) try owners in
+//! ring order and fail over to the next replica on *delivery* failures
+//! only (timeout, refused connection, mid-stream hang-up); a typed server
+//! answer is authoritative and never retried elsewhere.
+//!
+//! Because sketch builds are deterministic (the same batches finalize to
+//! the same samples regardless of which node runs the build) and the
+//! estimation pipeline is deterministic given a finalized sketch, every
+//! replica answers every query **bit-identically** — failover changes
+//! which socket answers, never the answer.  The distributed-serving tests
+//! assert this against the in-process pipeline at every `N × R`.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use partial_info_estimators::{CatalogEntry, PipelineReport};
+use pie_engine::EngineStatsReport;
+use pie_serve::{
+    BatchQuery, ClientConfig, IngestAck, IngestRecord, ServeClient, ServeError, SketchConfig,
+    SketchInfo,
+};
+
+use crate::error::ClusterError;
+use crate::ring::HashRing;
+
+/// How long a node that just produced a delivery failure is skipped
+/// before the router dials it again.  Short on purpose: a node restarting
+/// behind the same address should come back quickly, and reads always
+/// ignore cooldowns when every owner is cooling (better to retry a
+/// suspect node than to refuse the query).
+const NODE_COOLDOWN: Duration = Duration::from_millis(500);
+
+/// One serving node: a stable name (its ring identity) and the address
+/// its `pie-serve` listener answers on.  The *name* decides placement —
+/// a node can restart on a new port without remapping any keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Stable ring identity.
+    pub name: String,
+    /// Current listener address.
+    pub addr: SocketAddr,
+}
+
+impl NodeSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, addr: SocketAddr) -> Self {
+        Self {
+            name: name.into(),
+            addr,
+        }
+    }
+}
+
+/// A cluster description: the node set, the replication factor, and the
+/// client profile used for every node connection.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// The serving nodes (order irrelevant; names must be unique).
+    pub nodes: Vec<NodeSpec>,
+    /// Distinct nodes each sketch is replicated to (clamped to the node
+    /// count; must be at least 1).
+    pub replication: usize,
+    /// Socket profile for node connections.  The default caps every
+    /// operation at two seconds so a hung node stalls one failover step,
+    /// not the whole router.
+    pub client: ClientConfig,
+}
+
+impl ClusterConfig {
+    /// A config over `nodes` with replication factor `replication` and
+    /// the default two-second failover-detection client profile.
+    #[must_use]
+    pub fn new(nodes: Vec<NodeSpec>, replication: usize) -> Self {
+        Self {
+            nodes,
+            replication,
+            client: ClientConfig::with_deadline(Duration::from_secs(2), 1),
+        }
+    }
+}
+
+/// Whether a failure says "this node is unreachable" (fail over) rather
+/// than "this node answered no" (authoritative).
+fn delivery_failure(error: &ServeError) -> bool {
+    matches!(
+        error,
+        ServeError::Transport { .. } | ServeError::Timeout { .. }
+    )
+}
+
+/// One node's connection slot: the spec, a lazily dialed client, and the
+/// cooldown gate that keeps the router from hammering a dead address.
+struct Node {
+    spec: NodeSpec,
+    client: Option<ServeClient>,
+    down_until: Option<Instant>,
+}
+
+impl Node {
+    fn cooling(&self, now: Instant) -> bool {
+        self.down_until.is_some_and(|until| until > now)
+    }
+}
+
+/// The consistent-hash cluster router.
+///
+/// Owns one lazily connected [`ServeClient`] per node plus the
+/// [`HashRing`] that maps sketch names to owner nodes.  All methods take
+/// `&mut self`: the router is a client-side object, one per consumer
+/// thread (clone the [`ClusterConfig`] to build more).
+pub struct Router {
+    ring: HashRing,
+    /// Indexed identically to `ring.nodes()` (both sorted by name).
+    nodes: Vec<Node>,
+    replication: usize,
+    client_config: ClientConfig,
+    /// Tenant replayed onto every (re)dialed node connection.
+    tenant: Option<String>,
+}
+
+impl Router {
+    /// Builds a router over `config`.
+    ///
+    /// # Errors
+    /// [`ClusterError::Config`] on an empty node set, duplicate or empty
+    /// node names, or `replication == 0`.
+    pub fn new(config: ClusterConfig) -> Result<Self, ClusterError> {
+        if config.replication == 0 {
+            return Err(ClusterError::Config {
+                detail: "replication factor must be at least 1".to_string(),
+            });
+        }
+        let names: Vec<&str> = config.nodes.iter().map(|n| n.name.as_str()).collect();
+        let ring = HashRing::new(&names)?;
+        // The ring sorted the names; arrange the node slots to match so
+        // ring indices address `self.nodes` directly.
+        let mut specs = config.nodes;
+        specs.sort_by(|a, b| a.name.cmp(&b.name));
+        let nodes = specs
+            .into_iter()
+            .map(|spec| Node {
+                spec,
+                client: None,
+                down_until: None,
+            })
+            .collect();
+        Ok(Self {
+            ring,
+            nodes,
+            replication: config.replication,
+            client_config: config.client,
+            tenant: None,
+        })
+    }
+
+    /// The ring deciding placement.
+    #[must_use]
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// The effective replication factor (requested, capped at N).
+    #[must_use]
+    pub fn replication(&self) -> usize {
+        self.replication.min(self.nodes.len())
+    }
+
+    /// The owner node names for `sketch`, primary first.
+    #[must_use]
+    pub fn owners(&self, sketch: &str) -> Vec<&str> {
+        self.ring.owners(sketch, self.replication)
+    }
+
+    /// Names the tenant all node connections bill to.  Applied to every
+    /// currently open connection and replayed onto later (re)dials, so
+    /// failover keeps billing the same tenant.
+    ///
+    /// # Errors
+    /// [`ClusterError::NodeUnavailable`] naming the first node that could
+    /// not be told (identity must be uniform across the fleet).
+    pub fn identify(&mut self, tenant: impl Into<String>) -> Result<(), ClusterError> {
+        let tenant = tenant.into();
+        self.tenant = Some(tenant.clone());
+        for index in 0..self.nodes.len() {
+            if self.nodes[index].client.is_some() {
+                let node_name = self.nodes[index].spec.name.clone();
+                // Already connected: re-identify in place.
+                if let Err(error) = self.client(index)?.identify(tenant.clone()) {
+                    self.note_failure(index, &error);
+                    return Err(ClusterError::NodeUnavailable {
+                        node: node_name,
+                        error,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Publishes a finalized catalog entry to **all** its owner nodes,
+    /// encoding once and shipping the same bytes everywhere (replicas are
+    /// byte-identical by construction).  Strict: a single unreachable
+    /// owner fails the publish — replication written short is data loss
+    /// waiting for the next node death, so it is reported, not tolerated.
+    ///
+    /// # Errors
+    /// [`ClusterError::NodeUnavailable`] naming the first owner that did
+    /// not take the entry; typed server refusals pass through.
+    pub fn publish_entry(
+        &mut self,
+        name: &str,
+        entry: &CatalogEntry,
+    ) -> Result<SketchInfo, ClusterError> {
+        let snapshot = pie_store::encode_to_vec(entry).map_err(|e| {
+            ClusterError::Serve(ServeError::Snapshot {
+                detail: e.to_string(),
+            })
+        })?;
+        let owners = self.ring.owner_indices(name, self.replication);
+        let mut info = None;
+        for index in owners {
+            let node_name = self.nodes[index].spec.name.clone();
+            match self
+                .client(index)?
+                .put_snapshot_bytes(name, snapshot.clone())
+            {
+                Ok(accepted) => info = Some(accepted),
+                Err(error) => {
+                    self.note_failure(index, &error);
+                    return Err(if delivery_failure(&error) {
+                        ClusterError::NodeUnavailable {
+                            node: node_name,
+                            error,
+                        }
+                    } else {
+                        ClusterError::Serve(error)
+                    });
+                }
+            }
+        }
+        Ok(info.expect("owner set is never empty"))
+    }
+
+    /// Streams one ingest batch to **all** owner nodes of `sketch`.  Each
+    /// replica runs the same deterministic build over the same batches,
+    /// so finalized replicas agree bit-for-bit (same fingerprint) without
+    /// any cross-node coordination.  Strict like
+    /// [`publish_entry`](Self::publish_entry).
+    ///
+    /// # Errors
+    /// [`ClusterError::NodeUnavailable`] naming the first owner that did
+    /// not take the batch; typed refusals (config mismatch, finalized
+    /// sketch, quota shed) pass through.
+    pub fn ingest_batch(
+        &mut self,
+        sketch: &str,
+        config: SketchConfig,
+        records: Vec<IngestRecord>,
+        last: bool,
+    ) -> Result<IngestAck, ClusterError> {
+        let owners = self.ring.owner_indices(sketch, self.replication);
+        let mut ack = None;
+        for index in owners {
+            let node_name = self.nodes[index].spec.name.clone();
+            match self
+                .client(index)?
+                .ingest_batch(sketch, config, records.clone(), last)
+            {
+                Ok(accepted) => ack = Some(accepted),
+                Err(error) => {
+                    self.note_failure(index, &error);
+                    return Err(if delivery_failure(&error) {
+                        ClusterError::NodeUnavailable {
+                            node: node_name,
+                            error,
+                        }
+                    } else {
+                        ClusterError::Serve(error)
+                    });
+                }
+            }
+        }
+        Ok(ack.expect("owner set is never empty"))
+    }
+
+    /// Runs one estimation query against the sketch's owner set, failing
+    /// over from the primary to successive replicas on delivery failures.
+    /// Whichever replica answers, the report is bit-identical — replicas
+    /// hold byte-identical state and the pipeline is deterministic.
+    ///
+    /// # Errors
+    /// A typed server answer passes through unchanged (authoritative);
+    /// [`ClusterError::NoReplica`] when every owner was unreachable.
+    pub fn estimate(
+        &mut self,
+        sketch: &str,
+        estimator: &str,
+        statistic: &str,
+    ) -> Result<PipelineReport, ClusterError> {
+        self.over_owners(sketch, |client| {
+            client.estimate(sketch, estimator, statistic)
+        })
+    }
+
+    /// Runs a batch of `(estimator, statistic)` queries against one
+    /// sketch with the same failover rule as [`estimate`](Self::estimate).
+    ///
+    /// # Errors
+    /// As [`estimate`](Self::estimate).
+    pub fn batch_estimate(
+        &mut self,
+        sketch: &str,
+        queries: Vec<BatchQuery>,
+    ) -> Result<Vec<PipelineReport>, ClusterError> {
+        self.over_owners(sketch, |client| {
+            client.batch_estimate(sketch, queries.clone())
+        })
+    }
+
+    /// Lists the union of every reachable node's catalog, deduplicated by
+    /// sketch name (replicas of one sketch are identical) and sorted.
+    ///
+    /// # Errors
+    /// [`ClusterError::NoReplica`] only when **no** node was reachable;
+    /// a partial fleet still answers with what it can see.
+    pub fn list_catalog(&mut self) -> Result<Vec<SketchInfo>, ClusterError> {
+        let mut entries: Vec<SketchInfo> = Vec::new();
+        let mut reached = false;
+        let mut last: Option<(String, ServeError)> = None;
+        for index in 0..self.nodes.len() {
+            match self.try_node(index, |client| client.list_catalog()) {
+                Ok(list) => {
+                    reached = true;
+                    for info in list {
+                        if !entries.iter().any(|e| e.name == info.name) {
+                            entries.push(info);
+                        }
+                    }
+                }
+                Err(ClusterError::Serve(error)) => return Err(ClusterError::Serve(error)),
+                Err(ClusterError::NodeUnavailable { node, error }) => {
+                    last = Some((node, error));
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        if !reached {
+            let (last_node, last_error) = last.expect("at least one node was tried");
+            return Err(ClusterError::NoReplica {
+                sketch: "<catalog scatter>".to_string(),
+                last_node,
+                last_error,
+            });
+        }
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(entries)
+    }
+
+    /// Aggregates every reachable node's engine stats into one fleet
+    /// report (counters sum, tenant rows merge — see
+    /// [`EngineStatsReport::absorb`]).
+    ///
+    /// # Errors
+    /// As [`list_catalog`](Self::list_catalog).
+    pub fn stats(&mut self) -> Result<EngineStatsReport, ClusterError> {
+        let mut fleet = EngineStatsReport::default();
+        let mut reached = false;
+        let mut last: Option<(String, ServeError)> = None;
+        for index in 0..self.nodes.len() {
+            match self.try_node(index, |client| client.stats()) {
+                Ok(stats) => {
+                    reached = true;
+                    fleet.absorb(&stats);
+                }
+                Err(ClusterError::Serve(error)) => return Err(ClusterError::Serve(error)),
+                Err(ClusterError::NodeUnavailable { node, error }) => {
+                    last = Some((node, error));
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        if !reached {
+            let (last_node, last_error) = last.expect("at least one node was tried");
+            return Err(ClusterError::NoReplica {
+                sketch: "<stats scatter>".to_string(),
+                last_node,
+                last_error,
+            });
+        }
+        Ok(fleet)
+    }
+
+    /// Pings every node, returning `(name, alive)` pairs in ring (sorted
+    /// name) order.  Never fails: unreachable nodes report `false`.
+    /// Ignores cooldowns — a health sweep should always measure, and a
+    /// successful ping clears the node's cooldown.
+    pub fn ping_all(&mut self) -> Vec<(String, bool)> {
+        (0..self.nodes.len())
+            .map(|index| {
+                let name = self.nodes[index].spec.name.clone();
+                let alive = match self.client(index) {
+                    Ok(client) => match client.ping() {
+                        Ok(()) => true,
+                        Err(error) => {
+                            self.note_failure(index, &error);
+                            false
+                        }
+                    },
+                    Err(_) => false,
+                };
+                if alive {
+                    self.nodes[index].down_until = None;
+                }
+                (name, alive)
+            })
+            .collect()
+    }
+
+    /// Runs `op` against `sketch`'s owners in ring order, skipping nodes
+    /// in cooldown on the first pass and retrying them anyway if every
+    /// owner is cooling — the replica-failover core.
+    fn over_owners<T>(
+        &mut self,
+        sketch: &str,
+        mut op: impl FnMut(&mut ServeClient) -> Result<T, ServeError>,
+    ) -> Result<T, ClusterError> {
+        let owners = self.ring.owner_indices(sketch, self.replication);
+        let now = Instant::now();
+        let mut last: Option<(String, ServeError)> = None;
+        // Pass 1: owners not in cooldown.  Pass 2: everyone (a cooldown is
+        // a hint, never a reason to refuse a query that might succeed).
+        for pass in 0..2 {
+            for &index in &owners {
+                if pass == 0 && self.nodes[index].cooling(now) {
+                    continue;
+                }
+                if pass == 1 && !self.nodes[index].cooling(now) {
+                    continue; // already tried in pass 1
+                }
+                match self.try_node(index, &mut op) {
+                    Ok(value) => return Ok(value),
+                    Err(ClusterError::Serve(error)) => return Err(ClusterError::Serve(error)),
+                    Err(ClusterError::NodeUnavailable { node, error }) => {
+                        last = Some((node, error));
+                    }
+                    Err(other) => return Err(other),
+                }
+            }
+        }
+        let (last_node, last_error) = last.expect("owner set is never empty");
+        Err(ClusterError::NoReplica {
+            sketch: sketch.to_string(),
+            last_node,
+            last_error,
+        })
+    }
+
+    /// Runs `op` on one node, classifying the failure: delivery failures
+    /// become [`ClusterError::NodeUnavailable`] (and start the node's
+    /// cooldown), typed answers become [`ClusterError::Serve`].
+    fn try_node<T>(
+        &mut self,
+        index: usize,
+        op: impl FnOnce(&mut ServeClient) -> Result<T, ServeError>,
+    ) -> Result<T, ClusterError> {
+        let node_name = self.nodes[index].spec.name.clone();
+        let client = self.client(index)?;
+        match op(client) {
+            Ok(value) => Ok(value),
+            Err(error) => {
+                self.note_failure(index, &error);
+                if delivery_failure(&error) {
+                    Err(ClusterError::NodeUnavailable {
+                        node: node_name,
+                        error,
+                    })
+                } else {
+                    Err(ClusterError::Serve(error))
+                }
+            }
+        }
+    }
+
+    /// The node's client, dialing (and replaying the tenant identity) on
+    /// first use or after a failure dropped the previous connection.
+    fn client(&mut self, index: usize) -> Result<&mut ServeClient, ClusterError> {
+        if self.nodes[index].client.is_none() {
+            let addr = self.nodes[index].spec.addr;
+            let mut client =
+                ServeClient::connect_with_config(addr, self.client_config).map_err(|error| {
+                    self.note_connect_failure(index);
+                    ClusterError::NodeUnavailable {
+                        node: self.nodes[index].spec.name.clone(),
+                        error,
+                    }
+                })?;
+            if let Some(tenant) = &self.tenant {
+                client.identify(tenant.clone()).map_err(|error| {
+                    self.note_connect_failure(index);
+                    ClusterError::NodeUnavailable {
+                        node: self.nodes[index].spec.name.clone(),
+                        error,
+                    }
+                })?;
+            }
+            self.nodes[index].client = Some(client);
+            self.nodes[index].down_until = None;
+        }
+        Ok(self.nodes[index]
+            .client
+            .as_mut()
+            .expect("client just ensured"))
+    }
+
+    /// Records an operation failure on a node: delivery failures drop the
+    /// connection (its stream position is unknowable) and start the
+    /// cooldown; typed answers leave the healthy connection alone.
+    fn note_failure(&mut self, index: usize, error: &ServeError) {
+        if delivery_failure(error) {
+            self.note_connect_failure(index);
+        }
+    }
+
+    fn note_connect_failure(&mut self, index: usize) {
+        self.nodes[index].client = None;
+        self.nodes[index].down_until = Some(Instant::now() + NODE_COOLDOWN);
+    }
+}

@@ -1,0 +1,163 @@
+//! Process-topology failover: three real `pie-serve` node *processes*, a
+//! router in the parent, and a `SIGKILL` — not a graceful drain — of the
+//! primary owner mid-serving.
+//!
+//! The in-process harness ([`LocalCluster`](pie_cluster::LocalCluster))
+//! kills nodes politely; this test is the hostile version.  Children are
+//! re-invocations of this test binary (selected by environment variable,
+//! the same pattern as the repo's cross-process shard-merge test), each
+//! running a full server until killed from outside.  After the kill the
+//! router must fail over to the replica and keep answering **bit-identically**
+//! to the in-process pipeline — a dead socket changes which node answers,
+//! never the answer.
+
+use std::io::Write;
+use std::process::{Child, Command};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use partial_info_estimators::core::suite::max_weighted_suite;
+use partial_info_estimators::datagen::{dataset_records, generate_two_hours, TrafficConfig};
+use partial_info_estimators::{Pipeline, Scheme, Statistic};
+use pie_cluster::{ClusterConfig, NodeSpec, Router};
+use pie_serve::{IngestRecord, Server, SketchConfig};
+
+const ENV_PORT_FILE: &str = "PIE_CLUSTER_NODE_PORT_FILE";
+
+const SKETCH: &str = "traffic";
+const TRIALS: u64 = 8;
+const SALT: u64 = 7;
+
+fn scheme() -> Scheme {
+    Scheme::pps(150.0)
+}
+
+/// Child entry point: a no-op under a normal test run; a serving node
+/// when re-invoked with the port-file environment set.  Runs until the
+/// parent kills the process — there is no graceful path out.
+#[test]
+fn cluster_node_child() {
+    let Ok(port_file) = std::env::var(ENV_PORT_FILE) else {
+        return;
+    };
+    let server = Server::bind("127.0.0.1:0").expect("child bind");
+    // Publish the ephemeral port via a temp file rename (atomic: the
+    // parent never observes a half-written file).
+    let tmp = format!("{port_file}.tmp");
+    let mut f = std::fs::File::create(&tmp).unwrap();
+    writeln!(f, "{}", server.local_addr().port()).unwrap();
+    f.sync_all().unwrap();
+    std::fs::rename(&tmp, &port_file).unwrap();
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// Spawns one node process and waits for it to report its port.
+fn spawn_node(exe: &std::path::Path, dir: &std::path::Path, index: usize) -> (Child, NodeSpec) {
+    let port_file = dir.join(format!("node-{index}.port"));
+    let child = Command::new(exe)
+        .arg("cluster_node_child")
+        .arg("--exact")
+        .env(ENV_PORT_FILE, &port_file)
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn node process");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let port: u16 = loop {
+        if let Ok(text) = std::fs::read_to_string(&port_file) {
+            if let Ok(port) = text.trim().parse() {
+                break port;
+            }
+        }
+        assert!(Instant::now() < deadline, "node {index} never reported");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let spec = NodeSpec::new(
+        format!("node-{index}"),
+        format!("127.0.0.1:{port}").parse().unwrap(),
+    );
+    (child, spec)
+}
+
+#[test]
+fn sigkilled_node_fails_over_to_replica_bit_identically() {
+    let exe = std::env::current_exe().unwrap();
+    let dir = std::env::temp_dir().join(format!("pie-cluster-failover-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Three real OS processes, each a full serving node.
+    let (mut children, specs): (Vec<Child>, Vec<NodeSpec>) =
+        (0..3).map(|i| spawn_node(&exe, &dir, i)).unzip();
+
+    let mut router = Router::new(ClusterConfig::new(specs, 2)).unwrap();
+
+    // Replicated wire ingest: both owners build the sketch independently
+    // from the same deterministic batches.
+    let dataset = Arc::new(generate_two_hours(&TrafficConfig::small(4)));
+    let config = SketchConfig {
+        scheme: scheme(),
+        shards: 2,
+        trials: TRIALS,
+        base_salt: SALT,
+    };
+    let records: Vec<IngestRecord> = dataset_records(&dataset)
+        .map(|r| IngestRecord {
+            instance: r.instance,
+            key: r.key,
+            value: r.value,
+        })
+        .collect();
+    router
+        .ingest_batch(SKETCH, config, records, true)
+        .expect("replicated ingest");
+
+    let want = Pipeline::new()
+        .dataset(Arc::clone(&dataset))
+        .scheme(scheme())
+        .estimators(max_weighted_suite())
+        .statistic(Statistic::max_dominance())
+        .trials(TRIALS)
+        .base_salt(SALT)
+        .run()
+        .unwrap();
+
+    let before = router
+        .estimate(SKETCH, "max_weighted", "max_dominance")
+        .expect("estimate with all nodes up");
+    assert_eq!(before, want, "served != in-process before the kill");
+
+    // SIGKILL the primary owner: no drain, no FIN handshake courtesy —
+    // the router discovers the death as a transport fault and fails over.
+    let owner = router.owners(SKETCH)[0].to_string();
+    let index: usize = owner.strip_prefix("node-").unwrap().parse().unwrap();
+    children[index].kill().expect("kill primary owner");
+    children[index].wait().expect("reap primary owner");
+
+    let after = router
+        .estimate(SKETCH, "max_weighted", "max_dominance")
+        .expect("failover estimate");
+    assert_eq!(after, want, "replica's answer diverged after the kill");
+
+    // Repeat a few times: cooldown bookkeeping must not wedge serving.
+    for round in 0..5 {
+        let again = router
+            .estimate(SKETCH, "max_weighted", "max_dominance")
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        assert_eq!(again, want, "round {round} diverged");
+    }
+
+    // The health sweep sees exactly one dead node.
+    let down: Vec<String> = router
+        .ping_all()
+        .into_iter()
+        .filter_map(|(name, alive)| (!alive).then_some(name))
+        .collect();
+    assert_eq!(down, [owner]);
+
+    for child in &mut children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -81,6 +81,45 @@ pub struct EngineStatsReport {
     pub tenants: Vec<TenantStatsRow>,
 }
 
+impl EngineStatsReport {
+    /// Folds another node's snapshot into this one — the scatter-gather
+    /// aggregation a cluster router uses to present N engines as one.
+    ///
+    /// Counters and occupancy sum (capacities and bounds too: the cluster's
+    /// capacity is the fleet's total); tenant rows merge by tenant name and
+    /// come out sorted, so the aggregate is independent of the order nodes
+    /// answered in.
+    pub fn absorb(&mut self, other: &EngineStatsReport) {
+        self.cache.hits += other.cache.hits;
+        self.cache.misses += other.cache.misses;
+        self.cache.evictions += other.cache.evictions;
+        self.cache.invalidated += other.cache.invalidated;
+        self.cache.entries += other.cache.entries;
+        self.cache.capacity += other.cache.capacity;
+        self.queue.inflight += other.queue.inflight;
+        self.queue.queued += other.queue.queued;
+        self.queue.shed += other.queue.shed;
+        self.queue.max_inflight += other.queue.max_inflight;
+        self.queue.max_queue += other.queue.max_queue;
+        for row in &other.tenants {
+            match self
+                .tenants
+                .iter_mut()
+                .find(|mine| mine.tenant == row.tenant)
+            {
+                Some(mine) => {
+                    mine.queries_admitted += row.queries_admitted;
+                    mine.queries_shed += row.queries_shed;
+                    mine.ingest_records_admitted += row.ingest_records_admitted;
+                    mine.ingests_shed += row.ingests_shed;
+                }
+                None => self.tenants.push(row.clone()),
+            }
+        }
+        self.tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    }
+}
+
 impl Encode for CacheStats {
     fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
         self.hits.encode(w)?;
@@ -200,6 +239,73 @@ mod tests {
         let bytes = pie_store::encode_to_vec(&report).unwrap();
         let back: EngineStatsReport = pie_store::decode_from_slice(&bytes).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_merges_tenants_sorted() {
+        let mut a = EngineStatsReport {
+            cache: CacheStats {
+                hits: 10,
+                misses: 3,
+                evictions: 1,
+                invalidated: 2,
+                entries: 7,
+                capacity: 64,
+            },
+            queue: QueueStats {
+                inflight: 2,
+                queued: 1,
+                shed: 5,
+                max_inflight: 8,
+                max_queue: 16,
+            },
+            tenants: vec![TenantStatsRow {
+                tenant: "zeta".into(),
+                queries_admitted: 40,
+                queries_shed: 2,
+                ingest_records_admitted: 1000,
+                ingests_shed: 1,
+            }],
+        };
+        let b = EngineStatsReport {
+            cache: CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0,
+                invalidated: 0,
+                entries: 3,
+                capacity: 64,
+            },
+            queue: QueueStats {
+                inflight: 0,
+                queued: 0,
+                shed: 1,
+                max_inflight: 8,
+                max_queue: 16,
+            },
+            tenants: vec![
+                TenantStatsRow {
+                    tenant: "acme".into(),
+                    queries_admitted: 5,
+                    ..TenantStatsRow::default()
+                },
+                TenantStatsRow {
+                    tenant: "zeta".into(),
+                    queries_admitted: 2,
+                    queries_shed: 1,
+                    ..TenantStatsRow::default()
+                },
+            ],
+        };
+        a.absorb(&b);
+        assert_eq!(a.cache.hits, 11);
+        assert_eq!(a.cache.capacity, 128, "fleet capacity is the sum");
+        assert_eq!(a.queue.shed, 6);
+        assert_eq!(a.queue.max_inflight, 16);
+        let names: Vec<&str> = a.tenants.iter().map(|t| t.tenant.as_str()).collect();
+        assert_eq!(names, ["acme", "zeta"], "merged rows come out sorted");
+        assert_eq!(a.tenants[1].queries_admitted, 42);
+        assert_eq!(a.tenants[1].queries_shed, 3);
     }
 
     #[test]

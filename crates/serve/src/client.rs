@@ -3,36 +3,54 @@
 //! [`ServeClient`] speaks one request/response exchange at a time over a
 //! plain [`TcpStream`] — the shape a query fan-out wants (one client per
 //! worker thread), with no async runtime.  Every failure mode is a typed
-//! [`ServeError`]: transport failures, protocol violations, and the
-//! server's own typed refusals all arrive through the same error type.
+//! [`ServeError`]: transport failures, protocol violations, socket
+//! timeouts, and the server's own typed refusals all arrive through the
+//! same error type.
+//!
+//! # Timeouts
+//!
+//! A [`ClientConfig`] sets connect/read/write socket timeouts (all off by
+//! default, preserving the original block-forever behavior).  An expired
+//! timeout surfaces as the typed [`ServeError::Timeout`] — the signal a
+//! failover layer needs to declare a node dead instead of hanging on it.
+//! A timed-out connection is **poisoned**: its stream position is
+//! unknowable, so the client transparently reconnects (replaying its
+//! [`identify`](ServeClient::identify) tenant, which is connection state)
+//! before the next exchange.
 //!
 //! # Retry semantics
 //!
-//! A [`RetryPolicy`] adds bounded retry-with-backoff in exactly two places
-//! where retrying is known safe:
+//! A [`RetryPolicy`] adds bounded retry-with-backoff in exactly three
+//! places where retrying is known safe:
 //!
 //! * **connect** ([`ServeClient::connect_with_retry`]) — the server may not
 //!   be listening yet;
 //! * **[`ServeError::Overloaded`] responses** — an admission-control shed
 //!   means the request was *not executed*, so re-sending it cannot
 //!   double-apply anything (the client honors the server's
-//!   `retry_after_ms` hint when it is longer than the backoff step).
+//!   `retry_after_ms` hint when it is longer than the backoff step);
+//! * **timeouts and transport faults on idempotent requests** — reads
+//!   (`ListCatalog`, `Estimate`, `BatchEstimate`, `Stats`), the liveness
+//!   probe (`Ping`), and `Identify` (re-asserting an identity is a no-op).
+//!   The client reconnects and re-sends.
 //!
-//! Transport and protocol faults are **not** retried: mid-exchange, whether
-//! the server executed the request is unknowable, and a blind re-send could
-//! double-ingest a batch.
+//! Timeouts and transport faults on **non-idempotent** requests
+//! (`IngestBatch`, `LoadSnapshot`, `PutSnapshot`) are *never* retried:
+//! mid-exchange, whether the server executed the request is unknowable,
+//! and a blind re-send could double-ingest a batch.
 
-use std::io::{BufReader, BufWriter};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use partial_info_estimators::PipelineReport;
+use partial_info_estimators::{CatalogEntry, PipelineReport};
 use pie_engine::EngineStatsReport;
+use pie_store::StoreError;
 
 use crate::error::ServeError;
 use crate::wire::{
     read_response, write_message, BatchQuery, IngestRecord, Request, Response, SketchConfig,
-    SketchInfo,
+    SketchInfo, WireFault,
 };
 
 /// The acknowledgement of one ingest batch.
@@ -46,7 +64,7 @@ pub struct IngestAck {
     pub ready: bool,
 }
 
-/// Bounded retry-with-backoff for the two known-safe retry points (see the
+/// Bounded retry-with-backoff for the known-safe retry points (see the
 /// [module docs](self)).  The default policy never retries, preserving the
 /// one-exchange-per-call behavior.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +109,77 @@ impl RetryPolicy {
     }
 }
 
+/// Connection tunables: socket timeouts plus the retry policy.  The
+/// default keeps every timeout off (block forever) and never retries —
+/// exactly the pre-timeout client behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Cap on establishing the TCP connection (`None`: OS default).
+    pub connect_timeout: Option<Duration>,
+    /// Cap on any one socket read while awaiting a response (`None`:
+    /// block forever).
+    pub read_timeout: Option<Duration>,
+    /// Cap on any one socket write while sending a request (`None`:
+    /// block forever).
+    pub write_timeout: Option<Duration>,
+    /// The retry policy (connect, overload sheds, idempotent timeouts).
+    pub retry: RetryPolicy,
+}
+
+impl ClientConfig {
+    /// A failover-detection profile: every socket operation capped at
+    /// `timeout`, with `attempts` bounded retries.
+    #[must_use]
+    pub fn with_deadline(timeout: Duration, attempts: u32) -> Self {
+        Self {
+            connect_timeout: Some(timeout),
+            read_timeout: Some(timeout),
+            write_timeout: Some(timeout),
+            retry: RetryPolicy::bounded(attempts),
+        }
+    }
+}
+
+/// Whether a request can safely be re-sent after a timeout or transport
+/// fault, when the first send's fate is unknowable.
+fn idempotent(request: &Request) -> bool {
+    match request {
+        // Pure reads, the liveness probe, and identity re-assertion.
+        Request::ListCatalog
+        | Request::Estimate { .. }
+        | Request::BatchEstimate { .. }
+        | Request::Stats
+        | Request::Ping
+        | Request::Identify { .. } => true,
+        // State-changing: a double-send could double-apply.
+        Request::IngestBatch { .. }
+        | Request::LoadSnapshot { .. }
+        | Request::PutSnapshot { .. } => false,
+    }
+}
+
+/// Whether an I/O error is a socket-timeout expiry (`read_timeout` and
+/// `write_timeout` surface as `WouldBlock` on Unix, `TimedOut` elsewhere).
+fn is_timeout(error: &io::Error) -> bool {
+    matches!(
+        error.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Maps a store-layer failure to its client-facing error, carving the
+/// typed [`ServeError::Timeout`] out of the I/O bucket.
+fn store_error(error: &StoreError, during: &str) -> ServeError {
+    if let StoreError::Io(io_error) = error {
+        if is_timeout(io_error) {
+            return ServeError::Timeout {
+                during: during.to_string(),
+            };
+        }
+    }
+    ServeError::protocol(error)
+}
+
 /// A blocking connection to a [`Server`](crate::Server).
 ///
 /// ```no_run
@@ -103,9 +192,18 @@ impl RetryPolicy {
 /// println!("{}", report.render());
 /// ```
 pub struct ServeClient {
+    /// Resolved addresses, kept for reconnects after poisoning.
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     retry: RetryPolicy,
+    /// The last successfully identified tenant, replayed on reconnect
+    /// (identity is connection state on the server).
+    tenant: Option<String>,
+    /// A timeout or transport fault left the stream position unknowable;
+    /// reconnect before the next exchange.
+    poisoned: bool,
 }
 
 impl ServeClient {
@@ -114,13 +212,13 @@ impl ServeClient {
     /// # Errors
     /// [`ServeError::Transport`] when the connection cannot be established.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
-        Self::connect_with_retry(addr, RetryPolicy::default())
+        Self::connect_with_config(addr, ClientConfig::default())
     }
 
     /// Connects, retrying refused/failed connection attempts under
     /// `policy`, and installs the same policy for
-    /// [`Overloaded`](ServeError::Overloaded)-response retries on every
-    /// subsequent call.
+    /// [`Overloaded`](ServeError::Overloaded)-response and idempotent
+    /// timeout retries on every subsequent call.
     ///
     /// # Errors
     /// [`ServeError::Transport`] once the attempts are exhausted.
@@ -128,55 +226,136 @@ impl ServeClient {
         addr: impl ToSocketAddrs,
         policy: RetryPolicy,
     ) -> Result<Self, ServeError> {
+        Self::connect_with_config(
+            addr,
+            ClientConfig {
+                retry: policy,
+                ..ClientConfig::default()
+            },
+        )
+    }
+
+    /// Connects under explicit [`ClientConfig`] tunables: socket timeouts
+    /// and the retry policy.
+    ///
+    /// # Errors
+    /// [`ServeError::Transport`] (or [`ServeError::Timeout`] when the
+    /// connect timeout expired) once the attempts are exhausted.
+    pub fn connect_with_config(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<Self, ServeError> {
+        let addrs: Vec<SocketAddr> = addr
+            .to_socket_addrs()
+            .map_err(|e| ServeError::transport(&e))?
+            .collect();
+        let policy = config.retry;
         let mut retry = 0u32;
         let stream = loop {
-            match TcpStream::connect(&addr) {
+            match dial(&addrs, &config) {
                 Ok(stream) => break stream,
-                Err(e) if retry + 1 < policy.attempts.max(1) => {
+                Err(_) if retry + 1 < policy.attempts.max(1) => {
                     std::thread::sleep(policy.backoff(retry));
                     retry += 1;
-                    let _ = e;
+                }
+                Err(e) if is_timeout(&e) => {
+                    return Err(ServeError::Timeout {
+                        during: "connecting".to_string(),
+                    })
                 }
                 Err(e) => return Err(ServeError::transport(&e)),
             }
         };
-        let read_half = stream.try_clone().map_err(|e| ServeError::transport(&e))?;
+        let (reader, writer) = split(stream, &config)?;
         Ok(Self {
-            reader: BufReader::new(read_half),
-            writer: BufWriter::new(stream),
+            addrs,
+            config,
+            reader,
+            writer,
             retry: policy,
+            tenant: None,
+            poisoned: false,
         })
     }
 
     /// Replaces the retry policy used for
-    /// [`Overloaded`](ServeError::Overloaded)-response retries.
+    /// [`Overloaded`](ServeError::Overloaded)-response and idempotent
+    /// timeout retries.
     #[must_use]
     pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
         self.retry = policy;
+        self.config.retry = policy;
         self
     }
 
-    /// One request/response exchange on the wire.
+    /// Re-dials a poisoned connection and replays the identified tenant.
+    fn reconnect(&mut self) -> Result<(), ServeError> {
+        let stream = dial(&self.addrs, &self.config).map_err(|e| {
+            if is_timeout(&e) {
+                ServeError::Timeout {
+                    during: "reconnecting".to_string(),
+                }
+            } else {
+                ServeError::transport(&e)
+            }
+        })?;
+        let (reader, writer) = split(stream, &self.config)?;
+        self.reader = reader;
+        self.writer = writer;
+        self.poisoned = false;
+        if let Some(tenant) = self.tenant.clone() {
+            match self.exchange(&Request::Identify { tenant })? {
+                Response::Identified { .. } => {}
+                _ => {
+                    return Err(ServeError::UnexpectedResponse {
+                        expected: "Identified",
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One request/response exchange on the wire.  Timeouts and transport
+    /// faults poison the connection (stream position unknowable).
     fn exchange(&mut self, request: &Request) -> Result<Response, ServeError> {
-        write_message(&mut self.writer, request).map_err(|e| ServeError::protocol(&e))?;
+        if let Err(e) = write_message(&mut self.writer, request) {
+            self.poisoned = true;
+            return Err(store_error(&e, "writing the request"));
+        }
         match read_response(&mut self.reader) {
             Ok(Some(Response::Error(error))) => Err(error),
             Ok(Some(response)) => Ok(response),
-            Ok(None) => Err(ServeError::Transport {
-                detail: "server closed the connection".to_string(),
-            }),
-            Err(fault) => Err(fault.to_serve_error()),
+            Ok(None) => {
+                self.poisoned = true;
+                Err(ServeError::Transport {
+                    detail: "server closed the connection".to_string(),
+                })
+            }
+            Err(WireFault { error, fatal }) => {
+                if fatal {
+                    self.poisoned = true;
+                }
+                Err(store_error(&error, "reading the response"))
+            }
         }
     }
 
-    /// One logical call: exchanges, retrying only typed
-    /// [`Overloaded`](ServeError::Overloaded) sheds (a shed request was not
-    /// executed, so any request type is safe to re-send), sleeping the
-    /// longer of the backoff step and the server's hint, capped at
-    /// `max_backoff`.
+    /// One logical call.  Retries typed
+    /// [`Overloaded`](ServeError::Overloaded) sheds for any request (a shed
+    /// request was not executed), and [`Timeout`](ServeError::Timeout)/
+    /// [`Transport`](ServeError::Transport) faults for **idempotent**
+    /// requests only (reconnecting first); sleeps the longer of the backoff
+    /// step and the server's hint, capped at `max_backoff`.
     fn call(&mut self, request: &Request) -> Result<Response, ServeError> {
         let mut retry = 0u32;
         loop {
+            if self.poisoned {
+                // Establishing a fresh connection is always safe; only the
+                // *re-send* of a request needs idempotency, and this path
+                // precedes any send.
+                self.reconnect()?;
+            }
             match self.exchange(request) {
                 Err(ServeError::Overloaded {
                     what,
@@ -191,6 +370,13 @@ impl ServeClient {
                     let hint = Duration::from_millis(retry_after_ms).min(self.retry.max_backoff);
                     std::thread::sleep(self.retry.backoff(retry).max(hint));
                     retry += 1;
+                }
+                Err(error @ (ServeError::Timeout { .. } | ServeError::Transport { .. }))
+                    if idempotent(request) && retry + 1 < self.retry.attempts.max(1) =>
+                {
+                    std::thread::sleep(self.retry.backoff(retry));
+                    retry += 1;
+                    let _ = error;
                 }
                 other => return other,
             }
@@ -211,7 +397,9 @@ impl ServeClient {
     }
 
     /// Names the tenant this connection's subsequent requests bill to
-    /// (quota buckets and `Stats` counters).
+    /// (quota buckets and `Stats` counters).  The identity survives
+    /// timeout-driven reconnects: the client replays it on the new
+    /// connection.
     ///
     /// # Errors
     /// As [`list_catalog`](Self::list_catalog).
@@ -220,7 +408,10 @@ impl ServeClient {
             tenant: tenant.into(),
         };
         match self.call(&request)? {
-            Response::Identified { tenant } => Ok(tenant),
+            Response::Identified { tenant } => {
+                self.tenant = Some(tenant.clone());
+                Ok(tenant)
+            }
             _ => Err(ServeError::UnexpectedResponse {
                 expected: "Identified",
             }),
@@ -245,6 +436,58 @@ impl ServeClient {
         match self.call(&request)? {
             Response::Loaded(info) => Ok(info),
             _ => Err(ServeError::UnexpectedResponse { expected: "Loaded" }),
+        }
+    }
+
+    /// Ships an encoded catalog entry to the server **in-band** and
+    /// registers it under `name` — the cluster replication path; nothing
+    /// has to exist on the server's filesystem.
+    ///
+    /// # Errors
+    /// As [`list_catalog`](Self::list_catalog); undecodable bytes arrive as
+    /// [`ServeError::Snapshot`].
+    pub fn put_snapshot(
+        &mut self,
+        name: impl Into<String>,
+        entry: &CatalogEntry,
+    ) -> Result<SketchInfo, ServeError> {
+        let snapshot = pie_store::encode_to_vec(entry).map_err(|e| ServeError::Snapshot {
+            detail: e.to_string(),
+        })?;
+        self.put_snapshot_bytes(name, snapshot)
+    }
+
+    /// [`put_snapshot`](Self::put_snapshot) with pre-encoded entry bytes
+    /// (lets a router replicate one encoding to many nodes without
+    /// re-encoding).
+    ///
+    /// # Errors
+    /// As [`put_snapshot`](Self::put_snapshot).
+    pub fn put_snapshot_bytes(
+        &mut self,
+        name: impl Into<String>,
+        snapshot: Vec<u8>,
+    ) -> Result<SketchInfo, ServeError> {
+        let request = Request::PutSnapshot {
+            name: name.into(),
+            snapshot,
+        };
+        match self.call(&request)? {
+            Response::Loaded(info) => Ok(info),
+            _ => Err(ServeError::UnexpectedResponse { expected: "Loaded" }),
+        }
+    }
+
+    /// Liveness probe: a full round trip through the server's event loop
+    /// and worker pool, touching neither the catalog nor the engine.
+    ///
+    /// # Errors
+    /// As [`list_catalog`](Self::list_catalog) — a dead or hung node
+    /// surfaces as [`ServeError::Timeout`] / [`ServeError::Transport`].
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ServeError::UnexpectedResponse { expected: "Pong" }),
         }
     }
 
@@ -371,4 +614,35 @@ impl ServeClient {
             _ => Err(ServeError::UnexpectedResponse { expected: "Stats" }),
         }
     }
+}
+
+/// Dials the first address that answers, honoring the connect timeout.
+fn dial(addrs: &[SocketAddr], config: &ClientConfig) -> io::Result<TcpStream> {
+    let mut last_error = None;
+    for addr in addrs {
+        let attempt = match config.connect_timeout {
+            Some(timeout) => TcpStream::connect_timeout(addr, timeout),
+            None => TcpStream::connect(addr),
+        };
+        match attempt {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last_error = Some(e),
+        }
+    }
+    Err(last_error
+        .unwrap_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address to connect to")))
+}
+
+/// Applies the read/write timeouts and splits the stream into halves (the
+/// socket options are set before cloning, so both halves share them).
+fn split(
+    stream: TcpStream,
+    config: &ClientConfig,
+) -> Result<(BufReader<TcpStream>, BufWriter<TcpStream>), ServeError> {
+    stream
+        .set_read_timeout(config.read_timeout)
+        .and_then(|()| stream.set_write_timeout(config.write_timeout))
+        .map_err(|e| ServeError::transport(&e))?;
+    let read_half = stream.try_clone().map_err(|e| ServeError::transport(&e))?;
+    Ok((BufReader::new(read_half), BufWriter::new(stream)))
 }

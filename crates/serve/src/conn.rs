@@ -1,0 +1,281 @@
+//! One multiplexed connection's state: nonblocking read/write halves, the
+//! incremental frame decoder, the per-connection work FIFO, and a bounded
+//! write queue.
+//!
+//! The event loop owns every [`Connection`] and drives it purely by
+//! readiness: `handle_readable` pulls whatever bytes the socket has and
+//! feeds them to a [`FrameDecoder`]; complete frames become [`Work`] items
+//! (a decoded request, or a typed wire fault to answer in-line);
+//! `handle_writable` drains the response queue until the socket pushes
+//! back.  Order is preserved end-to-end: work items queue in arrival order,
+//! at most **one** request per connection is dispatched at a time
+//! (`busy`), and faults are answered from the same FIFO position they
+//! occupied in the byte stream — so responses leave in exactly the order
+//! the requests came in, like the old one-thread-per-connection loop.
+//!
+//! Backpressure is two bounds, both of which simply stop *reading* (the
+//! kernel's receive window then pushes back on the peer): a cap on parsed
+//! but undispatched work items, and a cap on queued response bytes.
+//! Admission control is untouched — the engine's quota/in-flight gates run
+//! in the worker that executes the dispatch, exactly as before.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use pie_store::frame::{recoverable, FrameDecoder};
+
+use crate::error::ServeError;
+use crate::poll::{fd_of, Fd};
+use crate::server::DEFAULT_TENANT;
+use crate::wire::{
+    decode_payload, write_message, Request, Response, MAX_FRAME_BYTES, WIRE_MAGIC, WIRE_VERSION,
+};
+
+/// Most parsed-but-undispatched requests one connection may hold; past
+/// this the loop stops reading the socket until dispatch catches up.
+pub(crate) const MAX_PENDING_WORK: usize = 64;
+
+/// Most queued response bytes one connection may hold; past this the loop
+/// stops reading the socket until the peer drains its responses.
+pub(crate) const MAX_QUEUED_WRITE_BYTES: usize = 4 * 1024 * 1024;
+
+/// How much one `read` call asks for.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// One unit of in-order connection work.
+pub(crate) enum Work {
+    /// A fully decoded request, to be dispatched on a worker.
+    Request(Request),
+    /// A framing/decoding fault to answer in-line with a typed error.
+    /// `fatal` closes the connection once everything queued has flushed.
+    Fault {
+        /// The typed error to answer with.
+        error: ServeError,
+        /// Whether the stream position is lost.
+        fatal: bool,
+    },
+}
+
+/// The full state of one multiplexed connection.
+pub(crate) struct Connection {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Parsed requests and in-stream faults, in arrival order.
+    work: VecDeque<Work>,
+    /// Whether one request is currently dispatched on a worker.
+    busy: bool,
+    /// The tenant subsequent requests bill to (follows `Identify`).
+    tenant: String,
+    write_queue: VecDeque<Vec<u8>>,
+    /// Bytes of the queue's front buffer already written.
+    write_pos: usize,
+    queued_bytes: usize,
+    /// No more bytes will be read (peer EOF, fatal fault, or drain).
+    read_closed: bool,
+    /// Close once the work FIFO and write queue are empty.
+    closing: bool,
+    /// The socket failed; drop the connection at the next reap.
+    dead: bool,
+}
+
+impl Connection {
+    /// Adopts an accepted stream: nonblocking, Nagle off.
+    pub(crate) fn new(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            decoder: FrameDecoder::new(WIRE_MAGIC, WIRE_VERSION, MAX_FRAME_BYTES),
+            work: VecDeque::new(),
+            busy: false,
+            tenant: DEFAULT_TENANT.to_string(),
+            write_queue: VecDeque::new(),
+            write_pos: 0,
+            queued_bytes: 0,
+            read_closed: false,
+            closing: false,
+            dead: false,
+        })
+    }
+
+    pub(crate) fn fd(&self) -> Fd {
+        fd_of(&self.stream)
+    }
+
+    /// Whether the poll set should watch this socket for readability.
+    pub(crate) fn wants_read(&self) -> bool {
+        !self.read_closed
+            && !self.dead
+            && self.work.len() < MAX_PENDING_WORK
+            && self.queued_bytes < MAX_QUEUED_WRITE_BYTES
+    }
+
+    /// Whether the poll set should watch this socket for writability.
+    pub(crate) fn wants_write(&self) -> bool {
+        !self.dead && !self.write_queue.is_empty()
+    }
+
+    pub(crate) fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Pops the next in-order work item, marking the connection busy when
+    /// it hands out a request (one dispatch in flight per connection).
+    pub(crate) fn next_work(&mut self) -> Option<Work> {
+        if self.busy {
+            return None;
+        }
+        let item = self.work.pop_front()?;
+        if matches!(item, Work::Request(_)) {
+            self.busy = true;
+        }
+        Some(item)
+    }
+
+    /// Absorbs a finished dispatch: the (possibly `Identify`-updated)
+    /// tenant and the pre-encoded response frame.
+    pub(crate) fn complete(&mut self, tenant: String, frame: Vec<u8>) {
+        self.busy = false;
+        self.tenant = tenant;
+        if frame.is_empty() {
+            // Response encoding failed (unreachable for well-formed
+            // responses); the only honest move is to drop the connection —
+            // skipping a response would desynchronize the request/response
+            // pairing for everything behind it.
+            self.dead = true;
+            return;
+        }
+        self.enqueue_frame(frame);
+    }
+
+    /// Encodes and queues a response produced in-line (wire faults).
+    pub(crate) fn enqueue_response(&mut self, response: &Response) {
+        let mut frame = Vec::new();
+        if write_message(&mut frame, response).is_err() {
+            self.dead = true;
+            return;
+        }
+        self.enqueue_frame(frame);
+    }
+
+    fn enqueue_frame(&mut self, frame: Vec<u8>) {
+        self.queued_bytes += frame.len();
+        self.write_queue.push_back(frame);
+    }
+
+    /// Marks the connection closing-after-flush and stops reads (server
+    /// drain, or a fatal in-stream fault).
+    pub(crate) fn stop_reading(&mut self) {
+        self.read_closed = true;
+        self.closing = true;
+    }
+
+    /// Whether the connection has nothing left to do and can be dropped.
+    pub(crate) fn finished(&self) -> bool {
+        self.dead
+            || (self.closing_or_hung_up()
+                && !self.busy
+                && self.work.is_empty()
+                && self.write_queue.is_empty())
+    }
+
+    fn closing_or_hung_up(&self) -> bool {
+        self.closing || self.read_closed
+    }
+
+    /// Whether the connection is idle enough for a drain to complete: no
+    /// dispatch in flight, no queued work, nothing left to flush.
+    pub(crate) fn quiescent(&self) -> bool {
+        self.dead || (!self.busy && self.work.is_empty() && self.write_queue.is_empty())
+    }
+
+    /// Pulls every byte the socket has (up to the backpressure bounds) and
+    /// turns complete frames into work items.
+    pub(crate) fn handle_readable(&mut self) {
+        let mut chunk = [0u8; READ_CHUNK];
+        while self.wants_read() {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Peer hang-up.  Mid-frame bytes left in the decoder
+                    // mean the stream was truncated — answer that like the
+                    // blocking reader did, then close.
+                    self.read_closed = true;
+                    if self.decoder.buffered() > 0 {
+                        let error = pie_store::StoreError::Truncated {
+                            context: "frame cut by connection hang-up",
+                        };
+                        // Truncation is fatal: no next frame exists.
+                        self.push_fault(ServeError::protocol(&error), true);
+                    }
+                    return;
+                }
+                Ok(n) => {
+                    self.decoder.extend(&chunk[..n]);
+                    self.parse_frames();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Drains the decoder of every complete frame currently buffered.
+    fn parse_frames(&mut self) {
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some(payload)) => match decode_payload::<Request>(&payload) {
+                    Ok(request) => self.work.push_back(Work::Request(request)),
+                    // The frame was consumed whole; only its contents were
+                    // bad.  Recoverable by construction.
+                    Err(error) => self.push_fault(ServeError::protocol(&error), false),
+                },
+                Ok(None) => return,
+                Err(error) => {
+                    let fatal = !recoverable(&error);
+                    self.push_fault(ServeError::protocol(&error), fatal);
+                    if fatal {
+                        // The decoder has latched; no further byte can parse.
+                        self.read_closed = true;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn push_fault(&mut self, error: ServeError, fatal: bool) {
+        self.work.push_back(Work::Fault { error, fatal });
+    }
+
+    /// Writes queued response bytes until the socket pushes back or the
+    /// queue empties.
+    pub(crate) fn handle_writable(&mut self) {
+        while let Some(front) = self.write_queue.front() {
+            match self.stream.write(&front[self.write_pos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.write_pos += n;
+                    self.queued_bytes -= n;
+                    if self.write_pos == front.len() {
+                        self.write_queue.pop_front();
+                        self.write_pos = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+}

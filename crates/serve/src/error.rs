@@ -102,6 +102,17 @@ pub enum ServeError {
         /// Earliest retry that could plausibly succeed, in milliseconds.
         retry_after_ms: u64,
     },
+    /// A configured socket timeout expired before the peer completed the
+    /// operation (client side).  Mid-exchange the stream position is
+    /// unknowable — whether the server executed the request cannot be
+    /// determined — so the client reconnects before reusing the
+    /// connection, and [`RetryPolicy`](crate::RetryPolicy) re-sends only
+    /// **idempotent** requests after a timeout.
+    Timeout {
+        /// What timed out (connecting, writing the request, reading the
+        /// response).
+        during: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -145,6 +156,7 @@ impl fmt::Display for ServeError {
             } => {
                 write!(f, "overloaded ({what}); retry after {retry_after_ms} ms")
             }
+            Self::Timeout { during } => write!(f, "timed out while {during}"),
         }
     }
 }
@@ -184,6 +196,7 @@ const TAG_UNKNOWN_STATISTIC: u32 = 10;
 const TAG_ESTIMATOR_MISMATCH: u32 = 11;
 const TAG_UNEXPECTED_RESPONSE: u32 = 12;
 const TAG_OVERLOADED: u32 = 13;
+const TAG_TIMEOUT: u32 = 14;
 
 impl Encode for ServeError {
     fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
@@ -250,6 +263,10 @@ impl Encode for ServeError {
                 what.encode(w)?;
                 retry_after_ms.encode(w)
             }
+            Self::Timeout { during } => {
+                TAG_TIMEOUT.encode(w)?;
+                during.encode(w)
+            }
         }
     }
 }
@@ -305,6 +322,9 @@ impl Decode for ServeError {
                 what: String::decode(r)?,
                 retry_after_ms: u64::decode(r)?,
             },
+            TAG_TIMEOUT => Self::Timeout {
+                during: String::decode(r)?,
+            },
             tag => {
                 return Err(StoreError::InvalidTag {
                     what: "ServeError",
@@ -356,6 +376,9 @@ mod tests {
             ServeError::Overloaded {
                 what: "query quota for tenant \"acme\"".into(),
                 retry_after_ms: 250,
+            },
+            ServeError::Timeout {
+                during: "reading the response".into(),
             },
         ];
         for case in cases {

@@ -1,0 +1,640 @@
+//! Stateful readiness polling for the multiplexed server: a thin,
+//! FFI-free shim over the kernel's `epoll(7)` interface.
+//!
+//! The event loop needs one primitive: "these sockets, these directions —
+//! wake me with whichever become ready".  [`Poller`] provides it the
+//! stateful way: interest is registered **once** per socket (and
+//! re-registered only when it changes), and each [`Poller::wait`] costs
+//! O(ready), not O(registered) — holding thousands of mostly-idle
+//! connections is free per wakeup.  Registrations carry a caller-chosen
+//! `token` (the connection id) that comes back in each [`Event`], so
+//! readiness needs no descriptor lookup.  Semantics are level-triggered:
+//! a socket stays ready until the condition is drained.
+//!
+//! On Linux the implementation issues the raw `epoll` system calls
+//! directly from stable inline assembly — no `libc` crate, no C shim,
+//! pure `std` otherwise (the workspace vendors all of its dependencies,
+//! so an FFI crate is not on the table).  The `epoll_event` ABI pinned by
+//! hand has been frozen since Linux 2.6, which is what makes pinning it
+//! sound.
+//!
+//! On platforms without the syscall shim the poller degrades to a
+//! **level-triggered busy-poll fallback**: sleep one millisecond, then
+//! report every registered socket ready in the directions it asked for.
+//! Spurious readiness is harmless by construction — every socket is
+//! nonblocking, so a not-actually-ready one answers `WouldBlock` and the
+//! connection state machine simply keeps its state.  The fallback trades
+//! idle CPU for portability; the syscall path is what CI and production
+//! run.
+
+use std::io;
+
+/// The raw file-descriptor type polled on ([`std::os::fd::RawFd`] on Unix;
+/// a placeholder on other platforms, where the fallback ignores it).
+#[cfg(unix)]
+pub type Fd = std::os::fd::RawFd;
+/// See the Unix definition.
+#[cfg(not(unix))]
+pub type Fd = i32;
+
+/// The raw descriptor of a socket — the handle a [`Poller`] watches.
+#[cfg(unix)]
+pub fn fd_of<S: std::os::fd::AsRawFd>(socket: &S) -> Fd {
+    socket.as_raw_fd()
+}
+
+/// Fallback: the busy-poll path never inspects descriptors.
+#[cfg(not(unix))]
+pub fn fd_of<S>(_socket: &S) -> Fd {
+    0
+}
+
+/// One readiness notification from [`Poller::wait`]: the `token` the socket
+/// was registered under, and which of its registered directions are ready.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The caller-chosen identifier passed to [`Poller::update`].
+    pub token: u64,
+    /// A read (or hang-up/error, which a read surfaces) is ready — reported
+    /// only when the registration asked for reads.
+    pub readable: bool,
+    /// A write is ready (or the socket errored while only writes were
+    /// wanted) — reported only when the registration asked for writes.
+    pub writable: bool,
+}
+
+/// Stateful readiness: register each socket once, pay O(ready) per wakeup.
+///
+/// On Linux this is an `epoll` instance; interest changes issue one
+/// `epoll_ctl` each, and [`Poller::wait`] returns only the sockets that are
+/// actually ready.  Elsewhere it keeps an interest table and busy-polls.
+///
+/// Error conditions on a socket (`EPOLLERR`/`EPOLLHUP`) are folded into
+/// whichever direction the registration asked for (read preferred): the
+/// next I/O attempt surfaces the real `io::Error` or EOF, which is where
+/// the connection machinery already handles it.  Callers **must**
+/// [`Poller::remove`] a socket before closing it: the kernel drops closed
+/// descriptors from the set automatically, but the poller's own table
+/// would otherwise go stale and silently mis-handle a reused descriptor
+/// number.
+pub struct Poller {
+    inner: imp::PollerImpl,
+    /// fd → (token, want_read, want_write): the source of truth for what
+    /// is registered; keeps unchanged updates syscall-free.
+    interest: std::collections::HashMap<Fd, (u64, bool, bool)>,
+    /// token → (want_read, want_write): the same registrations keyed the
+    /// way wakeups arrive, so event translation is O(1) per ready socket.
+    /// Tokens must therefore be unique across live registrations.
+    tokens: std::collections::HashMap<u64, (bool, bool)>,
+    events: Vec<Event>,
+}
+
+impl Poller {
+    /// Creates an empty poller.
+    ///
+    /// # Errors
+    /// Propagates kernel failure to allocate the epoll instance (the
+    /// fallback backend is infallible).
+    pub fn new() -> io::Result<Self> {
+        Ok(Self {
+            inner: imp::PollerImpl::new()?,
+            interest: std::collections::HashMap::new(),
+            tokens: std::collections::HashMap::new(),
+            events: Vec::new(),
+        })
+    }
+
+    /// Declares the directions `fd` currently cares about, identified in
+    /// events by `token`.  Idempotent and incremental: registering an
+    /// unchanged interest is free (no syscall); changing it issues exactly
+    /// one; asking for neither direction deregisters the socket.
+    ///
+    /// # Errors
+    /// Propagates kernel registration failures.
+    pub fn update(
+        &mut self,
+        fd: Fd,
+        token: u64,
+        want_read: bool,
+        want_write: bool,
+    ) -> io::Result<()> {
+        match self.interest.get(&fd).copied() {
+            Some(current) if current == (token, want_read, want_write) => Ok(()),
+            Some((old_token, _, _)) if want_read || want_write => {
+                self.inner.modify(fd, token, want_read, want_write)?;
+                self.interest.insert(fd, (token, want_read, want_write));
+                if old_token != token {
+                    self.tokens.remove(&old_token);
+                }
+                self.tokens.insert(token, (want_read, want_write));
+                Ok(())
+            }
+            Some((old_token, _, _)) => {
+                self.inner.deregister(fd);
+                self.interest.remove(&fd);
+                self.tokens.remove(&old_token);
+                Ok(())
+            }
+            None if want_read || want_write => {
+                self.inner.register(fd, token, want_read, want_write)?;
+                self.interest.insert(fd, (token, want_read, want_write));
+                self.tokens.insert(token, (want_read, want_write));
+                Ok(())
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Forgets `fd` entirely.  Call this *before* closing the socket, even
+    /// though the kernel auto-removes closed descriptors — see the type
+    /// docs.  Removing an unregistered descriptor is a no-op.
+    pub fn remove(&mut self, fd: Fd) {
+        if let Some((token, _, _)) = self.interest.remove(&fd) {
+            self.tokens.remove(&token);
+            self.inner.deregister(fd);
+        }
+    }
+
+    /// Blocks until at least one registered socket is ready or `timeout_ms`
+    /// elapses; returns the ready set (empty on timeout or `EINTR`).
+    ///
+    /// # Errors
+    /// Propagates unexpected kernel-level wait failures.
+    pub fn wait(&mut self, timeout_ms: u32) -> io::Result<&[Event]> {
+        self.events.clear();
+        self.inner
+            .wait(&self.interest, &self.tokens, timeout_ms, &mut self.events)?;
+        Ok(&self.events)
+    }
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod imp {
+    use super::{Event, Fd};
+    use std::collections::HashMap;
+    use std::io;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0x8_0000;
+    const EINTR: i64 = 4;
+    /// Upper bound on events surfaced per wakeup; the rest arrive on the
+    /// next call (epoll is level-triggered, nothing is lost).
+    const MAX_EVENTS: usize = 1024;
+
+    /// The kernel's `struct epoll_event`.  On x86-64 the kernel declares it
+    /// packed (a 32-bit-compat relic); everywhere else it has natural
+    /// alignment.  Getting this wrong corrupts the `data` field, so it is
+    /// pinned per-architecture exactly as the kernel headers do.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    /// Linux backend for [`super::Poller`]: one long-lived epoll instance.
+    pub(super) struct PollerImpl {
+        epfd: i32,
+        buf: Vec<EpollEvent>,
+    }
+
+    impl PollerImpl {
+        pub(super) fn new() -> io::Result<Self> {
+            let ret = sys::epoll_create1(EPOLL_CLOEXEC);
+            if ret < 0 {
+                return Err(os_error(ret));
+            }
+            Ok(Self {
+                epfd: i32::try_from(ret).unwrap_or_default(),
+                buf: vec![EpollEvent { events: 0, data: 0 }; MAX_EVENTS],
+            })
+        }
+
+        pub(super) fn register(
+            &mut self,
+            fd: Fd,
+            token: u64,
+            want_read: bool,
+            want_write: bool,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, want_read, want_write)
+        }
+
+        pub(super) fn modify(
+            &mut self,
+            fd: Fd,
+            token: u64,
+            want_read: bool,
+            want_write: bool,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, want_read, want_write)
+        }
+
+        pub(super) fn deregister(&mut self, fd: Fd) {
+            // Failure is benign here: a closed descriptor is already gone
+            // from the kernel's set.
+            let mut event = EpollEvent { events: 0, data: 0 };
+            let _ = sys::epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut event);
+        }
+
+        fn ctl(
+            &mut self,
+            op: i32,
+            fd: Fd,
+            token: u64,
+            want_read: bool,
+            want_write: bool,
+        ) -> io::Result<()> {
+            let mut event = EpollEvent {
+                events: if want_read { EPOLLIN } else { 0 } | if want_write { EPOLLOUT } else { 0 },
+                data: token,
+            };
+            let ret = sys::epoll_ctl(self.epfd, op, fd, &mut event);
+            if ret < 0 {
+                return Err(os_error(ret));
+            }
+            Ok(())
+        }
+
+        pub(super) fn wait(
+            &mut self,
+            _interest: &HashMap<Fd, (u64, bool, bool)>,
+            tokens: &HashMap<u64, (bool, bool)>,
+            timeout_ms: u32,
+            out: &mut Vec<Event>,
+        ) -> io::Result<()> {
+            let ret = sys::epoll_wait(self.epfd, &mut self.buf, timeout_ms);
+            if ret == -EINTR {
+                return Ok(());
+            }
+            if ret < 0 {
+                return Err(os_error(ret));
+            }
+            let count = usize::try_from(ret).unwrap_or(0).min(self.buf.len());
+            // Error/hang-up conditions fold into a *registered* direction
+            // only (read preferred): a socket whose reads are paused by
+            // backpressure must not be woken readable when nothing will
+            // drain it, or a level-triggered hang-up would spin the loop.
+            for raw in &self.buf[..count] {
+                let token = raw.data;
+                let events = raw.events;
+                let (want_read, want_write) = tokens.get(&token).copied().unwrap_or((true, true));
+                let fault = events & (EPOLLERR | EPOLLHUP) != 0;
+                let readable = want_read && (events & EPOLLIN != 0 || fault);
+                let writable = want_write && (events & EPOLLOUT != 0 || (fault && !want_read));
+                if readable || writable {
+                    out.push(Event {
+                        token,
+                        readable,
+                        writable,
+                    });
+                }
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for PollerImpl {
+        fn drop(&mut self) {
+            sys::close(self.epfd);
+        }
+    }
+
+    fn os_error(ret: i64) -> io::Error {
+        io::Error::from_raw_os_error(i32::try_from(-ret).unwrap_or(0))
+    }
+
+    /// The raw system calls.  This is the one corner of the workspace that
+    /// needs `unsafe`: handing the kernel pointers to live
+    /// `epoll_event` memory.  Soundness: every buffer outlives its call,
+    /// the kernel writes only within the bounds it is given, and the
+    /// syscall ABIs (numbers, registers, clobbers, error convention) are
+    /// architectural constants.
+    #[allow(unsafe_code)]
+    mod sys {
+        use super::EpollEvent;
+
+        /// Generic 4-argument syscall, the shape every epoll call fits
+        /// (unused arguments pass zero).
+        #[cfg(target_arch = "x86_64")]
+        fn syscall4(nr: i64, a1: i64, a2: i64, a3: i64, a4: i64) -> i64 {
+            let ret: i64;
+            // SAFETY: the x86-64 Linux convention — number in rax, args in
+            // rdi/rsi/rdx/r10, kernel clobbers rcx and r11.  Callers pass
+            // only live pointers (or plain integers) as arguments.
+            unsafe {
+                core::arch::asm!(
+                    "syscall",
+                    inlateout("rax") nr => ret,
+                    in("rdi") a1,
+                    in("rsi") a2,
+                    in("rdx") a3,
+                    in("r10") a4,
+                    lateout("rcx") _,
+                    lateout("r11") _,
+                    options(nostack)
+                );
+            }
+            ret
+        }
+
+        /// Generic 6-argument syscall (`epoll_pwait` needs the sigmask pair).
+        #[cfg(target_arch = "aarch64")]
+        fn syscall6(nr: u64, a1: u64, a2: u64, a3: u64, a4: u64, a5: u64, a6: u64) -> i64 {
+            let ret: i64;
+            // SAFETY: the aarch64 Linux convention — number in x8, args in
+            // x0..x5, return in x0.  Callers pass only live pointers (or
+            // plain integers) as arguments.
+            unsafe {
+                core::arch::asm!(
+                    "svc 0",
+                    inlateout("x0") a1 => ret,
+                    in("x1") a2,
+                    in("x2") a3,
+                    in("x3") a4,
+                    in("x4") a5,
+                    in("x5") a6,
+                    in("x8") nr,
+                    options(nostack)
+                );
+            }
+            ret
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        mod nr {
+            pub const EPOLL_CREATE1: i64 = 291;
+            pub const EPOLL_CTL: i64 = 233;
+            pub const EPOLL_WAIT: i64 = 232;
+            pub const CLOSE: i64 = 3;
+        }
+
+        #[cfg(target_arch = "aarch64")]
+        mod nr {
+            pub const EPOLL_CREATE1: u64 = 20;
+            pub const EPOLL_CTL: u64 = 21;
+            // aarch64 has no plain epoll_wait; epoll_pwait with a null
+            // sigmask is equivalent.
+            pub const EPOLL_PWAIT: u64 = 22;
+            pub const CLOSE: u64 = 57;
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        pub(super) fn epoll_create1(flags: i32) -> i64 {
+            syscall4(nr::EPOLL_CREATE1, i64::from(flags), 0, 0, 0)
+        }
+
+        #[cfg(target_arch = "aarch64")]
+        pub(super) fn epoll_create1(flags: i32) -> i64 {
+            syscall6(nr::EPOLL_CREATE1, flags as u64, 0, 0, 0, 0, 0)
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        pub(super) fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: &mut EpollEvent) -> i64 {
+            syscall4(
+                nr::EPOLL_CTL,
+                i64::from(epfd),
+                i64::from(op),
+                i64::from(fd),
+                std::ptr::from_mut(event) as i64,
+            )
+        }
+
+        #[cfg(target_arch = "aarch64")]
+        pub(super) fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: &mut EpollEvent) -> i64 {
+            syscall6(
+                nr::EPOLL_CTL,
+                epfd as u64,
+                op as u64,
+                fd as u64,
+                std::ptr::from_mut(event) as u64,
+                0,
+                0,
+            )
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        pub(super) fn epoll_wait(epfd: i32, events: &mut [EpollEvent], timeout_ms: u32) -> i64 {
+            syscall4(
+                nr::EPOLL_WAIT,
+                i64::from(epfd),
+                events.as_mut_ptr() as i64,
+                i64::try_from(events.len()).unwrap_or(0),
+                i64::from(timeout_ms),
+            )
+        }
+
+        #[cfg(target_arch = "aarch64")]
+        pub(super) fn epoll_wait(epfd: i32, events: &mut [EpollEvent], timeout_ms: u32) -> i64 {
+            // Null sigmask: the final sigsetsize argument is ignored.
+            syscall6(
+                nr::EPOLL_PWAIT,
+                epfd as u64,
+                events.as_mut_ptr() as u64,
+                events.len() as u64,
+                u64::from(timeout_ms),
+                0,
+                0,
+            )
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        pub(super) fn close(fd: i32) {
+            let _ = syscall4(nr::CLOSE, i64::from(fd), 0, 0, 0);
+        }
+
+        #[cfg(target_arch = "aarch64")]
+        pub(super) fn close(fd: i32) {
+            let _ = syscall6(nr::CLOSE, fd as u64, 0, 0, 0, 0, 0);
+        }
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod imp {
+    use super::{Event, Fd};
+    use std::collections::HashMap;
+    use std::io;
+
+    /// Portable backend for [`super::Poller`]: no kernel state to manage —
+    /// the outer interest table *is* the registration, and each wait
+    /// sleeps briefly then reports everything registered as ready
+    /// (level-triggered busy-poll; nonblocking sockets make spurious
+    /// readiness free, `WouldBlock` leaves every state machine unchanged).
+    pub(super) struct PollerImpl;
+
+    impl PollerImpl {
+        pub(super) fn new() -> io::Result<Self> {
+            Ok(Self)
+        }
+
+        pub(super) fn register(
+            &mut self,
+            _fd: Fd,
+            _token: u64,
+            _want_read: bool,
+            _want_write: bool,
+        ) -> io::Result<()> {
+            Ok(())
+        }
+
+        pub(super) fn modify(
+            &mut self,
+            _fd: Fd,
+            _token: u64,
+            _want_read: bool,
+            _want_write: bool,
+        ) -> io::Result<()> {
+            Ok(())
+        }
+
+        pub(super) fn deregister(&mut self, _fd: Fd) {}
+
+        pub(super) fn wait(
+            &mut self,
+            interest: &HashMap<Fd, (u64, bool, bool)>,
+            _tokens: &HashMap<u64, (bool, bool)>,
+            timeout_ms: u32,
+            out: &mut Vec<Event>,
+        ) -> io::Result<()> {
+            std::thread::sleep(std::time::Duration::from_millis(u64::from(
+                timeout_ms.min(1),
+            )));
+            for &(token, want_read, want_write) in interest.values() {
+                if want_read || want_write {
+                    out.push(Event {
+                        token,
+                        readable: want_read,
+                        writable: want_write,
+                    });
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    const ON_SYSCALL_PATH: bool = cfg!(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ));
+
+    #[test]
+    fn poller_reports_readiness_under_registered_tokens() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller.update(fd_of(&server), 42, true, false).unwrap();
+
+        if ON_SYSCALL_PATH {
+            let events = poller.wait(10).unwrap();
+            assert!(events.is_empty(), "no bytes pending yet");
+        }
+
+        client.write_all(b"ping").unwrap();
+        client.flush().unwrap();
+        let events = poller.wait(1000).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 42);
+        assert!(events[0].readable);
+        assert!(!events[0].writable, "did not ask for writability");
+    }
+
+    #[test]
+    fn poller_update_changes_interest_and_remove_silences_the_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (_server, _) = listener.accept().unwrap();
+        let fd = fd_of(&client);
+
+        let mut poller = Poller::new().unwrap();
+        // An open socket is immediately writable…
+        poller.update(fd, 7, false, true).unwrap();
+        let events = poller.wait(1000).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].writable && !events[0].readable);
+
+        // …re-registering the same interest is a no-op, a different token
+        // relabels the same socket…
+        poller.update(fd, 7, false, true).unwrap();
+        poller.update(fd, 9, false, true).unwrap();
+        let events = poller.wait(1000).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 9);
+
+        // …and dropping all interest (or removing outright) silences it.
+        poller.update(fd, 9, false, false).unwrap();
+        if ON_SYSCALL_PATH {
+            assert!(poller.wait(10).unwrap().is_empty());
+        }
+        poller.update(fd, 9, false, true).unwrap();
+        poller.remove(fd);
+        if ON_SYSCALL_PATH {
+            assert!(poller.wait(10).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn poller_hangup_wakes_only_a_registered_direction() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.update(fd_of(&server), 3, true, false).unwrap();
+        drop(client);
+        let events = poller.wait(1000).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].readable, "hang-up must wake the reader");
+        assert!(!events[0].writable, "writes were never registered");
+    }
+
+    #[test]
+    fn poller_watches_many_sockets_and_reports_only_the_ready_ones() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut poller = Poller::new().unwrap();
+        let pairs: Vec<(TcpStream, TcpStream)> = (0..32)
+            .map(|i| {
+                let client = TcpStream::connect(addr).unwrap();
+                let (server, _) = listener.accept().unwrap();
+                server.set_nonblocking(true).unwrap();
+                poller.update(fd_of(&server), i, true, false).unwrap();
+                (client, server)
+            })
+            .collect();
+
+        // Exactly one socket gets bytes: only its token may come back.
+        let mut chosen = &pairs[17].0;
+        chosen.write_all(b"x").unwrap();
+        chosen.flush().unwrap();
+        let events = poller.wait(1000).unwrap();
+        assert!(!events.is_empty());
+        if ON_SYSCALL_PATH {
+            assert_eq!(events.len(), 1, "only the ready socket wakes the poller");
+            assert_eq!(events[0].token, 17);
+        }
+    }
+}

@@ -1,47 +1,127 @@
-//! The multi-threaded TCP server: accept loop, per-connection threads, and
-//! the engine-routed request dispatcher.
+//! The multiplexed TCP server: one readiness-polled event loop over every
+//! connection, plus a small worker pool that executes dispatches.
 //!
-//! One OS thread accepts connections; each connection gets its own thread
-//! running a read → dispatch → respond loop over the shared
-//! [`SketchCatalog`] and [`QueryEngine`].  Estimation runs outside all
-//! catalog locks, so slow queries never block ingest, listings, or each
-//! other — and every estimation request passes the engine first: per-tenant
-//! quota, then a bounded in-flight permit, then the estimate cache.
-//! Overload is answered with a typed
+//! A single event-loop thread owns the listener and all connection sockets
+//! (nonblocking, watched through [`crate::poll`]).  It accepts, reads,
+//! frames (via the incremental [`pie_store::frame::FrameDecoder`]),
+//! dispatches at most one request per connection at a time to the worker
+//! pool, and flushes responses — so **one process holds thousands of open
+//! connections on a handful of threads** instead of a thread apiece.
+//! Workers run the same dispatch body as ever: every estimation request
+//! passes the engine first — per-tenant quota, then a bounded in-flight
+//! permit, then the estimate cache.  Overload is answered with a typed
 //! [`ServeError::Overloaded`](crate::ServeError::Overloaded) shed, never
-//! with unbounded thread pileup.
+//! with unbounded thread pileup; slow queries never block ingest,
+//! listings, or other connections.
 //!
 //! **Malformed input never panics and never kills the server.**  Every
 //! frame- or decode-level failure is answered with a typed
-//! [`ServeError::Protocol`](crate::ServeError::Protocol) response; the
-//! connection then keeps serving when the stream is still at a frame
-//! boundary (wrong version, checksum mismatch, bad payload) and closes
-//! when it cannot be (bad magic, oversized length prefix, truncation) —
-//! see the [`crate::wire`] recovery contract.  Either way the accept loop
-//! and every other connection are untouched.
+//! [`ServeError::Protocol`](crate::ServeError::Protocol) response at its
+//! exact position in the response order; the connection then keeps serving
+//! when the stream is still at a frame boundary (wrong version, checksum
+//! mismatch, bad payload) and closes once queued responses flush when it
+//! cannot be (bad magic, oversized length prefix, truncation) — see the
+//! [`crate::wire`] recovery contract.  Either way the event loop and every
+//! other connection are untouched.
+//!
+//! Shutdown is graceful and complete: [`Server::shutdown`] (or drop, or a
+//! [`ShutdownHandle`] from another thread) stops accepting, stops reading,
+//! finishes every dispatched request, flushes every queued response
+//! (bounded by a drain deadline), and joins the event loop and all
+//! workers — no leaked threads.
 
-use std::io::{self, BufReader, BufWriter};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use partial_info_estimators::{PipelineReport, Statistic};
+use partial_info_estimators::{CatalogEntry, PipelineReport, Statistic};
 use pie_engine::{CacheKey, EngineConfig, QueryEngine, Shed};
 
 use crate::catalog::{map_catalog_error, SketchCatalog};
+use crate::conn::{Connection, Work};
 use crate::error::ServeError;
-use crate::wire::{read_request, write_message, Request, Response, MAX_BATCH_QUERIES};
+use crate::poll::{fd_of, Event, Poller};
+use crate::wire::{write_message, Request, Response, MAX_BATCH_QUERIES};
 
 /// The tenant connections bill to until they send
 /// [`Request::Identify`](crate::Request::Identify).
 pub const DEFAULT_TENANT: &str = "anonymous";
 
+/// How long a graceful shutdown waits for in-flight dispatches to finish
+/// and queued responses to flush before closing sockets anyway.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Poll timeout while serving: pure liveness backstop (every state change
+/// arrives as readiness or a waker datagram).
+const POLL_MS: u32 = 200;
+
+/// Poll timeout while draining: short, so the drain conditions re-check
+/// promptly.
+const DRAIN_POLL_MS: u32 = 10;
+
+/// One dispatched request, owned by a worker while it runs.
+struct Job {
+    conn: u64,
+    request: Request,
+    tenant: String,
+}
+
+/// One finished dispatch on its way back to the event loop.
+struct Done {
+    conn: u64,
+    tenant: String,
+    /// The pre-encoded response frame (empty on the unreachable encode
+    /// failure, which the connection treats as fatal).
+    frame: Vec<u8>,
+}
+
+/// State shared between the [`Server`] handle, [`ShutdownHandle`]s, the
+/// event loop, and the workers.
+struct Shared {
+    stop: AtomicBool,
+    /// A self-connected UDP socket: anyone pokes the event loop out of its
+    /// poll by sending one byte to it; the loop drains it each wake-up.
+    waker: UdpSocket,
+}
+
+impl Shared {
+    fn wake(&self) {
+        let _ = self.waker.send(&[1]);
+    }
+
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.wake();
+    }
+}
+
+/// A cloneable handle that triggers the server's graceful shutdown from
+/// any thread (stop accepting, drain in-flight work, flush responses).
+/// Joining the server's threads remains [`Server::shutdown`]'s job — a
+/// handle only *requests* the stop, so it can be signalled from within a
+/// serving callback without deadlocking.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Requests a graceful shutdown; returns immediately.
+    pub fn shutdown(&self) {
+        self.shared.request_stop();
+    }
+}
+
 /// A running sketch-query server.
 ///
-/// Binding spawns the accept loop; [`shutdown`](Server::shutdown) (or drop)
-/// stops accepting and joins it.  Connections already open run to their
-/// natural end (client hang-up or fatal protocol fault).
+/// Binding spawns the event loop and worker pool;
+/// [`shutdown`](Server::shutdown) (or drop) stops accepting, drains
+/// in-flight requests, flushes queued responses, and joins every thread.
 ///
 /// ```no_run
 /// use pie_serve::{Server, ServeClient};
@@ -55,8 +135,9 @@ pub struct Server {
     addr: SocketAddr,
     catalog: Arc<SketchCatalog>,
     engine: Arc<QueryEngine>,
-    stop: Arc<AtomicBool>,
-    accept_loop: Option<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    event_loop: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
@@ -77,22 +158,61 @@ impl Server {
     /// Propagates socket binding failures.
     pub fn bind_with(addr: impl ToSocketAddrs, config: EngineConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let catalog = Arc::new(SketchCatalog::new());
         let engine = Arc::new(QueryEngine::new(config));
-        let stop = Arc::new(AtomicBool::new(false));
-        let accept_loop = {
+
+        let waker = UdpSocket::bind("127.0.0.1:0")?;
+        waker.connect(waker.local_addr()?)?;
+        waker.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            waker,
+        });
+
+        let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
+        let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+        let completions: Arc<Mutex<Vec<Done>>> = Arc::new(Mutex::new(Vec::new()));
+
+        // Workers can block legitimately (the engine's in-flight gate
+        // parks queued queries), so keep a few more than the core count —
+        // a parked worker must never be the only one left to release it.
+        let worker_count = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .clamp(8, 32);
+        let mut workers = Vec::with_capacity(worker_count);
+        for i in 0..worker_count {
+            let jobs_rx = Arc::clone(&jobs_rx);
+            let completions = Arc::clone(&completions);
+            let shared = Arc::clone(&shared);
             let catalog = Arc::clone(&catalog);
             let engine = Arc::clone(&engine);
-            let stop = Arc::clone(&stop);
-            std::thread::spawn(move || accept_loop(&listener, &catalog, &engine, &stop))
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("pie-serve-worker-{i}"))
+                    .spawn(move || {
+                        worker_loop(&jobs_rx, &completions, &shared, &catalog, &engine)
+                    })?,
+            );
+        }
+
+        let poller = Poller::new()?;
+        let event_loop = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("pie-serve-events".to_string())
+                .spawn(move || event_loop(listener, poller, &shared, &jobs_tx, &completions))?
         };
+
         Ok(Self {
             addr,
             catalog,
             engine,
-            stop,
-            accept_loop: Some(accept_loop),
+            shared,
+            event_loop: Some(event_loop),
+            workers,
         })
     }
 
@@ -119,18 +239,30 @@ impl Server {
         &self.engine
     }
 
-    /// Stops accepting new connections and joins the accept loop.
-    pub fn shutdown(mut self) {
-        self.stop_accepting();
+    /// A cloneable handle that can trigger this server's shutdown from
+    /// another thread.
+    #[must_use]
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
-    fn stop_accepting(&mut self) {
-        if self.stop.swap(true, Ordering::SeqCst) {
-            return;
+    /// Gracefully shuts down: stops accepting, drains dispatched requests,
+    /// flushes queued responses (bounded by a drain deadline), and joins
+    /// the event loop and every worker.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.request_stop();
+        if let Some(handle) = self.event_loop.take() {
+            let _ = handle.join();
         }
-        // Unblock the accept loop with one throwaway connection to itself.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_loop.take() {
+        // The event loop dropped the job sender on exit, so the workers'
+        // recv() fails and they return.
+        for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
     }
@@ -138,65 +270,235 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.stop_accepting();
+        self.stop_and_join();
     }
 }
 
-/// Accepts connections until the stop flag flips, one thread per
-/// connection.
-fn accept_loop(
-    listener: &TcpListener,
-    catalog: &Arc<SketchCatalog>,
-    engine: &Arc<QueryEngine>,
-    stop: &Arc<AtomicBool>,
+/// Executes dispatches until the job channel closes (event-loop exit).
+fn worker_loop(
+    jobs: &Mutex<Receiver<Job>>,
+    completions: &Mutex<Vec<Done>>,
+    shared: &Shared,
+    catalog: &SketchCatalog,
+    engine: &QueryEngine,
 ) {
-    for stream in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
-            break;
+    loop {
+        // Holding the lock while waiting serializes job *pickup*, not job
+        // execution — the receiver is released before dispatch runs.
+        let job = {
+            let guard = jobs.lock().expect("job queue lock poisoned");
+            guard.recv()
+        };
+        let Ok(job) = job else { return };
+        let mut tenant = job.tenant;
+        let response = dispatch(job.request, catalog, engine, &mut tenant);
+        let mut frame = Vec::new();
+        if write_message(&mut frame, &response).is_err() {
+            frame.clear();
         }
-        match stream {
-            Ok(stream) => {
-                let catalog = Arc::clone(catalog);
-                let engine = Arc::clone(engine);
-                std::thread::spawn(move || serve_connection(stream, &catalog, &engine));
+        completions
+            .lock()
+            .expect("completion queue lock poisoned")
+            .push(Done {
+                conn: job.conn,
+                tenant,
+                frame,
+            });
+        shared.wake();
+    }
+}
+
+/// Poller token for the completion waker (connection ids count up from 0
+/// and can never collide with the top of the `u64` range).
+const WAKER_TOKEN: u64 = u64::MAX;
+/// Poller token for the accept listener.
+const LISTENER_TOKEN: u64 = u64::MAX - 1;
+
+/// The readiness-polled heart of the server: accepts, reads, frames,
+/// schedules dispatches, and flushes responses for every connection.
+///
+/// The loop is O(active), not O(connections): the [`Poller`] wakes it with
+/// only the sockets that are ready, and each iteration services only the
+/// *dirty* set — connections an event or completion actually touched.  A
+/// thousand idle connections cost nothing per wakeup; interest
+/// re-registration happens only when a connection's wants change.
+fn event_loop(
+    listener: TcpListener,
+    mut poller: Poller,
+    shared: &Arc<Shared>,
+    jobs: &Sender<Job>,
+    completions: &Mutex<Vec<Done>>,
+) {
+    let mut listener = Some(listener);
+    let mut conns: HashMap<u64, Connection> = HashMap::new();
+    let mut next_id: u64 = 0;
+    let mut drain_deadline: Option<Instant> = None;
+    // Connections touched since they were last serviced; deduped each pass.
+    let mut dirty: Vec<u64> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+
+    // A waker registration failure only degrades completion latency to the
+    // poll timeout; a listener failure is caught by the accept tests.
+    let _ = poller.update(fd_of(&shared.waker), WAKER_TOKEN, true, false);
+    if let Some(l) = &listener {
+        let _ = poller.update(fd_of(l), LISTENER_TOKEN, true, false);
+    }
+
+    loop {
+        // 1. Absorb finished dispatches (responses + updated tenants).
+        for done in completions
+            .lock()
+            .expect("completion queue lock poisoned")
+            .drain(..)
+        {
+            // A missing id means the connection died while its request
+            // ran; the response has no one to go to.
+            if let Some(conn) = conns.get_mut(&done.conn) {
+                conn.complete(done.tenant, done.frame);
+                dirty.push(done.conn);
             }
-            // Transient accept errors (peer reset mid-handshake, fd
-            // pressure): keep accepting.
-            Err(_) => continue,
+        }
+
+        // 2. Shutdown transition: stop accepting, stop reading, then wait
+        // for quiescence (or the drain deadline).
+        if shared.stop.load(Ordering::SeqCst) && drain_deadline.is_none() {
+            drain_deadline = Some(Instant::now() + DRAIN_TIMEOUT);
+            if let Some(l) = listener.take() {
+                poller.remove(fd_of(&l));
+            }
+            for (&id, conn) in &mut conns {
+                conn.stop_reading();
+                dirty.push(id);
+            }
+        }
+
+        // 3. Service the dirty set: answer in-stream faults in-line, hand
+        // at most one request per connection to the workers, flush eagerly
+        // (most responses fit the socket buffer, so the common case never
+        // waits for a writability event), reap the finished, and re-declare
+        // poller interest where it changed.
+        dirty.sort_unstable();
+        dirty.dedup();
+        for id in dirty.drain(..) {
+            let Some(conn) = conns.get_mut(&id) else {
+                continue;
+            };
+            while let Some(work) = conn.next_work() {
+                match work {
+                    Work::Request(request) => {
+                        let sent = jobs.send(Job {
+                            conn: id,
+                            request,
+                            tenant: conn.tenant().to_string(),
+                        });
+                        if sent.is_err() {
+                            // Workers are gone (only during teardown).
+                            return;
+                        }
+                        break;
+                    }
+                    Work::Fault { error, fatal } => {
+                        conn.enqueue_response(&Response::Error(error));
+                        if fatal {
+                            conn.stop_reading();
+                        }
+                    }
+                }
+            }
+            conn.handle_writable();
+            if conn.finished() {
+                poller.remove(conn.fd());
+                conns.remove(&id);
+            } else if poller
+                .update(conn.fd(), id, conn.wants_read(), conn.wants_write())
+                .is_err()
+            {
+                // A connection the kernel refuses to watch can never be
+                // served again; drop it rather than strand it.
+                poller.remove(conn.fd());
+                conns.remove(&id);
+            }
+        }
+
+        if let Some(deadline) = drain_deadline {
+            let quiescent = conns.values().all(Connection::quiescent);
+            if quiescent || Instant::now() >= deadline {
+                return;
+            }
+        }
+
+        // 4. Wait for readiness (only ready sockets come back).
+        let timeout = if drain_deadline.is_some() {
+            DRAIN_POLL_MS
+        } else {
+            POLL_MS
+        };
+        events.clear();
+        match poller.wait(timeout) {
+            Ok(ready) => events.extend_from_slice(ready),
+            Err(_) => {
+                // Nothing sane to do with a failed wait but back off
+                // briefly and retry.
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+        }
+
+        // 5. Demultiplex: handle I/O now, queue the touched connections
+        // for servicing at the top of the next iteration (which runs
+        // before the next wait, so changed interest is always re-declared
+        // ahead of sleeping — no level-triggered spin).
+        for event in &events {
+            match event.token {
+                WAKER_TOKEN => {
+                    let mut sink = [0u8; 64];
+                    while shared.waker.recv(&mut sink).is_ok() {}
+                }
+                LISTENER_TOKEN => {
+                    if let Some(l) = &listener {
+                        accept_burst(l, &mut conns, &mut next_id, &mut poller);
+                    }
+                }
+                id => {
+                    if let Some(conn) = conns.get_mut(&id) {
+                        if event.readable {
+                            conn.handle_readable();
+                        }
+                        if event.writable {
+                            conn.handle_writable();
+                        }
+                        dirty.push(id);
+                    }
+                }
+            }
         }
     }
 }
 
-/// One connection's read → dispatch → respond loop.  The tenant identity is
-/// connection state: it starts at [`DEFAULT_TENANT`] and follows the last
-/// `Identify` request.
-fn serve_connection(stream: TcpStream, catalog: &SketchCatalog, engine: &QueryEngine) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-    let mut tenant = DEFAULT_TENANT.to_string();
+/// Accepts every connection currently pending on the listener and
+/// registers each with the poller for reads.
+fn accept_burst(
+    listener: &TcpListener,
+    conns: &mut HashMap<u64, Connection>,
+    next_id: &mut u64,
+    poller: &mut Poller,
+) {
     loop {
-        match read_request(&mut reader) {
-            // Clean hang-up between frames.
-            Ok(None) => break,
-            Ok(Some(request)) => {
-                let response = dispatch(request, catalog, engine, &mut tenant);
-                if write_message(&mut writer, &response).is_err() {
-                    break;
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if let Ok(conn) = Connection::new(stream) {
+                    let id = *next_id;
+                    *next_id += 1;
+                    if poller.update(conn.fd(), id, true, false).is_ok() {
+                        conns.insert(id, conn);
+                    }
                 }
             }
-            Err(fault) => {
-                // Answer with the typed fault whenever the socket still
-                // works; survive only faults that leave the stream at a
-                // frame boundary.
-                let answered =
-                    write_message(&mut writer, &Response::Error(fault.to_serve_error())).is_ok();
-                if fault.fatal || !answered {
-                    break;
-                }
-            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // Transient accept errors (peer reset mid-handshake, fd
+            // pressure): keep accepting at the next readiness event.
+            Err(_) => return,
         }
     }
 }
@@ -243,6 +545,19 @@ fn try_dispatch(
             engine.invalidate_sketch(&name);
             Ok(Response::Loaded(info))
         }
+        Request::PutSnapshot { name, snapshot } => {
+            // The in-band twin of `LoadSnapshot`: the entry arrives as
+            // encoded bytes (the cluster router's replication path) instead
+            // of a server-side file path.
+            let entry: CatalogEntry =
+                pie_store::decode_from_slice(&snapshot).map_err(|e| ServeError::Snapshot {
+                    detail: e.to_string(),
+                })?;
+            let info = catalog.insert(name.clone(), entry);
+            engine.invalidate_sketch(&name);
+            Ok(Response::Loaded(info))
+        }
+        Request::Ping => Ok(Response::Pong),
         Request::IngestBatch {
             sketch,
             config,

@@ -238,6 +238,22 @@ pub enum Request {
     /// Fetch the engine's observability snapshot: cache hit rate, queue
     /// depth, shed counts, per-tenant counters.
     Stats,
+    /// Register an encoded
+    /// [`CatalogEntry`](partial_info_estimators::CatalogEntry) under `name`
+    /// (replacing any same-named entry atomically), shipping the bytes
+    /// **in-band** — unlike [`Request::LoadSnapshot`], nothing has to exist
+    /// on the server's filesystem.  This is how the cluster router
+    /// replicates an entry to the nodes that own it on the hash ring.
+    PutSnapshot {
+        /// The catalog name to register the entry under.
+        name: String,
+        /// The entry, encoded with [`pie_store::encode_to_vec`].
+        snapshot: Vec<u8>,
+    },
+    /// Liveness probe; answered with [`Response::Pong`] and touching
+    /// neither the catalog nor the engine.  The cluster router uses it to
+    /// detect dead nodes cheaply before failing over.
+    Ping,
 }
 
 const REQ_LIST: u32 = 0;
@@ -247,6 +263,8 @@ const REQ_ESTIMATE: u32 = 3;
 const REQ_IDENTIFY: u32 = 4;
 const REQ_BATCH: u32 = 5;
 const REQ_STATS: u32 = 6;
+const REQ_PUT: u32 = 7;
+const REQ_PING: u32 = 8;
 
 impl Encode for Request {
     fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
@@ -289,6 +307,12 @@ impl Encode for Request {
                 queries.encode(w)
             }
             Self::Stats => REQ_STATS.encode(w),
+            Self::PutSnapshot { name, snapshot } => {
+                REQ_PUT.encode(w)?;
+                name.encode(w)?;
+                snapshot.encode(w)
+            }
+            Self::Ping => REQ_PING.encode(w),
         }
     }
 }
@@ -320,6 +344,11 @@ impl Decode for Request {
                 queries: Vec::decode(r)?,
             },
             REQ_STATS => Self::Stats,
+            REQ_PUT => Self::PutSnapshot {
+                name: String::decode(r)?,
+                snapshot: Vec::decode(r)?,
+            },
+            REQ_PING => Self::Ping,
             tag => {
                 return Err(StoreError::InvalidTag {
                     what: "Request",
@@ -361,6 +390,8 @@ pub enum Response {
     BatchEstimated(Vec<PipelineReport>),
     /// Answer to [`Request::Stats`]: the engine observability snapshot.
     Stats(EngineStatsReport),
+    /// Answer to [`Request::Ping`].
+    Pong,
 }
 
 const RESP_CATALOG: u32 = 0;
@@ -371,6 +402,7 @@ const RESP_ERROR: u32 = 4;
 const RESP_IDENTIFIED: u32 = 5;
 const RESP_BATCH: u32 = 6;
 const RESP_STATS: u32 = 7;
+const RESP_PONG: u32 = 8;
 
 impl Encode for Response {
     fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
@@ -413,6 +445,7 @@ impl Encode for Response {
                 RESP_STATS.encode(w)?;
                 stats.encode(w)
             }
+            Self::Pong => RESP_PONG.encode(w),
         }
     }
 }
@@ -434,6 +467,7 @@ impl Decode for Response {
             },
             RESP_BATCH => Self::BatchEstimated(Vec::decode(r)?),
             RESP_STATS => Self::Stats(EngineStatsReport::decode(r)?),
+            RESP_PONG => Self::Pong,
             tag => {
                 return Err(StoreError::InvalidTag {
                     what: "Response",
@@ -482,7 +516,7 @@ pub fn write_message<T: Encode + ?Sized>(
 
 /// Decodes one value from a fully-validated frame payload, requiring the
 /// payload to be consumed exactly.
-fn decode_payload<T: Decode>(payload: &[u8]) -> Result<T, StoreError> {
+pub(crate) fn decode_payload<T: Decode>(payload: &[u8]) -> Result<T, StoreError> {
     let mut cursor = payload;
     let value = T::decode(&mut (&mut cursor as &mut dyn Read))?;
     if !cursor.is_empty() {
@@ -589,6 +623,11 @@ mod tests {
                 ],
             },
             Request::Stats,
+            Request::PutSnapshot {
+                name: "replica".into(),
+                snapshot: vec![0xDE, 0xAD, 0xBE, 0xEF],
+            },
+            Request::Ping,
         ]
     }
 
@@ -661,6 +700,7 @@ mod tests {
                     ingests_shed: 0,
                 }],
             }),
+            Response::Pong,
         ]
     }
 

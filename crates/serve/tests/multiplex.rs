@@ -1,0 +1,151 @@
+//! Multiplexed-server scale and lifecycle tests: one event loop holding
+//! over a thousand live connections, and graceful shutdown that drains
+//! in-flight work instead of dropping it.
+//!
+//! The thread-per-connection server these tests replaced would need >1000
+//! OS threads for the first test; the event loop holds every socket in one
+//! poll set and keeps the worker pool small.  Throughput at this scale is
+//! pinned by the serve benchmark; here the contracts are *correctness*:
+//! every connection serves, every answer is bit-identical to the
+//! in-process pipeline, and shutdown completes outstanding responses.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use partial_info_estimators::core::suite::max_oblivious_suite;
+use partial_info_estimators::datagen::paper_example;
+use partial_info_estimators::{CatalogEntry, Pipeline, PipelineReport, Scheme, Statistic};
+use pie_serve::{ServeClient, ServeError, Server};
+
+const TRIALS: u64 = 6;
+const SALT: u64 = 5;
+
+/// The single small sketch every connection queries.
+fn entry() -> CatalogEntry {
+    CatalogEntry::build(
+        paper_example().take_instances(2),
+        Scheme::oblivious(0.5),
+        1,
+        TRIALS,
+        SALT,
+    )
+    .unwrap()
+}
+
+/// The in-process reference report the served answers must equal.
+fn expected() -> PipelineReport {
+    Pipeline::new()
+        .dataset(Arc::new(paper_example().take_instances(2)))
+        .scheme(Scheme::oblivious(0.5))
+        .estimators(max_oblivious_suite(0.5, 0.5))
+        .statistic(Statistic::max_dominance())
+        .trials(TRIALS)
+        .base_salt(SALT)
+        .run()
+        .unwrap()
+}
+
+#[test]
+fn a_thousand_concurrent_connections_all_serve_bit_identically() {
+    const CONNECTIONS: usize = 1024;
+    const DRIVERS: usize = 8;
+
+    let server = Server::bind("127.0.0.1:0").unwrap();
+    server.catalog().insert("example", entry());
+    let addr = server.local_addr();
+    let want = expected();
+
+    // Open every connection up front and hold them all: the event loop
+    // must carry 1024 live sockets in one poll set.
+    let mut clients: Vec<ServeClient> = (0..CONNECTIONS)
+        .map(|i| {
+            ServeClient::connect(addr)
+                .unwrap_or_else(|e| panic!("connection {i} refused at scale: {e}"))
+        })
+        .collect();
+
+    // Every connection proves liveness while all the others stay open.
+    for client in &mut clients {
+        client.ping().unwrap();
+    }
+
+    // Drive all 1024 from a few threads so requests overlap, and check
+    // every answer against the in-process pipeline, bit for bit.
+    let served = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let chunk = CONNECTIONS / DRIVERS;
+        for (t, slice) in clients.chunks_mut(chunk).enumerate() {
+            let want = &want;
+            let served = &served;
+            scope.spawn(move || {
+                for (c, client) in slice.iter_mut().enumerate() {
+                    let got = client
+                        .estimate("example", "max_oblivious", "max_dominance")
+                        .unwrap_or_else(|e| panic!("driver {t} client {c}: {e}"));
+                    assert_eq!(got, *want, "driver {t} client {c} diverged");
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(served.load(Ordering::Relaxed), CONNECTIONS);
+    drop(clients);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_inflight_work_and_refuses_new_connections() {
+    let server = Server::bind("127.0.0.1:0").unwrap();
+    server.catalog().insert("example", entry());
+    let addr = server.local_addr();
+    let want = expected();
+    let handle = server.shutdown_handle();
+
+    // Hammer the server from several client threads while another thread
+    // requests shutdown mid-flight.  Every *completed* answer must still
+    // be bit-identical — a drained response is a full response — and every
+    // failure must be a typed transport/timeout fault, never a bad answer.
+    let completed = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let want = &want;
+            let completed = &completed;
+            scope.spawn(move || {
+                let Ok(mut client) = ServeClient::connect(addr) else {
+                    return; // shutdown won the race before we connected
+                };
+                for i in 0..200 {
+                    match client.estimate("example", "max_oblivious", "max_dominance") {
+                        Ok(got) => {
+                            assert_eq!(got, *want, "thread {t} request {i} diverged");
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(
+                            ServeError::Transport { .. }
+                            | ServeError::Timeout { .. }
+                            | ServeError::Protocol { .. },
+                        ) => return, // the drain closed us; fine
+                        Err(other) => panic!("thread {t} request {i}: {other}"),
+                    }
+                }
+            });
+        }
+        scope.spawn(|| {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            handle.shutdown();
+        });
+    });
+    assert!(
+        completed.load(Ordering::Relaxed) > 0,
+        "no request completed before shutdown"
+    );
+
+    // Joining the server must now return promptly (drain, not hang).
+    server.shutdown();
+
+    // And the port is closed: new connections are refused outright.
+    assert!(
+        ServeClient::connect(addr).is_err(),
+        "listener still accepting after shutdown"
+    );
+}

@@ -67,6 +67,11 @@ fn corpus() -> Vec<Vec<u8>> {
             ],
         },
         Request::Stats,
+        Request::PutSnapshot {
+            name: "replica".into(),
+            snapshot: vec![0xDE, 0xAD, 0xBE, 0xEF],
+        },
+        Request::Ping,
     ];
     requests
         .iter()
@@ -310,6 +315,133 @@ fn live_server_survives_fatal_faults_on_fresh_connections() {
         let len = rng.gen_range(1usize..128);
         let garbage: Vec<u8> = (0..len).map(|_| (rng.gen::<u32>() & 0xFF) as u8).collect();
         send_raw_then_expect_alive(&server, &garbage);
+    }
+    server.shutdown();
+}
+
+/// Drip-feeds `frames` to the server over one connection in `chunks`-sized
+/// slices (with a flush and a pause between writes so the event loop sees
+/// genuinely partial frames), then reads back `expected` responses.
+fn send_in_chunks(
+    addr: std::net::SocketAddr,
+    bytes: &[u8],
+    chunk: usize,
+    expected: usize,
+) -> Vec<Response> {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    for piece in bytes.chunks(chunk.max(1)) {
+        writer.write_all(piece).unwrap();
+        writer.flush().unwrap();
+        // Give the event loop a chance to wake and observe the partial
+        // frame before the next piece lands.
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+    (0..expected)
+        .map(|i| {
+            read_response(&mut reader)
+                .unwrap_or_else(|f| panic!("response {i}: fault {}", f.error))
+                .unwrap_or_else(|| panic!("response {i}: server closed early"))
+        })
+        .collect()
+}
+
+#[test]
+fn byte_at_a_time_delivery_decodes_and_serves_every_request() {
+    let server = Server::bind("127.0.0.1:0").unwrap();
+    let entry = CatalogEntry::build(
+        paper_example().take_instances(2),
+        Scheme::oblivious(0.5),
+        1,
+        5,
+        0,
+    )
+    .unwrap();
+    server.catalog().insert("example", entry);
+
+    // Three pipelined requests, delivered one byte per write: the server's
+    // incremental decoder must buffer across reads and answer all three,
+    // in order.
+    let mut bytes = Vec::new();
+    write_message(&mut bytes, &Request::Ping).unwrap();
+    write_message(&mut bytes, &Request::ListCatalog).unwrap();
+    write_message(
+        &mut bytes,
+        &Request::Estimate {
+            sketch: "example".into(),
+            estimator: "max_oblivious".into(),
+            statistic: "max_dominance".into(),
+        },
+    )
+    .unwrap();
+    let responses = send_in_chunks(server.local_addr(), &bytes, 1, 3);
+    assert!(matches!(responses[0], Response::Pong));
+    assert!(matches!(&responses[1], Response::Catalog(rows) if rows.len() == 1));
+    assert!(matches!(responses[2], Response::Estimated(_)));
+    server.shutdown();
+}
+
+#[test]
+fn every_split_offset_of_a_pipelined_pair_serves_both_requests() {
+    let server = Server::bind("127.0.0.1:0").unwrap();
+
+    // Two back-to-back frames split into exactly two writes at EVERY byte
+    // offset: every possible partial-frame boundary (mid-magic, mid-length,
+    // mid-payload, mid-checksum, and across the frame seam) must decode to
+    // the same two responses.
+    let mut bytes = Vec::new();
+    write_message(&mut bytes, &Request::ListCatalog).unwrap();
+    write_message(&mut bytes, &Request::Ping).unwrap();
+    for cut in 0..=bytes.len() {
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer.write_all(&bytes[..cut]).unwrap();
+        writer.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_micros(200));
+        writer.write_all(&bytes[cut..]).unwrap();
+        writer.flush().unwrap();
+        for (i, want_catalog) in [(0usize, true), (1, false)] {
+            let response = read_response(&mut reader)
+                .unwrap_or_else(|f| panic!("cut {cut}, response {i}: fault {}", f.error))
+                .unwrap_or_else(|| panic!("cut {cut}, response {i}: closed early"));
+            match (want_catalog, response) {
+                (true, Response::Catalog(_)) | (false, Response::Pong) => {}
+                (_, other) => panic!("cut {cut}, response {i}: got {other:?}"),
+            }
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn mid_frame_hangup_is_answered_with_a_typed_truncation_error() {
+    let server = Server::bind("127.0.0.1:0").unwrap();
+    let mut whole = Vec::new();
+    write_message(&mut whole, &Request::ListCatalog).unwrap();
+
+    // Cut everywhere INSIDE the frame (cut 0 is a clean close, not a
+    // truncation).  The server must answer with a typed protocol error
+    // before closing — never silently drop the connection.
+    for cut in 1..whole.len() {
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer.write_all(&whole[..cut]).unwrap();
+        writer.flush().unwrap();
+        writer.shutdown(std::net::Shutdown::Write).unwrap();
+        let response = read_response(&mut reader)
+            .unwrap_or_else(|f| panic!("cut {cut}: fault {}", f.error))
+            .unwrap_or_else(|| panic!("cut {cut}: closed without a typed error"));
+        assert!(
+            matches!(response, Response::Error(ServeError::Protocol { .. })),
+            "cut {cut}: got {response:?}"
+        );
+        // And the connection closes after it (fatal fault).
+        assert!(read_response(&mut reader).unwrap().is_none(), "cut {cut}");
     }
     server.shutdown();
 }

@@ -136,6 +136,21 @@ fn exemplars() -> Vec<(&'static str, Vec<u8>)> {
             Box::new(Response::BatchEstimated(vec![report])),
         ),
         (
+            "request_put_snapshot",
+            Box::new(Request::PutSnapshot {
+                name: "replica".into(),
+                snapshot: vec![0xDE, 0xAD, 0xBE, 0xEF],
+            }),
+        ),
+        ("request_ping", Box::new(Request::Ping)),
+        ("response_pong", Box::new(Response::Pong)),
+        (
+            "response_error_timeout",
+            Box::new(Response::Error(ServeError::Timeout {
+                during: "reading the response".into(),
+            })),
+        ),
+        (
             "response_stats",
             Box::new(Response::Stats(EngineStatsReport {
                 cache: CacheStats {
@@ -179,7 +194,7 @@ fn hex(bytes: &[u8]) -> String {
 
 /// The pinned frames.  Regenerate only on an intentional, version-bumped
 /// wire change.
-const GOLDEN: [(&str, &str); 15] = [
+const GOLDEN: [(&str, &str); 19] = [
     ("request_list_catalog", "50494557010000000400000000000000000000006069b1e26ffb1364"),
     ("request_load_snapshot", "50494557010000002c000000000000000100000007000000000000007472616666696311000000000000002f7372762f747261666669632e70696573ef77bed2a22758c3"),
     ("request_ingest_batch", "504945570100000055000000000000000200000004000000000000006c69766500000000000000000000e03f020000000000000006000000000000000500000000000000010000000000000001000000000000002a00000000000000000000000000044001da38c04643cca3a4"),
@@ -194,18 +209,22 @@ const GOLDEN: [(&str, &str); 15] = [
     ("request_stats", "5049455701000000040000000000000006000000c6d4f3e7a103f423"),
     ("response_identified", "5049455701000000100000000000000005000000040000000000000061636d650f8f5f6c997aa6cd"),
     ("response_batch_estimated", "504945570100000073000000000000000600000001000000000000000d000000000000006d61785f646f6d696e616e63650000000000002440020000000000000001000000000000000a000000000000006d61785f68745f70707300000000000024400000000000002440000000000000f03f0000000000000000020000000000000075709144e7272fe8"),
+    ("request_put_snapshot", "50494557010000001f000000000000000700000007000000000000007265706c6963610400000000000000deadbeefb3c25bc8c16f6710"),
+    ("request_ping", "5049455701000000040000000000000008000000e84d5f94b25be963"),
+    ("response_pong", "5049455701000000040000000000000008000000e84d5f94b25be963"),
+    ("response_error_timeout", "50494557010000002400000000000000040000000e000000140000000000000072656164696e672074686520726573706f6e73653cb273af6f842627"),
     ("response_stats", "5049455701000000900000000000000007000000090000000000000003000000000000000100000000000000020000000000000004000000000000000004000000000000010000000000000000000000000000000500000000000000400000000000000000040000000000000100000000000000040000000000000061636d650c000000000000000500000000000000640000000000000000000000000000001861fc1166ab4cd1"),
 ];
 
 #[test]
 fn every_message_frame_matches_its_golden_bytes() {
     let exemplars = exemplars();
-    assert_eq!(exemplars.len(), GOLDEN.len());
     if std::env::var_os("PIE_PRINT_GOLDEN").is_some() {
         for (name, bytes) in &exemplars {
             println!("(\"{name}\", \"{}\"),", hex(bytes));
         }
     }
+    assert_eq!(exemplars.len(), GOLDEN.len());
     for ((name, bytes), (golden_name, golden_hex)) in exemplars.iter().zip(GOLDEN) {
         assert_eq!(*name, golden_name);
         assert_eq!(

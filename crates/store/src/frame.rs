@@ -251,6 +251,158 @@ pub fn recoverable(error: &StoreError) -> bool {
     )
 }
 
+/// An incremental, push-based frame parser — the nonblocking twin of
+/// [`read_frame`].
+///
+/// A readiness-polled connection cannot block until a whole frame arrives:
+/// bytes show up in arbitrary slices as the socket becomes readable.
+/// `FrameDecoder` accumulates those slices ([`extend`](Self::extend)) and
+/// yields complete, fully-validated payloads ([`next_frame`](Self::next_frame))
+/// with **exactly** the same validation order, error variants, and
+/// [`recoverable`] classification as the blocking reader — byte-at-a-time
+/// delivery and any split of a valid frame decode identically to handing
+/// [`read_frame`] the whole buffer.
+///
+/// Early rejection mirrors the blocking path: a wrong magic fails as soon
+/// as four bytes are buffered, and a hostile length prefix fails as soon as
+/// the 16-byte header is buffered — *before* any payload byte is retained,
+/// so a peer cannot force the decoder to buffer past `max_payload`.
+///
+/// After a recoverable error the offending frame has been discarded and the
+/// decoder is positioned at the next frame boundary; after a fatal error
+/// the stream position is unknowable and the decoder refuses further use
+/// (every subsequent call returns the fatal error again).
+#[derive(Debug)]
+pub struct FrameDecoder {
+    magic: [u8; 4],
+    version: u32,
+    max_payload: u64,
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed (compacted lazily).
+    pos: usize,
+    /// A fatal framing error latches the decoder dead.
+    dead: Option<&'static str>,
+}
+
+impl FrameDecoder {
+    /// A decoder for frames with the given magic, version, and payload
+    /// bound (the same parameters as [`read_frame`]).
+    #[must_use]
+    pub fn new(magic: [u8; 4], version: u32, max_payload: u64) -> Self {
+        Self {
+            magic,
+            version,
+            max_payload,
+            buf: Vec::new(),
+            pos: 0,
+            dead: None,
+        }
+    }
+
+    /// Appends newly-received bytes to the decoder's buffer.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: the parser only ever consumes whole
+        // frames, so `pos` bytes at the front are permanently dead.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// The next complete frame's payload, if one is fully buffered.
+    ///
+    /// `Ok(None)` means "need more bytes" — never an error, matching the
+    /// level-triggered shape a poll loop wants.  Call in a loop after each
+    /// [`extend`](Self::extend): several frames may have arrived in one
+    /// read.
+    ///
+    /// # Errors
+    /// The same variants as [`read_frame`], under the same classification:
+    /// after a [`recoverable`] error the bad frame is discarded and parsing
+    /// may continue; after a fatal one the decoder is latched dead and
+    /// returns the same error forever.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, StoreError> {
+        if let Some(context) = self.dead {
+            return Err(StoreError::Truncated { context });
+        }
+        let avail = &self.buf[self.pos..];
+        // Validate the magic as soon as its bytes are here (fatal).
+        if avail.len() < 4 {
+            if !avail.is_empty() && avail != &self.magic[..avail.len()] {
+                self.dead = Some("frame magic");
+                return Err(StoreError::BadMagic {
+                    found: partial_magic(avail),
+                });
+            }
+            return Ok(None);
+        }
+        let found_magic: [u8; 4] = avail[..4].try_into().expect("length checked");
+        if found_magic != self.magic {
+            self.dead = Some("frame magic");
+            return Err(StoreError::BadMagic { found: found_magic });
+        }
+        // Validate the length bound as soon as the header is here (fatal):
+        // nothing of an over-large frame is ever buffered knowingly.
+        if avail.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let version_bytes: [u8; 4] = avail[4..8].try_into().expect("length checked");
+        let len_bytes: [u8; 8] = avail[8..16].try_into().expect("length checked");
+        let len = u64::from_le_bytes(len_bytes);
+        if len > self.max_payload {
+            self.dead = Some("frame payload length");
+            return Err(StoreError::FrameTooLarge {
+                len,
+                max: self.max_payload,
+            });
+        }
+        let len = usize::try_from(len).map_err(|_| {
+            self.dead = Some("frame payload length");
+            StoreError::InvalidValue {
+                what: "frame payload length does not fit in usize on this host",
+            }
+        })?;
+        let total = HEADER_LEN + len + TRAILER_LEN;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        // The whole frame is buffered: consume it, then validate version
+        // and checksum — both recoverable, the stream stays at a boundary.
+        let payload = avail[HEADER_LEN..HEADER_LEN + len].to_vec();
+        let checksum_bytes: [u8; 8] = avail[HEADER_LEN + len..total]
+            .try_into()
+            .expect("length checked");
+        self.pos += total;
+        let found_version = u32::from_le_bytes(version_bytes);
+        if found_version != self.version {
+            return Err(StoreError::UnsupportedVersion {
+                found: found_version,
+                supported: self.version,
+            });
+        }
+        let expected = u64::from_le_bytes(checksum_bytes);
+        let actual = frame_checksum(&version_bytes, &len_bytes, &payload);
+        if actual != expected {
+            return Err(StoreError::ChecksumMismatch { expected, actual });
+        }
+        Ok(Some(payload))
+    }
+}
+
+/// Pads a short magic prefix for the [`StoreError::BadMagic`] report.
+fn partial_magic(prefix: &[u8]) -> [u8; 4] {
+    let mut found = [0u8; 4];
+    found[..prefix.len()].copy_from_slice(prefix);
+    found
+}
+
 fn read_exact<R: Read>(
     src: &mut R,
     buf: &mut [u8],
@@ -378,6 +530,99 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(payload, b"ok");
+    }
+
+    #[test]
+    fn decoder_matches_blocking_reader_at_every_split() {
+        let mut stream = frame(b"first");
+        stream.extend_from_slice(&frame(b""));
+        stream.extend_from_slice(&frame(b"third frame payload"));
+        // Whole-buffer, byte-at-a-time, and every two-way split must all
+        // yield the same three payloads.
+        let deliveries: Vec<Vec<&[u8]>> = std::iter::once(vec![&stream[..]])
+            .chain((1..stream.len()).map(|cut| vec![&stream[..cut], &stream[cut..]]))
+            .chain(std::iter::once(stream.chunks(1).collect::<Vec<&[u8]>>()))
+            .collect();
+        for slices in deliveries {
+            let mut decoder = FrameDecoder::new(MAGIC, 3, u64::MAX);
+            let mut frames = Vec::new();
+            for slice in slices {
+                decoder.extend(slice);
+                while let Some(payload) = decoder.next_frame().unwrap() {
+                    frames.push(payload);
+                }
+            }
+            assert_eq!(
+                frames,
+                vec![
+                    b"first".to_vec(),
+                    b"".to_vec(),
+                    b"third frame payload".to_vec()
+                ]
+            );
+            assert_eq!(decoder.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn decoder_needs_more_bytes_is_not_an_error() {
+        let bytes = frame(b"pending");
+        let mut decoder = FrameDecoder::new(MAGIC, 3, u64::MAX);
+        for cut in 0..bytes.len() {
+            decoder.extend(&bytes[cut..cut + 1]);
+            if cut + 1 < bytes.len() {
+                assert!(decoder.next_frame().unwrap().is_none(), "cut {cut}");
+            }
+        }
+        assert_eq!(decoder.next_frame().unwrap().unwrap(), b"pending");
+    }
+
+    #[test]
+    fn decoder_recovers_after_wrong_version_and_checksum() {
+        let mut bad_version = frame(b"abc");
+        bad_version[4] = 9;
+        let mut bad_checksum = frame(b"abcd");
+        bad_checksum[HEADER_LEN] ^= 0x01;
+        let good = frame(b"good");
+        let mut decoder = FrameDecoder::new(MAGIC, 3, u64::MAX);
+        decoder.extend(&bad_version);
+        decoder.extend(&bad_checksum);
+        decoder.extend(&good);
+        let err = decoder.next_frame().unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::UnsupportedVersion { found: 9, .. }
+        ));
+        assert!(recoverable(&err));
+        let err = decoder.next_frame().unwrap_err();
+        assert!(matches!(err, StoreError::ChecksumMismatch { .. }));
+        assert!(recoverable(&err));
+        assert_eq!(decoder.next_frame().unwrap().unwrap(), b"good");
+    }
+
+    #[test]
+    fn decoder_rejects_bad_magic_and_oversized_length_early_and_latches() {
+        // Wrong first byte: rejected before the full header arrives.
+        let mut decoder = FrameDecoder::new(MAGIC, 3, u64::MAX);
+        decoder.extend(b"Z");
+        let err = decoder.next_frame().unwrap_err();
+        assert!(matches!(err, StoreError::BadMagic { .. }));
+        assert!(!recoverable(&err));
+        // Dead decoders stay dead, even fed a valid frame.
+        decoder.extend(&frame(b"late"));
+        assert!(decoder.next_frame().is_err());
+
+        // Hostile length prefix: rejected at the header, payload unread.
+        let mut bytes = frame(b"x");
+        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        let mut decoder = FrameDecoder::new(MAGIC, 3, 1024);
+        decoder.extend(&bytes[..HEADER_LEN]);
+        let err = decoder.next_frame().unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::FrameTooLarge { len: u64::MAX, .. }
+        ));
+        assert!(!recoverable(&err));
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! Distributed-serving conformance: every estimate served through the
+//! cluster router — at every node count × replication factor, through
+//! both ingest paths, and after killing nodes — is **bit-identical** to
+//! the in-process [`Pipeline`] on the same configuration.
+//!
+//! This is the cluster layer's version of the repo's core invariant:
+//! moving computation (across threads, processes, sockets, and now nodes)
+//! must never move a bit of the answer.  Consistent hashing decides
+//! *where* a sketch lives; determinism guarantees *what* every replica
+//! answers; these tests pin the composition.
+
+use std::sync::Arc;
+
+use partial_info_estimators::core::suite::{max_oblivious_suite, max_weighted_suite};
+use partial_info_estimators::datagen::{
+    dataset_records, generate_two_hours, paper_example, Dataset, TrafficConfig,
+};
+use partial_info_estimators::{CatalogEntry, Pipeline, PipelineReport, Scheme, Statistic};
+use pie_cluster::{ClusterError, LocalCluster, Router};
+use pie_serve::{BatchQuery, IngestRecord, SketchConfig};
+
+/// One sketch in the conformance matrix: data, config, and the
+/// (suite, statistic) pairs it answers.
+struct Case {
+    name: &'static str,
+    dataset: Arc<Dataset>,
+    config: SketchConfig,
+    queries: Vec<(&'static str, &'static str, PipelineReport)>,
+}
+
+fn cases() -> Vec<Case> {
+    let pair = Arc::new(paper_example().take_instances(2));
+    let pair_config = SketchConfig {
+        scheme: Scheme::oblivious(0.5),
+        shards: 2,
+        trials: 12,
+        base_salt: 3,
+    };
+    let traffic = Arc::new(generate_two_hours(&TrafficConfig::small(4)));
+    let traffic_config = SketchConfig {
+        scheme: Scheme::pps(150.0),
+        shards: 2,
+        trials: 8,
+        base_salt: 7,
+    };
+
+    let expect_pair = Pipeline::new()
+        .dataset(Arc::clone(&pair))
+        .scheme(pair_config.scheme)
+        .estimators(max_oblivious_suite(0.5, 0.5))
+        .statistic(Statistic::max_dominance())
+        .trials(pair_config.trials)
+        .base_salt(pair_config.base_salt)
+        .run()
+        .unwrap();
+    let expect_traffic_max = Pipeline::new()
+        .dataset(Arc::clone(&traffic))
+        .scheme(traffic_config.scheme)
+        .estimators(max_weighted_suite())
+        .statistic(Statistic::max_dominance())
+        .trials(traffic_config.trials)
+        .base_salt(traffic_config.base_salt)
+        .run()
+        .unwrap();
+    let expect_traffic_distinct = Pipeline::new()
+        .dataset(Arc::clone(&traffic))
+        .scheme(traffic_config.scheme)
+        .estimators(max_weighted_suite())
+        .statistic(Statistic::distinct_count())
+        .trials(traffic_config.trials)
+        .base_salt(traffic_config.base_salt)
+        .run()
+        .unwrap();
+
+    vec![
+        Case {
+            name: "paper_pair",
+            dataset: pair,
+            config: pair_config,
+            queries: vec![("max_oblivious", "max_dominance", expect_pair)],
+        },
+        Case {
+            name: "traffic_pps",
+            dataset: traffic,
+            config: traffic_config,
+            queries: vec![
+                ("max_weighted", "max_dominance", expect_traffic_max),
+                ("max_weighted", "distinct_count", expect_traffic_distinct),
+            ],
+        },
+    ]
+}
+
+fn wire_records(dataset: &Dataset) -> Vec<IngestRecord> {
+    dataset_records(dataset)
+        .map(|r| IngestRecord {
+            instance: r.instance,
+            key: r.key,
+            value: r.value,
+        })
+        .collect()
+}
+
+/// Loads every case into the cluster: even cases via replicated wire
+/// ingest (each owner runs the same deterministic build), odd cases via
+/// a locally built entry published to all owners as one snapshot.
+fn populate(router: &mut Router, cases: &[Case]) {
+    for (i, case) in cases.iter().enumerate() {
+        if i % 2 == 0 {
+            let records = wire_records(&case.dataset);
+            let half = records.len() / 2;
+            router
+                .ingest_batch(case.name, case.config, records[..half].to_vec(), false)
+                .unwrap();
+            router
+                .ingest_batch(case.name, case.config, records[half..].to_vec(), true)
+                .unwrap();
+        } else {
+            let entry = CatalogEntry::build(
+                (*case.dataset).clone(),
+                case.config.scheme,
+                case.config.shards as usize,
+                case.config.trials,
+                case.config.base_salt,
+            )
+            .unwrap();
+            router.publish_entry(case.name, &entry).unwrap();
+        }
+    }
+}
+
+/// Asserts every query of every case answers bit-identically through the
+/// router, via both `estimate` and `batch_estimate`.
+fn assert_serving_matches(router: &mut Router, cases: &[Case], context: &str) {
+    for case in cases {
+        for (estimator, statistic, want) in &case.queries {
+            let got = router
+                .estimate(case.name, estimator, statistic)
+                .unwrap_or_else(|e| {
+                    panic!("{context}: {}/{estimator}/{statistic}: {e}", case.name)
+                });
+            assert_eq!(
+                got, *want,
+                "{context}: {} {estimator}/{statistic}",
+                case.name
+            );
+        }
+        let batch: Vec<BatchQuery> = case
+            .queries
+            .iter()
+            .map(|(estimator, statistic, _)| BatchQuery {
+                estimator: (*estimator).into(),
+                statistic: (*statistic).into(),
+            })
+            .collect();
+        let reports = router
+            .batch_estimate(case.name, batch)
+            .unwrap_or_else(|e| panic!("{context}: batch {}: {e}", case.name));
+        for ((_, _, want), got) in case.queries.iter().zip(&reports) {
+            assert_eq!(got, want, "{context}: batch {}", case.name);
+        }
+    }
+}
+
+#[test]
+fn every_topology_serves_bit_identical_to_in_process_pipeline() {
+    let cases = cases();
+    for nodes in [1usize, 3, 5] {
+        for replication in [1usize, 2] {
+            let cluster = LocalCluster::launch(nodes).unwrap();
+            let mut router = cluster.router(replication).unwrap();
+            populate(&mut router, &cases);
+            let context = format!("N={nodes} R={replication}");
+            assert_serving_matches(&mut router, &cases, &context);
+
+            // The union catalog lists every sketch exactly once, sorted,
+            // regardless of which nodes hold which replicas.
+            let listing = router.list_catalog().unwrap();
+            let names: Vec<&str> = listing.iter().map(|i| i.name.as_str()).collect();
+            assert_eq!(names, ["paper_pair", "traffic_pps"], "{context}");
+
+            // Fleet stats aggregate across nodes: the queries just served
+            // are visible in the merged tenant rows.
+            let stats = router.stats().unwrap();
+            let total: u64 = stats.tenants.iter().map(|t| t.queries_admitted).sum();
+            assert!(total > 0, "{context}: no admitted queries in fleet stats");
+        }
+    }
+}
+
+#[test]
+fn serving_survives_node_death_bit_identically_when_replicated() {
+    let cases = cases();
+    let mut cluster = LocalCluster::launch(3).unwrap();
+    let mut router = cluster.router(2).unwrap();
+    populate(&mut router, &cases);
+    assert_serving_matches(&mut router, &cases, "N=3 R=2 all-up");
+
+    // Kill the primary owner of the first sketch: every query must keep
+    // answering identically from the replica.
+    let owner = router.owners(cases[0].name)[0].to_string();
+    let index: usize = owner.strip_prefix("node-").unwrap().parse().unwrap();
+    assert!(cluster.kill(index));
+    assert_serving_matches(&mut router, &cases, "N=3 R=2 one-down");
+
+    // The union catalog still sees every sketch through surviving nodes.
+    let listing = router.list_catalog().unwrap();
+    assert_eq!(listing.len(), cases.len());
+
+    // Health sweep agrees: exactly one node is down.
+    let down = router
+        .ping_all()
+        .into_iter()
+        .filter(|(_, alive)| !alive)
+        .count();
+    assert_eq!(down, 1);
+}
+
+#[test]
+fn unreplicated_sketches_fail_typed_when_their_only_owner_dies() {
+    let cases = cases();
+    let mut cluster = LocalCluster::launch(3).unwrap();
+    let mut router = cluster.router(1).unwrap();
+    populate(&mut router, &cases);
+
+    let owner = router.owners(cases[0].name)[0].to_string();
+    let index: usize = owner.strip_prefix("node-").unwrap().parse().unwrap();
+    cluster.kill(index);
+
+    // R=1 and the only owner is gone: the router must say so, typed —
+    // naming the sketch — not hang or invent an answer elsewhere.
+    let (estimator, statistic, _) = &cases[0].queries[0];
+    match router.estimate(cases[0].name, estimator, statistic) {
+        Err(ClusterError::NoReplica { sketch, .. }) => assert_eq!(sketch, cases[0].name),
+        other => panic!("expected NoReplica, got {other:?}"),
+    }
+}
