@@ -33,4 +33,4 @@ pub use empirical::{
 pub use exact::{pps2_expectation, pps2_mean_variance, pps2_outcome, pps2_variance};
 pub use report::{format_sig, Series, Table};
 pub use stats::{relative_error, RunningStats};
-pub use trial::{parse_threads, TrialRunner, THREADS_ENV, TRIAL_CHUNK};
+pub use trial::{parse_threads, ChunkTiming, Recorder, TrialRunner, THREADS_ENV, TRIAL_CHUNK};

@@ -54,7 +54,10 @@
 //! assert_eq!(stats, seq);
 //! ```
 
+use std::fmt;
 use std::ops::Range;
+use std::sync::Arc;
+use std::time::Instant;
 
 use crate::stats::RunningStats;
 
@@ -71,13 +74,81 @@ pub const TRIAL_CHUNK: u64 = 16;
 /// Environment variable overriding the default worker-thread count.
 pub const THREADS_ENV: &str = "PIE_THREADS";
 
+/// The wall-clock timing of one executed reduction chunk, as delivered to a
+/// [`Recorder`] hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkTiming {
+    /// The chunk's index in the canonical partition.
+    pub chunk: u64,
+    /// How many trials the chunk covered.
+    pub trials: u64,
+    /// Wall-clock nanoseconds the chunk body took.
+    pub nanos: u64,
+}
+
+/// A per-chunk timing hook for [`TrialRunner`], **zero-cost when
+/// disabled**: the default (disabled) recorder costs one `Option` check per
+/// chunk — no clock reads, no allocation — and never changes results
+/// (timing is observation only; the reduction order is untouched).
+#[derive(Clone, Default)]
+pub struct Recorder {
+    hook: Option<Arc<dyn Fn(ChunkTiming) + Send + Sync>>,
+}
+
+impl Recorder {
+    /// The disabled recorder (same as `Recorder::default()`).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A recorder delivering every chunk's [`ChunkTiming`] to `hook`.  The
+    /// hook runs on the worker thread that executed the chunk, so it must
+    /// be cheap and thread-safe (an atomic add, a lock-free histogram).
+    #[must_use]
+    pub fn new(hook: Arc<dyn Fn(ChunkTiming) + Send + Sync>) -> Self {
+        Self { hook: Some(hook) }
+    }
+
+    /// Whether a hook is installed.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.hook.is_some()
+    }
+
+    fn observe(&self, timing: ChunkTiming) {
+        if let Some(hook) = &self.hook {
+            hook(timing);
+        }
+    }
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
 /// Parallel, deterministic executor of Monte-Carlo trial loops; see the
 /// [module docs](self) for the determinism model.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct TrialRunner {
     threads: usize,
     chunk: u64,
+    recorder: Recorder,
 }
+
+/// Runner identity is its determinism-relevant configuration (threads and
+/// chunk width); the observation-only recorder never participates.
+impl PartialEq for TrialRunner {
+    fn eq(&self, other: &Self) -> bool {
+        self.threads == other.threads && self.chunk == other.chunk
+    }
+}
+
+impl Eq for TrialRunner {}
 
 impl Default for TrialRunner {
     /// Same as [`TrialRunner::new`].
@@ -95,6 +166,7 @@ impl TrialRunner {
         Self {
             threads: env_threads().unwrap_or_else(available_threads),
             chunk: TRIAL_CHUNK,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -105,6 +177,7 @@ impl TrialRunner {
         Self {
             threads: threads.max(1),
             chunk: TRIAL_CHUNK,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -138,6 +211,15 @@ impl TrialRunner {
     #[must_use]
     pub fn chunk_width(&self) -> u64 {
         self.chunk
+    }
+
+    /// Installs a per-chunk timing [`Recorder`].  Recording is observation
+    /// only — the partition, reduction order, and results are untouched, so
+    /// instrumented runs stay bit-identical to uninstrumented ones.
+    #[must_use]
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Runs `trials` trials with `lanes` statistics lanes and a per-trial
@@ -195,12 +277,30 @@ impl TrialRunner {
             .min(usize::try_from(num_chunks).unwrap_or(usize::MAX))
             .max(1);
 
+        // Timed execution of one chunk: the disabled recorder costs a
+        // single branch, no clock reads.
+        let run_chunk = |state: &mut S, c: u64, stats: &mut [RunningStats]| {
+            let range = chunk_range(c);
+            if self.recorder.is_enabled() {
+                let trials = range.end - range.start;
+                let started = Instant::now();
+                body(state, range, stats);
+                self.recorder.observe(ChunkTiming {
+                    chunk: c,
+                    trials,
+                    nanos: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                });
+            } else {
+                body(state, range, stats);
+            }
+        };
+
         let per_chunk: Vec<Vec<RunningStats>> = if workers == 1 {
             let mut state = init(0);
             (0..num_chunks)
                 .map(|c| {
                     let mut stats = vec![RunningStats::new(); lanes];
-                    body(&mut state, chunk_range(c), &mut stats);
+                    run_chunk(&mut state, c, &mut stats);
                     stats
                 })
                 .collect()
@@ -211,7 +311,7 @@ impl TrialRunner {
             // assignment could be anything without changing results).
             let worker_outputs: Vec<Vec<(u64, Vec<RunningStats>)>> = std::thread::scope(|scope| {
                 let init = &init;
-                let body = &body;
+                let run_chunk = &run_chunk;
                 let handles: Vec<_> = (0..workers)
                     .map(|w| {
                         scope.spawn(move || {
@@ -220,7 +320,7 @@ impl TrialRunner {
                             let mut c = w as u64;
                             while c < num_chunks {
                                 let mut stats = vec![RunningStats::new(); lanes];
-                                body(&mut state, chunk_range(c), &mut stats);
+                                run_chunk(&mut state, c, &mut stats);
                                 out.push((c, stats));
                                 c += workers as u64;
                             }
@@ -358,6 +458,45 @@ mod tests {
         let r = TrialRunner::with_threads(6).chunk_trials(128);
         assert_eq!(r.thread_count(), 6);
         assert_eq!(r.chunk_width(), 128);
+    }
+
+    #[test]
+    fn recorder_sees_every_chunk_and_never_changes_results() {
+        use std::sync::Mutex;
+        let timings: Arc<Mutex<Vec<ChunkTiming>>> = Arc::new(Mutex::new(Vec::new()));
+        let hook = {
+            let timings = Arc::clone(&timings);
+            Arc::new(move |t: ChunkTiming| timings.lock().unwrap().push(t))
+        };
+        let recorded = TrialRunner::with_threads(3)
+            .recorder(Recorder::new(hook))
+            .run(
+                100,
+                2,
+                |_| (),
+                |(), t, stats| {
+                    for (lane, stat) in stats.iter_mut().enumerate() {
+                        stat.push(observation(t, lane as u64));
+                    }
+                },
+            );
+        assert_eq!(
+            recorded,
+            run_at(3, 100, 2),
+            "recording must not change results"
+        );
+        let mut timings = timings.lock().unwrap().clone();
+        timings.sort_by_key(|t| t.chunk);
+        // 100 trials / TRIAL_CHUNK(16) = 7 chunks, the last covering 4.
+        assert_eq!(timings.len(), 7);
+        assert_eq!(timings.iter().map(|t| t.trials).sum::<u64>(), 100);
+        assert_eq!(timings[6].trials, 4);
+        // Equality ignores the recorder: an instrumented runner is the same
+        // runner.
+        assert_eq!(
+            TrialRunner::with_threads(3).recorder(Recorder::disabled()),
+            TrialRunner::with_threads(3)
+        );
     }
 
     #[test]

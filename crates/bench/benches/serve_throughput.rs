@@ -33,10 +33,10 @@ use std::time::Instant;
 
 use partial_info_estimators::core::suite::max_weighted_suite;
 use partial_info_estimators::datagen::{generate_two_hours, TrafficConfig};
-use partial_info_estimators::{CatalogEntry, Pipeline, Scheme, Statistic};
+use partial_info_estimators::{CatalogEntry, Pipeline, PipelineReport, Scheme, Statistic};
 use pie_bench::LatencySummary;
 use pie_cluster::LocalCluster;
-use pie_serve::{EngineConfig, ServeClient, Server};
+use pie_serve::{EngineConfig, ObsConfig, ServeClient, Server};
 
 const TRIALS: u64 = 8;
 const QUERIES_PER_THREAD: usize = 60;
@@ -52,10 +52,42 @@ const DRIVERS: usize = 8;
 const MULTIPLEX_ROUNDS: usize = 4;
 /// Router-path queries in the cluster row.
 const CLUSTER_QUERIES: usize = 120;
+/// Client threads in the observability-overhead comparison.
+const OBS_CLIENTS: usize = 4;
+/// Best-of-N runs per mode in the overhead comparison (takes the max, so
+/// a one-off scheduler hiccup in either mode cannot fake a regression).
+const OBS_RUNS: usize = 3;
+/// The metrics-on row must keep at least this fraction of the
+/// metrics-off throughput.
+const OBS_MIN_RATIO: f64 = 0.95;
 
 struct Row {
     clients: usize,
     summary: LatencySummary,
+}
+
+/// One closed-loop run: `clients` threads × [`QUERIES_PER_THREAD`]
+/// queries against `addr`, returning the aggregate throughput (q/s).
+fn closed_loop_qps(addr: std::net::SocketAddr, clients: usize, reference: &PipelineReport) -> f64 {
+    let start = Instant::now();
+    let total: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut client = ServeClient::connect(addr).expect("connect");
+                    for _ in 0..QUERIES_PER_THREAD {
+                        let report = client
+                            .estimate("traffic", "max_weighted", "max_dominance")
+                            .expect("estimate");
+                        assert_eq!(&report, reference, "served response diverged");
+                    }
+                    QUERIES_PER_THREAD
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).sum()
+    });
+    total as f64 / start.elapsed().as_secs_f64()
 }
 
 fn main() {
@@ -253,6 +285,48 @@ fn main() {
         summary
     };
 
+    // ---- observability overhead: metrics-off vs metrics-on ------------
+    // One fresh server per mode (same engine tunables, cache disabled),
+    // best-of-N closed-loop runs each; recording counters, histograms,
+    // and spans on every request must keep >= OBS_MIN_RATIO of the
+    // uninstrumented throughput.
+    let measure_mode = |obs: ObsConfig| -> f64 {
+        let server = Server::bind_with_obs(
+            "127.0.0.1:0",
+            EngineConfig {
+                cache_capacity: 0,
+                ..EngineConfig::default()
+            },
+            obs,
+        )
+        .expect("bind overhead server");
+        let entry =
+            CatalogEntry::build(Arc::clone(&data), scheme, 2, TRIALS, 5).expect("catalog entry");
+        server.catalog().insert("traffic", entry);
+        let addr = server.local_addr();
+        // Warm up the socket path and prove bit-identity in this mode.
+        let mut warm = ServeClient::connect(addr).expect("warmup connect");
+        let report = warm
+            .estimate("traffic", "max_weighted", "max_dominance")
+            .expect("warmup query");
+        assert_eq!(report, reference, "overhead-mode response diverged");
+        let best = (0..OBS_RUNS)
+            .map(|_| closed_loop_qps(addr, OBS_CLIENTS, &reference))
+            .fold(0.0f64, f64::max);
+        server.shutdown();
+        best
+    };
+    let metrics_off_qps = measure_mode(ObsConfig::disabled());
+    let metrics_on_qps = measure_mode(ObsConfig::default());
+    let obs_ratio = metrics_on_qps / metrics_off_qps;
+    println!(
+        "obs overhead ({OBS_CLIENTS} clients, best of {OBS_RUNS}): metrics off {metrics_off_qps:>8.0} q/s   metrics on {metrics_on_qps:>8.0} q/s   ratio {obs_ratio:.3}"
+    );
+    assert!(
+        obs_ratio >= OBS_MIN_RATIO,
+        "metrics-on throughput {metrics_on_qps:.1} q/s fell below {OBS_MIN_RATIO}x the metrics-off row {metrics_off_qps:.1} q/s"
+    );
+
     let json_rows: Vec<String> = rows
         .iter()
         .map(|r| {
@@ -273,8 +347,11 @@ fn main() {
         cluster_summary.p50_ms,
         cluster_summary.p99_ms
     );
+    let obs_row = format!(
+        "  \"obs_overhead\": {{ \"client_threads\": {OBS_CLIENTS}, \"runs_per_mode\": {OBS_RUNS}, \"metrics_off_qps\": {metrics_off_qps:.1}, \"metrics_on_qps\": {metrics_on_qps:.1}, \"on_over_off_ratio\": {obs_ratio:.3}, \"min_ratio_asserted\": {OBS_MIN_RATIO} }}"
+    );
     let json = format!(
-        "{{\n  \"bench\": \"serve_throughput\",\n  \"records\": {total_records},\n  \"trials\": {TRIALS},\n  \"threads_available\": {threads_available},\n  \"note\": \"closed-loop Estimate queries (max_weighted / max_dominance over a {TRIALS}-trial PPS traffic sketch) against one pie-serve server; each client thread owns one connection; per-query latency measured client-side; responses asserted bit-identical to the in-process Pipeline. multiplex_row holds {CONNECTIONS} simultaneously open connections in the server's poll set with {DRIVERS} driver threads (throughput asserted >= 0.9x the 8-client row); cluster_row routes through a consistent-hash router over a 3-node, replication-2 in-process cluster. On threads_available=1 hosts the multi-client rows measure connection multiplexing, not parallel speedup.\",\n  \"rows\": [\n{}\n  ],\n{multiplex_row},\n{cluster_row}\n}}\n",
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"records\": {total_records},\n  \"trials\": {TRIALS},\n  \"threads_available\": {threads_available},\n  \"note\": \"closed-loop Estimate queries (max_weighted / max_dominance over a {TRIALS}-trial PPS traffic sketch) against one pie-serve server; each client thread owns one connection; per-query latency measured client-side; responses asserted bit-identical to the in-process Pipeline. multiplex_row holds {CONNECTIONS} simultaneously open connections in the server's poll set with {DRIVERS} driver threads (throughput asserted >= 0.9x the 8-client row); cluster_row routes through a consistent-hash router over a 3-node, replication-2 in-process cluster. obs_overhead compares best-of-{OBS_RUNS} closed-loop throughput with observability disabled vs enabled (on_over_off_ratio asserted >= {OBS_MIN_RATIO}). On threads_available=1 hosts the multi-client rows measure connection multiplexing, not parallel speedup.\",\n  \"rows\": [\n{}\n  ],\n{multiplex_row},\n{cluster_row},\n{obs_row}\n}}\n",
         json_rows.join(",\n")
     );
     let path = concat!(

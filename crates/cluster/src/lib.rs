@@ -88,3 +88,8 @@ pub use error::ClusterError;
 pub use local::LocalCluster;
 pub use ring::{HashRing, VNODES};
 pub use router::{ClusterConfig, NodeSpec, Router};
+
+// The observability vocabulary of `Router::fleet_metrics` /
+// `Router::query_trace`, re-exported so cluster consumers read fleet
+// snapshots and stamp trace contexts without naming `pie-obs` directly.
+pub use pie_obs::{MetricsSnapshot, SpanRecord, TraceContext};

@@ -23,6 +23,7 @@ use std::time::{Duration, Instant};
 
 use partial_info_estimators::{CatalogEntry, PipelineReport};
 use pie_engine::EngineStatsReport;
+use pie_obs::{MetricsRegistry, MetricsSnapshot, SpanRecord, TraceContext, TraceRing};
 use pie_serve::{
     BatchQuery, ClientConfig, IngestAck, IngestRecord, ServeClient, ServeError, SketchConfig,
     SketchInfo,
@@ -124,6 +125,19 @@ pub struct Router {
     client_config: ClientConfig,
     /// Tenant replayed onto every (re)dialed node connection.
     tenant: Option<String>,
+    /// Router-local counters: failovers, cooldowns, scatter fan-outs.
+    registry: MetricsRegistry,
+    /// Router-local spans for traced routed requests (node = `"router"`).
+    traces: TraceRing,
+    /// The caller's trace context, stamped onto node hops.
+    trace: Option<TraceContext>,
+    /// The context actually stamped onto the next node hop (the caller's
+    /// context, or a router span interposed for a routed estimate).
+    hop_trace: Option<TraceContext>,
+    /// Next router-local span id.
+    next_span: u64,
+    /// The router's clock zero for span `start_nanos`.
+    started: Instant,
 }
 
 impl Router {
@@ -158,6 +172,12 @@ impl Router {
             replication: config.replication,
             client_config: config.client,
             tenant: None,
+            registry: MetricsRegistry::new(),
+            traces: TraceRing::new(1024),
+            trace: None,
+            hop_trace: None,
+            next_span: 1,
+            started: Instant::now(),
         })
     }
 
@@ -177,6 +197,61 @@ impl Router {
     #[must_use]
     pub fn owners(&self, sketch: &str) -> Vec<&str> {
         self.ring.owners(sketch, self.replication)
+    }
+
+    /// Stamps `trace` onto every subsequent routed request.  The router
+    /// interposes its own span on traced estimates — node spans parent
+    /// under the router's span, the router's span under the caller's — so
+    /// a [`query_trace`](Self::query_trace) for the id shows both layers.
+    pub fn set_trace(&mut self, trace: Option<TraceContext>) {
+        self.trace = trace;
+        self.hop_trace = trace;
+    }
+
+    /// The router's own counters (failovers, cooldowns): the slice of the
+    /// fleet picture only the router can see.
+    #[must_use]
+    pub fn local_metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Router-local spans recorded for `trace_id` (node = `"router"`).
+    #[must_use]
+    pub fn local_trace(&self, trace_id: u64) -> Vec<SpanRecord> {
+        self.traces.query(trace_id)
+    }
+
+    /// Begins the router's own span for one traced routed request:
+    /// allocates a span id, points node hops at it (so node spans parent
+    /// under the router's), and returns what
+    /// [`finish_route_span`](Self::finish_route_span) needs.
+    fn begin_route_span(&mut self) -> Option<(TraceContext, u64, Instant)> {
+        let ctx = self.trace?;
+        let span_id = self.next_span;
+        self.next_span += 1;
+        self.hop_trace = Some(TraceContext::new(ctx.trace_id, span_id));
+        Some((ctx, span_id, Instant::now()))
+    }
+
+    /// Records the router's span begun by
+    /// [`begin_route_span`](Self::begin_route_span) and restores the
+    /// pass-through hop context.
+    fn finish_route_span(&mut self, span: Option<(TraceContext, u64, Instant)>, stage: &str) {
+        if let Some((ctx, span_id, start)) = span {
+            let duration = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let start_nanos =
+                u64::try_from(start.duration_since(self.started).as_nanos()).unwrap_or(u64::MAX);
+            self.traces.record(SpanRecord {
+                trace_id: ctx.trace_id,
+                span_id,
+                parent_span_id: ctx.span_id,
+                node: "router".to_string(),
+                stage: stage.to_string(),
+                start_nanos,
+                duration_nanos: duration,
+            });
+        }
+        self.hop_trace = self.trace;
     }
 
     /// Names the tenant all node connections bill to.  Applied to every
@@ -305,9 +380,12 @@ impl Router {
         estimator: &str,
         statistic: &str,
     ) -> Result<PipelineReport, ClusterError> {
-        self.over_owners(sketch, |client| {
+        let span = self.begin_route_span();
+        let result = self.over_owners(sketch, |client| {
             client.estimate(sketch, estimator, statistic)
-        })
+        });
+        self.finish_route_span(span, "route_estimate");
+        result
     }
 
     /// Runs a batch of `(estimator, statistic)` queries against one
@@ -320,9 +398,12 @@ impl Router {
         sketch: &str,
         queries: Vec<BatchQuery>,
     ) -> Result<Vec<PipelineReport>, ClusterError> {
-        self.over_owners(sketch, |client| {
+        let span = self.begin_route_span();
+        let result = self.over_owners(sketch, |client| {
             client.batch_estimate(sketch, queries.clone())
-        })
+        });
+        self.finish_route_span(span, "route_batch_estimate");
+        result
     }
 
     /// Lists the union of every reachable node's catalog, deduplicated by
@@ -398,6 +479,82 @@ impl Router {
         Ok(fleet)
     }
 
+    /// Aggregates every reachable node's metrics snapshot into one fleet
+    /// snapshot, then folds in the router's own counters (failovers,
+    /// cooldowns).  The merge is bit-deterministic — counters sum,
+    /// histogram buckets sum — so the aggregate is independent of the
+    /// order nodes answered in (see [`MetricsSnapshot::absorb`]).
+    ///
+    /// # Errors
+    /// As [`list_catalog`](Self::list_catalog): fails only when **no**
+    /// node was reachable.
+    pub fn fleet_metrics(&mut self) -> Result<MetricsSnapshot, ClusterError> {
+        let mut fleet = MetricsSnapshot::default();
+        let mut reached = false;
+        let mut last: Option<(String, ServeError)> = None;
+        for index in 0..self.nodes.len() {
+            match self.try_node(index, |client| client.metrics()) {
+                Ok(snapshot) => {
+                    reached = true;
+                    fleet.absorb(&snapshot);
+                }
+                Err(ClusterError::Serve(error)) => return Err(ClusterError::Serve(error)),
+                Err(ClusterError::NodeUnavailable { node, error }) => {
+                    last = Some((node, error));
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        if !reached {
+            let (last_node, last_error) = last.expect("at least one node was tried");
+            return Err(ClusterError::NoReplica {
+                sketch: "<metrics scatter>".to_string(),
+                last_node,
+                last_error,
+            });
+        }
+        fleet.absorb(&self.registry.snapshot());
+        Ok(fleet)
+    }
+
+    /// Collects every span recorded for `trace_id` across the fleet —
+    /// the nodes' rings via `QueryTrace` requests plus the router's own
+    /// ring — sorted by `(node, span_id)` so the result is independent of
+    /// scatter order.  Unreachable nodes contribute nothing (their spans
+    /// are unavailable, not an error); fails only when **no** node was
+    /// reachable.
+    ///
+    /// # Errors
+    /// As [`list_catalog`](Self::list_catalog).
+    pub fn query_trace(&mut self, trace_id: u64) -> Result<Vec<SpanRecord>, ClusterError> {
+        let mut spans = self.traces.query(trace_id);
+        let mut reached = false;
+        let mut last: Option<(String, ServeError)> = None;
+        for index in 0..self.nodes.len() {
+            match self.try_node(index, |client| client.query_trace(trace_id)) {
+                Ok(node_spans) => {
+                    reached = true;
+                    spans.extend(node_spans);
+                }
+                Err(ClusterError::Serve(error)) => return Err(ClusterError::Serve(error)),
+                Err(ClusterError::NodeUnavailable { node, error }) => {
+                    last = Some((node, error));
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        if !reached {
+            let (last_node, last_error) = last.expect("at least one node was tried");
+            return Err(ClusterError::NoReplica {
+                sketch: "<trace scatter>".to_string(),
+                last_node,
+                last_error,
+            });
+        }
+        spans.sort_by(|a, b| (&a.node, a.span_id).cmp(&(&b.node, b.span_id)));
+        Ok(spans)
+    }
+
     /// Pings every node, returning `(name, alive)` pairs in ring (sorted
     /// name) order.  Never fails: unreachable nodes report `false`.
     /// Ignores cooldowns — a health sweep should always measure, and a
@@ -449,6 +606,8 @@ impl Router {
                     Ok(value) => return Ok(value),
                     Err(ClusterError::Serve(error)) => return Err(ClusterError::Serve(error)),
                     Err(ClusterError::NodeUnavailable { node, error }) => {
+                        // The next owner tried (or pass 2) is a failover.
+                        self.registry.counter("router_failovers_total").inc();
                         last = Some((node, error));
                     }
                     Err(other) => return Err(other),
@@ -514,10 +673,13 @@ impl Router {
             self.nodes[index].client = Some(client);
             self.nodes[index].down_until = None;
         }
-        Ok(self.nodes[index]
+        let hop = self.hop_trace;
+        let client = self.nodes[index]
             .client
             .as_mut()
-            .expect("client just ensured"))
+            .expect("client just ensured");
+        client.set_trace(hop);
+        Ok(client)
     }
 
     /// Records an operation failure on a node: delivery failures drop the
@@ -530,6 +692,7 @@ impl Router {
     }
 
     fn note_connect_failure(&mut self, index: usize) {
+        self.registry.counter("router_cooldowns_total").inc();
         self.nodes[index].client = None;
         self.nodes[index].down_until = Some(Instant::now() + NODE_COOLDOWN);
     }

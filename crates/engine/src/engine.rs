@@ -1,14 +1,15 @@
 //! [`QueryEngine`]: the cache, admission controller, and in-flight gate
 //! wired together behind one configurable type.
 
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use partial_info_estimators::PipelineReport;
 
 use crate::admission::{AdmissionController, InflightGate, InflightPermit, Shed, TenantQuota};
 use crate::cache::{CacheKey, EstimateCache};
-use crate::stats::EngineStatsReport;
+use crate::stats::{EngineStatsReport, RequestCountRow};
 
 /// Tunables for a [`QueryEngine`].  The defaults are permissive — a large
 /// cache, generous concurrency, unlimited quotas — so wrapping an existing
@@ -47,6 +48,8 @@ pub struct QueryEngine {
     cache: EstimateCache,
     admission: AdmissionController,
     gate: InflightGate,
+    requests: Mutex<BTreeMap<String, u64>>,
+    started: Instant,
 }
 
 impl QueryEngine {
@@ -60,7 +63,17 @@ impl QueryEngine {
                 config.tenant_quotas.into_iter().collect::<HashMap<_, _>>(),
             ),
             gate: InflightGate::new(config.max_inflight, config.max_queue),
+            requests: Mutex::new(BTreeMap::new()),
+            started: Instant::now(),
         }
+    }
+
+    /// Counts one dispatched request of `kind` (the serving layer's
+    /// canonical snake_case name, e.g. `"estimate"`).  Counts surface in
+    /// [`stats`](Self::stats) as [`RequestCountRow`]s sorted by kind.
+    pub fn note_request(&self, kind: &str) {
+        let mut requests = self.requests.lock().expect("request counters poisoned");
+        *requests.entry(kind.to_string()).or_insert(0) += 1;
     }
 
     /// The estimate cache.
@@ -131,10 +144,26 @@ impl QueryEngine {
     /// Full observability snapshot (the `Stats` wire payload).
     #[must_use]
     pub fn stats(&self) -> EngineStatsReport {
+        let requests = self
+            .requests
+            .lock()
+            .expect("request counters poisoned")
+            .iter()
+            .map(|(request, &count)| RequestCountRow {
+                request: request.clone(),
+                count,
+            })
+            .collect();
         EngineStatsReport {
             cache: self.cache.stats(),
             queue: self.gate.stats(),
             tenants: self.admission.stats(),
+            requests,
+            uptime_ms: u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX),
+            threads_available: std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(1),
+            version: env!("CARGO_PKG_VERSION").to_string(),
         }
     }
 }

@@ -72,4 +72,4 @@ pub mod stats;
 pub use admission::{AdmissionController, InflightGate, InflightPermit, Shed, TenantQuota};
 pub use cache::{CacheKey, EstimateCache};
 pub use engine::{EngineConfig, QueryEngine};
-pub use stats::{CacheStats, EngineStatsReport, QueueStats, TenantStatsRow};
+pub use stats::{CacheStats, EngineStatsReport, QueueStats, RequestCountRow, TenantStatsRow};

@@ -70,6 +70,15 @@ pub struct TenantStatsRow {
     pub ingests_shed: u64,
 }
 
+/// One request kind's dispatch count (e.g. `"estimate"` or `"ingest_batch"`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RequestCountRow {
+    /// Wire-request kind, in the serving layer's canonical snake_case names.
+    pub request: String,
+    /// Requests of this kind dispatched since the engine started.
+    pub count: u64,
+}
+
 /// Full engine observability snapshot: what a `Stats` request returns.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct EngineStatsReport {
@@ -79,6 +88,17 @@ pub struct EngineStatsReport {
     pub queue: QueueStats,
     /// Per-tenant rows, sorted by tenant name.
     pub tenants: Vec<TenantStatsRow>,
+    /// Per-request-kind dispatch counts, sorted by request name.
+    pub requests: Vec<RequestCountRow>,
+    /// Milliseconds since the engine was constructed (summed across a
+    /// fleet by [`absorb`](Self::absorb): total engine-milliseconds).
+    pub uptime_ms: u64,
+    /// Worker threads the host reports as available (fleet sum under
+    /// [`absorb`](Self::absorb)).
+    pub threads_available: u64,
+    /// Crate version that built this engine; a fleet aggregate keeps the
+    /// lexicographic maximum so mixed-version rollouts are visible.
+    pub version: String,
 }
 
 impl EngineStatsReport {
@@ -117,6 +137,22 @@ impl EngineStatsReport {
             }
         }
         self.tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        for row in &other.requests {
+            match self
+                .requests
+                .iter_mut()
+                .find(|mine| mine.request == row.request)
+            {
+                Some(mine) => mine.count += row.count,
+                None => self.requests.push(row.clone()),
+            }
+        }
+        self.requests.sort_by(|a, b| a.request.cmp(&b.request));
+        self.uptime_ms += other.uptime_ms;
+        self.threads_available += other.threads_available;
+        if other.version > self.version {
+            self.version = other.version.clone();
+        }
     }
 }
 
@@ -188,11 +224,31 @@ impl Decode for TenantStatsRow {
     }
 }
 
+impl Encode for RequestCountRow {
+    fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
+        self.request.encode(w)?;
+        self.count.encode(w)
+    }
+}
+
+impl Decode for RequestCountRow {
+    fn decode(r: &mut dyn Read) -> Result<Self, StoreError> {
+        Ok(Self {
+            request: String::decode(r)?,
+            count: u64::decode(r)?,
+        })
+    }
+}
+
 impl Encode for EngineStatsReport {
     fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
         self.cache.encode(w)?;
         self.queue.encode(w)?;
-        self.tenants.encode(w)
+        self.tenants.encode(w)?;
+        self.requests.encode(w)?;
+        self.uptime_ms.encode(w)?;
+        self.threads_available.encode(w)?;
+        self.version.encode(w)
     }
 }
 
@@ -202,6 +258,10 @@ impl Decode for EngineStatsReport {
             cache: CacheStats::decode(r)?,
             queue: QueueStats::decode(r)?,
             tenants: Vec::decode(r)?,
+            requests: Vec::decode(r)?,
+            uptime_ms: u64::decode(r)?,
+            threads_available: u64::decode(r)?,
+            version: String::decode(r)?,
         })
     }
 }
@@ -235,6 +295,19 @@ mod tests {
                 ingest_records_admitted: 1000,
                 ingests_shed: 1,
             }],
+            requests: vec![
+                RequestCountRow {
+                    request: "estimate".into(),
+                    count: 40,
+                },
+                RequestCountRow {
+                    request: "ping".into(),
+                    count: 2,
+                },
+            ],
+            uptime_ms: 12_345,
+            threads_available: 8,
+            version: "0.9.0".into(),
         };
         let bytes = pie_store::encode_to_vec(&report).unwrap();
         let back: EngineStatsReport = pie_store::decode_from_slice(&bytes).unwrap();
@@ -266,6 +339,13 @@ mod tests {
                 ingest_records_admitted: 1000,
                 ingests_shed: 1,
             }],
+            requests: vec![RequestCountRow {
+                request: "estimate".into(),
+                count: 40,
+            }],
+            uptime_ms: 1_000,
+            threads_available: 4,
+            version: "0.9.0".into(),
         };
         let b = EngineStatsReport {
             cache: CacheStats {
@@ -296,6 +376,19 @@ mod tests {
                     ..TenantStatsRow::default()
                 },
             ],
+            requests: vec![
+                RequestCountRow {
+                    request: "estimate".into(),
+                    count: 2,
+                },
+                RequestCountRow {
+                    request: "batch_estimate".into(),
+                    count: 1,
+                },
+            ],
+            uptime_ms: 500,
+            threads_available: 4,
+            version: "0.10.0".into(),
         };
         a.absorb(&b);
         assert_eq!(a.cache.hits, 11);
@@ -306,6 +399,12 @@ mod tests {
         assert_eq!(names, ["acme", "zeta"], "merged rows come out sorted");
         assert_eq!(a.tenants[1].queries_admitted, 42);
         assert_eq!(a.tenants[1].queries_shed, 3);
+        let kinds: Vec<&str> = a.requests.iter().map(|r| r.request.as_str()).collect();
+        assert_eq!(kinds, ["batch_estimate", "estimate"], "requests sorted");
+        assert_eq!(a.requests[1].count, 42);
+        assert_eq!(a.uptime_ms, 1_500, "fleet uptime is engine-ms summed");
+        assert_eq!(a.threads_available, 8);
+        assert_eq!(a.version, "0.9.0", "lexicographic max survives absorb");
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! Observability plane for the serving stack: exact metrics and request
+//! tracing, both built for the repo's determinism discipline.
+//!
+//! The serving layers (`pie-serve`'s multiplexed event loop, `pie-engine`'s
+//! cache and admission control, `pie-cluster`'s router) attribute where
+//! requests spend their time the same way the paper attributes estimator
+//! quality to its HT/L/U stages: by decomposing one aggregate into exactly
+//! accounted parts.  This crate provides the two substrates:
+//!
+//! * **Metrics** ([`metrics`]) — a lock-sharded [`MetricsRegistry`] of
+//!   exact [`Counter`]s, [`Gauge`]s, and log-bucketed (HDR-style, ~2
+//!   buckets per octave over 1µs–60s) latency [`Histogram`]s.  Recording
+//!   is lock-free (atomic handles), snapshots are canonical (sorted by
+//!   name), and [`MetricsSnapshot::absorb`] merges snapshots from N
+//!   processes **bit-deterministically** — all state is integer, so a
+//!   merged fleet snapshot equals the single-registry result exactly,
+//!   mirroring `EngineStatsReport::absorb` and `RunningStats::merge`.
+//! * **Tracing** ([`trace`]) — a [`TraceContext`] small enough to ride an
+//!   optional wire-frame extension, per-stage [`SpanRecord`]s collected in
+//!   a bounded in-memory [`TraceRing`], and a [`SlowQueryLog`] that keeps
+//!   the most recent requests slower than a configurable threshold.
+//!
+//! The crate is pure `std` and depends only on `pie-store` (for the
+//! canonical binary codec, so snapshots and spans can cross the wire).
+//!
+//! ```
+//! use pie_obs::{MetricsRegistry, MetricsSnapshot};
+//!
+//! let registry = MetricsRegistry::new();
+//! let served = registry.counter("requests_total");
+//! let latency = registry.histogram("request_nanos");
+//! served.inc();
+//! latency.record(12_345); // nanoseconds
+//! let snapshot = registry.snapshot();
+//! assert_eq!(snapshot.counter("requests_total"), Some(1));
+//! println!("{}", snapshot.render_text());
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, MetricsRegistry,
+    MetricsSnapshot, BUCKET_BOUNDS_NANOS, HISTOGRAM_BUCKETS,
+};
+pub use trace::{SlowQueryLog, SlowQueryRecord, SpanRecord, TraceContext, TraceRing};

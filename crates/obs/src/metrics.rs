@@ -1,0 +1,724 @@
+//! The metrics substrate: exact counters, gauges, and log-bucketed latency
+//! histograms behind a lock-sharded registry.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`s handed out at
+//! registration time; recording through a handle touches only atomics, so
+//! hot paths (the event loop, workers, estimator replay) never take a lock.
+//! The registry's locks guard only name → handle resolution, and are
+//! sharded by name hash so unrelated subsystems never contend.
+//!
+//! Everything is integer state, which is what makes
+//! [`MetricsSnapshot::absorb`] a *bit-deterministic* merge: summing bucket
+//! counts and nanosecond totals is associative and commutative over `u64`,
+//! so a fleet snapshot absorbed in any node order equals the snapshot one
+//! registry would have produced recording every event itself.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+use pie_store::{Decode, Encode, StoreError};
+
+/// Inclusive upper bounds (in nanoseconds) of the histogram's finite
+/// buckets: ~2 buckets per octave (the half-octave bound is `×181/128`,
+/// an integer approximation of `√2`) from 1µs up through the first bound
+/// past 60s.  One overflow bucket above the last bound completes the
+/// layout; values at or below 1µs land in the first bucket.
+pub const BUCKET_BOUNDS_NANOS: [u64; 53] = bucket_bounds();
+
+/// Total bucket count: every finite bound plus the overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = BUCKET_BOUNDS_NANOS.len() + 1;
+
+const fn bucket_bounds() -> [u64; 53] {
+    let mut out = [0u64; 53];
+    let mut k = 0;
+    while k < out.len() {
+        let octave = 1000u64 << (k / 2);
+        out[k] = if k % 2 == 0 {
+            octave
+        } else {
+            octave * 181 / 128
+        };
+        k += 1;
+    }
+    out
+}
+
+/// Sentinel stored in a histogram's `min` register while it is empty.
+const EMPTY_MIN: u64 = u64::MAX;
+
+/// An exact, monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time level (queue depth, high-water mark, …).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Overwrites the level.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the level to `v` if it is higher than the current value —
+    /// the high-water-mark recording primitive.
+    pub fn record_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (for gauges tracking a live count).
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`, saturating at zero on concurrent underflow.
+    pub fn sub(&self, n: u64) {
+        // fetch_update loops only under contention; gauges are low-rate.
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// The current level.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A log-bucketed latency histogram over nanosecond durations; see
+/// [`BUCKET_BOUNDS_NANOS`] for the bucket layout.  All state is integer
+/// (bucket counts, exact nanosecond sum, min, max), so merged snapshots
+/// are bit-deterministic.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    min_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            min_nanos: AtomicU64::new(EMPTY_MIN),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation of `nanos` nanoseconds.  Lock-free: five
+    /// relaxed atomic updates.
+    pub fn record(&self, nanos: u64) {
+        let index = BUCKET_BOUNDS_NANOS.partition_point(|&bound| bound < nanos);
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.min_nanos.fetch_min(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Records a [`Duration`] (saturating at `u64::MAX` nanoseconds).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.to_string(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
+            min_nanos: self.min_nanos.load(Ordering::Relaxed),
+            max_nanos: self.max_nanos.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// One registered metric: the registry's name → handle table entry.
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Number of independent registration-lock shards.
+const LOCK_SHARDS: usize = 8;
+
+/// The lock-sharded metric registry; see the [module docs](self).
+pub struct MetricsRegistry {
+    shards: Vec<RwLock<HashMap<String, Metric>>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            shards: (0..LOCK_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, name: &str) -> &RwLock<HashMap<String, Metric>> {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        &self.shards[(h % LOCK_SHARDS as u64) as usize]
+    }
+
+    /// The counter registered under `name`, created on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind —
+    /// registration names are a process-internal namespace, so a kind
+    /// collision is a programming error, not input.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let lock = self.shard(name);
+        if let Some(Metric::Counter(c)) = lock.read().expect("metrics lock poisoned").get(name) {
+            return Arc::clone(c);
+        }
+        let mut guard = lock.write().expect("metrics lock poisoned");
+        match guard
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} is already registered with a different kind"),
+        }
+    }
+
+    /// The gauge registered under `name`, created on first use.
+    ///
+    /// # Panics
+    /// On a metric-kind collision, as [`counter`](Self::counter).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let lock = self.shard(name);
+        if let Some(Metric::Gauge(g)) = lock.read().expect("metrics lock poisoned").get(name) {
+            return Arc::clone(g);
+        }
+        let mut guard = lock.write().expect("metrics lock poisoned");
+        match guard
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} is already registered with a different kind"),
+        }
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    ///
+    /// # Panics
+    /// On a metric-kind collision, as [`counter`](Self::counter).
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let lock = self.shard(name);
+        if let Some(Metric::Histogram(h)) = lock.read().expect("metrics lock poisoned").get(name) {
+            return Arc::clone(h);
+        }
+        let mut guard = lock.write().expect("metrics lock poisoned");
+        match guard
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} is already registered with a different kind"),
+        }
+    }
+
+    /// A canonical (sorted-by-name) snapshot of every registered metric.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snapshot = MetricsSnapshot::default();
+        for shard in &self.shards {
+            let guard = shard.read().expect("metrics lock poisoned");
+            for (name, metric) in guard.iter() {
+                match metric {
+                    Metric::Counter(c) => snapshot.counters.push(CounterSnapshot {
+                        name: name.clone(),
+                        value: c.get(),
+                    }),
+                    Metric::Gauge(g) => snapshot.gauges.push(GaugeSnapshot {
+                        name: name.clone(),
+                        value: g.get(),
+                    }),
+                    Metric::Histogram(h) => snapshot.histograms.push(h.snapshot(name)),
+                }
+            }
+        }
+        snapshot.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        snapshot.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        snapshot.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        snapshot
+    }
+
+    /// Shorthand for `self.snapshot().render_text()`.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        self.snapshot().render_text()
+    }
+}
+
+/// One counter's point-in-time value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// The registered name.
+    pub name: String,
+    /// The exact total at snapshot time.
+    pub value: u64,
+}
+
+/// One gauge's point-in-time level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// The registered name.
+    pub name: String,
+    /// The level at snapshot time.
+    pub value: u64,
+}
+
+/// One histogram's point-in-time state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// The registered name.
+    pub name: String,
+    /// Exact number of observations.
+    pub count: u64,
+    /// Exact sum of all observed nanoseconds.
+    pub sum_nanos: u64,
+    /// Smallest observation (`u64::MAX` while empty).
+    pub min_nanos: u64,
+    /// Largest observation (0 while empty).
+    pub max_nanos: u64,
+    /// One count per bucket of [`BUCKET_BOUNDS_NANOS`] plus the overflow
+    /// bucket; always [`HISTOGRAM_BUCKETS`] long.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// An empty histogram under `name` (the merge identity).
+    #[must_use]
+    pub fn empty(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            count: 0,
+            sum_nanos: 0,
+            min_nanos: EMPTY_MIN,
+            max_nanos: 0,
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Mean observation in nanoseconds (0 while empty).
+    #[must_use]
+    pub fn mean_nanos(&self) -> u64 {
+        self.sum_nanos.checked_div(self.count).unwrap_or(0)
+    }
+
+    fn absorb(&mut self, other: &Self) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += *theirs;
+        }
+        self.count += other.count;
+        self.sum_nanos += other.sum_nanos;
+        self.min_nanos = self.min_nanos.min(other.min_nanos);
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+}
+
+/// A full registry snapshot: every metric, sorted by name within each
+/// kind.  Canonical, wire-encodable, and exactly mergeable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// Gauge levels, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// Histogram states, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The counter named `name`, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The gauge named `name`, if present.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// The histogram named `name`, if present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Merges `other` into `self`, exactly: counters and histograms sum
+    /// (bucket-wise, with exact min/max combination), gauges keep the
+    /// maximum level (the fleet-wide high-water interpretation).  Metrics
+    /// are matched by name; names unique to either side survive.  All
+    /// state is integer, so the merge is associative, commutative, and
+    /// **bit-deterministic**: any absorb order over N node snapshots
+    /// yields the identical result — the fleet-level mirror of
+    /// `EngineStatsReport::absorb` / `RunningStats::merge`.
+    pub fn absorb(&mut self, other: &MetricsSnapshot) {
+        for c in &other.counters {
+            match self.counters.iter_mut().find(|mine| mine.name == c.name) {
+                Some(mine) => mine.value += c.value,
+                None => self.counters.push(c.clone()),
+            }
+        }
+        for g in &other.gauges {
+            match self.gauges.iter_mut().find(|mine| mine.name == g.name) {
+                Some(mine) => mine.value = mine.value.max(g.value),
+                None => self.gauges.push(g.clone()),
+            }
+        }
+        for h in &other.histograms {
+            match self.histograms.iter_mut().find(|mine| mine.name == h.name) {
+                Some(mine) => mine.absorb(h),
+                None => self.histograms.push(h.clone()),
+            }
+        }
+        self.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        self.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+
+    /// Prometheus-style text exposition.  One deviation from the
+    /// convention: durations are exposed in integer **nanoseconds** (the
+    /// histograms' native, exactly-mergeable unit), so `le` labels and
+    /// `_sum` lines are nanosecond values.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for c in &self.counters {
+            let _ = writeln!(out, "# TYPE {} counter", c.name);
+            let _ = writeln!(out, "{} {}", c.name, c.value);
+        }
+        for g in &self.gauges {
+            let _ = writeln!(out, "# TYPE {} gauge", g.name);
+            let _ = writeln!(out, "{} {}", g.name, g.value);
+        }
+        for h in &self.histograms {
+            let _ = writeln!(out, "# TYPE {} histogram", h.name);
+            let mut cumulative = 0u64;
+            for (bucket, bound) in h.buckets.iter().zip(BUCKET_BOUNDS_NANOS.iter()) {
+                cumulative += bucket;
+                let _ = writeln!(out, "{}_bucket{{le=\"{bound}\"}} {cumulative}", h.name);
+            }
+            let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", h.name, h.count);
+            let _ = writeln!(out, "{}_sum {}", h.name, h.sum_nanos);
+            let _ = writeln!(out, "{}_count {}", h.name, h.count);
+        }
+        out
+    }
+}
+
+impl Encode for CounterSnapshot {
+    fn encode(&self, w: &mut dyn std::io::Write) -> Result<(), StoreError> {
+        self.name.encode(w)?;
+        self.value.encode(w)
+    }
+}
+
+impl Decode for CounterSnapshot {
+    fn decode(r: &mut dyn std::io::Read) -> Result<Self, StoreError> {
+        Ok(Self {
+            name: String::decode(r)?,
+            value: u64::decode(r)?,
+        })
+    }
+}
+
+impl Encode for GaugeSnapshot {
+    fn encode(&self, w: &mut dyn std::io::Write) -> Result<(), StoreError> {
+        self.name.encode(w)?;
+        self.value.encode(w)
+    }
+}
+
+impl Decode for GaugeSnapshot {
+    fn decode(r: &mut dyn std::io::Read) -> Result<Self, StoreError> {
+        Ok(Self {
+            name: String::decode(r)?,
+            value: u64::decode(r)?,
+        })
+    }
+}
+
+impl Encode for HistogramSnapshot {
+    fn encode(&self, w: &mut dyn std::io::Write) -> Result<(), StoreError> {
+        self.name.encode(w)?;
+        self.count.encode(w)?;
+        self.sum_nanos.encode(w)?;
+        self.min_nanos.encode(w)?;
+        self.max_nanos.encode(w)?;
+        self.buckets.encode(w)
+    }
+}
+
+impl Decode for HistogramSnapshot {
+    fn decode(r: &mut dyn std::io::Read) -> Result<Self, StoreError> {
+        let snapshot = Self {
+            name: String::decode(r)?,
+            count: u64::decode(r)?,
+            sum_nanos: u64::decode(r)?,
+            min_nanos: u64::decode(r)?,
+            max_nanos: u64::decode(r)?,
+            buckets: Vec::decode(r)?,
+        };
+        if snapshot.buckets.len() != HISTOGRAM_BUCKETS {
+            return Err(StoreError::InvalidValue {
+                what: "histogram snapshot must hold exactly one count per bucket",
+            });
+        }
+        let total: Option<u64> = snapshot
+            .buckets
+            .iter()
+            .try_fold(0u64, |acc, &b| acc.checked_add(b));
+        if total != Some(snapshot.count) {
+            return Err(StoreError::InvalidValue {
+                what: "histogram bucket counts must sum to the observation count",
+            });
+        }
+        Ok(snapshot)
+    }
+}
+
+impl Encode for MetricsSnapshot {
+    fn encode(&self, w: &mut dyn std::io::Write) -> Result<(), StoreError> {
+        self.counters.encode(w)?;
+        self.gauges.encode(w)?;
+        self.histograms.encode(w)
+    }
+}
+
+impl Decode for MetricsSnapshot {
+    fn decode(r: &mut dyn std::io::Read) -> Result<Self, StoreError> {
+        Ok(Self {
+            counters: Vec::decode(r)?,
+            gauges: Vec::decode(r)?,
+            histograms: Vec::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_spans_one_microsecond_to_past_a_minute() {
+        assert_eq!(BUCKET_BOUNDS_NANOS[0], 1_000);
+        assert_eq!(BUCKET_BOUNDS_NANOS[1], 1_000 * 181 / 128);
+        // ~2 buckets per octave: every even step doubles the previous even.
+        for k in (2..BUCKET_BOUNDS_NANOS.len()).step_by(2) {
+            assert_eq!(BUCKET_BOUNDS_NANOS[k], 2 * BUCKET_BOUNDS_NANOS[k - 2]);
+        }
+        // Bounds are strictly increasing and the last crosses 60 seconds.
+        for pair in BUCKET_BOUNDS_NANOS.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+        let last = BUCKET_BOUNDS_NANOS[BUCKET_BOUNDS_NANOS.len() - 1];
+        assert!(last >= 60_000_000_000);
+        assert!(BUCKET_BOUNDS_NANOS[BUCKET_BOUNDS_NANOS.len() - 2] < 60_000_000_000);
+    }
+
+    #[test]
+    fn histogram_records_exactly_and_bounds_are_inclusive() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(1_000); // exactly the first bound: first bucket
+        h.record(1_001); // just past it: second bucket
+        h.record(u64::MAX); // overflow bucket
+        let s = h.snapshot("t");
+        assert_eq!(s.count, 4);
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(s.min_nanos, 0);
+        assert_eq!(s.max_nanos, u64::MAX);
+    }
+
+    #[test]
+    fn sharded_recording_merges_bit_identically_to_one_registry() {
+        // The same observation stream recorded (a) into one registry and
+        // (b) split across three registries then absorbed in every order
+        // must produce byte-identical snapshots.
+        let observations: Vec<u64> = (0..500u64).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+        let single = MetricsRegistry::new();
+        let nodes: Vec<MetricsRegistry> = (0..3).map(|_| MetricsRegistry::new()).collect();
+        for (i, &nanos) in observations.iter().enumerate() {
+            single.histogram("lat").record(nanos);
+            single.counter("ops").inc();
+            nodes[i % 3].histogram("lat").record(nanos);
+            nodes[i % 3].counter("ops").inc();
+        }
+        let want = pie_store::encode_to_vec(&single.snapshot()).unwrap();
+        let parts: Vec<MetricsSnapshot> = nodes.iter().map(MetricsRegistry::snapshot).collect();
+        for order in [[0, 1, 2], [2, 0, 1], [1, 2, 0], [2, 1, 0]] {
+            let mut merged = MetricsSnapshot::default();
+            for &i in &order {
+                merged.absorb(&parts[i]);
+            }
+            let got = pie_store::encode_to_vec(&merged).unwrap();
+            assert_eq!(got, want, "absorb order {order:?}");
+        }
+    }
+
+    #[test]
+    fn absorb_keeps_disjoint_names_and_maxes_gauges() {
+        let a = MetricsRegistry::new();
+        a.counter("only_a").add(3);
+        a.gauge("depth").set(7);
+        let b = MetricsRegistry::new();
+        b.counter("only_b").add(5);
+        b.gauge("depth").set(9);
+        let mut merged = a.snapshot();
+        merged.absorb(&b.snapshot());
+        assert_eq!(merged.counter("only_a"), Some(3));
+        assert_eq!(merged.counter("only_b"), Some(5));
+        assert_eq!(merged.gauge("depth"), Some(9));
+        // Merging an empty snapshot is the identity, bitwise.
+        let before = pie_store::encode_to_vec(&merged).unwrap();
+        merged.absorb(&MetricsSnapshot::default());
+        assert_eq!(pie_store::encode_to_vec(&merged).unwrap(), before);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_and_decode_validates_shape() {
+        let r = MetricsRegistry::new();
+        r.counter("c").add(2);
+        r.gauge("g").set(4);
+        r.histogram("h").record(1_000_000);
+        let snapshot = r.snapshot();
+        let bytes = pie_store::encode_to_vec(&snapshot).unwrap();
+        let back: MetricsSnapshot = pie_store::decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, snapshot);
+
+        let mut wrong_shape = snapshot.clone();
+        wrong_shape.histograms[0].buckets.pop();
+        let bytes = pie_store::encode_to_vec(&wrong_shape).unwrap();
+        assert!(matches!(
+            pie_store::decode_from_slice::<MetricsSnapshot>(&bytes).unwrap_err(),
+            StoreError::InvalidValue { .. }
+        ));
+
+        let mut wrong_count = snapshot;
+        wrong_count.histograms[0].count += 1;
+        let bytes = pie_store::encode_to_vec(&wrong_count).unwrap();
+        assert!(matches!(
+            pie_store::decode_from_slice::<MetricsSnapshot>(&bytes).unwrap_err(),
+            StoreError::InvalidValue { .. }
+        ));
+    }
+
+    #[test]
+    fn concurrent_recording_is_exact() {
+        let r = MetricsRegistry::new();
+        let threads = 8;
+        let per_thread = 2_000u64;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let ops = r.counter("ops");
+                let lat = r.histogram("lat");
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        ops.inc();
+                        lat.record(i);
+                    }
+                });
+            }
+        });
+        let s = r.snapshot();
+        assert_eq!(s.counter("ops"), Some(threads * per_thread));
+        assert_eq!(s.histogram("lat").unwrap().count, threads * per_thread);
+        assert_eq!(
+            s.histogram("lat").unwrap().buckets.iter().sum::<u64>(),
+            threads * per_thread
+        );
+    }
+
+    #[test]
+    fn render_text_is_prometheus_shaped() {
+        let r = MetricsRegistry::new();
+        r.counter("reqs").add(2);
+        r.histogram("lat").record(1_500);
+        let text = r.render_text();
+        assert!(text.contains("# TYPE reqs counter\nreqs 2\n"));
+        assert!(text.contains("# TYPE lat histogram"));
+        assert!(text.contains("lat_bucket{le=\"1000\"} 0"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("lat_sum 1500"));
+        assert!(text.contains("lat_count 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_collisions_panic() {
+        let r = MetricsRegistry::new();
+        let _ = r.counter("x");
+        let _ = r.gauge("x");
+    }
+}

@@ -1,0 +1,294 @@
+//! Request tracing: wire-propagatable trace identifiers, per-stage span
+//! records, a bounded ring of recent spans, and a slow-query log.
+//!
+//! A [`TraceContext`] is 16 bytes — small enough to ride the optional
+//! `PIEW` frame extension — and names one request (`trace_id`) plus the
+//! caller's span (`span_id`), so a hop that fans out (client → router →
+//! node) can parent its own spans under the caller's.  Each serving layer
+//! records [`SpanRecord`]s into its local [`TraceRing`]; a `QueryTrace`
+//! wire request collects every ring's spans for one `trace_id`, and the
+//! cluster router merges its own spans with the owning node's under the
+//! same trace.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use pie_store::{Decode, Encode, StoreError};
+
+/// The identity a traced request carries across hops: which request
+/// (`trace_id`) and which span of the caller is the parent (`span_id`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Identifies one end-to-end request across every hop.
+    pub trace_id: u64,
+    /// The caller's span: spans recorded while serving this hop use it as
+    /// their parent.
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// A context for request `trace_id` whose caller span is `span_id`.
+    #[must_use]
+    pub fn new(trace_id: u64, span_id: u64) -> Self {
+        Self { trace_id, span_id }
+    }
+}
+
+impl Encode for TraceContext {
+    fn encode(&self, w: &mut dyn std::io::Write) -> Result<(), StoreError> {
+        self.trace_id.encode(w)?;
+        self.span_id.encode(w)
+    }
+}
+
+impl Decode for TraceContext {
+    fn decode(r: &mut dyn std::io::Read) -> Result<Self, StoreError> {
+        Ok(Self {
+            trace_id: u64::decode(r)?,
+            span_id: u64::decode(r)?,
+        })
+    }
+}
+
+/// One timed stage of one traced request on one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// The request this span belongs to.
+    pub trace_id: u64,
+    /// This span's own identifier (unique within its node).
+    pub span_id: u64,
+    /// The span this one nests under (the wire-carried caller span for
+    /// top-level server spans; 0 for roots).
+    pub parent_span_id: u64,
+    /// Which process recorded the span (a node name or listen address).
+    pub node: String,
+    /// The pipeline stage the span times (`decode`, `admission`,
+    /// `cache_probe`, `trial_replay`, `estimator_batch`, `encode`,
+    /// `write_queue`, …).
+    pub stage: String,
+    /// Start time in nanoseconds on the recording node's monotonic clock
+    /// (relative to that node's start; comparable within a node only).
+    pub start_nanos: u64,
+    /// The stage's duration in nanoseconds.
+    pub duration_nanos: u64,
+}
+
+impl Encode for SpanRecord {
+    fn encode(&self, w: &mut dyn std::io::Write) -> Result<(), StoreError> {
+        self.trace_id.encode(w)?;
+        self.span_id.encode(w)?;
+        self.parent_span_id.encode(w)?;
+        self.node.encode(w)?;
+        self.stage.encode(w)?;
+        self.start_nanos.encode(w)?;
+        self.duration_nanos.encode(w)
+    }
+}
+
+impl Decode for SpanRecord {
+    fn decode(r: &mut dyn std::io::Read) -> Result<Self, StoreError> {
+        Ok(Self {
+            trace_id: u64::decode(r)?,
+            span_id: u64::decode(r)?,
+            parent_span_id: u64::decode(r)?,
+            node: String::decode(r)?,
+            stage: String::decode(r)?,
+            start_nanos: u64::decode(r)?,
+            duration_nanos: u64::decode(r)?,
+        })
+    }
+}
+
+/// A bounded in-memory ring of the most recent spans: recording never
+/// allocates beyond the fixed capacity, and old spans are dropped oldest
+/// first.
+#[derive(Debug)]
+pub struct TraceRing {
+    capacity: usize,
+    spans: Mutex<VecDeque<SpanRecord>>,
+}
+
+impl TraceRing {
+    /// A ring keeping at most `capacity` spans (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            spans: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// The ring's span capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends one span, evicting the oldest if the ring is full.
+    pub fn record(&self, span: SpanRecord) {
+        let mut guard = self.spans.lock().expect("trace ring poisoned");
+        if guard.len() == self.capacity {
+            guard.pop_front();
+        }
+        guard.push_back(span);
+    }
+
+    /// Every retained span of `trace_id`, oldest first.
+    #[must_use]
+    pub fn query(&self, trace_id: u64) -> Vec<SpanRecord> {
+        self.spans
+            .lock()
+            .expect("trace ring poisoned")
+            .iter()
+            .filter(|s| s.trace_id == trace_id)
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained spans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spans.lock().expect("trace ring poisoned").len()
+    }
+
+    /// Whether no spans are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One request that exceeded the slow-query threshold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQueryRecord {
+    /// The request's trace id (0 when the request carried no trace).
+    pub trace_id: u64,
+    /// The request type (`Estimate`, `BatchEstimate`, …).
+    pub request: String,
+    /// The sketch the request addressed, when it addressed one.
+    pub sketch: String,
+    /// End-to-end service duration in nanoseconds.
+    pub duration_nanos: u64,
+}
+
+/// A bounded log of the most recent requests slower than a configurable
+/// threshold.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    capacity: usize,
+    threshold_nanos: u64,
+    entries: Mutex<VecDeque<SlowQueryRecord>>,
+}
+
+impl SlowQueryLog {
+    /// A log keeping at most `capacity` records (clamped to ≥ 1) of
+    /// requests that took longer than `threshold_nanos`.
+    #[must_use]
+    pub fn new(capacity: usize, threshold_nanos: u64) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            threshold_nanos,
+            entries: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// The configured threshold in nanoseconds.
+    #[must_use]
+    pub fn threshold_nanos(&self) -> u64 {
+        self.threshold_nanos
+    }
+
+    /// Logs `record` iff its duration exceeds the threshold; returns
+    /// whether it was logged.
+    pub fn observe(&self, record: SlowQueryRecord) -> bool {
+        if record.duration_nanos <= self.threshold_nanos {
+            return false;
+        }
+        let mut guard = self.entries.lock().expect("slow-query log poisoned");
+        if guard.len() == self.capacity {
+            guard.pop_front();
+        }
+        guard.push_back(record);
+        true
+    }
+
+    /// Every retained record, oldest first.
+    #[must_use]
+    pub fn entries(&self) -> Vec<SlowQueryRecord> {
+        self.entries
+            .lock()
+            .expect("slow-query log poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace_id: u64, span_id: u64) -> SpanRecord {
+        SpanRecord {
+            trace_id,
+            span_id,
+            parent_span_id: 0,
+            node: "node-0".to_string(),
+            stage: "decode".to_string(),
+            start_nanos: 10,
+            duration_nanos: 5,
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_queries_by_trace() {
+        let ring = TraceRing::new(3);
+        for i in 0..5u64 {
+            ring.record(span(i % 2, i));
+        }
+        assert_eq!(ring.len(), 3); // spans 2, 3, 4 retained
+        let zeros = ring.query(0);
+        assert_eq!(
+            zeros.iter().map(|s| s.span_id).collect::<Vec<_>>(),
+            vec![2, 4]
+        );
+        assert!(ring.query(9).is_empty());
+    }
+
+    #[test]
+    fn trace_context_and_span_roundtrip() {
+        let ctx = TraceContext {
+            trace_id: 0xDEAD_BEEF,
+            span_id: 7,
+        };
+        let bytes = pie_store::encode_to_vec(&ctx).unwrap();
+        assert_eq!(bytes.len(), 16);
+        let back: TraceContext = pie_store::decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, ctx);
+
+        let s = span(1, 2);
+        let bytes = pie_store::encode_to_vec(&s).unwrap();
+        let back: SpanRecord = pie_store::decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn slow_log_filters_by_threshold_and_is_bounded() {
+        let log = SlowQueryLog::new(2, 100);
+        let record = |id: u64, nanos: u64| SlowQueryRecord {
+            trace_id: id,
+            request: "Estimate".to_string(),
+            sketch: "s".to_string(),
+            duration_nanos: nanos,
+        };
+        assert!(!log.observe(record(1, 100))); // at threshold: not slow
+        assert!(log.observe(record(2, 101)));
+        assert!(log.observe(record(3, 500)));
+        assert!(log.observe(record(4, 500)));
+        let kept: Vec<u64> = log.entries().iter().map(|r| r.trace_id).collect();
+        assert_eq!(kept, vec![3, 4]);
+        assert_eq!(log.threshold_nanos(), 100);
+    }
+}

@@ -45,11 +45,12 @@ use std::time::Duration;
 
 use partial_info_estimators::{CatalogEntry, PipelineReport};
 use pie_engine::EngineStatsReport;
+use pie_obs::{MetricsSnapshot, SpanRecord, TraceContext};
 use pie_store::StoreError;
 
 use crate::error::ServeError;
 use crate::wire::{
-    read_response, write_message, BatchQuery, IngestRecord, Request, Response, SketchConfig,
+    read_response, write_message_traced, BatchQuery, IngestRecord, Request, Response, SketchConfig,
     SketchInfo, WireFault,
 };
 
@@ -140,6 +141,32 @@ impl ClientConfig {
     }
 }
 
+/// Counters for every silent retry the client performed on the caller's
+/// behalf — the visibility a capacity dashboard needs to see pressure
+/// *before* requests start failing outright.  Read them through
+/// [`ServeClient::retry_stats`]; they only ever grow for the lifetime of
+/// the client (reconnects do not reset them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryStats {
+    /// Re-dials during [`ServeClient::connect_with_config`] /
+    /// [`ServeClient::connect_with_retry`].
+    pub connect_retries: u64,
+    /// Re-sends after a typed [`ServeError::Overloaded`] shed (the server
+    /// did not execute the request).
+    pub overloaded_retries: u64,
+    /// Reconnect-and-re-send cycles after a timeout or transport fault on
+    /// an idempotent request.
+    pub transport_retries: u64,
+}
+
+impl RetryStats {
+    /// Every retry of any kind.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.connect_retries + self.overloaded_retries + self.transport_retries
+    }
+}
+
 /// Whether a request can safely be re-sent after a timeout or transport
 /// fault, when the first send's fate is unknowable.
 fn idempotent(request: &Request) -> bool {
@@ -149,6 +176,8 @@ fn idempotent(request: &Request) -> bool {
         | Request::Estimate { .. }
         | Request::BatchEstimate { .. }
         | Request::Stats
+        | Request::Metrics
+        | Request::QueryTrace { .. }
         | Request::Ping
         | Request::Identify { .. } => true,
         // State-changing: a double-send could double-apply.
@@ -204,6 +233,11 @@ pub struct ServeClient {
     /// A timeout or transport fault left the stream position unknowable;
     /// reconnect before the next exchange.
     poisoned: bool,
+    /// Trace context stamped onto every outgoing frame (`None`: untraced
+    /// frames, byte-identical to the pre-tracing wire).
+    trace: Option<TraceContext>,
+    /// Silent-retry counters; see [`RetryStats`].
+    retry_stats: RetryStats,
 }
 
 impl ServeClient {
@@ -275,7 +309,34 @@ impl ServeClient {
             retry: policy,
             tenant: None,
             poisoned: false,
+            trace: None,
+            retry_stats: RetryStats {
+                connect_retries: u64::from(retry),
+                ..RetryStats::default()
+            },
         })
+    }
+
+    /// Stamps `trace` onto every subsequent outgoing frame as the optional
+    /// trace-context wire extension; `None` reverts to untraced frames.
+    /// A server (or router) that sees the context tags its per-stage span
+    /// records with the caller's `trace_id`, retrievable later through
+    /// [`query_trace`](Self::query_trace).
+    pub fn set_trace(&mut self, trace: Option<TraceContext>) {
+        self.trace = trace;
+    }
+
+    /// The trace context currently stamped onto outgoing frames.
+    #[must_use]
+    pub fn trace(&self) -> Option<TraceContext> {
+        self.trace
+    }
+
+    /// Counters for every silent retry this client has performed —
+    /// connect re-dials, overload re-sends, idempotent transport retries.
+    #[must_use]
+    pub fn retry_stats(&self) -> RetryStats {
+        self.retry_stats
     }
 
     /// Replaces the retry policy used for
@@ -319,7 +380,7 @@ impl ServeClient {
     /// One request/response exchange on the wire.  Timeouts and transport
     /// faults poison the connection (stream position unknowable).
     fn exchange(&mut self, request: &Request) -> Result<Response, ServeError> {
-        if let Err(e) = write_message(&mut self.writer, request) {
+        if let Err(e) = write_message_traced(&mut self.writer, request, self.trace.as_ref()) {
             self.poisoned = true;
             return Err(store_error(&e, "writing the request"));
         }
@@ -370,12 +431,14 @@ impl ServeClient {
                     let hint = Duration::from_millis(retry_after_ms).min(self.retry.max_backoff);
                     std::thread::sleep(self.retry.backoff(retry).max(hint));
                     retry += 1;
+                    self.retry_stats.overloaded_retries += 1;
                 }
                 Err(error @ (ServeError::Timeout { .. } | ServeError::Transport { .. }))
                     if idempotent(request) && retry + 1 < self.retry.attempts.max(1) =>
                 {
                     std::thread::sleep(self.retry.backoff(retry));
                     retry += 1;
+                    self.retry_stats.transport_retries += 1;
                     let _ = error;
                 }
                 other => return other,
@@ -612,6 +675,59 @@ impl ServeClient {
         match self.call(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
             _ => Err(ServeError::UnexpectedResponse { expected: "Stats" }),
+        }
+    }
+
+    /// Fetches the server's full metrics-registry snapshot: exact request
+    /// counters, gauges, and the log-bucketed latency histograms.
+    ///
+    /// ```no_run
+    /// use pie_serve::ServeClient;
+    ///
+    /// let mut client = ServeClient::connect("127.0.0.1:7070").unwrap();
+    /// let metrics = client.metrics().unwrap();
+    /// for counter in &metrics.counters {
+    ///     println!("{} {}", counter.name, counter.value);
+    /// }
+    /// println!("{}", metrics.render_text());
+    /// ```
+    ///
+    /// # Errors
+    /// As [`list_catalog`](Self::list_catalog).
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ServeError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(snapshot) => Ok(snapshot),
+            _ => Err(ServeError::UnexpectedResponse {
+                expected: "Metrics",
+            }),
+        }
+    }
+
+    /// Fetches every per-stage span the server still holds for `trace_id`
+    /// (the ring is bounded; old traces age out).  Stamp a
+    /// [`TraceContext`] with [`set_trace`](Self::set_trace) first, issue
+    /// the request to trace, then query its spans back:
+    ///
+    /// ```no_run
+    /// use pie_serve::{ServeClient, TraceContext};
+    ///
+    /// let mut client = ServeClient::connect("127.0.0.1:7070").unwrap();
+    /// client.set_trace(Some(TraceContext::new(0xBEEF, 1)));
+    /// let _report = client
+    ///     .estimate("traffic", "max_weighted", "max_dominance")
+    ///     .unwrap();
+    /// client.set_trace(None);
+    /// for span in client.query_trace(0xBEEF).unwrap() {
+    ///     println!("{} {} {}ns", span.node, span.stage, span.duration_nanos);
+    /// }
+    /// ```
+    ///
+    /// # Errors
+    /// As [`list_catalog`](Self::list_catalog).
+    pub fn query_trace(&mut self, trace_id: u64) -> Result<Vec<SpanRecord>, ServeError> {
+        match self.call(&Request::QueryTrace { trace_id })? {
+            Response::Traces(spans) => Ok(spans),
+            _ => Err(ServeError::UnexpectedResponse { expected: "Traces" }),
         }
     }
 }

@@ -22,14 +22,17 @@
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
+use std::time::Instant;
 
+use pie_obs::TraceContext;
 use pie_store::frame::{recoverable, FrameDecoder};
 
 use crate::error::ServeError;
 use crate::poll::{fd_of, Fd};
 use crate::server::DEFAULT_TENANT;
 use crate::wire::{
-    decode_payload, write_message, Request, Response, MAX_FRAME_BYTES, WIRE_MAGIC, WIRE_VERSION,
+    decode_payload_with_trace, write_message, Request, Response, MAX_FRAME_BYTES, WIRE_MAGIC,
+    WIRE_VERSION,
 };
 
 /// Most parsed-but-undispatched requests one connection may hold; past
@@ -46,7 +49,14 @@ const READ_CHUNK: usize = 16 * 1024;
 /// One unit of in-order connection work.
 pub(crate) enum Work {
     /// A fully decoded request, to be dispatched on a worker.
-    Request(Request),
+    Request {
+        /// The decoded request.
+        request: Request,
+        /// The trace context the frame carried, if any.
+        trace: Option<TraceContext>,
+        /// How long frame decoding took.
+        decode_nanos: u64,
+    },
     /// A framing/decoding fault to answer in-line with a typed error.
     /// `fatal` closes the connection once everything queued has flushed.
     Fault {
@@ -55,6 +65,14 @@ pub(crate) enum Work {
         /// Whether the stream position is lost.
         fatal: bool,
     },
+}
+
+/// One queued response frame, carrying its trace identity and enqueue time
+/// so a full flush can be attributed back to the request.
+struct QueuedFrame {
+    bytes: Vec<u8>,
+    trace: Option<TraceContext>,
+    enqueued: Instant,
 }
 
 /// The full state of one multiplexed connection.
@@ -67,10 +85,15 @@ pub(crate) struct Connection {
     busy: bool,
     /// The tenant subsequent requests bill to (follows `Identify`).
     tenant: String,
-    write_queue: VecDeque<Vec<u8>>,
+    write_queue: VecDeque<QueuedFrame>,
     /// Bytes of the queue's front buffer already written.
     write_pos: usize,
     queued_bytes: usize,
+    /// Most bytes the write queue has ever held on this connection.
+    write_hwm_bytes: usize,
+    /// Fully flushed frames since the last [`take_flushed`](Self::take_flushed):
+    /// `(trace, nanos queued before the flush completed)`.
+    flushed: Vec<(Option<TraceContext>, u64)>,
     /// No more bytes will be read (peer EOF, fatal fault, or drain).
     read_closed: bool,
     /// Close once the work FIFO and write queue are empty.
@@ -93,6 +116,8 @@ impl Connection {
             write_queue: VecDeque::new(),
             write_pos: 0,
             queued_bytes: 0,
+            write_hwm_bytes: 0,
+            flushed: Vec::new(),
             read_closed: false,
             closing: false,
             dead: false,
@@ -127,15 +152,15 @@ impl Connection {
             return None;
         }
         let item = self.work.pop_front()?;
-        if matches!(item, Work::Request(_)) {
+        if matches!(item, Work::Request { .. }) {
             self.busy = true;
         }
         Some(item)
     }
 
     /// Absorbs a finished dispatch: the (possibly `Identify`-updated)
-    /// tenant and the pre-encoded response frame.
-    pub(crate) fn complete(&mut self, tenant: String, frame: Vec<u8>) {
+    /// tenant, the pre-encoded response frame, and the request's trace.
+    pub(crate) fn complete(&mut self, tenant: String, frame: Vec<u8>, trace: Option<TraceContext>) {
         self.busy = false;
         self.tenant = tenant;
         if frame.is_empty() {
@@ -146,7 +171,7 @@ impl Connection {
             self.dead = true;
             return;
         }
-        self.enqueue_frame(frame);
+        self.enqueue_frame(frame, trace);
     }
 
     /// Encodes and queues a response produced in-line (wire faults).
@@ -156,12 +181,28 @@ impl Connection {
             self.dead = true;
             return;
         }
-        self.enqueue_frame(frame);
+        self.enqueue_frame(frame, None);
     }
 
-    fn enqueue_frame(&mut self, frame: Vec<u8>) {
+    fn enqueue_frame(&mut self, frame: Vec<u8>, trace: Option<TraceContext>) {
         self.queued_bytes += frame.len();
-        self.write_queue.push_back(frame);
+        self.write_hwm_bytes = self.write_hwm_bytes.max(self.queued_bytes);
+        self.write_queue.push_back(QueuedFrame {
+            bytes: frame,
+            trace,
+            enqueued: Instant::now(),
+        });
+    }
+
+    /// Most bytes the write queue has ever held on this connection.
+    pub(crate) fn write_hwm_bytes(&self) -> usize {
+        self.write_hwm_bytes
+    }
+
+    /// Drains the record of frames fully flushed since the last call:
+    /// `(trace, nanos spent queued)` per frame.
+    pub(crate) fn take_flushed(&mut self) -> Vec<(Option<TraceContext>, u64)> {
+        std::mem::take(&mut self.flushed)
     }
 
     /// Marks the connection closing-after-flush and stops reads (server
@@ -228,12 +269,20 @@ impl Connection {
     fn parse_frames(&mut self) {
         loop {
             match self.decoder.next_frame() {
-                Ok(Some(payload)) => match decode_payload::<Request>(&payload) {
-                    Ok(request) => self.work.push_back(Work::Request(request)),
-                    // The frame was consumed whole; only its contents were
-                    // bad.  Recoverable by construction.
-                    Err(error) => self.push_fault(ServeError::protocol(&error), false),
-                },
+                Ok(Some(payload)) => {
+                    let started = Instant::now();
+                    match decode_payload_with_trace::<Request>(&payload) {
+                        Ok((request, trace)) => self.work.push_back(Work::Request {
+                            request,
+                            trace,
+                            decode_nanos: u64::try_from(started.elapsed().as_nanos())
+                                .unwrap_or(u64::MAX),
+                        }),
+                        // The frame was consumed whole; only its contents
+                        // were bad.  Recoverable by construction.
+                        Err(error) => self.push_fault(ServeError::protocol(&error), false),
+                    }
+                }
                 Ok(None) => return,
                 Err(error) => {
                     let fatal = !recoverable(&error);
@@ -256,7 +305,7 @@ impl Connection {
     /// queue empties.
     pub(crate) fn handle_writable(&mut self) {
         while let Some(front) = self.write_queue.front() {
-            match self.stream.write(&front[self.write_pos..]) {
+            match self.stream.write(&front.bytes[self.write_pos..]) {
                 Ok(0) => {
                     self.dead = true;
                     return;
@@ -264,8 +313,12 @@ impl Connection {
                 Ok(n) => {
                     self.write_pos += n;
                     self.queued_bytes -= n;
-                    if self.write_pos == front.len() {
-                        self.write_queue.pop_front();
+                    if self.write_pos == front.bytes.len() {
+                        let frame = self.write_queue.pop_front().expect("front exists");
+                        self.flushed.push((
+                            frame.trace,
+                            u64::try_from(frame.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        ));
                         self.write_pos = 0;
                     }
                 }

@@ -86,9 +86,9 @@ pub mod server;
 pub mod wire;
 
 pub use catalog::SketchCatalog;
-pub use client::{ClientConfig, IngestAck, RetryPolicy, ServeClient};
+pub use client::{ClientConfig, IngestAck, RetryPolicy, RetryStats, ServeClient};
 pub use error::ServeError;
-pub use server::{Server, ShutdownHandle, DEFAULT_TENANT};
+pub use server::{ObsConfig, Server, ShutdownHandle, DEFAULT_TENANT};
 pub use wire::{
     BatchQuery, IngestRecord, Request, Response, SketchConfig, SketchInfo, MAX_BATCH_QUERIES,
     MAX_FRAME_BYTES, WIRE_MAGIC, WIRE_VERSION,
@@ -96,4 +96,12 @@ pub use wire::{
 
 // The engine tunables taken by [`Server::bind_with`], re-exported so server
 // embedders configure quotas without naming `pie-engine` directly.
-pub use pie_engine::{EngineConfig, EngineStatsReport, TenantQuota};
+pub use pie_engine::{EngineConfig, EngineStatsReport, RequestCountRow, TenantQuota};
+
+// The observability vocabulary spoken by the `Metrics` / `QueryTrace`
+// requests, re-exported so clients read snapshots and stamp trace contexts
+// without naming `pie-obs` directly.
+pub use pie_obs::{
+    CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot, SlowQueryRecord,
+    SpanRecord, TraceContext,
+};

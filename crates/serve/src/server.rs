@@ -33,14 +33,20 @@
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use partial_info_estimators::{CatalogEntry, PipelineReport, Statistic};
+use partial_info_estimators::{
+    CatalogEntry, PipelineObserver, PipelineReport, StageNanos, Statistic,
+};
 use pie_engine::{CacheKey, EngineConfig, QueryEngine, Shed};
+use pie_obs::{
+    Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, SlowQueryLog, SlowQueryRecord,
+    SpanRecord, TraceContext, TraceRing,
+};
 
 use crate::catalog::{map_catalog_error, SketchCatalog};
 use crate::conn::{Connection, Work};
@@ -64,11 +70,144 @@ const POLL_MS: u32 = 200;
 /// promptly.
 const DRAIN_POLL_MS: u32 = 10;
 
+/// Observability tunables taken by [`Server::bind_with_obs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Master switch: `false` turns every metric, span, and slow-query
+    /// record off (the wire `Metrics`/`QueryTrace` requests then answer
+    /// with empty snapshots).
+    pub enabled: bool,
+    /// How many recent spans the in-memory trace ring retains.
+    pub trace_ring_capacity: usize,
+    /// Requests slower than this end-to-end land in the slow-query log.
+    pub slow_query_threshold: Duration,
+    /// How many slow-query records are retained.
+    pub slow_query_log_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    /// Observability on: a 4096-span trace ring and a 128-entry slow-query
+    /// log with a 250 ms threshold.
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            trace_ring_capacity: 4096,
+            slow_query_threshold: Duration::from_millis(250),
+            slow_query_log_capacity: 128,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Everything off — the baseline for overhead measurements.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// The server's observability plane: the metrics registry, the span ring,
+/// the slow-query log, and the span-id source.  One per server, shared by
+/// the event loop and every worker.
+pub(crate) struct ServerObs {
+    enabled: bool,
+    registry: MetricsRegistry,
+    traces: TraceRing,
+    slow: SlowQueryLog,
+    next_span: AtomicU64,
+    start: Instant,
+    /// This process's span identity (the listen address).
+    node: String,
+    // Pre-created handles for per-request hot paths.
+    requests_total: Arc<Counter>,
+    request_nanos: Arc<Histogram>,
+    queue_depth: Arc<Gauge>,
+    queue_depth_hwm: Arc<Gauge>,
+}
+
+impl ServerObs {
+    fn new(config: &ObsConfig, node: String) -> Self {
+        let registry = MetricsRegistry::new();
+        let requests_total = registry.counter("requests_total");
+        let request_nanos = registry.histogram("request_nanos");
+        let queue_depth = registry.gauge("worker_queue_depth");
+        let queue_depth_hwm = registry.gauge("worker_queue_depth_hwm");
+        Self {
+            enabled: config.enabled,
+            registry,
+            traces: TraceRing::new(config.trace_ring_capacity),
+            slow: SlowQueryLog::new(
+                config.slow_query_log_capacity,
+                u64::try_from(config.slow_query_threshold.as_nanos()).unwrap_or(u64::MAX),
+            ),
+            next_span: AtomicU64::new(0),
+            start: Instant::now(),
+            node,
+            requests_total,
+            request_nanos,
+            queue_depth,
+            queue_depth_hwm,
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn now_nanos(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Records one per-stage span for a traced request, ending now; the
+    /// incoming wire context's span is the parent.  No-op when disabled or
+    /// untraced.
+    pub(crate) fn span(&self, trace: Option<&TraceContext>, stage: &str, duration_nanos: u64) {
+        if !self.enabled {
+            return;
+        }
+        let Some(ctx) = trace else { return };
+        self.traces.record(SpanRecord {
+            trace_id: ctx.trace_id,
+            span_id: self.next_span.fetch_add(1, Ordering::Relaxed) + 1,
+            parent_span_id: ctx.span_id,
+            node: self.node.clone(),
+            stage: stage.to_string(),
+            start_nanos: self.now_nanos().saturating_sub(duration_nanos),
+            duration_nanos,
+        });
+    }
+
+    /// The full registry snapshot (empty when disabled).
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        // A disabled plane answers with an *empty* snapshot, not the
+        // pre-created zero-valued handles: clients need no mode detection.
+        if !self.enabled {
+            return MetricsSnapshot::default();
+        }
+        self.registry.snapshot()
+    }
+
+    /// Recent spans of `trace_id` from the local ring.
+    pub(crate) fn query_trace(&self, trace_id: u64) -> Vec<SpanRecord> {
+        self.traces.query(trace_id)
+    }
+}
+
 /// One dispatched request, owned by a worker while it runs.
 struct Job {
     conn: u64,
     request: Request,
     tenant: String,
+    /// The wire-propagated trace context, if the frame carried one.
+    trace: Option<TraceContext>,
+    /// Decode time, folded into the request's end-to-end duration.
+    decode_nanos: u64,
+    /// When the event loop queued the job (queue wait counts toward the
+    /// end-to-end duration).
+    queued: Instant,
 }
 
 /// One finished dispatch on its way back to the event loop.
@@ -78,6 +217,9 @@ struct Done {
     /// The pre-encoded response frame (empty on the unreachable encode
     /// failure, which the connection treats as fatal).
     frame: Vec<u8>,
+    /// The request's trace, carried through so the flush of its response
+    /// can be attributed (`write_queue` span).
+    trace: Option<TraceContext>,
 }
 
 /// State shared between the [`Server`] handle, [`ShutdownHandle`]s, the
@@ -135,6 +277,7 @@ pub struct Server {
     addr: SocketAddr,
     catalog: Arc<SketchCatalog>,
     engine: Arc<QueryEngine>,
+    obs: Arc<ServerObs>,
     shared: Arc<Shared>,
     event_loop: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
@@ -152,16 +295,31 @@ impl Server {
     }
 
     /// [`bind`](Self::bind) with explicit engine tunables: cache capacity,
-    /// in-flight bounds, and per-tenant quotas.
+    /// in-flight bounds, and per-tenant quotas.  Observability runs at its
+    /// defaults ([`ObsConfig::default`]).
     ///
     /// # Errors
     /// Propagates socket binding failures.
     pub fn bind_with(addr: impl ToSocketAddrs, config: EngineConfig) -> io::Result<Self> {
+        Self::bind_with_obs(addr, config, ObsConfig::default())
+    }
+
+    /// [`bind_with`](Self::bind_with) with explicit observability tunables
+    /// — pass [`ObsConfig::disabled`] for an uninstrumented baseline.
+    ///
+    /// # Errors
+    /// Propagates socket binding failures.
+    pub fn bind_with_obs(
+        addr: impl ToSocketAddrs,
+        config: EngineConfig,
+        obs_config: ObsConfig,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let catalog = Arc::new(SketchCatalog::new());
         let engine = Arc::new(QueryEngine::new(config));
+        let obs = Arc::new(ServerObs::new(&obs_config, addr.to_string()));
 
         let waker = UdpSocket::bind("127.0.0.1:0")?;
         waker.connect(waker.local_addr()?)?;
@@ -189,11 +347,12 @@ impl Server {
             let shared = Arc::clone(&shared);
             let catalog = Arc::clone(&catalog);
             let engine = Arc::clone(&engine);
+            let obs = Arc::clone(&obs);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("pie-serve-worker-{i}"))
                     .spawn(move || {
-                        worker_loop(&jobs_rx, &completions, &shared, &catalog, &engine)
+                        worker_loop(&jobs_rx, &completions, &shared, &catalog, &engine, &obs)
                     })?,
             );
         }
@@ -201,15 +360,19 @@ impl Server {
         let poller = Poller::new()?;
         let event_loop = {
             let shared = Arc::clone(&shared);
+            let obs = Arc::clone(&obs);
             std::thread::Builder::new()
                 .name("pie-serve-events".to_string())
-                .spawn(move || event_loop(listener, poller, &shared, &jobs_tx, &completions))?
+                .spawn(move || {
+                    event_loop(listener, poller, &shared, &jobs_tx, &completions, &obs)
+                })?
         };
 
         Ok(Self {
             addr,
             catalog,
             engine,
+            obs,
             shared,
             event_loop: Some(event_loop),
             workers,
@@ -237,6 +400,28 @@ impl Server {
     #[must_use]
     pub fn engine(&self) -> &Arc<QueryEngine> {
         &self.engine
+    }
+
+    /// The current in-process metrics snapshot — what the wire `Metrics`
+    /// request returns, without a round trip.  Empty when observability
+    /// was disabled at bind.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
+    }
+
+    /// Recent spans recorded for `trace_id` — what the wire `QueryTrace`
+    /// request returns, without a round trip.
+    #[must_use]
+    pub fn trace_spans(&self, trace_id: u64) -> Vec<SpanRecord> {
+        self.obs.query_trace(trace_id)
+    }
+
+    /// Slow-query records retained by this server (requests slower than
+    /// the configured threshold), oldest first.
+    #[must_use]
+    pub fn slow_queries(&self) -> Vec<SlowQueryRecord> {
+        self.obs.slow.entries()
     }
 
     /// A cloneable handle that can trigger this server's shutdown from
@@ -281,6 +466,7 @@ fn worker_loop(
     shared: &Shared,
     catalog: &SketchCatalog,
     engine: &QueryEngine,
+    obs: &ServerObs,
 ) {
     loop {
         // Holding the lock while waiting serializes job *pickup*, not job
@@ -290,11 +476,49 @@ fn worker_loop(
             guard.recv()
         };
         let Ok(job) = job else { return };
+        if obs.enabled() {
+            obs.queue_depth.sub(1);
+        }
+        let kind = request_kind(&job.request);
+        let sketch = request_sketch(&job.request).map(str::to_string);
+        engine.note_request(kind);
+        let trace = job.trace;
         let mut tenant = job.tenant;
-        let response = dispatch(job.request, catalog, engine, &mut tenant);
+        let response = dispatch(
+            job.request,
+            catalog,
+            engine,
+            &mut tenant,
+            obs,
+            trace.as_ref(),
+        );
+        let encode_started = Instant::now();
         let mut frame = Vec::new();
         if write_message(&mut frame, &response).is_err() {
             frame.clear();
+        }
+        if obs.enabled() {
+            obs.span(
+                trace.as_ref(),
+                "encode",
+                u64::try_from(encode_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+            // End-to-end service duration: decode + queue wait + dispatch
+            // + encode (the response flush is attributed separately).
+            let total = job
+                .decode_nanos
+                .saturating_add(u64::try_from(job.queued.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            obs.requests_total.inc();
+            obs.registry
+                .counter(&format!("requests_{kind}_total"))
+                .inc();
+            obs.request_nanos.record(total);
+            obs.slow.observe(SlowQueryRecord {
+                trace_id: trace.map_or(0, |t| t.trace_id),
+                request: kind.to_string(),
+                sketch: sketch.unwrap_or_default(),
+                duration_nanos: total,
+            });
         }
         completions
             .lock()
@@ -303,8 +527,37 @@ fn worker_loop(
                 conn: job.conn,
                 tenant,
                 frame,
+                trace,
             });
         shared.wake();
+    }
+}
+
+/// The request's stable metrics name.
+fn request_kind(request: &Request) -> &'static str {
+    match request {
+        Request::ListCatalog => "list_catalog",
+        Request::Identify { .. } => "identify",
+        Request::LoadSnapshot { .. } => "load_snapshot",
+        Request::PutSnapshot { .. } => "put_snapshot",
+        Request::Ping => "ping",
+        Request::IngestBatch { .. } => "ingest_batch",
+        Request::Estimate { .. } => "estimate",
+        Request::BatchEstimate { .. } => "batch_estimate",
+        Request::Stats => "stats",
+        Request::Metrics => "metrics",
+        Request::QueryTrace { .. } => "query_trace",
+    }
+}
+
+/// The sketch a request addresses, when it addresses one (slow-query log).
+fn request_sketch(request: &Request) -> Option<&str> {
+    match request {
+        Request::Estimate { sketch, .. }
+        | Request::BatchEstimate { sketch, .. }
+        | Request::IngestBatch { sketch, .. } => Some(sketch),
+        Request::LoadSnapshot { name, .. } | Request::PutSnapshot { name, .. } => Some(name),
+        _ => None,
     }
 }
 
@@ -328,6 +581,7 @@ fn event_loop(
     shared: &Arc<Shared>,
     jobs: &Sender<Job>,
     completions: &Mutex<Vec<Done>>,
+    obs: &ServerObs,
 ) {
     let mut listener = Some(listener);
     let mut conns: HashMap<u64, Connection> = HashMap::new();
@@ -336,6 +590,18 @@ fn event_loop(
     // Connections touched since they were last serviced; deduped each pass.
     let mut dirty: Vec<u64> = Vec::new();
     let mut events: Vec<Event> = Vec::new();
+
+    // Event-loop metric handles, created once (recording is guarded by the
+    // master switch, so a disabled server pays nothing per wakeup).
+    let epoll_wakeups = obs.registry.counter("epoll_wakeups_total");
+    let epoll_events = obs.registry.counter("epoll_events_total");
+    let dirty_serviced = obs.registry.counter("dirty_connections_serviced_total");
+    let dirty_hwm = obs.registry.gauge("dirty_set_hwm");
+    let conns_accepted = obs.registry.counter("conns_accepted_total");
+    let conns_closed = obs.registry.counter("conns_closed_total");
+    let conn_write_hwm = obs.registry.gauge("conn_write_queue_hwm_bytes");
+    let flush_nanos = obs.registry.histogram("write_queue_flush_nanos");
+    let decode_nanos_hist = obs.registry.histogram("decode_nanos");
 
     // A waker registration failure only degrades completion latency to the
     // poll timeout; a listener failure is caught by the accept tests.
@@ -354,7 +620,7 @@ fn event_loop(
             // A missing id means the connection died while its request
             // ran; the response has no one to go to.
             if let Some(conn) = conns.get_mut(&done.conn) {
-                conn.complete(done.tenant, done.frame);
+                conn.complete(done.tenant, done.frame, done.trace);
                 dirty.push(done.conn);
             }
         }
@@ -379,21 +645,40 @@ fn event_loop(
         // poller interest where it changed.
         dirty.sort_unstable();
         dirty.dedup();
+        if obs.enabled() && !dirty.is_empty() {
+            dirty_serviced.add(dirty.len() as u64);
+            dirty_hwm.record_max(dirty.len() as u64);
+        }
         for id in dirty.drain(..) {
             let Some(conn) = conns.get_mut(&id) else {
                 continue;
             };
             while let Some(work) = conn.next_work() {
                 match work {
-                    Work::Request(request) => {
+                    Work::Request {
+                        request,
+                        trace,
+                        decode_nanos,
+                    } => {
+                        if obs.enabled() {
+                            decode_nanos_hist.record(decode_nanos);
+                            obs.span(trace.as_ref(), "decode", decode_nanos);
+                        }
                         let sent = jobs.send(Job {
                             conn: id,
                             request,
                             tenant: conn.tenant().to_string(),
+                            trace,
+                            decode_nanos,
+                            queued: Instant::now(),
                         });
                         if sent.is_err() {
                             // Workers are gone (only during teardown).
                             return;
+                        }
+                        if obs.enabled() {
+                            obs.queue_depth.add(1);
+                            obs.queue_depth_hwm.record_max(obs.queue_depth.get());
                         }
                         break;
                     }
@@ -406,9 +691,22 @@ fn event_loop(
                 }
             }
             conn.handle_writable();
+            // Always drain the flush record (it accumulates in the
+            // connection either way); account for it only when enabled.
+            let flushed = conn.take_flushed();
+            if obs.enabled() {
+                for (trace, nanos) in flushed {
+                    flush_nanos.record(nanos);
+                    obs.span(trace.as_ref(), "write_queue", nanos);
+                }
+                conn_write_hwm.record_max(conn.write_hwm_bytes() as u64);
+            }
             if conn.finished() {
                 poller.remove(conn.fd());
                 conns.remove(&id);
+                if obs.enabled() {
+                    conns_closed.inc();
+                }
             } else if poller
                 .update(conn.fd(), id, conn.wants_read(), conn.wants_write())
                 .is_err()
@@ -417,6 +715,9 @@ fn event_loop(
                 // served again; drop it rather than strand it.
                 poller.remove(conn.fd());
                 conns.remove(&id);
+                if obs.enabled() {
+                    conns_closed.inc();
+                }
             }
         }
 
@@ -435,7 +736,13 @@ fn event_loop(
         };
         events.clear();
         match poller.wait(timeout) {
-            Ok(ready) => events.extend_from_slice(ready),
+            Ok(ready) => {
+                events.extend_from_slice(ready);
+                if obs.enabled() {
+                    epoll_wakeups.inc();
+                    epoll_events.add(events.len() as u64);
+                }
+            }
             Err(_) => {
                 // Nothing sane to do with a failed wait but back off
                 // briefly and retry.
@@ -456,7 +763,10 @@ fn event_loop(
                 }
                 LISTENER_TOKEN => {
                     if let Some(l) = &listener {
-                        accept_burst(l, &mut conns, &mut next_id, &mut poller);
+                        let accepted = accept_burst(l, &mut conns, &mut next_id, &mut poller);
+                        if obs.enabled() && accepted > 0 {
+                            conns_accepted.add(accepted);
+                        }
                     }
                 }
                 id => {
@@ -476,13 +786,15 @@ fn event_loop(
 }
 
 /// Accepts every connection currently pending on the listener and
-/// registers each with the poller for reads.
+/// registers each with the poller for reads; returns how many were
+/// adopted.
 fn accept_burst(
     listener: &TcpListener,
     conns: &mut HashMap<u64, Connection>,
     next_id: &mut u64,
     poller: &mut Poller,
-) {
+) -> u64 {
+    let mut accepted = 0;
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -491,14 +803,15 @@ fn accept_burst(
                     *next_id += 1;
                     if poller.update(conn.fd(), id, true, false).is_ok() {
                         conns.insert(id, conn);
+                        accepted += 1;
                     }
                 }
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return accepted,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             // Transient accept errors (peer reset mid-handshake, fd
             // pressure): keep accepting at the next readiness event.
-            Err(_) => return,
+            Err(_) => return accepted,
         }
     }
 }
@@ -509,10 +822,31 @@ fn dispatch(
     catalog: &SketchCatalog,
     engine: &QueryEngine,
     tenant: &mut String,
+    obs: &ServerObs,
+    trace: Option<&TraceContext>,
 ) -> Response {
-    match try_dispatch(request, catalog, engine, tenant) {
+    match try_dispatch(request, catalog, engine, tenant, obs, trace) {
         Ok(response) => response,
-        Err(error) => Response::Error(error),
+        Err(error) => {
+            if obs.enabled() {
+                if let ServeError::Overloaded { what, .. } = &error {
+                    obs.registry.counter(shed_reason_counter(what)).inc();
+                }
+            }
+            Response::Error(error)
+        }
+    }
+}
+
+/// Classifies an admission-control shed into its reason counter, from the
+/// engine's `Shed::what` strings.
+fn shed_reason_counter(what: &str) -> &'static str {
+    if what.starts_with("query quota") {
+        "shed_query_quota_total"
+    } else if what.starts_with("ingest quota") {
+        "shed_ingest_quota_total"
+    } else {
+        "shed_inflight_queue_total"
     }
 }
 
@@ -524,12 +858,19 @@ fn overloaded(shed: Shed) -> ServeError {
     }
 }
 
+/// Saturating nanoseconds since `from`.
+fn nanos_since(from: Instant) -> u64 {
+    u64::try_from(from.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// The dispatch body, with `?` on the typed error paths.
 fn try_dispatch(
     request: Request,
     catalog: &SketchCatalog,
     engine: &QueryEngine,
     tenant: &mut String,
+    obs: &ServerObs,
+    trace: Option<&TraceContext>,
 ) -> Result<Response, ServeError> {
     match request {
         Request::ListCatalog => Ok(Response::Catalog(catalog.list())),
@@ -564,10 +905,12 @@ fn try_dispatch(
             records,
             last,
         } => {
+            let admit_started = Instant::now();
             engine
                 .admission()
                 .admit_ingest(tenant, records.len() as u64)
                 .map_err(overloaded)?;
+            obs.span(trace, "admission", nanos_since(admit_started));
             let (buffered_records, ready) = catalog.ingest(&sketch, config, &records, last)?;
             if ready {
                 engine.invalidate_sketch(&sketch);
@@ -583,7 +926,9 @@ fn try_dispatch(
             estimator,
             statistic,
         } => {
+            let admit_started = Instant::now();
             let _permit = engine.admit_query(tenant, 1).map_err(overloaded)?;
+            obs.span(trace, "admission", nanos_since(admit_started));
             let entry = catalog.get(&sketch)?;
             let key = CacheKey {
                 sketch,
@@ -591,11 +936,39 @@ fn try_dispatch(
                 statistic: statistic.clone(),
                 fingerprint: entry.fingerprint(),
             };
+            // Stage attribution: the closure runs only on a cache miss; its
+            // observer splits the compute into trial replay vs estimator
+            // batch, and `probe − compute` is the pure cache overhead
+            // (lookup, and on a miss the insert incl. any eviction).
+            let stages = Arc::new(StageNanos::new());
+            let compute_nanos = std::cell::Cell::new(0u64);
+            let probe_started = Instant::now();
             let report = engine.estimate_cached(key, || {
-                entry
-                    .estimate_named(&estimator, &statistic, Some(1))
-                    .map_err(|e| map_catalog_error(&estimator, e))
+                let compute_started = Instant::now();
+                let out = entry
+                    .estimate_named_observed(
+                        &estimator,
+                        &statistic,
+                        Some(1),
+                        PipelineObserver::stages(&stages),
+                    )
+                    .map_err(|e| map_catalog_error(&estimator, e));
+                compute_nanos.set(nanos_since(compute_started));
+                out
             })?;
+            if obs.enabled() {
+                let probe = nanos_since(probe_started);
+                let compute = compute_nanos.get();
+                let overhead = probe.saturating_sub(compute);
+                obs.span(trace, "cache_probe", overhead);
+                if compute == 0 {
+                    obs.registry.histogram("cache_hit_nanos").record(overhead);
+                } else {
+                    obs.registry.histogram("cache_miss_nanos").record(overhead);
+                    obs.span(trace, "trial_replay", stages.trial_replay_nanos());
+                    obs.span(trace, "estimator_batch", stages.estimator_batch_nanos());
+                }
+            }
             Ok(Response::Estimated((*report).clone()))
         }
         Request::BatchEstimate { sketch, queries } => {
@@ -607,9 +980,11 @@ fn try_dispatch(
                     ),
                 });
             }
+            let admit_started = Instant::now();
             let _permit = engine
                 .admit_query(tenant, queries.len() as u64)
                 .map_err(overloaded)?;
+            obs.span(trace, "admission", nanos_since(admit_started));
             let entry = catalog.get(&sketch)?;
             // Resolve every combination before any estimation runs, so a
             // bad name yields its precise typed error and a failed batch
@@ -633,10 +1008,12 @@ fn try_dispatch(
             };
             // Serve what the cache holds; answer every remaining
             // combination from ONE shared replay over the samples.
+            let probe_started = Instant::now();
             let mut reports: Vec<Option<Arc<PipelineReport>>> = queries
                 .iter()
                 .map(|query| engine.cache().get(&key_of(query)))
                 .collect();
+            obs.span(trace, "cache_probe", nanos_since(probe_started));
             let missing: Vec<usize> = (0..queries.len())
                 .filter(|&i| reports[i].is_none())
                 .collect();
@@ -645,11 +1022,18 @@ fn try_dispatch(
                     .iter()
                     .map(|&i| (queries[i].estimator.as_str(), queries[i].statistic.as_str()))
                     .collect();
+                let stages = Arc::new(StageNanos::new());
                 let computed = entry
-                    .estimate_batch_named(&to_compute, Some(1))
+                    .estimate_batch_named_observed(
+                        &to_compute,
+                        Some(1),
+                        PipelineObserver::stages(&stages),
+                    )
                     // Names were pre-validated; only pipeline-level failures
                     // remain, which the mapper turns into InvalidConfig.
                     .map_err(|e| map_catalog_error("<batch>", e))?;
+                obs.span(trace, "trial_replay", stages.trial_replay_nanos());
+                obs.span(trace, "estimator_batch", stages.estimator_batch_nanos());
                 for (&i, report) in missing.iter().zip(computed) {
                     let report = Arc::new(report);
                     engine
@@ -666,5 +1050,7 @@ fn try_dispatch(
             ))
         }
         Request::Stats => Ok(Response::Stats(engine.stats())),
+        Request::Metrics => Ok(Response::Metrics(obs.snapshot())),
+        Request::QueryTrace { trace_id } => Ok(Response::Traces(obs.query_trace(trace_id))),
     }
 }

@@ -28,11 +28,26 @@
 //! survivable; bad magic, oversized length prefixes, truncation, and I/O
 //! errors are not (the stream position is unknowable), so the server
 //! responds where possible and closes.
+//!
+//! # Frame extensions
+//!
+//! A frame payload may carry optional, self-describing **extension
+//! blocks** after the encoded message: repeated `(tag: u32, len: u64,
+//! bytes[len])` records.  Unknown tags are skipped (forward
+//! compatibility); malformed blocks (truncated headers, lengths past the
+//! payload end, wrong block sizes) are recoverable typed faults, never
+//! panics.  A frame without extensions is **byte-identical** to the
+//! pre-extension wire, which is why [`WIRE_VERSION`] is unchanged and
+//! every pre-extension golden frame still pins.  The only extension
+//! defined today is [`EXT_TRACE_CONTEXT`]: a 16-byte
+//! [`TraceContext`] propagating a request's trace across hops (written by
+//! [`write_message_traced`]).
 
 use std::io::{Read, Write};
 
 use partial_info_estimators::{PipelineReport, Scheme};
 use pie_engine::EngineStatsReport;
+use pie_obs::{MetricsSnapshot, SpanRecord, TraceContext};
 use pie_store::frame::{read_frame_or_eof, recoverable, write_frame};
 use pie_store::{Decode, Encode, StoreError};
 
@@ -254,6 +269,18 @@ pub enum Request {
     /// neither the catalog nor the engine.  The cluster router uses it to
     /// detect dead nodes cheaply before failing over.
     Ping,
+    /// Fetch the server's full metrics-registry snapshot (exact counters,
+    /// gauges, and latency histograms); answered with
+    /// [`Response::Metrics`].  Node snapshots merge exactly via
+    /// [`MetricsSnapshot::absorb`], which is how the cluster router's
+    /// `fleet_metrics` sees the whole fleet in one value.
+    Metrics,
+    /// Fetch the recent spans recorded for one trace id from the server's
+    /// bounded trace ring; answered with [`Response::Traces`].
+    QueryTrace {
+        /// The trace id the spans were recorded under.
+        trace_id: u64,
+    },
 }
 
 const REQ_LIST: u32 = 0;
@@ -265,6 +292,8 @@ const REQ_BATCH: u32 = 5;
 const REQ_STATS: u32 = 6;
 const REQ_PUT: u32 = 7;
 const REQ_PING: u32 = 8;
+const REQ_METRICS: u32 = 9;
+const REQ_QUERY_TRACE: u32 = 10;
 
 impl Encode for Request {
     fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
@@ -313,6 +342,11 @@ impl Encode for Request {
                 snapshot.encode(w)
             }
             Self::Ping => REQ_PING.encode(w),
+            Self::Metrics => REQ_METRICS.encode(w),
+            Self::QueryTrace { trace_id } => {
+                REQ_QUERY_TRACE.encode(w)?;
+                trace_id.encode(w)
+            }
         }
     }
 }
@@ -349,6 +383,10 @@ impl Decode for Request {
                 snapshot: Vec::decode(r)?,
             },
             REQ_PING => Self::Ping,
+            REQ_METRICS => Self::Metrics,
+            REQ_QUERY_TRACE => Self::QueryTrace {
+                trace_id: u64::decode(r)?,
+            },
             tag => {
                 return Err(StoreError::InvalidTag {
                     what: "Request",
@@ -392,6 +430,11 @@ pub enum Response {
     Stats(EngineStatsReport),
     /// Answer to [`Request::Ping`].
     Pong,
+    /// Answer to [`Request::Metrics`]: the full registry snapshot.
+    Metrics(MetricsSnapshot),
+    /// Answer to [`Request::QueryTrace`]: every retained span of the
+    /// requested trace id, oldest first.
+    Traces(Vec<SpanRecord>),
 }
 
 const RESP_CATALOG: u32 = 0;
@@ -403,6 +446,8 @@ const RESP_IDENTIFIED: u32 = 5;
 const RESP_BATCH: u32 = 6;
 const RESP_STATS: u32 = 7;
 const RESP_PONG: u32 = 8;
+const RESP_METRICS: u32 = 9;
+const RESP_TRACES: u32 = 10;
 
 impl Encode for Response {
     fn encode(&self, w: &mut dyn Write) -> Result<(), StoreError> {
@@ -446,6 +491,14 @@ impl Encode for Response {
                 stats.encode(w)
             }
             Self::Pong => RESP_PONG.encode(w),
+            Self::Metrics(snapshot) => {
+                RESP_METRICS.encode(w)?;
+                snapshot.encode(w)
+            }
+            Self::Traces(spans) => {
+                RESP_TRACES.encode(w)?;
+                spans.encode(w)
+            }
         }
     }
 }
@@ -468,6 +521,8 @@ impl Decode for Response {
             RESP_BATCH => Self::BatchEstimated(Vec::decode(r)?),
             RESP_STATS => Self::Stats(EngineStatsReport::decode(r)?),
             RESP_PONG => Self::Pong,
+            RESP_METRICS => Self::Metrics(MetricsSnapshot::decode(r)?),
+            RESP_TRACES => Self::Traces(Vec::decode(r)?),
             tag => {
                 return Err(StoreError::InvalidTag {
                     what: "Response",
@@ -501,6 +556,11 @@ impl WireFault {
     }
 }
 
+/// Extension-block tag of the 16-byte trace context (`trace_id` then
+/// `span_id`, both `u64` little-endian); see the
+/// [frame-extensions note](self#frame-extensions).
+pub const EXT_TRACE_CONTEXT: u32 = 1;
+
 /// Encodes `message` into one wire frame on `sink`.
 ///
 /// # Errors
@@ -509,8 +569,27 @@ pub fn write_message<T: Encode + ?Sized>(
     sink: &mut impl Write,
     message: &T,
 ) -> Result<(), StoreError> {
+    write_message_traced(sink, message, None)
+}
+
+/// Encodes `message` into one wire frame, appending a
+/// [`EXT_TRACE_CONTEXT`] extension block when `trace` is set.  With
+/// `trace: None` the frame is byte-identical to [`write_message`].
+///
+/// # Errors
+/// Propagates encoding and I/O failures.
+pub fn write_message_traced<T: Encode + ?Sized>(
+    sink: &mut impl Write,
+    message: &T,
+    trace: Option<&TraceContext>,
+) -> Result<(), StoreError> {
     let mut payload = Vec::new();
     message.encode(&mut payload)?;
+    if let Some(ctx) = trace {
+        EXT_TRACE_CONTEXT.encode(&mut payload)?;
+        16u64.encode(&mut payload)?;
+        ctx.encode(&mut payload)?;
+    }
     write_frame(sink, WIRE_MAGIC, WIRE_VERSION, &payload)
 }
 
@@ -525,6 +604,52 @@ pub(crate) fn decode_payload<T: Decode>(payload: &[u8]) -> Result<T, StoreError>
         });
     }
     Ok(value)
+}
+
+/// Decodes one value plus any trailing extension blocks from a
+/// fully-validated frame payload.  Unknown extension tags are skipped;
+/// malformed blocks are typed [`StoreError`]s (all recoverable — the
+/// frame was already consumed whole).
+pub(crate) fn decode_payload_with_trace<T: Decode>(
+    payload: &[u8],
+) -> Result<(T, Option<TraceContext>), StoreError> {
+    let mut cursor = payload;
+    let value = T::decode(&mut (&mut cursor as &mut dyn Read))?;
+    let mut trace = None;
+    while !cursor.is_empty() {
+        if cursor.len() < 12 {
+            return Err(StoreError::InvalidValue {
+                what: "truncated wire extension header",
+            });
+        }
+        let tag = u32::decode(&mut (&mut cursor as &mut dyn Read))?;
+        let len = u64::decode(&mut (&mut cursor as &mut dyn Read))?;
+        let len = usize::try_from(len)
+            .ok()
+            .filter(|&len| len <= cursor.len())
+            .ok_or(StoreError::InvalidValue {
+                what: "wire extension length runs past the payload",
+            })?;
+        let (body, rest) = cursor.split_at(len);
+        cursor = rest;
+        // Unknown tags are skipped: older servers keep serving peers that
+        // speak newer optional extensions.
+        if tag == EXT_TRACE_CONTEXT {
+            if body.len() != 16 {
+                return Err(StoreError::InvalidValue {
+                    what: "trace-context extension must be exactly 16 bytes",
+                });
+            }
+            if trace.is_some() {
+                return Err(StoreError::InvalidValue {
+                    what: "duplicate trace-context extension",
+                });
+            }
+            let mut body = body;
+            trace = Some(TraceContext::decode(&mut (&mut body as &mut dyn Read))?);
+        }
+    }
+    Ok((value, trace))
 }
 
 /// Reads one message frame, distinguishing a clean peer hang-up (`Ok(None)`)
@@ -628,6 +753,10 @@ mod tests {
                 snapshot: vec![0xDE, 0xAD, 0xBE, 0xEF],
             },
             Request::Ping,
+            Request::Metrics,
+            Request::QueryTrace {
+                trace_id: 0xFEED_F00D,
+            },
         ]
     }
 
@@ -699,9 +828,34 @@ mod tests {
                     ingest_records_admitted: 100,
                     ingests_shed: 0,
                 }],
+                requests: vec![pie_engine::RequestCountRow {
+                    request: "estimate".into(),
+                    count: 9,
+                }],
+                uptime_ms: 1_234,
+                threads_available: 8,
+                version: "0.9.0".into(),
             }),
             Response::Pong,
+            Response::Metrics(sample_metrics_snapshot()),
+            Response::Traces(vec![SpanRecord {
+                trace_id: 11,
+                span_id: 3,
+                parent_span_id: 1,
+                node: "127.0.0.1:4100".into(),
+                stage: "trial_replay".into(),
+                start_nanos: 2_000,
+                duration_nanos: 450,
+            }]),
         ]
+    }
+
+    fn sample_metrics_snapshot() -> MetricsSnapshot {
+        let registry = pie_obs::MetricsRegistry::new();
+        registry.counter("requests_total").add(12);
+        registry.gauge("worker_queue_depth").set(2);
+        registry.histogram("request_nanos").record(1_500);
+        registry.snapshot()
     }
 
     #[test]
@@ -746,6 +900,119 @@ mod tests {
         let fault = read_request(&mut bytes.as_slice()).unwrap_err();
         assert!(fault.fatal);
         assert!(matches!(fault.error, StoreError::FrameTooLarge { .. }));
+    }
+
+    #[test]
+    fn untraced_frames_are_byte_identical_and_traced_frames_roundtrip() {
+        let request = Request::Estimate {
+            sketch: "traffic".into(),
+            estimator: "max_weighted".into(),
+            statistic: "max_dominance".into(),
+        };
+        let mut plain = Vec::new();
+        write_message(&mut plain, &request).unwrap();
+        let mut untraced = Vec::new();
+        write_message_traced(&mut untraced, &request, None).unwrap();
+        assert_eq!(plain, untraced, "absent trace must not change the frame");
+
+        let ctx = TraceContext {
+            trace_id: 0xABCD,
+            span_id: 9,
+        };
+        let mut traced = Vec::new();
+        write_message_traced(&mut traced, &request, Some(&ctx)).unwrap();
+        assert_ne!(plain, traced);
+        // The payload sits between the 16-byte frame header and the
+        // trailing 8-byte checksum.
+        let (back, trace) =
+            decode_payload_with_trace::<Request>(&traced[16..traced.len() - 8]).unwrap();
+        assert_eq!(back, request);
+        assert_eq!(trace, Some(ctx));
+        // An untraced payload decodes with no trace.
+        let (back, trace) =
+            decode_payload_with_trace::<Request>(&plain[16..plain.len() - 8]).unwrap();
+        assert_eq!(back, request);
+        assert_eq!(trace, None);
+    }
+
+    #[test]
+    fn unknown_extensions_are_skipped() {
+        let mut payload = Vec::new();
+        Request::Ping.encode(&mut payload).unwrap();
+        9999u32.encode(&mut payload).unwrap();
+        3u64.encode(&mut payload).unwrap();
+        payload.extend_from_slice(&[1, 2, 3]);
+        let ctx = TraceContext {
+            trace_id: 5,
+            span_id: 6,
+        };
+        EXT_TRACE_CONTEXT.encode(&mut payload).unwrap();
+        16u64.encode(&mut payload).unwrap();
+        ctx.encode(&mut payload).unwrap();
+        let (back, trace) = decode_payload_with_trace::<Request>(&payload).unwrap();
+        assert_eq!(back, Request::Ping);
+        assert_eq!(trace, Some(ctx));
+    }
+
+    #[test]
+    fn malformed_extensions_are_typed_faults() {
+        let base = {
+            let mut payload = Vec::new();
+            Request::Ping.encode(&mut payload).unwrap();
+            payload
+        };
+
+        // Truncated header: fewer than 12 bytes of extension remain.
+        let mut truncated = base.clone();
+        truncated.extend_from_slice(&[0xAB; 5]);
+        assert!(matches!(
+            decode_payload_with_trace::<Request>(&truncated),
+            Err(StoreError::InvalidValue {
+                what: "truncated wire extension header"
+            })
+        ));
+
+        // Declared length runs past the end of the payload.
+        let mut overlong = base.clone();
+        EXT_TRACE_CONTEXT.encode(&mut overlong).unwrap();
+        1_000u64.encode(&mut overlong).unwrap();
+        overlong.push(0);
+        assert!(matches!(
+            decode_payload_with_trace::<Request>(&overlong),
+            Err(StoreError::InvalidValue {
+                what: "wire extension length runs past the payload"
+            })
+        ));
+
+        // Trace-context body of the wrong size.
+        let mut short_body = base.clone();
+        EXT_TRACE_CONTEXT.encode(&mut short_body).unwrap();
+        8u64.encode(&mut short_body).unwrap();
+        short_body.extend_from_slice(&[0; 8]);
+        assert!(matches!(
+            decode_payload_with_trace::<Request>(&short_body),
+            Err(StoreError::InvalidValue {
+                what: "trace-context extension must be exactly 16 bytes"
+            })
+        ));
+
+        // A duplicated trace context is rejected.
+        let mut duplicated = base;
+        let ctx = TraceContext {
+            trace_id: 1,
+            span_id: 2,
+        };
+        for _ in 0..2 {
+            EXT_TRACE_CONTEXT.encode(&mut duplicated).unwrap();
+            16u64.encode(&mut duplicated).unwrap();
+            ctx.encode(&mut duplicated).unwrap();
+        }
+        assert!(matches!(
+            decode_payload_with_trace::<Request>(&duplicated),
+            Err(StoreError::InvalidValue {
+                what: "duplicate trace-context extension"
+            })
+        ));
     }
 
     #[test]

@@ -13,10 +13,10 @@ use std::net::TcpStream;
 use partial_info_estimators::{CatalogEntry, Scheme};
 use pie_datagen::paper_example;
 use pie_serve::wire::{
-    read_request, read_response, write_message, Request, SketchConfig, MAX_FRAME_BYTES, WIRE_MAGIC,
-    WIRE_VERSION,
+    read_request, read_response, write_message, write_message_traced, Request, SketchConfig,
+    EXT_TRACE_CONTEXT, MAX_FRAME_BYTES, WIRE_MAGIC, WIRE_VERSION,
 };
-use pie_serve::{Response, ServeClient, ServeError, Server};
+use pie_serve::{Response, ServeClient, ServeError, Server, TraceContext};
 use pie_store::frame::write_frame;
 use pie_store::{Encode, StoreError};
 use rand::rngs::StdRng;
@@ -72,15 +72,28 @@ fn corpus() -> Vec<Vec<u8>> {
             snapshot: vec![0xDE, 0xAD, 0xBE, 0xEF],
         },
         Request::Ping,
+        Request::Metrics,
+        Request::QueryTrace { trace_id: u64::MAX },
     ];
-    requests
+    let mut frames: Vec<Vec<u8>> = requests
         .iter()
         .map(|r| {
             let mut bytes = Vec::new();
             write_message(&mut bytes, r).unwrap();
             bytes
         })
-        .collect()
+        .collect();
+    // A trace-context extension frame with hostile ids, so mutations and
+    // truncations also land inside the extension block.
+    let mut traced = Vec::new();
+    write_message_traced(
+        &mut traced,
+        &Request::Ping,
+        Some(&TraceContext::new(u64::MAX, u64::MAX)),
+    )
+    .unwrap();
+    frames.push(traced);
+    frames
 }
 
 #[test]
@@ -285,6 +298,100 @@ fn live_server_survives_recoverable_faults_on_the_same_connection() {
             "{what}: connection did not survive, got {response:?}"
         );
     }
+    drop(writer);
+    server.shutdown();
+}
+
+#[test]
+fn hostile_trace_extensions_are_typed_faults_that_never_kill_the_connection() {
+    let server = Server::bind("127.0.0.1:0").unwrap();
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    let ping_payload = {
+        let mut payload = Vec::new();
+        Request::Ping.encode(&mut payload).unwrap();
+        payload
+    };
+    let framed = |payload: &[u8]| {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, WIRE_MAGIC, WIRE_VERSION, payload).unwrap();
+        bytes
+    };
+    let ext = |tag: u32, claimed_len: u64, body: &[u8]| {
+        let mut bytes = Vec::new();
+        tag.encode(&mut bytes).unwrap();
+        claimed_len.encode(&mut bytes).unwrap();
+        bytes.extend_from_slice(body);
+        bytes
+    };
+
+    // Every malformed extension block is a *recoverable* typed fault: the
+    // frame was already consumed whole, so the same connection keeps
+    // serving traced requests afterwards.
+    let mut truncated_header = ping_payload.clone();
+    truncated_header.extend_from_slice(&[1, 0, 0, 0, 16]); // 5 bytes < 12
+    let mut runaway_length = ping_payload.clone();
+    runaway_length.extend_from_slice(&ext(EXT_TRACE_CONTEXT, 1 << 20, &[]));
+    let mut hostile_length = ping_payload.clone();
+    hostile_length.extend_from_slice(&ext(EXT_TRACE_CONTEXT, u64::MAX, &[]));
+    let mut wrong_size_body = ping_payload.clone();
+    wrong_size_body.extend_from_slice(&ext(EXT_TRACE_CONTEXT, 8, &[0xAB; 8]));
+    let mut duplicate_context = ping_payload.clone();
+    duplicate_context.extend_from_slice(&ext(EXT_TRACE_CONTEXT, 16, &[0x11; 16]));
+    duplicate_context.extend_from_slice(&ext(EXT_TRACE_CONTEXT, 16, &[0x22; 16]));
+
+    let traced_ping = {
+        let mut bytes = Vec::new();
+        write_message_traced(
+            &mut bytes,
+            &Request::Ping,
+            Some(&TraceContext::new(u64::MAX, u64::MAX)),
+        )
+        .unwrap();
+        bytes
+    };
+
+    for (what, payload) in [
+        ("truncated extension header", &truncated_header),
+        ("length past payload end", &runaway_length),
+        ("hostile u64::MAX length", &hostile_length),
+        ("wrong-size trace body", &wrong_size_body),
+        ("duplicate trace context", &duplicate_context),
+    ] {
+        writer.write_all(&framed(payload)).unwrap();
+        writer.flush().unwrap();
+        let response = read_response(&mut reader)
+            .unwrap_or_else(|f| panic!("{what}: fault instead of response: {}", f.error))
+            .expect("server closed unexpectedly");
+        assert!(
+            matches!(response, Response::Error(ServeError::Protocol { .. })),
+            "{what}: got {response:?}"
+        );
+        // The SAME connection serves a traced request with hostile (but
+        // well-formed) ids: trace ids are opaque data, never interpreted.
+        writer.write_all(&traced_ping).unwrap();
+        writer.flush().unwrap();
+        let response = read_response(&mut reader).unwrap().unwrap();
+        assert!(
+            matches!(response, Response::Pong),
+            "{what}: connection did not survive, got {response:?}"
+        );
+    }
+
+    // Unknown extension tags are skipped for forward compatibility, not
+    // faulted: the request underneath is served normally.
+    let mut unknown_tag = ping_payload.clone();
+    unknown_tag.extend_from_slice(&ext(0xDEAD_BEEF, 4, b"junk"));
+    writer.write_all(&framed(&unknown_tag)).unwrap();
+    writer.flush().unwrap();
+    let response = read_response(&mut reader).unwrap().unwrap();
+    assert!(
+        matches!(response, Response::Pong),
+        "unknown tag: got {response:?}"
+    );
+
     drop(writer);
     server.shutdown();
 }

@@ -9,10 +9,12 @@
 
 use partial_info_estimators::analysis::{Evaluation, RunningStats};
 use partial_info_estimators::{EstimatorReport, PipelineReport, Scheme};
-use pie_engine::{CacheStats, EngineStatsReport, QueueStats, TenantStatsRow};
-use pie_serve::wire::write_message;
+use pie_engine::{CacheStats, EngineStatsReport, QueueStats, RequestCountRow, TenantStatsRow};
+use pie_obs::MetricsRegistry;
+use pie_serve::wire::{write_message, write_message_traced};
 use pie_serve::{
-    BatchQuery, IngestRecord, Request, Response, ServeError, SketchConfig, SketchInfo,
+    BatchQuery, IngestRecord, Request, Response, ServeError, SketchConfig, SketchInfo, SpanRecord,
+    TraceContext,
 };
 use pie_store::Encode;
 
@@ -175,17 +177,74 @@ fn exemplars() -> Vec<(&'static str, Vec<u8>)> {
                     ingest_records_admitted: 100,
                     ingests_shed: 0,
                 }],
+                requests: vec![
+                    RequestCountRow {
+                        request: "estimate".into(),
+                        count: 12,
+                    },
+                    RequestCountRow {
+                        request: "ping".into(),
+                        count: 1,
+                    },
+                ],
+                uptime_ms: 60_000,
+                threads_available: 8,
+                version: "0.9.0".into(),
             })),
         ),
+        ("request_metrics", Box::new(Request::Metrics)),
+        (
+            "request_query_trace",
+            Box::new(Request::QueryTrace {
+                trace_id: 0xFEED_F00D,
+            }),
+        ),
+        (
+            "response_metrics",
+            Box::new(Response::Metrics({
+                let registry = MetricsRegistry::new();
+                registry.counter("requests_total").add(12);
+                registry.gauge("worker_queue_depth").set(2);
+                registry.histogram("request_nanos").record(1_500);
+                registry.snapshot()
+            })),
+        ),
+        (
+            "response_traces",
+            Box::new(Response::Traces(vec![SpanRecord {
+                trace_id: 11,
+                span_id: 3,
+                parent_span_id: 1,
+                node: "127.0.0.1:4100".into(),
+                stage: "trial_replay".into(),
+                start_nanos: 2_000,
+                duration_nanos: 450,
+            }])),
+        ),
     ];
-    messages
+    let mut frames: Vec<(&'static str, Vec<u8>)> = messages
         .into_iter()
         .map(|(name, message)| {
             let mut bytes = Vec::new();
             write_message(&mut bytes, message.as_ref()).unwrap();
             (name, bytes)
         })
-        .collect()
+        .collect();
+    // A frame carrying the optional trace-context extension: the payload is
+    // the untraced encoding plus the appended extension block.
+    let mut traced = Vec::new();
+    write_message_traced(
+        &mut traced,
+        &Request::Estimate {
+            sketch: "traffic".into(),
+            estimator: "max_weighted".into(),
+            statistic: "max_dominance".into(),
+        },
+        Some(&TraceContext::new(0xBEEF, 1)),
+    )
+    .unwrap();
+    frames.push(("request_estimate_traced", traced));
+    frames
 }
 
 fn hex(bytes: &[u8]) -> String {
@@ -194,7 +253,7 @@ fn hex(bytes: &[u8]) -> String {
 
 /// The pinned frames.  Regenerate only on an intentional, version-bumped
 /// wire change.
-const GOLDEN: [(&str, &str); 19] = [
+const GOLDEN: [(&str, &str); 24] = [
     ("request_list_catalog", "50494557010000000400000000000000000000006069b1e26ffb1364"),
     ("request_load_snapshot", "50494557010000002c000000000000000100000007000000000000007472616666696311000000000000002f7372762f747261666669632e70696573ef77bed2a22758c3"),
     ("request_ingest_batch", "504945570100000055000000000000000200000004000000000000006c69766500000000000000000000e03f020000000000000006000000000000000500000000000000010000000000000001000000000000002a00000000000000000000000000044001da38c04643cca3a4"),
@@ -213,7 +272,15 @@ const GOLDEN: [(&str, &str); 19] = [
     ("request_ping", "5049455701000000040000000000000008000000e84d5f94b25be963"),
     ("response_pong", "5049455701000000040000000000000008000000e84d5f94b25be963"),
     ("response_error_timeout", "50494557010000002400000000000000040000000e000000140000000000000072656164696e672074686520726573706f6e73653cb273af6f842627"),
-    ("response_stats", "5049455701000000900000000000000007000000090000000000000003000000000000000100000000000000020000000000000004000000000000000004000000000000010000000000000000000000000000000500000000000000400000000000000000040000000000000100000000000000040000000000000061636d650c000000000000000500000000000000640000000000000000000000000000001861fc1166ab4cd1"),
+    // Re-pinned when `EngineStatsReport` gained its appended-at-the-end
+    // observability fields (requests, uptime_ms, threads_available,
+    // version) — an additive payload change; WIRE_VERSION is unchanged.
+    ("response_stats", "5049455701000000e10000000000000007000000090000000000000003000000000000000100000000000000020000000000000004000000000000000004000000000000010000000000000000000000000000000500000000000000400000000000000000040000000000000100000000000000040000000000000061636d650c0000000000000005000000000000006400000000000000000000000000000002000000000000000800000000000000657374696d6174650c00000000000000040000000000000070696e67010000000000000060ea00000000000008000000000000000500000000000000302e392e3082f1e0c20941bae5"),
+    ("request_metrics", "5049455701000000040000000000000009000000790a95eaba07e403"),
+    ("request_query_trace", "50494557010000000c000000000000000a0000000df0edfe0000000090f9ca401a5f1b7f"),
+    ("response_metrics", "504945570100000049020000000000000900000001000000000000000e0000000000000072657175657374735f746f74616c0c0000000000000001000000000000001200000000000000776f726b65725f71756575655f6465707468020000000000000001000000000000000d00000000000000726571756573745f6e616e6f730100000000000000dc05000000000000dc05000000000000dc050000000000003600000000000000000000000000000000000000000000000100000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000717f470b83d5cce5"),
+    ("response_traces", "50494557010000005e000000000000000a00000001000000000000000b00000000000000030000000000000001000000000000000e000000000000003132372e302e302e313a343130300c00000000000000747269616c5f7265706c6179d007000000000000c201000000000000aa26adcecb33ac67"),
+    ("request_estimate_traced", "50494557010000005800000000000000030000000700000000000000747261666669630c000000000000006d61785f77656967687465640d000000000000006d61785f646f6d696e616e6365010000001000000000000000efbe0000000000000100000000000000da88576302df6553"),
 ];
 
 #[test]

@@ -419,11 +419,33 @@ impl CatalogEntry {
         statistic: Statistic,
         threads: Option<usize>,
     ) -> Result<PipelineReport, PipelineError> {
+        self.estimate_with_observed(
+            estimators,
+            statistic,
+            threads,
+            crate::obs::PipelineObserver::disabled(),
+        )
+    }
+
+    /// [`estimate_with`](Self::estimate_with) under an observation hook:
+    /// `observer` collects per-stage wall-clock totals (trial replay vs
+    /// estimator batch) and optional per-chunk timings.  Observation never
+    /// changes the report — it is **bit-identical** to the unobserved call.
+    ///
+    /// # Errors
+    /// As [`estimate`](Self::estimate).
+    pub fn estimate_with_observed(
+        &self,
+        estimators: impl Into<EstimatorSet>,
+        statistic: Statistic,
+        threads: Option<usize>,
+        observer: crate::obs::PipelineObserver,
+    ) -> Result<PipelineReport, PipelineError> {
         let estimators = estimators.into();
         if estimators.len() == 0 {
             return Err(PipelineError::MissingEstimators);
         }
-        let plan = TrialPlan::new(self.trials, self.base_salt, threads);
+        let plan = TrialPlan::new(self.trials, self.base_salt, threads).with_observer(observer);
         let samples = &self.samples;
         match (self.scheme, estimators) {
             (Scheme::ObliviousPoisson { p }, EstimatorSet::Oblivious(registry)) => Ok(
@@ -466,12 +488,33 @@ impl CatalogEntry {
         statistic: &str,
         threads: Option<usize>,
     ) -> Result<PipelineReport, CatalogError> {
+        self.estimate_named_observed(
+            suite,
+            statistic,
+            threads,
+            crate::obs::PipelineObserver::disabled(),
+        )
+    }
+
+    /// [`estimate_named`](Self::estimate_named) under an observation hook —
+    /// the serving layer's tracing path.  The report is bit-identical to
+    /// the unobserved call.
+    ///
+    /// # Errors
+    /// As [`estimate_named`](Self::estimate_named).
+    pub fn estimate_named_observed(
+        &self,
+        suite: &str,
+        statistic: &str,
+        threads: Option<usize>,
+        observer: crate::obs::PipelineObserver,
+    ) -> Result<PipelineReport, CatalogError> {
         let estimators = self.suite(suite)?;
         let statistic =
             Statistic::by_name(statistic).ok_or_else(|| CatalogError::UnknownStatistic {
                 name: statistic.to_string(),
             })?;
-        Ok(self.estimate_with(estimators, statistic, threads)?)
+        Ok(self.estimate_with_observed(estimators, statistic, threads, observer)?)
     }
 
     /// Answers many `(suite, statistic)` queries from **one** replay over
@@ -520,6 +563,24 @@ impl CatalogEntry {
         queries: &[(&str, &str)],
         threads: Option<usize>,
     ) -> Result<Vec<PipelineReport>, CatalogError> {
+        self.estimate_batch_named_observed(
+            queries,
+            threads,
+            crate::obs::PipelineObserver::disabled(),
+        )
+    }
+
+    /// [`estimate_batch_named`](Self::estimate_batch_named) under an
+    /// observation hook.  Reports are bit-identical to the unobserved call.
+    ///
+    /// # Errors
+    /// As [`estimate_batch_named`](Self::estimate_batch_named).
+    pub fn estimate_batch_named_observed(
+        &self,
+        queries: &[(&str, &str)],
+        threads: Option<usize>,
+        observer: crate::obs::PipelineObserver,
+    ) -> Result<Vec<PipelineReport>, CatalogError> {
         let mut resolved = Vec::with_capacity(queries.len());
         for (suite, statistic) in queries {
             let estimators = self.suite(suite)?;
@@ -532,7 +593,7 @@ impl CatalogEntry {
         if resolved.is_empty() {
             return Ok(Vec::new());
         }
-        let plan = TrialPlan::new(self.trials, self.base_salt, threads);
+        let plan = TrialPlan::new(self.trials, self.base_salt, threads).with_observer(observer);
         let samples = &self.samples;
         // `suite()` regime-checks every set against this entry's scheme, so
         // the sets are homogeneous and match the arm we dispatch to.

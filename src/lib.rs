@@ -80,6 +80,7 @@
 
 pub mod catalog;
 pub mod checkpoint;
+pub mod obs;
 pub mod pipeline;
 pub mod stream;
 
@@ -93,6 +94,7 @@ pub use pie_analysis::TrialRunner;
 
 pub use catalog::{CatalogEntry, CatalogError};
 pub use checkpoint::{CheckpointError, SnapshotKind, SnapshotManifest, StreamIngestSession};
+pub use obs::{PipelineObserver, StageNanos};
 pub use pipeline::{
     EstimatorReport, EstimatorSet, Pipeline, PipelineError, PipelineReport, Scheme, Statistic,
 };

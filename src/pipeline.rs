@@ -567,6 +567,7 @@ pub(crate) struct TrialPlan {
     pub(crate) trials: u64,
     pub(crate) base_salt: u64,
     pub(crate) runner: TrialRunner,
+    pub(crate) observer: crate::obs::PipelineObserver,
 }
 
 impl TrialPlan {
@@ -581,7 +582,18 @@ impl TrialPlan {
                 Some(n) => TrialRunner::with_threads(n),
                 None => TrialRunner::new(),
             },
+            observer: crate::obs::PipelineObserver::disabled(),
         }
+    }
+
+    /// Installs observation hooks: stage totals accumulate into the
+    /// observer's [`StageNanos`](crate::obs::StageNanos), and any chunk
+    /// hook becomes the trial engine's recorder.  Observation never changes
+    /// results.
+    pub(crate) fn with_observer(mut self, observer: crate::obs::PipelineObserver) -> Self {
+        self.runner = self.runner.recorder(observer.recorder());
+        self.observer = observer;
+        self
     }
 }
 
@@ -709,6 +721,9 @@ where
     // combination order; chunk accumulators merge per lane exactly as in a
     // single-combination run.
     let lanes: usize = combos.iter().map(|(registry, _)| registry.len()).sum();
+    // Stage attribution is observation only — clock reads between stages,
+    // never inside the float path — so observed runs stay bit-identical.
+    let stages = plan.observer.stages.as_deref();
     let stats = plan.runner.run(
         plan.trials,
         lanes,
@@ -723,9 +738,11 @@ where
             estimates: vec![0.0; keys.len()],
         },
         |w, t, stats| {
+            let replay_start = stages.map(|_| std::time::Instant::now());
             let seeds = SeedAssignment::independent_known(base_salt.wrapping_add(t));
             let samples = (w.sample_trial)(t, &seeds);
             fill_oblivious_outcomes(keys, samples.as_ref(), &mut w.outcomes);
+            let batch_start = stages.map(|_| std::time::Instant::now());
             let mut lane = 0;
             for (registry, _) in combos {
                 for (_, estimator) in registry.iter() {
@@ -733,6 +750,12 @@ where
                     stats[lane].push(w.estimates.iter().sum());
                     lane += 1;
                 }
+            }
+            if let (Some(totals), Some(replayed), Some(batched)) =
+                (stages, replay_start, batch_start)
+            {
+                totals.add_trial_replay(elapsed_nanos(replayed, batched));
+                totals.add_estimator_batch(nanos_since(batched));
             }
         },
     );
@@ -809,6 +832,8 @@ where
     let r = dataset.num_instances();
     let base_salt = plan.base_salt;
     let lanes: usize = combos.iter().map(|(registry, _)| registry.len()).sum();
+    // Observation only; see `run_oblivious_multi_with`.
+    let stages = plan.observer.stages.as_deref();
     let stats = plan.runner.run(
         plan.trials,
         lanes,
@@ -822,6 +847,7 @@ where
             estimates: Vec::new(),
         },
         |w, t, stats| {
+            let replay_start = stages.map(|_| std::time::Instant::now());
             let seeds = SeedAssignment::independent_known(base_salt.wrapping_add(t));
             let samples = (w.sample_trial)(t, &seeds);
             let samples = samples.as_ref();
@@ -829,6 +855,7 @@ where
             grow_weighted_pool(&mut w.pool, keys.len(), r, tau_star);
             fill_weighted_outcomes(&keys, samples, &seeds, tau_star, &mut w.pool[..keys.len()]);
             w.estimates.resize(keys.len(), 0.0);
+            let batch_start = stages.map(|_| std::time::Instant::now());
             let mut lane = 0;
             for (registry, _) in combos {
                 for (_, estimator) in registry.iter() {
@@ -836,6 +863,12 @@ where
                     stats[lane].push(w.estimates[..keys.len()].iter().sum());
                     lane += 1;
                 }
+            }
+            if let (Some(totals), Some(replayed), Some(batched)) =
+                (stages, replay_start, batch_start)
+            {
+                totals.add_trial_replay(elapsed_nanos(replayed, batched));
+                totals.add_estimator_batch(nanos_since(batched));
             }
         },
     );
@@ -853,6 +886,16 @@ where
         ));
     }
     reports
+}
+
+/// Saturating nanoseconds between two stage boundary clock reads.
+fn elapsed_nanos(from: std::time::Instant, to: std::time::Instant) -> u64 {
+    u64::try_from(to.saturating_duration_since(from).as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Saturating nanoseconds since a stage boundary clock read.
+fn nanos_since(from: std::time::Instant) -> u64 {
+    u64::try_from(from.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Rewrites each key's outcome entries in place from the trial's samples.

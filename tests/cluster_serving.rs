@@ -16,8 +16,8 @@ use partial_info_estimators::datagen::{
     dataset_records, generate_two_hours, paper_example, Dataset, TrafficConfig,
 };
 use partial_info_estimators::{CatalogEntry, Pipeline, PipelineReport, Scheme, Statistic};
-use pie_cluster::{ClusterError, LocalCluster, Router};
-use pie_serve::{BatchQuery, IngestRecord, SketchConfig};
+use pie_cluster::{ClusterError, LocalCluster, MetricsSnapshot, Router, TraceContext};
+use pie_serve::{BatchQuery, IngestRecord, ServeClient, SketchConfig};
 
 /// One sketch in the conformance matrix: data, config, and the
 /// (suite, statistic) pairs it answers.
@@ -184,8 +184,138 @@ fn every_topology_serves_bit_identical_to_in_process_pipeline() {
             let stats = router.stats().unwrap();
             let total: u64 = stats.tenants.iter().map(|t| t.queries_admitted).sum();
             assert!(total > 0, "{context}: no admitted queries in fleet stats");
+
+            // The fleet metrics plane reports *exact* totals: reads land
+            // on exactly one node, writes on every owner, and the merge
+            // sums counters without loss.
+            let effective_r = replication.min(nodes) as u64;
+            let estimates: u64 = cases.iter().map(|c| c.queries.len() as u64).sum();
+            let batches = cases.len() as u64;
+            let metrics = router.fleet_metrics().unwrap();
+            assert_eq!(
+                metrics.counter("requests_estimate_total"),
+                Some(estimates),
+                "{context}: fleet estimate counter"
+            );
+            assert_eq!(
+                metrics.counter("requests_batch_estimate_total"),
+                Some(batches),
+                "{context}: fleet batch counter"
+            );
+            // Case 0 ingested two batches into every owner; case 1 was
+            // published as one snapshot to every owner.
+            assert_eq!(
+                metrics.counter("requests_ingest_batch_total"),
+                Some(2 * effective_r),
+                "{context}: fleet ingest counter"
+            );
+            assert_eq!(
+                metrics.counter("requests_put_snapshot_total"),
+                Some(effective_r),
+                "{context}: fleet snapshot counter"
+            );
+            // The fleet latency histogram saw every counted request.
+            let per_kind: u64 = metrics
+                .counters
+                .iter()
+                .filter(|c| c.name.starts_with("requests_") && c.name != "requests_total")
+                .map(|c| c.value)
+                .sum();
+            assert_eq!(
+                metrics.counter("requests_total"),
+                Some(per_kind),
+                "{context}"
+            );
+            assert_eq!(
+                metrics.histogram("request_nanos").unwrap().count,
+                per_kind,
+                "{context}: histogram must observe every request exactly once"
+            );
         }
     }
+}
+
+#[test]
+fn fleet_metric_merge_is_bit_deterministic_in_any_node_order() {
+    let cases = cases();
+    let cluster = LocalCluster::launch(3).unwrap();
+    let mut router = cluster.router(2).unwrap();
+    populate(&mut router, &cases);
+    assert_serving_matches(&mut router, &cases, "N=3 R=2 merge-soak");
+
+    // One snapshot per node, fetched directly so each node is read once.
+    let snapshots: Vec<MetricsSnapshot> = (0..3)
+        .map(|i| {
+            ServeClient::connect(cluster.addr(i))
+                .unwrap()
+                .metrics()
+                .unwrap()
+        })
+        .collect();
+
+    // Absorbing the same three snapshots in every order yields the same
+    // snapshot bit-for-bit: counters and histogram buckets sum exactly,
+    // min/max and gauges merge symmetrically.
+    let merge = |order: &[usize]| {
+        let mut fleet = MetricsSnapshot::default();
+        for &i in order {
+            fleet.absorb(&snapshots[i]);
+        }
+        fleet
+    };
+    let want = merge(&[0, 1, 2]);
+    for order in [[0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+        assert_eq!(merge(&order), want, "absorb order {order:?}");
+    }
+    // And the merge lost nothing: per-node histogram counts sum exactly.
+    let node_sum: u64 = snapshots
+        .iter()
+        .filter_map(|s| s.histogram("request_nanos"))
+        .map(|h| h.count)
+        .sum();
+    assert_eq!(want.histogram("request_nanos").unwrap().count, node_sum);
+}
+
+#[test]
+fn cluster_routed_trace_shows_router_and_node_spans_under_one_trace_id() {
+    let cases = cases();
+    let cluster = LocalCluster::launch(3).unwrap();
+    let mut router = cluster.router(2).unwrap();
+    populate(&mut router, &cases);
+
+    const TRACE_ID: u64 = 0xC0FF_EE00;
+    router.set_trace(Some(TraceContext::new(TRACE_ID, 1)));
+    let (estimator, statistic, want) = &cases[0].queries[0];
+    let got = router
+        .estimate(cases[0].name, estimator, statistic)
+        .unwrap();
+    assert_eq!(&got, want, "tracing must not perturb the served bits");
+    router.set_trace(None);
+
+    let spans = router.query_trace(TRACE_ID).unwrap();
+    assert!(spans.iter().all(|s| s.trace_id == TRACE_ID));
+    let router_span = spans
+        .iter()
+        .find(|s| s.node == "router")
+        .expect("router-layer span");
+    assert_eq!(router_span.stage, "route_estimate");
+    assert_eq!(router_span.parent_span_id, 1, "parents under the caller");
+    let node_stages: Vec<&str> = spans
+        .iter()
+        .filter(|s| s.node != "router")
+        .map(|s| s.stage.as_str())
+        .collect();
+    for stage in ["decode", "admission", "cache_probe", "encode"] {
+        assert!(
+            node_stages.contains(&stage),
+            "missing node-layer {stage} span in {node_stages:?}"
+        );
+    }
+    // Node spans parent under the router's span: one trace, two layers.
+    assert!(spans
+        .iter()
+        .filter(|s| s.node != "router")
+        .all(|s| s.parent_span_id == router_span.span_id));
 }
 
 #[test]

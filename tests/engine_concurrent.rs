@@ -265,6 +265,26 @@ fn cached_and_batch_estimates_bit_identical_under_concurrent_load() {
     // bit-identical whether they come from the cache, a batch, or both.
     const CLIENTS: usize = 6;
     const OPS_PER_CLIENT: usize = 30;
+    // Replicate the workers' op-mix arithmetic so the metrics plane can be
+    // held to *exact* totals afterwards.
+    let mut issued_estimates = 0u64;
+    let mut issued_batches = 0u64;
+    for (i, case) in cases.iter().enumerate() {
+        if i % 2 == 0 {
+            issued_batches += 1;
+        } else {
+            issued_estimates += case.queries.len() as u64;
+        }
+    }
+    for worker in 0..CLIENTS {
+        for op in 0..OPS_PER_CLIENT {
+            if (op + worker) % 3 == 0 {
+                issued_batches += 1;
+            } else {
+                issued_estimates += 1;
+            }
+        }
+    }
     std::thread::scope(|scope| {
         for worker in 0..CLIENTS {
             let cases = &cases;
@@ -324,6 +344,51 @@ fn cached_and_batch_estimates_bit_identical_under_concurrent_load() {
         assert_eq!(row.ingests_shed, 0, "{}", row.tenant);
     }
 
+    // The metrics plane reports *exact* totals: counters are atomic adds,
+    // never sampled, so the soak's op mix is recovered to the op.
+    let metrics = warm.metrics().unwrap();
+    assert_eq!(
+        metrics.counter("requests_estimate_total"),
+        Some(issued_estimates),
+        "estimate counter must equal the ops issued"
+    );
+    assert_eq!(
+        metrics.counter("requests_batch_estimate_total"),
+        Some(issued_batches),
+        "batch counter must equal the ops issued"
+    );
+    // requests_total is the sum of every per-kind counter, and the latency
+    // histogram observed every one of those requests exactly once.
+    let per_kind: u64 = metrics
+        .counters
+        .iter()
+        .filter(|c| c.name.starts_with("requests_") && c.name != "requests_total")
+        .map(|c| c.value)
+        .sum();
+    let total = metrics.counter("requests_total").unwrap();
+    assert_eq!(total, per_kind, "per-kind counters must sum to the total");
+    let request_nanos = metrics.histogram("request_nanos").unwrap();
+    // Every counted request recorded one latency observation (the Metrics
+    // request being served is not yet counted in its own snapshot).
+    assert_eq!(request_nanos.count, total);
+    assert_eq!(
+        request_nanos.buckets.iter().sum::<u64>(),
+        request_nanos.count,
+        "bucket occupancy must account for every observation"
+    );
+
+    // The stats report carries the same per-request counters (engine side)
+    // plus build info.
+    let stats = warm.stats().unwrap();
+    let estimate_row = stats
+        .requests
+        .iter()
+        .find(|r| r.request == "estimate")
+        .expect("estimate request row");
+    assert_eq!(estimate_row.count, issued_estimates);
+    assert!(stats.threads_available >= 1);
+    assert_eq!(stats.version, env!("CARGO_PKG_VERSION"));
+
     server.shutdown();
 }
 
@@ -378,12 +443,28 @@ fn full_gate_sheds_typed_overload_and_retry_succeeds() {
             base_backoff: Duration::from_millis(10),
             max_backoff: Duration::from_millis(50),
         });
+        assert_eq!(retrying.retry_stats().total(), 0, "no silent retries yet");
         let got = retrying.estimate("paper_pair", suite, statistic).unwrap();
         assert_eq!(&got, want, "a shed request must succeed on retry");
+        // The silent overload retries that made the call succeed are
+        // visible, not swallowed.
+        let retry_stats = retrying.retry_stats();
+        assert!(
+            retry_stats.overloaded_retries > 0,
+            "the shed-then-success path must count its retries: {retry_stats:?}"
+        );
+        assert_eq!(retry_stats.connect_retries, 0);
+        assert_eq!(retry_stats.transport_retries, 0);
     });
 
     let stats = client.stats().unwrap();
     assert!(stats.queue.shed >= 2, "both shed rounds are counted");
+    // Each shed is attributed to its reason in the metrics plane.
+    let metrics = client.metrics().unwrap();
+    assert!(
+        metrics.counter("shed_inflight_queue_total").unwrap_or(0) >= 2,
+        "gate sheds must be counted by reason"
+    );
     server.shutdown();
 }
 

@@ -1,0 +1,170 @@
+//! Single-node observability integration: server-side span coverage of
+//! every pipeline stage, slow-query log capture, and the contract that
+//! instrumentation never changes an answer.
+//!
+//! The cluster soak covers fleet-level merge and routed tracing; this
+//! file pins the per-node plane: which stages a traced request records,
+//! what lands in the slow-query log (and when nothing does), and that a
+//! server running with [`ObsConfig::disabled`] serves bit-identical
+//! estimates while answering `Metrics`/`QueryTrace` with empty planes.
+
+use std::time::Duration;
+
+use partial_info_estimators::datagen::paper_example;
+use partial_info_estimators::{CatalogEntry, Scheme};
+use pie_serve::{EngineConfig, ObsConfig, ServeClient, Server, TraceContext};
+
+/// A server with one ready sketch (`example`) and the given obs tunables.
+fn seeded_server(obs: ObsConfig) -> Server {
+    let server = Server::bind_with_obs("127.0.0.1:0", EngineConfig::default(), obs)
+        .expect("bind ephemeral server");
+    let entry = CatalogEntry::build(
+        paper_example().take_instances(2),
+        Scheme::oblivious(0.5),
+        1,
+        10,
+        0,
+    )
+    .expect("build example sketch");
+    server.catalog().insert("example", entry);
+    server
+}
+
+#[test]
+fn traced_estimate_records_every_pipeline_stage_server_side() {
+    const TRACE_ID: u64 = 0x0BAD_CAFE;
+    const CALLER_SPAN: u64 = 7;
+
+    let server = seeded_server(ObsConfig::default());
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    client.set_trace(Some(TraceContext::new(TRACE_ID, CALLER_SPAN)));
+
+    // Cold estimate (trial replay + estimator batch run), then a warm one
+    // (cache probe hits): identical answers, instrumentation observes only.
+    let cold = client
+        .estimate("example", "max_oblivious", "max_dominance")
+        .unwrap();
+    let warm = client
+        .estimate("example", "max_oblivious", "max_dominance")
+        .unwrap();
+    assert_eq!(cold, warm, "tracing must not change the answer");
+
+    // An untraced request afterwards: its round trip guarantees the event
+    // loop finished the iteration that records the estimates' write-queue
+    // spans, and it must contribute no spans of its own.
+    client.set_trace(None);
+    client.ping().unwrap();
+
+    let spans = server.trace_spans(TRACE_ID);
+    for stage in [
+        "decode",
+        "admission",
+        "cache_probe",
+        "trial_replay",
+        "estimator_batch",
+        "encode",
+        "write_queue",
+    ] {
+        assert!(
+            spans.iter().any(|s| s.stage == stage),
+            "stage {stage} missing from {spans:?}"
+        );
+    }
+    let node = server.local_addr().to_string();
+    for span in &spans {
+        assert_eq!(span.trace_id, TRACE_ID);
+        assert_eq!(
+            span.parent_span_id, CALLER_SPAN,
+            "single-hop spans parent directly under the caller's span"
+        );
+        assert_eq!(span.node, node);
+    }
+    // Span ids are unique within the trace.
+    let mut ids: Vec<u64> = spans.iter().map(|s| s.span_id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), spans.len(), "duplicate span ids in {spans:?}");
+
+    // A trace id nobody used stays empty, and nothing was slow enough for
+    // the default 250 ms threshold.
+    assert!(server.trace_spans(0x5EED).is_empty());
+    assert!(server.slow_queries().is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn zero_threshold_slow_query_log_captures_kind_sketch_and_trace_id() {
+    const TRACE_ID: u64 = 0xFACE;
+
+    let obs = ObsConfig {
+        slow_query_threshold: Duration::ZERO,
+        slow_query_log_capacity: 4,
+        ..ObsConfig::default()
+    };
+    let server = seeded_server(obs);
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    client.set_trace(Some(TraceContext::new(TRACE_ID, 1)));
+    client
+        .estimate("example", "max_oblivious", "max_dominance")
+        .unwrap();
+
+    let slow = server.slow_queries();
+    assert!(
+        slow.iter().any(|r| r.request == "estimate"
+            && r.sketch == "example"
+            && r.trace_id == TRACE_ID
+            && r.duration_nanos > 0),
+        "estimate not captured: {slow:?}"
+    );
+
+    // The log is bounded: a burst far past capacity retains only the most
+    // recent `slow_query_log_capacity` records.
+    for _ in 0..16 {
+        client.ping().unwrap();
+    }
+    let slow = server.slow_queries();
+    assert_eq!(slow.len(), 4, "log exceeded its capacity: {slow:?}");
+    assert!(slow.iter().all(|r| r.request == "ping"));
+    server.shutdown();
+}
+
+#[test]
+fn disabled_observability_serves_identical_answers_with_empty_planes() {
+    const TRACE_ID: u64 = 0xD15A;
+
+    let on = seeded_server(ObsConfig::default());
+    let off = seeded_server(ObsConfig::disabled());
+    let mut client_on = ServeClient::connect(on.local_addr()).unwrap();
+    let mut client_off = ServeClient::connect(off.local_addr()).unwrap();
+    client_on.set_trace(Some(TraceContext::new(TRACE_ID, 1)));
+    client_off.set_trace(Some(TraceContext::new(TRACE_ID, 1)));
+
+    let with_obs = client_on
+        .estimate("example", "max_oblivious", "max_dominance")
+        .unwrap();
+    let without_obs = client_off
+        .estimate("example", "max_oblivious", "max_dominance")
+        .unwrap();
+    assert_eq!(
+        with_obs, without_obs,
+        "instrumentation must never change a served estimate"
+    );
+
+    // The disabled plane answers the wire requests with empty payloads —
+    // clients need no mode detection.
+    let snapshot = client_off.metrics().unwrap();
+    assert!(snapshot.counters.is_empty());
+    assert!(snapshot.gauges.is_empty());
+    assert!(snapshot.histograms.is_empty());
+    assert!(client_off.query_trace(TRACE_ID).unwrap().is_empty());
+    assert!(off.slow_queries().is_empty());
+
+    // The enabled plane saw the work.
+    let snapshot = client_on.metrics().unwrap();
+    assert!(snapshot.counter("requests_total").unwrap_or(0) >= 1);
+    assert!(snapshot.counter("requests_estimate_total").unwrap_or(0) >= 1);
+    assert!(!client_on.query_trace(TRACE_ID).unwrap().is_empty());
+
+    on.shutdown();
+    off.shutdown();
+}
