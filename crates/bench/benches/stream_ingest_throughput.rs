@@ -35,7 +35,7 @@ use pie_sampling::{
 /// Target workload size: 2 instances × 500k keys = 1M records.
 const KEYS_PER_INSTANCE: usize = 500_000;
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
-const ROUNDS: usize = 5;
+const ROUNDS: usize = 25;
 
 /// One measured configuration.
 struct Case {
@@ -95,18 +95,40 @@ fn run_family<S: SamplingScheme>(
     );
     cases.push(case);
 
+    // The shard counts are timed round-robin (every count once per round)
+    // rather than in consecutive per-count blocks, so slow drift on the host
+    // (frequency steps, steal time on shared vCPUs) lands on every count
+    // equally instead of biasing whichever config ran last; the per-count
+    // minimum across rounds is what each is judged by, exactly as before.
+    let configs: Vec<(usize, ShardedStream)> = SHARD_COUNTS
+        .iter()
+        .map(|&shards| (shards, ShardedStream::from_dataset(dataset, shards)))
+        .collect();
+    // The streaming path shares the pipeline's sketch-lifecycle
+    // implementation, so the bench measures the exact production pass.
+    let mut pools: Vec<_> = configs
+        .iter()
+        .map(|(_, stream)| sketch_pools(scheme, stream, seeds))
+        .collect();
+    let mut best = [f64::INFINITY; SHARD_COUNTS.len()];
     let mut reference: Option<Vec<InstanceSample>> = None;
-    for shards in SHARD_COUNTS {
-        let stream = ShardedStream::from_dataset(dataset, shards);
-        // The streaming path shares the pipeline's sketch-lifecycle
-        // implementation, so the bench measures the exact production pass.
-        let mut pools = sketch_pools(scheme, &stream, seeds);
-        let mut out: Vec<InstanceSample> = Vec::new();
-        let case = measure_case(
-            format!("{label}/stream_ingest_shards_{shards}"),
-            records,
-            || out = ingest_merge_finalize(&stream, &mut pools, seeds),
-        );
+    for _ in 0..ROUNDS {
+        for (c, (_, stream)) in configs.iter().enumerate() {
+            let start = Instant::now();
+            let out = ingest_merge_finalize(stream, &mut pools[c], seeds);
+            best[c] = best[c].min(start.elapsed().as_secs_f64() * 1e3);
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(r, &out, "shard count must not change the sample"),
+            }
+        }
+    }
+    for (c, (shards, _)) in configs.iter().enumerate() {
+        let case = Case {
+            name: format!("{label}/stream_ingest_shards_{shards}"),
+            ms: best[c],
+            records_per_sec: records as f64 / (best[c] / 1e3),
+        };
         println!(
             "{:<44} {:>9.2} ms  ({:>5.1} Mrec/s, {:.2}x vs single-stream batch)",
             case.name,
@@ -114,10 +136,6 @@ fn run_family<S: SamplingScheme>(
             case.records_per_sec / 1e6,
             single_ms / case.ms
         );
-        match &reference {
-            None => reference = Some(out.clone()),
-            Some(r) => assert_eq!(r, &out, "shard count must not change the sample"),
-        }
         cases.push(case);
     }
 }
@@ -168,6 +186,16 @@ fn main() {
     };
     let pps_single = find("pps_poisson/single_stream_batch");
     let pps_sharded4 = find("pps_poisson/stream_ingest_shards_4");
+    // Regression guard for the bottom-k shard-scaling fix: with the
+    // root-comparison rejection gate in `BottomKBuilder::offer` and the
+    // single-pass bounded-selection `merge_many` (instead of a pairwise
+    // re-heapifying merge tree, whose O(shards·k log k) cost grew with the
+    // shard count and sank 8-shard throughput below 1-shard), adding bottom-k
+    // shards must never cost throughput.  Scoped to the set-determined
+    // family: the fix targets retention work that grows with the shard
+    // count, which Poisson-style sketches never had.
+    let monotone = find("bottomk_pps_4096/stream_ingest_shards_8").records_per_sec
+        >= find("bottomk_pps_4096/stream_ingest_shards_1").records_per_sec;
     let rows: Vec<String> = cases
         .iter()
         .map(|c| {
@@ -178,7 +206,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"stream_ingest_throughput\",\n  \"records\": {total_records},\n  \"threads_available\": {threads},\n  \"note\": \"single_stream_batch is the legacy ingest path (materialize an Instance from the stream, then batch sample()); stream_ingest_shards_N is the SamplingScheme sketch path with N key-partitioned shards, one thread per shard, merged per instance. Shard counts never change the resulting sample (asserted each run).\",\n  \"sharded_4_vs_single_stream_speedup\": {:.2},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"stream_ingest_throughput\",\n  \"records\": {total_records},\n  \"threads_available\": {threads},\n  \"note\": \"single_stream_batch is the legacy ingest path (materialize an Instance from the stream, then batch sample()); stream_ingest_shards_N is the SamplingScheme sketch path with N key-partitioned shards, one thread per shard, merged per instance. Shard counts never change the resulting sample (asserted each run). shard_scaling_monotone records that bottom-k shards_8 throughput >= shards_1: bottom-k once violated this because non-surviving records paid a full O(log k) heap sift and the pairwise merge tree re-heapified O(shards*k log k) candidates; the offer-path root-comparison gate and the single-pass bounded-selection merge keep shard scaling monotone.\",\n  \"sharded_4_vs_single_stream_speedup\": {:.2},\n  \"shard_scaling_monotone\": {monotone},\n  \"results\": [\n{}\n  ]\n}}\n",
         pps_single.ms / pps_sharded4.ms,
         rows.join(",\n")
     );

@@ -14,11 +14,18 @@
 //! API is shaped around that regime rather than around one outcome at a
 //! time:
 //!
-//! * [`Estimator::estimate_batch`] is the hot path: it maps a slice of
-//!   outcomes into a caller-provided output slice, so a whole key range is
-//!   estimated with zero allocation and one virtual dispatch.  The default
-//!   implementation loops over [`Estimator::estimate`]; estimators with
-//!   shareable per-call setup can override it.
+//! * [`Estimator::estimate_lanes`] is the hot path: it maps a
+//!   struct-of-arrays lane batch ([`pie_sampling::lanes`]) into a
+//!   caller-provided output slice.  The lanes are built once per trial and
+//!   shared by every registered estimator; estimators with branch-light
+//!   arithmetic override this with chunked kernels that LLVM autovectorizes,
+//!   and the default replays the scalar [`Estimator::estimate`] over
+//!   outcomes rebuilt from the lanes — bit-identical by construction.
+//! * [`Estimator::estimate_batch`] is the array-of-structs batch path: it
+//!   maps a slice of outcomes into a caller-provided output slice, so a
+//!   whole key range is estimated with zero allocation and one virtual
+//!   dispatch.  The default implementation loops over
+//!   [`Estimator::estimate`].
 //! * [`Estimator`] is object-safe: pipelines, benches, and CLIs hold
 //!   `Box<dyn Estimator<O>>` and dispatch dynamically.
 //! * [`EstimatorRegistry`] is the name-keyed collection used to enumerate
@@ -29,7 +36,7 @@
 //! [`pie_sampling::OutcomeView`] accessors; the old `Vec`-returning
 //! accessors remain as deprecated shims.
 
-use pie_sampling::{ObliviousOutcome, WeightedOutcome};
+use pie_sampling::{LaneOutcome, ObliviousOutcome, WeightedOutcome};
 
 /// An estimator of a multi-instance function from outcomes of type `O`.
 ///
@@ -63,24 +70,81 @@ pub trait Estimator<O> {
             *slot = self.estimate(outcome);
         }
     }
+
+    /// Estimates every outcome of a struct-of-arrays lane batch, writing
+    /// outcome `i`'s estimate to `out[i]`.
+    ///
+    /// This is the vectorization-friendly hot path: the caller builds the
+    /// lanes once per trial (see [`pie_sampling::lanes`]) and shares them
+    /// across every registered estimator.  The default implementation
+    /// rebuilds one scratch outcome per slot and applies the scalar
+    /// [`estimate`](Self::estimate) — bit-identical to the per-outcome path
+    /// by construction.  Overrides replace this with branch-light chunked
+    /// lane kernels, and must still produce exactly the same bits in the
+    /// same summation order (the workspace property tests assert this for
+    /// every registered estimator).
+    ///
+    /// # Panics
+    /// Panics if the lane batch and `out` have different lengths.
+    fn estimate_lanes(&self, lanes: &O::Lanes, out: &mut [f64])
+    where
+        O: LaneOutcome,
+    {
+        check_lanes_len(O::lanes_len(lanes), out);
+        let mut scratch = O::lane_scratch(lanes);
+        for (index, slot) in out.iter_mut().enumerate() {
+            O::read_lane(lanes, index, &mut scratch);
+            *slot = self.estimate(&scratch);
+        }
+    }
 }
+
+/// Block size of the lane kernels: every `estimate_lanes` override processes
+/// outcomes in blocks of up to this many `f64` slots.  The inner loops run the
+/// full block length, which is the shape LLVM's loop vectorizer handles
+/// reliably without any `unsafe` or explicit SIMD (fixed short trip counts go
+/// to the SLP vectorizer instead, which gives up on these select chains), and
+/// the block bound keeps per-block scratch and rescans inside L1.
+pub(crate) const LANE_BLOCK: usize = 256;
 
 /// Asserts that a batch's outcome and output slices have equal lengths.
 ///
 /// Every [`Estimator::estimate_batch`] override must call this first (the
 /// default implementation does): the loops below are written with `zip`,
-/// which would otherwise silently truncate to the shorter slice.
+/// which would otherwise silently truncate to the shorter slice.  The
+/// message formatting lives behind the branch in a `#[cold]` helper, so the
+/// happy path costs one comparison.
 ///
 /// # Panics
 /// Panics if the lengths differ.
 pub fn check_batch_len<O>(outcomes: &[O], out: &[f64]) {
-    assert_eq!(
-        outcomes.len(),
-        out.len(),
-        "estimate_batch: {} outcomes but {} output slots",
-        outcomes.len(),
-        out.len()
-    );
+    if outcomes.len() != out.len() {
+        batch_len_mismatch(outcomes.len(), out.len());
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn batch_len_mismatch(outcomes: usize, out: usize) -> ! {
+    panic!("estimate_batch: {outcomes} outcomes but {out} output slots");
+}
+
+/// Asserts that a lane batch of `lanes_len` outcomes matches the output
+/// slice length; every [`Estimator::estimate_lanes`] override must call this
+/// first (the default implementation does).
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn check_lanes_len(lanes_len: usize, out: &[f64]) {
+    if lanes_len != out.len() {
+        lanes_len_mismatch(lanes_len, out.len());
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn lanes_len_mismatch(lanes: usize, out: usize) -> ! {
+    panic!("estimate_lanes: {lanes} lane outcomes but {out} output slots");
 }
 
 /// Convenience alias for estimators over weight-oblivious Poisson outcomes
@@ -105,6 +169,12 @@ impl<O, E: Estimator<O> + ?Sized> Estimator<O> for &E {
     fn estimate_batch(&self, outcomes: &[O], out: &mut [f64]) {
         (**self).estimate_batch(outcomes, out);
     }
+    fn estimate_lanes(&self, lanes: &O::Lanes, out: &mut [f64])
+    where
+        O: LaneOutcome,
+    {
+        (**self).estimate_lanes(lanes, out);
+    }
 }
 
 impl<O, E: Estimator<O> + ?Sized> Estimator<O> for Box<E> {
@@ -116,6 +186,12 @@ impl<O, E: Estimator<O> + ?Sized> Estimator<O> for Box<E> {
     }
     fn estimate_batch(&self, outcomes: &[O], out: &mut [f64]) {
         (**self).estimate_batch(outcomes, out);
+    }
+    fn estimate_lanes(&self, lanes: &O::Lanes, out: &mut [f64])
+    where
+        O: LaneOutcome,
+    {
+        (**self).estimate_lanes(lanes, out);
     }
 }
 
@@ -349,6 +425,41 @@ mod tests {
         }])];
         let mut out = vec![0.0; 2];
         Always7.estimate_batch(&outcomes, &mut out);
+    }
+
+    #[test]
+    fn default_estimate_lanes_matches_scalar_and_is_object_safe() {
+        let outcomes: Vec<ObliviousOutcome> = (0..5)
+            .map(|i| {
+                ObliviousOutcome::new(vec![ObliviousEntry {
+                    p: 0.5,
+                    value: (i % 2 == 0).then_some(f64::from(i)),
+                }])
+            })
+            .collect();
+        let mut lanes = pie_sampling::ObliviousLanes::new();
+        lanes.fill_from_outcomes(&outcomes);
+        let mut out = vec![f64::NAN; outcomes.len()];
+        // Dispatch through a trait object: estimate_lanes must stay
+        // available behind `dyn Estimator<O>`.
+        let dyn_est: &dyn Estimator<ObliviousOutcome> = &Always7;
+        dyn_est.estimate_lanes(&lanes, &mut out);
+        for (o, &lane) in outcomes.iter().zip(&out) {
+            assert_eq!(lane, Always7.estimate(o));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output slots")]
+    fn estimate_lanes_rejects_length_mismatch() {
+        let outcomes = vec![ObliviousOutcome::new(vec![ObliviousEntry {
+            p: 0.5,
+            value: None,
+        }])];
+        let mut lanes = pie_sampling::ObliviousLanes::new();
+        lanes.fill_from_outcomes(&outcomes);
+        let mut out = vec![0.0; 2];
+        Always7.estimate_lanes(&lanes, &mut out);
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub mod variance;
 pub mod weighted;
 
 pub use estimate::{
-    DocumentedEstimator, DynEstimator, Estimator, EstimatorProperties, EstimatorRegistry,
+    check_batch_len, check_lanes_len, DocumentedEstimator, DynEstimator, Estimator,
+    EstimatorProperties, EstimatorRegistry,
 };
 pub use functions::MultiInstanceFn;

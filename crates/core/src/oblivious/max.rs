@@ -19,9 +19,9 @@
 //!
 //! All estimators consume an [`ObliviousOutcome`].
 
-use pie_sampling::ObliviousOutcome;
+use pie_sampling::{ObliviousLanes, ObliviousOutcome};
 
-use crate::estimate::{DocumentedEstimator, Estimator, EstimatorProperties};
+use crate::estimate::{DocumentedEstimator, Estimator, EstimatorProperties, LANE_BLOCK};
 
 /// Extracts the two-instance view (p, value) pairs from an outcome.
 ///
@@ -65,34 +65,53 @@ impl Estimator<ObliviousOutcome> for MaxHtOblivious {
         "max_ht_oblivious"
     }
 
-    /// Batched hot path fusing the three entry scans of
-    /// [`estimate`](Self::estimate) (`all_sampled`, `max_sampled`,
-    /// `all_sampled_probability`) into one pass with early exit on the first
-    /// unsampled entry.  Accumulation order matches the scans exactly, so
-    /// results are bit-identical.
-    fn estimate_batch(&self, outcomes: &[ObliviousOutcome], out: &mut [f64]) {
-        crate::estimate::check_batch_len(outcomes, out);
-        for (slot, outcome) in out.iter_mut().zip(outcomes) {
-            let mut product = 1.0f64;
-            let mut max: Option<f64> = None;
-            let mut all_sampled = true;
-            for entry in outcome.entries() {
-                match entry.value {
-                    Some(v) => {
-                        product *= entry.p;
-                        max = Some(max.map_or(v, |a: f64| a.max(v)));
-                    }
-                    None => {
-                        all_sampled = false;
-                        break;
-                    }
+    /// Lane-kernel hot path: one fused blocked pass over the
+    /// struct-of-arrays lanes accumulating the probability product, running
+    /// maximum, and all-sampled mask per outcome, with no per-outcome
+    /// branches.  Accumulation order matches [`estimate`](Self::estimate)
+    /// exactly (the iterator `product` starts from `1.0`, which is exact
+    /// under f64 multiplication), so results are bit-identical; the product
+    /// and maximum of a not-all-sampled outcome are computed speculatively
+    /// and discarded by the mask select.  Presence lanes hold exactly `0.0`
+    /// or `1.0`, so `> 0.0` is the same test as `!= 0.0` but compiles to the
+    /// comparison form the vectorizer's cost model prefers.
+    fn estimate_lanes(&self, lanes: &ObliviousLanes, out: &mut [f64]) {
+        crate::estimate::check_lanes_len(lanes.len(), out);
+        let r = lanes.num_instances();
+        let len = lanes.len();
+        if r == 0 {
+            out.fill(0.0);
+            return;
+        }
+        let mut prod = [0.0f64; LANE_BLOCK];
+        let mut max = [0.0f64; LANE_BLOCK];
+        let mut all = [true; LANE_BLOCK];
+        let mut start = 0usize;
+        while start < len {
+            let n = LANE_BLOCK.min(len - start);
+            let p0 = &lanes.p_lane(0)[start..start + n];
+            let v0 = &lanes.value_lane(0)[start..start + n];
+            let s0 = &lanes.present_lane(0)[start..start + n];
+            for i in 0..n {
+                prod[i] = p0[i];
+                max[i] = v0[i];
+                all[i] = s0[i] > 0.0;
+            }
+            for j in 1..r {
+                let pj = &lanes.p_lane(j)[start..start + n];
+                let vj = &lanes.value_lane(j)[start..start + n];
+                let sj = &lanes.present_lane(j)[start..start + n];
+                for i in 0..n {
+                    prod[i] *= pj[i];
+                    max[i] = max[i].max(vj[i]);
+                    all[i] &= sj[i] > 0.0;
                 }
             }
-            *slot = if all_sampled {
-                max.unwrap_or(0.0) / product
-            } else {
-                0.0
-            };
+            let o = &mut out[start..start + n];
+            for i in 0..n {
+                o[i] = if all[i] { max[i] / prod[i] } else { 0.0 };
+            }
+            start += n;
         }
     }
 }
@@ -154,24 +173,47 @@ impl Estimator<ObliviousOutcome> for MaxL2 {
         "max_l_2"
     }
 
-    /// Batched hot path with the per-call setup — `p_any`, `p₁p₂`, and the
-    /// two reciprocal coefficients (each a division) — hoisted out of the
-    /// loop.  Every hoisted expression is written exactly as in
-    /// [`estimate`](Self::estimate), so the results are bit-identical.
-    fn estimate_batch(&self, outcomes: &[ObliviousOutcome], out: &mut [f64]) {
-        crate::estimate::check_batch_len(outcomes, out);
+    /// Lane-kernel hot path with the per-call setup — `p_any`, `p₁p₂`, and
+    /// the two reciprocal coefficients (each a division) — hoisted out of the
+    /// loop.  Every expression is written exactly as in
+    /// [`estimate`](Self::estimate) (hoisting reuses the identical float
+    /// subexpressions), so the results are bit-identical; the four presence
+    /// cases become a select chain that LLVM if-converts, and the single
+    /// full-length loop is the shape its loop vectorizer takes.
+    fn estimate_lanes(&self, lanes: &ObliviousLanes, out: &mut [f64]) {
+        crate::estimate::check_lanes_len(lanes.len(), out);
+        if lanes.is_empty() {
+            // An empty batch has no outcomes to assert the instance count on.
+            return;
+        }
+        assert_eq!(
+            lanes.num_instances(),
+            2,
+            "this estimator is defined for exactly two instances, got {}",
+            lanes.num_instances()
+        );
         let (p1, p2) = (self.p1, self.p2);
         let p_any = self.p_any();
         let p12 = p1 * p2;
         let c1 = 1.0 / p2 - 1.0;
         let c2 = 1.0 / p1 - 1.0;
-        for (slot, outcome) in out.iter_mut().zip(outcomes) {
-            let [(_, e1), (_, e2)] = two_entries(outcome);
-            *slot = match (e1, e2) {
-                (None, None) => 0.0,
-                (Some(v1), None) => v1 / p_any,
-                (None, Some(v2)) => v2 / p_any,
-                (Some(v1), Some(v2)) => v1.max(v2) / p12 - (c1 * v1 + c2 * v2) / p_any,
+        let len = lanes.len();
+        let v1 = &lanes.value_lane(0)[..len];
+        let v2 = &lanes.value_lane(1)[..len];
+        let s1 = &lanes.present_lane(0)[..len];
+        let s2 = &lanes.present_lane(1)[..len];
+        for i in 0..len {
+            let both = v1[i].max(v2[i]) / p12 - (c1 * v1[i] + c2 * v2[i]) / p_any;
+            out[i] = if s1[i] > 0.0 {
+                if s2[i] > 0.0 {
+                    both
+                } else {
+                    v1[i] / p_any
+                }
+            } else if s2[i] > 0.0 {
+                v2[i] / p_any
+            } else {
+                0.0
             };
         }
     }
@@ -233,25 +275,46 @@ impl Estimator<ObliviousOutcome> for MaxU2 {
         "max_u_2"
     }
 
-    /// Batched hot path with the per-call setup (`denom`, `p₁p₂`, and the
-    /// per-branch products) hoisted out of the loop; expressions match
-    /// [`estimate`](Self::estimate) exactly, so results are bit-identical.
-    fn estimate_batch(&self, outcomes: &[ObliviousOutcome], out: &mut [f64]) {
-        crate::estimate::check_batch_len(outcomes, out);
+    /// Lane-kernel hot path with the per-call setup (`denom`, `p₁p₂`, and
+    /// the per-branch products) hoisted out of the loop; expressions
+    /// match [`estimate`](Self::estimate) exactly, so results are
+    /// bit-identical; the four presence cases become a select chain that
+    /// LLVM if-converts, and the single full-length loop is the shape its
+    /// loop vectorizer takes.
+    fn estimate_lanes(&self, lanes: &ObliviousLanes, out: &mut [f64]) {
+        crate::estimate::check_lanes_len(lanes.len(), out);
+        if lanes.is_empty() {
+            // An empty batch has no outcomes to assert the instance count on.
+            return;
+        }
+        assert_eq!(
+            lanes.num_instances(),
+            2,
+            "this estimator is defined for exactly two instances, got {}",
+            lanes.num_instances()
+        );
         let (p1, p2) = (self.p1, self.p2);
         let denom = 1.0 + self.slack();
         let d1 = p1 * denom;
         let d2 = p2 * denom;
         let p12 = p1 * p2;
-        for (slot, outcome) in out.iter_mut().zip(outcomes) {
-            let [(_, e1), (_, e2)] = two_entries(outcome);
-            *slot = match (e1, e2) {
-                (None, None) => 0.0,
-                (Some(v1), None) => v1 / d1,
-                (None, Some(v2)) => v2 / d2,
-                (Some(v1), Some(v2)) => {
-                    (v1.max(v2) - (v1 * (1.0 - p2) + v2 * (1.0 - p1)) / denom) / p12
+        let len = lanes.len();
+        let v1 = &lanes.value_lane(0)[..len];
+        let v2 = &lanes.value_lane(1)[..len];
+        let s1 = &lanes.present_lane(0)[..len];
+        let s2 = &lanes.present_lane(1)[..len];
+        for i in 0..len {
+            let both = (v1[i].max(v2[i]) - (v1[i] * (1.0 - p2) + v2[i] * (1.0 - p1)) / denom) / p12;
+            out[i] = if s1[i] > 0.0 {
+                if s2[i] > 0.0 {
+                    both
+                } else {
+                    v1[i] / d1
                 }
+            } else if s2[i] > 0.0 {
+                v2[i] / d2
+            } else {
+                0.0
             };
         }
     }
@@ -848,5 +911,168 @@ mod tests {
         assert!(!MaxHtOblivious.properties().pareto_optimal);
         assert!(MaxL2::new(0.5, 0.5).properties().pareto_optimal);
         assert!(MaxLUniform::new(3, 0.5).properties().pareto_optimal);
+    }
+
+    /// The retired array-of-structs `estimate_batch` overrides, kept verbatim
+    /// as reference implementations: the lane kernels that replaced them must
+    /// stay bit-identical to these (and to the scalar `estimate`).
+    mod retired_batch {
+        use super::*;
+
+        pub fn max_ht(outcomes: &[ObliviousOutcome], out: &mut [f64]) {
+            for (slot, outcome) in out.iter_mut().zip(outcomes) {
+                let mut product = 1.0f64;
+                let mut max: Option<f64> = None;
+                let mut all_sampled = true;
+                for entry in outcome.entries() {
+                    match entry.value {
+                        Some(v) => {
+                            product *= entry.p;
+                            max = Some(max.map_or(v, |a: f64| a.max(v)));
+                        }
+                        None => {
+                            all_sampled = false;
+                            break;
+                        }
+                    }
+                }
+                *slot = if all_sampled {
+                    max.unwrap_or(0.0) / product
+                } else {
+                    0.0
+                };
+            }
+        }
+
+        pub fn max_l2(est: &MaxL2, outcomes: &[ObliviousOutcome], out: &mut [f64]) {
+            let (p1, p2) = (est.p1, est.p2);
+            let p_any = est.p_any();
+            let p12 = p1 * p2;
+            let c1 = 1.0 / p2 - 1.0;
+            let c2 = 1.0 / p1 - 1.0;
+            for (slot, outcome) in out.iter_mut().zip(outcomes) {
+                let [(_, e1), (_, e2)] = two_entries(outcome);
+                *slot = match (e1, e2) {
+                    (None, None) => 0.0,
+                    (Some(v1), None) => v1 / p_any,
+                    (None, Some(v2)) => v2 / p_any,
+                    (Some(v1), Some(v2)) => v1.max(v2) / p12 - (c1 * v1 + c2 * v2) / p_any,
+                };
+            }
+        }
+
+        pub fn max_u2(est: &MaxU2, outcomes: &[ObliviousOutcome], out: &mut [f64]) {
+            let (p1, p2) = (est.p1, est.p2);
+            let denom = 1.0 + est.slack();
+            let d1 = p1 * denom;
+            let d2 = p2 * denom;
+            let p12 = p1 * p2;
+            for (slot, outcome) in out.iter_mut().zip(outcomes) {
+                let [(_, e1), (_, e2)] = two_entries(outcome);
+                *slot = match (e1, e2) {
+                    (None, None) => 0.0,
+                    (Some(v1), None) => v1 / d1,
+                    (None, Some(v2)) => v2 / d2,
+                    (Some(v1), Some(v2)) => {
+                        (v1.max(v2) - (v1 * (1.0 - p2) + v2 * (1.0 - p1)) / denom) / p12
+                    }
+                };
+            }
+        }
+    }
+
+    /// Deterministically enumerates an adversarial batch of two-instance
+    /// outcomes: every presence pattern crossed with extreme magnitudes,
+    /// zeros, and near-ties, at a length that exercises chunk boundaries.
+    fn adversarial_batch(len: usize) -> Vec<ObliviousOutcome> {
+        let magnitudes = [0.0, 1.0, 1e-300, 1e300, 3.5, 7.25e-9];
+        (0..len)
+            .map(|k| {
+                let v1 = magnitudes[k % magnitudes.len()];
+                let v2 = magnitudes[(k / 2 + 1) % magnitudes.len()];
+                ObliviousOutcome::new(vec![
+                    ObliviousEntry {
+                        p: 0.3,
+                        value: (k % 4 != 0).then_some(v1),
+                    },
+                    ObliviousEntry {
+                        p: 0.8,
+                        value: (k % 3 != 0).then_some(v2),
+                    },
+                ])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lane_kernels_bit_identical_to_retired_batch_and_scalar() {
+        use pie_sampling::ObliviousLanes;
+        // Lengths straddling the chunk width, plus empty and single-outcome.
+        for len in [0usize, 1, 7, 8, 9, 16, 33] {
+            let outcomes = adversarial_batch(len);
+            let mut lanes = ObliviousLanes::new();
+            lanes.fill_from_outcomes(&outcomes);
+            let mut by_lane = vec![f64::NAN; len];
+            let mut by_retired = vec![f64::NAN; len];
+
+            MaxHtOblivious.estimate_lanes(&lanes, &mut by_lane);
+            retired_batch::max_ht(&outcomes, &mut by_retired);
+            for (k, o) in outcomes.iter().enumerate() {
+                assert_eq!(by_lane[k].to_bits(), by_retired[k].to_bits(), "ht k={k}");
+                assert_eq!(
+                    by_lane[k].to_bits(),
+                    MaxHtOblivious.estimate(o).to_bits(),
+                    "ht vs scalar k={k}"
+                );
+            }
+
+            let l2 = MaxL2::new(0.3, 0.8);
+            l2.estimate_lanes(&lanes, &mut by_lane);
+            retired_batch::max_l2(&l2, &outcomes, &mut by_retired);
+            for (k, o) in outcomes.iter().enumerate() {
+                assert_eq!(by_lane[k].to_bits(), by_retired[k].to_bits(), "l2 k={k}");
+                assert_eq!(
+                    by_lane[k].to_bits(),
+                    l2.estimate(o).to_bits(),
+                    "l2 vs scalar k={k}"
+                );
+            }
+
+            let u2 = MaxU2::new(0.3, 0.8);
+            u2.estimate_lanes(&lanes, &mut by_lane);
+            retired_batch::max_u2(&u2, &outcomes, &mut by_retired);
+            for (k, o) in outcomes.iter().enumerate() {
+                assert_eq!(by_lane[k].to_bits(), by_retired[k].to_bits(), "u2 k={k}");
+                assert_eq!(
+                    by_lane[k].to_bits(),
+                    u2.estimate(o).to_bits(),
+                    "u2 vs scalar k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ht_lane_kernel_handles_r3() {
+        use pie_sampling::ObliviousLanes;
+        let outcomes: Vec<ObliviousOutcome> = (0..19)
+            .map(|k| {
+                ObliviousOutcome::new(
+                    (0..3)
+                        .map(|j| ObliviousEntry {
+                            p: 0.25 + 0.2 * j as f64,
+                            value: ((k + j) % 4 != 0).then_some(f64::from(k as u32) * 0.5),
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let mut lanes = ObliviousLanes::new();
+        lanes.fill_from_outcomes(&outcomes);
+        let mut out = vec![f64::NAN; outcomes.len()];
+        MaxHtOblivious.estimate_lanes(&lanes, &mut out);
+        for (k, o) in outcomes.iter().enumerate() {
+            assert_eq!(out[k].to_bits(), MaxHtOblivious.estimate(o).to_bits());
+        }
     }
 }

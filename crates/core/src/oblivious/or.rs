@@ -7,9 +7,9 @@
 //! domain.  Sum-aggregating an OR estimator over keys yields a distinct-count
 //! (set-union) estimator (Section 8.1).
 
-use pie_sampling::ObliviousOutcome;
+use pie_sampling::{ObliviousLanes, ObliviousOutcome};
 
-use crate::estimate::{DocumentedEstimator, Estimator, EstimatorProperties};
+use crate::estimate::{DocumentedEstimator, Estimator, EstimatorProperties, LANE_BLOCK};
 use crate::oblivious::max::{MaxHtOblivious, MaxL2, MaxLUniform, MaxU2};
 
 /// Asserts that every sampled value in the outcome is 0 or 1.
@@ -22,6 +22,49 @@ fn assert_binary(outcome: &ObliviousOutcome) {
             );
         }
     }
+}
+
+/// Lane counterpart of [`assert_binary`]: a blocked flag-accumulation pass
+/// over every value/presence lane — eager `|` so each block reduces to one
+/// branch-free mask — and the (cold) panic path rescans the failing block in
+/// outcome-major order so the reported value matches the first offender the
+/// per-outcome path would have seen.
+fn assert_binary_lanes(lanes: &ObliviousLanes) {
+    let r = lanes.num_instances();
+    let len = lanes.len();
+    let mut start = 0usize;
+    while start < len {
+        let n = LANE_BLOCK.min(len - start);
+        let mut ok = true;
+        for j in 0..r {
+            let v = &lanes.value_lane(j)[start..start + n];
+            let s = &lanes.present_lane(j)[start..start + n];
+            for i in 0..n {
+                ok &= (s[i] <= 0.0) | (v[i] == 0.0) | (v[i] == 1.0);
+            }
+        }
+        if !ok {
+            binary_lane_violation(lanes, start, n);
+        }
+        start += n;
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn binary_lane_violation(lanes: &ObliviousLanes, start: usize, n: usize) -> ! {
+    for i in start..start + n {
+        for j in 0..lanes.num_instances() {
+            if lanes.present_lane(j)[i] != 0.0 {
+                let v = lanes.value_lane(j)[i];
+                assert!(
+                    v == 0.0 || v == 1.0,
+                    "OR estimators require binary data, got sampled value {v}"
+                );
+            }
+        }
+    }
+    unreachable!("binary lane violation flagged but not found on rescan");
 }
 
 /// The inverse-probability estimator `OR^(HT)`: `1/∏p_i` when every entry is
@@ -37,6 +80,15 @@ impl Estimator<ObliviousOutcome> for OrHtOblivious {
 
     fn name(&self) -> &'static str {
         "or_ht_oblivious"
+    }
+
+    /// Lane-kernel hot path: the binary-domain check runs as its own chunked
+    /// pass, then the arithmetic delegates to the [`MaxHtOblivious`] lane
+    /// kernel — exactly the decomposition of [`estimate`](Self::estimate),
+    /// so results are bit-identical.
+    fn estimate_lanes(&self, lanes: &ObliviousLanes, out: &mut [f64]) {
+        assert_binary_lanes(lanes);
+        MaxHtOblivious.estimate_lanes(lanes, out);
     }
 }
 
@@ -73,6 +125,14 @@ impl Estimator<ObliviousOutcome> for OrL2 {
     fn name(&self) -> &'static str {
         "or_l_2"
     }
+
+    /// Lane-kernel hot path: binary-domain check, then the [`MaxL2`] lane
+    /// kernel — the same decomposition as [`estimate`](Self::estimate), so
+    /// results are bit-identical.
+    fn estimate_lanes(&self, lanes: &ObliviousLanes, out: &mut [f64]) {
+        assert_binary_lanes(lanes);
+        self.inner.estimate_lanes(lanes, out);
+    }
 }
 
 impl DocumentedEstimator<ObliviousOutcome> for OrL2 {
@@ -108,6 +168,14 @@ impl Estimator<ObliviousOutcome> for OrU2 {
 
     fn name(&self) -> &'static str {
         "or_u_2"
+    }
+
+    /// Lane-kernel hot path: binary-domain check, then the [`MaxU2`] lane
+    /// kernel — the same decomposition as [`estimate`](Self::estimate), so
+    /// results are bit-identical.
+    fn estimate_lanes(&self, lanes: &ObliviousLanes, out: &mut [f64]) {
+        assert_binary_lanes(lanes);
+        self.inner.estimate_lanes(lanes, out);
     }
 }
 
@@ -346,5 +414,64 @@ mod tests {
         assert!(OrL2::new(0.5, 0.5).properties().pareto_optimal);
         assert!(OrU2::new(0.5, 0.5).properties().pareto_optimal);
         assert!(OrLUniform::new(3, 0.5).properties().pareto_optimal);
+    }
+
+    #[test]
+    fn or_lane_kernels_bit_identical_to_scalar() {
+        use pie_sampling::ObliviousLanes;
+        for len in [0usize, 1, 7, 8, 9, 16, 33] {
+            let outcomes: Vec<ObliviousOutcome> = (0..len)
+                .map(|k| {
+                    ObliviousOutcome::new(vec![
+                        ObliviousEntry {
+                            p: 0.3,
+                            value: (k % 4 != 0).then_some(f64::from(u32::from(k % 3 == 0))),
+                        },
+                        ObliviousEntry {
+                            p: 0.8,
+                            value: (k % 3 != 1).then_some(f64::from(u32::from(k % 5 != 0))),
+                        },
+                    ])
+                })
+                .collect();
+            let mut lanes = ObliviousLanes::new();
+            lanes.fill_from_outcomes(&outcomes);
+            let mut out = vec![f64::NAN; len];
+            for est in [
+                Box::new(OrHtOblivious) as Box<dyn Estimator<ObliviousOutcome>>,
+                Box::new(OrL2::new(0.3, 0.8)),
+                Box::new(OrU2::new(0.3, 0.8)),
+            ] {
+                est.estimate_lanes(&lanes, &mut out);
+                for (k, o) in outcomes.iter().enumerate() {
+                    assert_eq!(
+                        out[k].to_bits(),
+                        est.estimate(o).to_bits(),
+                        "{} k={k} len={len}",
+                        est.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "binary")]
+    fn non_binary_values_rejected_by_lane_kernel() {
+        use pie_sampling::ObliviousLanes;
+        let outcomes = vec![ObliviousOutcome::new(vec![
+            ObliviousEntry {
+                p: 0.5,
+                value: Some(2.0),
+            },
+            ObliviousEntry {
+                p: 0.5,
+                value: None,
+            },
+        ])];
+        let mut lanes = ObliviousLanes::new();
+        lanes.fill_from_outcomes(&outcomes);
+        let mut out = vec![0.0; 1];
+        OrL2::new(0.5, 0.5).estimate_lanes(&lanes, &mut out);
     }
 }

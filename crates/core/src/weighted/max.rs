@@ -17,9 +17,9 @@
 //!   the two entries are similar; see EXPERIMENTS.md for how the measured
 //!   ratios compare with the paper's §5.2 claims.
 
-use pie_sampling::WeightedOutcome;
+use pie_sampling::{WeightedLanes, WeightedOutcome};
 
-use crate::estimate::{DocumentedEstimator, Estimator, EstimatorProperties};
+use crate::estimate::{DocumentedEstimator, Estimator, EstimatorProperties, LANE_BLOCK};
 
 /// The optimal inverse-probability estimator `max^(HT)` for PPS samples with
 /// known seeds, any number of instances (Section 5.2, after [17, 18]).
@@ -54,6 +54,92 @@ impl Estimator<WeightedOutcome> for MaxHtPps {
     fn name(&self) -> &'static str {
         "max_ht_pps"
     }
+
+    /// Lane-kernel hot path: two fused blocked passes over the
+    /// struct-of-arrays lanes.  The first accumulates the sampled maximum
+    /// (same fold order as [`WeightedOutcome::max_sampled`]), the largest
+    /// unsampled upper bound `u·τ*`, and a seed-visibility flag — as
+    /// branch-free selects, so the accumulation loop vectorizes; the second
+    /// accumulates the inclusion-probability product at the sampled maximum,
+    /// in entry order exactly as [`estimate`](Self::estimate) does (its
+    /// running product also starts from `1.0`), so results are
+    /// bit-identical.  Bounds and products of outcomes that estimate to zero
+    /// are computed speculatively and discarded by the final select, and the
+    /// missing-seed panic (which, as in the scalar path, only outcomes with
+    /// at least one sampled entry can raise) is deferred to one reduced
+    /// check per block.
+    fn estimate_lanes(&self, lanes: &WeightedLanes, out: &mut [f64]) {
+        crate::estimate::check_lanes_len(lanes.len(), out);
+        let r = lanes.num_instances();
+        let len = lanes.len();
+        if r == 0 {
+            out.fill(0.0);
+            return;
+        }
+        let mut max = [0.0f64; LANE_BLOCK];
+        let mut has = [false; LANE_BLOCK];
+        let mut bound = [0.0f64; LANE_BLOCK];
+        let mut seeds_ok = [true; LANE_BLOCK];
+        let mut prob = [0.0f64; LANE_BLOCK];
+        let mut start = 0usize;
+        while start < len {
+            let n = LANE_BLOCK.min(len - start);
+            for i in 0..n {
+                max[i] = 0.0;
+                has[i] = false;
+                bound[i] = 0.0;
+                seeds_ok[i] = true;
+            }
+            for j in 0..r {
+                let v = &lanes.value_lane(j)[start..start + n];
+                let s = &lanes.present_lane(j)[start..start + n];
+                let u = &lanes.seed_lane(j)[start..start + n];
+                let k = &lanes.seed_known_lane(j)[start..start + n];
+                let t = &lanes.tau_lane(j)[start..start + n];
+                for i in 0..n {
+                    let sampled = s[i] > 0.0;
+                    let new_max = if has[i] { max[i].max(v[i]) } else { v[i] };
+                    let new_bound = bound[i].max(u[i] * t[i]);
+                    max[i] = if sampled { new_max } else { max[i] };
+                    bound[i] = if sampled { bound[i] } else { new_bound };
+                    seeds_ok[i] &= sampled | (k[i] > 0.0);
+                    has[i] |= sampled;
+                }
+            }
+            let mut block_ok = true;
+            for i in 0..n {
+                block_ok &= !has[i] | seeds_ok[i];
+            }
+            if !block_ok {
+                missing_ht_seeds();
+            }
+            prob[..n].fill(1.0);
+            for j in 0..r {
+                let t = &lanes.tau_lane(j)[start..start + n];
+                for i in 0..n {
+                    prob[i] *= (max[i] / t[i]).min(1.0);
+                }
+            }
+            let o = &mut out[start..start + n];
+            for i in 0..n {
+                // Mirrors the scalar `bound > max_sampled` rejection exactly,
+                // negation included, so incomparable pairs behave the same.
+                let exceeded = bound[i] > max[i];
+                o[i] = if has[i] & !exceeded & (prob[i] > 0.0) {
+                    max[i] / prob[i]
+                } else {
+                    0.0
+                };
+            }
+            start += n;
+        }
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn missing_ht_seeds() -> ! {
+    panic!("max^(HT) for PPS requires known seeds");
 }
 
 impl DocumentedEstimator<WeightedOutcome> for MaxHtPps {
@@ -171,6 +257,167 @@ impl Estimator<WeightedOutcome> for MaxLPps2 {
     fn name(&self) -> &'static str {
         "max_l_pps_2"
     }
+
+    /// Two-phase lane-kernel hot path.  Phase one is a select-only pass —
+    /// multiplies, compares and mask selects, no divisions and no side
+    /// exits — that computes the determining vector, the ordered swap, and
+    /// the dominant deterministic cases (`x ≤ 0 → 0`, `x ≥ τ*_x → x`, and
+    /// the division arm when its divisor is exactly 1.0), writing a NaN
+    /// sentinel for the lanes that fall into the logarithmic or
+    /// truly-dividing regimes; the seed validity check rides along as a
+    /// mask reduction in the same loop, and LLVM turns the whole thing
+    /// into masked-blend vector code.  Phase two rescans just the sentinel
+    /// lanes — rare on production workloads, where almost every key is
+    /// either unsampled or above its threshold — recomputing the
+    /// determining vector and calling the exact scalar
+    /// [`closed_form`](Self::closed_form).  Every expression matches
+    /// [`estimate`](Self::estimate) verbatim, so results are bit-identical.
+    fn estimate_lanes(&self, lanes: &WeightedLanes, out: &mut [f64]) {
+        crate::estimate::check_lanes_len(lanes.len(), out);
+        if lanes.is_empty() {
+            // An empty batch has no outcomes to assert the instance count on.
+            return;
+        }
+        assert_eq!(
+            lanes.num_instances(),
+            2,
+            "MaxLPps2 is defined for exactly two instances"
+        );
+        let len = lanes.len();
+        let v1l = &lanes.value_lane(0)[..len];
+        let v2l = &lanes.value_lane(1)[..len];
+        let s1l = &lanes.present_lane(0)[..len];
+        let s2l = &lanes.present_lane(1)[..len];
+        let u1l = &lanes.seed_lane(0)[..len];
+        let u2l = &lanes.seed_lane(1)[..len];
+        let t1l = &lanes.tau_lane(0)[..len];
+        let t2l = &lanes.tau_lane(1)[..len];
+        let k1l = &lanes.seed_known_lane(0)[..len];
+        let k2l = &lanes.seed_known_lane(1)[..len];
+        // Accumulated seed-validity mask: an unsampled entry paired with a
+        // sampled one must expose its seed, exactly as `determining_vector`
+        // requires.  Checked once after the batch — the panic unwinds
+        // before any caller can observe `out`.
+        let mut seeds_ok = true;
+        let mut start = 0usize;
+        while start < len {
+            let m = LANE_BLOCK.min(len - start);
+            let v1c = &v1l[start..start + m];
+            let v2c = &v2l[start..start + m];
+            let s1c = &s1l[start..start + m];
+            let s2c = &s2l[start..start + m];
+            let u1c = &u1l[start..start + m];
+            let u2c = &u2l[start..start + m];
+            let t1c = &t1l[start..start + m];
+            let t2c = &t2l[start..start + m];
+            let k1c = &k1l[start..start + m];
+            let k2c = &k2l[start..start + m];
+            let o = &mut out[start..start + m];
+            // Phase one.  The present and seed-known lanes hold exactly
+            // 0.0 or 1.0, so the ordered `> 0.0` test (one vector compare,
+            // no NaN parity fixup) is the scalar path's presence check;
+            // the case logic uses eager `&`/`|` — short-circuit booleans
+            // would reintroduce control flow and defeat if-conversion.
+            for c in 0..m {
+                let s1 = s1c[c] > 0.0;
+                let s2 = s2c[c] > 0.0;
+                let k1 = k1c[c] > 0.0;
+                let k2 = k2c[c] > 0.0;
+                seeds_ok &= (!s1 | s2 | k2) & (s1 | !s2 | k1);
+                let (v1, v2) = (v1c[c], v2c[c]);
+                let (tau1, tau2) = (t1c[c], t2c[c]);
+                let m1 = (u1c[c] * tau1).min(v2);
+                let m2 = (u2c[c] * tau2).min(v1);
+                let phi0 = if s1 {
+                    v1
+                } else if s2 {
+                    m1
+                } else {
+                    0.0
+                };
+                let phi1 = if s2 {
+                    v2
+                } else if s1 {
+                    m2
+                } else {
+                    0.0
+                };
+                let swap = phi0 >= phi1;
+                let x = if swap { phi0 } else { phi1 };
+                let y = if swap { phi1 } else { phi0 };
+                let tx = if swap { tau1 } else { tau2 };
+                let ty = if swap { tau2 } else { tau1 };
+                // Case order as in `closed_form`: zero, division (y ≥ τ*_y),
+                // deterministic x, logarithmic.  When the division arm
+                // fires with x ≥ τ*_x > 0 — in practice almost always,
+                // since x is the larger coordinate — its divisor
+                // `(x / τ*_x).min(1.0)` is exactly 1.0 and the arm reduces
+                // bit-for-bit to `y + (x - y)`, so the kernel needs no
+                // division at all (`vdivpd` throughput would otherwise
+                // dominate).  The remaining lanes — logarithmic regime or a
+                // truly-dividing division arm (unequal thresholds with
+                // τ*_y ≤ y ≤ x < τ*_x) — get a NaN sentinel and defer to
+                // phase two.  A lane whose *inputs* already produce NaN is
+                // also caught by the sentinel scan and recomputed through
+                // the scalar chain, so the sentinel never masks a real
+                // result.
+                let zero = x <= 0.0;
+                let div = !zero & (y >= ty);
+                let easy_div = (x >= tx) & (tx > 0.0);
+                let take_x = !zero & !div & (x >= tx);
+                let det = y + (x - y);
+                o[c] = if div & easy_div {
+                    det
+                } else if take_x {
+                    x
+                } else if zero {
+                    0.0
+                } else {
+                    f64::NAN
+                };
+            }
+            // Phase two: sentinel lanes (logarithmic regime or a
+            // truly-dividing division arm) rerun the full scalar chain.
+            // On skewed workloads both regimes are rare, so the scan branch
+            // is almost never taken and predicts well.
+            for c in 0..m {
+                if o[c].is_nan() {
+                    let s1 = s1c[c] > 0.0;
+                    let s2 = s2c[c] > 0.0;
+                    let (tau1, tau2) = (t1c[c], t2c[c]);
+                    let phi0 = if s1 {
+                        v1c[c]
+                    } else if s2 {
+                        (u1c[c] * tau1).min(v2c[c])
+                    } else {
+                        0.0
+                    };
+                    let phi1 = if s2 {
+                        v2c[c]
+                    } else if s1 {
+                        (u2c[c] * tau2).min(v1c[c])
+                    } else {
+                        0.0
+                    };
+                    o[c] = if phi0 >= phi1 {
+                        Self::closed_form(phi0, phi1, tau1, tau2)
+                    } else {
+                        Self::closed_form(phi1, phi0, tau2, tau1)
+                    };
+                }
+            }
+            start += m;
+        }
+        if !seeds_ok {
+            missing_l_seeds();
+        }
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn missing_l_seeds() -> ! {
+    panic!("max^(L) for PPS requires known seeds");
 }
 
 impl DocumentedEstimator<WeightedOutcome> for MaxLPps2 {
@@ -420,5 +667,97 @@ mod tests {
         assert!(MaxHtPps.properties().unbiased);
         assert!(!MaxHtPps.properties().pareto_optimal);
         assert!(MaxLPps2.properties().pareto_optimal);
+    }
+
+    /// Deterministic adversarial batch covering all four determining-vector
+    /// cases and all four closed-form regimes: values straddling both
+    /// thresholds, zeros, extremes, and near-ties.
+    fn adversarial_batch(len: usize) -> Vec<WeightedOutcome> {
+        let values = [0.0, 0.5, 2.0, 5.999, 6.0, 9.0, 12.0, 1e-12, 1e12];
+        let seeds = [0.001, 0.25, 0.5, 0.75, 0.999];
+        (0..len)
+            .map(|k| {
+                let v = [values[k % values.len()], values[(k / 3 + 2) % values.len()]];
+                let tau = [10.0, 6.0];
+                let u = [seeds[k % seeds.len()], seeds[(k / 2 + 1) % seeds.len()]];
+                simulate(&v, &tau, u)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn weighted_lane_kernels_bit_identical_to_scalar() {
+        use pie_sampling::WeightedLanes;
+        for len in [0usize, 1, 7, 8, 9, 16, 33] {
+            let outcomes = adversarial_batch(len);
+            let mut lanes = WeightedLanes::new();
+            lanes.fill_from_outcomes(&outcomes);
+            let mut out = vec![f64::NAN; len];
+            MaxHtPps.estimate_lanes(&lanes, &mut out);
+            for (k, o) in outcomes.iter().enumerate() {
+                assert_eq!(
+                    out[k].to_bits(),
+                    MaxHtPps.estimate(o).to_bits(),
+                    "ht k={k} len={len}"
+                );
+            }
+            MaxLPps2.estimate_lanes(&lanes, &mut out);
+            for (k, o) in outcomes.iter().enumerate() {
+                assert_eq!(
+                    out[k].to_bits(),
+                    MaxLPps2.estimate(o).to_bits(),
+                    "l k={k} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_kernels_require_known_seeds_like_scalar() {
+        use pie_sampling::WeightedLanes;
+        let o = WeightedOutcome::new(vec![
+            WeightedEntry {
+                tau_star: 10.0,
+                seed: None,
+                value: Some(3.0),
+            },
+            WeightedEntry {
+                tau_star: 10.0,
+                seed: None,
+                value: None,
+            },
+        ]);
+        let mut lanes = WeightedLanes::new();
+        lanes.fill_from_outcomes(std::slice::from_ref(&o));
+        let mut out = vec![0.0; 1];
+        let ht = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            MaxHtPps.estimate_lanes(&lanes, &mut out)
+        }));
+        assert!(ht.is_err(), "HT lane kernel must require known seeds");
+        let mut out = vec![0.0; 1];
+        let l = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            MaxLPps2.estimate_lanes(&lanes, &mut out)
+        }));
+        assert!(l.is_err(), "L lane kernel must require known seeds");
+        // Fully-unsampled outcomes never consult the seeds in either path.
+        let quiet = WeightedOutcome::new(vec![
+            WeightedEntry {
+                tau_star: 10.0,
+                seed: None,
+                value: None,
+            },
+            WeightedEntry {
+                tau_star: 10.0,
+                seed: None,
+                value: None,
+            },
+        ]);
+        let mut lanes = WeightedLanes::new();
+        lanes.fill_from_outcomes(std::slice::from_ref(&quiet));
+        let mut out = vec![f64::NAN; 1];
+        MaxHtPps.estimate_lanes(&lanes, &mut out);
+        assert_eq!(out[0], 0.0);
+        MaxLPps2.estimate_lanes(&lanes, &mut out);
+        assert_eq!(out[0], 0.0);
     }
 }

@@ -13,9 +13,9 @@
 //! Without known seeds no unbiased nonnegative OR estimator exists at all
 //! (Theorem 6.1, implemented in [`crate::negative`]).
 
-use pie_sampling::{ObliviousEntry, ObliviousOutcome, WeightedOutcome};
+use pie_sampling::{ObliviousEntry, ObliviousOutcome, WeightedLanes, WeightedOutcome};
 
-use crate::estimate::{DocumentedEstimator, Estimator, EstimatorProperties};
+use crate::estimate::{DocumentedEstimator, Estimator, EstimatorProperties, LANE_BLOCK};
 use crate::oblivious::max::MaxLUniform;
 use crate::oblivious::or::{OrHtOblivious, OrL2, OrU2};
 
@@ -70,6 +70,58 @@ pub fn effective_probabilities(outcome: &WeightedOutcome) -> Vec<f64> {
         .collect()
 }
 
+/// Lane counterpart of the validation half of [`to_oblivious_binary`]: a
+/// blocked flag-accumulation pass asserting every sampled value is 0/1 and
+/// every unsampled entry has a visible seed — eager `&`/`|` so each block
+/// reduces to one branch-free mask — and the (cold) panic path rescans the
+/// failing block in outcome-major order so the raised message matches the
+/// first offender the per-outcome mapping would have seen.
+fn validate_binary_lanes(lanes: &WeightedLanes) {
+    let r = lanes.num_instances();
+    let len = lanes.len();
+    let mut start = 0usize;
+    while start < len {
+        let n = LANE_BLOCK.min(len - start);
+        let mut ok = true;
+        for j in 0..r {
+            let v = &lanes.value_lane(j)[start..start + n];
+            let s = &lanes.present_lane(j)[start..start + n];
+            let k = &lanes.seed_known_lane(j)[start..start + n];
+            for i in 0..n {
+                let sampled = s[i] > 0.0;
+                let binary = (v[i] == 0.0) | (v[i] == 1.0);
+                ok &= if sampled { binary } else { k[i] > 0.0 };
+            }
+        }
+        if !ok {
+            binary_mapping_violation(lanes, start, n);
+        }
+        start += n;
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn binary_mapping_violation(lanes: &WeightedLanes, start: usize, n: usize) -> ! {
+    for i in start..start + n {
+        for j in 0..lanes.num_instances() {
+            if lanes.present_lane(j)[i] != 0.0 {
+                let v = lanes.value_lane(j)[i];
+                assert!(
+                    v == 0.0 || v == 1.0,
+                    "binary OR estimators require 0/1 values, got {v}"
+                );
+            } else {
+                assert!(
+                    lanes.seed_known_lane(j)[i] != 0.0,
+                    "known-seed OR estimators require visible seeds"
+                );
+            }
+        }
+    }
+    unreachable!("binary mapping violation flagged but not found on rescan");
+}
+
 /// `OR^(HT)` for weighted known-seed samples: positive (`1/∏p_i`) only on
 /// outcomes where every seed satisfies `u_i ≤ p_i` (so every value is known
 /// exactly) and at least one value is 1.
@@ -83,6 +135,58 @@ impl Estimator<WeightedOutcome> for OrHtKnownSeeds {
 
     fn name(&self) -> &'static str {
         "or_ht_known_seeds"
+    }
+
+    /// Lane-kernel hot path: inlines the Section 5 outcome mapping — the
+    /// effective probability `min(1, 1/τ*)`, the revealed-zero rule
+    /// `u ≤ p ⇒ v = 0` — into one blocked pass that also accumulates the
+    /// `OR^(HT)` product, maximum, and all-known mask, after a validation
+    /// pass mirroring [`to_oblivious_binary`]'s asserts.  Expressions and
+    /// accumulation order match the mapped scalar path exactly, so results
+    /// are bit-identical.
+    fn estimate_lanes(&self, lanes: &WeightedLanes, out: &mut [f64]) {
+        crate::estimate::check_lanes_len(lanes.len(), out);
+        validate_binary_lanes(lanes);
+        let r = lanes.num_instances();
+        let len = lanes.len();
+        if r == 0 {
+            out.fill(0.0);
+            return;
+        }
+        let mut prod = [0.0f64; LANE_BLOCK];
+        let mut max = [0.0f64; LANE_BLOCK];
+        let mut all = [true; LANE_BLOCK];
+        let mut start = 0usize;
+        while start < len {
+            let n = LANE_BLOCK.min(len - start);
+            for i in 0..n {
+                prod[i] = 1.0;
+                max[i] = 0.0;
+                all[i] = true;
+            }
+            for j in 0..r {
+                let v = &lanes.value_lane(j)[start..start + n];
+                let s = &lanes.present_lane(j)[start..start + n];
+                let u = &lanes.seed_lane(j)[start..start + n];
+                let t = &lanes.tau_lane(j)[start..start + n];
+                for i in 0..n {
+                    let p = (1.0 / t[i]).min(1.0);
+                    let sampled = s[i] > 0.0;
+                    // Unsampled with a low seed reveals the value 0 exactly;
+                    // the revealed-zero never changes the running maximum.
+                    let eff_known = sampled | (u[i] <= p);
+                    let eff_v = if sampled { v[i] } else { 0.0 };
+                    prod[i] *= p;
+                    max[i] = if j == 0 { eff_v } else { max[i].max(eff_v) };
+                    all[i] &= eff_known;
+                }
+            }
+            let o = &mut out[start..start + n];
+            for i in 0..n {
+                o[i] = if all[i] { max[i] / prod[i] } else { 0.0 };
+            }
+            start += n;
+        }
     }
 }
 
@@ -111,6 +215,60 @@ impl Estimator<WeightedOutcome> for OrLKnownSeeds {
     fn name(&self) -> &'static str {
         "or_l_known_seeds"
     }
+
+    /// Lane-kernel hot path: inlines the outcome mapping and the `OR^(L)`
+    /// closed form into one full-length pass.  Unlike the weight-oblivious
+    /// [`OrL2`], the effective probabilities derive from the per-outcome
+    /// thresholds, so `p_any` and the reciprocal coefficients are computed
+    /// per slot (still branch-free); every expression matches the scalar
+    /// [`estimate`](Self::estimate) delegation chain verbatim, so results
+    /// are bit-identical.
+    fn estimate_lanes(&self, lanes: &WeightedLanes, out: &mut [f64]) {
+        crate::estimate::check_lanes_len(lanes.len(), out);
+        if lanes.is_empty() {
+            // An empty batch has no outcomes to assert the instance count on.
+            return;
+        }
+        assert_eq!(
+            lanes.num_instances(),
+            2,
+            "OrLKnownSeeds is defined for exactly two instances"
+        );
+        validate_binary_lanes(lanes);
+        let len = lanes.len();
+        let v1l = &lanes.value_lane(0)[..len];
+        let v2l = &lanes.value_lane(1)[..len];
+        let s1l = &lanes.present_lane(0)[..len];
+        let s2l = &lanes.present_lane(1)[..len];
+        let u1l = &lanes.seed_lane(0)[..len];
+        let u2l = &lanes.seed_lane(1)[..len];
+        let t1l = &lanes.tau_lane(0)[..len];
+        let t2l = &lanes.tau_lane(1)[..len];
+        for i in 0..len {
+            let p1 = (1.0 / t1l[i]).min(1.0);
+            let p2 = (1.0 / t2l[i]).min(1.0);
+            let p_any = p1 + p2 - p1 * p2;
+            let s1 = s1l[i] > 0.0;
+            let s2 = s2l[i] > 0.0;
+            let known1 = s1 | (u1l[i] <= p1);
+            let known2 = s2 | (u2l[i] <= p2);
+            let v1 = if s1 { v1l[i] } else { 0.0 };
+            let v2 = if s2 { v2l[i] } else { 0.0 };
+            let both =
+                v1.max(v2) / (p1 * p2) - ((1.0 / p2 - 1.0) * v1 + (1.0 / p1 - 1.0) * v2) / p_any;
+            out[i] = if known1 {
+                if known2 {
+                    both
+                } else {
+                    v1 / p_any
+                }
+            } else if known2 {
+                v2 / p_any
+            } else {
+                0.0
+            };
+        }
+    }
 }
 
 impl DocumentedEstimator<WeightedOutcome> for OrLKnownSeeds {
@@ -137,6 +295,57 @@ impl Estimator<WeightedOutcome> for OrUKnownSeeds {
 
     fn name(&self) -> &'static str {
         "or_u_known_seeds"
+    }
+
+    /// Lane-kernel hot path: inlines the outcome mapping and the `OR^(U)`
+    /// closed form into one full-length pass with per-slot effective
+    /// probabilities; every expression matches the scalar
+    /// [`estimate`](Self::estimate) delegation chain verbatim, so results
+    /// are bit-identical.
+    fn estimate_lanes(&self, lanes: &WeightedLanes, out: &mut [f64]) {
+        crate::estimate::check_lanes_len(lanes.len(), out);
+        if lanes.is_empty() {
+            // An empty batch has no outcomes to assert the instance count on.
+            return;
+        }
+        assert_eq!(
+            lanes.num_instances(),
+            2,
+            "OrUKnownSeeds is defined for exactly two instances"
+        );
+        validate_binary_lanes(lanes);
+        let len = lanes.len();
+        let v1l = &lanes.value_lane(0)[..len];
+        let v2l = &lanes.value_lane(1)[..len];
+        let s1l = &lanes.present_lane(0)[..len];
+        let s2l = &lanes.present_lane(1)[..len];
+        let u1l = &lanes.seed_lane(0)[..len];
+        let u2l = &lanes.seed_lane(1)[..len];
+        let t1l = &lanes.tau_lane(0)[..len];
+        let t2l = &lanes.tau_lane(1)[..len];
+        for i in 0..len {
+            let p1 = (1.0 / t1l[i]).min(1.0);
+            let p2 = (1.0 / t2l[i]).min(1.0);
+            let denom = 1.0 + (1.0 - p1 - p2).max(0.0);
+            let s1 = s1l[i] > 0.0;
+            let s2 = s2l[i] > 0.0;
+            let known1 = s1 | (u1l[i] <= p1);
+            let known2 = s2 | (u2l[i] <= p2);
+            let v1 = if s1 { v1l[i] } else { 0.0 };
+            let v2 = if s2 { v2l[i] } else { 0.0 };
+            let both = (v1.max(v2) - (v1 * (1.0 - p2) + v2 * (1.0 - p1)) / denom) / (p1 * p2);
+            out[i] = if known1 {
+                if known2 {
+                    both
+                } else {
+                    v1 / (p1 * denom)
+                }
+            } else if known2 {
+                v2 / (p2 * denom)
+            } else {
+                0.0
+            };
+        }
     }
 }
 
@@ -412,5 +621,135 @@ mod tests {
         assert!(OrHtKnownSeeds.properties().unbiased);
         assert!(OrLKnownSeeds.properties().pareto_optimal);
         assert!(OrUKnownSeeds.properties().pareto_optimal);
+    }
+
+    /// Deterministic adversarial binary batch: thresholds on both sides of 1,
+    /// all four value patterns, and seeds in both the revealed-zero (low) and
+    /// no-information (high) regions, at lengths exercising chunk boundaries.
+    fn adversarial_binary_batch(len: usize) -> Vec<WeightedOutcome> {
+        let taus = [(4.0, 2.0), (1.5, 3.0), (1.25, 8.0)];
+        (0..len)
+            .map(|k| {
+                let (t1, t2) = taus[k % taus.len()];
+                let entry = |t: f64, v: f64, low: bool| {
+                    let p = (1.0 / t).min(1.0);
+                    let seed = if low { p * 0.5 } else { p + (1.0 - p) * 0.5 };
+                    WeightedEntry {
+                        tau_star: t,
+                        seed: Some(seed),
+                        // Sampled iff the value is 1 and the seed is low.
+                        value: (v == 1.0 && low).then_some(v),
+                    }
+                };
+                let v1 = f64::from(u32::from(k % 3 == 0));
+                let v2 = f64::from(u32::from(k % 5 != 0));
+                WeightedOutcome::new(vec![entry(t1, v1, k % 2 == 0), entry(t2, v2, k % 4 < 2)])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn known_seed_or_lane_kernels_bit_identical_to_scalar() {
+        use pie_sampling::WeightedLanes;
+        for len in [0usize, 1, 7, 8, 9, 16, 33] {
+            let outcomes = adversarial_binary_batch(len);
+            let mut lanes = WeightedLanes::new();
+            lanes.fill_from_outcomes(&outcomes);
+            let mut out = vec![f64::NAN; len];
+            for est in [
+                Box::new(OrHtKnownSeeds) as Box<dyn Estimator<WeightedOutcome>>,
+                Box::new(OrLKnownSeeds),
+                Box::new(OrUKnownSeeds),
+            ] {
+                est.estimate_lanes(&lanes, &mut out);
+                for (k, o) in outcomes.iter().enumerate() {
+                    assert_eq!(
+                        out[k].to_bits(),
+                        est.estimate(o).to_bits(),
+                        "{} k={k} len={len}",
+                        est.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ht_known_seeds_lane_kernel_handles_r3() {
+        use pie_sampling::WeightedLanes;
+        let outcomes: Vec<WeightedOutcome> = (0..19)
+            .map(|k| {
+                WeightedOutcome::new(
+                    (0..3)
+                        .map(|j| {
+                            let t = 2.0 + j as f64;
+                            let p = 1.0 / t;
+                            let low = (k + j) % 3 != 0;
+                            let one = (k + 2 * j) % 4 != 0;
+                            WeightedEntry {
+                                tau_star: t,
+                                seed: Some(if low { p * 0.5 } else { p + (1.0 - p) * 0.5 }),
+                                value: (one && low).then_some(1.0),
+                            }
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let mut lanes = WeightedLanes::new();
+        lanes.fill_from_outcomes(&outcomes);
+        let mut out = vec![f64::NAN; outcomes.len()];
+        OrHtKnownSeeds.estimate_lanes(&lanes, &mut out);
+        for (k, o) in outcomes.iter().enumerate() {
+            assert_eq!(
+                out[k].to_bits(),
+                OrHtKnownSeeds.estimate(o).to_bits(),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "visible seeds")]
+    fn unknown_seeds_rejected_by_lane_kernel() {
+        use pie_sampling::WeightedLanes;
+        let o = WeightedOutcome::new(vec![
+            WeightedEntry {
+                tau_star: 2.0,
+                seed: None,
+                value: None,
+            },
+            WeightedEntry {
+                tau_star: 2.0,
+                seed: None,
+                value: Some(1.0),
+            },
+        ]);
+        let mut lanes = WeightedLanes::new();
+        lanes.fill_from_outcomes(std::slice::from_ref(&o));
+        let mut out = vec![0.0; 1];
+        OrLKnownSeeds.estimate_lanes(&lanes, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "0/1 values")]
+    fn non_binary_values_rejected_by_lane_kernel() {
+        use pie_sampling::WeightedLanes;
+        let o = WeightedOutcome::new(vec![
+            WeightedEntry {
+                tau_star: 2.0,
+                seed: Some(0.1),
+                value: Some(2.0),
+            },
+            WeightedEntry {
+                tau_star: 2.0,
+                seed: Some(0.9),
+                value: None,
+            },
+        ]);
+        let mut lanes = WeightedLanes::new();
+        lanes.fill_from_outcomes(std::slice::from_ref(&o));
+        let mut out = vec![0.0; 1];
+        OrUKnownSeeds.estimate_lanes(&lanes, &mut out);
     }
 }

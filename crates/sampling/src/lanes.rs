@@ -1,0 +1,628 @@
+//! Struct-of-arrays (SoA) outcome lanes: the vectorization-friendly batch
+//! layout consumed by the estimator lane kernels.
+//!
+//! The per-key outcome structs ([`ObliviousOutcome`], [`WeightedOutcome`])
+//! are array-of-structs: one heap-allocated `Vec` of entries per key, with
+//! `Option<f64>` fields whose discriminants interleave with the payload.
+//! That layout is convenient for single-outcome reasoning but hostile to the
+//! batched estimation hot path, where the same few fields are read for
+//! hundreds of thousands of keys per trial: every entry access hops
+//! pointers, and the `Option` matches defeat autovectorization.
+//!
+//! A lane container transposes one batch of outcomes into contiguous `f64`
+//! lanes, one slice per instance per field:
+//!
+//! * [`ObliviousLanes`] — inclusion probability, sampled value, and a 0/1
+//!   presence mask per instance;
+//! * [`WeightedLanes`] — PPS threshold τ*, seed, 0/1 seed-visibility mask,
+//!   sampled value, and a 0/1 presence mask per instance.
+//!
+//! Lanes are **built once per trial replay and shared by every registered
+//! estimator**; each estimator then runs a branch-light chunked kernel over
+//! the slices (see `pie_core`'s `estimate_lanes` overrides).  Placeholder
+//! slots (an unsampled value, a hidden seed) hold `0.0` and are guarded by
+//! the corresponding mask lane.
+//!
+//! Fill methods rewrite the lanes in place, so a pooled container performs
+//! no per-trial heap allocation after warm-up.  The [`LaneOutcome`] trait
+//! connects each outcome type to its lane container and lets generic code
+//! (the scalar `estimate_lanes` fallback in `pie_core`) rebuild individual
+//! outcomes from the lanes — bit-identically, since the lanes store exactly
+//! the fields of the originating outcomes.
+
+use crate::instance::Key;
+use crate::outcome::{ObliviousEntry, ObliviousOutcome, WeightedEntry, WeightedOutcome};
+use crate::sample::{InstanceSample, SampleScheme};
+use crate::seed::SeedAssignment;
+
+/// Connects an outcome type to its struct-of-arrays lane container.
+///
+/// This is what makes the lane path available behind dynamic dispatch: an
+/// object-safe `estimate_lanes` method can take `&O::Lanes` and, by default,
+/// replay the scalar estimator over outcomes rebuilt from the lanes — the
+/// bit-identical reference the chunked kernels are tested against.
+pub trait LaneOutcome: Sized {
+    /// The lane container holding a batch of these outcomes.
+    type Lanes;
+
+    /// Number of outcomes in the batch.
+    fn lanes_len(lanes: &Self::Lanes) -> usize;
+
+    /// A scratch outcome with the batch's instance count, ready for
+    /// [`read_lane`](Self::read_lane) to rewrite in place.
+    fn lane_scratch(lanes: &Self::Lanes) -> Self;
+
+    /// Rewrites `into` with outcome `index` of the batch.
+    fn read_lane(lanes: &Self::Lanes, index: usize, into: &mut Self);
+}
+
+/// SoA lanes for a batch of weight-oblivious outcomes.
+///
+/// Lane `j` of each field is a contiguous `&[f64]` of length [`len`](Self::len)
+/// covering instance `j` of every outcome in the batch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObliviousLanes {
+    instances: usize,
+    len: usize,
+    p: Vec<f64>,
+    value: Vec<f64>,
+    present: Vec<f64>,
+}
+
+impl ObliviousLanes {
+    /// Creates an empty container (zero outcomes, zero instances).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of outcomes in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of instances `r` per outcome.
+    #[must_use]
+    pub fn num_instances(&self) -> usize {
+        self.instances
+    }
+
+    /// Inclusion probabilities of instance `j`, one slot per outcome.
+    #[must_use]
+    pub fn p_lane(&self, j: usize) -> &[f64] {
+        &self.p[j * self.len..(j + 1) * self.len]
+    }
+
+    /// Sampled values of instance `j` (`0.0` placeholder when unsampled).
+    #[must_use]
+    pub fn value_lane(&self, j: usize) -> &[f64] {
+        &self.value[j * self.len..(j + 1) * self.len]
+    }
+
+    /// Presence mask of instance `j`: `1.0` where sampled, `0.0` otherwise.
+    #[must_use]
+    pub fn present_lane(&self, j: usize) -> &[f64] {
+        &self.present[j * self.len..(j + 1) * self.len]
+    }
+
+    fn reset(&mut self, instances: usize, len: usize) {
+        self.instances = instances;
+        self.len = len;
+        let total = instances * len;
+        self.p.resize(total, 0.0);
+        self.value.resize(total, 0.0);
+        self.present.resize(total, 0.0);
+    }
+
+    /// Transposes a slice of outcomes into the lanes, rewriting in place.
+    ///
+    /// # Panics
+    /// Panics if the outcomes do not all have the same instance count.
+    pub fn fill_from_outcomes(&mut self, outcomes: &[ObliviousOutcome]) {
+        let instances = outcomes.first().map_or(0, ObliviousOutcome::num_instances);
+        self.reset(instances, outcomes.len());
+        for (k, outcome) in outcomes.iter().enumerate() {
+            assert_eq!(
+                outcome.num_instances(),
+                instances,
+                "every outcome in a lane batch must have the same instance count"
+            );
+            for (j, e) in outcome.entries.iter().enumerate() {
+                let idx = j * self.len + k;
+                self.p[idx] = e.p;
+                match e.value {
+                    Some(v) => {
+                        self.value[idx] = v;
+                        self.present[idx] = 1.0;
+                    }
+                    None => {
+                        self.value[idx] = 0.0;
+                        self.present[idx] = 0.0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fills the lanes for `keys` directly from per-instance samples — the
+    /// trial-replay path, skipping the per-key outcome structs entirely.
+    /// `keys` must be strictly ascending (the sorted key-union invariant).
+    ///
+    /// # Panics
+    /// Panics if a sample was produced by a weighted scheme.
+    pub fn fill_from_samples(&mut self, keys: &[Key], samples: &[InstanceSample]) {
+        self.reset(samples.len(), keys.len());
+        let len = self.len;
+        for (j, sample) in samples.iter().enumerate() {
+            let p = match sample.scheme {
+                SampleScheme::ObliviousPoisson { p } => p,
+                other => {
+                    panic!("ObliviousLanes requires weight-oblivious samples, got {other:?}")
+                }
+            };
+            let base = j * len;
+            self.p[base..base + len].fill(p);
+            sample.fill_value_lane(
+                keys,
+                &mut self.value[base..base + len],
+                &mut self.present[base..base + len],
+            );
+        }
+    }
+
+    /// Rewrites `into` with outcome `index` of the batch.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn read_outcome(&self, index: usize, into: &mut ObliviousOutcome) {
+        assert!(index < self.len, "outcome index {index} out of range");
+        into.entries.resize(
+            self.instances,
+            ObliviousEntry {
+                p: 1.0,
+                value: None,
+            },
+        );
+        for (j, e) in into.entries.iter_mut().enumerate() {
+            let idx = j * self.len + index;
+            e.p = self.p[idx];
+            e.value = (self.present[idx] != 0.0).then(|| self.value[idx]);
+        }
+    }
+}
+
+impl LaneOutcome for ObliviousOutcome {
+    type Lanes = ObliviousLanes;
+
+    fn lanes_len(lanes: &ObliviousLanes) -> usize {
+        lanes.len()
+    }
+
+    fn lane_scratch(lanes: &ObliviousLanes) -> Self {
+        ObliviousOutcome {
+            entries: vec![
+                ObliviousEntry {
+                    p: 1.0,
+                    value: None,
+                };
+                lanes.num_instances()
+            ],
+        }
+    }
+
+    fn read_lane(lanes: &ObliviousLanes, index: usize, into: &mut Self) {
+        lanes.read_outcome(index, into);
+    }
+}
+
+/// SoA lanes for a batch of weighted (PPS) outcomes.
+///
+/// Lane `j` of each field is a contiguous `&[f64]` of length [`len`](Self::len)
+/// covering instance `j` of every outcome in the batch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WeightedLanes {
+    instances: usize,
+    len: usize,
+    tau: Vec<f64>,
+    seed: Vec<f64>,
+    seed_known: Vec<f64>,
+    value: Vec<f64>,
+    present: Vec<f64>,
+}
+
+impl WeightedLanes {
+    /// Creates an empty container (zero outcomes, zero instances).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of outcomes in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of instances `r` per outcome.
+    #[must_use]
+    pub fn num_instances(&self) -> usize {
+        self.instances
+    }
+
+    /// PPS thresholds τ* of instance `j`, one slot per outcome.
+    #[must_use]
+    pub fn tau_lane(&self, j: usize) -> &[f64] {
+        &self.tau[j * self.len..(j + 1) * self.len]
+    }
+
+    /// Seeds of instance `j` (`0.0` placeholder when hidden).
+    #[must_use]
+    pub fn seed_lane(&self, j: usize) -> &[f64] {
+        &self.seed[j * self.len..(j + 1) * self.len]
+    }
+
+    /// Seed-visibility mask of instance `j`: `1.0` where the seed is known.
+    #[must_use]
+    pub fn seed_known_lane(&self, j: usize) -> &[f64] {
+        &self.seed_known[j * self.len..(j + 1) * self.len]
+    }
+
+    /// Sampled values of instance `j` (`0.0` placeholder when unsampled).
+    #[must_use]
+    pub fn value_lane(&self, j: usize) -> &[f64] {
+        &self.value[j * self.len..(j + 1) * self.len]
+    }
+
+    /// Presence mask of instance `j`: `1.0` where sampled, `0.0` otherwise.
+    #[must_use]
+    pub fn present_lane(&self, j: usize) -> &[f64] {
+        &self.present[j * self.len..(j + 1) * self.len]
+    }
+
+    fn reset(&mut self, instances: usize, len: usize) {
+        self.instances = instances;
+        self.len = len;
+        let total = instances * len;
+        self.tau.resize(total, 0.0);
+        self.seed.resize(total, 0.0);
+        self.seed_known.resize(total, 0.0);
+        self.value.resize(total, 0.0);
+        self.present.resize(total, 0.0);
+    }
+
+    /// Transposes a slice of outcomes into the lanes, rewriting in place.
+    ///
+    /// # Panics
+    /// Panics if the outcomes do not all have the same instance count.
+    pub fn fill_from_outcomes(&mut self, outcomes: &[WeightedOutcome]) {
+        let instances = outcomes.first().map_or(0, WeightedOutcome::num_instances);
+        self.reset(instances, outcomes.len());
+        for (k, outcome) in outcomes.iter().enumerate() {
+            assert_eq!(
+                outcome.num_instances(),
+                instances,
+                "every outcome in a lane batch must have the same instance count"
+            );
+            for (j, e) in outcome.entries.iter().enumerate() {
+                let idx = j * self.len + k;
+                self.tau[idx] = e.tau_star;
+                match e.seed {
+                    Some(u) => {
+                        self.seed[idx] = u;
+                        self.seed_known[idx] = 1.0;
+                    }
+                    None => {
+                        self.seed[idx] = 0.0;
+                        self.seed_known[idx] = 0.0;
+                    }
+                }
+                match e.value {
+                    Some(v) => {
+                        self.value[idx] = v;
+                        self.present[idx] = 1.0;
+                    }
+                    None => {
+                        self.value[idx] = 0.0;
+                        self.present[idx] = 0.0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fills the lanes for `keys` from PPS-per-instance samples with one
+    /// shared threshold `tau_star` — the trial-replay path of the weighted
+    /// pipeline.  Instance `j`'s seed for a key is `seeds.visible_seed(key,
+    /// j)`, exactly as the per-key outcome assembly wrote it.  `keys` must be
+    /// strictly ascending (the sorted key-union invariant).
+    pub fn fill_pps(
+        &mut self,
+        keys: &[Key],
+        samples: &[InstanceSample],
+        seeds: &SeedAssignment,
+        tau_star: f64,
+    ) {
+        self.reset(samples.len(), keys.len());
+        let len = self.len;
+        for (j, sample) in samples.iter().enumerate() {
+            let base = j * len;
+            self.tau[base..base + len].fill(tau_star);
+            for (i, &key) in keys.iter().enumerate() {
+                match seeds.visible_seed(key, j as u64) {
+                    Some(u) => {
+                        self.seed[base + i] = u;
+                        self.seed_known[base + i] = 1.0;
+                    }
+                    None => {
+                        self.seed[base + i] = 0.0;
+                        self.seed_known[base + i] = 0.0;
+                    }
+                }
+            }
+            sample.fill_value_lane(
+                keys,
+                &mut self.value[base..base + len],
+                &mut self.present[base..base + len],
+            );
+        }
+    }
+
+    /// Rewrites `into` with outcome `index` of the batch.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn read_outcome(&self, index: usize, into: &mut WeightedOutcome) {
+        assert!(index < self.len, "outcome index {index} out of range");
+        into.entries.resize(
+            self.instances,
+            WeightedEntry {
+                tau_star: 1.0,
+                seed: None,
+                value: None,
+            },
+        );
+        for (j, e) in into.entries.iter_mut().enumerate() {
+            let idx = j * self.len + index;
+            e.tau_star = self.tau[idx];
+            e.seed = (self.seed_known[idx] != 0.0).then(|| self.seed[idx]);
+            e.value = (self.present[idx] != 0.0).then(|| self.value[idx]);
+        }
+    }
+}
+
+impl LaneOutcome for WeightedOutcome {
+    type Lanes = WeightedLanes;
+
+    fn lanes_len(lanes: &WeightedLanes) -> usize {
+        lanes.len()
+    }
+
+    fn lane_scratch(lanes: &WeightedLanes) -> Self {
+        WeightedOutcome {
+            entries: vec![
+                WeightedEntry {
+                    tau_star: 1.0,
+                    seed: None,
+                    value: None,
+                };
+                lanes.num_instances()
+            ],
+        }
+    }
+
+    fn read_lane(lanes: &WeightedLanes, index: usize, into: &mut Self) {
+        lanes.read_outcome(index, into);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use crate::poisson::{ObliviousPoissonSampler, PpsPoissonSampler};
+    use crate::sample::SampleScheme;
+
+    fn oblivious_batch() -> Vec<ObliviousOutcome> {
+        vec![
+            ObliviousOutcome::new(vec![
+                ObliviousEntry {
+                    p: 0.5,
+                    value: Some(3.0),
+                },
+                ObliviousEntry {
+                    p: 0.4,
+                    value: None,
+                },
+            ]),
+            ObliviousOutcome::new(vec![
+                ObliviousEntry {
+                    p: 0.5,
+                    value: None,
+                },
+                ObliviousEntry {
+                    p: 0.4,
+                    value: Some(0.0),
+                },
+            ]),
+        ]
+    }
+
+    #[test]
+    fn oblivious_lanes_round_trip_outcomes() {
+        let batch = oblivious_batch();
+        let mut lanes = ObliviousLanes::new();
+        lanes.fill_from_outcomes(&batch);
+        assert_eq!(lanes.len(), 2);
+        assert_eq!(lanes.num_instances(), 2);
+        assert_eq!(lanes.p_lane(0), &[0.5, 0.5]);
+        assert_eq!(lanes.p_lane(1), &[0.4, 0.4]);
+        assert_eq!(lanes.value_lane(0), &[3.0, 0.0]);
+        assert_eq!(lanes.present_lane(0), &[1.0, 0.0]);
+        // A sampled zero value stays distinguishable from an unsampled slot.
+        assert_eq!(lanes.value_lane(1), &[0.0, 0.0]);
+        assert_eq!(lanes.present_lane(1), &[0.0, 1.0]);
+        let mut scratch = ObliviousOutcome::lane_scratch(&lanes);
+        for (k, expected) in batch.iter().enumerate() {
+            ObliviousOutcome::read_lane(&lanes, k, &mut scratch);
+            assert_eq!(&scratch, expected, "outcome {k}");
+        }
+    }
+
+    #[test]
+    fn oblivious_lanes_from_samples_match_outcome_assembly() {
+        let instances = [
+            Instance::from_pairs((0..40u64).map(|k| (k, 1.0 + (k % 5) as f64))),
+            Instance::from_pairs((10..50u64).map(|k| (k, 2.0 + (k % 3) as f64))),
+        ];
+        let universe: Vec<Key> = (0..50u64).collect();
+        let seeds = SeedAssignment::independent_known(7);
+        let sampler = ObliviousPoissonSampler::new(0.6);
+        let samples: Vec<InstanceSample> = instances
+            .iter()
+            .enumerate()
+            .map(|(j, inst)| sampler.sample(inst, &universe, &seeds, j as u64))
+            .collect();
+        let mut lanes = ObliviousLanes::new();
+        lanes.fill_from_samples(&universe, &samples);
+        let mut scratch = ObliviousOutcome::lane_scratch(&lanes);
+        for (i, &key) in universe.iter().enumerate() {
+            ObliviousOutcome::read_lane(&lanes, i, &mut scratch);
+            assert_eq!(
+                scratch,
+                ObliviousOutcome::from_samples(key, &samples),
+                "key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_lanes_round_trip_outcomes() {
+        let batch = vec![
+            WeightedOutcome::new(vec![
+                WeightedEntry {
+                    tau_star: 10.0,
+                    seed: Some(0.25),
+                    value: Some(4.0),
+                },
+                WeightedEntry {
+                    tau_star: 8.0,
+                    seed: Some(0.5),
+                    value: None,
+                },
+            ]),
+            WeightedOutcome::new(vec![
+                WeightedEntry {
+                    tau_star: 10.0,
+                    seed: None,
+                    value: None,
+                },
+                WeightedEntry {
+                    tau_star: 8.0,
+                    seed: Some(0.9),
+                    value: Some(0.0),
+                },
+            ]),
+        ];
+        let mut lanes = WeightedLanes::new();
+        lanes.fill_from_outcomes(&batch);
+        assert_eq!(lanes.tau_lane(0), &[10.0, 10.0]);
+        assert_eq!(lanes.seed_lane(0), &[0.25, 0.0]);
+        assert_eq!(lanes.seed_known_lane(0), &[1.0, 0.0]);
+        assert_eq!(lanes.present_lane(1), &[0.0, 1.0]);
+        let mut scratch = WeightedOutcome::lane_scratch(&lanes);
+        for (k, expected) in batch.iter().enumerate() {
+            WeightedOutcome::read_lane(&lanes, k, &mut scratch);
+            assert_eq!(&scratch, expected, "outcome {k}");
+        }
+    }
+
+    #[test]
+    fn weighted_pps_fill_matches_outcome_assembly() {
+        let tau = 6.0;
+        let instances = [
+            Instance::from_pairs((0..60u64).map(|k| (k, 0.5 + (k % 9) as f64))),
+            Instance::from_pairs((20..80u64).map(|k| (k, 1.0 + (k % 4) as f64))),
+        ];
+        let seeds = SeedAssignment::independent_known(11);
+        let sampler = PpsPoissonSampler::new(tau);
+        let samples: Vec<InstanceSample> = instances
+            .iter()
+            .enumerate()
+            .map(|(j, inst)| sampler.sample(inst, &seeds, j as u64))
+            .collect();
+        let keys = crate::multi::sampled_key_union(&samples);
+        let mut lanes = WeightedLanes::new();
+        lanes.fill_pps(&keys, &samples, &seeds, tau);
+        assert_eq!(lanes.len(), keys.len());
+        let mut scratch = WeightedOutcome::lane_scratch(&lanes);
+        for (i, &key) in keys.iter().enumerate() {
+            WeightedOutcome::read_lane(&lanes, i, &mut scratch);
+            assert_eq!(
+                scratch,
+                WeightedOutcome::from_samples(key, &samples, &seeds),
+                "key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn lanes_are_reusable_across_shrinking_batches() {
+        let batch = oblivious_batch();
+        let mut lanes = ObliviousLanes::new();
+        lanes.fill_from_outcomes(&batch);
+        lanes.fill_from_outcomes(&batch[..1]);
+        assert_eq!(lanes.len(), 1);
+        assert_eq!(lanes.value_lane(0), &[3.0]);
+        lanes.fill_from_outcomes(&[]);
+        assert!(lanes.is_empty());
+        assert_eq!(lanes.num_instances(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same instance count")]
+    fn ragged_batches_rejected() {
+        let mut lanes = ObliviousLanes::new();
+        lanes.fill_from_outcomes(&[
+            ObliviousOutcome::new(vec![ObliviousEntry {
+                p: 0.5,
+                value: None,
+            }]),
+            ObliviousOutcome::new(vec![
+                ObliviousEntry {
+                    p: 0.5,
+                    value: None,
+                },
+                ObliviousEntry {
+                    p: 0.5,
+                    value: None,
+                },
+            ]),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight-oblivious")]
+    fn oblivious_fill_rejects_weighted_samples() {
+        let s = InstanceSample::new(
+            0,
+            SampleScheme::PpsPoisson { tau_star: 2.0 },
+            2.0,
+            [(1, 1.0)],
+        );
+        let mut lanes = ObliviousLanes::new();
+        lanes.fill_from_samples(&[1], std::slice::from_ref(&s));
+    }
+}

@@ -25,7 +25,8 @@
 //! * multi-instance drivers and per-key outcomes ([`multi`], [`outcome`]) —
 //!   the inputs consumed by the estimators in the `pie-core` crate;
 //! * the borrowed, allocation-free outcome accessors ([`view`]) read by the
-//!   batched estimation hot path.
+//!   batched estimation hot path, and the struct-of-arrays outcome lanes
+//!   ([`lanes`]) that the vectorized lane kernels consume.
 //!
 //! Every sketch family — plus [`InstanceSample`] and [`SeedAssignment`] —
 //! implements the `pie-store` snapshot codec (`Encode`/`Decode`, defined
@@ -48,6 +49,7 @@
 pub mod bottomk;
 pub mod hash;
 pub mod instance;
+pub mod lanes;
 pub mod multi;
 pub mod outcome;
 pub mod poisson;
@@ -63,6 +65,7 @@ pub use bottomk::{
 };
 pub use hash::Hasher64;
 pub use instance::{key_union, value_vector, Instance, Key};
+pub use lanes::{LaneOutcome, ObliviousLanes, WeightedLanes};
 pub use multi::{
     oblivious_outcomes, sample_all, sample_all_with_universe, sampled_key_union, weighted_outcomes,
 };

@@ -154,6 +154,37 @@ impl InstanceSample {
         &self.entries
     }
 
+    /// Writes this sample's value/presence lanes for `keys` in one merge-join
+    /// pass: `value[i]` gets the sampled value of `keys[i]` (or `0.0`), and
+    /// `present[i]` gets `1.0` where sampled, `0.0` otherwise.
+    ///
+    /// `keys` must be sorted ascending (the key-union invariant); the walk is
+    /// then `O(keys.len() + sample_len)` instead of a binary search per key.
+    ///
+    /// # Panics
+    /// Panics if the output slices do not match `keys` in length.
+    pub fn fill_value_lane(&self, keys: &[Key], value: &mut [f64], present: &mut [f64]) {
+        assert_eq!(keys.len(), value.len(), "value lane length mismatch");
+        assert_eq!(keys.len(), present.len(), "present lane length mismatch");
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "fill_value_lane requires strictly ascending keys"
+        );
+        let mut cursor = 0usize;
+        for ((slot_v, slot_m), &key) in value.iter_mut().zip(present.iter_mut()).zip(keys) {
+            while cursor < self.entries.len() && self.entries[cursor].0 < key {
+                cursor += 1;
+            }
+            if cursor < self.entries.len() && self.entries[cursor].0 == key {
+                *slot_v = self.entries[cursor].1;
+                *slot_m = 1.0;
+            } else {
+                *slot_v = 0.0;
+                *slot_m = 0.0;
+            }
+        }
+    }
+
     /// Sampled keys sorted ascending (deterministic order for reports/tests).
     #[must_use]
     pub fn sorted_keys(&self) -> Vec<Key> {

@@ -80,6 +80,69 @@ pub trait Sketch: Send {
     /// Number of records counted since the last reset/finalize (weighted
     /// schemes count positive-weight records only).
     fn ingested(&self) -> usize;
+
+    /// Merges a group of sibling sketches — shards of the same logical stream
+    /// — leaving the combined result in `group[0]` and draining the rest.
+    ///
+    /// The default implementation runs the balanced binary merge tree that
+    /// [`merge_tree`] always used, so schemes whose merge is order-sensitive
+    /// (VarOpt draws fresh randomness per sketch) keep their exact historical
+    /// merge order.  Schemes whose retained state is a pure function of the
+    /// record *set* (bottom-k) override this with a single k-bounded
+    /// selection over all candidates, which costs O(total candidates)
+    /// comparisons instead of O(shards · k log k) re-heapification.
+    fn merge_many(group: &mut [&mut Self])
+    where
+        Self: Sized,
+    {
+        let mut step = 1;
+        while step < group.len() {
+            let mut i = 0;
+            while i + step < group.len() {
+                let (left, right) = group.split_at_mut(i + step);
+                left[i].merge(&mut *right[0]);
+                i += 2 * step;
+            }
+            step *= 2;
+        }
+    }
+
+    /// Resets and sequentially ingests the key-partitioned parts of **one**
+    /// logical stream into this group of sketches (`group[s]` receives
+    /// `parts[s]`), on the calling thread.
+    ///
+    /// This is the single-worker execution of a sharded ingest pass: the
+    /// default implementation ingests each shard independently, producing
+    /// exactly the sketch states the one-thread-per-shard path produces.
+    /// Schemes whose retained state is a pure function of the record set may
+    /// override it to share retention work across the group (bottom-k routes
+    /// all parts through one bounded candidate set).  After an overriding
+    /// scheme's group ingest, the individual sketches are only meaningful
+    /// merged together via [`merge_many`](Sketch::merge_many) over the full
+    /// group — which is what the sharded ingest choreography does.
+    ///
+    /// # Panics
+    /// Panics if `group` and `parts` have different lengths.
+    fn ingest_group(
+        group: &mut [&mut Self],
+        parts: &[&[(Key, f64)]],
+        seeds: &SeedAssignment,
+        instance_index: u64,
+    ) where
+        Self: Sized,
+    {
+        assert_eq!(
+            group.len(),
+            parts.len(),
+            "group ingest needs one sketch per stream part"
+        );
+        for (sketch, part) in group.iter_mut().zip(parts) {
+            sketch.reset(seeds, instance_index);
+            for &(key, value) in *part {
+                sketch.ingest(key, value);
+            }
+        }
+    }
 }
 
 /// A sampling scheme whose per-instance summarization runs as a streaming,
@@ -139,27 +202,20 @@ pub mod sketch_tag {
     pub const VAR_OPT: u32 = 4;
 }
 
-/// Merges a slice of sibling sketches with a balanced binary merge tree,
-/// leaving the combined result in `sketches[0]` (all others are drained).
+/// Merges a slice of sibling sketches, leaving the combined result in
+/// `sketches[0]` (all others are drained).
 ///
-/// The tree shape mirrors how shard merges run in a distributed reduce: at
-/// each round, shard `i` absorbs shard `i + step`.  For deterministic,
-/// hash-seeded schemes the result is independent of the merge order; the
-/// tree keeps the depth logarithmic for schemes where merge cost grows with
-/// retained state.
+/// Delegates to [`Sketch::merge_many`]: the default is a balanced binary
+/// merge tree (shard `i` absorbs shard `i + step` per round, as in a
+/// distributed reduce), while set-determined schemes such as bottom-k
+/// substitute a single k-bounded selection over all candidates.  For
+/// deterministic, hash-seeded schemes the finalized result is independent of
+/// the merge strategy.
 ///
 /// Does nothing on an empty slice.
 pub fn merge_tree<K: Sketch>(sketches: &mut [K]) {
-    let mut step = 1;
-    while step < sketches.len() {
-        let mut i = 0;
-        while i + step < sketches.len() {
-            let (left, right) = sketches.split_at_mut(i + step);
-            left[i].merge(&mut right[0]);
-            i += 2 * step;
-        }
-        step *= 2;
-    }
+    let mut group: Vec<&mut K> = sketches.iter_mut().collect();
+    K::merge_many(&mut group);
 }
 
 #[cfg(test)]

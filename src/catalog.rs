@@ -448,10 +448,10 @@ impl CatalogEntry {
         let plan = TrialPlan::new(self.trials, self.base_salt, threads).with_observer(observer);
         let samples = &self.samples;
         match (self.scheme, estimators) {
-            (Scheme::ObliviousPoisson { p }, EstimatorSet::Oblivious(registry)) => Ok(
+            (Scheme::ObliviousPoisson { .. }, EstimatorSet::Oblivious(registry)) => Ok(
                 // Borrow the finalized samples: the serving hot path must
                 // not deep-copy every trial's entries per query.
-                run_oblivious_with(&self.dataset, p, &registry, &statistic, &plan, |_worker| {
+                run_oblivious_with(&self.dataset, &registry, &statistic, &plan, |_worker| {
                     move |t, _seeds: &SeedAssignment| samples[t as usize].as_slice()
                 }),
             ),
@@ -598,7 +598,7 @@ impl CatalogEntry {
         // `suite()` regime-checks every set against this entry's scheme, so
         // the sets are homogeneous and match the arm we dispatch to.
         match self.scheme {
-            Scheme::ObliviousPoisson { p } => {
+            Scheme::ObliviousPoisson { .. } => {
                 let combos: Vec<_> = resolved
                     .iter()
                     .map(|(set, statistic)| match set {
@@ -610,7 +610,6 @@ impl CatalogEntry {
                     .collect();
                 Ok(run_oblivious_multi_with(
                     &self.dataset,
-                    p,
                     &combos,
                     &plan,
                     |_worker| move |t, _seeds: &SeedAssignment| samples[t as usize].as_slice(),

@@ -580,10 +580,9 @@ fn estimate_from_samples(
     let plan = TrialPlan::new(config.trials, config.base_salt, config.threads);
     let samples = &samples;
     match (config.scheme, config.estimators) {
-        (Scheme::ObliviousPoisson { p }, EstimatorSet::Oblivious(registry)) => {
+        (Scheme::ObliviousPoisson { .. }, EstimatorSet::Oblivious(registry)) => {
             Ok(run_oblivious_with(
                 &config.dataset,
-                p,
                 &registry,
                 &config.statistic,
                 &plan,

@@ -8,11 +8,13 @@
 //! 1. a [`Dataset`] (from `pie-datagen` or your own instances),
 //! 2. a sampling [`Scheme`] applied independently per instance
 //!    (`pie-sampling`),
-//! 3. per-key outcome assembly into reusable buffers — entry vectors are
-//!    rewritten in place, so the per-key hot loop performs **no per-outcome
-//!    heap allocation** after warm-up,
-//! 4. a registry of estimators run over each outcome batch through the
-//!    batched hot path ([`Estimator::estimate_batch`]),
+//! 3. per-trial outcome assembly into reusable struct-of-arrays **lanes**
+//!    ([`ObliviousLanes`]/[`WeightedLanes`]): each per-instance field becomes
+//!    one contiguous `f64` slice, built once per trial straight from the
+//!    samples and shared by every registered estimator, so the hot loop
+//!    performs **no per-outcome heap allocation** after warm-up,
+//! 4. a registry of estimators run over the shared lanes through the
+//!    vectorized hot path ([`Estimator::estimate_lanes`]),
 //! 5. the sum aggregate over selected keys, repeated over Monte-Carlo trials
 //!    on the parallel deterministic trial engine ([`TrialRunner`], thread
 //!    count via [`Pipeline::threads`] or `PIE_THREADS` — reports are
@@ -44,8 +46,8 @@ use pie_analysis::{Evaluation, RunningStats, Table, TrialRunner};
 use pie_core::{functions, EstimatorRegistry};
 use pie_datagen::Dataset;
 use pie_sampling::{
-    sample_all, sample_all_with_universe, sampled_key_union, InstanceSample, Key, ObliviousEntry,
-    ObliviousOutcome, ObliviousPoissonSampler, PpsPoissonSampler, SeedAssignment, WeightedEntry,
+    sample_all, sample_all_with_universe, sampled_key_union, InstanceSample, ObliviousLanes,
+    ObliviousOutcome, ObliviousPoissonSampler, PpsPoissonSampler, SeedAssignment, WeightedLanes,
     WeightedOutcome,
 };
 
@@ -519,7 +521,6 @@ impl Pipeline {
                 let universe = dataset.keys();
                 Ok(run_oblivious_with(
                     &dataset,
-                    p,
                     &registry,
                     &statistic,
                     &plan,
@@ -648,10 +649,10 @@ fn summarize(
 }
 
 /// Per-worker scratch state of the oblivious estimation core: the worker's
-/// sampling closure plus its reusable outcome and estimate buffers.
+/// sampling closure plus its reusable lane and estimate buffers.
 struct ObliviousWorker<G> {
     sample_trial: G,
-    outcomes: Vec<ObliviousOutcome>,
+    lanes: ObliviousLanes,
     estimates: Vec<f64>,
 }
 
@@ -671,7 +672,6 @@ struct ObliviousWorker<G> {
 /// so replaying finalized samples costs no per-trial deep copy.
 pub(crate) fn run_oblivious_with<R, G, F>(
     dataset: &Dataset,
-    p: f64,
     registry: &EstimatorRegistry<ObliviousOutcome>,
     statistic: &Statistic,
     plan: &TrialPlan,
@@ -682,7 +682,7 @@ where
     G: FnMut(u64, &SeedAssignment) -> R + Send,
     R: AsRef<[InstanceSample]>,
 {
-    run_oblivious_multi_with(dataset, p, &[(registry, statistic)], plan, make_sampler)
+    run_oblivious_multi_with(dataset, &[(registry, statistic)], plan, make_sampler)
         .pop()
         .expect("one combination in, one report out")
 }
@@ -697,7 +697,6 @@ where
 /// the corresponding single-combination [`run_oblivious_with`] call.
 pub(crate) fn run_oblivious_multi_with<R, G, F>(
     dataset: &Dataset,
-    p: f64,
     combos: &[(&EstimatorRegistry<ObliviousOutcome>, &Statistic)],
     plan: &TrialPlan,
     make_sampler: F,
@@ -715,7 +714,6 @@ where
     // universe the sampling stage (batch or streaming) covers.
     let keys = dataset.keys();
     let keys = &keys;
-    let r = dataset.num_instances();
     let base_salt = plan.base_salt;
     // One statistics lane per (combination, estimator), flattened in
     // combination order; chunk accumulators merge per lane exactly as in a
@@ -727,26 +725,24 @@ where
     let stats = plan.runner.run(
         plan.trials,
         lanes,
-        // Reusable per-worker buffers: one outcome per key, rewritten in
-        // place every trial, so the hot loop stays allocation-free.
+        // Reusable per-worker buffers: the lane vectors are resized once and
+        // rewritten in place every trial, so the hot loop stays
+        // allocation-free.
         |worker| ObliviousWorker {
             sample_trial: make_sampler(worker),
-            outcomes: keys
-                .iter()
-                .map(|_| ObliviousOutcome::new(vec![ObliviousEntry { p, value: None }; r]))
-                .collect(),
+            lanes: ObliviousLanes::new(),
             estimates: vec![0.0; keys.len()],
         },
         |w, t, stats| {
             let replay_start = stages.map(|_| std::time::Instant::now());
             let seeds = SeedAssignment::independent_known(base_salt.wrapping_add(t));
             let samples = (w.sample_trial)(t, &seeds);
-            fill_oblivious_outcomes(keys, samples.as_ref(), &mut w.outcomes);
+            w.lanes.fill_from_samples(keys, samples.as_ref());
             let batch_start = stages.map(|_| std::time::Instant::now());
             let mut lane = 0;
             for (registry, _) in combos {
                 for (_, estimator) in registry.iter() {
-                    estimator.estimate_batch(&w.outcomes, &mut w.estimates);
+                    estimator.estimate_lanes(&w.lanes, &mut w.estimates);
                     stats[lane].push(w.estimates.iter().sum());
                     lane += 1;
                 }
@@ -778,7 +774,7 @@ where
 /// Per-worker scratch state of the weighted estimation core.
 struct WeightedWorker<G> {
     sample_trial: G,
-    pool: Vec<WeightedOutcome>,
+    lanes: WeightedLanes,
     estimates: Vec<f64>,
 }
 
@@ -829,7 +825,6 @@ where
         .iter()
         .map(|(_, statistic)| exact_truth(dataset, statistic))
         .collect();
-    let r = dataset.num_instances();
     let base_salt = plan.base_salt;
     let lanes: usize = combos.iter().map(|(registry, _)| registry.len()).sum();
     // Observation only; see `run_oblivious_multi_with`.
@@ -837,13 +832,13 @@ where
     let stats = plan.runner.run(
         plan.trials,
         lanes,
-        // Per-worker outcome pool: grows to the worker's largest per-trial
-        // key set, then is reused.  (Keys sampled nowhere contribute zero
-        // for nonnegative estimators, so each trial only assembles outcomes
+        // Per-worker lane buffers: grow to the worker's largest per-trial
+        // key set, then are reused.  (Keys sampled nowhere contribute zero
+        // for nonnegative estimators, so each trial only assembles lanes
         // for keys present in some sample.)
         |worker| WeightedWorker {
             sample_trial: make_sampler(worker),
-            pool: Vec::new(),
+            lanes: WeightedLanes::new(),
             estimates: Vec::new(),
         },
         |w, t, stats| {
@@ -852,14 +847,13 @@ where
             let samples = (w.sample_trial)(t, &seeds);
             let samples = samples.as_ref();
             let keys = sampled_key_union(samples);
-            grow_weighted_pool(&mut w.pool, keys.len(), r, tau_star);
-            fill_weighted_outcomes(&keys, samples, &seeds, tau_star, &mut w.pool[..keys.len()]);
+            w.lanes.fill_pps(&keys, samples, &seeds, tau_star);
             w.estimates.resize(keys.len(), 0.0);
             let batch_start = stages.map(|_| std::time::Instant::now());
             let mut lane = 0;
             for (registry, _) in combos {
                 for (_, estimator) in registry.iter() {
-                    estimator.estimate_batch(&w.pool[..keys.len()], &mut w.estimates[..keys.len()]);
+                    estimator.estimate_lanes(&w.lanes, &mut w.estimates[..keys.len()]);
                     stats[lane].push(w.estimates[..keys.len()].iter().sum());
                     lane += 1;
                 }
@@ -896,49 +890,6 @@ fn elapsed_nanos(from: std::time::Instant, to: std::time::Instant) -> u64 {
 /// Saturating nanoseconds since a stage boundary clock read.
 fn nanos_since(from: std::time::Instant) -> u64 {
     u64::try_from(from.elapsed().as_nanos()).unwrap_or(u64::MAX)
-}
-
-/// Rewrites each key's outcome entries in place from the trial's samples.
-fn fill_oblivious_outcomes(
-    keys: &[Key],
-    samples: &[InstanceSample],
-    outcomes: &mut [ObliviousOutcome],
-) {
-    for (&key, outcome) in keys.iter().zip(outcomes) {
-        for (entry, sample) in outcome.entries.iter_mut().zip(samples) {
-            entry.value = sample.value(key);
-        }
-    }
-}
-
-fn grow_weighted_pool(pool: &mut Vec<WeightedOutcome>, len: usize, r: usize, tau_star: f64) {
-    while pool.len() < len {
-        pool.push(WeightedOutcome::new(vec![
-            WeightedEntry {
-                tau_star,
-                seed: None,
-                value: None,
-            };
-            r
-        ]));
-    }
-}
-
-/// Rewrites pooled weighted outcomes in place for this trial's key set.
-fn fill_weighted_outcomes(
-    keys: &[Key],
-    samples: &[InstanceSample],
-    seeds: &SeedAssignment,
-    tau_star: f64,
-    outcomes: &mut [WeightedOutcome],
-) {
-    for (&key, outcome) in keys.iter().zip(outcomes) {
-        for ((j, entry), sample) in outcome.entries.iter_mut().enumerate().zip(samples) {
-            entry.tau_star = tau_star;
-            entry.seed = seeds.visible_seed(key, j as u64);
-            entry.value = sample.value(key);
-        }
-    }
 }
 
 #[cfg(test)]

@@ -45,8 +45,8 @@ use std::sync::Arc;
 
 use pie_datagen::{Dataset, ShardedStream};
 use pie_sampling::{
-    InstanceSample, ObliviousPoissonSampler, PpsPoissonSampler, SamplingScheme, SeedAssignment,
-    Sketch,
+    InstanceSample, Key, ObliviousPoissonSampler, PpsPoissonSampler, SamplingScheme,
+    SeedAssignment, Sketch,
 };
 
 use crate::pipeline::{
@@ -175,7 +175,6 @@ impl StreamPipeline {
                 let stream = &stream;
                 Ok(run_oblivious_with(
                     &dataset,
-                    p,
                     &registry,
                     &statistic,
                     &plan,
@@ -253,12 +252,45 @@ pub fn sketch_pools<S: SamplingScheme>(
         .collect()
 }
 
+/// How a sharded ingest pass executes its per-shard work.
+///
+/// The finalized samples are identical whichever strategy runs — strategy is
+/// an execution choice, never a statistical one — so [`Auto`] is the right
+/// default everywhere; the explicit variants exist for benchmarks and tests
+/// that must pin one path (e.g. exercising [`Threaded`] on a single-core CI
+/// runner, where [`Auto`] would pick [`Sequential`]).
+///
+/// [`Auto`]: IngestStrategy::Auto
+/// [`Sequential`]: IngestStrategy::Sequential
+/// [`Threaded`]: IngestStrategy::Threaded
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestStrategy {
+    /// [`Threaded`](IngestStrategy::Threaded) when the host has more than one
+    /// hardware thread and the stream has more than one shard, else
+    /// [`Sequential`](IngestStrategy::Sequential).
+    Auto,
+    /// All shards ingest on the calling thread via [`Sketch::ingest_group`],
+    /// which lets set-determined schemes (bottom-k) share one bounded
+    /// retention structure across the whole group instead of paying per-shard
+    /// retention that grows with the shard count.
+    Sequential,
+    /// One OS thread per shard, each covering all instances.
+    Threaded,
+}
+
+/// Cached hardware-parallelism probe for [`IngestStrategy::Auto`]: querying
+/// it per trial in the hot loop would be a syscall per pass.
+fn multi_core() -> bool {
+    use std::sync::OnceLock;
+    static MULTI_CORE: OnceLock<bool> = OnceLock::new();
+    *MULTI_CORE.get_or_init(|| std::thread::available_parallelism().is_ok_and(|n| n.get() > 1))
+}
+
 /// One sharded sampling pass over a record stream: resets the pooled
 /// sketches (layout `pools[shard][instance]`, from [`sketch_pools`]) to this
-/// randomization, ingests every shard's parts — one OS thread per shard,
-/// each covering all instances — merges the shard sketches with a binary
-/// merge tree per instance, and finalizes into one [`InstanceSample`] per
-/// instance.
+/// randomization, ingests every shard's parts ([`IngestStrategy::Auto`]),
+/// merges the shard sketches per instance via [`Sketch::merge_many`], and
+/// finalizes into one [`InstanceSample`] per instance.
 ///
 /// This is the single implementation of the sketch lifecycle choreography:
 /// the [`StreamPipeline`] hot loop calls it once per trial, and the
@@ -274,55 +306,92 @@ pub fn ingest_merge_finalize<K: Sketch>(
     pools: &mut [Vec<K>],
     seeds: &SeedAssignment,
 ) -> Vec<InstanceSample> {
+    ingest_merge_finalize_with(stream, pools, seeds, IngestStrategy::Auto)
+}
+
+/// [`ingest_merge_finalize`] with an explicit [`IngestStrategy`].
+///
+/// # Panics
+/// Panics if `pools` does not match the stream's `[shard][instance]` shape.
+pub fn ingest_merge_finalize_with<K: Sketch>(
+    stream: &ShardedStream,
+    pools: &mut [Vec<K>],
+    seeds: &SeedAssignment,
+    strategy: IngestStrategy,
+) -> Vec<InstanceSample> {
     let shards = stream.shards();
     let instances = stream.num_instances();
     assert!(
         pools.len() == shards && pools.iter().all(|column| column.len() == instances),
         "sketch pools must be [shard][instance]-shaped for this stream"
     );
-    let ingest_column = |s: usize, column: &mut Vec<K>| {
-        for (i, sketch) in column.iter_mut().enumerate() {
-            sketch.reset(seeds, i as u64);
-            for &(key, value) in stream.part(i, s) {
-                sketch.ingest(key, value);
-            }
-        }
+    let threaded = match strategy {
+        IngestStrategy::Auto => shards > 1 && multi_core(),
+        IngestStrategy::Sequential => false,
+        IngestStrategy::Threaded => true,
     };
-    if shards == 1 {
-        ingest_column(0, &mut pools[0]);
-    } else {
+    if threaded {
+        let ingest_column = |s: usize, column: &mut Vec<K>| {
+            for (i, sketch) in column.iter_mut().enumerate() {
+                sketch.reset(seeds, i as u64);
+                for &(key, value) in stream.part(i, s) {
+                    sketch.ingest(key, value);
+                }
+            }
+        };
         std::thread::scope(|scope| {
             for (s, column) in pools.iter_mut().enumerate() {
                 scope.spawn(move || ingest_column(s, column));
             }
         });
+    } else {
+        // Single-worker pass: hand each instance's whole shard group to the
+        // scheme at once so set-determined sketches can pool retention work.
+        let mut columns: Vec<std::slice::IterMut<'_, K>> =
+            pools.iter_mut().map(|column| column.iter_mut()).collect();
+        let mut group: Vec<&mut K> = Vec::with_capacity(shards);
+        let mut parts: Vec<&[(Key, f64)]> = Vec::with_capacity(shards);
+        for i in 0..instances {
+            group.clear();
+            group.extend(
+                columns
+                    .iter_mut()
+                    .map(|column| column.next().expect("pool column length checked above")),
+            );
+            parts.clear();
+            parts.extend((0..shards).map(|s| stream.part(i, s)));
+            K::ingest_group(&mut group, &parts, seeds, i as u64);
+        }
     }
     merge_finalize(pools)
 }
 
 /// The merge + finalize tail of one sharded sampling pass: combines the
-/// `pools[shard][instance]` sketches with a binary merge tree across the
-/// shard dimension and finalizes one [`InstanceSample`] per instance,
-/// draining every sketch.
+/// `pools[shard][instance]` sketches per instance via
+/// [`Sketch::merge_many`] — a balanced binary merge tree by default, a
+/// single k-bounded selection for bottom-k — and finalizes one
+/// [`InstanceSample`] per instance, draining every sketch.
 ///
 /// Factored out of [`ingest_merge_finalize`] so sketches restored from
 /// snapshot files — a resumed checkpoint, or shard snapshots written by
-/// other processes — flow through the *same* merge tree as live in-process
+/// other processes — flow through the *same* merge path as live in-process
 /// ingestion, which is what keeps cross-process reports bit-identical.
 pub fn merge_finalize<K: Sketch>(pools: &mut [Vec<K>]) -> Vec<InstanceSample> {
     let shards = pools.len();
-    // Binary merge tree across the shard dimension, per instance.
-    let mut step = 1;
-    while step < shards {
-        let mut s = 0;
-        while s + step < shards {
-            let (left, right) = pools.split_at_mut(s + step);
-            for (dst, src) in left[s].iter_mut().zip(right[0].iter_mut()) {
-                dst.merge(src);
-            }
-            s += 2 * step;
+    if shards > 1 {
+        let instances = pools.first().map_or(0, Vec::len);
+        let mut columns: Vec<std::slice::IterMut<'_, K>> =
+            pools.iter_mut().map(|column| column.iter_mut()).collect();
+        let mut group: Vec<&mut K> = Vec::with_capacity(shards);
+        for _ in 0..instances {
+            group.clear();
+            group.extend(
+                columns
+                    .iter_mut()
+                    .map(|column| column.next().expect("pool columns share a length")),
+            );
+            K::merge_many(&mut group);
         }
-        step *= 2;
     }
     pools[0].iter_mut().map(Sketch::finalize).collect()
 }
@@ -426,6 +495,50 @@ mod tests {
                 .run()
                 .unwrap();
             assert_eq!(streamed, batch, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn forced_ingest_strategies_are_bit_identical_across_shard_counts() {
+        use pie_sampling::{BottomKSampler, PpsPoissonSampler, PpsRanks};
+        let data = generate_two_hours(&TrafficConfig::small(3));
+        let seeds = SeedAssignment::independent_known(7);
+
+        fn all_strategies<S: SamplingScheme>(
+            scheme: &S,
+            stream: &ShardedStream,
+            seeds: &SeedAssignment,
+        ) -> [Vec<InstanceSample>; 3] {
+            [
+                IngestStrategy::Sequential,
+                IngestStrategy::Threaded,
+                IngestStrategy::Auto,
+            ]
+            .map(|strategy| {
+                let mut pools = sketch_pools(scheme, stream, seeds);
+                ingest_merge_finalize_with(stream, &mut pools, seeds, strategy)
+            })
+        }
+
+        let bottomk = BottomKSampler::new(PpsRanks, 128);
+        let pps = PpsPoissonSampler::new(50.0);
+        let bottomk_ref =
+            all_strategies(&bottomk, &ShardedStream::from_dataset(&data, 1), &seeds)[0].clone();
+        let pps_ref =
+            all_strategies(&pps, &ShardedStream::from_dataset(&data, 1), &seeds)[0].clone();
+        for shards in [1usize, 2, 3, 5, 8] {
+            let stream = ShardedStream::from_dataset(&data, shards);
+            let [seq, thr, auto] = all_strategies(&bottomk, &stream, &seeds);
+            assert_eq!(seq, thr, "bottom-k sequential vs threaded, {shards} shards");
+            assert_eq!(seq, auto, "bottom-k sequential vs auto, {shards} shards");
+            assert_eq!(
+                seq, bottomk_ref,
+                "bottom-k vs single stream, {shards} shards"
+            );
+            let [seq, thr, auto] = all_strategies(&pps, &stream, &seeds);
+            assert_eq!(seq, thr, "pps sequential vs threaded, {shards} shards");
+            assert_eq!(seq, auto, "pps sequential vs auto, {shards} shards");
+            assert_eq!(seq, pps_ref, "pps vs single stream, {shards} shards");
         }
     }
 

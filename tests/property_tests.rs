@@ -9,7 +9,12 @@
 //! * consistency of the batched estimation path: `estimate_batch` agrees
 //!   with per-outcome `estimate` for every registered estimator, and the
 //!   borrowed `OutcomeView` accessors agree with the deprecated
-//!   `Vec`-returning shims.
+//!   `Vec`-returning shims;
+//! * bit-identity of the struct-of-arrays lane path: `estimate_lanes` over
+//!   filled lanes agrees bit for bit with `estimate` and `estimate_batch`
+//!   for every estimator of every suite in `SUITE_NAMES`, on adversarial
+//!   batches (empty, single-outcome, chunk-boundary lengths, extreme and
+//!   zero values, near-zero probabilities).
 
 use proptest::prelude::*;
 
@@ -18,7 +23,8 @@ use partial_info_estimators::core::oblivious::{
     MaxHtOblivious, MaxL2, MaxLUniform, MaxU2, OrL2, OrU2,
 };
 use partial_info_estimators::core::suite::{
-    max_oblivious_suite, max_weighted_suite, or_oblivious_suite, or_weighted_suite,
+    max_oblivious_suite, max_weighted_suite, oblivious_suite_by_name, or_oblivious_suite,
+    or_weighted_suite, suite_regime, weighted_suite_by_name, SuiteRegime, SUITE_NAMES,
 };
 use partial_info_estimators::core::variance::{
     exact_oblivious_expectation, exact_oblivious_variance,
@@ -26,8 +32,9 @@ use partial_info_estimators::core::variance::{
 use partial_info_estimators::core::weighted::{MaxHtPps, MaxLPps2};
 use partial_info_estimators::core::Estimator;
 use partial_info_estimators::sampling::{
-    BottomKSampler, ExpRanks, Instance, ObliviousEntry, ObliviousOutcome, OutcomeView, PpsRanks,
-    RankFamily, SeedAssignment, VarOptSampler, WeightedEntry, WeightedOutcome,
+    BottomKSampler, ExpRanks, Instance, ObliviousEntry, ObliviousLanes, ObliviousOutcome,
+    OutcomeView, PpsRanks, RankFamily, SeedAssignment, VarOptSampler, WeightedEntry, WeightedLanes,
+    WeightedOutcome,
 };
 
 /// Builds `n` weight-oblivious outcomes over two instances from flat random
@@ -83,6 +90,24 @@ fn prob() -> impl Strategy<Value = f64> {
 
 fn value() -> impl Strategy<Value = f64> {
     0.0f64..100.0
+}
+
+/// Values stressing the lane kernels: exact zeros and magnitude extremes
+/// alongside ordinary draws.
+fn adversarial_value() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.0), Just(1e-300), Just(1e300), 0.0f64..100.0,]
+}
+
+/// Probabilities stressing the lane kernels: near-zero (inverse blow-up),
+/// exactly one, and ordinary draws.
+fn adversarial_prob() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(1e-9), Just(1.0), 0.05f64..1.0]
+}
+
+/// Batch lengths around the fixed chunk width of the lane kernels: empty,
+/// single, one below/at/above one and two chunks, and a long tail.
+fn lane_len() -> impl Strategy<Value = usize> {
+    proptest::sample::select(vec![0usize, 1, 7, 8, 9, 15, 16, 17, 33])
 }
 
 proptest! {
@@ -308,6 +333,108 @@ proptest! {
         for w in weighted_outcomes(8, tau, &values, &seeds) {
             prop_assert_eq!(w.num_sampled(), w.sampled_indices_iter().count());
             prop_assert_eq!(w.values().collect::<Vec<_>>(), w.entries().iter().map(|e| e.value).collect::<Vec<_>>());
+        }
+    }
+
+    /// The struct-of-arrays lane path is bit-identical to both scalar paths
+    /// for every estimator of every *oblivious* suite in `SUITE_NAMES`, on
+    /// adversarial batches: chunk-boundary lengths, extreme magnitudes,
+    /// near-zero probabilities, and arbitrary presence patterns.
+    #[test]
+    fn lane_kernels_bit_identical_for_every_oblivious_suite(
+        len in lane_len(),
+        r_uniform in 2usize..=4,
+        p in adversarial_prob(),
+        values in proptest::collection::vec(adversarial_value(), 4 * 33),
+        sampled in proptest::collection::vec(any::<bool>(), 4 * 33),
+    ) {
+        for name in SUITE_NAMES {
+            if suite_regime(name) != Some(SuiteRegime::Oblivious) {
+                continue;
+            }
+            let r = if name == "max_oblivious_uniform" { r_uniform } else { 2 };
+            let binary = name.starts_with("or");
+            let outcomes: Vec<ObliviousOutcome> = (0..len)
+                .map(|i| {
+                    ObliviousOutcome::new(
+                        (0..r)
+                            .map(|j| {
+                                let k = i * r + j;
+                                let v = if binary {
+                                    f64::from(u8::from(values[k] > 1.0))
+                                } else {
+                                    values[k]
+                                };
+                                ObliviousEntry { p, value: sampled[k].then_some(v) }
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            let registry = oblivious_suite_by_name(name, r, p).unwrap();
+            let mut lanes = ObliviousLanes::new();
+            lanes.fill_from_outcomes(&outcomes);
+            let mut by_lane = vec![f64::NAN; len];
+            let mut by_batch = vec![f64::NAN; len];
+            for (ename, estimator) in registry.iter() {
+                estimator.estimate_lanes(&lanes, &mut by_lane);
+                estimator.estimate_batch(&outcomes, &mut by_batch);
+                for (k, o) in outcomes.iter().enumerate() {
+                    let single = estimator.estimate(o);
+                    prop_assert_eq!(
+                        by_lane[k].to_bits(), single.to_bits(),
+                        "{}::{} lanes vs scalar at k={} len={}", name, ename, k, len
+                    );
+                    prop_assert_eq!(
+                        by_lane[k].to_bits(), by_batch[k].to_bits(),
+                        "{}::{} lanes vs batch at k={} len={}", name, ename, k, len
+                    );
+                }
+            }
+        }
+    }
+
+    /// Same bit-identity contract for every *weighted* suite in
+    /// `SUITE_NAMES`: PPS-consistent outcomes (sampled iff `v ≥ u·τ*`, all
+    /// seeds visible) over extreme values, plus binary data for the OR suite.
+    #[test]
+    fn lane_kernels_bit_identical_for_every_weighted_suite(
+        len in lane_len(),
+        tau in prop_oneof![Just(0.9), 5.0f64..30.0, Just(1e6)],
+        values in proptest::collection::vec(adversarial_value(), 2 * 33),
+        seeds in proptest::collection::vec(0.001f64..0.999, 2 * 33),
+        bits in proptest::collection::vec(any::<bool>(), 2 * 33),
+    ) {
+        let binary: Vec<f64> = bits.iter().map(|&b| f64::from(u8::from(b))).collect();
+        for name in SUITE_NAMES {
+            if suite_regime(name) != Some(SuiteRegime::Weighted) {
+                continue;
+            }
+            let outcomes = if name == "or_weighted" {
+                weighted_outcomes(len, tau, &binary, &seeds)
+            } else {
+                weighted_outcomes(len, tau, &values, &seeds)
+            };
+            let registry = weighted_suite_by_name(name).unwrap();
+            let mut lanes = WeightedLanes::new();
+            lanes.fill_from_outcomes(&outcomes);
+            let mut by_lane = vec![f64::NAN; len];
+            let mut by_batch = vec![f64::NAN; len];
+            for (ename, estimator) in registry.iter() {
+                estimator.estimate_lanes(&lanes, &mut by_lane);
+                estimator.estimate_batch(&outcomes, &mut by_batch);
+                for (k, o) in outcomes.iter().enumerate() {
+                    let single = estimator.estimate(o);
+                    prop_assert_eq!(
+                        by_lane[k].to_bits(), single.to_bits(),
+                        "{}::{} lanes vs scalar at k={} len={}", name, ename, k, len
+                    );
+                    prop_assert_eq!(
+                        by_lane[k].to_bits(), by_batch[k].to_bits(),
+                        "{}::{} lanes vs batch at k={} len={}", name, ename, k, len
+                    );
+                }
+            }
         }
     }
 

@@ -30,8 +30,8 @@ pub mod collection;
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
-        Strategy, TestRunner,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestRunner,
     };
 }
 
@@ -129,6 +129,85 @@ macro_rules! impl_int_strategy {
 }
 
 impl_int_strategy!(usize, u64, u32, i64, i32);
+
+/// A strategy that always yields its value, mirroring
+/// `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A uniform choice between boxed strategies of a common value type; built
+/// by [`prop_oneof!`], mirroring `proptest::strategy::Union`.
+pub struct Union<T>(Vec<Box<dyn Strategy<Value = T>>>);
+
+impl<T> Union<T> {
+    /// An empty union; [`prop_oneof!`] pushes its arms into this.
+    #[must_use]
+    pub fn empty() -> Self {
+        Union(Vec::new())
+    }
+
+    /// Adds one arm to the union.
+    pub fn push(&mut self, strategy: impl Strategy<Value = T> + 'static) {
+        self.0.push(Box::new(strategy));
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        assert!(!self.0.is_empty(), "prop_oneof! requires at least one arm");
+        let arm = rng.gen_range(0..self.0.len());
+        self.0[arm].generate(rng)
+    }
+}
+
+/// A uniform choice among the listed strategies, mirroring proptest's
+/// `prop_oneof!` (without the weighted `w => strategy` arm form).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let mut union = $crate::Union::empty();
+        $(union.push($strategy);)+
+        union
+    }};
+}
+
+/// Strategies that draw from explicit value lists, mirroring
+/// `proptest::sample`.
+pub mod sample {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use crate::Strategy;
+
+    /// Strategy produced by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// A uniform choice from `values`, mirroring `proptest::sample::select`.
+    #[must_use]
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(
+            !values.is_empty(),
+            "sample::select requires a non-empty list"
+        );
+        Select(values)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0[rng.gen_range(0..self.0.len())].clone()
+        }
+    }
+}
 
 /// Types with a canonical "anything" strategy, mirroring `proptest::arbitrary`.
 pub trait Arbitrary: Sized {
